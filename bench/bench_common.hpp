@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction binaries: a uniform header
+ * block and paper-vs-measured framing.
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace gist::bench {
+
+/** Print the exhibit banner. */
+inline void
+banner(const std::string &exhibit, const std::string &what,
+       const std::string &paper_claim)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s — %s\n", exhibit.c_str(), what.c_str());
+    std::printf("Paper reference: %s\n", paper_claim.c_str());
+    std::printf("==============================================================\n");
+}
+
+/** Print a trailing note (e.g. substitutions that affect this figure). */
+inline void
+note(const std::string &text)
+{
+    std::printf("note: %s\n", text.c_str());
+}
+
+inline std::string
+mb(std::uint64_t bytes)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f MB",
+                  static_cast<double>(bytes) / (1024.0 * 1024.0));
+    return buf;
+}
+
+} // namespace gist::bench

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Extension study: Gist vs recompute (gradient checkpointing), the
+ * paper's Section II-B alternative. Memory and overhead on one axis —
+ * the paper's argument is that recompute's footprint wins come with a
+ * real time cost because big layers are slow to recompute, while Gist's
+ * encodings are bandwidth-cheap.
+ */
+
+#include "baselines/recompute.hpp"
+#include "baselines/swap_sim.hpp"
+#include "bench_common.hpp"
+#include "models/zoo.hpp"
+
+using namespace gist;
+
+int
+main()
+{
+    bench::banner("Extension", "Gist vs recompute (checkpointing)",
+                  "paper II-B: recompute saves memory but the largest "
+                  "layers take the longest to recompute; Gist is "
+                  "cheaper per byte saved");
+
+    const std::int64_t batch = 64;
+    const GpuModelParams params;
+    const SparsityModel sparsity;
+
+    Table table({ "network", "strategy", "footprint", "MFR",
+                  "time overhead" });
+    for (const auto &entry : models::allModels()) {
+        Graph g = entry.build(batch);
+        const auto base = planModel(g, GistConfig::baseline(), sparsity);
+        const double base_mb = static_cast<double>(base.pool_static);
+
+        auto add = [&](const char *label, std::uint64_t footprint,
+                       double overhead) {
+            table.addRow({ entry.name, label, bench::mb(footprint),
+                           formatRatio(base_mb / double(footprint)),
+                           formatPercent(overhead) });
+        };
+
+        add("baseline", base.pool_static, 0.0);
+
+        const auto lossless =
+            planModel(g, GistConfig::lossless(), sparsity);
+        add("gist lossless", lossless.pool_static,
+            gistOverheadModel(g, GistConfig::lossless(), sparsity,
+                              params));
+        const auto lossy =
+            planModel(g, GistConfig::lossy(DprFormat::Fp16), sparsity);
+        add("gist fp16", lossy.pool_static,
+            gistOverheadModel(g, GistConfig::lossy(DprFormat::Fp16),
+                              sparsity, params));
+
+        const int sqrt_k = sqrtCheckpointInterval(g);
+        const auto sqrt_r = simulateRecompute(g, sqrt_k, params);
+        add(("recompute sqrtN (k=" + std::to_string(sqrt_k) + ")")
+                .c_str(),
+            sqrt_r.footprint, sqrt_r.overhead_fraction);
+        const auto k4 = simulateRecompute(g, 4, params);
+        add("recompute k=4", k4.footprint, k4.overhead_fraction);
+        table.addSeparator();
+    }
+    table.print();
+    bench::note("recompute modeled with per-segment rematerialization "
+                "and one extra forward per dropped stash; both "
+                "strategies planned over identical graphs. The paper "
+                "notes the two are composable (recompute works for e.g. "
+                "batch-norm while Gist covers ReLU maps).");
+    return 0;
+}

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Microbenchmarks for the encoding kernels (google-benchmark): DPR
+ * pack/unpack at each width, Binarize, the pool argmax map, and CSR
+ * encode/decode across sparsities including the narrow-vs-wide index
+ * ablation. Throughput (bytes/s) is the number to watch — these kernels
+ * are the entirety of Gist's runtime overhead.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "encodings/binarize.hpp"
+#include "encodings/csr.hpp"
+#include "encodings/dpr.hpp"
+#include "encodings/pool_index_map.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gist;
+
+std::vector<float>
+randomSparse(std::int64_t n, double sparsity, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> values(static_cast<size_t>(n));
+    for (auto &v : values)
+        v = rng.uniform() < sparsity ? 0.0f : rng.normal();
+    return values;
+}
+
+void
+BM_DprEncode(benchmark::State &state)
+{
+    const auto fmt = static_cast<DprFormat>(state.range(0));
+    const std::int64_t n = state.range(1);
+    const auto values = randomSparse(n, 0.0, 1);
+    DprBuffer buf;
+    for (auto _ : state) {
+        buf.encode(fmt, values);
+        benchmark::DoNotOptimize(buf.bytes());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * n * 4);
+}
+BENCHMARK(BM_DprEncode)
+    ->Args({ static_cast<int>(DprFormat::Fp16), 1 << 20 })
+    ->Args({ static_cast<int>(DprFormat::Fp10), 1 << 20 })
+    ->Args({ static_cast<int>(DprFormat::Fp8), 1 << 20 });
+
+void
+BM_DprDecode(benchmark::State &state)
+{
+    const auto fmt = static_cast<DprFormat>(state.range(0));
+    const std::int64_t n = state.range(1);
+    const auto values = randomSparse(n, 0.0, 2);
+    DprBuffer buf;
+    buf.encode(fmt, values);
+    std::vector<float> out(static_cast<size_t>(n));
+    for (auto _ : state) {
+        buf.decode(out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * n * 4);
+}
+BENCHMARK(BM_DprDecode)
+    ->Args({ static_cast<int>(DprFormat::Fp16), 1 << 20 })
+    ->Args({ static_cast<int>(DprFormat::Fp10), 1 << 20 })
+    ->Args({ static_cast<int>(DprFormat::Fp8), 1 << 20 });
+
+void
+BM_BinarizeEncode(benchmark::State &state)
+{
+    const std::int64_t n = state.range(0);
+    const auto values = randomSparse(n, 0.5, 3);
+    BinarizedMask mask;
+    for (auto _ : state) {
+        mask.encode(values);
+        benchmark::DoNotOptimize(mask.bytes());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * n * 4);
+}
+BENCHMARK(BM_BinarizeEncode)->Arg(1 << 20);
+
+void
+BM_BinarizeReluBackward(benchmark::State &state)
+{
+    const std::int64_t n = state.range(0);
+    const auto y = randomSparse(n, 0.5, 4);
+    const auto dy = randomSparse(n, 0.0, 5);
+    std::vector<float> dx(static_cast<size_t>(n));
+    BinarizedMask mask;
+    mask.encode(y);
+    for (auto _ : state) {
+        mask.reluBackward(dy, dx);
+        benchmark::DoNotOptimize(dx.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * n * 4);
+}
+BENCHMARK(BM_BinarizeReluBackward)->Arg(1 << 20);
+
+void
+BM_PoolIndexMapRoundTrip(benchmark::State &state)
+{
+    const std::int64_t n = state.range(0);
+    PoolIndexMap map;
+    map.configure(n, 3, 3);
+    for (auto _ : state) {
+        for (std::int64_t i = 0; i < n; ++i)
+            map.set(i, i % 9);
+        std::int64_t sum = 0;
+        for (std::int64_t i = 0; i < n; ++i)
+            sum += map.get(i);
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_PoolIndexMapRoundTrip)->Arg(1 << 18);
+
+void
+BM_CsrEncode(benchmark::State &state)
+{
+    const double sparsity = static_cast<double>(state.range(0)) / 100.0;
+    const int index_bytes = static_cast<int>(state.range(1));
+    const std::int64_t n = 1 << 20;
+    const auto values = randomSparse(n, sparsity, 6);
+    CsrConfig cfg;
+    cfg.index_bytes = index_bytes;
+    cfg.row_width = index_bytes == 1 ? 256 : 4096;
+    CsrBuffer buf(cfg);
+    for (auto _ : state) {
+        buf.encode(values);
+        benchmark::DoNotOptimize(buf.bytes());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * n * 4);
+    state.counters["compression"] = buf.compressionRatio();
+}
+BENCHMARK(BM_CsrEncode)
+    ->Args({ 30, 1 })
+    ->Args({ 70, 1 })
+    ->Args({ 90, 1 })
+    ->Args({ 70, 4 }) // cuSPARSE-style wide indices (ablation)
+    ->Args({ 90, 4 });
+
+void
+BM_CsrDecode(benchmark::State &state)
+{
+    const double sparsity = static_cast<double>(state.range(0)) / 100.0;
+    const std::int64_t n = 1 << 20;
+    const auto values = randomSparse(n, sparsity, 7);
+    CsrBuffer buf{ CsrConfig{} };
+    buf.encode(values);
+    std::vector<float> out(static_cast<size_t>(n));
+    for (auto _ : state) {
+        buf.decode(out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * n * 4);
+}
+BENCHMARK(BM_CsrDecode)->Arg(30)->Arg(70)->Arg(90);
+
+void
+BM_SmallFloatQuantize(benchmark::State &state)
+{
+    const auto fmt = static_cast<DprFormat>(state.range(0));
+    const SmallFloatFormat &sf = dprSmallFloat(fmt);
+    auto values = randomSparse(1 << 16, 0.0, 8);
+    for (auto _ : state) {
+        for (auto &v : values)
+            v = quantizeSmallFloat(sf, v);
+        benchmark::DoNotOptimize(values.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(values.size()));
+}
+BENCHMARK(BM_SmallFloatQuantize)
+    ->Arg(static_cast<int>(DprFormat::Fp16))
+    ->Arg(static_cast<int>(DprFormat::Fp8));
+
+} // namespace

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Microbenchmarks of the compute substrate: GEMM, im2col, and the
+ * forward/backward of the heavy layers. These bound how fast the CPU
+ * training loop (Fig 9's measured arm, Fig 12/14's training runs) can
+ * go, and give the roofline model's CPU-side counterpart.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "layers/layers.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/im2col.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gist;
+
+void
+BM_Gemm(benchmark::State &state)
+{
+    const std::int64_t n = state.range(0);
+    Rng rng(1);
+    std::vector<float> a(static_cast<size_t>(n * n));
+    std::vector<float> b(static_cast<size_t>(n * n));
+    std::vector<float> c(static_cast<size_t>(n * n));
+    for (auto &x : a)
+        x = rng.normal();
+    for (auto &x : b)
+        x = rng.normal();
+    for (auto _ : state) {
+        gemm(false, false, n, n, n, 1.0f, a.data(), b.data(), 0.0f,
+             c.data());
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.counters["GFLOP/s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) * 2.0 * n * n * n * 1e-9,
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_Im2col(benchmark::State &state)
+{
+    ConvGeometry g{ 64, 56, 56, 3, 3, 1, 1, 1, 1 };
+    Rng rng(2);
+    std::vector<float> img(static_cast<size_t>(64 * 56 * 56));
+    for (auto &x : img)
+        x = rng.normal();
+    std::vector<float> col(
+        static_cast<size_t>(g.colRows() * g.colCols()));
+    for (auto _ : state) {
+        im2col(g, img.data(), col.data());
+        benchmark::DoNotOptimize(col.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(col.size()) * 4);
+}
+BENCHMARK(BM_Im2col);
+
+void
+BM_ConvForward(benchmark::State &state)
+{
+    const std::int64_t channels = state.range(0);
+    Rng rng(3);
+    ConvLayer conv(channels, ConvSpec::square(channels, 3, 1, 1));
+    conv.initParams(rng);
+    Tensor x = Tensor::randn(Shape::nchw(4, channels, 16, 16), rng);
+    Tensor y(conv.outputShape({ &x.shape(), 1 }));
+    FwdCtx ctx;
+    ctx.inputs = { &x };
+    ctx.output = &y;
+    for (auto _ : state) {
+        conv.forward(ctx);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * y.numel());
+}
+BENCHMARK(BM_ConvForward)->Arg(16)->Arg(64);
+
+void
+BM_ConvBackward(benchmark::State &state)
+{
+    const std::int64_t channels = state.range(0);
+    Rng rng(4);
+    ConvLayer conv(channels, ConvSpec::square(channels, 3, 1, 1));
+    conv.initParams(rng);
+    Tensor x = Tensor::randn(Shape::nchw(4, channels, 16, 16), rng);
+    Tensor y(conv.outputShape({ &x.shape(), 1 }));
+    FwdCtx fctx;
+    fctx.inputs = { &x };
+    fctx.output = &y;
+    conv.forward(fctx);
+
+    Tensor dy = Tensor::randn(y.shape(), rng);
+    Tensor dx(x.shape());
+    BwdCtx bctx;
+    bctx.inputs = { &x };
+    bctx.output = &y;
+    bctx.d_output = &dy;
+    bctx.d_inputs = { &dx };
+    for (auto _ : state) {
+        dx.setZero();
+        conv.backward(bctx);
+        benchmark::DoNotOptimize(dx.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * y.numel());
+}
+BENCHMARK(BM_ConvBackward)->Arg(16)->Arg(64);
+
+void
+BM_MaxPoolForward(benchmark::State &state)
+{
+    const bool index_map = state.range(0) != 0;
+    Rng rng(5);
+    MaxPoolLayer pool(PoolSpec::square(2, 2));
+    if (index_map)
+        pool.setStashMode(MaxPoolLayer::StashMode::IndexMap);
+    Tensor x = Tensor::randn(Shape::nchw(8, 32, 32, 32), rng);
+    Tensor y(pool.outputShape({ &x.shape(), 1 }));
+    FwdCtx ctx;
+    ctx.inputs = { &x };
+    ctx.output = &y;
+    ctx.training = true;
+    for (auto _ : state) {
+        pool.forward(ctx);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * x.numel());
+}
+BENCHMARK(BM_MaxPoolForward)->Arg(0)->Arg(1);
+
+void
+BM_BatchNormForward(benchmark::State &state)
+{
+    Rng rng(6);
+    BatchNormLayer bn(32);
+    bn.initParams(rng);
+    Tensor x = Tensor::randn(Shape::nchw(8, 32, 16, 16), rng);
+    Tensor y(x.shape());
+    FwdCtx ctx;
+    ctx.inputs = { &x };
+    ctx.output = &y;
+    ctx.training = true;
+    for (auto _ : state) {
+        bn.forward(ctx);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * x.numel());
+}
+BENCHMARK(BM_BatchNormForward);
+
+} // namespace

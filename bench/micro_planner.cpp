@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Microbenchmarks for the static-analysis machinery: graph
+ * construction, classification, schedule building, liveness, and the
+ * three allocator policies, at VGG16 and deep-ResNet scale.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/gist.hpp"
+#include "models/zoo.hpp"
+
+namespace {
+
+using namespace gist;
+
+void
+BM_BuildVgg16(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Graph g = models::vgg16(64);
+        benchmark::DoNotOptimize(g.numNodes());
+    }
+}
+BENCHMARK(BM_BuildVgg16);
+
+void
+BM_ClassifyStashes(benchmark::State &state)
+{
+    Graph g = models::inceptionV1(64);
+    for (auto _ : state) {
+        auto cats = classifyStashes(g);
+        benchmark::DoNotOptimize(cats.size());
+    }
+}
+BENCHMARK(BM_ClassifyStashes);
+
+void
+BM_BuildSchedule(benchmark::State &state)
+{
+    Graph g = models::vgg16(64);
+    const auto cfg = GistConfig::lossy(DprFormat::Fp16);
+    for (auto _ : state) {
+        auto schedule = buildSchedule(g, cfg);
+        benchmark::DoNotOptimize(schedule.decisions.size());
+    }
+}
+BENCHMARK(BM_BuildSchedule);
+
+void
+BM_PlanBuffers(benchmark::State &state)
+{
+    Graph g = models::vgg16(64);
+    const auto schedule = buildSchedule(g, GistConfig::lossless());
+    const SparsityModel sparsity;
+    for (auto _ : state) {
+        auto bufs = planBuffers(g, schedule, sparsity);
+        benchmark::DoNotOptimize(bufs.size());
+    }
+}
+BENCHMARK(BM_PlanBuffers);
+
+void
+BM_AllocatorCntk(benchmark::State &state)
+{
+    Graph g = models::resnetCifar(static_cast<int>(state.range(0)), 16);
+    const auto schedule = buildSchedule(g, GistConfig::baseline());
+    const auto bufs = planBuffers(g, schedule, SparsityModel{});
+    for (auto _ : state) {
+        auto result = allocateCntkStyle(bufs);
+        benchmark::DoNotOptimize(result.total_bytes);
+    }
+    state.counters["buffers"] = static_cast<double>(bufs.size());
+}
+BENCHMARK(BM_AllocatorCntk)->Arg(110)->Arg(509)->Arg(1202);
+
+void
+BM_AllocatorOffset(benchmark::State &state)
+{
+    Graph g = models::resnetCifar(110, 16);
+    const auto schedule = buildSchedule(g, GistConfig::baseline());
+    const auto bufs = planBuffers(g, schedule, SparsityModel{});
+    for (auto _ : state) {
+        auto bytes = allocateOffsetBestFit(bufs);
+        benchmark::DoNotOptimize(bytes);
+    }
+}
+BENCHMARK(BM_AllocatorOffset);
+
+void
+BM_DynamicPeak(benchmark::State &state)
+{
+    Graph g = models::resnetCifar(1202, 16);
+    const auto schedule = buildSchedule(g, GistConfig::baseline());
+    const auto bufs = planBuffers(g, schedule, SparsityModel{});
+    for (auto _ : state) {
+        auto bytes = dynamicPeak(bufs);
+        benchmark::DoNotOptimize(bytes);
+    }
+}
+BENCHMARK(BM_DynamicPeak);
+
+void
+BM_PlanModelEndToEnd(benchmark::State &state)
+{
+    Graph g = models::vgg16(64);
+    const SparsityModel sparsity;
+    const auto cfg = GistConfig::lossy(DprFormat::Fp16);
+    for (auto _ : state) {
+        auto summary = planModel(g, cfg, sparsity);
+        benchmark::DoNotOptimize(summary.pool_static);
+    }
+}
+BENCHMARK(BM_PlanModelEndToEnd);
+
+} // namespace

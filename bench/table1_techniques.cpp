@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Table I: the technique <-> target-data-structure mapping, as actually
+ * discovered by the Schedule Builder on each network (how many feature
+ * maps each encoding claims, and how many FP32 bytes they cover).
+ */
+
+#include "bench_common.hpp"
+#include "core/gist.hpp"
+#include "models/zoo.hpp"
+
+using namespace gist;
+
+int
+main()
+{
+    bench::banner(
+        "Table I",
+        "Gist techniques and their target data structures",
+        "ReLU-Pool -> Binarize (lossless); ReLU-Conv -> SSDC (lossless); "
+        "other stashes -> DPR (lossy); immediately consumed -> inplace");
+
+    std::printf("technique -> target mapping (static):\n");
+    std::printf("  Binarize  : ReLU->Pool stashed fmaps (1-bit sign + "
+                "4-bit pool argmax map)\n");
+    std::printf("  SSDC      : ReLU/Pool->Conv stashed fmaps (CSR, "
+                "1-byte narrow indices)\n");
+    std::printf("  DPR       : remaining stashed fmaps (FP16/FP10/FP8 "
+                "backward copy)\n");
+    std::printf("  Inplace   : immediately-consumed producer buffers "
+                "overwritten by ReLU\n\n");
+
+    const std::int64_t batch = 64;
+    Table table({ "network", "binarized fmaps", "SSDC fmaps",
+                  "DPR fmaps", "inplace ReLUs", "bytes binarize",
+                  "bytes SSDC", "bytes DPR" });
+
+    for (const auto &entry : models::allModels()) {
+        Graph g = entry.build(batch);
+        const auto schedule =
+            buildSchedule(g, GistConfig::lossy(DprFormat::Fp16));
+        int n_bin = 0;
+        int n_csr = 0;
+        int n_dpr = 0;
+        int n_inplace = 0;
+        std::uint64_t b_bin = 0;
+        std::uint64_t b_csr = 0;
+        std::uint64_t b_dpr = 0;
+        for (const auto &node : g.nodes()) {
+            const auto &d = schedule.of(node.id);
+            const auto bytes =
+                static_cast<std::uint64_t>(node.out_shape.numel()) * 4;
+            if (d.binarized && node.kind() == LayerKind::Relu) {
+                ++n_bin;
+                b_bin += bytes;
+            }
+            if (d.repr == StashPlan::Repr::Csr) {
+                ++n_csr;
+                b_csr += bytes;
+            }
+            if (d.repr == StashPlan::Repr::Dpr) {
+                ++n_dpr;
+                b_dpr += bytes;
+            }
+            n_inplace += d.inplace;
+        }
+        table.addRow({ entry.name, std::to_string(n_bin),
+                       std::to_string(n_csr), std::to_string(n_dpr),
+                       std::to_string(n_inplace), bench::mb(b_bin),
+                       bench::mb(b_csr), bench::mb(b_dpr) });
+    }
+    table.print();
+    bench::note("byte columns are the FP32 footprints the technique "
+                "replaces (minibatch 64).");
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The scenario from the paper's introduction: GPU memory caps how deep
+ * a network you can train. Given a 12 GB card and a fixed minibatch,
+ * how much deeper a ResNet fits once Gist shrinks the stashes?
+ */
+
+#include <cstdio>
+
+#include "core/gist.hpp"
+#include "models/zoo.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace gist;
+
+namespace {
+
+/** Largest 6n+2 ResNet depth whose footprint fits the budget. */
+int
+deepestFitting(const GistConfig &cfg, std::int64_t batch,
+               std::uint64_t budget)
+{
+    const SparsityModel sparsity;
+    int best = 0;
+    // Depth grid: n = 1..700 (depth 8..4202), exponential then refine.
+    int lo = 1;
+    int hi = 1;
+    auto fits = [&](int n) {
+        Graph g = models::resnetCifar(6 * n + 2, batch);
+        return planModel(g, cfg, sparsity).pool_static <= budget;
+    };
+    if (!fits(1))
+        return 0;
+    while (hi * 2 <= 700 && fits(hi * 2))
+        hi *= 2;
+    lo = hi;
+    int upper = std::min(701, hi * 2);
+    while (lo + 1 < upper) {
+        const int mid = (lo + upper) / 2;
+        if (fits(mid))
+            lo = mid;
+        else
+            upper = mid;
+    }
+    best = 6 * lo + 2;
+    return best;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::uint64_t budget = 11ull * 1024 * 1024 * 1024;
+    std::printf("How deep a CIFAR ResNet fits in a 12 GB card "
+                "(11 GB usable for feature maps)?\n\n");
+
+    Table table({ "minibatch", "baseline depth", "Gist lossless",
+                  "Gist +FP10", "depth growth" });
+    for (std::int64_t batch : { 64, 128, 256 }) {
+        const int base =
+            deepestFitting(GistConfig::baseline(), batch, budget);
+        const int lossless =
+            deepestFitting(GistConfig::lossless(), batch, budget);
+        const int lossy = deepestFitting(
+            GistConfig::lossy(DprFormat::Fp10), batch, budget);
+        table.addRow({ std::to_string(batch), std::to_string(base),
+                       std::to_string(lossless), std::to_string(lossy),
+                       formatRatio(static_cast<double>(lossy) /
+                                   static_cast<double>(base)) });
+    }
+    table.print();
+    std::printf("\nGist's claim from the paper: the footprint reduction "
+                "makes it possible to train a network twice as deep.\n");
+    return 0;
+}

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * A small CLI around the memory planner, the kind of tool a framework
+ * engineer would use to see where a model's training memory goes:
+ *
+ *   memory_planner_tool [model] [batch] [config] [csv-path]
+ *     model  : alexnet | nin | overfeat | vgg16 | inception | resnet34
+ *              (default vgg16)
+ *     batch  : minibatch size (default 64)
+ *     config : baseline | lossless | fp16 | fp10 | fp8 (default fp16)
+ *     csv    : optional path; dumps every planned buffer as CSV for
+ *              external analysis/plotting
+ *
+ * Prints the per-class footprint, the sharing-group outcome, and the
+ * ten largest planned buffers with their lifetimes.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "core/gist.hpp"
+#include "models/zoo.hpp"
+#include "util/logging.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace gist;
+
+namespace {
+
+Graph
+buildModel(const std::string &name, std::int64_t batch)
+{
+    if (name == "alexnet")
+        return models::alexnet(batch);
+    if (name == "nin")
+        return models::nin(batch);
+    if (name == "overfeat")
+        return models::overfeat(batch);
+    if (name == "vgg16")
+        return models::vgg16(batch);
+    if (name == "inception")
+        return models::inceptionV1(batch);
+    if (name == "resnet34")
+        return models::resnet34(batch);
+    GIST_FATAL("unknown model '", name,
+               "' (try alexnet|nin|overfeat|vgg16|inception|resnet34)");
+}
+
+GistConfig
+buildConfig(const std::string &name)
+{
+    if (name == "baseline")
+        return GistConfig::baseline();
+    if (name == "lossless")
+        return GistConfig::lossless();
+    if (name == "fp16")
+        return GistConfig::lossy(DprFormat::Fp16);
+    if (name == "fp10")
+        return GistConfig::lossy(DprFormat::Fp10);
+    if (name == "fp8")
+        return GistConfig::lossy(DprFormat::Fp8);
+    GIST_FATAL("unknown config '", name,
+               "' (try baseline|lossless|fp16|fp10|fp8)");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string model = argc > 1 ? argv[1] : "vgg16";
+    const std::int64_t batch = argc > 2 ? std::atoll(argv[2]) : 64;
+    const std::string config_name = argc > 3 ? argv[3] : "fp16";
+
+    Graph g = buildModel(model, batch);
+    const GistConfig cfg = buildConfig(config_name);
+    const auto schedule = buildSchedule(g, cfg);
+    const SparsityModel sparsity;
+    const auto bufs = planBuffers(g, schedule, sparsity);
+    const auto summary = summarize(bufs, false);
+
+    std::printf("model=%s batch=%lld config=%s nodes=%lld buffers=%zu\n\n",
+                model.c_str(), static_cast<long long>(batch),
+                config_name.c_str(),
+                static_cast<long long>(g.numNodes()), bufs.size());
+
+    Table classes({ "data class", "raw bytes" });
+    for (const auto &[cls, bytes] : summary.raw)
+        classes.addRow({ dataClassName(cls), formatBytes(bytes) });
+    classes.print();
+
+    std::printf("\nfootprint (fmap pool, CNTK-style static sharing): %s\n",
+                formatBytes(summary.pool_static).c_str());
+    std::printf("footprint (fmap pool, dynamic allocation)        : %s\n",
+                formatBytes(summary.pool_dynamic).c_str());
+    std::printf("weights %s + gradients %s, workspace arena %s\n\n",
+                formatBytes(summary.weights).c_str(),
+                formatBytes(summary.weight_grads).c_str(),
+                formatBytes(summary.workspace).c_str());
+
+    // Largest buffers with lifetimes.
+    auto sorted = bufs;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const PlannedBuffer &a, const PlannedBuffer &b) {
+                  return a.bytes > b.bytes;
+              });
+    Table top({ "buffer", "class", "bytes", "lifetime [start,end]" });
+    for (size_t i = 0; i < std::min<size_t>(10, sorted.size()); ++i) {
+        const auto &b = sorted[i];
+        top.addRow({ b.name, dataClassName(b.cls),
+                     formatBytes(b.bytes),
+                     "[" + std::to_string(b.live.start) + ", " +
+                         std::to_string(b.live.end) + "]" });
+    }
+    std::printf("ten largest planned buffers:\n");
+    top.print();
+
+    if (argc > 4) {
+        std::ofstream csv(argv[4]);
+        if (!csv)
+            GIST_FATAL("cannot open ", argv[4], " for writing");
+        csv << "name,class,bytes,start,end,shareable,node\n";
+        for (const auto &b : bufs) {
+            csv << b.name << ',' << dataClassName(b.cls) << ','
+                << b.bytes << ',' << b.live.start << ',' << b.live.end
+                << ',' << (b.shareable ? 1 : 0) << ',' << b.origin_node
+                << '\n';
+        }
+        std::printf("\nwrote %zu buffers to %s\n", bufs.size(), argv[4]);
+    }
+    return 0;
+}

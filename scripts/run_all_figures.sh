@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Regenerate every paper exhibit (figures, tables, ablations, extensions).
+# Usage: scripts/run_all_figures.sh [build-dir]
+set -euo pipefail
+build="${1:-build}"
+for b in "$build"/bench/fig* "$build"/bench/table* \
+         "$build"/bench/ablation* "$build"/bench/ext_*; do
+    [ -x "$b" ] || continue
+    "$b"
+    echo
+done

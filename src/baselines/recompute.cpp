@@ -1,0 +1,122 @@
+#include "baselines/recompute.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace gist {
+
+int
+sqrtCheckpointInterval(const Graph &graph)
+{
+    return std::max(
+        2, static_cast<int>(std::lround(
+               std::sqrt(static_cast<double>(graph.numNodes())))));
+}
+
+RecomputeResult
+simulateRecompute(Graph &graph, int interval, const GpuModelParams &params)
+{
+    GIST_ASSERT(interval >= 1, "checkpoint interval must be >= 1");
+    const auto schedule = buildSchedule(graph, GistConfig::baseline());
+    const ScheduleInfo sched(graph);
+    const auto times = estimateGraphTimes(graph, params);
+
+    RecomputeResult result;
+
+    // A node's stash is kept iff it is a checkpoint (or the graph
+    // input, which is always resident).
+    auto is_checkpoint = [&](NodeId id) {
+        return graph.node(id).kind() == LayerKind::Input ||
+               (id % interval) == 0;
+    };
+
+    // Segment end (last node id in this node's segment).
+    auto segment_last = [&](NodeId id) {
+        const auto n = static_cast<NodeId>(graph.numNodes() - 1);
+        const NodeId last = static_cast<NodeId>(
+            (id / interval + 1) * interval - 1);
+        return std::min(last, n);
+    };
+
+    // Rematerializing any dropped stash re-runs the *whole segment's*
+    // forward pass from its checkpoint (convs included) — this is why
+    // the paper finds recompute expensive: the biggest maps belong to
+    // the slowest-to-recompute segments.
+    std::vector<bool> segment_replayed(
+        static_cast<size_t>(graph.numNodes() / interval + 2), false);
+
+    std::vector<PlannedBuffer> buffers;
+    double recompute_seconds = 0.0;
+    double base_seconds = 0.0;
+    for (const auto &node : graph.nodes()) {
+        base_seconds += times[static_cast<size_t>(node.id)].fwd +
+                        times[static_cast<size_t>(node.id)].bwd;
+        const std::uint64_t bytes =
+            static_cast<std::uint64_t>(node.out_shape.numel()) * 4;
+
+        if (!sched.stashed(node.id)) {
+            buffers.push_back({ node.name + ":fmap",
+                                DataClass::ImmediateFmap, bytes,
+                                { graph.fwdStep(node.id),
+                                  sched.lastFwdRead(node.id) },
+                                true, node.id });
+        } else if (is_checkpoint(node.id)) {
+            ++result.checkpoints;
+            buffers.push_back({ node.name + ":fmap",
+                                DataClass::StashedFmap, bytes,
+                                { graph.fwdStep(node.id),
+                                  sched.lastBwdRead(node.id) },
+                                true, node.id });
+        } else {
+            ++result.recomputed;
+            // Forward copy dies at its last forward read; the segment's
+            // backward re-materializes it from the preceding checkpoint
+            // just before the segment's backward sweep starts.
+            buffers.push_back({ node.name + ":fmap",
+                                DataClass::ImmediateFmap, bytes,
+                                { graph.fwdStep(node.id),
+                                  sched.lastFwdRead(node.id) },
+                                true, node.id });
+            const NodeId seg_last = segment_last(node.id);
+            buffers.push_back({ node.name + ":re",
+                                DataClass::DecodeScratch, bytes,
+                                { graph.bwdStep(seg_last),
+                                  sched.lastBwdRead(node.id) },
+                                true, node.id });
+            segment_replayed[static_cast<size_t>(node.id / interval)] =
+                true;
+        }
+
+        // Gradient maps (same as the regular planner).
+        if (node.kind() == LayerKind::Input)
+            continue;
+        const auto &consumers = sched.consumers(node.id);
+        if (!consumers.empty()) {
+            int first_writer = graph.bwdStep(node.id);
+            for (NodeId c : consumers)
+                first_writer = std::min(first_writer, graph.bwdStep(c));
+            buffers.push_back({ node.name + ":grad",
+                                DataClass::GradientMap, bytes,
+                                { first_writer,
+                                  graph.bwdStep(node.id) },
+                                true, node.id });
+        }
+    }
+    (void)schedule;
+
+    // Charge one extra forward execution for every replayed segment.
+    for (const auto &node : graph.nodes()) {
+        if (node.kind() == LayerKind::Input)
+            continue;
+        if (segment_replayed[static_cast<size_t>(node.id / interval)])
+            recompute_seconds += times[static_cast<size_t>(node.id)].fwd;
+    }
+
+    result.footprint = allocateCntkStyle(buffers).total_bytes;
+    result.overhead_fraction =
+        base_seconds > 0.0 ? recompute_seconds / base_seconds : 0.0;
+    return result;
+}
+
+} // namespace gist

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Recompute (gradient checkpointing) baseline — the paper's Section II-B
+ * third alternative (Chen et al., "Training Deep Nets with Sublinear
+ * Memory Cost"): instead of stashing every feature map, keep only every
+ * k-th one ("checkpoints") and re-run the forward pass of each segment
+ * when the backward sweep reaches it.
+ *
+ * The paper's argument against it: the largest layers are also the
+ * slowest to recompute, so the memory win costs real time. This module
+ * quantifies both sides with the same planner/perf machinery used for
+ * Gist, so `bench/ext_recompute` can put them on one axis.
+ */
+
+#pragma once
+
+#include "core/gist.hpp"
+#include "perf/gpu_model.hpp"
+
+namespace gist {
+
+/** Outcome of a recompute-policy simulation. */
+struct RecomputeResult
+{
+    std::uint64_t footprint = 0;   ///< fmap-pool bytes, CNTK sharing
+    double overhead_fraction = 0;  ///< extra time / baseline time
+    int checkpoints = 0;           ///< stashes kept
+    int recomputed = 0;            ///< stashes dropped + recomputed
+};
+
+/**
+ * Simulate checkpointing every @p interval nodes (interval >= 1;
+ * 1 keeps everything = the baseline). The graph is put in baseline
+ * (dense) mode.
+ */
+RecomputeResult simulateRecompute(Graph &graph, int interval,
+                                  const GpuModelParams &params);
+
+/** Chen et al.'s sqrt(N) heuristic interval for @p graph. */
+int sqrtCheckpointInterval(const Graph &graph);
+
+} // namespace gist

@@ -1,0 +1,233 @@
+#include "baselines/swap_sim.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace gist {
+
+namespace {
+
+/** Per-stash transfer description. */
+struct StashTransfer
+{
+    NodeId node = -1;
+    double bytes = 0.0;
+    double seconds = 0.0;
+};
+
+/**
+ * Which stashed fmaps get swapped to the host: following vDNN's
+ * best-performing policy (vDNN_conv), the inputs of convolution layers —
+ * the large early feature maps that dominate the footprint. Other
+ * stashes stay resident.
+ */
+std::vector<bool>
+swappedSet(const Graph &graph, const ScheduleInfo &sched)
+{
+    std::vector<bool> swap(static_cast<size_t>(graph.numNodes()), false);
+    for (const auto &node : graph.nodes()) {
+        if (node.kind() != LayerKind::Conv)
+            continue;
+        for (NodeId in : node.inputs)
+            if (sched.stashed(in))
+                swap[static_cast<size_t>(in)] = true;
+    }
+    return swap;
+}
+
+/** Collect the swapped fmaps of the baseline-configured graph. */
+std::vector<StashTransfer>
+collectStashes(Graph &graph, const GpuModelParams &params)
+{
+    buildSchedule(graph, GistConfig::baseline());
+    const ScheduleInfo sched(graph);
+    const auto swap = swappedSet(graph, sched);
+    std::vector<StashTransfer> stashes;
+    for (const auto &node : graph.nodes()) {
+        if (!swap[static_cast<size_t>(node.id)])
+            continue;
+        StashTransfer t;
+        t.node = node.id;
+        t.bytes = static_cast<double>(node.out_shape.numel()) * 4.0;
+        t.seconds = t.bytes / params.pcie_bandwidth;
+        stashes.push_back(t);
+    }
+    return stashes;
+}
+
+} // namespace
+
+SwapSimResult
+simulateNaiveSwap(Graph &graph, const GpuModelParams &params)
+{
+    const auto stashes = collectStashes(graph, params);
+    const auto times = estimateGraphTimes(graph, params);
+
+    SwapSimResult result;
+    for (const auto &t : times)
+        result.base_seconds += t.fwd + t.bwd;
+    // Synchronous: every offload and every fetch serializes with compute.
+    double transfer_seconds = 0.0;
+    for (const auto &s : stashes) {
+        transfer_seconds += 2.0 * s.seconds;
+        result.transferred_bytes += static_cast<std::uint64_t>(s.bytes);
+    }
+    result.total_seconds = result.base_seconds + transfer_seconds;
+    return result;
+}
+
+namespace {
+
+/** Transfer bytes of node id's fmap under an optional compressor. */
+double
+transferBytes(const Graph &graph, NodeId id,
+              const SparsityModel *compress)
+{
+    const double dense =
+        static_cast<double>(graph.node(id).out_shape.numel()) * 4.0;
+    if (!compress)
+        return dense;
+    const double sparsity = compress->at(graph, id);
+    const double csr = static_cast<double>(csrBytesForSparsity(
+        CsrConfig{}, graph.node(id).out_shape.numel(), sparsity));
+    return std::min(dense, csr);
+}
+
+SwapSimResult
+simulateVdnnImpl(Graph &graph, const GpuModelParams &params,
+                 const SparsityModel *compress)
+{
+    const auto stashes = collectStashes(graph, params);
+    const auto times = estimateGraphTimes(graph, params);
+    const ScheduleInfo sched(graph);
+    const auto swap = swappedSet(graph, sched);
+
+    SwapSimResult result;
+    for (const auto &t : times)
+        result.base_seconds += t.fwd + t.bwd;
+    for (const auto &s : stashes)
+        result.transferred_bytes += static_cast<std::uint64_t>(s.bytes);
+
+    // ---- Forward: offloads run on their own PCIe stream and overlap
+    // with compute; the pass is over when both streams drain (memory for
+    // in-flight layers is assumed sufficient, as in vDNN's common case).
+    std::vector<double> offload_end(
+        static_cast<size_t>(graph.numNodes()), 0.0);
+    double compute_clock = 0.0;
+    double offload_clock = 0.0;
+    for (const auto &node : graph.nodes()) {
+        compute_clock += times[static_cast<size_t>(node.id)].fwd;
+        if (swap[static_cast<size_t>(node.id)]) {
+            const double bytes = transferBytes(graph, node.id, compress);
+            offload_clock = std::max(offload_clock, compute_clock) +
+                            bytes / params.pcie_bandwidth;
+            offload_end[static_cast<size_t>(node.id)] = offload_clock;
+        }
+    }
+    const double forward_end = std::max(compute_clock, offload_clock);
+
+    // ---- Backward: the prefetcher brings a stash back a bounded number
+    // of layers ahead of its use (vDNN can only hold a few prefetched
+    // buffers at once). The fetch for backward-layer k's stashes may
+    // start once layer (k + window)'s backward started; compute stalls
+    // whenever a fetch is not done in time.
+    constexpr int kPrefetchWindow = 2;
+    std::vector<double> fetch_end(static_cast<size_t>(graph.numNodes()),
+                                  0.0);
+    std::vector<bool> fetched(static_cast<size_t>(graph.numNodes()),
+                              false);
+    std::vector<double> bwd_starts; // start time of each processed layer
+    double clock = forward_end;
+    double fetch_clock = forward_end;
+    for (std::int64_t i = graph.numNodes() - 1; i >= 0; --i) {
+        const auto id = static_cast<NodeId>(i);
+        const auto &node = graph.node(id);
+        if (node.kind() == LayerKind::Input)
+            continue;
+        const BackwardNeeds needs = node.layer->backwardNeeds();
+        std::vector<NodeId> wanted;
+        if (needs.output && swap[static_cast<size_t>(id)])
+            wanted.push_back(id);
+        if (needs.input)
+            for (NodeId in : node.inputs)
+                if (swap[static_cast<size_t>(in)])
+                    wanted.push_back(in);
+
+        // The earliest issue time permitted by the lookahead window.
+        double window_gate = forward_end;
+        if (bwd_starts.size() >= kPrefetchWindow)
+            window_gate = bwd_starts[bwd_starts.size() - kPrefetchWindow];
+
+        double ready = clock;
+        for (NodeId s : wanted) {
+            const auto idx = static_cast<size_t>(s);
+            if (!fetched[idx]) {
+                const double bytes = transferBytes(graph, s, compress);
+                const double start = std::max(
+                    { fetch_clock, offload_end[idx], window_gate });
+                fetch_clock = start + bytes / params.pcie_bandwidth;
+                fetch_end[idx] = fetch_clock;
+                fetched[idx] = true;
+            }
+            ready = std::max(ready, fetch_end[idx]);
+        }
+        bwd_starts.push_back(ready);
+        clock = ready + times[static_cast<size_t>(id)].bwd;
+    }
+    result.total_seconds = clock;
+    return result;
+}
+
+} // namespace
+
+SwapSimResult
+simulateVdnn(Graph &graph, const GpuModelParams &params)
+{
+    return simulateVdnnImpl(graph, params, nullptr);
+}
+
+SwapSimResult
+simulateVdnnCompressed(Graph &graph, const GpuModelParams &params,
+                       const SparsityModel &sparsity)
+{
+    return simulateVdnnImpl(graph, params, &sparsity);
+}
+
+double
+gistOverheadModel(Graph &graph, const GistConfig &config,
+                  const SparsityModel &sparsity,
+                  const GpuModelParams &params)
+{
+    const BuiltSchedule schedule = buildSchedule(graph, config);
+    const auto buffers = planBuffers(graph, schedule, sparsity);
+    const double base = minibatchComputeSeconds(graph, params);
+
+    // Each encoded stash costs an encode (read FP32, write encoded) and
+    // a decode (read encoded, write FP32) elementwise kernel pass.
+    double codec_seconds = 0.0;
+    for (const auto &node : graph.nodes()) {
+        const auto &decision = schedule.of(node.id);
+        if (decision.repr == StashPlan::Repr::Dense &&
+            !decision.binarized)
+            continue;
+        const double fp32 =
+            static_cast<double>(node.out_shape.numel()) * 4.0;
+        double encoded = fp32;
+        if (decision.repr == StashPlan::Repr::Csr) {
+            encoded = static_cast<double>(csrBytesForSparsity(
+                schedule.config.csr, node.out_shape.numel(),
+                sparsity.at(graph, node.id)));
+        } else if (decision.repr == StashPlan::Repr::Dpr) {
+            encoded = static_cast<double>(dprEncodedBytes(
+                schedule.config.dpr_format, node.out_shape.numel()));
+        } else if (decision.binarized) {
+            encoded = fp32 / 32.0;
+        }
+        codec_seconds += 2.0 * (fp32 + encoded) / params.mem_bandwidth;
+    }
+    (void)buffers;
+    return codec_seconds / base;
+}
+
+} // namespace gist

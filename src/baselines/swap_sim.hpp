@@ -1,0 +1,66 @@
+/**
+ * @file
+ * CPU<->GPU swapping baselines for the Figure 15 comparison.
+ *
+ * Both baselines offload every stashed feature map to host memory after
+ * its forward use and bring it back for its backward use over PCIe:
+ *
+ *  - Naive swap: transfers are synchronous — compute blocks until each
+ *    offload/fetch completes (~30% overhead in the paper).
+ *  - vDNN: transfers run on a separate PCIe stream and a prefetcher
+ *    issues fetches in backward-use order, so only uncovered transfer
+ *    time stalls compute (~15% average, up to 27%).
+ *
+ * Gist's overhead, modeled for the same comparison, is the extra memory
+ * traffic of its encode/decode kernels — no PCIe involvement.
+ */
+
+#pragma once
+
+#include "core/gist.hpp"
+#include "perf/gpu_model.hpp"
+
+namespace gist {
+
+/** Outcome of a swap-strategy simulation. */
+struct SwapSimResult
+{
+    double base_seconds = 0.0;   ///< compute-only minibatch time
+    double total_seconds = 0.0;  ///< with the strategy applied
+    std::uint64_t transferred_bytes = 0; ///< one-way offload volume
+
+    double
+    overheadFraction() const
+    {
+        return base_seconds > 0.0
+                   ? (total_seconds - base_seconds) / base_seconds
+                   : 0.0;
+    }
+};
+
+/** Synchronous offload/fetch of all stashed feature maps. */
+SwapSimResult simulateNaiveSwap(Graph &graph,
+                                const GpuModelParams &params);
+
+/** vDNN-style overlapped offload + ordered prefetch. */
+SwapSimResult simulateVdnn(Graph &graph, const GpuModelParams &params);
+
+/**
+ * CDMA-style extension (the paper's reference [42]): vDNN whose DMA
+ * engine compresses sparse feature maps (CSR with narrow indices) on
+ * the way across PCIe, shrinking transfer time for ReLU-derived maps.
+ */
+SwapSimResult simulateVdnnCompressed(Graph &graph,
+                                     const GpuModelParams &params,
+                                     const SparsityModel &sparsity);
+
+/**
+ * Gist's modeled overhead fraction: encode+decode kernels add memory
+ * traffic proportional to the FP32 and encoded sizes of every encoded
+ * stash (they are bandwidth-bound elementwise kernels).
+ */
+double gistOverheadModel(Graph &graph, const GistConfig &config,
+                         const SparsityModel &sparsity,
+                         const GpuModelParams &params);
+
+} // namespace gist

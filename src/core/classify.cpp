@@ -1,0 +1,101 @@
+#include "core/classify.hpp"
+
+#include "util/logging.hpp"
+
+namespace gist {
+
+namespace {
+
+/**
+ * BackwardNeeds of a node with every layer in its baseline (dense) mode,
+ * regardless of any Gist mode already applied. Only ReLU and MaxPool have
+ * switchable modes.
+ */
+BackwardNeeds
+baselineNeeds(const Node &node)
+{
+    switch (node.kind()) {
+      case LayerKind::Relu:
+        return { false, true };
+      case LayerKind::MaxPool:
+        return { true, true };
+      case LayerKind::Input:
+        return { false, false };
+      default:
+        return node.layer->backwardNeeds();
+    }
+}
+
+} // namespace
+
+const char *
+stashCategoryName(StashCategory cat)
+{
+    switch (cat) {
+      case StashCategory::NotStashed: return "NotStashed";
+      case StashCategory::ReluPool: return "ReluPool";
+      case StashCategory::ReluConv: return "ReluConv";
+      case StashCategory::Other: return "Other";
+    }
+    return "?";
+}
+
+std::vector<StashCategory>
+classifyStashes(const Graph &graph)
+{
+    const auto n = static_cast<size_t>(graph.numNodes());
+    std::vector<std::vector<NodeId>> consumers(n);
+    for (const auto &node : graph.nodes())
+        for (NodeId in : node.inputs)
+            consumers[static_cast<size_t>(in)].push_back(node.id);
+
+    std::vector<StashCategory> categories(n, StashCategory::NotStashed);
+    for (const auto &node : graph.nodes()) {
+        const auto idx = static_cast<size_t>(node.id);
+
+        // Baseline stashedness: needed by its own backward or by a
+        // consumer's backward.
+        bool stashed = baselineNeeds(node).output;
+        for (NodeId c : consumers[idx])
+            stashed = stashed || baselineNeeds(graph.node(c)).input;
+        if (!stashed)
+            continue;
+
+        const bool relu = node.kind() == LayerKind::Relu;
+        const bool pool_like = node.kind() == LayerKind::MaxPool ||
+                               node.kind() == LayerKind::AvgPool;
+
+        if (relu && consumers[idx].size() == 1 &&
+            graph.node(consumers[idx][0]).kind() == LayerKind::MaxPool) {
+            categories[idx] = StashCategory::ReluPool;
+            continue;
+        }
+
+        bool feeds_conv = false;
+        for (NodeId c : consumers[idx])
+            feeds_conv =
+                feeds_conv || graph.node(c).kind() == LayerKind::Conv;
+
+        // A pool output is only SSDC-worthy when the pooled values come
+        // from a ReLU (paper: "Pool-Conv layer combinations if the
+        // preceding ReLU layer has high sparsity") — pooling a dense
+        // activation (sigmoid/tanh) yields a dense map.
+        bool relu_sourced = relu;
+        if (pool_like) {
+            NodeId src = node.inputs[0];
+            while (graph.node(src).kind() == LayerKind::MaxPool ||
+                   graph.node(src).kind() == LayerKind::AvgPool)
+                src = graph.node(src).inputs[0];
+            relu_sourced = graph.node(src).kind() == LayerKind::Relu;
+        }
+        if ((relu || (pool_like && relu_sourced)) && feeds_conv) {
+            categories[idx] = StashCategory::ReluConv;
+            continue;
+        }
+
+        categories[idx] = StashCategory::Other;
+    }
+    return categories;
+}
+
+} // namespace gist

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Stash-category classification: the Schedule Builder's pattern matcher
+ * over the execution graph (paper Figure 3's three categories).
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace gist {
+
+/** Which encoding a stashed feature map is eligible for. */
+enum class StashCategory {
+    NotStashed, ///< immediately consumed in the forward pass
+    ReluPool,   ///< ReLU output consumed by a MaxPool: Binarize
+    ReluConv,   ///< ReLU/Pool output feeding a Conv: SSDC
+    Other,      ///< remaining stashed fmaps: DPR
+};
+
+/** Name of a StashCategory ("ReluPool", ...). */
+const char *stashCategoryName(StashCategory cat);
+
+/**
+ * Classify every node's output feature map with the layers in their
+ * *baseline* (dense) modes.
+ *
+ * Rules, mirroring Section III:
+ *  - ReluPool: a ReLU whose only consumer is a MaxPool. ReLU's own
+ *    backward needs just the sign of Y and the pool can switch to the
+ *    argmax map, so 1-bit storage suffices.
+ *  - ReluConv: a ReLU or Pool output with at least one Conv consumer
+ *    (exact values are needed in backward, but they are sparse).
+ *  - Other: any remaining stashed feature map (DPR territory).
+ */
+std::vector<StashCategory> classifyStashes(const Graph &graph);
+
+} // namespace gist

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * GistConfig: which of the paper's optimizations are switched on.
+ *
+ * Table I mapping:
+ *   ReLU->Pool stashes  -> Binarize          (lossless)
+ *   ReLU/Pool->Conv     -> SSDC              (lossless)
+ *   other stashes       -> DPR               (lossy)
+ *   immediately consumed-> inplace ReLU      (lossless)
+ */
+
+#pragma once
+
+#include "encodings/csr.hpp"
+#include "encodings/dpr.hpp"
+
+namespace gist {
+
+/** Enabled Gist optimizations and their parameters. */
+struct GistConfig
+{
+    bool binarize = false;     ///< Binarize on ReLU->Pool pairs
+    bool ssdc = false;         ///< CSR stash on ReLU/Pool->Conv fmaps
+    bool dpr = false;          ///< DPR on remaining stashed fmaps
+    DprFormat dpr_format = DprFormat::Fp16;
+    bool inplace_relu = false; ///< ReLU overwrites its (immediate) input
+    /**
+     * "Optimized software" (Section V-H): the backward computation reads
+     * encoded data directly, so no FP32 decode buffer is materialized.
+     * Affects the memory plan only.
+     */
+    bool elide_decode_buffer = false;
+    /** CSR layout (narrow 1-byte indices by default). */
+    CsrConfig csr{};
+
+    /** No optimizations: the CNTK baseline. */
+    static GistConfig baseline() { return GistConfig{}; }
+
+    /** All lossless optimizations: Binarize + SSDC + inplace. */
+    static GistConfig
+    lossless()
+    {
+        GistConfig cfg;
+        cfg.binarize = true;
+        cfg.ssdc = true;
+        cfg.inplace_relu = true;
+        return cfg;
+    }
+
+    /** Lossless plus DPR at the given width (DPR also packs CSR values). */
+    static GistConfig
+    lossy(DprFormat fmt)
+    {
+        GistConfig cfg = lossless();
+        cfg.dpr = true;
+        cfg.dpr_format = fmt;
+        cfg.csr.value_format = fmt;
+        return cfg;
+    }
+};
+
+} // namespace gist

@@ -1,0 +1,55 @@
+#include "core/dot_export.hpp"
+
+#include <sstream>
+
+namespace gist {
+
+namespace {
+
+const char *
+fillColor(const ScheduleDecision &decision, bool stashed)
+{
+    if (decision.binarized)
+        return "#8dd3c7"; // teal: Binarize
+    switch (decision.repr) {
+      case StashPlan::Repr::Csr:
+        return "#ffffb3"; // yellow: SSDC
+      case StashPlan::Repr::Dpr:
+        return "#fb8072"; // red: DPR
+      case StashPlan::Repr::Dense:
+        break;
+    }
+    return stashed ? "#bebada" /* violet: dense stash */
+                   : "#ffffff" /* white: immediate */;
+}
+
+} // namespace
+
+std::string
+toDot(const Graph &graph, const BuiltSchedule &schedule)
+{
+    const ScheduleInfo sched(graph);
+    std::ostringstream oss;
+    oss << "digraph gist {\n"
+        << "  rankdir=TB;\n"
+        << "  node [shape=box, style=filled, fontname=\"monospace\"];\n"
+        << "  label=\"teal=Binarize yellow=SSDC red=DPR violet=dense "
+           "stash white=immediate; dashed border = inplace\";\n";
+    for (const auto &node : graph.nodes()) {
+        const auto &decision = schedule.of(node.id);
+        oss << "  n" << node.id << " [label=\"" << node.name << "\\n"
+            << layerKindName(node.kind()) << " "
+            << node.out_shape.toString() << "\", fillcolor=\""
+            << fillColor(decision, sched.stashed(node.id)) << "\"";
+        if (decision.inplace)
+            oss << ", style=\"filled,dashed\"";
+        oss << "];\n";
+    }
+    for (const auto &node : graph.nodes())
+        for (NodeId in : node.inputs)
+            oss << "  n" << in << " -> n" << node.id << ";\n";
+    oss << "}\n";
+    return oss.str();
+}
+
+} // namespace gist

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Graphviz export of a Gist-rewritten execution graph: nodes colored by
+ * the Schedule Builder's decision (binarized / CSR / DPR / dense stash /
+ * immediate), edges follow dataflow. Feed the output to `dot -Tsvg`.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "core/schedule_builder.hpp"
+
+namespace gist {
+
+/** Render @p graph with @p schedule's decisions as a DOT digraph. */
+std::string toDot(const Graph &graph, const BuiltSchedule &schedule);
+
+} // namespace gist

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Public umbrella header for the Gist library.
+ *
+ * Typical use:
+ *
+ *   gist::Graph graph = gist::models::vgg16(64);
+ *   auto summary_base = gist::planModel(graph, gist::GistConfig::baseline(),
+ *                                       {});
+ *   auto summary_gist = gist::planModel(
+ *       graph, gist::GistConfig::lossy(gist::DprFormat::Fp16), {});
+ *   double mfr = double(summary_base.pool_static) /
+ *                double(summary_gist.pool_static);
+ *
+ * or, for real training with the encodings live in the loop:
+ *
+ *   gist::Executor exec(graph);
+ *   auto schedule = gist::buildSchedule(graph, config);
+ *   gist::applyToExecutor(schedule, exec);
+ *   exec.runMinibatch(batch, labels);
+ */
+
+#pragma once
+
+#include "core/classify.hpp"
+#include "core/config.hpp"
+#include "core/planner.hpp"
+#include "core/schedule_builder.hpp"
+#include "core/sparsity.hpp"

@@ -1,0 +1,216 @@
+#include "core/planner.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace gist {
+
+namespace {
+
+/** Input shapes of a node (for workspace/aux queries). */
+std::vector<Shape>
+inputShapes(const Graph &graph, const Node &node)
+{
+    std::vector<Shape> shapes;
+    for (NodeId in : node.inputs)
+        shapes.push_back(graph.node(in).out_shape);
+    return shapes;
+}
+
+} // namespace
+
+bool
+inMfrPool(DataClass cls)
+{
+    switch (cls) {
+      case DataClass::StashedFmap:
+      case DataClass::ImmediateFmap:
+      case DataClass::GradientMap:
+      case DataClass::EncodedFmap:
+      case DataClass::DecodeScratch:
+        return true;
+      case DataClass::Weight:
+      case DataClass::WeightGrad:
+      case DataClass::Workspace:
+        return false;
+    }
+    return false;
+}
+
+std::vector<PlannedBuffer>
+planBuffers(const Graph &graph, const BuiltSchedule &schedule,
+            const SparsityModel &sparsity)
+{
+    const ScheduleInfo sched(graph);
+    const int last_step = graph.numSteps() - 1;
+    std::vector<PlannedBuffer> buffers;
+
+    // Which nodes are overwritten inplace by their ReLU consumer; the
+    // merged buffer is emitted at the ReLU with the parent's birth step.
+    std::vector<bool> absorbed(static_cast<size_t>(graph.numNodes()),
+                               false);
+    for (const auto &node : graph.nodes())
+        if (schedule.of(node.id).inplace)
+            absorbed[static_cast<size_t>(node.inputs[0])] = true;
+
+    for (const auto &node : graph.nodes()) {
+        const NodeId id = node.id;
+        const size_t first_buffer = buffers.size();
+        const auto &decision = schedule.of(id);
+        const std::uint64_t fp32_bytes =
+            static_cast<std::uint64_t>(node.out_shape.numel()) * 4;
+
+        // ---- The output feature map ----
+        if (!absorbed[static_cast<size_t>(id)]) {
+            int birth = graph.fwdStep(id);
+            if (decision.inplace)
+                birth = graph.fwdStep(node.inputs[0]);
+
+            if (!sched.stashed(id)) {
+                buffers.push_back({ node.name + ":fmap",
+                                    DataClass::ImmediateFmap, fp32_bytes,
+                                    { birth, sched.lastFwdRead(id) },
+                                    true });
+            } else if (decision.repr == StashPlan::Repr::Dense) {
+                buffers.push_back({ node.name + ":fmap",
+                                    DataClass::StashedFmap, fp32_bytes,
+                                    { birth, sched.lastBwdRead(id) },
+                                    true });
+            } else {
+                // Encoded stash: the FP32 copy becomes immediately
+                // consumed, the encoded form bridges the temporal gap,
+                // and (unless elided) a decode buffer serves the
+                // backward reads — paper Figure 2.
+                const int last_fwd = sched.lastFwdRead(id);
+                const int first_bwd = sched.firstBwdRead(id);
+                const int last_bwd = sched.lastBwdRead(id);
+                buffers.push_back({ node.name + ":fmap",
+                                    DataClass::ImmediateFmap, fp32_bytes,
+                                    { birth, last_fwd }, true });
+                std::uint64_t enc_bytes = 0;
+                if (decision.repr == StashPlan::Repr::Csr) {
+                    enc_bytes = csrBytesForSparsity(
+                        schedule.config.csr, node.out_shape.numel(),
+                        sparsity.at(graph, id));
+                } else {
+                    enc_bytes = dprEncodedBytes(schedule.config.dpr_format,
+                                                node.out_shape.numel());
+                }
+                buffers.push_back({ node.name + ":enc",
+                                    DataClass::EncodedFmap, enc_bytes,
+                                    { last_fwd, first_bwd }, true });
+                if (!schedule.config.elide_decode_buffer) {
+                    buffers.push_back({ node.name + ":dec",
+                                        DataClass::DecodeScratch,
+                                        fp32_bytes,
+                                        { first_bwd, last_bwd }, true });
+                }
+            }
+        }
+
+        if (node.kind() == LayerKind::Input) {
+            for (size_t b = first_buffer; b < buffers.size(); ++b)
+                buffers[b].origin_node = id;
+            continue;
+        }
+
+        // ---- The gradient map of this node's output ----
+        // Written by the backward passes of this node's consumers
+        // (earliest first), consumed by this node's own backward step.
+        const auto &consumers = sched.consumers(id);
+        if (!consumers.empty()) {
+            int first_writer = graph.bwdStep(id);
+            for (NodeId c : consumers)
+                first_writer = std::min(first_writer, graph.bwdStep(c));
+            buffers.push_back({ node.name + ":grad",
+                                DataClass::GradientMap, fp32_bytes,
+                                { first_writer, graph.bwdStep(id) },
+                                true });
+        }
+
+        const auto in_shapes = inputShapes(graph, node);
+
+        // ---- Layer-internal aux stash ----
+        const std::uint64_t aux =
+            node.layer->auxStashBytes(in_shapes);
+        if (aux > 0) {
+            const bool gist_aux = decision.binarized;
+            buffers.push_back({ node.name + ":aux",
+                                gist_aux ? DataClass::EncodedFmap
+                                         : DataClass::StashedFmap,
+                                aux,
+                                { graph.fwdStep(id), graph.bwdStep(id) },
+                                true });
+        }
+
+        // ---- Workspace (forward and backward invocations) ----
+        const std::uint64_t ws = node.layer->workspaceBytes(in_shapes);
+        if (ws > 0) {
+            buffers.push_back({ node.name + ":ws_f", DataClass::Workspace,
+                                ws,
+                                { graph.fwdStep(id), graph.fwdStep(id) },
+                                true });
+            buffers.push_back({ node.name + ":ws_b", DataClass::Workspace,
+                                ws,
+                                { graph.bwdStep(id), graph.bwdStep(id) },
+                                true });
+        }
+
+        // ---- Parameters ----
+        std::uint64_t param_bytes = 0;
+        for (Tensor *p : node.layer->params())
+            param_bytes += static_cast<std::uint64_t>(p->numel()) * 4;
+        if (param_bytes > 0) {
+            buffers.push_back({ node.name + ":w", DataClass::Weight,
+                                param_bytes, { 0, last_step }, false });
+            buffers.push_back({ node.name + ":dw", DataClass::WeightGrad,
+                                param_bytes, { 0, last_step }, false });
+        }
+
+        for (size_t b = first_buffer; b < buffers.size(); ++b)
+            buffers[b].origin_node = id;
+    }
+    return buffers;
+}
+
+PlanSummary
+summarize(const std::vector<PlannedBuffer> &buffers, bool investigation)
+{
+    PlanSummary summary;
+    summary.raw = bytesByClass(buffers);
+    summary.weights = summary.raw[DataClass::Weight];
+    summary.weight_grads = summary.raw[DataClass::WeightGrad];
+    // Workspace is shared across layers (disjoint single-step lifetimes),
+    // so its contribution is the maximum, not the sum.
+    for (const auto &buf : buffers)
+        if (buf.cls == DataClass::Workspace)
+            summary.workspace = std::max(summary.workspace, buf.bytes);
+
+    std::vector<PlannedBuffer> pool;
+    for (const auto &buf : buffers) {
+        if (!inMfrPool(buf.cls))
+            continue;
+        PlannedBuffer copy = buf;
+        if (investigation && (buf.cls == DataClass::StashedFmap ||
+                              buf.cls == DataClass::EncodedFmap)) {
+            copy.shareable = false;
+        }
+        pool.push_back(std::move(copy));
+        summary.pool_raw += buf.bytes;
+    }
+    summary.pool_static = allocateCntkStyle(pool).total_bytes;
+    summary.pool_dynamic = dynamicPeak(pool);
+    return summary;
+}
+
+PlanSummary
+planModel(Graph &graph, const GistConfig &config,
+          const SparsityModel &sparsity, bool investigation)
+{
+    const BuiltSchedule schedule = buildSchedule(graph, config);
+    const auto buffers = planBuffers(graph, schedule, sparsity);
+    return summarize(buffers, investigation);
+}
+
+} // namespace gist

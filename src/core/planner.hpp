@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The memory planner: turns a (Schedule-Builder-rewritten) graph into
+ * planned buffers with lifetimes, runs the allocator policies over them,
+ * and reports footprints / Memory Footprint Ratios.
+ *
+ * This is the analytical path used for the paper's full-scale networks:
+ * footprints depend only on shapes, lifetimes and the allocator, so no
+ * tensor data is ever materialized.
+ */
+
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/schedule_builder.hpp"
+#include "core/sparsity.hpp"
+#include "memory/allocator.hpp"
+#include "memory/report.hpp"
+
+namespace gist {
+
+/** Enumerate all planned buffers for @p graph under @p schedule. */
+std::vector<PlannedBuffer> planBuffers(const Graph &graph,
+                                       const BuiltSchedule &schedule,
+                                       const SparsityModel &sparsity);
+
+/** The classes that participate in the paper's MFR pool (weights,
+ *  weight gradients and workspace are excluded, Section V-A). */
+bool inMfrPool(DataClass cls);
+
+/** Footprint summary of one configuration. */
+struct PlanSummary
+{
+    /** Raw per-class byte totals (before any sharing). */
+    std::map<DataClass, std::uint64_t> raw;
+    /** MFR-pool footprint under CNTK-style static sharing. */
+    std::uint64_t pool_static = 0;
+    /** MFR-pool footprint under simulated dynamic allocation. */
+    std::uint64_t pool_dynamic = 0;
+    /** MFR-pool bytes with no sharing at all. */
+    std::uint64_t pool_raw = 0;
+    /** Raw bytes outside the pool (weights, grads, workspace). */
+    std::uint64_t weights = 0;
+    std::uint64_t weight_grads = 0;
+    std::uint64_t workspace = 0;
+};
+
+/**
+ * Summarize @p buffers.
+ * @param investigation forbid sharing for stashed/encoded fmaps (the
+ *        paper's investigation baseline).
+ */
+PlanSummary summarize(const std::vector<PlannedBuffer> &buffers,
+                      bool investigation);
+
+/**
+ * Convenience: configure @p graph with @p config, plan, and summarize.
+ * Mutates the graph's layer modes (call again to re-plan another config).
+ */
+PlanSummary planModel(Graph &graph, const GistConfig &config,
+                      const SparsityModel &sparsity,
+                      bool investigation = false);
+
+} // namespace gist

@@ -1,0 +1,127 @@
+#include "core/schedule_builder.hpp"
+
+#include "layers/pool.hpp"
+#include "layers/relu.hpp"
+#include "util/logging.hpp"
+
+namespace gist {
+
+BuiltSchedule
+buildSchedule(Graph &graph, const GistConfig &config)
+{
+    BuiltSchedule built;
+    built.config = config;
+    built.decisions.assign(static_cast<size_t>(graph.numNodes()), {});
+
+    const auto categories = classifyStashes(graph);
+    for (size_t i = 0; i < categories.size(); ++i)
+        built.decisions[i].category = categories[i];
+
+    // Reset every switchable layer to its baseline mode first so a
+    // schedule can be rebuilt with a different config.
+    for (auto &node : graph.nodes()) {
+        if (auto *relu = dynamic_cast<ReluLayer *>(
+                const_cast<Layer *>(node.layer.get()))) {
+            relu->setStashMode(ReluLayer::StashMode::Dense);
+        } else if (auto *pool = dynamic_cast<MaxPoolLayer *>(
+                       const_cast<Layer *>(node.layer.get()))) {
+            pool->setStashMode(MaxPoolLayer::StashMode::Dense);
+        }
+    }
+
+    // Binarize: flip ReLU->Pool pairs into mask/argmax-map modes. After
+    // the flip neither the ReLU output nor the pool input/output is
+    // needed in the backward pass.
+    if (config.binarize) {
+        for (auto &node : graph.nodes()) {
+            const auto idx = static_cast<size_t>(node.id);
+            if (built.decisions[idx].category != StashCategory::ReluPool)
+                continue;
+            auto *relu = dynamic_cast<ReluLayer *>(node.layer.get());
+            GIST_ASSERT(relu, "ReluPool category on a non-ReLU node");
+            relu->setStashMode(ReluLayer::StashMode::Mask);
+            built.decisions[idx].binarized = true;
+            // The single consumer is the MaxPool (classification rule).
+            for (auto &consumer : graph.nodes()) {
+                if (consumer.inputs.size() == 1 &&
+                    consumer.inputs[0] == node.id &&
+                    consumer.kind() == LayerKind::MaxPool) {
+                    auto *pool = dynamic_cast<MaxPoolLayer *>(
+                        consumer.layer.get());
+                    pool->setStashMode(MaxPoolLayer::StashMode::IndexMap);
+                    built.decisions[static_cast<size_t>(consumer.id)]
+                        .binarized = true;
+                }
+            }
+        }
+    }
+
+    // Stashedness with the new modes decides the storage representation.
+    const ScheduleInfo sched(graph);
+    for (auto &node : graph.nodes()) {
+        const auto idx = static_cast<size_t>(node.id);
+        auto &decision = built.decisions[idx];
+        if (!sched.stashed(node.id)) {
+            decision.repr = StashPlan::Repr::Dense;
+        } else if (config.ssdc &&
+                   decision.category == StashCategory::ReluConv) {
+            decision.repr = StashPlan::Repr::Csr;
+        } else if (config.dpr) {
+            decision.repr = StashPlan::Repr::Dpr;
+        } else {
+            decision.repr = StashPlan::Repr::Dense;
+        }
+    }
+
+    // Inplace ReLU: the output may overwrite its producer's buffer when
+    // the producer's map is immediately consumed and feeds only this ReLU.
+    if (config.inplace_relu) {
+        std::vector<int> consumer_count(
+            static_cast<size_t>(graph.numNodes()), 0);
+        for (const auto &node : graph.nodes())
+            for (NodeId in : node.inputs)
+                ++consumer_count[static_cast<size_t>(in)];
+        for (const auto &node : graph.nodes()) {
+            if (node.kind() != LayerKind::Relu)
+                continue;
+            const NodeId parent = node.inputs[0];
+            if (graph.node(parent).kind() == LayerKind::Input)
+                continue;
+            if (consumer_count[static_cast<size_t>(parent)] != 1)
+                continue;
+            if (sched.stashed(parent))
+                continue;
+            built.decisions[static_cast<size_t>(node.id)].inplace = true;
+        }
+    }
+
+    return built;
+}
+
+void
+applyToExecutor(const BuiltSchedule &schedule, Executor &exec)
+{
+    const auto &graph = exec.graph();
+    for (const auto &node : graph.nodes()) {
+        const auto &decision = schedule.of(node.id);
+        StashPlan plan;
+        switch (decision.repr) {
+          case StashPlan::Repr::Dense:
+            plan.repr = StashPlan::Repr::Dense;
+            break;
+          case StashPlan::Repr::Csr:
+            plan.repr = StashPlan::Repr::Csr;
+            plan.csr = schedule.config.csr;
+            break;
+          case StashPlan::Repr::Dpr:
+            plan.repr = StashPlan::Repr::Dpr;
+            plan.dpr = schedule.config.dpr_format;
+            break;
+        }
+        exec.setStashPlan(node.id, plan);
+    }
+    exec.setElideDecode(schedule.config.elide_decode_buffer);
+    exec.refreshSchedule();
+}
+
+} // namespace gist

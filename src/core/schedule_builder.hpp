@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Gist's Schedule Builder (paper Section IV-B).
+ *
+ * Given an execution graph and a GistConfig it
+ *  1. pattern-matches the stash categories (classify.hpp),
+ *  2. rewrites the execution: flips ReLU layers into sign-mask mode and
+ *     MaxPool layers into argmax-map mode for Binarize pairs, and assigns
+ *     CSR/DPR StashPlans (the runtime encode/decode functions) to the
+ *     remaining stashed feature maps,
+ *  3. produces the per-buffer liveness the memory allocator consumes
+ *     (planner.hpp drives step 3).
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "core/classify.hpp"
+#include "core/config.hpp"
+#include "graph/executor.hpp"
+
+namespace gist {
+
+/** What the Schedule Builder decided for each node's output. */
+struct ScheduleDecision
+{
+    StashCategory category = StashCategory::NotStashed;
+    StashPlan::Repr repr = StashPlan::Repr::Dense;
+    bool binarized = false;    ///< ReLU mask + pool map applied
+    bool inplace = false;      ///< output aliases its producer's buffer
+};
+
+/** The rewritten schedule: per-node decisions plus the config used. */
+struct BuiltSchedule
+{
+    GistConfig config;
+    std::vector<ScheduleDecision> decisions;
+
+    const ScheduleDecision &
+    of(NodeId id) const
+    {
+        return decisions[static_cast<size_t>(id)];
+    }
+};
+
+/**
+ * Apply @p config to @p graph: set layer modes (mutates ReLU/MaxPool
+ * layers) and compute per-node decisions. Call with the graph in
+ * baseline mode or any previous mode; modes are (re)set absolutely.
+ */
+BuiltSchedule buildSchedule(Graph &graph, const GistConfig &config);
+
+/**
+ * Install the runtime side of @p schedule on an executor: StashPlans for
+ * CSR/DPR nodes (layer modes were already set by buildSchedule).
+ */
+void applyToExecutor(const BuiltSchedule &schedule, Executor &exec);
+
+} // namespace gist

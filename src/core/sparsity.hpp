@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Sparsity assumptions the memory planner feeds into the SSDC size model.
+ * SSDC's compression is data-dependent (paper Section V-E); planning-time
+ * footprints therefore parameterize per-node sparsity, either as defaults
+ * motivated by the paper's measurements (ReLU outputs frequently exceed
+ * 80% zeros on VGG16; pooled maps are denser because max-pooling keeps
+ * the largest window value) or as values measured from a training run.
+ */
+
+#pragma once
+
+#include <map>
+
+#include "graph/graph.hpp"
+
+namespace gist {
+
+/** Per-node sparsity (fraction of zero elements) assumptions. */
+class SparsityModel
+{
+  public:
+    /** Defaults: ReLU outputs 70% zeros, pooled outputs 40%. */
+    SparsityModel() = default;
+
+    SparsityModel(double relu, double pool)
+        : relu_default(relu), pool_default(pool)
+    {
+    }
+
+    /** Override the sparsity of one node's output (e.g. measured). */
+    void set(NodeId id, double sparsity) { overrides[id] = sparsity; }
+
+    /** Sparsity of node @p id's output in @p graph. */
+    double
+    at(const Graph &graph, NodeId id) const
+    {
+        if (auto it = overrides.find(id); it != overrides.end())
+            return it->second;
+        switch (graph.node(id).kind()) {
+          case LayerKind::Relu:
+            return relu_default;
+          case LayerKind::MaxPool:
+          case LayerKind::AvgPool:
+            return pool_default;
+          default:
+            return 0.0;
+        }
+    }
+
+  private:
+    double relu_default = 0.70;
+    double pool_default = 0.40;
+    std::map<NodeId, double> overrides;
+};
+
+} // namespace gist

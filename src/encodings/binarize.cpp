@@ -1,0 +1,72 @@
+#include "encodings/binarize.hpp"
+
+#include "util/bits.hpp"
+#include "util/logging.hpp"
+
+namespace gist {
+
+std::uint64_t
+binarizeBytes(std::int64_t numel)
+{
+    return bytesForBits(static_cast<std::uint64_t>(numel));
+}
+
+void
+BinarizedMask::encode(std::span<const float> values)
+{
+    numel_ = static_cast<std::int64_t>(values.size());
+    bits.assign(static_cast<size_t>(binarizeBytes(numel_)), 0);
+    for (size_t i = 0; i < values.size(); ++i) {
+        if (values[i] > 0.0f)
+            bits[i >> 3] |= static_cast<std::uint8_t>(1u << (i & 7));
+    }
+}
+
+void
+BinarizedMask::resize(std::int64_t numel)
+{
+    numel_ = numel;
+    bits.assign(static_cast<size_t>(binarizeBytes(numel)), 0);
+}
+
+void
+BinarizedMask::set(std::int64_t i, bool value)
+{
+    GIST_ASSERT(i >= 0 && i < numel_, "mask index out of range");
+    const auto idx = static_cast<size_t>(i);
+    if (value)
+        bits[idx >> 3] |= static_cast<std::uint8_t>(1u << (idx & 7));
+    else
+        bits[idx >> 3] &= static_cast<std::uint8_t>(~(1u << (idx & 7)));
+}
+
+bool
+BinarizedMask::positive(std::int64_t i) const
+{
+    GIST_ASSERT(i >= 0 && i < numel_, "mask index out of range");
+    const auto idx = static_cast<size_t>(i);
+    return (bits[idx >> 3] >> (idx & 7)) & 1;
+}
+
+void
+BinarizedMask::reluBackward(std::span<const float> dy,
+                            std::span<float> dx) const
+{
+    GIST_ASSERT(static_cast<std::int64_t>(dy.size()) == numel_ &&
+                    dy.size() == dx.size(),
+                "relu backward size mismatch");
+    for (size_t i = 0; i < dy.size(); ++i) {
+        const bool pos = (bits[i >> 3] >> (i & 7)) & 1;
+        dx[i] = pos ? dy[i] : 0.0f;
+    }
+}
+
+void
+BinarizedMask::clear()
+{
+    bits.clear();
+    bits.shrink_to_fit();
+    numel_ = 0;
+}
+
+} // namespace gist

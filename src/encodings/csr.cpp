@@ -1,0 +1,215 @@
+#include "encodings/csr.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/bits.hpp"
+#include "util/logging.hpp"
+
+namespace gist {
+
+namespace {
+
+void
+checkConfig(const CsrConfig &cfg)
+{
+    GIST_ASSERT(cfg.row_width > 0, "row width must be positive");
+    GIST_ASSERT(cfg.index_bytes == 1 || cfg.index_bytes == 2 ||
+                    cfg.index_bytes == 4,
+                "index bytes must be 1, 2 or 4");
+    const std::int64_t max_width = std::int64_t{1}
+                                   << (8 * cfg.index_bytes);
+    GIST_ASSERT(cfg.row_width <= max_width, "row width ", cfg.row_width,
+                " does not fit in ", cfg.index_bytes, "-byte indices");
+}
+
+std::uint64_t
+csrBytes(const CsrConfig &cfg, std::int64_t numel, std::int64_t nnz)
+{
+    const std::uint64_t rows = ceilDiv<std::uint64_t>(
+        static_cast<std::uint64_t>(numel),
+        static_cast<std::uint64_t>(cfg.row_width));
+    const std::uint64_t value_bytes =
+        (cfg.value_format == DprFormat::Fp32)
+            ? static_cast<std::uint64_t>(nnz) * 4
+            : dprEncodedBytes(cfg.value_format, nnz);
+    return value_bytes +
+           static_cast<std::uint64_t>(nnz) *
+               static_cast<std::uint64_t>(cfg.index_bytes) +
+           (rows + 1) * 4;
+}
+
+} // namespace
+
+std::uint64_t
+csrBytesForSparsity(const CsrConfig &cfg, std::int64_t numel,
+                    double sparsity)
+{
+    checkConfig(cfg);
+    GIST_ASSERT(sparsity >= 0.0 && sparsity <= 1.0, "sparsity ", sparsity,
+                " out of [0,1]");
+    const auto nnz = static_cast<std::int64_t>(
+        std::llround(static_cast<double>(numel) * (1.0 - sparsity)));
+    return csrBytes(cfg, numel, nnz);
+}
+
+double
+csrBreakEvenSparsity(const CsrConfig &cfg)
+{
+    // Dense cost is 4 bytes/element; CSR costs (value + index) bytes per
+    // nonzero (row pointers amortize to ~0 for wide rows). Equal when
+    // (1 - sparsity) * (value_bytes + index_bytes) == 4.
+    const double value_bytes =
+        (cfg.value_format == DprFormat::Fp32)
+            ? 4.0
+            : dprBitsPerValue(cfg.value_format) / 8.0;
+    return 1.0 - 4.0 / (value_bytes + cfg.index_bytes);
+}
+
+void
+CsrBuffer::encode(std::span<const float> values)
+{
+    checkConfig(config);
+    numel_ = static_cast<std::int64_t>(values.size());
+    const std::int64_t rows = ceilDiv<std::int64_t>(numel_,
+                                                    config.row_width);
+    row_ptr.assign(static_cast<size_t>(rows + 1), 0);
+    col_idx.clear();
+    values_f32.clear();
+    values_dpr.clear();
+
+    std::vector<float> nz;
+    nz.reserve(values.size() / 4);
+    std::int64_t count = 0;
+    for (std::int64_t r = 0; r < rows; ++r) {
+        const std::int64_t begin = r * config.row_width;
+        const std::int64_t end = std::min(numel_, begin + config.row_width);
+        for (std::int64_t i = begin; i < end; ++i) {
+            const float v = values[static_cast<size_t>(i)];
+            if (v == 0.0f)
+                continue;
+            const auto col = static_cast<std::uint32_t>(i - begin);
+            for (int b = 0; b < config.index_bytes; ++b)
+                col_idx.push_back(
+                    static_cast<std::uint8_t>(col >> (8 * b)));
+            nz.push_back(v);
+            ++count;
+        }
+        row_ptr[static_cast<size_t>(r + 1)] =
+            static_cast<std::uint32_t>(count);
+    }
+    nnz_ = count;
+
+    if (config.value_format == DprFormat::Fp32)
+        values_f32 = std::move(nz);
+    else
+        values_dpr.encode(config.value_format, nz);
+}
+
+void
+CsrBuffer::decode(std::span<float> out) const
+{
+    GIST_ASSERT(static_cast<std::int64_t>(out.size()) == numel_,
+                "decode target has ", out.size(), " elements, encoded ",
+                numel_);
+    std::memset(out.data(), 0, out.size() * sizeof(float));
+
+    std::vector<float> nz;
+    const float *vals = nullptr;
+    if (config.value_format == DprFormat::Fp32) {
+        vals = values_f32.data();
+    } else {
+        nz.resize(static_cast<size_t>(nnz_));
+        values_dpr.decode(nz);
+        vals = nz.data();
+    }
+
+    const std::int64_t rows =
+        static_cast<std::int64_t>(row_ptr.size()) - 1;
+    for (std::int64_t r = 0; r < rows; ++r) {
+        const std::uint32_t begin = row_ptr[static_cast<size_t>(r)];
+        const std::uint32_t end = row_ptr[static_cast<size_t>(r + 1)];
+        for (std::uint32_t k = begin; k < end; ++k) {
+            std::uint32_t col = 0;
+            for (int b = 0; b < config.index_bytes; ++b)
+                col |= static_cast<std::uint32_t>(
+                           col_idx[static_cast<size_t>(k) *
+                                       static_cast<size_t>(
+                                           config.index_bytes) +
+                                   static_cast<size_t>(b)])
+                       << (8 * b);
+            out[static_cast<size_t>(r * config.row_width + col)] = vals[k];
+        }
+    }
+}
+
+void
+CsrBuffer::decodeRange(std::int64_t offset, std::span<float> out) const
+{
+    const auto len = static_cast<std::int64_t>(out.size());
+    GIST_ASSERT(offset >= 0 && offset + len <= numel_, "decode range [",
+                offset, ", ", offset + len, ") exceeds ", numel_,
+                " encoded values");
+    std::memset(out.data(), 0, out.size() * sizeof(float));
+    if (len == 0)
+        return;
+
+    const std::int64_t first_row = offset / config.row_width;
+    const std::int64_t last_row = (offset + len - 1) / config.row_width;
+    for (std::int64_t r = first_row; r <= last_row; ++r) {
+        const std::uint32_t begin = row_ptr[static_cast<size_t>(r)];
+        const std::uint32_t end = row_ptr[static_cast<size_t>(r + 1)];
+        for (std::uint32_t k = begin; k < end; ++k) {
+            std::uint32_t col = 0;
+            for (int b = 0; b < config.index_bytes; ++b)
+                col |= static_cast<std::uint32_t>(
+                           col_idx[static_cast<size_t>(k) *
+                                       static_cast<size_t>(
+                                           config.index_bytes) +
+                                   static_cast<size_t>(b)])
+                       << (8 * b);
+            const std::int64_t flat = r * config.row_width + col;
+            if (flat < offset || flat >= offset + len)
+                continue;
+            float value;
+            if (config.value_format == DprFormat::Fp32) {
+                value = values_f32[k];
+            } else {
+                values_dpr.decodeRange(static_cast<std::int64_t>(k),
+                                       { &value, 1 });
+            }
+            out[static_cast<size_t>(flat - offset)] = value;
+        }
+    }
+}
+
+std::uint64_t
+CsrBuffer::bytes() const
+{
+    return csrBytes(config, numel_, nnz_);
+}
+
+double
+CsrBuffer::compressionRatio() const
+{
+    if (numel_ == 0)
+        return 1.0;
+    return static_cast<double>(numel_) * 4.0 /
+           static_cast<double>(bytes());
+}
+
+void
+CsrBuffer::clear()
+{
+    row_ptr.clear();
+    row_ptr.shrink_to_fit();
+    col_idx.clear();
+    col_idx.shrink_to_fit();
+    values_f32.clear();
+    values_f32.shrink_to_fit();
+    values_dpr.clear();
+    numel_ = 0;
+    nnz_ = 0;
+}
+
+} // namespace gist

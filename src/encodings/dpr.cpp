@@ -1,0 +1,167 @@
+#include "encodings/dpr.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "util/bits.hpp"
+#include "util/logging.hpp"
+
+namespace gist {
+
+int
+dprValuesPerWord(DprFormat fmt)
+{
+    switch (fmt) {
+      case DprFormat::Fp32: return 1;
+      case DprFormat::Fp16: return 2;
+      case DprFormat::Fp10: return 3;
+      case DprFormat::Fp8: return 4;
+    }
+    GIST_PANIC("bad DprFormat");
+}
+
+int
+dprBitsPerValue(DprFormat fmt)
+{
+    switch (fmt) {
+      case DprFormat::Fp32: return 32;
+      case DprFormat::Fp16: return 16;
+      case DprFormat::Fp10: return 10;
+      case DprFormat::Fp8: return 8;
+    }
+    GIST_PANIC("bad DprFormat");
+}
+
+const SmallFloatFormat &
+dprSmallFloat(DprFormat fmt)
+{
+    switch (fmt) {
+      case DprFormat::Fp16: return kFp16;
+      case DprFormat::Fp10: return kFp10;
+      case DprFormat::Fp8: return kFp8;
+      case DprFormat::Fp32: break;
+    }
+    GIST_PANIC("Fp32 has no small-float layout");
+}
+
+const char *
+dprFormatName(DprFormat fmt)
+{
+    switch (fmt) {
+      case DprFormat::Fp32: return "FP32";
+      case DprFormat::Fp16: return "FP16";
+      case DprFormat::Fp10: return "FP10";
+      case DprFormat::Fp8: return "FP8";
+    }
+    return "?";
+}
+
+std::uint64_t
+dprEncodedBytes(DprFormat fmt, std::int64_t numel)
+{
+    const auto per_word =
+        static_cast<std::uint64_t>(dprValuesPerWord(fmt));
+    return ceilDiv<std::uint64_t>(static_cast<std::uint64_t>(numel),
+                                  per_word) * 4;
+}
+
+void
+DprBuffer::encode(DprFormat fmt, std::span<const float> values)
+{
+    format_ = fmt;
+    numel_ = static_cast<std::int64_t>(values.size());
+    const int per_word = dprValuesPerWord(fmt);
+    const int bits = dprBitsPerValue(fmt);
+    words.assign(ceilDiv<size_t>(values.size(),
+                                 static_cast<size_t>(per_word)), 0);
+
+    if (fmt == DprFormat::Fp32) {
+        std::memcpy(words.data(), values.data(),
+                    values.size() * sizeof(float));
+        return;
+    }
+
+    const SmallFloatFormat &sf = dprSmallFloat(fmt);
+    for (size_t i = 0; i < values.size(); ++i) {
+        const std::uint32_t enc = encodeSmallFloat(sf, values[i]);
+        const size_t word = i / static_cast<size_t>(per_word);
+        const unsigned lane =
+            static_cast<unsigned>(i % static_cast<size_t>(per_word));
+        words[word] |= enc << (lane * static_cast<unsigned>(bits));
+    }
+}
+
+void
+DprBuffer::decode(std::span<float> out) const
+{
+    GIST_ASSERT(static_cast<std::int64_t>(out.size()) == numel_,
+                "decode target has ", out.size(), " elements, encoded ",
+                numel_);
+    if (format_ == DprFormat::Fp32) {
+        std::memcpy(out.data(), words.data(), out.size() * sizeof(float));
+        return;
+    }
+    const int per_word = dprValuesPerWord(format_);
+    const int bits = dprBitsPerValue(format_);
+    const std::uint32_t mask = (bits >= 32) ? ~0u : ((1u << bits) - 1);
+    const SmallFloatFormat &sf = dprSmallFloat(format_);
+    for (size_t i = 0; i < out.size(); ++i) {
+        const size_t word = i / static_cast<size_t>(per_word);
+        const unsigned lane =
+            static_cast<unsigned>(i % static_cast<size_t>(per_word));
+        const std::uint32_t enc =
+            (words[word] >> (lane * static_cast<unsigned>(bits))) & mask;
+        out[i] = decodeSmallFloat(sf, enc);
+    }
+}
+
+void
+DprBuffer::decodeRange(std::int64_t offset, std::span<float> out) const
+{
+    GIST_ASSERT(offset >= 0 &&
+                    offset + static_cast<std::int64_t>(out.size()) <=
+                        numel_,
+                "decode range [", offset, ", ",
+                offset + static_cast<std::int64_t>(out.size()),
+                ") exceeds ", numel_, " encoded values");
+    if (format_ == DprFormat::Fp32) {
+        std::memcpy(out.data(),
+                    reinterpret_cast<const float *>(words.data()) +
+                        offset,
+                    out.size() * sizeof(float));
+        return;
+    }
+    const int per_word = dprValuesPerWord(format_);
+    const int bits = dprBitsPerValue(format_);
+    const std::uint32_t mask = (bits >= 32) ? ~0u : ((1u << bits) - 1);
+    const SmallFloatFormat &sf = dprSmallFloat(format_);
+    for (size_t i = 0; i < out.size(); ++i) {
+        const auto flat = static_cast<size_t>(offset) + i;
+        const size_t word = flat / static_cast<size_t>(per_word);
+        const unsigned lane =
+            static_cast<unsigned>(flat % static_cast<size_t>(per_word));
+        const std::uint32_t enc =
+            (words[word] >> (lane * static_cast<unsigned>(bits))) & mask;
+        out[i] = decodeSmallFloat(sf, enc);
+    }
+}
+
+void
+DprBuffer::clear()
+{
+    words.clear();
+    words.shrink_to_fit();
+    numel_ = 0;
+}
+
+void
+dprQuantizeInPlace(DprFormat fmt, std::span<float> values)
+{
+    if (fmt == DprFormat::Fp32)
+        return;
+    const SmallFloatFormat &sf = dprSmallFloat(fmt);
+    for (auto &v : values)
+        v = quantizeSmallFloat(sf, v);
+}
+
+} // namespace gist

@@ -1,0 +1,76 @@
+#include "encodings/pool_index_map.hpp"
+
+#include "util/bits.hpp"
+#include "util/logging.hpp"
+
+namespace gist {
+
+int
+poolIndexBits(std::int64_t kernel_h, std::int64_t kernel_w)
+{
+    const std::int64_t window = kernel_h * kernel_w;
+    GIST_ASSERT(window >= 1 && window <= 256, "unsupported pool window ",
+                kernel_h, "x", kernel_w);
+    return window <= 16 ? 4 : 8;
+}
+
+std::uint64_t
+poolIndexMapBytes(std::int64_t numel, std::int64_t kernel_h,
+                  std::int64_t kernel_w)
+{
+    const auto bits = static_cast<std::uint64_t>(
+        poolIndexBits(kernel_h, kernel_w));
+    return bytesForBits(static_cast<std::uint64_t>(numel) * bits);
+}
+
+void
+PoolIndexMap::configure(std::int64_t numel, std::int64_t kernel_h,
+                        std::int64_t kernel_w)
+{
+    numel_ = numel;
+    bits_per_entry = poolIndexBits(kernel_h, kernel_w);
+    packed.assign(
+        static_cast<size_t>(poolIndexMapBytes(numel, kernel_h, kernel_w)),
+        0);
+}
+
+void
+PoolIndexMap::set(std::int64_t i, std::int64_t pos)
+{
+    GIST_ASSERT(i >= 0 && i < numel_, "pool map index out of range");
+    GIST_ASSERT(pos >= 0 && pos < (1 << bits_per_entry),
+                "window position ", pos, " exceeds ", bits_per_entry,
+                " bits");
+    if (bits_per_entry == 8) {
+        packed[static_cast<size_t>(i)] = static_cast<std::uint8_t>(pos);
+        return;
+    }
+    const auto idx = static_cast<size_t>(i >> 1);
+    if (i & 1) {
+        packed[idx] = static_cast<std::uint8_t>(
+            (packed[idx] & 0x0f) | (static_cast<unsigned>(pos) << 4));
+    } else {
+        packed[idx] = static_cast<std::uint8_t>(
+            (packed[idx] & 0xf0) | static_cast<unsigned>(pos));
+    }
+}
+
+std::int64_t
+PoolIndexMap::get(std::int64_t i) const
+{
+    GIST_ASSERT(i >= 0 && i < numel_, "pool map index out of range");
+    if (bits_per_entry == 8)
+        return packed[static_cast<size_t>(i)];
+    const std::uint8_t byte = packed[static_cast<size_t>(i >> 1)];
+    return (i & 1) ? (byte >> 4) : (byte & 0x0f);
+}
+
+void
+PoolIndexMap::clear()
+{
+    packed.clear();
+    packed.shrink_to_fit();
+    numel_ = 0;
+}
+
+} // namespace gist

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reduced-precision floating-point codecs for Delayed Precision Reduction.
+ *
+ * The paper's three storage formats (Section IV-A, "Lossy Encoding"):
+ *   FP16: 1 sign, 5 exponent, 10 mantissa (IEEE half precision)
+ *   FP10: 1 sign, 5 exponent,  4 mantissa
+ *   FP8 : 1 sign, 4 exponent,  3 mantissa
+ *
+ * Conversion semantics follow the paper: round-to-nearest(-even), clamp to
+ * the format's max/min finite value when the FP32 value is out of range,
+ * and denormalized numbers are ignored (flushed to zero). The all-ones
+ * exponent field is reserved (IEEE-style), so FP16 matches IEEE half
+ * exactly for normal values.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace gist {
+
+/** Bit layout of a small floating-point storage format. */
+struct SmallFloatFormat
+{
+    unsigned exp_bits;
+    unsigned man_bits;
+
+    constexpr unsigned totalBits() const { return 1 + exp_bits + man_bits; }
+    constexpr int bias() const { return (1 << (exp_bits - 1)) - 1; }
+    /** Largest usable (biased) exponent field; all-ones is reserved. */
+    constexpr int maxExpField() const { return (1 << exp_bits) - 2; }
+
+    /** Largest finite magnitude representable. */
+    float maxFinite() const;
+    /** Smallest positive normal magnitude. */
+    float minNormal() const;
+};
+
+/** The three formats the paper evaluates. */
+inline constexpr SmallFloatFormat kFp16{ 5, 10 };
+inline constexpr SmallFloatFormat kFp10{ 5, 4 };
+inline constexpr SmallFloatFormat kFp8{ 4, 3 };
+
+/**
+ * Encode an FP32 value into the small format's bit pattern
+ * (right-aligned in the returned word).
+ */
+std::uint32_t encodeSmallFloat(const SmallFloatFormat &fmt, float value);
+
+/** Decode a small-format bit pattern back to FP32 (exact). */
+float decodeSmallFloat(const SmallFloatFormat &fmt, std::uint32_t bits);
+
+/** Shorthand for decode(encode(x)): the value as stored-and-recovered. */
+float quantizeSmallFloat(const SmallFloatFormat &fmt, float value);
+
+} // namespace gist

@@ -1,0 +1,392 @@
+#include "graph/executor.hpp"
+
+#include <chrono>
+
+#include "util/logging.hpp"
+
+namespace gist {
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+} // namespace
+
+Executor::Executor(Graph &graph)
+    : graph_(graph), states(static_cast<size_t>(graph.numNodes()))
+{
+    for (std::int64_t i = 0; i < graph_.numNodes(); ++i)
+        states[static_cast<size_t>(i)].value = Tensor::placeholder(
+            graph_.node(static_cast<NodeId>(i)).out_shape);
+}
+
+void
+Executor::setStashPlan(NodeId id, StashPlan plan)
+{
+    GIST_ASSERT(id >= 0 && id < graph_.numNodes(), "bad node id");
+    states[static_cast<size_t>(id)].plan = std::move(plan);
+}
+
+void
+Executor::refreshSchedule()
+{
+    sched = std::make_unique<ScheduleInfo>(graph_);
+}
+
+const ScheduleInfo &
+Executor::schedule() const
+{
+    GIST_ASSERT(sched != nullptr, "schedule not built yet");
+    return *sched;
+}
+
+void
+Executor::meterAdd(std::uint64_t bytes)
+{
+    meter_current += bytes;
+    meter_peak = std::max(meter_peak, meter_current);
+}
+
+void
+Executor::meterSub(std::uint64_t bytes)
+{
+    GIST_ASSERT(meter_current >= bytes, "memory meter underflow");
+    meter_current -= bytes;
+}
+
+std::uint64_t
+Executor::auxBytesOf(NodeId id) const
+{
+    const auto &node = graph_.node(id);
+    if (!node.layer)
+        return 0;
+    std::vector<Shape> in_shapes;
+    for (NodeId in : node.inputs)
+        in_shapes.push_back(graph_.node(in).out_shape);
+    return node.layer->auxStashBytes(in_shapes);
+}
+
+const Tensor &
+Executor::value(NodeId id) const
+{
+    const auto &st = states[static_cast<size_t>(id)];
+    GIST_ASSERT(st.state == BufState::Dense, "node ", id,
+                " output is not materialized");
+    return st.value;
+}
+
+double
+Executor::lastSparsity(NodeId id) const
+{
+    return states[static_cast<size_t>(id)].sparsity;
+}
+
+double
+Executor::lastFwdSeconds(NodeId id) const
+{
+    return states[static_cast<size_t>(id)].fwd_seconds;
+}
+
+double
+Executor::lastBwdSeconds(NodeId id) const
+{
+    return states[static_cast<size_t>(id)].bwd_seconds;
+}
+
+double
+Executor::lastCsrRatio(NodeId id) const
+{
+    return states[static_cast<size_t>(id)].csr_ratio;
+}
+
+void
+Executor::retireAfterForward(NodeId id)
+{
+    auto &st = states[static_cast<size_t>(id)];
+    if (st.state != BufState::Dense)
+        return; // already retired (e.g. node feeding the same consumer
+                // through two edges)
+
+    if (collect_sparsity)
+        st.sparsity = st.value.sparsity();
+
+    if (!sched->stashed(id)) {
+        meterSub(st.value.bytes());
+        st.value.releaseStorage();
+        st.state = BufState::Empty;
+        return;
+    }
+
+    switch (st.plan.repr) {
+      case StashPlan::Repr::Dense:
+        return; // stays materialized until its last backward read
+      case StashPlan::Repr::Csr: {
+        const auto t0 = std::chrono::steady_clock::now();
+        st.csr = CsrBuffer(st.plan.csr);
+        st.csr.encode(st.value.span());
+        last_stats.encode_seconds += secondsSince(t0);
+        st.csr_ratio = st.csr.compressionRatio();
+        last_stats.encoded_bytes += st.csr.bytes();
+        last_stats.dense_bytes_replaced += st.value.bytes();
+        meterAdd(st.csr.bytes());
+        meterSub(st.value.bytes());
+        st.value.releaseStorage();
+        st.state = BufState::Encoded;
+        return;
+      }
+      case StashPlan::Repr::Dpr: {
+        const auto t0 = std::chrono::steady_clock::now();
+        st.dpr.encode(st.plan.dpr, st.value.span());
+        last_stats.encode_seconds += secondsSince(t0);
+        last_stats.encoded_bytes += st.dpr.bytes();
+        last_stats.dense_bytes_replaced += st.value.bytes();
+        meterAdd(st.dpr.bytes());
+        meterSub(st.value.bytes());
+        st.value.releaseStorage();
+        st.state = BufState::Encoded;
+        return;
+      }
+    }
+}
+
+void
+Executor::materialize(NodeId id)
+{
+    auto &st = states[static_cast<size_t>(id)];
+    if (st.state == BufState::Dense)
+        return;
+    GIST_ASSERT(st.state == BufState::Encoded, "node ", id,
+                " has no stashed value to materialize");
+    const auto t0 = std::chrono::steady_clock::now();
+    st.value.reallocate();
+    meterAdd(st.value.bytes());
+    if (st.plan.repr == StashPlan::Repr::Csr) {
+        st.csr.decode(st.value.span());
+        meterSub(st.csr.bytes());
+        st.csr.clear();
+    } else {
+        st.dpr.decode(st.value.span());
+        meterSub(st.dpr.bytes());
+        st.dpr.clear();
+    }
+    last_stats.decode_seconds += secondsSince(t0);
+    st.state = BufState::Dense;
+}
+
+Tensor &
+Executor::ensureGrad(NodeId id)
+{
+    auto &st = states[static_cast<size_t>(id)];
+    if (st.grad.empty()) {
+        st.grad = Tensor(graph_.node(id).out_shape);
+        meterAdd(st.grad.bytes());
+    }
+    return st.grad;
+}
+
+void
+Executor::releaseStash(NodeId id)
+{
+    auto &st = states[static_cast<size_t>(id)];
+    if (st.state == BufState::Dense)
+        meterSub(st.value.bytes());
+    else if (st.state == BufState::Encoded)
+        meterSub(st.plan.repr == StashPlan::Repr::Csr ? st.csr.bytes()
+                                                      : st.dpr.bytes());
+    st.value.releaseStorage();
+    st.csr.clear();
+    st.dpr.clear();
+    st.state = BufState::Empty;
+}
+
+void
+Executor::forwardOnly(const Tensor &input)
+{
+    if (!sched)
+        refreshSchedule();
+    for (std::int64_t i = 0; i < graph_.numNodes(); ++i) {
+        const auto id = static_cast<NodeId>(i);
+        auto &node = graph_.node(id);
+        auto &st = states[static_cast<size_t>(i)];
+        if (st.value.empty())
+            st.value.reallocate();
+        if (node.kind() == LayerKind::Input) {
+            GIST_ASSERT(input.shape() == node.out_shape,
+                        "input shape ", input.shape().toString(),
+                        " does not match graph input ",
+                        node.out_shape.toString());
+            st.value = input;
+        } else {
+            FwdCtx ctx;
+            for (NodeId in : node.inputs)
+                ctx.inputs.push_back(&states[static_cast<size_t>(in)].value);
+            ctx.output = &st.value;
+            ctx.training = false;
+            node.layer->forward(ctx);
+        }
+        st.state = BufState::Dense;
+    }
+}
+
+float
+Executor::runMinibatch(const Tensor &input,
+                       std::span<const std::int32_t> labels)
+{
+    if (!sched)
+        refreshSchedule();
+    last_stats = ExecStats{};
+    meter_current = 0;
+    meter_peak = 0;
+    memory_trace.clear();
+
+    const auto n = graph_.numNodes();
+    GIST_ASSERT(n > 0, "empty graph");
+    auto *loss_layer = dynamic_cast<LossLayer *>(
+        graph_.node(static_cast<NodeId>(n - 1)).layer.get());
+    GIST_ASSERT(loss_layer != nullptr,
+                "last graph node must be a loss layer for training");
+    loss_layer->setLabels(labels);
+
+    // ---- Forward pass ----
+    for (std::int64_t i = 0; i < n; ++i) {
+        const auto id = static_cast<NodeId>(i);
+        auto &node = graph_.node(id);
+        auto &st = states[static_cast<size_t>(i)];
+        if (st.value.empty())
+            st.value.reallocate();
+        // Count at production time whether the storage is fresh or was
+        // left materialized by an interleaved forwardOnly() pass.
+        meterAdd(st.value.bytes());
+        if (node.kind() == LayerKind::Input) {
+            GIST_ASSERT(input.shape() == node.out_shape,
+                        "input shape mismatch");
+            st.value = input;
+        } else {
+            FwdCtx ctx;
+            for (NodeId in : node.inputs) {
+                const auto &in_st = states[static_cast<size_t>(in)];
+                GIST_ASSERT(in_st.state == BufState::Dense,
+                            "input of node ", id, " not materialized");
+                ctx.inputs.push_back(&in_st.value);
+            }
+            ctx.output = &st.value;
+            ctx.training = true;
+            const auto t_fwd = std::chrono::steady_clock::now();
+            node.layer->forward(ctx);
+            if (profile)
+                st.fwd_seconds = secondsSince(t_fwd);
+            meterAdd(auxBytesOf(id)); // masks/maps/BN stats captured
+            if (forward_quantize != DprFormat::Fp32 &&
+                node.kind() != LayerKind::SoftmaxLoss) {
+                dprQuantizeInPlace(forward_quantize, st.value.span());
+            }
+        }
+        st.state = BufState::Dense;
+
+        // Retire every buffer whose last forward read just happened.
+        for (NodeId in : node.inputs)
+            if (sched->lastFwdRead(in) == graph_.fwdStep(id))
+                retireAfterForward(in);
+        if (sched->lastFwdRead(id) == graph_.fwdStep(id))
+            retireAfterForward(id);
+        memory_trace.emplace_back(graph_.fwdStep(id), meter_current);
+    }
+
+    // ---- Backward pass ----
+    for (std::int64_t i = n - 1; i >= 0; --i) {
+        const auto id = static_cast<NodeId>(i);
+        auto &node = graph_.node(id);
+        if (node.kind() == LayerKind::Input)
+            continue;
+
+        const BackwardNeeds needs = node.layer->backwardNeeds();
+        // Can this consumer read the encoded stash tile-by-tile instead
+        // of forcing a full decode? (Conv backward supports it.)
+        auto chunked_ok = [&](NodeId in) {
+            const auto &in_st = states[static_cast<size_t>(in)];
+            return elide_decode && node.kind() == LayerKind::Conv &&
+                   in_st.state == BufState::Encoded;
+        };
+        if (needs.input)
+            for (NodeId in : node.inputs)
+                if (!chunked_ok(in))
+                    materialize(in);
+        if (needs.output)
+            materialize(id);
+
+        BwdCtx ctx;
+        for (NodeId in : node.inputs) {
+            const auto &in_st = states[static_cast<size_t>(in)];
+            ctx.inputs.push_back(
+                needs.input && in_st.state == BufState::Dense
+                    ? &in_st.value
+                    : nullptr);
+            EncodedStash stash;
+            if (needs.input && chunked_ok(in)) {
+                if (in_st.plan.repr == StashPlan::Repr::Csr)
+                    stash.csr = &in_st.csr;
+                else
+                    stash.dpr = &in_st.dpr;
+            }
+            ctx.encoded_inputs.push_back(stash);
+        }
+        const auto &st = states[static_cast<size_t>(i)];
+        ctx.output = (needs.output && st.state == BufState::Dense)
+                         ? &st.value
+                         : nullptr;
+        const bool is_loss = (i == n - 1);
+        ctx.d_output = is_loss ? nullptr
+                               : &ensureGrad(id); // consumers accumulated
+        for (NodeId in : node.inputs) {
+            if (graph_.node(in).kind() == LayerKind::Input) {
+                ctx.d_inputs.push_back(nullptr);
+            } else {
+                Tensor &g = ensureGrad(in);
+                ctx.d_inputs.push_back(&g);
+            }
+        }
+
+        const auto t_bwd = std::chrono::steady_clock::now();
+        node.layer->backward(ctx);
+        if (profile)
+            states[static_cast<size_t>(i)].bwd_seconds =
+                secondsSince(t_bwd);
+
+        if (forward_quantize != DprFormat::Fp32) {
+            for (Tensor *d : ctx.d_inputs)
+                if (d)
+                    dprQuantizeInPlace(forward_quantize, d->span());
+            for (Tensor *wg : node.layer->paramGrads())
+                dprQuantizeInPlace(forward_quantize, wg->span());
+        }
+
+        // The node's own gradient map is consumed; release it.
+        auto &own = states[static_cast<size_t>(i)];
+        if (!own.grad.empty())
+            meterSub(own.grad.bytes());
+        own.grad.releaseStorage();
+        meterSub(auxBytesOf(id));
+        node.layer->releaseAuxStash();
+
+        // Release stashes whose last backward read just happened.
+        const int step = graph_.bwdStep(id);
+        for (NodeId in : node.inputs)
+            if (sched->stashed(in) && sched->lastBwdRead(in) == step)
+                releaseStash(in);
+        if (sched->stashed(id) && sched->lastBwdRead(id) == step)
+            releaseStash(id);
+        memory_trace.emplace_back(step, meter_current);
+    }
+
+    last_stats.loss = loss_layer->lastLoss();
+    last_stats.peak_pool_bytes = meter_peak;
+    return last_stats.loss;
+}
+
+} // namespace gist

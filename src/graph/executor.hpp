@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Runtime for the execution graph with Gist stash management.
+ *
+ * The executor materializes each node's output feature map, retires it at
+ * its last forward use (releasing FP32 storage for immediately-consumed
+ * maps, or encoding it per the node's StashPlan for stashed maps), and
+ * decodes encoded stashes right before their first backward use — the
+ * runtime realization of paper Figure 2's lifetime split.
+ *
+ * Binarize is not a StashPlan: the Schedule Builder instead flips the ReLU
+ * layer into sign-mask mode and the MaxPool layer into argmax-map mode,
+ * after which their outputs simply stop being stashed (BackwardNeeds no
+ * longer mention them) and the masks/maps ride along as layer aux stash.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "encodings/csr.hpp"
+#include "encodings/dpr.hpp"
+#include "graph/graph.hpp"
+
+namespace gist {
+
+/** Loss layers additionally accept labels and report the scalar loss. */
+class LossLayer : public Layer
+{
+  public:
+    virtual void setLabels(std::span<const std::int32_t> labels) = 0;
+    virtual float lastLoss() const = 0;
+};
+
+/** How a stashed feature map is stored between its two uses. */
+struct StashPlan
+{
+    enum class Repr { Dense, Csr, Dpr };
+
+    Repr repr = Repr::Dense;
+    CsrConfig csr{};                   ///< for Repr::Csr
+    DprFormat dpr = DprFormat::Fp32;   ///< for Repr::Dpr
+};
+
+/** Per-minibatch execution statistics. */
+struct ExecStats
+{
+    float loss = 0.0f;
+    double encode_seconds = 0.0;
+    double decode_seconds = 0.0;
+    std::uint64_t encoded_bytes = 0;       ///< bytes of encoded stashes
+    std::uint64_t dense_bytes_replaced = 0; ///< FP32 bytes they replaced
+    /**
+     * Peak bytes of simultaneously-resident feature-map-pool storage
+     * (values, gradients, encoded stashes, layer aux) observed during
+     * the minibatch — the executor-side ground truth the planner's
+     * dynamicPeak() predicts.
+     */
+    std::uint64_t peak_pool_bytes = 0;
+};
+
+/** Executes forward/backward minibatches over a Graph. */
+class Executor
+{
+  public:
+    explicit Executor(Graph &graph);
+
+    /** Set the stash storage plan for node @p id's output. */
+    void setStashPlan(NodeId id, StashPlan plan);
+
+    /**
+     * Quantize every feature map right after it is produced (and every
+     * gradient map / weight gradient right after it is computed) — the
+     * paper's "All-FP16" comparison arm. Fp32 disables it.
+     */
+    void setForwardQuantize(DprFormat fmt) { forward_quantize = fmt; }
+
+    /** Collect per-ReLU-output sparsity each minibatch (small cost). */
+    void setCollectSparsity(bool on) { collect_sparsity = on; }
+
+    /** Record per-node forward/backward seconds each minibatch. */
+    void setProfile(bool on) { profile = on; }
+
+    /**
+     * "Optimized software" (paper Section V-H): convolution backward
+     * consumes DPR-encoded stashed inputs tile-by-tile instead of
+     * materializing a full FP32 decode buffer.
+     */
+    void setElideDecode(bool on) { elide_decode = on; }
+
+    /** Seconds spent in node @p id's forward at the last minibatch. */
+    double lastFwdSeconds(NodeId id) const;
+    /** Seconds spent in node @p id's backward at the last minibatch. */
+    double lastBwdSeconds(NodeId id) const;
+
+    /**
+     * Resident feature-map-pool bytes after every schedule step of the
+     * last minibatch (entries: step index, bytes) — the executor-side
+     * counterpart of the planner's liveness sweep.
+     */
+    const std::vector<std::pair<int, std::uint64_t>> &
+    memoryTrace() const
+    {
+        return memory_trace;
+    }
+
+    /** Re-derive use records after layer modes changed. */
+    void refreshSchedule();
+
+    /**
+     * One training step: forward + backward. Weight update is the
+     * trainer's job (see train/).
+     * @return the minibatch loss.
+     */
+    float runMinibatch(const Tensor &input,
+                       std::span<const std::int32_t> labels);
+
+    /** Inference-only forward pass; all node outputs stay materialized. */
+    void forwardOnly(const Tensor &input);
+
+    /** Node output value (must be materialized). */
+    const Tensor &value(NodeId id) const;
+
+    const ExecStats &stats() const { return last_stats; }
+
+    /** Sparsity of node @p id's output at the last minibatch (-1 if off). */
+    double lastSparsity(NodeId id) const;
+
+    /** CSR compression ratio achieved for node @p id (-1 if not CSR). */
+    double lastCsrRatio(NodeId id) const;
+
+    Graph &graph() { return graph_; }
+    const ScheduleInfo &schedule() const;
+
+  private:
+    enum class BufState { Empty, Dense, Encoded };
+
+    struct NodeState
+    {
+        Tensor value;
+        Tensor grad;
+        BufState state = BufState::Empty;
+        StashPlan plan;
+        CsrBuffer csr;
+        DprBuffer dpr;
+        double sparsity = -1.0;
+        double csr_ratio = -1.0;
+        double fwd_seconds = 0.0;
+        double bwd_seconds = 0.0;
+    };
+
+    void retireAfterForward(NodeId id);
+    void materialize(NodeId id);
+    Tensor &ensureGrad(NodeId id);
+    void releaseStash(NodeId id);
+
+    /** Memory-meter bookkeeping (feature-map pool only). */
+    void meterAdd(std::uint64_t bytes);
+    void meterSub(std::uint64_t bytes);
+    std::uint64_t auxBytesOf(NodeId id) const;
+
+    Graph &graph_;
+    std::unique_ptr<ScheduleInfo> sched;
+    std::vector<NodeState> states;
+    DprFormat forward_quantize = DprFormat::Fp32;
+    bool collect_sparsity = false;
+    bool profile = false;
+    bool elide_decode = false;
+    std::vector<std::pair<int, std::uint64_t>> memory_trace;
+    ExecStats last_stats;
+    std::uint64_t meter_current = 0;
+    std::uint64_t meter_peak = 0;
+};
+
+} // namespace gist

@@ -1,0 +1,159 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace gist {
+
+NodeId
+Graph::addInput(std::string name, Shape shape)
+{
+    Node n;
+    n.id = static_cast<NodeId>(nodes_.size());
+    n.name = std::move(name);
+    n.out_shape = std::move(shape);
+    nodes_.push_back(std::move(n));
+    return nodes_.back().id;
+}
+
+NodeId
+Graph::addNode(std::string name, std::unique_ptr<Layer> layer,
+               std::vector<NodeId> inputs)
+{
+    GIST_ASSERT(layer != nullptr, "layer node needs a layer");
+    GIST_ASSERT(!inputs.empty(), "layer node needs at least one input");
+    const auto id = static_cast<NodeId>(nodes_.size());
+    std::vector<Shape> in_shapes;
+    for (NodeId in : inputs) {
+        GIST_ASSERT(in >= 0 && in < id, "node ", name,
+                    ": inputs must precede the node (got ", in, ")");
+        in_shapes.push_back(nodes_[static_cast<size_t>(in)].out_shape);
+    }
+    Node n;
+    n.id = id;
+    n.name = std::move(name);
+    n.out_shape = layer->outputShape(in_shapes);
+    n.layer = std::move(layer);
+    n.inputs = std::move(inputs);
+    nodes_.push_back(std::move(n));
+    return id;
+}
+
+const Node &
+Graph::node(NodeId id) const
+{
+    GIST_ASSERT(id >= 0 && id < numNodes(), "node id ", id, " out of range");
+    return nodes_[static_cast<size_t>(id)];
+}
+
+Node &
+Graph::node(NodeId id)
+{
+    GIST_ASSERT(id >= 0 && id < numNodes(), "node id ", id, " out of range");
+    return nodes_[static_cast<size_t>(id)];
+}
+
+void
+Graph::initParams(Rng &rng)
+{
+    for (auto &n : nodes_) {
+        if (n.layer) {
+            Rng layer_rng = rng.fork(static_cast<std::uint64_t>(n.id));
+            n.layer->initParams(layer_rng);
+        }
+    }
+}
+
+std::int64_t
+Graph::numParams() const
+{
+    std::int64_t count = 0;
+    for (const auto &n : nodes_) {
+        if (!n.layer)
+            continue;
+        for (Tensor *p : const_cast<Layer *>(n.layer.get())->params())
+            count += p->numel();
+    }
+    return count;
+}
+
+ScheduleInfo::ScheduleInfo(const Graph &graph_in)
+    : graph(graph_in)
+{
+    const auto n = static_cast<size_t>(graph.numNodes());
+    consumers_.resize(n);
+    last_fwd_read.resize(n);
+    bwd_reads.resize(n);
+
+    for (const auto &node : graph.nodes())
+        for (NodeId in : node.inputs)
+            consumers_[static_cast<size_t>(in)].push_back(node.id);
+
+    for (const auto &node : graph.nodes()) {
+        const auto idx = static_cast<size_t>(node.id);
+
+        int last_read = graph.fwdStep(node.id);
+        for (NodeId c : consumers_[idx])
+            last_read = std::max(last_read, graph.fwdStep(c));
+        last_fwd_read[idx] = last_read;
+
+        // Backward reads of this node's output: consumers that need
+        // their stashed input X, and the node itself if it needs its
+        // stashed output Y. Collected in descending node order =
+        // ascending backward-step order.
+        std::vector<int> reads;
+        if (node.layer && node.layer->backwardNeeds().output)
+            reads.push_back(graph.bwdStep(node.id));
+        for (NodeId c : consumers_[idx]) {
+            const auto &consumer = graph.node(c);
+            if (consumer.layer && consumer.layer->backwardNeeds().input)
+                reads.push_back(graph.bwdStep(c));
+        }
+        std::sort(reads.begin(), reads.end());
+        bwd_reads[idx] = std::move(reads);
+    }
+}
+
+const std::vector<NodeId> &
+ScheduleInfo::consumers(NodeId id) const
+{
+    return consumers_[static_cast<size_t>(id)];
+}
+
+int
+ScheduleInfo::lastFwdRead(NodeId id) const
+{
+    return last_fwd_read[static_cast<size_t>(id)];
+}
+
+const std::vector<int> &
+ScheduleInfo::bwdReads(NodeId id) const
+{
+    return bwd_reads[static_cast<size_t>(id)];
+}
+
+int
+ScheduleInfo::firstBwdRead(NodeId id) const
+{
+    const auto &reads = bwdReads(id);
+    GIST_ASSERT(!reads.empty(), "node ", id, " is not stashed");
+    return reads.front();
+}
+
+int
+ScheduleInfo::lastBwdRead(NodeId id) const
+{
+    const auto &reads = bwdReads(id);
+    GIST_ASSERT(!reads.empty(), "node ", id, " is not stashed");
+    return reads.back();
+}
+
+bool
+ScheduleInfo::hasGradient(NodeId id) const
+{
+    return graph.node(id).kind() != LayerKind::Input;
+}
+
+} // namespace gist

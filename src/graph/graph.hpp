@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The static execution graph (CNTK analogue). Nodes are layers; each node
+ * produces exactly one output feature map. Nodes are stored in topological
+ * order, which fixes the schedule: forward step of node i is i, backward
+ * step is 2N-1-i.
+ *
+ * ScheduleInfo derives, for every node output, its consumers, the step of
+ * its last forward read, and the steps of its backward reads (from the
+ * layers' BackwardNeeds). This is the liveness substrate both the executor
+ * and the Gist Schedule Builder / memory planner operate on — the two
+ * temporally-distant uses of a feature map in paper Figure 2 are exactly
+ * lastFwdRead and the backward read steps.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/layer.hpp"
+
+namespace gist {
+
+using NodeId = std::int32_t;
+
+/** One node of the execution graph. */
+struct Node
+{
+    NodeId id = -1;
+    std::string name;
+    std::unique_ptr<Layer> layer; ///< null for input nodes
+    std::vector<NodeId> inputs;
+    Shape out_shape;
+
+    LayerKind kind() const
+    {
+        return layer ? layer->kind() : LayerKind::Input;
+    }
+};
+
+/** A static DNN execution graph in topological order. */
+class Graph
+{
+  public:
+    /** Add a graph input (the minibatch data). */
+    NodeId addInput(std::string name, Shape shape);
+
+    /** Add a layer node consuming the outputs of @p inputs. */
+    NodeId addNode(std::string name, std::unique_ptr<Layer> layer,
+                   std::vector<NodeId> inputs);
+
+    std::int64_t numNodes() const
+    {
+        return static_cast<std::int64_t>(nodes_.size());
+    }
+    const Node &node(NodeId id) const;
+    Node &node(NodeId id);
+
+    /** All nodes, topologically ordered. */
+    const std::vector<Node> &nodes() const { return nodes_; }
+    std::vector<Node> &nodes() { return nodes_; }
+
+    /** Initialize all layer parameters. */
+    void initParams(Rng &rng);
+
+    /** Total parameter element count. */
+    std::int64_t numParams() const;
+
+    /** Forward step index of node @p id. */
+    int fwdStep(NodeId id) const { return static_cast<int>(id); }
+    /** Backward step index of node @p id. */
+    int bwdStep(NodeId id) const
+    {
+        return static_cast<int>(2 * numNodes() - 1 - id);
+    }
+    /** Total schedule steps (forward then backward). */
+    int numSteps() const { return static_cast<int>(2 * numNodes()); }
+
+  private:
+    std::vector<Node> nodes_;
+};
+
+/** Per-node-output use records derived from a graph's BackwardNeeds. */
+class ScheduleInfo
+{
+  public:
+    /** Analyze @p graph with the layers' *current* modes/needs. */
+    explicit ScheduleInfo(const Graph &graph);
+
+    /** Nodes that read node @p id's output in the forward pass. */
+    const std::vector<NodeId> &consumers(NodeId id) const;
+
+    /** Step of the last forward read (production step if unconsumed). */
+    int lastFwdRead(NodeId id) const;
+
+    /** Ascending steps at which the output is read in the backward pass. */
+    const std::vector<int> &bwdReads(NodeId id) const;
+
+    /** True if the output must survive into the backward pass. */
+    bool stashed(NodeId id) const { return !bwdReads(id).empty(); }
+
+    int firstBwdRead(NodeId id) const;
+    int lastBwdRead(NodeId id) const;
+
+    /**
+     * True if node @p id's gradient map exists: some consumer produces a
+     * gradient for it (input nodes never get one).
+     */
+    bool hasGradient(NodeId id) const;
+
+  private:
+    const Graph &graph;
+    std::vector<std::vector<NodeId>> consumers_;
+    std::vector<int> last_fwd_read;
+    std::vector<std::vector<int>> bwd_reads;
+};
+
+} // namespace gist

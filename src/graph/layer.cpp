@@ -1,0 +1,69 @@
+#include "graph/layer.hpp"
+
+#include "util/rng.hpp"
+
+namespace gist {
+
+const char *
+layerKindName(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::Input: return "Input";
+      case LayerKind::Conv: return "Conv";
+      case LayerKind::Relu: return "Relu";
+      case LayerKind::Sigmoid: return "Sigmoid";
+      case LayerKind::Tanh: return "Tanh";
+      case LayerKind::MaxPool: return "MaxPool";
+      case LayerKind::AvgPool: return "AvgPool";
+      case LayerKind::Fc: return "Fc";
+      case LayerKind::BatchNorm: return "BatchNorm";
+      case LayerKind::Lrn: return "Lrn";
+      case LayerKind::Concat: return "Concat";
+      case LayerKind::Add: return "Add";
+      case LayerKind::Dropout: return "Dropout";
+      case LayerKind::Flatten: return "Flatten";
+      case LayerKind::SoftmaxLoss: return "SoftmaxLoss";
+    }
+    return "?";
+}
+
+Layer::~Layer() = default;
+
+void
+Layer::initParams(Rng &rng)
+{
+    (void)rng;
+}
+
+std::vector<Tensor *>
+Layer::params()
+{
+    return {};
+}
+
+std::vector<Tensor *>
+Layer::paramGrads()
+{
+    return {};
+}
+
+std::uint64_t
+Layer::workspaceBytes(std::span<const Shape> in) const
+{
+    (void)in;
+    return 0;
+}
+
+std::uint64_t
+Layer::auxStashBytes(std::span<const Shape> in) const
+{
+    (void)in;
+    return 0;
+}
+
+void
+Layer::releaseAuxStash()
+{
+}
+
+} // namespace gist

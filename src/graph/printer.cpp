@@ -1,0 +1,38 @@
+#include "graph/printer.hpp"
+
+#include <sstream>
+
+namespace gist {
+
+std::string
+graphSummary(const Graph &graph)
+{
+    const ScheduleInfo sched(graph);
+    std::ostringstream oss;
+    oss << "graph: " << graph.numNodes() << " nodes, "
+        << graph.numParams() << " parameters\n";
+    for (const auto &node : graph.nodes()) {
+        std::int64_t params = 0;
+        if (node.layer)
+            for (Tensor *p :
+                 const_cast<Layer *>(node.layer.get())->params())
+                params += p->numel();
+        oss << "  [" << node.id << "] " << node.name << " ("
+            << layerKindName(node.kind()) << ") -> "
+            << node.out_shape.toString();
+        if (params)
+            oss << " params=" << params;
+        if (sched.stashed(node.id))
+            oss << " [stashed until step "
+                << sched.lastBwdRead(node.id) << "]";
+        if (!node.inputs.empty()) {
+            oss << " in=";
+            for (size_t i = 0; i < node.inputs.size(); ++i)
+                oss << (i ? "," : "") << node.inputs[i];
+        }
+        oss << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace gist

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Human-readable summaries of execution graphs.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace gist {
+
+/**
+ * One line per node: id, name, kind, output shape, parameter count, and
+ * stashedness under the layers' current modes.
+ */
+std::string graphSummary(const Graph &graph);
+
+} // namespace gist

@@ -1,0 +1,73 @@
+#include "layers/activation.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace gist {
+
+Shape
+SigmoidLayer::outputShape(std::span<const Shape> in) const
+{
+    GIST_ASSERT(in.size() == 1, "sigmoid takes one input");
+    return in[0];
+}
+
+void
+SigmoidLayer::forward(const FwdCtx &ctx)
+{
+    GIST_ASSERT(ctx.inputs.size() == 1 && ctx.output, "sigmoid fwd args");
+    const auto x = ctx.inputs[0]->span();
+    const auto y = ctx.output->span();
+    for (size_t i = 0; i < x.size(); ++i)
+        y[i] = 1.0f / (1.0f + std::exp(-x[i]));
+}
+
+void
+SigmoidLayer::backward(const BwdCtx &ctx)
+{
+    GIST_ASSERT(ctx.output && ctx.d_output,
+                "sigmoid backward needs stashed Y and dY");
+    Tensor *dx = ctx.d_inputs[0];
+    if (!dx)
+        return;
+    const auto y = ctx.output->span();
+    const auto dy = ctx.d_output->span();
+    const auto dxs = dx->span();
+    for (size_t i = 0; i < y.size(); ++i)
+        dxs[i] += dy[i] * y[i] * (1.0f - y[i]);
+}
+
+Shape
+TanhLayer::outputShape(std::span<const Shape> in) const
+{
+    GIST_ASSERT(in.size() == 1, "tanh takes one input");
+    return in[0];
+}
+
+void
+TanhLayer::forward(const FwdCtx &ctx)
+{
+    GIST_ASSERT(ctx.inputs.size() == 1 && ctx.output, "tanh fwd args");
+    const auto x = ctx.inputs[0]->span();
+    const auto y = ctx.output->span();
+    for (size_t i = 0; i < x.size(); ++i)
+        y[i] = std::tanh(x[i]);
+}
+
+void
+TanhLayer::backward(const BwdCtx &ctx)
+{
+    GIST_ASSERT(ctx.output && ctx.d_output,
+                "tanh backward needs stashed Y and dY");
+    Tensor *dx = ctx.d_inputs[0];
+    if (!dx)
+        return;
+    const auto y = ctx.output->span();
+    const auto dy = ctx.d_output->span();
+    const auto dxs = dx->span();
+    for (size_t i = 0; i < y.size(); ++i)
+        dxs[i] += dy[i] * (1.0f - y[i] * y[i]);
+}
+
+} // namespace gist

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Non-ReLU activations (sigmoid, tanh). Their backward passes need the
+ * actual stashed output values (dx = dy * f'(y)), and their outputs are
+ * dense, so neither Binarize nor SSDC applies — the Schedule Builder
+ * classifies them as "Other" and DPR is the only Gist encoding that
+ * helps. Including them demonstrates (and tests) Gist's graceful
+ * degradation outside the ReLU-CNN regime the paper targets.
+ */
+
+#pragma once
+
+#include "graph/layer.hpp"
+
+namespace gist {
+
+/** Logistic sigmoid activation. */
+class SigmoidLayer : public Layer
+{
+  public:
+    LayerKind kind() const override { return LayerKind::Sigmoid; }
+    Shape outputShape(std::span<const Shape> in) const override;
+    BackwardNeeds backwardNeeds() const override { return { false, true }; }
+    void forward(const FwdCtx &ctx) override;
+    void backward(const BwdCtx &ctx) override;
+};
+
+/** Hyperbolic tangent activation. */
+class TanhLayer : public Layer
+{
+  public:
+    LayerKind kind() const override { return LayerKind::Tanh; }
+    Shape outputShape(std::span<const Shape> in) const override;
+    BackwardNeeds backwardNeeds() const override { return { false, true }; }
+    void forward(const FwdCtx &ctx) override;
+    void backward(const BwdCtx &ctx) override;
+};
+
+} // namespace gist

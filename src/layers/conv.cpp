@@ -1,0 +1,190 @@
+#include "layers/conv.hpp"
+
+#include <cmath>
+
+#include "tensor/gemm.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace gist {
+
+ConvLayer::ConvLayer(std::int64_t in_channels, ConvSpec spec)
+    : in_c(in_channels), spec_(spec)
+{
+    GIST_ASSERT(in_c > 0 && spec_.out_channels > 0 && spec_.kernel_h > 0 &&
+                    spec_.kernel_w > 0,
+                "bad conv spec");
+    weight = Tensor::placeholder(
+        Shape{ spec_.out_channels, in_c, spec_.kernel_h, spec_.kernel_w });
+    bias_ = Tensor::placeholder(Shape{ spec_.out_channels });
+    d_weight = Tensor::placeholder(weight.shape());
+    d_bias = Tensor::placeholder(bias_.shape());
+}
+
+ConvGeometry
+ConvLayer::geometry(const Shape &in) const
+{
+    GIST_ASSERT(in.rank() == 4 && in.c() == in_c, "conv expects NCHW with ",
+                in_c, " channels, got ", in.toString());
+    ConvGeometry g;
+    g.in_c = in_c;
+    g.in_h = in.h();
+    g.in_w = in.w();
+    g.kernel_h = spec_.kernel_h;
+    g.kernel_w = spec_.kernel_w;
+    g.stride_h = spec_.stride_h;
+    g.stride_w = spec_.stride_w;
+    g.pad_h = spec_.pad_h;
+    g.pad_w = spec_.pad_w;
+    return g;
+}
+
+Shape
+ConvLayer::outputShape(std::span<const Shape> in) const
+{
+    GIST_ASSERT(in.size() == 1, "conv takes one input");
+    const ConvGeometry g = geometry(in[0]);
+    GIST_ASSERT(g.outH() > 0 && g.outW() > 0, "conv output collapses: ",
+                in[0].toString());
+    return Shape::nchw(in[0].n(), spec_.out_channels, g.outH(), g.outW());
+}
+
+void
+ConvLayer::initParams(Rng &rng)
+{
+    // He initialization: N(0, sqrt(2 / fan_in)).
+    const double fan_in =
+        static_cast<double>(in_c * spec_.kernel_h * spec_.kernel_w);
+    const float stddev = static_cast<float>(std::sqrt(2.0 / fan_in));
+    weight.reallocate();
+    for (std::int64_t i = 0; i < weight.numel(); ++i)
+        weight.at(i) = rng.normal(0.0f, stddev);
+    bias_.reallocate();
+    d_weight.reallocate();
+    d_bias.reallocate();
+}
+
+std::vector<Tensor *>
+ConvLayer::params()
+{
+    if (spec_.bias)
+        return { &weight, &bias_ };
+    return { &weight };
+}
+
+std::vector<Tensor *>
+ConvLayer::paramGrads()
+{
+    if (spec_.bias)
+        return { &d_weight, &d_bias };
+    return { &d_weight };
+}
+
+std::uint64_t
+ConvLayer::workspaceBytes(std::span<const Shape> in) const
+{
+    const ConvGeometry g = geometry(in[0]);
+    return static_cast<std::uint64_t>(g.colRows()) *
+           static_cast<std::uint64_t>(g.colCols()) * 4;
+}
+
+void
+ConvLayer::forward(const FwdCtx &ctx)
+{
+    GIST_ASSERT(ctx.inputs.size() == 1 && ctx.output, "conv forward args");
+    const Tensor &x = *ctx.inputs[0];
+    Tensor &y = *ctx.output;
+    last_in_shape = x.shape();
+    const ConvGeometry g = geometry(x.shape());
+    const std::int64_t batch = x.shape().n();
+    const std::int64_t k = g.colRows();
+    const std::int64_t p = g.colCols();
+    const std::int64_t out_c = spec_.out_channels;
+    col_scratch.resize(static_cast<size_t>(k * p));
+
+    for (std::int64_t img = 0; img < batch; ++img) {
+        const float *x_img = x.data() + img * in_c * g.in_h * g.in_w;
+        float *y_img = y.data() + img * out_c * p;
+        im2col(g, x_img, col_scratch.data());
+        // Y (out_c x p) = W (out_c x k) * col (k x p)
+        gemm(false, false, out_c, p, k, 1.0f, weight.data(),
+             col_scratch.data(), 0.0f, y_img);
+        if (spec_.bias) {
+            for (std::int64_t oc = 0; oc < out_c; ++oc) {
+                const float b = bias_.at(oc);
+                float *row = y_img + oc * p;
+                for (std::int64_t j = 0; j < p; ++j)
+                    row[j] += b;
+            }
+        }
+    }
+}
+
+void
+ConvLayer::backward(const BwdCtx &ctx)
+{
+    const Tensor *x = ctx.inputs[0];
+    const EncodedStash x_enc =
+        ctx.encoded_inputs.empty() ? EncodedStash{} : ctx.encoded_inputs[0];
+    GIST_ASSERT((x || x_enc.valid()) && ctx.d_output,
+                "conv backward needs stashed X (dense or encoded) and dY");
+    const Tensor &dy = *ctx.d_output;
+    Tensor *dx = ctx.d_inputs[0];
+    const Shape &in_shape = x ? x->shape() : last_in_shape;
+    GIST_ASSERT(in_shape.rank() == 4,
+                "conv backward before any forward pass");
+    const ConvGeometry g = geometry(in_shape);
+    const std::int64_t batch = in_shape.n();
+    const std::int64_t image_elems = in_c * g.in_h * g.in_w;
+    const std::int64_t k = g.colRows();
+    const std::int64_t p = g.colCols();
+    const std::int64_t out_c = spec_.out_channels;
+    col_scratch.resize(static_cast<size_t>(k * p));
+    // "Optimized software": decode one image's stash at a time instead
+    // of a full FP32 buffer (paper Section V-H).
+    std::vector<float> image_scratch;
+    if (!x)
+        image_scratch.resize(static_cast<size_t>(image_elems));
+
+    d_weight.setZero();
+    if (spec_.bias)
+        d_bias.setZero();
+
+    for (std::int64_t img = 0; img < batch; ++img) {
+        const float *x_img;
+        if (x) {
+            x_img = x->data() + img * image_elems;
+        } else {
+            x_enc.decodeRange(img * image_elems,
+                              { image_scratch.data(),
+                                image_scratch.size() });
+            x_img = image_scratch.data();
+        }
+        const float *dy_img = dy.data() + img * out_c * p;
+
+        // dW += dY (out_c x p) * col^T (p x k)
+        im2col(g, x_img, col_scratch.data());
+        gemm(false, true, out_c, k, p, 1.0f, dy_img, col_scratch.data(),
+             1.0f, d_weight.data());
+
+        if (spec_.bias) {
+            for (std::int64_t oc = 0; oc < out_c; ++oc) {
+                const float *row = dy_img + oc * p;
+                float acc = 0.0f;
+                for (std::int64_t j = 0; j < p; ++j)
+                    acc += row[j];
+                d_bias.at(oc) += acc;
+            }
+        }
+
+        if (dx) {
+            // dcol (k x p) = W^T (k x out_c) * dY (out_c x p)
+            gemm(true, false, k, p, out_c, 1.0f, weight.data(), dy_img,
+                 0.0f, col_scratch.data());
+            float *dx_img = dx->data() + img * image_elems;
+            col2im(g, col_scratch.data(), dx_img); // accumulates
+        }
+    }
+}
+
+} // namespace gist

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Umbrella header for all concrete layer types.
+ */
+
+#pragma once
+
+#include "layers/activation.hpp"
+#include "layers/batchnorm.hpp"
+#include "layers/conv.hpp"
+#include "layers/fc.hpp"
+#include "layers/loss.hpp"
+#include "layers/lrn.hpp"
+#include "layers/pool.hpp"
+#include "layers/relu.hpp"
+#include "layers/structural.hpp"

@@ -1,0 +1,85 @@
+#include "layers/loss.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "util/logging.hpp"
+
+namespace gist {
+
+SoftmaxCrossEntropyLayer::SoftmaxCrossEntropyLayer(std::int64_t classes)
+    : num_classes(classes)
+{
+    GIST_ASSERT(num_classes > 1, "need at least two classes");
+}
+
+Shape
+SoftmaxCrossEntropyLayer::outputShape(std::span<const Shape> in) const
+{
+    GIST_ASSERT(in.size() == 1, "loss takes one input (logits)");
+    const std::int64_t batch = in[0].dim(0);
+    GIST_ASSERT(in[0].numel() / batch == num_classes,
+                "logits features != classes: ", in[0].toString());
+    return Shape{ 1 };
+}
+
+std::uint64_t
+SoftmaxCrossEntropyLayer::auxStashBytes(std::span<const Shape> in) const
+{
+    return static_cast<std::uint64_t>(in[0].numel()) * 4;
+}
+
+void
+SoftmaxCrossEntropyLayer::setLabels(std::span<const std::int32_t> labels_in)
+{
+    labels.assign(labels_in.begin(), labels_in.end());
+}
+
+void
+SoftmaxCrossEntropyLayer::forward(const FwdCtx &ctx)
+{
+    GIST_ASSERT(ctx.inputs.size() == 1 && ctx.output, "loss fwd args");
+    const Tensor &logits = *ctx.inputs[0];
+    rows = logits.shape().dim(0);
+    probs.resize(static_cast<size_t>(rows * num_classes));
+    softmaxRows(logits.data(), probs.data(), rows, num_classes);
+
+    loss = 0.0f;
+    if (!labels.empty()) {
+        GIST_ASSERT(static_cast<std::int64_t>(labels.size()) == rows,
+                    "label count mismatch");
+        for (std::int64_t r = 0; r < rows; ++r) {
+            const float p =
+                probs[static_cast<size_t>(r * num_classes + labels[r])];
+            loss -= std::log(std::max(p, 1e-12f));
+        }
+        loss /= static_cast<float>(rows);
+    }
+    ctx.output->at(0) = loss;
+}
+
+void
+SoftmaxCrossEntropyLayer::backward(const BwdCtx &ctx)
+{
+    GIST_ASSERT(!labels.empty(), "loss backward needs labels");
+    GIST_ASSERT(!probs.empty(), "loss backward needs the forward probs");
+    Tensor *dlogits = ctx.d_inputs[0];
+    GIST_ASSERT(dlogits, "loss backward writes dlogits");
+    const float inv_rows = 1.0f / static_cast<float>(rows);
+    for (std::int64_t r = 0; r < rows; ++r) {
+        const std::int32_t label = labels[static_cast<size_t>(r)];
+        float *d = dlogits->data() + r * num_classes;
+        const float *p = probs.data() + r * num_classes;
+        for (std::int64_t c = 0; c < num_classes; ++c)
+            d[c] += (p[c] - (c == label ? 1.0f : 0.0f)) * inv_rows;
+    }
+}
+
+void
+SoftmaxCrossEntropyLayer::releaseAuxStash()
+{
+    // The probabilities stay available for accuracy metrics; they are
+    // tiny (N x classes) and overwritten next forward pass.
+}
+
+} // namespace gist

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Softmax + cross-entropy loss head. Stashes the row-wise probabilities
+ * as aux (its backward is (p - onehot)/N, needing neither X nor Y).
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "graph/executor.hpp"
+
+namespace gist {
+
+/** Fused softmax + mean cross-entropy against integer labels. */
+class SoftmaxCrossEntropyLayer : public LossLayer
+{
+  public:
+    explicit SoftmaxCrossEntropyLayer(std::int64_t num_classes);
+
+    LayerKind kind() const override { return LayerKind::SoftmaxLoss; }
+    Shape outputShape(std::span<const Shape> in) const override;
+    BackwardNeeds backwardNeeds() const override { return { false, false }; }
+    std::uint64_t auxStashBytes(std::span<const Shape> in) const override;
+    void forward(const FwdCtx &ctx) override;
+    void backward(const BwdCtx &ctx) override;
+    void releaseAuxStash() override;
+
+    void setLabels(std::span<const std::int32_t> labels_in) override;
+    float lastLoss() const override { return loss; }
+
+    /** Row-wise probabilities of the last forward pass. */
+    const std::vector<float> &probabilities() const { return probs; }
+
+  private:
+    std::int64_t num_classes;
+    std::vector<std::int32_t> labels;
+    std::vector<float> probs; ///< aux stash
+    std::int64_t rows = 0;
+    float loss = 0.0f;
+};
+
+} // namespace gist

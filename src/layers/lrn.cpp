@@ -1,0 +1,101 @@
+#include "layers/lrn.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace gist {
+
+LrnLayer::LrnLayer(std::int64_t window_n, float alpha_n, float beta_n,
+                   float k_n)
+    : window(window_n), alpha(alpha_n), beta(beta_n), k(k_n)
+{
+    GIST_ASSERT(window > 0 && window % 2 == 1, "LRN window must be odd");
+}
+
+Shape
+LrnLayer::outputShape(std::span<const Shape> in) const
+{
+    GIST_ASSERT(in.size() == 1 && in[0].rank() == 4, "lrn expects NCHW");
+    return in[0];
+}
+
+float
+LrnLayer::scaleAt(const float *x_pix, std::int64_t channels,
+                  std::int64_t plane, std::int64_t c) const
+{
+    const std::int64_t half = window / 2;
+    const std::int64_t lo = std::max<std::int64_t>(0, c - half);
+    const std::int64_t hi = std::min(channels - 1, c + half);
+    float sum_sq = 0.0f;
+    for (std::int64_t j = lo; j <= hi; ++j) {
+        const float v = x_pix[j * plane];
+        sum_sq += v * v;
+    }
+    return k + alpha / static_cast<float>(window) * sum_sq;
+}
+
+void
+LrnLayer::forward(const FwdCtx &ctx)
+{
+    GIST_ASSERT(ctx.inputs.size() == 1 && ctx.output, "lrn forward args");
+    const Tensor &x = *ctx.inputs[0];
+    Tensor &y = *ctx.output;
+    const auto &s = x.shape();
+    const std::int64_t plane = s.h() * s.w();
+
+    for (std::int64_t n = 0; n < s.n(); ++n) {
+        const float *x_img = x.data() + n * s.c() * plane;
+        float *y_img = y.data() + n * s.c() * plane;
+        for (std::int64_t pix = 0; pix < plane; ++pix) {
+            const float *x_pix = x_img + pix;
+            float *y_pix = y_img + pix;
+            for (std::int64_t c = 0; c < s.c(); ++c) {
+                const float scale = scaleAt(x_pix, s.c(), plane, c);
+                y_pix[c * plane] =
+                    x_pix[c * plane] * std::pow(scale, -beta);
+            }
+        }
+    }
+}
+
+void
+LrnLayer::backward(const BwdCtx &ctx)
+{
+    GIST_ASSERT(ctx.inputs.size() == 1 && ctx.inputs[0] && ctx.output &&
+                    ctx.d_output,
+                "lrn backward needs stashed X, Y and dY");
+    Tensor *dx = ctx.d_inputs[0];
+    if (!dx)
+        return;
+    const Tensor &x = *ctx.inputs[0];
+    const Tensor &y = *ctx.output;
+    const Tensor &dy = *ctx.d_output;
+    const auto &s = x.shape();
+    const std::int64_t plane = s.h() * s.w();
+    const std::int64_t half = window / 2;
+    const float cross = 2.0f * beta * alpha / static_cast<float>(window);
+
+    for (std::int64_t n = 0; n < s.n(); ++n) {
+        const std::int64_t base = n * s.c() * plane;
+        for (std::int64_t pix = 0; pix < plane; ++pix) {
+            const float *x_pix = x.data() + base + pix;
+            const float *y_pix = y.data() + base + pix;
+            const float *dy_pix = dy.data() + base + pix;
+            float *dx_pix = dx->data() + base + pix;
+            for (std::int64_t c = 0; c < s.c(); ++c) {
+                const float scale = scaleAt(x_pix, s.c(), plane, c);
+                const float dyc = dy_pix[c * plane];
+                dx_pix[c * plane] += dyc * std::pow(scale, -beta);
+                const float shared =
+                    cross * dyc * y_pix[c * plane] / scale;
+                const std::int64_t lo = std::max<std::int64_t>(0, c - half);
+                const std::int64_t hi = std::min(s.c() - 1, c + half);
+                for (std::int64_t j = lo; j <= hi; ++j)
+                    dx_pix[j * plane] -= shared * x_pix[j * plane];
+            }
+        }
+    }
+}
+
+} // namespace gist

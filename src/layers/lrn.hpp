@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Local Response Normalization across channels (AlexNet-style):
+ *   y_i = x_i / (k + (alpha/n) * sum_{j in window(i)} x_j^2)^beta
+ *
+ * Backward needs both the stashed input X and output Y, so LRN feature
+ * maps land in the "Others" stash category (DPR targets).
+ */
+
+#pragma once
+
+#include "graph/layer.hpp"
+
+namespace gist {
+
+/** Across-channel LRN layer. */
+class LrnLayer : public Layer
+{
+  public:
+    explicit LrnLayer(std::int64_t window = 5, float alpha = 1e-4f,
+                      float beta = 0.75f, float k = 2.0f);
+
+    LayerKind kind() const override { return LayerKind::Lrn; }
+    Shape outputShape(std::span<const Shape> in) const override;
+    BackwardNeeds backwardNeeds() const override { return { true, true }; }
+    void forward(const FwdCtx &ctx) override;
+    void backward(const BwdCtx &ctx) override;
+
+  private:
+    /** k + (alpha/n) * windowed sum of squares at (channel c). */
+    float scaleAt(const float *x_pix, std::int64_t channels,
+                  std::int64_t plane, std::int64_t c) const;
+
+    std::int64_t window;
+    float alpha;
+    float beta;
+    float k;
+};
+
+} // namespace gist

@@ -1,0 +1,310 @@
+#include "layers/pool.hpp"
+
+#include <limits>
+
+#include "util/logging.hpp"
+
+namespace gist {
+
+namespace {
+
+ConvGeometry
+poolGeometry(const PoolSpec &spec, const Shape &in)
+{
+    GIST_ASSERT(in.rank() == 4, "pool expects NCHW, got ", in.toString());
+    ConvGeometry g;
+    g.in_c = in.c();
+    g.in_h = in.h();
+    g.in_w = in.w();
+    g.kernel_h = spec.kernel_h;
+    g.kernel_w = spec.kernel_w;
+    g.stride_h = spec.stride_h;
+    g.stride_w = spec.stride_w;
+    g.pad_h = spec.pad_h;
+    g.pad_w = spec.pad_w;
+    return g;
+}
+
+Shape
+poolOutputShape(const PoolSpec &spec, std::span<const Shape> in)
+{
+    GIST_ASSERT(in.size() == 1, "pool takes one input");
+    const ConvGeometry g = poolGeometry(spec, in[0]);
+    GIST_ASSERT(g.outH() > 0 && g.outW() > 0, "pool output collapses: ",
+                in[0].toString());
+    return Shape::nchw(in[0].n(), in[0].c(), g.outH(), g.outW());
+}
+
+} // namespace
+
+ConvGeometry
+MaxPoolLayer::geometry(const Shape &in) const
+{
+    return poolGeometry(spec_, in);
+}
+
+Shape
+MaxPoolLayer::outputShape(std::span<const Shape> in) const
+{
+    return poolOutputShape(spec_, in);
+}
+
+std::uint64_t
+MaxPoolLayer::auxStashBytes(std::span<const Shape> in) const
+{
+    if (stash_mode == StashMode::Dense)
+        return 0;
+    const Shape out = poolOutputShape(spec_, in);
+    return poolIndexMapBytes(out.numel(), spec_.kernel_h, spec_.kernel_w);
+}
+
+void
+MaxPoolLayer::forward(const FwdCtx &ctx)
+{
+    GIST_ASSERT(ctx.inputs.size() == 1 && ctx.output, "maxpool fwd args");
+    const Tensor &x = *ctx.inputs[0];
+    Tensor &y = *ctx.output;
+    const ConvGeometry g = geometry(x.shape());
+    const std::int64_t batch = x.shape().n();
+    const std::int64_t channels = x.shape().c();
+    const std::int64_t out_h = g.outH();
+    const std::int64_t out_w = g.outW();
+
+    const bool record = ctx.training && stash_mode == StashMode::IndexMap;
+    if (record)
+        index_map.configure(batch * channels * out_h * out_w,
+                            spec_.kernel_h, spec_.kernel_w);
+
+    std::int64_t out_idx = 0;
+    for (std::int64_t n = 0; n < batch; ++n) {
+        for (std::int64_t c = 0; c < channels; ++c) {
+            const float *plane =
+                x.data() + (n * channels + c) * g.in_h * g.in_w;
+            for (std::int64_t oh = 0; oh < out_h; ++oh) {
+                for (std::int64_t ow = 0; ow < out_w; ++ow, ++out_idx) {
+                    float best = -std::numeric_limits<float>::infinity();
+                    std::int64_t best_pos = 0;
+                    for (std::int64_t kh = 0; kh < spec_.kernel_h; ++kh) {
+                        const std::int64_t ih =
+                            oh * g.stride_h - g.pad_h + kh;
+                        if (ih < 0 || ih >= g.in_h)
+                            continue;
+                        for (std::int64_t kw = 0; kw < spec_.kernel_w;
+                             ++kw) {
+                            const std::int64_t iw =
+                                ow * g.stride_w - g.pad_w + kw;
+                            if (iw < 0 || iw >= g.in_w)
+                                continue;
+                            const float v = plane[ih * g.in_w + iw];
+                            if (v > best) {
+                                best = v;
+                                best_pos = kh * spec_.kernel_w + kw;
+                            }
+                        }
+                    }
+                    y.at(out_idx) = best;
+                    if (record)
+                        index_map.set(out_idx, best_pos);
+                }
+            }
+        }
+    }
+}
+
+void
+MaxPoolLayer::backward(const BwdCtx &ctx)
+{
+    GIST_ASSERT(ctx.d_output, "maxpool backward needs dY");
+    Tensor *dx = ctx.d_inputs[0];
+    if (!dx)
+        return;
+    const Tensor &dy = *ctx.d_output;
+    const ConvGeometry g = geometry(dx->shape());
+    const std::int64_t batch = dx->shape().n();
+    const std::int64_t channels = dx->shape().c();
+    const std::int64_t out_h = g.outH();
+    const std::int64_t out_w = g.outW();
+
+    const bool dense = stash_mode == StashMode::Dense;
+    const Tensor *x = ctx.inputs[0];
+    const Tensor *y = ctx.output;
+    if (dense) {
+        GIST_ASSERT(x && y,
+                    "maxpool (dense mode) needs stashed X and Y");
+    } else {
+        GIST_ASSERT(index_map.numel() == dy.numel(),
+                    "maxpool index map not captured for this minibatch");
+    }
+
+    std::int64_t out_idx = 0;
+    for (std::int64_t n = 0; n < batch; ++n) {
+        for (std::int64_t c = 0; c < channels; ++c) {
+            float *dplane =
+                dx->data() + (n * channels + c) * g.in_h * g.in_w;
+            const float *xplane =
+                dense ? x->data() + (n * channels + c) * g.in_h * g.in_w
+                      : nullptr;
+            for (std::int64_t oh = 0; oh < out_h; ++oh) {
+                for (std::int64_t ow = 0; ow < out_w; ++ow, ++out_idx) {
+                    std::int64_t pos = -1;
+                    if (dense) {
+                        // Scan for the first window tap equal to Y: the
+                        // forward pass tracked the maximum with a strict
+                        // '>' so this finds the identical location.
+                        const float target = y->at(out_idx);
+                        for (std::int64_t kh = 0;
+                             kh < spec_.kernel_h && pos < 0; ++kh) {
+                            const std::int64_t ih =
+                                oh * g.stride_h - g.pad_h + kh;
+                            if (ih < 0 || ih >= g.in_h)
+                                continue;
+                            for (std::int64_t kw = 0; kw < spec_.kernel_w;
+                                 ++kw) {
+                                const std::int64_t iw =
+                                    ow * g.stride_w - g.pad_w + kw;
+                                if (iw < 0 || iw >= g.in_w)
+                                    continue;
+                                if (xplane[ih * g.in_w + iw] == target) {
+                                    pos = kh * spec_.kernel_w + kw;
+                                    break;
+                                }
+                            }
+                        }
+                    } else {
+                        pos = index_map.get(out_idx);
+                    }
+                    GIST_ASSERT(pos >= 0, "maxpool argmax not found");
+                    const std::int64_t kh = pos / spec_.kernel_w;
+                    const std::int64_t kw = pos % spec_.kernel_w;
+                    const std::int64_t ih = oh * g.stride_h - g.pad_h + kh;
+                    const std::int64_t iw = ow * g.stride_w - g.pad_w + kw;
+                    dplane[ih * g.in_w + iw] += dy.at(out_idx);
+                }
+            }
+        }
+    }
+}
+
+void
+MaxPoolLayer::releaseAuxStash()
+{
+    index_map.clear();
+}
+
+ConvGeometry
+AvgPoolLayer::geometry(const Shape &in) const
+{
+    return poolGeometry(spec_, in);
+}
+
+Shape
+AvgPoolLayer::outputShape(std::span<const Shape> in) const
+{
+    return poolOutputShape(spec_, in);
+}
+
+void
+AvgPoolLayer::forward(const FwdCtx &ctx)
+{
+    GIST_ASSERT(ctx.inputs.size() == 1 && ctx.output, "avgpool fwd args");
+    const Tensor &x = *ctx.inputs[0];
+    Tensor &y = *ctx.output;
+    last_in_shape = x.shape();
+    const ConvGeometry g = geometry(x.shape());
+    const std::int64_t batch = x.shape().n();
+    const std::int64_t channels = x.shape().c();
+    const std::int64_t out_h = g.outH();
+    const std::int64_t out_w = g.outW();
+
+    std::int64_t out_idx = 0;
+    for (std::int64_t n = 0; n < batch; ++n) {
+        for (std::int64_t c = 0; c < channels; ++c) {
+            const float *plane =
+                x.data() + (n * channels + c) * g.in_h * g.in_w;
+            for (std::int64_t oh = 0; oh < out_h; ++oh) {
+                for (std::int64_t ow = 0; ow < out_w; ++ow, ++out_idx) {
+                    float sum = 0.0f;
+                    std::int64_t count = 0;
+                    for (std::int64_t kh = 0; kh < spec_.kernel_h; ++kh) {
+                        const std::int64_t ih =
+                            oh * g.stride_h - g.pad_h + kh;
+                        if (ih < 0 || ih >= g.in_h)
+                            continue;
+                        for (std::int64_t kw = 0; kw < spec_.kernel_w;
+                             ++kw) {
+                            const std::int64_t iw =
+                                ow * g.stride_w - g.pad_w + kw;
+                            if (iw < 0 || iw >= g.in_w)
+                                continue;
+                            sum += plane[ih * g.in_w + iw];
+                            ++count;
+                        }
+                    }
+                    y.at(out_idx) =
+                        count ? sum / static_cast<float>(count) : 0.0f;
+                }
+            }
+        }
+    }
+}
+
+void
+AvgPoolLayer::backward(const BwdCtx &ctx)
+{
+    GIST_ASSERT(ctx.d_output, "avgpool backward needs dY");
+    Tensor *dx = ctx.d_inputs[0];
+    if (!dx)
+        return;
+    const Tensor &dy = *ctx.d_output;
+    const ConvGeometry g = geometry(dx->shape());
+    const std::int64_t batch = dx->shape().n();
+    const std::int64_t channels = dx->shape().c();
+    const std::int64_t out_h = g.outH();
+    const std::int64_t out_w = g.outW();
+
+    std::int64_t out_idx = 0;
+    for (std::int64_t n = 0; n < batch; ++n) {
+        for (std::int64_t c = 0; c < channels; ++c) {
+            float *dplane =
+                dx->data() + (n * channels + c) * g.in_h * g.in_w;
+            for (std::int64_t oh = 0; oh < out_h; ++oh) {
+                for (std::int64_t ow = 0; ow < out_w; ++ow, ++out_idx) {
+                    // Count in-bounds taps (matches forward's divisor).
+                    std::int64_t count = 0;
+                    for (std::int64_t kh = 0; kh < spec_.kernel_h; ++kh) {
+                        const std::int64_t ih =
+                            oh * g.stride_h - g.pad_h + kh;
+                        if (ih < 0 || ih >= g.in_h)
+                            continue;
+                        for (std::int64_t kw = 0; kw < spec_.kernel_w;
+                             ++kw) {
+                            const std::int64_t iw =
+                                ow * g.stride_w - g.pad_w + kw;
+                            if (iw >= 0 && iw < g.in_w)
+                                ++count;
+                        }
+                    }
+                    if (!count)
+                        continue;
+                    const float share =
+                        dy.at(out_idx) / static_cast<float>(count);
+                    for (std::int64_t kh = 0; kh < spec_.kernel_h; ++kh) {
+                        const std::int64_t ih =
+                            oh * g.stride_h - g.pad_h + kh;
+                        if (ih < 0 || ih >= g.in_h)
+                            continue;
+                        for (std::int64_t kw = 0; kw < spec_.kernel_w;
+                             ++kw) {
+                            const std::int64_t iw =
+                                ow * g.stride_w - g.pad_w + kw;
+                            if (iw >= 0 && iw < g.in_w)
+                                dplane[ih * g.in_w + iw] += share;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace gist

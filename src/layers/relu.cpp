@@ -1,0 +1,63 @@
+#include "layers/relu.hpp"
+
+#include "tensor/ops.hpp"
+#include "util/logging.hpp"
+
+namespace gist {
+
+Shape
+ReluLayer::outputShape(std::span<const Shape> in) const
+{
+    GIST_ASSERT(in.size() == 1, "relu takes one input");
+    return in[0];
+}
+
+std::uint64_t
+ReluLayer::auxStashBytes(std::span<const Shape> in) const
+{
+    if (stash_mode == StashMode::Dense)
+        return 0;
+    return binarizeBytes(in[0].numel());
+}
+
+void
+ReluLayer::forward(const FwdCtx &ctx)
+{
+    GIST_ASSERT(ctx.inputs.size() == 1 && ctx.output, "relu forward args");
+    reluForward(ctx.inputs[0]->span(), ctx.output->span());
+    if (ctx.training && stash_mode == StashMode::Mask)
+        mask.encode(ctx.output->span());
+}
+
+void
+ReluLayer::backward(const BwdCtx &ctx)
+{
+    GIST_ASSERT(ctx.d_output, "relu backward needs dY");
+    Tensor *dx = ctx.d_inputs[0];
+    if (!dx)
+        return;
+    const auto dy = ctx.d_output->span();
+    const auto dxs = dx->span();
+    if (stash_mode == StashMode::Dense) {
+        GIST_ASSERT(ctx.output, "relu (dense mode) needs its stashed Y");
+        const auto y = ctx.output->span();
+        for (size_t i = 0; i < dy.size(); ++i)
+            dxs[i] += y[i] > 0.0f ? dy[i] : 0.0f;
+    } else {
+        GIST_ASSERT(mask.numel() ==
+                        static_cast<std::int64_t>(dy.size()),
+                    "relu mask not captured for this minibatch");
+        for (size_t i = 0; i < dy.size(); ++i)
+            dxs[i] += mask.positive(static_cast<std::int64_t>(i))
+                          ? dy[i]
+                          : 0.0f;
+    }
+}
+
+void
+ReluLayer::releaseAuxStash()
+{
+    mask.clear();
+}
+
+} // namespace gist

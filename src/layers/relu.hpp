@@ -1,0 +1,48 @@
+/**
+ * @file
+ * ReLU activation with the Gist sign-mask mode.
+ *
+ * Paper Figure 4(b): ReLU backward computes dX = dY where Y > 0, so it
+ * needs only the *sign* of its stashed output. In Dense mode (baseline)
+ * the layer declares it needs Y; in Mask mode (Binarize, applied by the
+ * Schedule Builder to ReLU->Pool pairs) it instead captures a 1-bit
+ * positivity mask during forward and stops needing Y at all — the output
+ * feature map becomes immediately-consumed.
+ */
+
+#pragma once
+
+#include "encodings/binarize.hpp"
+#include "graph/layer.hpp"
+
+namespace gist {
+
+/** ReLU layer. */
+class ReluLayer : public Layer
+{
+  public:
+    /** How the backward pass obtains the sign information. */
+    enum class StashMode { Dense, Mask };
+
+    ReluLayer() = default;
+
+    void setStashMode(StashMode mode) { stash_mode = mode; }
+    StashMode stashMode() const { return stash_mode; }
+
+    LayerKind kind() const override { return LayerKind::Relu; }
+    Shape outputShape(std::span<const Shape> in) const override;
+    BackwardNeeds backwardNeeds() const override
+    {
+        return { false, stash_mode == StashMode::Dense };
+    }
+    std::uint64_t auxStashBytes(std::span<const Shape> in) const override;
+    void forward(const FwdCtx &ctx) override;
+    void backward(const BwdCtx &ctx) override;
+    void releaseAuxStash() override;
+
+  private:
+    StashMode stash_mode = StashMode::Dense;
+    BinarizedMask mask; ///< populated in Mask mode during forward
+};
+
+} // namespace gist

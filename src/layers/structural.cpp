@@ -1,0 +1,188 @@
+#include "layers/structural.hpp"
+
+#include <cstring>
+
+#include "tensor/ops.hpp"
+#include "util/bits.hpp"
+#include "util/logging.hpp"
+
+namespace gist {
+
+// ---------------------------------------------------------------- Concat
+
+Shape
+ConcatLayer::outputShape(std::span<const Shape> in) const
+{
+    GIST_ASSERT(in.size() >= 2, "concat takes at least two inputs");
+    std::int64_t channels = 0;
+    for (const auto &s : in) {
+        GIST_ASSERT(s.rank() == 4, "concat expects NCHW inputs");
+        GIST_ASSERT(s.n() == in[0].n() && s.h() == in[0].h() &&
+                        s.w() == in[0].w(),
+                    "concat inputs disagree: ", in[0].toString(), " vs ",
+                    s.toString());
+        channels += s.c();
+    }
+    return Shape::nchw(in[0].n(), channels, in[0].h(), in[0].w());
+}
+
+void
+ConcatLayer::forward(const FwdCtx &ctx)
+{
+    GIST_ASSERT(ctx.inputs.size() >= 2 && ctx.output, "concat fwd args");
+    Tensor &y = *ctx.output;
+    const auto &out_shape = y.shape();
+    const std::int64_t plane = out_shape.h() * out_shape.w();
+    for (std::int64_t n = 0; n < out_shape.n(); ++n) {
+        std::int64_t c_off = 0;
+        for (const Tensor *x : ctx.inputs) {
+            const std::int64_t c_in = x->shape().c();
+            std::memcpy(y.data() + (n * out_shape.c() + c_off) * plane,
+                        x->data() + n * c_in * plane,
+                        static_cast<size_t>(c_in * plane) * sizeof(float));
+            c_off += c_in;
+        }
+    }
+}
+
+void
+ConcatLayer::backward(const BwdCtx &ctx)
+{
+    GIST_ASSERT(ctx.d_output, "concat backward needs dY");
+    const Tensor &dy = *ctx.d_output;
+    const auto &out_shape = dy.shape();
+    const std::int64_t plane = out_shape.h() * out_shape.w();
+    for (std::int64_t n = 0; n < out_shape.n(); ++n) {
+        std::int64_t c_off = 0;
+        for (Tensor *dx : ctx.d_inputs) {
+            // Channel count comes from the gradient tensor's own shape.
+            GIST_ASSERT(dx, "concat inputs always need gradients");
+            const std::int64_t c_in = dx->shape().c();
+            const float *src =
+                dy.data() + (n * out_shape.c() + c_off) * plane;
+            float *dst = dx->data() + n * c_in * plane;
+            for (std::int64_t i = 0; i < c_in * plane; ++i)
+                dst[i] += src[i];
+            c_off += c_in;
+        }
+    }
+}
+
+// ------------------------------------------------------------------- Add
+
+Shape
+AddLayer::outputShape(std::span<const Shape> in) const
+{
+    GIST_ASSERT(in.size() == 2, "add takes two inputs");
+    GIST_ASSERT(in[0] == in[1], "add inputs disagree: ", in[0].toString(),
+                " vs ", in[1].toString());
+    return in[0];
+}
+
+void
+AddLayer::forward(const FwdCtx &ctx)
+{
+    GIST_ASSERT(ctx.inputs.size() == 2 && ctx.output, "add fwd args");
+    add(ctx.inputs[0]->span(), ctx.inputs[1]->span(), ctx.output->span());
+}
+
+void
+AddLayer::backward(const BwdCtx &ctx)
+{
+    GIST_ASSERT(ctx.d_output, "add backward needs dY");
+    for (Tensor *dx : ctx.d_inputs)
+        if (dx)
+            accumulate(ctx.d_output->span(), dx->span());
+}
+
+// --------------------------------------------------------------- Dropout
+
+DropoutLayer::DropoutLayer(float drop_prob_n, std::uint64_t seed)
+    : drop_prob(drop_prob_n), inv_keep(1.0f / (1.0f - drop_prob_n)),
+      rng(seed)
+{
+    GIST_ASSERT(drop_prob >= 0.0f && drop_prob < 1.0f, "bad dropout prob ",
+                drop_prob);
+}
+
+Shape
+DropoutLayer::outputShape(std::span<const Shape> in) const
+{
+    GIST_ASSERT(in.size() == 1, "dropout takes one input");
+    return in[0];
+}
+
+std::uint64_t
+DropoutLayer::auxStashBytes(std::span<const Shape> in) const
+{
+    return binarizeBytes(in[0].numel());
+}
+
+void
+DropoutLayer::forward(const FwdCtx &ctx)
+{
+    GIST_ASSERT(ctx.inputs.size() == 1 && ctx.output, "dropout fwd args");
+    const auto x = ctx.inputs[0]->span();
+    const auto y = ctx.output->span();
+    if (!ctx.training) {
+        std::memcpy(y.data(), x.data(), x.size() * sizeof(float));
+        return;
+    }
+    keep_mask.resize(static_cast<std::int64_t>(x.size()));
+    for (size_t i = 0; i < x.size(); ++i) {
+        const bool keep = rng.uniform() >= drop_prob;
+        keep_mask.set(static_cast<std::int64_t>(i), keep);
+        y[i] = keep ? x[i] * inv_keep : 0.0f;
+    }
+}
+
+void
+DropoutLayer::backward(const BwdCtx &ctx)
+{
+    GIST_ASSERT(ctx.d_output, "dropout backward needs dY");
+    Tensor *dx = ctx.d_inputs[0];
+    if (!dx)
+        return;
+    GIST_ASSERT(keep_mask.numel() == dx->numel(),
+                "dropout mask not captured for this minibatch");
+    const auto dy = ctx.d_output->span();
+    const auto dxs = dx->span();
+    for (size_t i = 0; i < dy.size(); ++i)
+        if (keep_mask.positive(static_cast<std::int64_t>(i)))
+            dxs[i] += dy[i] * inv_keep;
+}
+
+void
+DropoutLayer::releaseAuxStash()
+{
+    keep_mask.clear();
+}
+
+// --------------------------------------------------------------- Flatten
+
+Shape
+FlattenLayer::outputShape(std::span<const Shape> in) const
+{
+    GIST_ASSERT(in.size() == 1, "flatten takes one input");
+    const std::int64_t batch = in[0].dim(0);
+    return Shape{ batch, in[0].numel() / batch };
+}
+
+void
+FlattenLayer::forward(const FwdCtx &ctx)
+{
+    GIST_ASSERT(ctx.inputs.size() == 1 && ctx.output, "flatten fwd args");
+    std::memcpy(ctx.output->data(), ctx.inputs[0]->data(),
+                static_cast<size_t>(ctx.inputs[0]->numel()) *
+                    sizeof(float));
+}
+
+void
+FlattenLayer::backward(const BwdCtx &ctx)
+{
+    GIST_ASSERT(ctx.d_output, "flatten backward needs dY");
+    if (Tensor *dx = ctx.d_inputs[0])
+        accumulate(ctx.d_output->span(), dx->span());
+}
+
+} // namespace gist

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Structural layers: channel Concat (Inception), elementwise Add (ResNet
+ * shortcuts), Dropout, and Flatten. None of them needs a stashed feature
+ * map in the backward pass; Dropout keeps a 1-bit keep-mask as aux stash.
+ */
+
+#pragma once
+
+#include "encodings/binarize.hpp"
+#include "graph/layer.hpp"
+#include "util/rng.hpp"
+
+namespace gist {
+
+/** Concatenate inputs along the channel axis. */
+class ConcatLayer : public Layer
+{
+  public:
+    LayerKind kind() const override { return LayerKind::Concat; }
+    Shape outputShape(std::span<const Shape> in) const override;
+    BackwardNeeds backwardNeeds() const override { return { false, false }; }
+    void forward(const FwdCtx &ctx) override;
+    void backward(const BwdCtx &ctx) override;
+};
+
+/** Elementwise sum of two same-shape inputs (residual connection). */
+class AddLayer : public Layer
+{
+  public:
+    LayerKind kind() const override { return LayerKind::Add; }
+    Shape outputShape(std::span<const Shape> in) const override;
+    BackwardNeeds backwardNeeds() const override { return { false, false }; }
+    void forward(const FwdCtx &ctx) override;
+    void backward(const BwdCtx &ctx) override;
+};
+
+/** Inverted dropout with a 1-bit keep mask stashed for backward. */
+class DropoutLayer : public Layer
+{
+  public:
+    explicit DropoutLayer(float drop_prob, std::uint64_t seed = 1);
+
+    LayerKind kind() const override { return LayerKind::Dropout; }
+    Shape outputShape(std::span<const Shape> in) const override;
+    BackwardNeeds backwardNeeds() const override { return { false, false }; }
+    std::uint64_t auxStashBytes(std::span<const Shape> in) const override;
+    void forward(const FwdCtx &ctx) override;
+    void backward(const BwdCtx &ctx) override;
+    void releaseAuxStash() override;
+
+  private:
+    float drop_prob;
+    float inv_keep;
+    Rng rng;
+    BinarizedMask keep_mask;
+};
+
+/** Flatten NCHW to (N, C*H*W); a pure view change. */
+class FlattenLayer : public Layer
+{
+  public:
+    LayerKind kind() const override { return LayerKind::Flatten; }
+    Shape outputShape(std::span<const Shape> in) const override;
+    BackwardNeeds backwardNeeds() const override { return { false, false }; }
+    void forward(const FwdCtx &ctx) override;
+    void backward(const BwdCtx &ctx) override;
+};
+
+} // namespace gist

@@ -1,0 +1,159 @@
+#include "memory/allocator.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "util/logging.hpp"
+
+namespace gist {
+
+const char *
+dataClassName(DataClass cls)
+{
+    switch (cls) {
+      case DataClass::Weight: return "Weight";
+      case DataClass::WeightGrad: return "WeightGrad";
+      case DataClass::StashedFmap: return "StashedFmap";
+      case DataClass::ImmediateFmap: return "ImmediateFmap";
+      case DataClass::GradientMap: return "GradientMap";
+      case DataClass::Workspace: return "Workspace";
+      case DataClass::EncodedFmap: return "EncodedFmap";
+      case DataClass::DecodeScratch: return "DecodeScratch";
+    }
+    return "?";
+}
+
+AllocationResult
+allocateCntkStyle(const std::vector<PlannedBuffer> &bufs)
+{
+    AllocationResult result;
+    result.group_of.assign(bufs.size(), -1);
+
+    // Sort indices by size descending so big buffers seed the groups and
+    // smaller ones fill lifetime gaps inside them.
+    std::vector<size_t> order(bufs.size());
+    std::iota(order.begin(), order.end(), size_t{ 0 });
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return bufs[a].bytes > bufs[b].bytes;
+    });
+
+    struct Group
+    {
+        std::uint64_t bytes = 0; ///< size of the largest member
+        bool closed = false;     ///< holds a non-shareable buffer
+        /** Disjoint member lifetimes, keyed by start step. */
+        std::map<int, int> intervals;
+
+        bool
+        conflicts(const Interval &live) const
+        {
+            auto it = intervals.upper_bound(live.end);
+            if (it == intervals.begin())
+                return false;
+            --it;
+            return it->second >= live.start;
+        }
+    };
+    std::vector<Group> groups;
+
+    for (size_t idx : order) {
+        const auto &buf = bufs[idx];
+        if (buf.bytes == 0)
+            continue;
+        int placed = -1;
+        if (buf.shareable) {
+            for (size_t g = 0; g < groups.size(); ++g) {
+                if (!groups[g].closed &&
+                    !groups[g].conflicts(buf.live)) {
+                    placed = static_cast<int>(g);
+                    break;
+                }
+            }
+        }
+        if (placed < 0) {
+            groups.push_back(Group{});
+            placed = static_cast<int>(groups.size() - 1);
+        }
+        auto &group = groups[static_cast<size_t>(placed)];
+        group.intervals[buf.live.start] =
+            std::max(group.intervals[buf.live.start], buf.live.end);
+        group.bytes = std::max(group.bytes, buf.bytes);
+        group.closed = group.closed || !buf.shareable;
+        result.group_of[idx] = placed;
+    }
+
+    result.num_groups = static_cast<int>(groups.size());
+    for (const auto &g : groups)
+        result.total_bytes += g.bytes;
+    return result;
+}
+
+std::uint64_t
+allocateOffsetBestFit(const std::vector<PlannedBuffer> &bufs)
+{
+    std::vector<size_t> order(bufs.size());
+    std::iota(order.begin(), order.end(), size_t{ 0 });
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return bufs[a].bytes > bufs[b].bytes;
+    });
+
+    struct Placed
+    {
+        std::uint64_t offset;
+        std::uint64_t bytes;
+        Interval live;
+        bool shareable;
+    };
+    std::vector<Placed> placed;
+    std::uint64_t high_water = 0;
+
+    for (size_t idx : order) {
+        const auto &buf = bufs[idx];
+        if (buf.bytes == 0)
+            continue;
+        // Collect address ranges that conflict (lifetime overlap, or
+        // either side opted out of sharing).
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> busy;
+        for (const auto &p : placed) {
+            if (!buf.shareable || !p.shareable ||
+                p.live.overlaps(buf.live)) {
+                busy.emplace_back(p.offset, p.offset + p.bytes);
+            }
+        }
+        std::sort(busy.begin(), busy.end());
+        std::uint64_t cursor = 0;
+        for (const auto &[lo, hi] : busy) {
+            if (cursor + buf.bytes <= lo)
+                break; // gap found
+            cursor = std::max(cursor, hi);
+        }
+        placed.push_back(Placed{ cursor, buf.bytes, buf.live,
+                                 buf.shareable });
+        high_water = std::max(high_water, cursor + buf.bytes);
+    }
+    return high_water;
+}
+
+std::uint64_t
+dynamicPeak(const std::vector<PlannedBuffer> &bufs)
+{
+    // Sweep the step axis with +bytes at start and -bytes after end.
+    std::map<int, std::int64_t> delta;
+    for (const auto &buf : bufs) {
+        if (buf.bytes == 0)
+            continue;
+        delta[buf.live.start] += static_cast<std::int64_t>(buf.bytes);
+        delta[buf.live.end + 1] -= static_cast<std::int64_t>(buf.bytes);
+    }
+    std::int64_t live = 0;
+    std::int64_t peak = 0;
+    for (const auto &[step, d] : delta) {
+        live += d;
+        peak = std::max(peak, live);
+    }
+    GIST_ASSERT(live == 0, "liveness sweep did not return to zero");
+    return static_cast<std::uint64_t>(peak);
+}
+
+} // namespace gist

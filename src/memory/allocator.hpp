@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Memory allocation policies over planned buffers.
+ *
+ * allocateCntkStyle reproduces the CNTK static allocator the paper builds
+ * on (Section IV-C): sort data structures by size (descending), greedily
+ * group buffers whose lifetimes do not overlap, and charge each group its
+ * largest member. allocateOffsetBestFit is a stronger offset-packing
+ * policy kept as an ablation. dynamicPeak simulates hardware-assisted
+ * dynamic allocation (Section V-H): the footprint is the peak sum of
+ * simultaneously-live bytes.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "memory/planned_buffer.hpp"
+
+namespace gist {
+
+/** Outcome of a static allocation pass. */
+struct AllocationResult
+{
+    std::uint64_t total_bytes = 0;
+    /** Sharing-group index per buffer (CNTK policy only). */
+    std::vector<int> group_of;
+    int num_groups = 0;
+};
+
+/** CNTK-style size-sorted lifetime-sharing groups. */
+AllocationResult allocateCntkStyle(const std::vector<PlannedBuffer> &bufs);
+
+/**
+ * Offset packing: size-sorted first-fit address assignment; returns the
+ * high-water address. Non-shareable buffers still get dedicated space.
+ */
+std::uint64_t allocateOffsetBestFit(const std::vector<PlannedBuffer> &bufs);
+
+/** Peak of the sum of live bytes over schedule steps. */
+std::uint64_t dynamicPeak(const std::vector<PlannedBuffer> &bufs);
+
+} // namespace gist

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The memory planner's view of a data structure: a size, a lifetime
+ * interval on the combined forward+backward schedule, and the
+ * data-structure class the paper's Figure 1 breakdown uses.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gist {
+
+/** The paper's data-structure taxonomy (Section II-A, Figure 1). */
+enum class DataClass {
+    Weight,        ///< model parameters
+    WeightGrad,    ///< parameter gradients
+    StashedFmap,   ///< fmaps kept alive from forward into backward
+    ImmediateFmap, ///< fmaps consumed within the forward pass
+    GradientMap,   ///< backward-pass gradients of feature maps
+    Workspace,     ///< cuDNN-style intra-layer scratch
+    EncodedFmap,   ///< Gist-encoded stash (mask / map / CSR / DPR)
+    DecodeScratch, ///< FP32 buffer decoded just before the backward use
+};
+
+/** Name of a DataClass ("StashedFmap", ...). */
+const char *dataClassName(DataClass cls);
+
+/** Inclusive lifetime on the schedule's step axis. */
+struct Interval
+{
+    int start = 0;
+    int end = 0;
+
+    bool overlaps(const Interval &other) const
+    {
+        return start <= other.end && other.start <= end;
+    }
+};
+
+/** A data structure as the allocator sees it. */
+struct PlannedBuffer
+{
+    std::string name;
+    DataClass cls = DataClass::ImmediateFmap;
+    std::uint64_t bytes = 0;
+    Interval live;
+    /**
+     * May this buffer participate in memory sharing? The paper's
+     * "investigation baseline" (Section V-A) forbids sharing for stashed
+     * feature maps so each encoding's effect can be isolated.
+     */
+    bool shareable = true;
+    /** Graph node this buffer belongs to (-1 if none), for reporting. */
+    std::int32_t origin_node = -1;
+};
+
+} // namespace gist

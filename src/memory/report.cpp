@@ -1,0 +1,40 @@
+#include "memory/report.hpp"
+
+#include <algorithm>
+
+namespace gist {
+
+std::map<DataClass, std::uint64_t>
+bytesByClass(const std::vector<PlannedBuffer> &bufs)
+{
+    std::map<DataClass, std::uint64_t> totals;
+    for (const auto &buf : bufs)
+        totals[buf.cls] += buf.bytes;
+    return totals;
+}
+
+std::uint64_t
+bytesOfClasses(const std::vector<PlannedBuffer> &bufs,
+               std::initializer_list<DataClass> classes)
+{
+    std::uint64_t total = 0;
+    for (const auto &buf : bufs)
+        if (std::find(classes.begin(), classes.end(), buf.cls) !=
+            classes.end())
+            total += buf.bytes;
+    return total;
+}
+
+std::vector<PlannedBuffer>
+filterClasses(const std::vector<PlannedBuffer> &bufs,
+              std::initializer_list<DataClass> classes)
+{
+    std::vector<PlannedBuffer> out;
+    for (const auto &buf : bufs)
+        if (std::find(classes.begin(), classes.end(), buf.cls) !=
+            classes.end())
+            out.push_back(buf);
+    return out;
+}
+
+} // namespace gist

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Per-DataClass footprint summaries for the Figure 1/3/10/13 breakdowns.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "memory/planned_buffer.hpp"
+
+namespace gist {
+
+/** Sum of buffer sizes per data class (raw, before any sharing). */
+std::map<DataClass, std::uint64_t>
+bytesByClass(const std::vector<PlannedBuffer> &bufs);
+
+/** Total raw bytes of the selected classes. */
+std::uint64_t bytesOfClasses(const std::vector<PlannedBuffer> &bufs,
+                             std::initializer_list<DataClass> classes);
+
+/** Buffers restricted to the given classes. */
+std::vector<PlannedBuffer>
+filterClasses(const std::vector<PlannedBuffer> &bufs,
+              std::initializer_list<DataClass> classes);
+
+} // namespace gist

@@ -1,0 +1,179 @@
+#include "models/builder.hpp"
+
+#include "layers/layers.hpp"
+#include "util/logging.hpp"
+
+namespace gist {
+
+NetBuilder::NetBuilder(std::int64_t batch, std::int64_t channels,
+                       std::int64_t h, std::int64_t w)
+{
+    cur = graph.addInput("data", Shape::nchw(batch, channels, h, w));
+}
+
+const Shape &
+NetBuilder::shapeOf(NodeId id) const
+{
+    return graph.node(id).out_shape;
+}
+
+std::string
+NetBuilder::autoName(const std::string &base)
+{
+    return base + std::to_string(++counter);
+}
+
+NodeId
+NetBuilder::convAt(NodeId at, std::int64_t out_c, std::int64_t k,
+                   std::int64_t stride, std::int64_t pad,
+                   const std::string &name)
+{
+    const auto &in_shape = shapeOf(at);
+    auto layer = std::make_unique<ConvLayer>(
+        in_shape.c(), ConvSpec::square(out_c, k, stride, pad));
+    return graph.addNode(name.empty() ? autoName("conv") : name,
+                         std::move(layer), { at });
+}
+
+NodeId
+NetBuilder::reluAt(NodeId at, const std::string &name)
+{
+    return graph.addNode(name.empty() ? autoName("relu") : name,
+                         std::make_unique<ReluLayer>(), { at });
+}
+
+NodeId
+NetBuilder::maxpoolAt(NodeId at, std::int64_t k, std::int64_t stride,
+                      std::int64_t pad, const std::string &name)
+{
+    return graph.addNode(name.empty() ? autoName("pool") : name,
+                         std::make_unique<MaxPoolLayer>(
+                             PoolSpec::square(k, stride, pad)),
+                         { at });
+}
+
+NodeId
+NetBuilder::conv(std::int64_t out_c, std::int64_t k, std::int64_t stride,
+                 std::int64_t pad, const std::string &name)
+{
+    cur = convAt(cur, out_c, k, stride, pad, name);
+    return cur;
+}
+
+NodeId
+NetBuilder::relu(const std::string &name)
+{
+    cur = reluAt(cur, name);
+    return cur;
+}
+
+NodeId
+NetBuilder::sigmoid(const std::string &name)
+{
+    cur = graph.addNode(name.empty() ? autoName("sigmoid") : name,
+                        std::make_unique<SigmoidLayer>(), { cur });
+    return cur;
+}
+
+NodeId
+NetBuilder::tanh(const std::string &name)
+{
+    cur = graph.addNode(name.empty() ? autoName("tanh") : name,
+                        std::make_unique<TanhLayer>(), { cur });
+    return cur;
+}
+
+NodeId
+NetBuilder::maxpool(std::int64_t k, std::int64_t stride, std::int64_t pad,
+                    const std::string &name)
+{
+    cur = maxpoolAt(cur, k, stride, pad, name);
+    return cur;
+}
+
+NodeId
+NetBuilder::avgpool(std::int64_t k, std::int64_t stride, std::int64_t pad,
+                    const std::string &name)
+{
+    cur = graph.addNode(name.empty() ? autoName("avgpool") : name,
+                        std::make_unique<AvgPoolLayer>(
+                            PoolSpec::square(k, stride, pad)),
+                        { cur });
+    return cur;
+}
+
+NodeId
+NetBuilder::globalAvgPool(const std::string &name)
+{
+    const auto &s = shapeOf(cur);
+    GIST_ASSERT(s.rank() == 4, "global pool needs NCHW input");
+    GIST_ASSERT(s.h() == s.w(), "global pool expects square maps");
+    return avgpool(s.h(), 1, 0, name.empty() ? autoName("gap") : name);
+}
+
+NodeId
+NetBuilder::lrn(const std::string &name)
+{
+    cur = graph.addNode(name.empty() ? autoName("lrn") : name,
+                        std::make_unique<LrnLayer>(), { cur });
+    return cur;
+}
+
+NodeId
+NetBuilder::batchnorm(const std::string &name)
+{
+    cur = graph.addNode(name.empty() ? autoName("bn") : name,
+                        std::make_unique<BatchNormLayer>(shapeOf(cur).c()),
+                        { cur });
+    return cur;
+}
+
+NodeId
+NetBuilder::fc(std::int64_t out_features, const std::string &name)
+{
+    const auto &s = shapeOf(cur);
+    const std::int64_t in_features = s.numel() / s.dim(0);
+    cur = graph.addNode(name.empty() ? autoName("fc") : name,
+                        std::make_unique<FcLayer>(in_features,
+                                                  out_features),
+                        { cur });
+    return cur;
+}
+
+NodeId
+NetBuilder::dropout(float p, const std::string &name)
+{
+    cur = graph.addNode(
+        name.empty() ? autoName("drop") : name,
+        std::make_unique<DropoutLayer>(
+            p, static_cast<std::uint64_t>(counter + 7)),
+        { cur });
+    return cur;
+}
+
+NodeId
+NetBuilder::add(NodeId other, const std::string &name)
+{
+    cur = graph.addNode(name.empty() ? autoName("add") : name,
+                        std::make_unique<AddLayer>(), { cur, other });
+    return cur;
+}
+
+NodeId
+NetBuilder::concat(std::vector<NodeId> parts, const std::string &name)
+{
+    cur = graph.addNode(name.empty() ? autoName("concat") : name,
+                        std::make_unique<ConcatLayer>(), std::move(parts));
+    return cur;
+}
+
+NodeId
+NetBuilder::loss(std::int64_t classes, const std::string &name)
+{
+    cur = graph.addNode(name.empty() ? "loss" : name,
+                        std::make_unique<SoftmaxCrossEntropyLayer>(classes),
+                        { cur });
+    return cur;
+}
+
+} // namespace gist

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fluent helper for assembling CNN graphs. Tracks the "current" node so
+ * sequential trunks read like the paper's network tables; branch points
+ * (Inception, ResNet shortcuts) use explicit node ids.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace gist {
+
+/** Sequential-with-branches CNN graph builder. */
+class NetBuilder
+{
+  public:
+    /** Start a graph with an NCHW input node. */
+    NetBuilder(std::int64_t batch, std::int64_t channels, std::int64_t h,
+               std::int64_t w);
+
+    /** Current trunk node (branch here). */
+    NodeId tip() const { return cur; }
+    /** Re-root the trunk at @p id (after assembling a branch). */
+    void setTip(NodeId id) { cur = id; }
+
+    /** Shape of any node's output. */
+    const Shape &shapeOf(NodeId id) const;
+
+    // Trunk-extending layers (each returns the new node id).
+    NodeId conv(std::int64_t out_c, std::int64_t k, std::int64_t stride = 1,
+                std::int64_t pad = 0, const std::string &name = "");
+    NodeId relu(const std::string &name = "");
+    NodeId sigmoid(const std::string &name = "");
+    NodeId tanh(const std::string &name = "");
+    NodeId maxpool(std::int64_t k, std::int64_t stride,
+                   std::int64_t pad = 0, const std::string &name = "");
+    NodeId avgpool(std::int64_t k, std::int64_t stride,
+                   std::int64_t pad = 0, const std::string &name = "");
+    /** Average pool over the full spatial extent. */
+    NodeId globalAvgPool(const std::string &name = "");
+    NodeId lrn(const std::string &name = "");
+    NodeId batchnorm(const std::string &name = "");
+    NodeId fc(std::int64_t out_features, const std::string &name = "");
+    NodeId dropout(float p, const std::string &name = "");
+    /** Elementwise add of the trunk and @p other (ResNet shortcut). */
+    NodeId add(NodeId other, const std::string &name = "");
+    /** Concat the given nodes along channels; re-roots the trunk. */
+    NodeId concat(std::vector<NodeId> parts, const std::string &name = "");
+    /** Softmax + cross-entropy head; finishes the network. */
+    NodeId loss(std::int64_t classes, const std::string &name = "");
+
+    /** Same layers, rooted at an arbitrary node (for branches). */
+    NodeId convAt(NodeId at, std::int64_t out_c, std::int64_t k,
+                  std::int64_t stride = 1, std::int64_t pad = 0,
+                  const std::string &name = "");
+    NodeId reluAt(NodeId at, const std::string &name = "");
+    NodeId maxpoolAt(NodeId at, std::int64_t k, std::int64_t stride,
+                     std::int64_t pad = 0, const std::string &name = "");
+
+    /** Finish and take the graph. */
+    Graph take() { return std::move(graph); }
+
+  private:
+    std::string autoName(const std::string &base);
+
+    Graph graph;
+    NodeId cur = -1;
+    int counter = 0;
+};
+
+} // namespace gist

@@ -1,0 +1,173 @@
+#include "models/tiny.hpp"
+
+#include "models/builder.hpp"
+
+namespace gist::models {
+
+namespace {
+
+void
+convRelu(NetBuilder &net, std::int64_t out_c, std::int64_t k,
+         std::int64_t stride = 1, std::int64_t pad = 0)
+{
+    net.conv(out_c, k, stride, pad);
+    net.relu();
+}
+
+NodeId
+tinyInceptionModule(NetBuilder &net, NodeId in, std::int64_t c1,
+                    std::int64_t c3r, std::int64_t c3, std::int64_t pp)
+{
+    NodeId b1 = net.reluAt(net.convAt(in, c1, 1));
+    NodeId b2 = net.reluAt(net.convAt(in, c3r, 1));
+    b2 = net.reluAt(net.convAt(b2, c3, 3, 1, 1));
+    NodeId b3 = net.maxpoolAt(in, 3, 1, 1);
+    b3 = net.reluAt(net.convAt(b3, pp, 1));
+    return net.concat({ b1, b2, b3 });
+}
+
+void
+tinyBasicBlock(NetBuilder &net, std::int64_t channels, bool downsample)
+{
+    const NodeId block_in = net.tip();
+    net.conv(channels, 3, downsample ? 2 : 1, 1);
+    net.batchnorm();
+    net.relu();
+    net.conv(channels, 3, 1, 1);
+    net.batchnorm();
+    NodeId main = net.tip();
+
+    NodeId shortcut = block_in;
+    if (downsample || net.shapeOf(block_in).c() != channels) {
+        shortcut = net.convAt(block_in, channels, 1, downsample ? 2 : 1);
+        net.setTip(shortcut);
+        net.batchnorm();
+        shortcut = net.tip();
+    }
+    net.setTip(main);
+    net.add(shortcut);
+    net.relu();
+}
+
+} // namespace
+
+Graph
+tinyAlexnet(std::int64_t batch, std::int64_t classes)
+{
+    NetBuilder net(batch, kTinyChannels, kTinyImage, kTinyImage);
+    convRelu(net, 16, 3, 1, 1);
+    net.maxpool(2, 2);
+    convRelu(net, 32, 3, 1, 1);
+    net.maxpool(2, 2);
+    convRelu(net, 32, 3, 1, 1);
+    net.maxpool(2, 2);
+    net.fc(64);
+    net.relu();
+    net.dropout(0.25f);
+    net.fc(classes);
+    net.loss(classes);
+    return net.take();
+}
+
+Graph
+tinyNin(std::int64_t batch, std::int64_t classes)
+{
+    NetBuilder net(batch, kTinyChannels, kTinyImage, kTinyImage);
+    convRelu(net, 24, 3, 1, 1);
+    convRelu(net, 24, 1);
+    net.maxpool(2, 2);
+    convRelu(net, 48, 3, 1, 1);
+    convRelu(net, 48, 1);
+    net.maxpool(2, 2);
+    convRelu(net, 48, 3, 1, 1);
+    convRelu(net, classes, 1);
+    net.globalAvgPool();
+    net.loss(classes);
+    return net.take();
+}
+
+Graph
+tinyOverfeat(std::int64_t batch, std::int64_t classes)
+{
+    NetBuilder net(batch, kTinyChannels, kTinyImage, kTinyImage);
+    convRelu(net, 16, 3, 1, 1);
+    net.maxpool(2, 2);
+    convRelu(net, 32, 3, 1, 1);
+    net.maxpool(2, 2);
+    convRelu(net, 48, 3, 1, 1);
+    convRelu(net, 48, 3, 1, 1);
+    net.maxpool(2, 2);
+    net.fc(96);
+    net.relu();
+    net.dropout(0.25f);
+    net.fc(classes);
+    net.loss(classes);
+    return net.take();
+}
+
+Graph
+tinyVgg(std::int64_t batch, std::int64_t classes)
+{
+    NetBuilder net(batch, kTinyChannels, kTinyImage, kTinyImage);
+    convRelu(net, 16, 3, 1, 1);
+    convRelu(net, 16, 3, 1, 1);
+    net.maxpool(2, 2);
+    convRelu(net, 32, 3, 1, 1);
+    convRelu(net, 32, 3, 1, 1);
+    net.maxpool(2, 2);
+    convRelu(net, 48, 3, 1, 1);
+    convRelu(net, 48, 3, 1, 1);
+    net.maxpool(2, 2);
+    net.fc(96);
+    net.relu();
+    net.dropout(0.25f);
+    net.fc(classes);
+    net.loss(classes);
+    return net.take();
+}
+
+Graph
+tinyInception(std::int64_t batch, std::int64_t classes)
+{
+    NetBuilder net(batch, kTinyChannels, kTinyImage, kTinyImage);
+    convRelu(net, 16, 3, 1, 1);
+    net.maxpool(2, 2);
+    tinyInceptionModule(net, net.tip(), 8, 8, 16, 8);
+    net.maxpool(2, 2);
+    tinyInceptionModule(net, net.tip(), 16, 12, 24, 12);
+    net.globalAvgPool();
+    net.fc(classes);
+    net.loss(classes);
+    return net.take();
+}
+
+Graph
+tinyResnet(std::int64_t batch, std::int64_t classes)
+{
+    NetBuilder net(batch, kTinyChannels, kTinyImage, kTinyImage);
+    net.conv(16, 3, 1, 1);
+    net.batchnorm();
+    net.relu();
+    tinyBasicBlock(net, 16, false);
+    tinyBasicBlock(net, 32, true);
+    net.globalAvgPool();
+    net.fc(classes);
+    net.loss(classes);
+    return net.take();
+}
+
+const std::vector<ModelEntry> &
+tinyModels()
+{
+    static const std::vector<ModelEntry> entries = {
+        { "AlexNet", [](std::int64_t b) { return tinyAlexnet(b); } },
+        { "NiN", [](std::int64_t b) { return tinyNin(b); } },
+        { "Overfeat", [](std::int64_t b) { return tinyOverfeat(b); } },
+        { "VGG16", [](std::int64_t b) { return tinyVgg(b); } },
+        { "Inception", [](std::int64_t b) { return tinyInception(b); } },
+        { "ResNet", [](std::int64_t b) { return tinyResnet(b); } },
+    };
+    return entries;
+}
+
+} // namespace gist::models

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Tiny trainable variants of the paper's networks.
+ *
+ * The paper trains on ImageNet; offline we substitute a deterministic
+ * synthetic dataset (train/dataset.hpp) and shrink each architecture to
+ * laptop scale while preserving its *layer-pair structure* (the
+ * ReLU->Pool / ReLU->Conv / Other mix that drives Gist's encodings), so
+ * accuracy-sensitivity results keep the paper's shape.
+ */
+
+#pragma once
+
+#include "models/zoo.hpp"
+
+namespace gist::models {
+
+/** Default input geometry of the tiny models. */
+inline constexpr std::int64_t kTinyImage = 16;
+inline constexpr std::int64_t kTinyChannels = 3;
+inline constexpr std::int64_t kTinyClasses = 8;
+
+Graph tinyAlexnet(std::int64_t batch, std::int64_t classes = kTinyClasses);
+Graph tinyNin(std::int64_t batch, std::int64_t classes = kTinyClasses);
+Graph tinyOverfeat(std::int64_t batch,
+                   std::int64_t classes = kTinyClasses);
+Graph tinyVgg(std::int64_t batch, std::int64_t classes = kTinyClasses);
+Graph tinyInception(std::int64_t batch,
+                    std::int64_t classes = kTinyClasses);
+Graph tinyResnet(std::int64_t batch, std::int64_t classes = kTinyClasses);
+
+/** All tiny models, names matching their full-scale counterparts. */
+const std::vector<ModelEntry> &tinyModels();
+
+} // namespace gist::models

@@ -1,0 +1,417 @@
+#include "models/zoo.hpp"
+
+#include <cmath>
+
+#include "models/builder.hpp"
+#include "util/logging.hpp"
+
+namespace gist::models {
+
+namespace {
+
+/** conv -> relu shorthand. */
+void
+convRelu(NetBuilder &net, std::int64_t out_c, std::int64_t k,
+         std::int64_t stride = 1, std::int64_t pad = 0)
+{
+    net.conv(out_c, k, stride, pad);
+    net.relu();
+}
+
+/** GoogLeNet inception module; returns the concat node. */
+NodeId
+inceptionModule(NetBuilder &net, NodeId in, std::int64_t c1,
+                std::int64_t c3r, std::int64_t c3, std::int64_t c5r,
+                std::int64_t c5, std::int64_t pp)
+{
+    // 1x1 branch
+    NodeId b1 = net.reluAt(net.convAt(in, c1, 1));
+    // 1x1 -> 3x3 branch
+    NodeId b2 = net.reluAt(net.convAt(in, c3r, 1));
+    b2 = net.reluAt(net.convAt(b2, c3, 3, 1, 1));
+    // 1x1 -> 5x5 branch
+    NodeId b3 = net.reluAt(net.convAt(in, c5r, 1));
+    b3 = net.reluAt(net.convAt(b3, c5, 5, 1, 2));
+    // pool -> 1x1 branch
+    NodeId b4 = net.maxpoolAt(in, 3, 1, 1);
+    b4 = net.reluAt(net.convAt(b4, pp, 1));
+    return net.concat({ b1, b2, b3, b4 });
+}
+
+/** ResNet basic block: conv-bn-relu-conv-bn + shortcut, then relu. */
+void
+basicBlock(NetBuilder &net, std::int64_t channels, bool downsample)
+{
+    const NodeId block_in = net.tip();
+    net.conv(channels, 3, downsample ? 2 : 1, 1);
+    net.batchnorm();
+    net.relu();
+    net.conv(channels, 3, 1, 1);
+    net.batchnorm();
+    NodeId main = net.tip();
+
+    NodeId shortcut = block_in;
+    if (downsample || net.shapeOf(block_in).c() != channels) {
+        shortcut = net.convAt(block_in, channels, 1, downsample ? 2 : 1);
+        net.setTip(shortcut);
+        net.batchnorm();
+        shortcut = net.tip();
+    }
+    net.setTip(main);
+    net.add(shortcut);
+    net.relu();
+}
+
+/** ResNet bottleneck block: 1x1 reduce, 3x3, 1x1 expand + shortcut. */
+void
+bottleneckBlock(NetBuilder &net, std::int64_t mid_channels,
+                bool downsample)
+{
+    const std::int64_t out_channels = mid_channels * 4;
+    const NodeId block_in = net.tip();
+    net.conv(mid_channels, 1, downsample ? 2 : 1);
+    net.batchnorm();
+    net.relu();
+    net.conv(mid_channels, 3, 1, 1);
+    net.batchnorm();
+    net.relu();
+    net.conv(out_channels, 1);
+    net.batchnorm();
+    NodeId main = net.tip();
+
+    NodeId shortcut = block_in;
+    if (downsample || net.shapeOf(block_in).c() != out_channels) {
+        shortcut =
+            net.convAt(block_in, out_channels, 1, downsample ? 2 : 1);
+        net.setTip(shortcut);
+        net.batchnorm();
+        shortcut = net.tip();
+    }
+    net.setTip(main);
+    net.add(shortcut);
+    net.relu();
+}
+
+} // namespace
+
+Graph
+alexnet(std::int64_t batch, std::int64_t classes)
+{
+    // Layer order follows CNTK's AlexNet sample (pool before LRN),
+    // which is what gives AlexNet its ReLU->Pool Binarize targets in
+    // paper Figure 3. (The original AlexNet paper normalizes before
+    // pooling; see DESIGN.md for the note on this substitution.)
+    NetBuilder net(batch, 3, 227, 227);
+    convRelu(net, 96, 11, 4, 0);
+    net.maxpool(3, 2);
+    net.lrn();
+    convRelu(net, 256, 5, 1, 2);
+    net.maxpool(3, 2);
+    net.lrn();
+    convRelu(net, 384, 3, 1, 1);
+    convRelu(net, 384, 3, 1, 1);
+    convRelu(net, 256, 3, 1, 1);
+    net.maxpool(3, 2);
+    net.fc(4096);
+    net.relu();
+    net.dropout(0.5f);
+    net.fc(4096);
+    net.relu();
+    net.dropout(0.5f);
+    net.fc(classes);
+    net.loss(classes);
+    return net.take();
+}
+
+Graph
+nin(std::int64_t batch, std::int64_t classes)
+{
+    NetBuilder net(batch, 3, 227, 227);
+    convRelu(net, 96, 11, 4, 0);
+    convRelu(net, 96, 1);
+    convRelu(net, 96, 1);
+    net.maxpool(3, 2);
+    convRelu(net, 256, 5, 1, 2);
+    convRelu(net, 256, 1);
+    convRelu(net, 256, 1);
+    net.maxpool(3, 2);
+    convRelu(net, 384, 3, 1, 1);
+    convRelu(net, 384, 1);
+    convRelu(net, 384, 1);
+    net.maxpool(3, 2);
+    net.dropout(0.5f);
+    convRelu(net, 1024, 3, 1, 1);
+    convRelu(net, 1024, 1);
+    convRelu(net, classes, 1);
+    net.globalAvgPool();
+    net.loss(classes);
+    return net.take();
+}
+
+Graph
+overfeat(std::int64_t batch, std::int64_t classes)
+{
+    // The "fast" Overfeat model, 231x231 inputs.
+    NetBuilder net(batch, 3, 231, 231);
+    convRelu(net, 96, 11, 4, 0);
+    net.maxpool(2, 2);
+    convRelu(net, 256, 5, 1, 0);
+    net.maxpool(2, 2);
+    convRelu(net, 512, 3, 1, 1);
+    convRelu(net, 1024, 3, 1, 1);
+    convRelu(net, 1024, 3, 1, 1);
+    net.maxpool(2, 2);
+    net.fc(3072);
+    net.relu();
+    net.dropout(0.5f);
+    net.fc(4096);
+    net.relu();
+    net.dropout(0.5f);
+    net.fc(classes);
+    net.loss(classes);
+    return net.take();
+}
+
+Graph
+vgg16(std::int64_t batch, std::int64_t classes)
+{
+    NetBuilder net(batch, 3, 224, 224);
+    for (int i = 0; i < 2; ++i)
+        convRelu(net, 64, 3, 1, 1);
+    net.maxpool(2, 2);
+    for (int i = 0; i < 2; ++i)
+        convRelu(net, 128, 3, 1, 1);
+    net.maxpool(2, 2);
+    for (int i = 0; i < 3; ++i)
+        convRelu(net, 256, 3, 1, 1);
+    net.maxpool(2, 2);
+    for (int i = 0; i < 3; ++i)
+        convRelu(net, 512, 3, 1, 1);
+    net.maxpool(2, 2);
+    for (int i = 0; i < 3; ++i)
+        convRelu(net, 512, 3, 1, 1);
+    net.maxpool(2, 2);
+    net.fc(4096);
+    net.relu();
+    net.dropout(0.5f);
+    net.fc(4096);
+    net.relu();
+    net.dropout(0.5f);
+    net.fc(classes);
+    net.loss(classes);
+    return net.take();
+}
+
+Graph
+vgg19(std::int64_t batch, std::int64_t classes)
+{
+    NetBuilder net(batch, 3, 224, 224);
+    const int stages[5] = { 2, 2, 4, 4, 4 };
+    const std::int64_t channels[5] = { 64, 128, 256, 512, 512 };
+    for (int s = 0; s < 5; ++s) {
+        for (int i = 0; i < stages[s]; ++i)
+            convRelu(net, channels[s], 3, 1, 1);
+        net.maxpool(2, 2);
+    }
+    net.fc(4096);
+    net.relu();
+    net.dropout(0.5f);
+    net.fc(4096);
+    net.relu();
+    net.dropout(0.5f);
+    net.fc(classes);
+    net.loss(classes);
+    return net.take();
+}
+
+namespace {
+
+/** SqueezeNet fire module: squeeze 1x1, expand 1x1 || 3x3, concat. */
+NodeId
+fireModule(NetBuilder &net, NodeId in, std::int64_t squeeze,
+           std::int64_t expand)
+{
+    NodeId s = net.reluAt(net.convAt(in, squeeze, 1));
+    NodeId e1 = net.reluAt(net.convAt(s, expand, 1));
+    NodeId e3 = net.reluAt(net.convAt(s, expand, 3, 1, 1));
+    return net.concat({ e1, e3 });
+}
+
+} // namespace
+
+Graph
+squeezenet(std::int64_t batch, std::int64_t classes)
+{
+    // SqueezeNet v1.1.
+    NetBuilder net(batch, 3, 227, 227);
+    convRelu(net, 64, 3, 2, 0);
+    net.maxpool(3, 2);
+    fireModule(net, net.tip(), 16, 64);
+    fireModule(net, net.tip(), 16, 64);
+    net.maxpool(3, 2);
+    fireModule(net, net.tip(), 32, 128);
+    fireModule(net, net.tip(), 32, 128);
+    net.maxpool(3, 2);
+    fireModule(net, net.tip(), 48, 192);
+    fireModule(net, net.tip(), 48, 192);
+    fireModule(net, net.tip(), 64, 256);
+    fireModule(net, net.tip(), 64, 256);
+    net.dropout(0.5f);
+    convRelu(net, classes, 1);
+    net.globalAvgPool();
+    net.loss(classes);
+    return net.take();
+}
+
+Graph
+inceptionV1(std::int64_t batch, std::int64_t classes)
+{
+    NetBuilder net(batch, 3, 224, 224);
+    convRelu(net, 64, 7, 2, 3);
+    net.maxpool(3, 2, 1);
+    net.lrn();
+    convRelu(net, 64, 1);
+    convRelu(net, 192, 3, 1, 1);
+    net.lrn();
+    net.maxpool(3, 2, 1);
+    inceptionModule(net, net.tip(), 64, 96, 128, 16, 32, 32);   // 3a
+    inceptionModule(net, net.tip(), 128, 128, 192, 32, 96, 64); // 3b
+    net.maxpool(3, 2, 1);
+    inceptionModule(net, net.tip(), 192, 96, 208, 16, 48, 64);  // 4a
+    inceptionModule(net, net.tip(), 160, 112, 224, 24, 64, 64); // 4b
+    inceptionModule(net, net.tip(), 128, 128, 256, 24, 64, 64); // 4c
+    inceptionModule(net, net.tip(), 112, 144, 288, 32, 64, 64); // 4d
+    inceptionModule(net, net.tip(), 256, 160, 320, 32, 128, 128); // 4e
+    net.maxpool(3, 2, 1);
+    inceptionModule(net, net.tip(), 256, 160, 320, 32, 128, 128); // 5a
+    inceptionModule(net, net.tip(), 384, 192, 384, 48, 128, 128); // 5b
+    net.globalAvgPool();
+    net.dropout(0.4f);
+    net.fc(classes);
+    net.loss(classes);
+    return net.take();
+}
+
+Graph
+resnet34(std::int64_t batch, std::int64_t classes)
+{
+    NetBuilder net(batch, 3, 224, 224);
+    net.conv(64, 7, 2, 3);
+    net.batchnorm();
+    net.relu();
+    net.maxpool(3, 2, 1);
+    const int stage_blocks[4] = { 3, 4, 6, 3 };
+    const std::int64_t stage_channels[4] = { 64, 128, 256, 512 };
+    for (int s = 0; s < 4; ++s)
+        for (int b = 0; b < stage_blocks[s]; ++b)
+            basicBlock(net, stage_channels[s], s > 0 && b == 0);
+    net.globalAvgPool();
+    net.fc(classes);
+    net.loss(classes);
+    return net.take();
+}
+
+Graph
+resnet50(std::int64_t batch, std::int64_t classes)
+{
+    NetBuilder net(batch, 3, 224, 224);
+    net.conv(64, 7, 2, 3);
+    net.batchnorm();
+    net.relu();
+    net.maxpool(3, 2, 1);
+    const int stage_blocks[4] = { 3, 4, 6, 3 };
+    const std::int64_t stage_mid[4] = { 64, 128, 256, 512 };
+    for (int s = 0; s < 4; ++s)
+        for (int b = 0; b < stage_blocks[s]; ++b)
+            bottleneckBlock(net, stage_mid[s], s > 0 && b == 0);
+    net.globalAvgPool();
+    net.fc(classes);
+    net.loss(classes);
+    return net.take();
+}
+
+Graph
+densenetBc(std::int64_t batch, int block_layers, std::int64_t growth,
+           std::int64_t classes)
+{
+    NetBuilder net(batch, 3, 32, 32);
+    net.conv(2 * growth, 3, 1, 1);
+    for (int block = 0; block < 3; ++block) {
+        for (int layer = 0; layer < block_layers; ++layer) {
+            const NodeId trunk = net.tip();
+            // BN-ReLU-Conv(1x1 bottleneck)-BN-ReLU-Conv(3x3), then the
+            // new features are concatenated onto the running trunk.
+            net.batchnorm();
+            net.relu();
+            net.conv(4 * growth, 1);
+            net.batchnorm();
+            net.relu();
+            net.conv(growth, 3, 1, 1);
+            const NodeId fresh = net.tip();
+            net.setTip(trunk);
+            net.concat({ trunk, fresh });
+        }
+        if (block < 2) {
+            // Transition: BN-ReLU-Conv(1x1, 0.5 compression)-AvgPool.
+            const std::int64_t channels = net.shapeOf(net.tip()).c();
+            net.batchnorm();
+            net.relu();
+            net.conv(channels / 2, 1);
+            net.avgpool(2, 2);
+        }
+    }
+    net.batchnorm();
+    net.relu();
+    net.globalAvgPool();
+    net.fc(classes);
+    net.loss(classes);
+    return net.take();
+}
+
+Graph
+resnetCifar(int depth, std::int64_t batch, std::int64_t classes)
+{
+    const int n = std::max(1, static_cast<int>(
+                                  std::lround((depth - 2) / 6.0)));
+    NetBuilder net(batch, 3, 32, 32);
+    net.conv(16, 3, 1, 1);
+    net.batchnorm();
+    net.relu();
+    const std::int64_t stage_channels[3] = { 16, 32, 64 };
+    for (int s = 0; s < 3; ++s)
+        for (int b = 0; b < n; ++b)
+            basicBlock(net, stage_channels[s], s > 0 && b == 0);
+    net.globalAvgPool();
+    net.fc(classes);
+    net.loss(classes);
+    return net.take();
+}
+
+const std::vector<ModelEntry> &
+paperModels()
+{
+    static const std::vector<ModelEntry> entries = {
+        { "AlexNet", [](std::int64_t b) { return alexnet(b); } },
+        { "NiN", [](std::int64_t b) { return nin(b); } },
+        { "Overfeat", [](std::int64_t b) { return overfeat(b); } },
+        { "VGG16", [](std::int64_t b) { return vgg16(b); } },
+        { "Inception", [](std::int64_t b) { return inceptionV1(b); } },
+    };
+    return entries;
+}
+
+const std::vector<ModelEntry> &
+allModels()
+{
+    static const std::vector<ModelEntry> entries = [] {
+        std::vector<ModelEntry> all = paperModels();
+        all.push_back(
+            { "ResNet34", [](std::int64_t b) { return resnet34(b); } });
+        all.push_back(
+            { "ResNet50", [](std::int64_t b) { return resnet50(b); } });
+        return all;
+    }();
+    return entries;
+}
+
+} // namespace gist::models

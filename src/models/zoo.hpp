@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Full-scale ImageNet model descriptors of the networks the paper
+ * evaluates (Section V-A): AlexNet, NiN, Overfeat, VGG16, Inception-v1,
+ * plus ResNet-34 (ImageNet) and the composable-depth CIFAR-style ResNet
+ * used for the Figure 16 depth study.
+ *
+ * These graphs are used for *memory planning* (shapes and lifetimes);
+ * their parameters are placeholders and are never allocated unless
+ * Graph::initParams is called.
+ */
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace gist::models {
+
+Graph alexnet(std::int64_t batch, std::int64_t classes = 1000);
+Graph nin(std::int64_t batch, std::int64_t classes = 1000);
+Graph overfeat(std::int64_t batch, std::int64_t classes = 1000);
+Graph vgg16(std::int64_t batch, std::int64_t classes = 1000);
+Graph vgg19(std::int64_t batch, std::int64_t classes = 1000);
+Graph squeezenet(std::int64_t batch, std::int64_t classes = 1000);
+Graph inceptionV1(std::int64_t batch, std::int64_t classes = 1000);
+Graph resnet34(std::int64_t batch, std::int64_t classes = 1000);
+Graph resnet50(std::int64_t batch, std::int64_t classes = 1000);
+
+/**
+ * DenseNet-BC (growth rate @p growth, 3 dense blocks of @p block_layers
+ * BN-ReLU-Conv layers each, 0.5 compression transitions) on 32x32
+ * inputs — the architecture the paper's related work [39] singles out
+ * for extreme stash pressure: every layer's output is concatenated into
+ * everything downstream, so stashes pile up quadratically.
+ */
+Graph densenetBc(std::int64_t batch, int block_layers = 12,
+                 std::int64_t growth = 12, std::int64_t classes = 10);
+
+/**
+ * CIFAR-style ResNet (basic blocks, 16/32/64 channels over 32x32 inputs)
+ * as in the original ResNet paper's depth study; @p depth is the total
+ * layer count (6n+2 for integer n; the nearest n is used otherwise,
+ * matching the paper's 509/851/1202-layer configurations).
+ */
+Graph resnetCifar(int depth, std::int64_t batch, std::int64_t classes = 10);
+
+/** A named model builder. */
+struct ModelEntry
+{
+    std::string name;
+    std::function<Graph(std::int64_t)> build; ///< batch -> graph
+};
+
+/** The five networks of the paper's main evaluation figures. */
+const std::vector<ModelEntry> &paperModels();
+
+/** paperModels() plus ResNet-34. */
+const std::vector<ModelEntry> &allModels();
+
+} // namespace gist::models

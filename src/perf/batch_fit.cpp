@@ -1,0 +1,60 @@
+#include "perf/batch_fit.hpp"
+
+#include "util/logging.hpp"
+
+namespace gist {
+
+namespace {
+
+std::uint64_t
+footprintAt(const std::function<Graph(std::int64_t)> &build,
+            const GistConfig &config, const SparsityModel &sparsity,
+            std::int64_t batch)
+{
+    Graph graph = build(batch);
+    return planModel(graph, config, sparsity).pool_static;
+}
+
+} // namespace
+
+BatchFitResult
+largestFittingBatch(const std::function<Graph(std::int64_t)> &build,
+                    const GistConfig &config,
+                    const SparsityModel &sparsity,
+                    std::uint64_t budget_bytes,
+                    std::int64_t max_batch_cap)
+{
+    GIST_ASSERT(max_batch_cap >= 1, "bad batch cap");
+    if (footprintAt(build, config, sparsity, 1) > budget_bytes)
+        return {};
+
+    // Exponential growth to bracket, then binary search.
+    std::int64_t lo = 1; // known to fit
+    std::int64_t hi = 1;
+    while (hi < max_batch_cap &&
+           footprintAt(build, config, sparsity, hi * 2) <= budget_bytes) {
+        hi *= 2;
+    }
+    lo = hi;
+    std::int64_t upper = std::min(max_batch_cap, hi * 2);
+    while (lo + 1 < upper) {
+        const std::int64_t mid = (lo + upper) / 2;
+        if (footprintAt(build, config, sparsity, mid) <= budget_bytes)
+            lo = mid;
+        else
+            upper = mid;
+    }
+    return { lo, footprintAt(build, config, sparsity, lo) };
+}
+
+double
+speedupFromBatches(std::int64_t baseline_batch, std::int64_t gist_batch,
+                   const GpuModelParams &params)
+{
+    GIST_ASSERT(baseline_batch >= 1 && gist_batch >= 1,
+                "batches must be positive");
+    return utilizationEta(static_cast<double>(gist_batch), params) /
+           utilizationEta(static_cast<double>(baseline_batch), params);
+}
+
+} // namespace gist

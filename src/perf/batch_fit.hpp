@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 16 machinery: find the largest minibatch whose training
+ * footprint fits the GPU memory budget, and convert minibatch-size gains
+ * into throughput speedups via the utilization curve.
+ */
+
+#pragma once
+
+#include <functional>
+
+#include "core/planner.hpp"
+#include "perf/gpu_model.hpp"
+
+namespace gist {
+
+/** Result of a fit search. */
+struct BatchFitResult
+{
+    std::int64_t max_batch = 0;
+    std::uint64_t footprint_bytes = 0; ///< at max_batch
+};
+
+/**
+ * Largest batch (>= 1) whose MFR-pool static footprint fits in
+ * @p budget_bytes under @p config; {0, 0} if even batch 1 does not fit.
+ *
+ * @param build batch -> graph factory
+ */
+BatchFitResult
+largestFittingBatch(const std::function<Graph(std::int64_t)> &build,
+                    const GistConfig &config,
+                    const SparsityModel &sparsity,
+                    std::uint64_t budget_bytes,
+                    std::int64_t max_batch_cap = 1024);
+
+/**
+ * Training throughput speedup from growing the minibatch: per-image work
+ * is constant, so throughput scales with the utilization factor.
+ */
+double speedupFromBatches(std::int64_t baseline_batch,
+                          std::int64_t gist_batch,
+                          const GpuModelParams &params);
+
+} // namespace gist

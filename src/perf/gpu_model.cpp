@@ -1,0 +1,108 @@
+#include "perf/gpu_model.hpp"
+
+#include <algorithm>
+
+#include "layers/conv.hpp"
+#include "layers/fc.hpp"
+
+namespace gist {
+
+std::uint64_t
+layerForwardFlops(const Graph &graph, const Node &node)
+{
+    const std::uint64_t out_elems =
+        static_cast<std::uint64_t>(node.out_shape.numel());
+    switch (node.kind()) {
+      case LayerKind::Conv: {
+        const auto *conv = static_cast<const ConvLayer *>(node.layer.get());
+        const auto &spec = conv->spec();
+        const std::uint64_t taps =
+            static_cast<std::uint64_t>(conv->inChannels()) *
+            static_cast<std::uint64_t>(spec.kernel_h * spec.kernel_w);
+        return 2 * out_elems * taps;
+      }
+      case LayerKind::Fc: {
+        const auto &in_shape = graph.node(node.inputs[0]).out_shape;
+        const std::uint64_t in_features = static_cast<std::uint64_t>(
+            in_shape.numel() / in_shape.dim(0));
+        return 2 * out_elems * in_features;
+      }
+      case LayerKind::BatchNorm:
+      case LayerKind::Lrn:
+        return 8 * out_elems;
+      case LayerKind::MaxPool:
+      case LayerKind::AvgPool: {
+        // ~window size comparisons/adds per output.
+        std::uint64_t in_elems = 0;
+        for (NodeId in : node.inputs)
+            in_elems += static_cast<std::uint64_t>(
+                graph.node(in).out_shape.numel());
+        return in_elems;
+      }
+      default:
+        return out_elems;
+    }
+}
+
+std::uint64_t
+layerForwardBytes(const Graph &graph, const Node &node)
+{
+    std::uint64_t bytes =
+        static_cast<std::uint64_t>(node.out_shape.numel()) * 4;
+    for (NodeId in : node.inputs)
+        bytes += static_cast<std::uint64_t>(
+                     graph.node(in).out_shape.numel()) * 4;
+    if (node.layer)
+        for (Tensor *p :
+             const_cast<Layer *>(node.layer.get())->params())
+            bytes += static_cast<std::uint64_t>(p->numel()) * 4;
+    return bytes;
+}
+
+LayerTime
+estimateLayerTime(const Graph &graph, const Node &node,
+                  const GpuModelParams &params)
+{
+    if (node.kind() == LayerKind::Input)
+        return {};
+    const double flops =
+        static_cast<double>(layerForwardFlops(graph, node));
+    const double bytes =
+        static_cast<double>(layerForwardBytes(graph, node));
+    const double t_compute =
+        flops / (params.peak_flops * params.compute_efficiency);
+    const double t_memory = bytes / params.mem_bandwidth;
+    LayerTime t;
+    t.fwd = std::max(t_compute, t_memory);
+    // Backward runs ~2x the forward FLOPs (dW and dX passes) and touches
+    // the gradients in addition to the stashes.
+    t.bwd = std::max(2.0 * t_compute, 2.0 * t_memory);
+    return t;
+}
+
+std::vector<LayerTime>
+estimateGraphTimes(const Graph &graph, const GpuModelParams &params)
+{
+    std::vector<LayerTime> times(static_cast<size_t>(graph.numNodes()));
+    for (const auto &node : graph.nodes())
+        times[static_cast<size_t>(node.id)] =
+            estimateLayerTime(graph, node, params);
+    return times;
+}
+
+double
+minibatchComputeSeconds(const Graph &graph, const GpuModelParams &params)
+{
+    double total = 0.0;
+    for (const auto &t : estimateGraphTimes(graph, params))
+        total += t.fwd + t.bwd;
+    return total;
+}
+
+double
+utilizationEta(double batch, const GpuModelParams &params)
+{
+    return batch / (batch + params.batch_half_point);
+}
+
+} // namespace gist

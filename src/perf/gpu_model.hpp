@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Analytic GPU performance model (Titan-X-class card).
+ *
+ * Offline substitution for the paper's measured GPU timings: per-layer
+ * time is the roofline max of FLOP time and memory-traffic time. It is
+ * used by the vDNN comparison (Figure 15: transfer-vs-compute overlap)
+ * and the minibatch-scaling study (Figure 16). Absolute numbers are
+ * model estimates; the comparisons consume only ratios.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace gist {
+
+/** Hardware parameters (defaults: Maxwell GTX Titan X + PCIe 3.0 x16). */
+struct GpuModelParams
+{
+    double peak_flops = 6.1e12;   ///< FP32 FLOP/s
+    double mem_bandwidth = 336e9; ///< GDDR5 bytes/s
+    double pcie_bandwidth = 12e9; ///< effective host link bytes/s
+    /** Achievable fraction of peak FLOPs for dense conv/GEMM kernels. */
+    double compute_efficiency = 0.55;
+    /**
+     * Minibatch size at which kernels reach half of their saturated
+     * throughput (drives the Figure 16 utilization curve).
+     */
+    double batch_half_point = 4.0;
+};
+
+/** Estimated forward/backward seconds for one node. */
+struct LayerTime
+{
+    double fwd = 0.0;
+    double bwd = 0.0;
+};
+
+/** FLOPs of one forward invocation of @p node. */
+std::uint64_t layerForwardFlops(const Graph &graph, const Node &node);
+
+/** Bytes read+written by one forward invocation (roofline traffic). */
+std::uint64_t layerForwardBytes(const Graph &graph, const Node &node);
+
+/** Roofline time estimate for one node (backward ~ 2x forward FLOPs). */
+LayerTime estimateLayerTime(const Graph &graph, const Node &node,
+                            const GpuModelParams &params);
+
+/** Per-node times for the whole graph (indexed by NodeId). */
+std::vector<LayerTime> estimateGraphTimes(const Graph &graph,
+                                          const GpuModelParams &params);
+
+/** Sum of fwd+bwd across the graph: the no-transfer minibatch time. */
+double minibatchComputeSeconds(const Graph &graph,
+                               const GpuModelParams &params);
+
+/**
+ * GPU utilization factor in [0, 1) as a function of minibatch size:
+ * b / (b + batch_half_point). Throughput(b) = b * eta(b) / t(b).
+ */
+double utilizationEta(double batch, const GpuModelParams &params);
+
+} // namespace gist

@@ -1,0 +1,72 @@
+#include "tensor/gemm.hpp"
+
+#include "util/logging.hpp"
+
+namespace gist {
+
+namespace {
+
+/** Scale C by beta (handles beta == 0 without reading C). */
+void
+scaleC(std::int64_t m, std::int64_t n, float beta, float *c)
+{
+    const std::int64_t total = m * n;
+    if (beta == 0.0f) {
+        for (std::int64_t i = 0; i < total; ++i)
+            c[i] = 0.0f;
+    } else if (beta != 1.0f) {
+        for (std::int64_t i = 0; i < total; ++i)
+            c[i] *= beta;
+    }
+}
+
+} // namespace
+
+void
+gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+     std::int64_t k, float alpha, const float *a, const float *b, float beta,
+     float *c)
+{
+    GIST_ASSERT(m >= 0 && n >= 0 && k >= 0, "bad gemm dims");
+    scaleC(m, n, beta, c);
+    if (alpha == 0.0f || m == 0 || n == 0 || k == 0)
+        return;
+
+    if (!trans_b) {
+        // op(B) rows are contiguous: use the (i, p, j) ordering so the
+        // inner loop streams both B and C.
+        for (std::int64_t i = 0; i < m; ++i) {
+            float *c_row = c + i * n;
+            for (std::int64_t p = 0; p < k; ++p) {
+                const float a_val =
+                    alpha * (trans_a ? a[p * m + i] : a[i * k + p]);
+                if (a_val == 0.0f)
+                    continue;
+                const float *b_row = b + p * n;
+                for (std::int64_t j = 0; j < n; ++j)
+                    c_row[j] += a_val * b_row[j];
+            }
+        }
+    } else {
+        // B is stored n x k: rows of B are the reduction axis, so use a
+        // dot-product per output element.
+        for (std::int64_t i = 0; i < m; ++i) {
+            float *c_row = c + i * n;
+            for (std::int64_t j = 0; j < n; ++j) {
+                const float *b_row = b + j * k;
+                float acc = 0.0f;
+                if (!trans_a) {
+                    const float *a_row = a + i * k;
+                    for (std::int64_t p = 0; p < k; ++p)
+                        acc += a_row[p] * b_row[p];
+                } else {
+                    for (std::int64_t p = 0; p < k; ++p)
+                        acc += a[p * m + i] * b_row[p];
+                }
+                c_row[j] += alpha * acc;
+            }
+        }
+    }
+}
+
+} // namespace gist

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Single-precision GEMM. This is the "dense compute" substrate that conv
+ * (via im2col) and fully-connected layers run on — the CPU stand-in for
+ * cuDNN/cuBLAS dense kernels in the paper.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace gist {
+
+/**
+ * C = alpha * op(A) * op(B) + beta * C.
+ *
+ * All matrices are dense row-major. op(A) is A (m x k) or A^T when
+ * @p trans_a (A stored k x m); likewise for B.
+ *
+ * @param m rows of op(A) and C
+ * @param n cols of op(B) and C
+ * @param k cols of op(A) / rows of op(B)
+ */
+void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+          std::int64_t k, float alpha, const float *a, const float *b,
+          float beta, float *c);
+
+} // namespace gist

@@ -1,0 +1,66 @@
+#include "tensor/im2col.hpp"
+
+namespace gist {
+
+void
+im2col(const ConvGeometry &geom, const float *image, float *columns)
+{
+    const std::int64_t out_h = geom.outH();
+    const std::int64_t out_w = geom.outW();
+    std::int64_t row = 0;
+    for (std::int64_t c = 0; c < geom.in_c; ++c) {
+        for (std::int64_t kh = 0; kh < geom.kernel_h; ++kh) {
+            for (std::int64_t kw = 0; kw < geom.kernel_w; ++kw, ++row) {
+                float *out_row = columns + row * (out_h * out_w);
+                const float *img_plane = image + c * geom.in_h * geom.in_w;
+                for (std::int64_t oh = 0; oh < out_h; ++oh) {
+                    const std::int64_t ih =
+                        oh * geom.stride_h - geom.pad_h + kh;
+                    if (ih < 0 || ih >= geom.in_h) {
+                        for (std::int64_t ow = 0; ow < out_w; ++ow)
+                            out_row[oh * out_w + ow] = 0.0f;
+                        continue;
+                    }
+                    const float *img_row = img_plane + ih * geom.in_w;
+                    for (std::int64_t ow = 0; ow < out_w; ++ow) {
+                        const std::int64_t iw =
+                            ow * geom.stride_w - geom.pad_w + kw;
+                        out_row[oh * out_w + ow] =
+                            (iw < 0 || iw >= geom.in_w) ? 0.0f : img_row[iw];
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+col2im(const ConvGeometry &geom, const float *columns, float *image)
+{
+    const std::int64_t out_h = geom.outH();
+    const std::int64_t out_w = geom.outW();
+    std::int64_t row = 0;
+    for (std::int64_t c = 0; c < geom.in_c; ++c) {
+        for (std::int64_t kh = 0; kh < geom.kernel_h; ++kh) {
+            for (std::int64_t kw = 0; kw < geom.kernel_w; ++kw, ++row) {
+                const float *in_row = columns + row * (out_h * out_w);
+                float *img_plane = image + c * geom.in_h * geom.in_w;
+                for (std::int64_t oh = 0; oh < out_h; ++oh) {
+                    const std::int64_t ih =
+                        oh * geom.stride_h - geom.pad_h + kh;
+                    if (ih < 0 || ih >= geom.in_h)
+                        continue;
+                    float *img_row = img_plane + ih * geom.in_w;
+                    for (std::int64_t ow = 0; ow < out_w; ++ow) {
+                        const std::int64_t iw =
+                            ow * geom.stride_w - geom.pad_w + kw;
+                        if (iw >= 0 && iw < geom.in_w)
+                            img_row[iw] += in_row[oh * out_w + ow];
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace gist

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * im2col / col2im lowering for convolution. Matches the dataflow of
+ * GEMM-based cuDNN convolution algorithms; the "column" buffer is the
+ * analogue of the cuDNN workspace the paper accounts for.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace gist {
+
+/** Static geometry of a 2-D convolution / pooling window. */
+struct ConvGeometry
+{
+    std::int64_t in_c = 0;     ///< input channels
+    std::int64_t in_h = 0;     ///< input height
+    std::int64_t in_w = 0;     ///< input width
+    std::int64_t kernel_h = 0; ///< filter height
+    std::int64_t kernel_w = 0; ///< filter width
+    std::int64_t stride_h = 1;
+    std::int64_t stride_w = 1;
+    std::int64_t pad_h = 0;
+    std::int64_t pad_w = 0;
+
+    std::int64_t outH() const
+    {
+        return (in_h + 2 * pad_h - kernel_h) / stride_h + 1;
+    }
+    std::int64_t outW() const
+    {
+        return (in_w + 2 * pad_w - kernel_w) / stride_w + 1;
+    }
+    /** Rows of the column matrix: C * kh * kw. */
+    std::int64_t colRows() const { return in_c * kernel_h * kernel_w; }
+    /** Columns of the column matrix: outH * outW. */
+    std::int64_t colCols() const { return outH() * outW(); }
+};
+
+/**
+ * Expand a single image (C x H x W, contiguous) into a column matrix of
+ * shape colRows() x colCols(); out-of-bounds taps read as zero.
+ */
+void im2col(const ConvGeometry &geom, const float *image, float *columns);
+
+/**
+ * Reverse of im2col: scatter-accumulate a column matrix back into an image
+ * buffer (which must be pre-zeroed by the caller).
+ */
+void col2im(const ConvGeometry &geom, const float *columns, float *image);
+
+} // namespace gist

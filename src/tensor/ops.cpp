@@ -1,0 +1,104 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace gist {
+
+void
+reluForward(std::span<const float> x, std::span<float> y)
+{
+    GIST_ASSERT(x.size() == y.size(), "relu size mismatch");
+    for (size_t i = 0; i < x.size(); ++i)
+        y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+void
+reluBackward(std::span<const float> y, std::span<const float> dy,
+             std::span<float> dx)
+{
+    GIST_ASSERT(y.size() == dy.size() && y.size() == dx.size(),
+                "relu backward size mismatch");
+    for (size_t i = 0; i < y.size(); ++i)
+        dx[i] = y[i] > 0.0f ? dy[i] : 0.0f;
+}
+
+void
+reluBackwardFromMask(std::span<const std::uint8_t> mask_bits,
+                     std::span<const float> dy, std::span<float> dx)
+{
+    GIST_ASSERT(dy.size() == dx.size(), "relu backward size mismatch");
+    GIST_ASSERT(mask_bits.size() * 8 >= dy.size(), "mask too small");
+    for (size_t i = 0; i < dy.size(); ++i) {
+        const bool positive = (mask_bits[i >> 3] >> (i & 7)) & 1;
+        dx[i] = positive ? dy[i] : 0.0f;
+    }
+}
+
+void
+accumulate(std::span<const float> in, std::span<float> out)
+{
+    GIST_ASSERT(in.size() == out.size(), "accumulate size mismatch");
+    for (size_t i = 0; i < in.size(); ++i)
+        out[i] += in[i];
+}
+
+void
+add(std::span<const float> a, std::span<const float> b, std::span<float> out)
+{
+    GIST_ASSERT(a.size() == b.size() && a.size() == out.size(),
+                "add size mismatch");
+    for (size_t i = 0; i < a.size(); ++i)
+        out[i] = a[i] + b[i];
+}
+
+void
+scale(std::span<float> x, float s)
+{
+    for (auto &v : x)
+        v *= s;
+}
+
+void
+softmaxRows(const float *logits, float *probs, std::int64_t rows,
+            std::int64_t cols)
+{
+    for (std::int64_t r = 0; r < rows; ++r) {
+        const float *in = logits + r * cols;
+        float *out = probs + r * cols;
+        float max_val = in[0];
+        for (std::int64_t c = 1; c < cols; ++c)
+            max_val = std::max(max_val, in[c]);
+        float sum = 0.0f;
+        for (std::int64_t c = 0; c < cols; ++c) {
+            out[c] = std::exp(in[c] - max_val);
+            sum += out[c];
+        }
+        const float inv = 1.0f / sum;
+        for (std::int64_t c = 0; c < cols; ++c)
+            out[c] *= inv;
+    }
+}
+
+float
+crossEntropyWithGrad(const float *probs, const std::int32_t *labels,
+                     std::int64_t rows, std::int64_t cols, float *dlogits)
+{
+    float loss = 0.0f;
+    const float inv_rows = 1.0f / static_cast<float>(rows);
+    for (std::int64_t r = 0; r < rows; ++r) {
+        const std::int32_t label = labels[r];
+        GIST_ASSERT(label >= 0 && label < cols, "label ", label,
+                    " out of range for ", cols, " classes");
+        const float *p = probs + r * cols;
+        float *d = dlogits + r * cols;
+        loss -= std::log(std::max(p[label], 1e-12f));
+        for (std::int64_t c = 0; c < cols; ++c)
+            d[c] = (p[c] - (c == label ? 1.0f : 0.0f)) * inv_rows;
+    }
+    return loss * inv_rows;
+}
+
+} // namespace gist

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Elementwise and reduction kernels shared by the layer implementations.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace gist {
+
+class Tensor;
+
+/** y = max(x, 0). */
+void reluForward(std::span<const float> x, std::span<float> y);
+
+/**
+ * dx = dy where y > 0, else 0 — ReLU backward needs only the *sign* of its
+ * stashed output (the observation behind the Binarize encoding).
+ */
+void reluBackward(std::span<const float> y, std::span<const float> dy,
+                  std::span<float> dx);
+
+/** Same as reluBackward, but driven by a precomputed sign mask. */
+void reluBackwardFromMask(std::span<const std::uint8_t> mask_bits,
+                          std::span<const float> dy, std::span<float> dx);
+
+/** out += in (element count must match). */
+void accumulate(std::span<const float> in, std::span<float> out);
+
+/** out = a + b. */
+void add(std::span<const float> a, std::span<const float> b,
+         std::span<float> out);
+
+/** x *= s. */
+void scale(std::span<float> x, float s);
+
+/** Row-wise softmax over a (rows x cols) matrix. */
+void softmaxRows(const float *logits, float *probs, std::int64_t rows,
+                 std::int64_t cols);
+
+/**
+ * Mean cross-entropy loss of row-wise probabilities against integer labels,
+ * plus the gradient w.r.t. the logits ((p - onehot) / rows).
+ */
+float crossEntropyWithGrad(const float *probs, const std::int32_t *labels,
+                           std::int64_t rows, std::int64_t cols,
+                           float *dlogits);
+
+} // namespace gist

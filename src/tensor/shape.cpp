@@ -1,0 +1,69 @@
+#include "tensor/shape.hpp"
+
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace gist {
+
+Shape::Shape(std::initializer_list<std::int64_t> dims_list)
+    : dims(dims_list)
+{
+    GIST_ASSERT(dims.size() <= 4, "shapes support up to 4 dims");
+    for (auto d : dims)
+        GIST_ASSERT(d >= 0, "negative dimension in shape");
+}
+
+Shape::Shape(std::vector<std::int64_t> dims_vec)
+    : dims(std::move(dims_vec))
+{
+    GIST_ASSERT(dims.size() <= 4, "shapes support up to 4 dims");
+    for (auto d : dims)
+        GIST_ASSERT(d >= 0, "negative dimension in shape");
+}
+
+Shape
+Shape::nchw(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w)
+{
+    return Shape{ n, c, h, w };
+}
+
+std::int64_t
+Shape::dim(std::int64_t i) const
+{
+    GIST_ASSERT(i >= 0 && i < rank(), "dim index ", i, " out of range for ",
+                toString());
+    return dims[static_cast<size_t>(i)];
+}
+
+std::int64_t
+Shape::dim4(std::int64_t i) const
+{
+    GIST_ASSERT(rank() == 4, "NCHW accessor on rank-", rank(), " shape");
+    return dims[static_cast<size_t>(i)];
+}
+
+std::int64_t
+Shape::numel() const
+{
+    std::int64_t n = 1;
+    for (auto d : dims)
+        n *= d;
+    return dims.empty() ? 0 : n;
+}
+
+std::string
+Shape::toString() const
+{
+    std::ostringstream oss;
+    oss << "[";
+    for (size_t i = 0; i < dims.size(); ++i) {
+        if (i)
+            oss << ", ";
+        oss << dims[i];
+    }
+    oss << "]";
+    return oss.str();
+}
+
+} // namespace gist

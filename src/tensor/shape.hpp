@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Tensor shapes. Feature maps are NCHW; weights and 2-D matrices reuse the
+ * same type with fewer dimensions.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace gist {
+
+/** A dense row-major shape of up to 4 dimensions. */
+class Shape
+{
+  public:
+    Shape() = default;
+    Shape(std::initializer_list<std::int64_t> dims_list);
+    explicit Shape(std::vector<std::int64_t> dims_vec);
+
+    /** NCHW convenience constructor. */
+    static Shape nchw(std::int64_t n, std::int64_t c, std::int64_t h,
+                      std::int64_t w);
+
+    std::int64_t rank() const { return static_cast<std::int64_t>(dims.size()); }
+    std::int64_t dim(std::int64_t i) const;
+    std::int64_t numel() const;
+
+    /** NCHW accessors; valid only for rank-4 shapes. */
+    std::int64_t n() const { return dim4(0); }
+    std::int64_t c() const { return dim4(1); }
+    std::int64_t h() const { return dim4(2); }
+    std::int64_t w() const { return dim4(3); }
+
+    bool operator==(const Shape &other) const { return dims == other.dims; }
+    bool operator!=(const Shape &other) const { return !(*this == other); }
+
+    /** "[64, 3, 224, 224]" */
+    std::string toString() const;
+
+    const std::vector<std::int64_t> &asVector() const { return dims; }
+
+  private:
+    std::int64_t dim4(std::int64_t i) const;
+
+    std::vector<std::int64_t> dims;
+};
+
+} // namespace gist

@@ -1,0 +1,148 @@
+#include "tensor/tensor.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace gist {
+
+Tensor::Tensor(Shape shape_in)
+    : shape_(std::move(shape_in)),
+      data_(static_cast<size_t>(shape_.numel()), 0.0f)
+{
+}
+
+Tensor
+Tensor::zeros(Shape shape)
+{
+    return Tensor(std::move(shape));
+}
+
+Tensor
+Tensor::placeholder(Shape shape)
+{
+    Tensor t;
+    t.shape_ = std::move(shape);
+    return t;
+}
+
+Tensor
+Tensor::full(Shape shape, float value)
+{
+    Tensor t(std::move(shape));
+    for (auto &x : t.data_)
+        x = value;
+    return t;
+}
+
+Tensor
+Tensor::randn(Shape shape, Rng &rng, float stddev)
+{
+    Tensor t(std::move(shape));
+    for (auto &x : t.data_)
+        x = rng.normal(0.0f, stddev);
+    return t;
+}
+
+Tensor
+Tensor::uniform(Shape shape, Rng &rng, float lo, float hi)
+{
+    Tensor t(std::move(shape));
+    for (auto &x : t.data_)
+        x = rng.uniform(lo, hi);
+    return t;
+}
+
+float &
+Tensor::at(std::int64_t i)
+{
+    GIST_ASSERT(i >= 0 && i < numel(), "index ", i, " out of range");
+    return data_[static_cast<size_t>(i)];
+}
+
+float
+Tensor::at(std::int64_t i) const
+{
+    GIST_ASSERT(i >= 0 && i < numel(), "index ", i, " out of range");
+    return data_[static_cast<size_t>(i)];
+}
+
+float &
+Tensor::at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w)
+{
+    const auto &s = shape_;
+    return data_[static_cast<size_t>(
+        ((n * s.c() + c) * s.h() + h) * s.w() + w)];
+}
+
+float
+Tensor::at4(std::int64_t n, std::int64_t c, std::int64_t h,
+            std::int64_t w) const
+{
+    const auto &s = shape_;
+    return data_[static_cast<size_t>(
+        ((n * s.c() + c) * s.h() + h) * s.w() + w)];
+}
+
+void
+Tensor::setZero()
+{
+    std::memset(data_.data(), 0, data_.size() * sizeof(float));
+}
+
+void
+Tensor::releaseStorage()
+{
+    data_.clear();
+    data_.shrink_to_fit();
+}
+
+void
+Tensor::reallocate()
+{
+    data_.assign(static_cast<size_t>(shape_.numel()), 0.0f);
+}
+
+void
+Tensor::reshape(const Shape &new_shape)
+{
+    GIST_ASSERT(new_shape.numel() == shape_.numel(), "reshape ",
+                shape_.toString(), " -> ", new_shape.toString(),
+                " changes element count");
+    shape_ = new_shape;
+}
+
+double
+Tensor::sparsity() const
+{
+    if (data_.empty())
+        return 0.0;
+    std::int64_t zeros = 0;
+    for (float x : data_)
+        zeros += (x == 0.0f);
+    return static_cast<double>(zeros) / static_cast<double>(data_.size());
+}
+
+bool
+Tensor::bitIdentical(const Tensor &other) const
+{
+    if (shape_ != other.shape_ || data_.size() != other.data_.size())
+        return false;
+    return std::memcmp(data_.data(), other.data_.data(),
+                       data_.size() * sizeof(float)) == 0;
+}
+
+float
+Tensor::maxAbsDiff(const Tensor &a, const Tensor &b)
+{
+    GIST_ASSERT(a.shape() == b.shape(), "shape mismatch ",
+                a.shape().toString(), " vs ", b.shape().toString());
+    float max_diff = 0.0f;
+    for (std::int64_t i = 0; i < a.numel(); ++i)
+        max_diff = std::max(max_diff, std::fabs(a.at(i) - b.at(i)));
+    return max_diff;
+}
+
+} // namespace gist

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Dense FP32 tensor. This is the substrate datatype for the training
+ * engine; the Gist encodings replace a Tensor's payload with a compact
+ * representation between its forward and backward uses.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/shape.hpp"
+
+namespace gist {
+
+class Rng;
+
+/** A dense, row-major FP32 tensor with value semantics. */
+class Tensor
+{
+  public:
+    Tensor() = default;
+    explicit Tensor(Shape shape_in);
+
+    /** Allocate a zero-filled tensor of the given shape. */
+    static Tensor zeros(Shape shape);
+    /**
+     * A tensor that knows its shape but owns no storage yet (used so that
+     * planning-only graphs never allocate full-scale parameters); call
+     * reallocate() before use.
+     */
+    static Tensor placeholder(Shape shape);
+    /** Allocate a tensor with all elements set to @p value. */
+    static Tensor full(Shape shape, float value);
+    /** Allocate with i.i.d. N(0, stddev) entries drawn from @p rng. */
+    static Tensor randn(Shape shape, Rng &rng, float stddev = 1.0f);
+    /** Allocate with i.i.d. U[lo, hi) entries drawn from @p rng. */
+    static Tensor uniform(Shape shape, Rng &rng, float lo, float hi);
+
+    const Shape &shape() const { return shape_; }
+    std::int64_t numel() const { return shape_.numel(); }
+    /** Payload size in bytes (4 bytes per element). */
+    std::uint64_t bytes() const { return std::uint64_t(numel()) * 4; }
+    bool empty() const { return data_.empty(); }
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+    std::span<float> span() { return { data_.data(), data_.size() }; }
+    std::span<const float> span() const { return { data_.data(),
+                                                   data_.size() }; }
+
+    float &at(std::int64_t i);
+    float at(std::int64_t i) const;
+
+    /** NCHW element access; tensor must be rank 4. */
+    float &at4(std::int64_t n, std::int64_t c, std::int64_t h,
+               std::int64_t w);
+    float at4(std::int64_t n, std::int64_t c, std::int64_t h,
+              std::int64_t w) const;
+
+    /** Set every element to zero. */
+    void setZero();
+
+    /** Release the payload, keeping the shape (Gist drops FP32 copies). */
+    void releaseStorage();
+    /** Re-allocate a zeroed payload after releaseStorage(). */
+    void reallocate();
+
+    /** Change the logical shape; element count must match. */
+    void reshape(const Shape &new_shape);
+
+    /** Fraction of elements equal to 0.0f. */
+    double sparsity() const;
+
+    /** Exact element-wise equality (for losslessness tests). */
+    bool bitIdentical(const Tensor &other) const;
+
+    /** Max |a - b| over all elements; shapes must match. */
+    static float maxAbsDiff(const Tensor &a, const Tensor &b);
+
+  private:
+    Shape shape_;
+    std::vector<float> data_;
+};
+
+} // namespace gist

@@ -1,0 +1,99 @@
+#include "train/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace gist {
+
+namespace {
+
+constexpr char kMagic[8] = { 'G', 'I', 'S', 'T', 'C', 'K', 'P', 'T' };
+constexpr std::uint32_t kVersion = 1;
+
+std::vector<Tensor *>
+paramsOf(Graph &graph)
+{
+    std::vector<Tensor *> out;
+    for (auto &node : graph.nodes())
+        if (node.layer)
+            for (Tensor *p : node.layer->params())
+                out.push_back(p);
+    return out;
+}
+
+template <typename T>
+void
+writePod(std::ofstream &out, const T &value)
+{
+    out.write(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+template <typename T>
+T
+readPod(std::ifstream &in)
+{
+    T value{};
+    in.read(reinterpret_cast<char *>(&value), sizeof(T));
+    return value;
+}
+
+} // namespace
+
+void
+saveWeights(Graph &graph, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        GIST_FATAL("cannot open ", path, " for writing");
+    out.write(kMagic, sizeof(kMagic));
+    writePod(out, kVersion);
+
+    const auto params = paramsOf(graph);
+    writePod(out, static_cast<std::uint64_t>(params.size()));
+    for (Tensor *p : params) {
+        GIST_ASSERT(!p->empty(), "cannot checkpoint unallocated params");
+        writePod(out, static_cast<std::uint64_t>(p->numel()));
+        out.write(reinterpret_cast<const char *>(p->data()),
+                  static_cast<std::streamsize>(p->numel()) * 4);
+    }
+    if (!out)
+        GIST_FATAL("short write to ", path);
+}
+
+void
+loadWeights(Graph &graph, const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        GIST_FATAL("cannot open ", path, " for reading");
+    char magic[8];
+    in.read(magic, sizeof(magic));
+    if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        GIST_FATAL(path, " is not a Gist checkpoint");
+    const auto version = readPod<std::uint32_t>(in);
+    if (version != kVersion)
+        GIST_FATAL("unsupported checkpoint version ", version);
+
+    const auto params = paramsOf(graph);
+    const auto count = readPod<std::uint64_t>(in);
+    if (count != params.size())
+        GIST_FATAL("checkpoint has ", count, " tensors, graph expects ",
+                   params.size());
+    for (Tensor *p : params) {
+        const auto numel = readPod<std::uint64_t>(in);
+        if (numel != static_cast<std::uint64_t>(p->numel()))
+            GIST_FATAL("checkpoint tensor has ", numel,
+                       " elements, graph expects ", p->numel());
+        if (p->empty())
+            p->reallocate();
+        in.read(reinterpret_cast<char *>(p->data()),
+                static_cast<std::streamsize>(p->numel()) * 4);
+    }
+    if (!in)
+        GIST_FATAL("short read from ", path);
+}
+
+} // namespace gist

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Weight checkpointing: save/restore all trainable parameters of a graph
+ * to a small self-describing binary file, so training runs (e.g. the
+ * accuracy studies) can be resumed or inspected offline.
+ *
+ * Format: magic "GISTCKPT", u32 version, u64 tensor count, then per
+ * tensor: u64 element count followed by raw little-endian FP32 data.
+ * Tensors are ordered exactly as Graph::nodes() x Layer::params().
+ */
+
+#pragma once
+
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace gist {
+
+/** Write every parameter tensor of @p graph to @p path. */
+void saveWeights(Graph &graph, const std::string &path);
+
+/**
+ * Load parameters saved by saveWeights into @p graph. The graph must
+ * have the same parameter structure (fatal error otherwise) and its
+ * parameters must already be allocated (initParams).
+ */
+void loadWeights(Graph &graph, const std::string &path);
+
+} // namespace gist

@@ -1,0 +1,141 @@
+#include "train/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace gist {
+
+namespace {
+
+/** Clamp to [0, 1]. */
+float
+clamp01(float x)
+{
+    return std::min(1.0f, std::max(0.0f, x));
+}
+
+} // namespace
+
+SyntheticDataset::SyntheticDataset(const Spec &spec)
+    : spec_(spec),
+      example_elems(spec.channels * spec.image * spec.image)
+{
+    GIST_ASSERT(spec_.classes >= 2 && spec_.image >= 4, "bad dataset spec");
+    Rng rng(spec_.seed);
+
+    // Smooth per-class prototypes: a few random low-frequency sinusoids
+    // per channel so classes differ in orientation/phase structure.
+    prototypes.assign(
+        static_cast<size_t>(spec_.classes * example_elems), 0.0f);
+    for (std::int64_t k = 0; k < spec_.classes; ++k) {
+        Rng class_rng = rng.fork(static_cast<std::uint64_t>(k) + 1);
+        for (std::int64_t c = 0; c < spec_.channels; ++c) {
+            const float fx = class_rng.uniform(0.5f, 2.5f);
+            const float fy = class_rng.uniform(0.5f, 2.5f);
+            const float phase = class_rng.uniform(0.0f, 6.28f);
+            const float amp = class_rng.uniform(0.3f, 0.5f);
+            for (std::int64_t y = 0; y < spec_.image; ++y) {
+                for (std::int64_t x = 0; x < spec_.image; ++x) {
+                    const float u =
+                        static_cast<float>(x) /
+                        static_cast<float>(spec_.image) * 6.28f;
+                    const float v =
+                        static_cast<float>(y) /
+                        static_cast<float>(spec_.image) * 6.28f;
+                    const size_t idx = static_cast<size_t>(
+                        ((k * spec_.channels + c) * spec_.image + y) *
+                            spec_.image + x);
+                    prototypes[idx] =
+                        0.5f +
+                        amp * std::sin(fx * u + fy * v + phase);
+                }
+            }
+        }
+    }
+
+    auto generate = [&](std::int64_t count, std::vector<float> &images,
+                        std::vector<std::int32_t> &labels,
+                        std::uint64_t stream) {
+        Rng split_rng = rng.fork(stream);
+        images.assign(static_cast<size_t>(count * example_elems), 0.0f);
+        labels.assign(static_cast<size_t>(count), 0);
+        for (std::int64_t i = 0; i < count; ++i) {
+            const auto label = static_cast<std::int32_t>(
+                split_rng.uniformInt(
+                    static_cast<std::uint64_t>(spec_.classes)));
+            labels[static_cast<size_t>(i)] = label;
+            makeExample(split_rng, label,
+                        images.data() + i * example_elems);
+        }
+    };
+    generate(spec_.num_train, train_images, train_labels, 1001);
+    generate(spec_.num_eval, eval_images, eval_labels, 2002);
+}
+
+void
+SyntheticDataset::makeExample(Rng &rng, std::int32_t label,
+                              float *out) const
+{
+    // Small circular shifts: enough to reward convolutional (shift-
+    // tolerant) features, small enough that classes stay coherent.
+    const std::uint64_t max_shift =
+        static_cast<std::uint64_t>(spec_.image / 4 + 1);
+    const std::int64_t shift_x =
+        static_cast<std::int64_t>(rng.uniformInt(max_shift));
+    const std::int64_t shift_y =
+        static_cast<std::int64_t>(rng.uniformInt(max_shift));
+    const float *proto = prototypes.data() + label * example_elems;
+    for (std::int64_t c = 0; c < spec_.channels; ++c) {
+        for (std::int64_t y = 0; y < spec_.image; ++y) {
+            for (std::int64_t x = 0; x < spec_.image; ++x) {
+                const std::int64_t sy = (y + shift_y) % spec_.image;
+                const std::int64_t sx = (x + shift_x) % spec_.image;
+                const float base =
+                    proto[(c * spec_.image + sy) * spec_.image + sx];
+                out[(c * spec_.image + y) * spec_.image + x] = clamp01(
+                    base + rng.normal(0.0f, spec_.noise));
+            }
+        }
+    }
+}
+
+void
+SyntheticDataset::fill(const std::vector<float> &images,
+                       const std::vector<std::int32_t> &labels_in,
+                       std::int64_t count, std::int64_t start,
+                       Tensor &batch,
+                       std::vector<std::int32_t> &labels_out) const
+{
+    const auto &shape = batch.shape();
+    GIST_ASSERT(shape.rank() == 4 && shape.c() == spec_.channels &&
+                    shape.h() == spec_.image && shape.w() == spec_.image,
+                "batch tensor shape mismatch: ", shape.toString());
+    const std::int64_t batch_size = shape.n();
+    labels_out.resize(static_cast<size_t>(batch_size));
+    for (std::int64_t i = 0; i < batch_size; ++i) {
+        const std::int64_t src = (start + i) % count;
+        std::copy_n(images.data() + src * example_elems, example_elems,
+                    batch.data() + i * example_elems);
+        labels_out[static_cast<size_t>(i)] =
+            labels_in[static_cast<size_t>(src)];
+    }
+}
+
+void
+SyntheticDataset::trainBatch(std::int64_t start, Tensor &batch,
+                             std::vector<std::int32_t> &labels) const
+{
+    fill(train_images, train_labels, spec_.num_train, start, batch,
+         labels);
+}
+
+void
+SyntheticDataset::evalBatch(std::int64_t start, Tensor &batch,
+                            std::vector<std::int32_t> &labels) const
+{
+    fill(eval_images, eval_labels, spec_.num_eval, start, batch, labels);
+}
+
+} // namespace gist

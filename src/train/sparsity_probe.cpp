@@ -1,0 +1,58 @@
+#include "train/sparsity_probe.hpp"
+
+#include "core/gist.hpp"
+#include "train/trainer.hpp"
+#include "util/rng.hpp"
+
+namespace gist {
+
+MeasuredSparsity
+measureSparsity(Graph &graph, int epochs, std::uint64_t seed)
+{
+    Rng rng(seed);
+    graph.initParams(rng);
+    Executor exec(graph);
+    applyToExecutor(buildSchedule(graph, GistConfig::baseline()), exec);
+    exec.setCollectSparsity(true);
+    Trainer trainer(exec);
+
+    const auto &in_shape = graph.node(0).out_shape;
+    SyntheticDataset::Spec spec;
+    spec.num_train = 256;
+    spec.num_eval = 32;
+    spec.channels = in_shape.c();
+    spec.image = in_shape.h();
+    spec.seed = seed;
+    SyntheticDataset data(spec);
+
+    TrainConfig tc;
+    tc.epochs = epochs;
+    tc.batch_size = in_shape.n();
+    tc.learning_rate = 0.04f;
+    tc.lr_decay = 0.6f;
+    tc.lr_decay_epochs = 3;
+    tc.clip_grad_norm = 5.0f;
+    trainer.run(data, tc);
+
+    MeasuredSparsity out;
+    for (const auto &node : graph.nodes()) {
+        const double s = exec.lastSparsity(node.id);
+        if (s < 0.0)
+            continue;
+        if (node.kind() == LayerKind::Relu) {
+            out.relu += s;
+            ++out.relu_layers;
+        } else if (node.kind() == LayerKind::MaxPool ||
+                   node.kind() == LayerKind::AvgPool) {
+            out.pool += s;
+            ++out.pool_layers;
+        }
+    }
+    if (out.relu_layers)
+        out.relu /= out.relu_layers;
+    if (out.pool_layers)
+        out.pool /= out.pool_layers;
+    return out;
+}
+
+} // namespace gist

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Measure real activation sparsity by briefly training a network and
+ * averaging the per-layer zero fractions — the measured counterpart to
+ * SparsityModel's paper-motivated defaults. The figure harness trains
+ * each full-scale network's tiny twin and feeds the result into the
+ * planner's SSDC size model (the paper measures sparsity on the real
+ * ImageNet runs; Fig 14 shows the trajectory).
+ */
+
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace gist {
+
+/** Average measured sparsities by layer kind. */
+struct MeasuredSparsity
+{
+    double relu = 0.0;
+    double pool = 0.0;
+    int relu_layers = 0;
+    int pool_layers = 0;
+};
+
+/**
+ * Train @p graph (which must be a trainable, initialized-or-not tiny
+ * model) for @p epochs on the synthetic dataset and return the final
+ * per-kind average output sparsity. Parameters are (re)initialized from
+ * @p seed; the graph's layer modes are reset to baseline.
+ */
+MeasuredSparsity measureSparsity(Graph &graph, int epochs = 4,
+                                 std::uint64_t seed = 5);
+
+} // namespace gist

@@ -1,0 +1,186 @@
+#include "train/trainer.hpp"
+
+#include <chrono>
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+#include "util/logging.hpp"
+
+namespace gist {
+
+namespace {
+
+std::vector<Tensor *>
+allParams(Graph &graph)
+{
+    std::vector<Tensor *> out;
+    for (auto &node : graph.nodes())
+        if (node.layer)
+            for (Tensor *p : node.layer->params())
+                out.push_back(p);
+    return out;
+}
+
+std::vector<Tensor *>
+allParamGrads(Graph &graph)
+{
+    std::vector<Tensor *> out;
+    for (auto &node : graph.nodes())
+        if (node.layer)
+            for (Tensor *g : node.layer->paramGrads())
+                out.push_back(g);
+    return out;
+}
+
+} // namespace
+
+std::vector<std::int32_t>
+argmaxRows(const Tensor &logits)
+{
+    const std::int64_t rows = logits.shape().dim(0);
+    const std::int64_t cols = logits.numel() / rows;
+    std::vector<std::int32_t> out(static_cast<size_t>(rows));
+    for (std::int64_t r = 0; r < rows; ++r) {
+        const float *row = logits.data() + r * cols;
+        std::int64_t best = 0;
+        for (std::int64_t c = 1; c < cols; ++c)
+            if (row[c] > row[best])
+                best = c;
+        out[static_cast<size_t>(r)] = static_cast<std::int32_t>(best);
+    }
+    return out;
+}
+
+Trainer::Trainer(Executor &executor)
+    : exec(executor)
+{
+    for (Tensor *p : allParams(exec.graph())) {
+        GIST_ASSERT(!p->empty(),
+                    "initialize parameters before constructing a Trainer");
+        velocity.emplace_back(static_cast<size_t>(p->numel()), 0.0f);
+    }
+}
+
+void
+Trainer::clipGradients(float max_norm)
+{
+    double norm_sq = 0.0;
+    auto grads = allParamGrads(exec.graph());
+    for (Tensor *g : grads)
+        for (std::int64_t i = 0; i < g->numel(); ++i)
+            norm_sq += double(g->at(i)) * double(g->at(i));
+    const double norm = std::sqrt(norm_sq);
+    if (norm <= max_norm || norm == 0.0)
+        return;
+    const float factor = static_cast<float>(max_norm / norm);
+    for (Tensor *g : grads)
+        scale(g->span(), factor);
+}
+
+void
+Trainer::sgdStep(float lr, float momentum, float weight_decay)
+{
+    auto params = allParams(exec.graph());
+    auto grads = allParamGrads(exec.graph());
+    GIST_ASSERT(params.size() == grads.size() &&
+                    params.size() == velocity.size(),
+                "parameter bookkeeping mismatch");
+    for (size_t i = 0; i < params.size(); ++i) {
+        float *w = params[i]->data();
+        const float *g = grads[i]->data();
+        float *v = velocity[i].data();
+        const auto n = static_cast<size_t>(params[i]->numel());
+        for (size_t j = 0; j < n; ++j) {
+            const float grad = g[j] + weight_decay * w[j];
+            v[j] = momentum * v[j] - lr * grad;
+            w[j] += v[j];
+        }
+    }
+}
+
+double
+Trainer::evaluate(const SyntheticDataset &data, std::int64_t batch_size)
+{
+    Graph &graph = exec.graph();
+    const NodeId loss_node = static_cast<NodeId>(graph.numNodes() - 1);
+    const NodeId logits_node = graph.node(loss_node).inputs[0];
+
+    Tensor batch(graph.node(0).out_shape);
+    GIST_ASSERT(batch.shape().n() == batch_size,
+                "graph batch dim != eval batch size");
+    std::vector<std::int32_t> labels;
+    std::int64_t correct = 0;
+    std::int64_t total = 0;
+    for (std::int64_t start = 0; start + batch_size <= data.numEval();
+         start += batch_size) {
+        data.evalBatch(start, batch, labels);
+        exec.forwardOnly(batch);
+        const auto preds = argmaxRows(exec.value(logits_node));
+        for (size_t i = 0; i < labels.size(); ++i)
+            correct += (preds[i] == labels[i]);
+        total += batch_size;
+    }
+    return total ? static_cast<double>(correct) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+std::vector<EpochRecord>
+Trainer::run(const SyntheticDataset &data, const TrainConfig &config)
+{
+    Graph &graph = exec.graph();
+    Tensor batch(graph.node(0).out_shape);
+    GIST_ASSERT(batch.shape().n() == config.batch_size,
+                "graph batch dim != train batch size");
+    std::vector<std::int32_t> labels;
+
+    std::vector<EpochRecord> records;
+    std::int64_t steps = 0;
+    double total_seconds = 0.0;
+    double total_codec = 0.0;
+
+    float lr = config.learning_rate;
+    for (int epoch = 0; epoch < config.epochs; ++epoch) {
+        if (epoch > 0 && config.lr_decay != 1.0f &&
+            config.lr_decay_epochs > 0 &&
+            epoch % config.lr_decay_epochs == 0) {
+            lr *= config.lr_decay;
+        }
+        double loss_sum = 0.0;
+        std::int64_t batches = 0;
+        for (std::int64_t start = 0;
+             start + config.batch_size <= data.numTrain();
+             start += config.batch_size) {
+            data.trainBatch(start, batch, labels);
+            const auto t0 = std::chrono::steady_clock::now();
+            loss_sum += exec.runMinibatch(batch, labels);
+            if (config.clip_grad_norm > 0.0f)
+                clipGradients(config.clip_grad_norm);
+            sgdStep(lr, config.momentum, config.weight_decay);
+            total_seconds += std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count();
+            total_codec += exec.stats().encode_seconds +
+                           exec.stats().decode_seconds;
+            ++batches;
+            ++steps;
+            if (config.after_step)
+                config.after_step(steps, exec);
+        }
+        EpochRecord rec;
+        rec.epoch = epoch;
+        rec.mean_loss =
+            static_cast<float>(loss_sum / static_cast<double>(batches));
+        rec.eval_accuracy = evaluate(data, config.batch_size);
+        records.push_back(rec);
+    }
+    if (steps > 0) {
+        seconds_per_minibatch =
+            total_seconds / static_cast<double>(steps);
+        codec_seconds = total_codec / static_cast<double>(steps);
+    }
+    return records;
+}
+
+} // namespace gist

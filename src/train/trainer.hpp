@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Minibatch SGD trainer over an Executor, with hooks used by the
+ * accuracy (Fig 12), sensitivity (Fig 14) and overhead (Fig 9) studies.
+ */
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "graph/executor.hpp"
+#include "train/dataset.hpp"
+
+namespace gist {
+
+/** Trainer hyperparameters. */
+struct TrainConfig
+{
+    std::int64_t batch_size = 32;
+    int epochs = 5;
+    float learning_rate = 0.05f;
+    float momentum = 0.9f;
+    /** Multiply the LR by this factor every lr_decay_epochs epochs. */
+    float lr_decay = 1.0f;
+    int lr_decay_epochs = 1;
+    /** Clip the global gradient norm to this value (0 = off). */
+    float clip_grad_norm = 0.0f;
+    /** L2 weight decay coefficient (0 = off). */
+    float weight_decay = 0.0f;
+    /** Called after every minibatch (step index, executor). */
+    std::function<void(std::int64_t, Executor &)> after_step;
+};
+
+/** One epoch's outcome. */
+struct EpochRecord
+{
+    int epoch = 0;
+    float mean_loss = 0.0f;
+    double eval_accuracy = 0.0;
+    /** 1 - eval_accuracy, the paper's Figure 12 y-axis. */
+    double accuracyLoss() const { return 1.0 - eval_accuracy; }
+};
+
+/** SGD-with-momentum trainer. */
+class Trainer
+{
+  public:
+    /**
+     * @param exec executor whose graph's params were initialized and
+     *        whose schedule/stash plans are already configured.
+     */
+    explicit Trainer(Executor &exec);
+
+    /** Train for config.epochs epochs, evaluating after each. */
+    std::vector<EpochRecord> run(const SyntheticDataset &data,
+                                 const TrainConfig &config);
+
+    /** Top-1 accuracy on the evaluation split. */
+    double evaluate(const SyntheticDataset &data, std::int64_t batch_size);
+
+    /** Mean seconds per training minibatch over the last run(). */
+    double secondsPerMinibatch() const { return seconds_per_minibatch; }
+    /** Mean encode+decode seconds per minibatch over the last run(). */
+    double codecSecondsPerMinibatch() const { return codec_seconds; }
+
+  private:
+    void sgdStep(float lr, float momentum, float weight_decay);
+    /** Scale all weight gradients so their global L2 norm <= max_norm. */
+    void clipGradients(float max_norm);
+
+    Executor &exec;
+    std::vector<std::vector<float>> velocity; ///< per-param momentum
+    double seconds_per_minibatch = 0.0;
+    double codec_seconds = 0.0;
+};
+
+/** Argmax of each row of a (rows x cols) logits tensor. */
+std::vector<std::int32_t> argmaxRows(const Tensor &logits);
+
+} // namespace gist

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by the encoding kernels.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+namespace gist {
+
+/** Extract bits [lo, lo+len) of @p value. */
+template <typename T>
+constexpr T
+bitsOf(T value, unsigned lo, unsigned len)
+{
+    static_assert(std::is_unsigned_v<T>);
+    if (len == 0)
+        return 0;
+    const T mask = (len >= sizeof(T) * 8) ? ~T{0} : ((T{1} << len) - 1);
+    return static_cast<T>(value >> lo) & mask;
+}
+
+/** Insert @p field into bits [lo, lo+len) of @p value. */
+template <typename T>
+constexpr T
+insertBits(T value, unsigned lo, unsigned len, T field)
+{
+    static_assert(std::is_unsigned_v<T>);
+    const T mask = (len >= sizeof(T) * 8) ? ~T{0} : ((T{1} << len) - 1);
+    return static_cast<T>((value & ~(mask << lo)) |
+                          ((field & mask) << lo));
+}
+
+/** Ceiling division for non-negative integers. */
+template <typename T>
+constexpr T
+ceilDiv(T a, T b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round @p a up to a multiple of @p b. */
+template <typename T>
+constexpr T
+roundUp(T a, T b)
+{
+    return ceilDiv(a, b) * b;
+}
+
+/** Number of bytes needed to hold @p n_bits bits. */
+constexpr std::uint64_t
+bytesForBits(std::uint64_t n_bits)
+{
+    return ceilDiv<std::uint64_t>(n_bits, 8);
+}
+
+} // namespace gist

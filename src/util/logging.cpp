@@ -1,0 +1,64 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace gist {
+
+namespace {
+
+bool informOn = true;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Panic: return "panic";
+      case LogLevel::Fatal: return "fatal";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setInformEnabled(bool enabled)
+{
+    informOn = enabled;
+}
+
+bool
+informEnabled()
+{
+    return informOn;
+}
+
+namespace detail {
+
+void
+logMessage(LogLevel level, const char *file, int line, const std::string &msg)
+{
+    if (level == LogLevel::Inform && !informOn)
+        return;
+    if (level == LogLevel::Inform) {
+        std::fprintf(stderr, "%s: %s\n", levelName(level), msg.c_str());
+    } else {
+        std::fprintf(stderr, "%s: %s (%s:%d)\n", levelName(level),
+                     msg.c_str(), file, line);
+    }
+}
+
+void
+logAndDie(LogLevel level, const char *file, int line, const std::string &msg)
+{
+    logMessage(level, file, line, msg);
+    if (level == LogLevel::Panic)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace detail
+
+} // namespace gist

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Logging and error-reporting helpers, in the gem5 spirit.
+ *
+ * panic()  -- an internal invariant was violated (a bug in this library);
+ *             aborts so a debugger/core dump can catch it.
+ * fatal()  -- the caller asked for something unsupported or inconsistent
+ *             (user error); exits with status 1.
+ * warn()   -- something works, but not as well as it should.
+ * inform() -- plain status output.
+ */
+
+#pragma once
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace gist {
+
+/** Severity of a log message. */
+enum class LogLevel { Inform, Warn, Panic, Fatal };
+
+namespace detail {
+
+/** Emit a formatted log line to stderr; aborts/exits for Panic/Fatal. */
+[[noreturn]] void logAndDie(LogLevel level, const char *file, int line,
+                            const std::string &msg);
+
+void logMessage(LogLevel level, const char *file, int line,
+                const std::string &msg);
+
+/** Stream-compose a message out of arbitrary << -able parts. */
+template <typename... Args>
+std::string
+composeMessage(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+/** Toggle inform() output (benchmarks silence it). */
+void setInformEnabled(bool enabled);
+bool informEnabled();
+
+} // namespace gist
+
+#define GIST_PANIC(...)                                                      \
+    ::gist::detail::logAndDie(::gist::LogLevel::Panic, __FILE__, __LINE__,   \
+                              ::gist::detail::composeMessage(__VA_ARGS__))
+
+#define GIST_FATAL(...)                                                      \
+    ::gist::detail::logAndDie(::gist::LogLevel::Fatal, __FILE__, __LINE__,   \
+                              ::gist::detail::composeMessage(__VA_ARGS__))
+
+#define GIST_WARN(...)                                                       \
+    ::gist::detail::logMessage(::gist::LogLevel::Warn, __FILE__, __LINE__,   \
+                               ::gist::detail::composeMessage(__VA_ARGS__))
+
+#define GIST_INFORM(...)                                                     \
+    ::gist::detail::logMessage(::gist::LogLevel::Inform, __FILE__, __LINE__, \
+                               ::gist::detail::composeMessage(__VA_ARGS__))
+
+/** Always-on invariant check (independent of NDEBUG). */
+#define GIST_ASSERT(cond, ...)                                               \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            GIST_PANIC("assertion failed: " #cond " ",                       \
+                       ::gist::detail::composeMessage(__VA_ARGS__));         \
+        }                                                                    \
+    } while (0)

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Everything in this repository that needs randomness (weight init,
+ * synthetic datasets, property-test inputs) goes through Rng so results
+ * are reproducible across runs and platforms. The core generator is
+ * splitmix64, which is fast, has a full 2^64 period per stream, and is
+ * trivially seedable.
+ */
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace gist {
+
+/** Deterministic RNG (splitmix64) with uniform/normal helpers. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state(seed) {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform float in [lo, hi). */
+    float
+    uniform(float lo, float hi)
+    {
+        return lo + static_cast<float>(uniform()) * (hi - lo);
+    }
+
+    /** Uniform integer in [0, n). @p n must be > 0. */
+    std::uint64_t
+    uniformInt(std::uint64_t n)
+    {
+        return next() % n;
+    }
+
+    /** Standard normal via Box-Muller. */
+    float
+    normal()
+    {
+        if (haveSpare) {
+            haveSpare = false;
+            return spare;
+        }
+        double u1 = uniform();
+        double u2 = uniform();
+        if (u1 < 1e-12)
+            u1 = 1e-12;
+        const double r = std::sqrt(-2.0 * std::log(u1));
+        const double theta = 2.0 * M_PI * u2;
+        spare = static_cast<float>(r * std::sin(theta));
+        haveSpare = true;
+        return static_cast<float>(r * std::cos(theta));
+    }
+
+    /** Normal with the given mean and standard deviation. */
+    float
+    normal(float mean, float stddev)
+    {
+        return mean + stddev * normal();
+    }
+
+    /** Derive an independent stream (e.g. per layer or per example). */
+    Rng
+    fork(std::uint64_t stream_id)
+    {
+        return Rng(next() ^ (stream_id * 0xd1342543de82ef95ULL));
+    }
+
+  private:
+    std::uint64_t state;
+    float spare = 0.0f;
+    bool haveSpare = false;
+};
+
+} // namespace gist

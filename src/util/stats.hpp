@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Tiny statistics helpers used by reports and benchmarks.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gist {
+
+/** Arithmetic mean; 0 for an empty input. */
+double mean(const std::vector<double> &xs);
+
+/** Geometric mean; 0 for an empty input. All inputs must be > 0. */
+double geomean(const std::vector<double> &xs);
+
+/** Sample standard deviation; 0 for fewer than two samples. */
+double stddev(const std::vector<double> &xs);
+
+/** Maximum; 0 for an empty input. */
+double maxOf(const std::vector<double> &xs);
+
+/** Render a byte count as a human-friendly string ("1.50 GB"). */
+std::string formatBytes(std::uint64_t bytes);
+
+/** Render a ratio with two decimals and a trailing 'x' ("1.82x"). */
+std::string formatRatio(double ratio);
+
+/** Render a fraction as a percentage string ("42.0%"). */
+std::string formatPercent(double fraction);
+
+} // namespace gist

@@ -1,0 +1,81 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace gist {
+
+Table::Table(std::vector<std::string> header_cells)
+    : header(std::move(header_cells))
+{
+    GIST_ASSERT(!header.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    GIST_ASSERT(cells.size() == header.size(), "row has ", cells.size(),
+                " cells, expected ", header.size());
+    rows.push_back(Row{ std::move(cells), false });
+}
+
+void
+Table::addSeparator()
+{
+    rows.push_back(Row{ {}, true });
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> widths(header.size());
+    for (size_t c = 0; c < header.size(); ++c)
+        widths[c] = header[c].size();
+    for (const auto &row : rows) {
+        if (row.separator)
+            continue;
+        for (size_t c = 0; c < row.cells.size(); ++c)
+            widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+
+    auto emit_row = [&](std::ostringstream &oss,
+                        const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                oss << "  ";
+            if (c == 0) {
+                oss << cells[c]
+                    << std::string(widths[c] - cells[c].size(), ' ');
+            } else {
+                oss << std::string(widths[c] - cells[c].size(), ' ')
+                    << cells[c];
+            }
+        }
+        oss << "\n";
+    };
+
+    size_t total = 0;
+    for (size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c ? 2 : 0);
+
+    std::ostringstream oss;
+    emit_row(oss, header);
+    oss << std::string(total, '-') << "\n";
+    for (const auto &row : rows) {
+        if (row.separator)
+            oss << std::string(total, '-') << "\n";
+        else
+            emit_row(oss, row.cells);
+    }
+    return oss.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+} // namespace gist

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Column-aligned plain-text table printer for benchmark reports.
+ *
+ * Every figure/table binary in bench/ prints its rows through this class
+ * so the output is uniform and diffable.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gist {
+
+/** Accumulates rows of string cells and renders them with aligned columns. */
+class Table
+{
+  public:
+    /** @param header Column titles (fixes the column count). */
+    explicit Table(std::vector<std::string> header);
+
+    /** Append a data row; must match the header's column count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** Render with 2-space gutters; first column left-aligned, rest right. */
+    std::string render() const;
+
+    /** Convenience: render() to stdout. */
+    void print() const;
+
+  private:
+    struct Row
+    {
+        std::vector<std::string> cells;
+        bool separator = false;
+    };
+
+    std::vector<std::string> header;
+    std::vector<Row> rows;
+};
+
+} // namespace gist

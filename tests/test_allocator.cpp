@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Allocator tests: the paper's Figure 7 worked example reproduced
+ * exactly, invariants of the CNTK grouping policy, offset packing, and
+ * the dynamic-allocation simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memory/allocator.hpp"
+#include "memory/report.hpp"
+#include "util/rng.hpp"
+
+namespace gist {
+namespace {
+
+constexpr std::uint64_t MB = 1024 * 1024;
+
+/**
+ * Paper Figure 7(a): baseline. Five variables; X is a stashed fmap of
+ * 10 MB alive the whole time; A, B (8 MB) and C, D (with sizes chosen so
+ * the shared group is 8 MB) are short-lived. The CNTK allocator forms
+ * two groups: 10 (X) + 8 (immediates) = 18 MB.
+ */
+TEST(CntkAllocator, PaperFigure7Baseline)
+{
+    std::vector<PlannedBuffer> bufs = {
+        { "X", DataClass::StashedFmap, 10 * MB, { 0, 9 }, true },
+        { "A", DataClass::ImmediateFmap, 8 * MB, { 0, 1 }, true },
+        { "B", DataClass::ImmediateFmap, 8 * MB, { 2, 3 }, true },
+        { "C", DataClass::GradientMap, 6 * MB, { 4, 5 }, true },
+        { "D", DataClass::GradientMap, 6 * MB, { 6, 7 }, true },
+    };
+    const auto result = allocateCntkStyle(bufs);
+    EXPECT_EQ(result.total_bytes, 18 * MB);
+    EXPECT_EQ(result.num_groups, 2);
+    // A, B, C, D share one group; X sits alone.
+    EXPECT_EQ(result.group_of[1], result.group_of[2]);
+    EXPECT_EQ(result.group_of[2], result.group_of[3]);
+    EXPECT_EQ(result.group_of[3], result.group_of[4]);
+    EXPECT_NE(result.group_of[0], result.group_of[1]);
+}
+
+/**
+ * Paper Figure 7(b): SSDC applied to X. The FP32 copy becomes a
+ * short-lived 10 MB immediate, a 2 MB encoded stash bridges the gap, and
+ * a 10 MB decode buffer serves the backward use. Total drops 18 -> 12 MB
+ * (2 MB stashed + 10 MB shared immediates).
+ */
+TEST(CntkAllocator, PaperFigure7WithSsdc)
+{
+    std::vector<PlannedBuffer> bufs = {
+        { "X:fp32", DataClass::ImmediateFmap, 10 * MB, { 0, 1 }, true },
+        { "X:enc", DataClass::EncodedFmap, 2 * MB, { 1, 8 }, true },
+        { "X:dec", DataClass::DecodeScratch, 10 * MB, { 8, 9 }, true },
+        { "A", DataClass::ImmediateFmap, 8 * MB, { 2, 3 }, true },
+        { "B", DataClass::ImmediateFmap, 8 * MB, { 4, 5 }, true },
+        { "C", DataClass::GradientMap, 6 * MB, { 6, 7 }, true },
+    };
+    const auto result = allocateCntkStyle(bufs);
+    EXPECT_EQ(result.total_bytes, 12 * MB);
+}
+
+TEST(CntkAllocator, GroupMembersNeverOverlap)
+{
+    Rng rng(5);
+    std::vector<PlannedBuffer> bufs;
+    for (int i = 0; i < 200; ++i) {
+        const int start = static_cast<int>(rng.uniformInt(100));
+        const int len = static_cast<int>(rng.uniformInt(20));
+        bufs.push_back({ "b", DataClass::ImmediateFmap,
+                         (rng.uniformInt(100) + 1) * 1024,
+                         { start, start + len }, true });
+    }
+    const auto result = allocateCntkStyle(bufs);
+    for (size_t i = 0; i < bufs.size(); ++i)
+        for (size_t j = i + 1; j < bufs.size(); ++j)
+            if (result.group_of[i] == result.group_of[j] &&
+                result.group_of[i] >= 0) {
+                EXPECT_FALSE(bufs[i].live.overlaps(bufs[j].live))
+                    << i << " vs " << j;
+            }
+}
+
+TEST(CntkAllocator, FootprintBounds)
+{
+    Rng rng(6);
+    std::vector<PlannedBuffer> bufs;
+    std::uint64_t total = 0;
+    std::uint64_t largest = 0;
+    for (int i = 0; i < 100; ++i) {
+        const int start = static_cast<int>(rng.uniformInt(50));
+        const std::uint64_t bytes = (rng.uniformInt(1000) + 1) * 64;
+        bufs.push_back({ "b", DataClass::GradientMap, bytes,
+                         { start, start + 3 }, true });
+        total += bytes;
+        largest = std::max(largest, bytes);
+    }
+    const auto result = allocateCntkStyle(bufs);
+    EXPECT_LE(result.total_bytes, total);
+    EXPECT_GE(result.total_bytes, largest);
+    EXPECT_GE(result.total_bytes, dynamicPeak(bufs));
+}
+
+TEST(CntkAllocator, NonShareableBuffersGetDedicatedSpace)
+{
+    std::vector<PlannedBuffer> bufs = {
+        { "s1", DataClass::StashedFmap, 4 * MB, { 0, 1 }, false },
+        { "s2", DataClass::StashedFmap, 4 * MB, { 2, 3 }, false },
+        { "s3", DataClass::StashedFmap, 4 * MB, { 4, 5 }, false },
+    };
+    // Disjoint lifetimes, but sharing is forbidden: sum, not max.
+    EXPECT_EQ(allocateCntkStyle(bufs).total_bytes, 12 * MB);
+    EXPECT_EQ(allocateOffsetBestFit(bufs), 12 * MB);
+}
+
+TEST(CntkAllocator, ZeroSizedBuffersIgnored)
+{
+    std::vector<PlannedBuffer> bufs = {
+        { "z", DataClass::Workspace, 0, { 0, 5 }, true },
+        { "a", DataClass::ImmediateFmap, MB, { 0, 1 }, true },
+    };
+    EXPECT_EQ(allocateCntkStyle(bufs).total_bytes, MB);
+}
+
+TEST(OffsetAllocator, PacksTighterOrEqualToGrouping)
+{
+    Rng rng(7);
+    std::vector<PlannedBuffer> bufs;
+    for (int i = 0; i < 150; ++i) {
+        const int start = static_cast<int>(rng.uniformInt(60));
+        bufs.push_back({ "b", DataClass::ImmediateFmap,
+                         (rng.uniformInt(512) + 1) * 256,
+                         { start, start + int(rng.uniformInt(10)) },
+                         true });
+    }
+    const auto grouped = allocateCntkStyle(bufs).total_bytes;
+    const auto packed = allocateOffsetBestFit(bufs);
+    EXPECT_LE(packed, grouped);
+    EXPECT_GE(packed, dynamicPeak(bufs));
+}
+
+TEST(DynamicPeak, MatchesHandComputedSweep)
+{
+    std::vector<PlannedBuffer> bufs = {
+        { "a", DataClass::ImmediateFmap, 10, { 0, 2 }, true },
+        { "b", DataClass::ImmediateFmap, 20, { 1, 3 }, true },
+        { "c", DataClass::ImmediateFmap, 5, { 3, 4 }, true },
+    };
+    // step 1-2: a+b = 30 is the peak (step 3: b+c = 25).
+    EXPECT_EQ(dynamicPeak(bufs), 30u);
+}
+
+TEST(DynamicPeak, SinglePointLifetimes)
+{
+    std::vector<PlannedBuffer> bufs = {
+        { "a", DataClass::Workspace, 7, { 3, 3 }, true },
+        { "b", DataClass::Workspace, 9, { 3, 3 }, true },
+        { "c", DataClass::Workspace, 9, { 4, 4 }, true },
+    };
+    EXPECT_EQ(dynamicPeak(bufs), 16u);
+}
+
+TEST(Report, BytesByClassAndFilter)
+{
+    std::vector<PlannedBuffer> bufs = {
+        { "w", DataClass::Weight, 100, { 0, 9 }, false },
+        { "s", DataClass::StashedFmap, 200, { 0, 9 }, true },
+        { "s2", DataClass::StashedFmap, 50, { 0, 3 }, true },
+        { "g", DataClass::GradientMap, 30, { 5, 6 }, true },
+    };
+    auto by_class = bytesByClass(bufs);
+    EXPECT_EQ(by_class[DataClass::StashedFmap], 250u);
+    EXPECT_EQ(by_class[DataClass::Weight], 100u);
+    EXPECT_EQ(bytesOfClasses(bufs, { DataClass::StashedFmap,
+                                     DataClass::GradientMap }),
+              280u);
+    EXPECT_EQ(filterClasses(bufs, { DataClass::Weight }).size(), 1u);
+}
+
+} // namespace
+} // namespace gist

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Weight-checkpoint tests: round trip, resume-equivalence, and the
+ * structure-mismatch guards.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/gist.hpp"
+#include "models/tiny.hpp"
+#include "train/checkpoint.hpp"
+#include "train/trainer.hpp"
+#include "util/rng.hpp"
+
+namespace gist {
+namespace {
+
+std::string
+tempPath(const char *name)
+{
+    return std::string(::testing::TempDir()) + name;
+}
+
+std::vector<float>
+flatWeights(Graph &g)
+{
+    std::vector<float> out;
+    for (auto &node : g.nodes())
+        if (node.layer)
+            for (Tensor *p : node.layer->params())
+                out.insert(out.end(), p->data(), p->data() + p->numel());
+    return out;
+}
+
+TEST(Checkpoint, RoundTripIsBitExact)
+{
+    Graph a = models::tinyVgg(4);
+    Rng rng(11);
+    a.initParams(rng);
+    const auto path = tempPath("ckpt_roundtrip.bin");
+    saveWeights(a, path);
+
+    Graph b = models::tinyVgg(4);
+    Rng rng2(99); // different init, will be overwritten
+    b.initParams(rng2);
+    loadWeights(b, path);
+    EXPECT_EQ(flatWeights(a), flatWeights(b));
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ResumedTrainingContinuesIdentically)
+{
+    SyntheticDataset::Spec spec;
+    spec.num_train = 64;
+    spec.num_eval = 32;
+    SyntheticDataset data(spec);
+    TrainConfig tc;
+    tc.epochs = 1;
+
+    // Train 1 epoch, checkpoint, train 1 more.
+    Graph a = models::tinyAlexnet(32);
+    Rng rng(5);
+    a.initParams(rng);
+    Executor exec_a(a);
+    applyToExecutor(buildSchedule(a, GistConfig::baseline()), exec_a);
+    Trainer trainer_a(exec_a);
+    trainer_a.run(data, tc);
+    const auto path = tempPath("ckpt_resume.bin");
+    saveWeights(a, path);
+    const auto straight = trainer_a.run(data, tc);
+
+    // Fresh graph, restore, train 1 epoch: same trajectory.
+    // (Note: momentum state is not checkpointed, so start the resumed
+    // trainer fresh and compare against a fresh-momentum continuation.)
+    Graph b = models::tinyAlexnet(32);
+    Rng rng2(77);
+    b.initParams(rng2);
+    loadWeights(b, path);
+    Executor exec_b(b);
+    applyToExecutor(buildSchedule(b, GistConfig::baseline()), exec_b);
+    Trainer trainer_b(exec_b);
+    const auto resumed = trainer_b.run(data, tc);
+
+    // Velocity differs (fresh momentum) so allow a small gap, but the
+    // restored run must be in the same regime, not restarted.
+    EXPECT_NEAR(resumed.back().mean_loss, straight.back().mean_loss,
+                0.35f);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsWrongStructure)
+{
+    Graph a = models::tinyVgg(4);
+    Rng rng(1);
+    a.initParams(rng);
+    const auto path = tempPath("ckpt_mismatch.bin");
+    saveWeights(a, path);
+
+    Graph b = models::tinyAlexnet(4);
+    Rng rng2(2);
+    b.initParams(rng2);
+    EXPECT_EXIT(loadWeights(b, path),
+                ::testing::ExitedWithCode(1), "");
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsGarbageFiles)
+{
+    const auto path = tempPath("ckpt_garbage.bin");
+    {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        std::fputs("not a checkpoint", f);
+        std::fclose(f);
+    }
+    Graph g = models::tinyVgg(4);
+    Rng rng(1);
+    g.initParams(rng);
+    EXPECT_EXIT(loadWeights(g, path),
+                ::testing::ExitedWithCode(1), "");
+    std::remove(path.c_str());
+}
+
+TEST(Profiler, RecordsLayerTimes)
+{
+    Graph g = models::tinyVgg(8);
+    Rng rng(3);
+    g.initParams(rng);
+    Executor exec(g);
+    applyToExecutor(buildSchedule(g, GistConfig::baseline()), exec);
+    exec.setProfile(true);
+
+    Rng drng(4);
+    Tensor batch = Tensor::uniform(g.node(0).out_shape, drng, 0.0f,
+                                   1.0f);
+    std::vector<std::int32_t> labels(8, 0);
+    exec.runMinibatch(batch, labels);
+
+    double total_fwd = 0.0;
+    for (const auto &node : g.nodes())
+        if (node.kind() != LayerKind::Input) {
+            EXPECT_GE(exec.lastFwdSeconds(node.id), 0.0);
+            total_fwd += exec.lastFwdSeconds(node.id);
+        }
+    EXPECT_GT(total_fwd, 0.0);
+}
+
+TEST(MemoryTrace, CoversEveryScheduleStepAndEndsEmpty)
+{
+    Graph g = models::tinyAlexnet(8);
+    Rng rng(3);
+    g.initParams(rng);
+    Executor exec(g);
+    applyToExecutor(buildSchedule(g, GistConfig::lossless()), exec);
+
+    Rng drng(4);
+    Tensor batch = Tensor::uniform(g.node(0).out_shape, drng, 0.0f,
+                                   1.0f);
+    std::vector<std::int32_t> labels(8, 1);
+    exec.runMinibatch(batch, labels);
+
+    const auto &trace = exec.memoryTrace();
+    // One entry per forward step plus one per non-input backward step.
+    std::int64_t inputs = 0;
+    for (const auto &node : g.nodes())
+        inputs += (node.kind() == LayerKind::Input);
+    EXPECT_EQ(static_cast<std::int64_t>(trace.size()),
+              2 * g.numNodes() - inputs);
+    // The peak the meter reports appears in (or above) the trace...
+    std::uint64_t max_in_trace = 0;
+    for (const auto &[step, bytes] : trace)
+        max_in_trace = std::max(max_in_trace, bytes);
+    EXPECT_LE(max_in_trace, exec.stats().peak_pool_bytes);
+    EXPECT_GT(max_in_trace, 0u);
+    // ...and at the end of the minibatch nearly everything is released
+    // (the loss layer keeps its tiny probability stash).
+    EXPECT_LT(trace.back().second, exec.stats().peak_pool_bytes / 10);
+}
+
+} // namespace
+} // namespace gist

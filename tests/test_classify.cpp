@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Stash-classification tests: the Schedule Builder's pattern matcher
+ * must reproduce the paper's ReLU-Pool / ReLU-Conv / Other taxonomy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/classify.hpp"
+#include "layers/layers.hpp"
+#include "models/builder.hpp"
+#include "models/tiny.hpp"
+#include "models/zoo.hpp"
+
+namespace gist {
+namespace {
+
+TEST(Classify, ReluFollowedByPoolIsReluPool)
+{
+    NetBuilder net(1, 3, 8, 8);
+    net.conv(4, 3, 1, 1);
+    const NodeId relu = net.relu();
+    net.maxpool(2, 2);
+    net.fc(3);
+    net.loss(3);
+    Graph g = net.take();
+    const auto cats = classifyStashes(g);
+    EXPECT_EQ(cats[static_cast<size_t>(relu)], StashCategory::ReluPool);
+}
+
+TEST(Classify, ReluFollowedByConvIsReluConv)
+{
+    NetBuilder net(1, 3, 8, 8);
+    net.conv(4, 3, 1, 1);
+    const NodeId relu = net.relu();
+    net.conv(4, 3, 1, 1);
+    net.fc(3);
+    net.loss(3);
+    Graph g = net.take();
+    const auto cats = classifyStashes(g);
+    EXPECT_EQ(cats[static_cast<size_t>(relu)], StashCategory::ReluConv);
+}
+
+TEST(Classify, PoolFollowedByConvIsReluConv)
+{
+    NetBuilder net(1, 3, 8, 8);
+    net.conv(4, 3, 1, 1);
+    net.relu();
+    const NodeId pool = net.maxpool(2, 2);
+    net.conv(4, 3, 1, 1);
+    net.fc(3);
+    net.loss(3);
+    Graph g = net.take();
+    const auto cats = classifyStashes(g);
+    // The pool output feeds a conv: SSDC-eligible (paper: Pool-Conv).
+    EXPECT_EQ(cats[static_cast<size_t>(pool)], StashCategory::ReluConv);
+}
+
+TEST(Classify, ReluFeedingFcIsOther)
+{
+    NetBuilder net(1, 3, 8, 8);
+    net.conv(4, 3, 1, 1);
+    const NodeId relu = net.relu();
+    net.fc(3);
+    net.loss(3);
+    Graph g = net.take();
+    const auto cats = classifyStashes(g);
+    EXPECT_EQ(cats[static_cast<size_t>(relu)], StashCategory::Other);
+}
+
+TEST(Classify, ReluWithPoolAndConvConsumersIsNotBinarizable)
+{
+    // Branch point: the relu feeds both a pool and a conv. The conv
+    // needs actual values, so Binarize must not claim it.
+    NetBuilder net(1, 3, 8, 8);
+    net.conv(4, 3, 1, 1);
+    const NodeId relu = net.relu();
+    const NodeId pool = net.maxpoolAt(relu, 2, 2);
+    const NodeId conv = net.convAt(relu, 4, 3, 2, 1);
+    net.setTip(pool);
+    // Merge branches so the graph has one sink.
+    net.add(conv);
+    net.fc(3);
+    net.loss(3);
+    Graph g = net.take();
+    const auto cats = classifyStashes(g);
+    EXPECT_EQ(cats[static_cast<size_t>(relu)], StashCategory::ReluConv);
+}
+
+TEST(Classify, ImmediatelyConsumedIsNotStashed)
+{
+    NetBuilder net(1, 3, 8, 8);
+    const NodeId conv = net.conv(4, 3, 1, 1); // relu needs no X
+    net.relu();
+    net.fc(3);
+    net.loss(3);
+    Graph g = net.take();
+    const auto cats = classifyStashes(g);
+    EXPECT_EQ(cats[static_cast<size_t>(conv)],
+              StashCategory::NotStashed);
+}
+
+TEST(Classify, InputFeedingConvIsStashedOther)
+{
+    NetBuilder net(1, 3, 8, 8);
+    net.conv(4, 3, 1, 1);
+    net.fc(3);
+    net.loss(3);
+    Graph g = net.take();
+    const auto cats = classifyStashes(g);
+    EXPECT_EQ(cats[0], StashCategory::Other);
+}
+
+TEST(Classify, IsModeIndependent)
+{
+    // Classification must reflect *baseline* stashedness even after the
+    // Schedule Builder flipped layers into Gist modes.
+    NetBuilder net(1, 3, 8, 8);
+    net.conv(4, 3, 1, 1);
+    const NodeId relu = net.relu();
+    net.maxpool(2, 2);
+    net.fc(3);
+    net.loss(3);
+    Graph g = net.take();
+
+    dynamic_cast<ReluLayer *>(g.node(relu).layer.get())
+        ->setStashMode(ReluLayer::StashMode::Mask);
+    dynamic_cast<MaxPoolLayer *>(g.node(relu + 1).layer.get())
+        ->setStashMode(MaxPoolLayer::StashMode::IndexMap);
+
+    const auto cats = classifyStashes(g);
+    EXPECT_EQ(cats[static_cast<size_t>(relu)], StashCategory::ReluPool);
+}
+
+TEST(Classify, NonReluActivationsAreOther)
+{
+    // Sigmoid/tanh backward needs actual output values and their maps
+    // are dense: no Binarize, no SSDC — DPR-only ("Other") even when a
+    // pool or conv follows.
+    NetBuilder net(1, 3, 8, 8);
+    net.conv(4, 3, 1, 1);
+    const NodeId sig = net.sigmoid();
+    net.maxpool(2, 2);
+    net.conv(4, 3, 1, 1);
+    const NodeId tan = net.tanh();
+    net.conv(4, 3, 1, 1);
+    net.fc(3);
+    net.loss(3);
+    Graph g = net.take();
+    const auto cats = classifyStashes(g);
+    EXPECT_EQ(cats[static_cast<size_t>(sig)], StashCategory::Other);
+    EXPECT_EQ(cats[static_cast<size_t>(tan)], StashCategory::Other);
+}
+
+TEST(Classify, PoolOfNonReluSourceIsOther)
+{
+    // Pool-Conv is only SSDC-eligible when the pooled values come from
+    // a ReLU; pooling a sigmoid map yields dense data.
+    NetBuilder net(1, 3, 8, 8);
+    net.conv(4, 3, 1, 1);
+    net.sigmoid();
+    const NodeId pool = net.maxpool(2, 2);
+    net.conv(4, 3, 1, 1);
+    net.fc(3);
+    net.loss(3);
+    Graph g = net.take();
+    const auto cats = classifyStashes(g);
+    EXPECT_EQ(cats[static_cast<size_t>(pool)], StashCategory::Other);
+}
+
+TEST(Classify, PoolOfPoolOfReluIsStillReluConv)
+{
+    NetBuilder net(1, 3, 16, 16);
+    net.conv(4, 3, 1, 1);
+    net.relu();
+    net.maxpool(2, 2);
+    const NodeId pool2 = net.maxpool(2, 2);
+    net.conv(4, 3, 1, 1);
+    net.fc(3);
+    net.loss(3);
+    Graph g = net.take();
+    const auto cats = classifyStashes(g);
+    EXPECT_EQ(cats[static_cast<size_t>(pool2)],
+              StashCategory::ReluConv);
+}
+
+TEST(Classify, VggHasAllThreeCategories)
+{
+    Graph g = models::tinyVgg(4);
+    const auto cats = classifyStashes(g);
+    int relu_pool = 0;
+    int relu_conv = 0;
+    int other = 0;
+    for (auto c : cats) {
+        relu_pool += (c == StashCategory::ReluPool);
+        relu_conv += (c == StashCategory::ReluConv);
+        other += (c == StashCategory::Other);
+    }
+    EXPECT_GT(relu_pool, 0);
+    EXPECT_GT(relu_conv, 0);
+    EXPECT_GT(other, 0);
+}
+
+TEST(Classify, FullScaleVggReluBreakdownMatchesPaperStructure)
+{
+    // Paper Section III: VGG16 has many ReLU-Conv pairs (the double/
+    // triple conv blocks) and one ReLU-Pool per block.
+    Graph g = models::vgg16(2);
+    const auto cats = classifyStashes(g);
+    int relu_pool = 0;
+    int relu_conv = 0;
+    for (size_t i = 0; i < cats.size(); ++i) {
+        if (g.node(static_cast<NodeId>(i)).kind() != LayerKind::Relu)
+            continue;
+        relu_pool += (cats[i] == StashCategory::ReluPool);
+        relu_conv += (cats[i] == StashCategory::ReluConv);
+    }
+    EXPECT_EQ(relu_pool, 5); // one per pooling stage
+    EXPECT_EQ(relu_conv, 8); // the intra-block convs
+}
+
+} // namespace
+} // namespace gist

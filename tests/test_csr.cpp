@@ -1,0 +1,183 @@
+/**
+ * @file
+ * SSDC/CSR tests: lossless round trips across sparsity sweeps, the
+ * narrow-value-optimization break-even points (20% vs 50%, Section IV-A),
+ * size accounting, and the DPR-over-CSR composition.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "encodings/csr.hpp"
+#include "util/rng.hpp"
+
+namespace gist {
+namespace {
+
+std::vector<float>
+randomSparse(std::int64_t n, double sparsity, Rng &rng)
+{
+    std::vector<float> values(static_cast<size_t>(n));
+    for (auto &v : values)
+        v = rng.uniform() < sparsity ? 0.0f : rng.normal();
+    return values;
+}
+
+class CsrSparsitySweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(CsrSparsitySweep, RoundTripIsLossless)
+{
+    const double sparsity = GetParam();
+    Rng rng(static_cast<std::uint64_t>(sparsity * 1000) + 1);
+    for (std::int64_t n : { 1, 255, 256, 257, 1000, 4096 }) {
+        const auto values = randomSparse(n, sparsity, rng);
+        CsrBuffer buf(CsrConfig{});
+        buf.encode(values);
+        std::vector<float> decoded(static_cast<size_t>(n));
+        buf.decode(decoded);
+        EXPECT_EQ(values, decoded) << "sparsity=" << sparsity
+                                   << " n=" << n;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sparsities, CsrSparsitySweep,
+                         ::testing::Values(0.0, 0.1, 0.2, 0.5, 0.8, 0.95,
+                                           1.0));
+
+TEST(Csr, NarrowIndexBreakEvenIsTwentyPercent)
+{
+    // 1-byte indices: 5 bytes per nonzero vs 4 dense -> 20%.
+    CsrConfig narrow;
+    EXPECT_NEAR(csrBreakEvenSparsity(narrow), 0.20, 1e-12);
+    // 4-byte cuSPARSE-style indices: 8 bytes per nonzero -> 50%.
+    CsrConfig wide;
+    wide.index_bytes = 4;
+    wide.row_width = 4096;
+    EXPECT_NEAR(csrBreakEvenSparsity(wide), 0.50, 1e-12);
+}
+
+TEST(Csr, CompressionCrossesOneAtBreakEven)
+{
+    Rng rng(4);
+    const std::int64_t n = 64 * 1024;
+    for (const auto &cfg_pair :
+         { std::pair<CsrConfig, double>{ CsrConfig{}, 0.20 },
+           std::pair<CsrConfig, double>{
+               CsrConfig{ 4096, 4, DprFormat::Fp32 }, 0.50 } }) {
+        const auto &cfg = cfg_pair.first;
+        const double break_even = cfg_pair.second;
+
+        CsrBuffer below(cfg);
+        below.encode(randomSparse(n, break_even - 0.1, rng));
+        EXPECT_LT(below.compressionRatio(), 1.0);
+
+        CsrBuffer above(cfg);
+        above.encode(randomSparse(n, break_even + 0.1, rng));
+        EXPECT_GT(above.compressionRatio(), 1.0);
+    }
+}
+
+TEST(Csr, NarrowIndicesBeatWideIndices)
+{
+    Rng rng(5);
+    const auto values = randomSparse(32768, 0.6, rng);
+    CsrBuffer narrow{ CsrConfig{} };
+    narrow.encode(values);
+    CsrConfig wide_cfg;
+    wide_cfg.index_bytes = 4;
+    wide_cfg.row_width = 4096;
+    CsrBuffer wide(wide_cfg);
+    wide.encode(values);
+    EXPECT_EQ(narrow.nnz(), wide.nnz());
+    EXPECT_LT(narrow.bytes(), wide.bytes());
+}
+
+TEST(Csr, SizeAccountingMatchesAnalyticModel)
+{
+    Rng rng(6);
+    const std::int64_t n = 10000;
+    for (double sparsity : { 0.0, 0.3, 0.7, 0.9 }) {
+        const auto values = randomSparse(n, sparsity, rng);
+        std::int64_t nnz = 0;
+        for (float v : values)
+            nnz += (v != 0.0f);
+        CsrBuffer buf(CsrConfig{});
+        buf.encode(values);
+        EXPECT_EQ(buf.nnz(), nnz);
+        // The analytic model with the *measured* sparsity equals the
+        // concrete size.
+        const double measured =
+            1.0 - static_cast<double>(nnz) / static_cast<double>(n);
+        EXPECT_EQ(buf.bytes(),
+                  csrBytesForSparsity(CsrConfig{}, n, measured));
+    }
+}
+
+TEST(Csr, AllZerosCompressesToRowPointersOnly)
+{
+    std::vector<float> zeros(1024, 0.0f);
+    CsrBuffer buf(CsrConfig{});
+    buf.encode(zeros);
+    EXPECT_EQ(buf.nnz(), 0);
+    // 4 rows of 256 -> 5 row pointers.
+    EXPECT_EQ(buf.bytes(), 5u * 4);
+    std::vector<float> decoded(1024, 1.0f);
+    buf.decode(decoded);
+    for (float v : decoded)
+        EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Csr, DprValueCompositionQuantizesValuesOnly)
+{
+    Rng rng(7);
+    const std::int64_t n = 2048;
+    auto values = randomSparse(n, 0.7, rng);
+    CsrConfig cfg;
+    cfg.value_format = DprFormat::Fp16;
+    CsrBuffer buf(cfg);
+    buf.encode(values);
+    std::vector<float> decoded(static_cast<size_t>(n));
+    buf.decode(decoded);
+    for (std::int64_t i = 0; i < n; ++i) {
+        const float v = values[static_cast<size_t>(i)];
+        if (v == 0.0f)
+            EXPECT_EQ(decoded[static_cast<size_t>(i)], 0.0f);
+        else
+            EXPECT_EQ(decoded[static_cast<size_t>(i)],
+                      quantizeSmallFloat(kFp16, v))
+                << i; // values quantized, structure exact
+    }
+    // And it is smaller than FP32-valued CSR.
+    CsrBuffer fp32(CsrConfig{});
+    fp32.encode(values);
+    EXPECT_LT(buf.bytes(), fp32.bytes());
+}
+
+TEST(Csr, LastPartialRowHandled)
+{
+    // n not a multiple of row_width; nonzero in the final partial row.
+    std::vector<float> values(300, 0.0f);
+    values[299] = 42.0f;
+    CsrBuffer buf(CsrConfig{});
+    buf.encode(values);
+    std::vector<float> decoded(300);
+    buf.decode(decoded);
+    EXPECT_EQ(decoded[299], 42.0f);
+    EXPECT_EQ(buf.nnz(), 1);
+}
+
+TEST(Csr, ClearReleases)
+{
+    CsrBuffer buf(CsrConfig{});
+    buf.encode(std::vector<float>(512, 1.0f));
+    EXPECT_GT(buf.bytes(), 0u);
+    buf.clear();
+    EXPECT_EQ(buf.numel(), 0);
+    EXPECT_EQ(buf.nnz(), 0);
+}
+
+} // namespace
+} // namespace gist

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * DPR packed-buffer tests: lane packing (2x16 / 3x10 / 4x8 per word),
+ * size accounting, tail handling, and quantize-in-place semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "encodings/dpr.hpp"
+#include "util/rng.hpp"
+
+namespace gist {
+namespace {
+
+TEST(Dpr, ValuesPerWord)
+{
+    EXPECT_EQ(dprValuesPerWord(DprFormat::Fp32), 1);
+    EXPECT_EQ(dprValuesPerWord(DprFormat::Fp16), 2);
+    EXPECT_EQ(dprValuesPerWord(DprFormat::Fp10), 3);
+    EXPECT_EQ(dprValuesPerWord(DprFormat::Fp8), 4);
+}
+
+TEST(Dpr, EncodedBytes)
+{
+    // 2 FP16 per word: 100 values -> 50 words -> 200 bytes.
+    EXPECT_EQ(dprEncodedBytes(DprFormat::Fp16, 100), 200u);
+    // 3 FP10 per word: 100 -> 34 words.
+    EXPECT_EQ(dprEncodedBytes(DprFormat::Fp10, 100), 136u);
+    // 4 FP8 per word: 100 -> 25 words.
+    EXPECT_EQ(dprEncodedBytes(DprFormat::Fp8, 100), 100u);
+    EXPECT_EQ(dprEncodedBytes(DprFormat::Fp32, 100), 400u);
+    EXPECT_EQ(dprEncodedBytes(DprFormat::Fp16, 0), 0u);
+    EXPECT_EQ(dprEncodedBytes(DprFormat::Fp10, 1), 4u);
+}
+
+class DprFormats : public ::testing::TestWithParam<DprFormat>
+{
+};
+
+TEST_P(DprFormats, DecodeMatchesElementwiseQuantize)
+{
+    const DprFormat fmt = GetParam();
+    Rng rng(static_cast<std::uint64_t>(fmt) + 5);
+    for (std::int64_t n : { 1, 2, 3, 4, 5, 7, 64, 1001 }) {
+        std::vector<float> values(static_cast<size_t>(n));
+        for (auto &v : values)
+            v = rng.normal(0.0f, 3.0f);
+
+        DprBuffer buf;
+        buf.encode(fmt, values);
+        EXPECT_EQ(buf.numel(), n);
+        EXPECT_EQ(buf.bytes(), dprEncodedBytes(fmt, n));
+
+        std::vector<float> decoded(static_cast<size_t>(n));
+        buf.decode(decoded);
+        for (std::int64_t i = 0; i < n; ++i) {
+            const float expected =
+                fmt == DprFormat::Fp32
+                    ? values[static_cast<size_t>(i)]
+                    : quantizeSmallFloat(dprSmallFloat(fmt),
+                                         values[static_cast<size_t>(i)]);
+            EXPECT_EQ(decoded[static_cast<size_t>(i)], expected)
+                << "fmt=" << dprFormatName(fmt) << " n=" << n
+                << " i=" << i;
+        }
+    }
+}
+
+TEST_P(DprFormats, ReencodeIsIdempotent)
+{
+    const DprFormat fmt = GetParam();
+    if (fmt == DprFormat::Fp32)
+        GTEST_SKIP();
+    Rng rng(17);
+    std::vector<float> values(257);
+    for (auto &v : values)
+        v = rng.normal();
+
+    DprBuffer buf;
+    buf.encode(fmt, values);
+    std::vector<float> once(values.size());
+    buf.decode(once);
+
+    buf.encode(fmt, once);
+    std::vector<float> twice(values.size());
+    buf.decode(twice);
+    EXPECT_EQ(once, twice); // quantization is a projection
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, DprFormats,
+                         ::testing::Values(DprFormat::Fp32,
+                                           DprFormat::Fp16,
+                                           DprFormat::Fp10,
+                                           DprFormat::Fp8));
+
+TEST(Dpr, Fp32PassThroughIsExact)
+{
+    Rng rng(3);
+    std::vector<float> values(100);
+    for (auto &v : values)
+        v = rng.normal();
+    DprBuffer buf;
+    buf.encode(DprFormat::Fp32, values);
+    std::vector<float> decoded(values.size());
+    buf.decode(decoded);
+    EXPECT_EQ(values, decoded);
+}
+
+TEST(Dpr, QuantizeInPlace)
+{
+    std::vector<float> values = { 1.0f, 1.05f, -240.0f, 1e9f, 0.0f };
+    dprQuantizeInPlace(DprFormat::Fp8, values);
+    EXPECT_EQ(values[0], 1.0f);
+    EXPECT_EQ(values[1], 1.0f);   // rounds down to FP8 grid
+    EXPECT_EQ(values[2], -240.0f);
+    EXPECT_EQ(values[3], 240.0f); // clamped to FP8 max
+    EXPECT_EQ(values[4], 0.0f);
+}
+
+TEST(Dpr, QuantizeInPlaceFp32IsNoOp)
+{
+    std::vector<float> values = { 1.2345678f, -9.87654f };
+    const auto copy = values;
+    dprQuantizeInPlace(DprFormat::Fp32, values);
+    EXPECT_EQ(values, copy);
+}
+
+TEST(Dpr, ClearReleasesStorage)
+{
+    DprBuffer buf;
+    std::vector<float> values(64, 1.0f);
+    buf.encode(DprFormat::Fp16, values);
+    EXPECT_GT(buf.bytes(), 0u);
+    buf.clear();
+    EXPECT_EQ(buf.bytes(), 0u);
+    EXPECT_EQ(buf.numel(), 0);
+}
+
+TEST(Dpr, Fp10LanesDoNotInterfere)
+{
+    // Three maximally-different values in one word.
+    std::vector<float> values = { kFp10.maxFinite(), -kFp10.minNormal(),
+                                  1.0f };
+    DprBuffer buf;
+    buf.encode(DprFormat::Fp10, values);
+    EXPECT_EQ(buf.bytes(), 4u);
+    std::vector<float> out(3);
+    buf.decode(out);
+    EXPECT_EQ(out[0], kFp10.maxFinite());
+    EXPECT_EQ(out[1], -kFp10.minNormal());
+    EXPECT_EQ(out[2], 1.0f);
+}
+
+} // namespace
+} // namespace gist

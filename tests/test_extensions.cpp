@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests for the extension studies: the recompute (checkpointing)
+ * baseline, the CDMA compressed-transfer vDNN variant, the trainer's
+ * LR-decay/clipping knobs, and the ResNet-50 bottleneck model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/recompute.hpp"
+#include "baselines/swap_sim.hpp"
+#include "models/tiny.hpp"
+#include "models/zoo.hpp"
+#include "train/trainer.hpp"
+#include "util/rng.hpp"
+
+namespace gist {
+namespace {
+
+TEST(Recompute, IntervalOneKeepsEverything)
+{
+    Graph g = models::tinyVgg(8);
+    const GpuModelParams params;
+    const auto r = simulateRecompute(g, 1, params);
+    EXPECT_EQ(r.recomputed, 0);
+    EXPECT_DOUBLE_EQ(r.overhead_fraction, 0.0);
+    EXPECT_GT(r.checkpoints, 0);
+}
+
+TEST(Recompute, CheckpointingShrinksFootprint)
+{
+    Graph g = models::vgg16(16);
+    const GpuModelParams params;
+    const auto keep_all = simulateRecompute(g, 1, params);
+    const auto sqrt_k =
+        simulateRecompute(g, sqrtCheckpointInterval(g), params);
+    EXPECT_LT(sqrt_k.footprint, keep_all.footprint);
+    EXPECT_GT(sqrt_k.recomputed, 0);
+}
+
+TEST(Recompute, OverheadIsOneExtraForwardAtMost)
+{
+    Graph g = models::vgg16(16);
+    const GpuModelParams params;
+    const auto r = simulateRecompute(g, 4, params);
+    // Re-running every segment's forward once costs at most the full
+    // forward pass, which is < 1/2 of fwd+bwd (bwd >= fwd).
+    EXPECT_GT(r.overhead_fraction, 0.05);
+    EXPECT_LE(r.overhead_fraction, 0.5);
+}
+
+TEST(Recompute, SqrtHeuristicScalesWithGraphSize)
+{
+    Graph small = models::tinyVgg(4);
+    Graph large = models::resnetCifar(110, 4);
+    EXPECT_GT(sqrtCheckpointInterval(large),
+              sqrtCheckpointInterval(small));
+}
+
+TEST(Cdma, CompressionNeverHurts)
+{
+    const GpuModelParams params;
+    const SparsityModel sparsity;
+    for (const auto &entry : models::paperModels()) {
+        Graph g = entry.build(16);
+        const auto vdnn = simulateVdnn(g, params);
+        const auto cdma = simulateVdnnCompressed(g, params, sparsity);
+        EXPECT_LE(cdma.total_seconds, vdnn.total_seconds + 1e-9)
+            << entry.name;
+    }
+}
+
+TEST(Cdma, DenseMapsFallBackToDenseTransfer)
+{
+    // With zero sparsity everywhere, CSR is bigger than dense; the
+    // model must clamp to dense, making CDMA == vDNN.
+    Graph g = models::tinyVgg(8);
+    const GpuModelParams params;
+    const SparsityModel dense(0.0, 0.0);
+    const auto vdnn = simulateVdnn(g, params);
+    const auto cdma = simulateVdnnCompressed(g, params, dense);
+    EXPECT_DOUBLE_EQ(cdma.total_seconds, vdnn.total_seconds);
+}
+
+TEST(Trainer, LrDecayReducesStepSize)
+{
+    // With aggressive decay the late epochs barely move the weights:
+    // compare total weight movement against a no-decay run.
+    SyntheticDataset::Spec spec;
+    spec.num_train = 64;
+    spec.num_eval = 32;
+    SyntheticDataset data(spec);
+
+    auto total_movement = [&](float decay) {
+        Graph g = models::tinyAlexnet(32);
+        Rng rng(3);
+        g.initParams(rng);
+        std::vector<float> w0;
+        for (auto &node : g.nodes())
+            if (node.layer)
+                for (Tensor *p : node.layer->params())
+                    w0.insert(w0.end(), p->data(),
+                              p->data() + p->numel());
+        Executor exec(g);
+        applyToExecutor(buildSchedule(g, GistConfig::baseline()), exec);
+        Trainer trainer(exec);
+        TrainConfig tc;
+        tc.epochs = 6;
+        tc.learning_rate = 0.02f;
+        tc.lr_decay = decay;
+        tc.lr_decay_epochs = 1;
+        trainer.run(data, tc);
+        double moved = 0.0;
+        size_t i = 0;
+        for (auto &node : g.nodes())
+            if (node.layer)
+                for (Tensor *p : node.layer->params())
+                    for (std::int64_t j = 0; j < p->numel(); ++j)
+                        moved += std::abs(p->at(j) - w0[i++]);
+        return moved;
+    };
+    EXPECT_LT(total_movement(0.1f), total_movement(1.0f));
+}
+
+TEST(Trainer, GradientClippingBoundsTheNorm)
+{
+    Graph g = models::tinyAlexnet(8);
+    Rng rng(4);
+    g.initParams(rng);
+    // Blow up the weights so gradients are enormous.
+    for (auto &node : g.nodes())
+        if (node.layer)
+            for (Tensor *p : node.layer->params())
+                for (std::int64_t i = 0; i < p->numel(); ++i)
+                    p->at(i) *= 30.0f;
+
+    Executor exec(g);
+    applyToExecutor(buildSchedule(g, GistConfig::baseline()), exec);
+    Trainer trainer(exec);
+
+    SyntheticDataset::Spec spec;
+    spec.num_train = 32;
+    spec.num_eval = 32;
+    SyntheticDataset data(spec);
+    TrainConfig tc;
+    tc.epochs = 1;
+    tc.batch_size = 8;
+    tc.clip_grad_norm = 1.0f;
+    tc.after_step = [](std::int64_t, Executor &e) {
+        double norm_sq = 0.0;
+        for (auto &node : e.graph().nodes())
+            if (node.layer)
+                for (Tensor *gr : node.layer->paramGrads())
+                    for (std::int64_t i = 0; i < gr->numel(); ++i)
+                        norm_sq += double(gr->at(i)) * gr->at(i);
+        EXPECT_LE(std::sqrt(norm_sq), 1.0 + 1e-4);
+    };
+    trainer.run(data, tc);
+}
+
+TEST(Models, Resnet50Structure)
+{
+    Graph g = models::resnet50(8);
+    int adds = 0;
+    for (const auto &node : g.nodes())
+        adds += (node.kind() == LayerKind::Add);
+    EXPECT_EQ(adds, 16); // 3+4+6+3 bottleneck blocks
+    // ~25.6M parameters.
+    EXPECT_NEAR(static_cast<double>(g.numParams()), 25.6e6, 1.5e6);
+    // Stage outputs are 4x expanded.
+    const Node *gap = nullptr;
+    for (const auto &node : g.nodes())
+        if (node.kind() == LayerKind::AvgPool)
+            gap = &node;
+    ASSERT_TRUE(gap);
+    EXPECT_EQ(gap->out_shape.c(), 2048);
+}
+
+TEST(Models, Resnet50PlansUnderGist)
+{
+    Graph g = models::resnet50(16);
+    const SparsityModel sparsity;
+    const auto base = planModel(g, GistConfig::baseline(), sparsity);
+    const auto gist =
+        planModel(g, GistConfig::lossy(DprFormat::Fp16), sparsity);
+    EXPECT_GT(static_cast<double>(base.pool_static) /
+                  static_cast<double>(gist.pool_static),
+              1.3);
+}
+
+} // namespace
+} // namespace gist

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * GEMM tests: all four transpose combinations against a naive reference,
+ * plus alpha/beta semantics — parameterized over sizes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tensor/gemm.hpp"
+#include "util/rng.hpp"
+
+namespace gist {
+namespace {
+
+/** Naive triple loop reference. */
+void
+gemmRef(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+        std::int64_t k, float alpha, const float *a, const float *b,
+        float beta, float *c)
+{
+    for (std::int64_t i = 0; i < m; ++i) {
+        for (std::int64_t j = 0; j < n; ++j) {
+            float acc = 0.0f;
+            for (std::int64_t p = 0; p < k; ++p) {
+                const float av = trans_a ? a[p * m + i] : a[i * k + p];
+                const float bv = trans_b ? b[j * k + p] : b[p * n + j];
+                acc += av * bv;
+            }
+            c[i * n + j] = alpha * acc + beta * c[i * n + j];
+        }
+    }
+}
+
+struct GemmCase
+{
+    std::int64_t m, n, k;
+    bool ta, tb;
+};
+
+class GemmParam : public ::testing::TestWithParam<GemmCase>
+{
+};
+
+TEST_P(GemmParam, MatchesReference)
+{
+    const auto p = GetParam();
+    Rng rng(p.m * 131 + p.n * 17 + p.k + p.ta * 2 + p.tb);
+    std::vector<float> a(static_cast<size_t>(p.m * p.k));
+    std::vector<float> b(static_cast<size_t>(p.k * p.n));
+    std::vector<float> c(static_cast<size_t>(p.m * p.n));
+    for (auto &x : a)
+        x = rng.normal();
+    for (auto &x : b)
+        x = rng.normal();
+    for (auto &x : c)
+        x = rng.normal();
+    std::vector<float> c_ref = c;
+
+    gemm(p.ta, p.tb, p.m, p.n, p.k, 1.3f, a.data(), b.data(), 0.7f,
+         c.data());
+    gemmRef(p.ta, p.tb, p.m, p.n, p.k, 1.3f, a.data(), b.data(), 0.7f,
+            c_ref.data());
+    for (size_t i = 0; i < c.size(); ++i)
+        EXPECT_NEAR(c[i], c_ref[i], 1e-3f) << "element " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransposes, GemmParam,
+    ::testing::Values(GemmCase{ 5, 7, 3, false, false },
+                      GemmCase{ 5, 7, 3, true, false },
+                      GemmCase{ 5, 7, 3, false, true },
+                      GemmCase{ 5, 7, 3, true, true },
+                      GemmCase{ 1, 1, 1, false, false },
+                      GemmCase{ 16, 16, 16, false, false },
+                      GemmCase{ 16, 16, 16, true, true },
+                      GemmCase{ 33, 9, 21, false, true },
+                      GemmCase{ 9, 33, 21, true, false },
+                      GemmCase{ 64, 1, 64, false, false }));
+
+TEST(Gemm, BetaZeroIgnoresGarbage)
+{
+    std::vector<float> a = { 1.0f, 2.0f };
+    std::vector<float> b = { 3.0f, 4.0f };
+    std::vector<float> c = { std::numeric_limits<float>::quiet_NaN() };
+    gemm(false, false, 1, 1, 2, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    EXPECT_FLOAT_EQ(c[0], 11.0f);
+}
+
+TEST(Gemm, BetaOneAccumulates)
+{
+    std::vector<float> a = { 1.0f };
+    std::vector<float> b = { 2.0f };
+    std::vector<float> c = { 10.0f };
+    gemm(false, false, 1, 1, 1, 1.0f, a.data(), b.data(), 1.0f, c.data());
+    EXPECT_FLOAT_EQ(c[0], 12.0f);
+}
+
+TEST(Gemm, AlphaZeroOnlyScalesC)
+{
+    std::vector<float> a = { 1.0f };
+    std::vector<float> b = { 2.0f };
+    std::vector<float> c = { 10.0f };
+    gemm(false, false, 1, 1, 1, 0.0f, a.data(), b.data(), 0.5f, c.data());
+    EXPECT_FLOAT_EQ(c[0], 5.0f);
+}
+
+TEST(Gemm, EmptyDimsAreNoOps)
+{
+    std::vector<float> c = { 3.0f };
+    gemm(false, false, 1, 1, 0, 1.0f, nullptr, nullptr, 1.0f, c.data());
+    EXPECT_FLOAT_EQ(c[0], 3.0f);
+}
+
+} // namespace
+} // namespace gist

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Graph and ScheduleInfo tests: topology rules, step numbering, use
+ * records, and the stashed/immediate distinction that drives Gist.
+ */
+
+#include <gtest/gtest.h>
+
+#include "layers/layers.hpp"
+#include "models/builder.hpp"
+#include "util/rng.hpp"
+
+namespace gist {
+namespace {
+
+/** data -> conv -> relu -> maxpool -> fc -> loss */
+Graph
+smallChain()
+{
+    NetBuilder net(2, 3, 8, 8);
+    net.conv(4, 3, 1, 1);
+    net.relu();
+    net.maxpool(2, 2);
+    net.fc(5);
+    net.loss(5);
+    return net.take();
+}
+
+TEST(Graph, TopologicalConstruction)
+{
+    Graph g = smallChain();
+    EXPECT_EQ(g.numNodes(), 6);
+    EXPECT_EQ(g.node(0).kind(), LayerKind::Input);
+    EXPECT_EQ(g.node(1).kind(), LayerKind::Conv);
+    EXPECT_EQ(g.node(5).kind(), LayerKind::SoftmaxLoss);
+    EXPECT_EQ(g.node(3).inputs[0], 2);
+}
+
+TEST(Graph, ShapeInferenceAlongChain)
+{
+    Graph g = smallChain();
+    EXPECT_EQ(g.node(1).out_shape, Shape::nchw(2, 4, 8, 8));
+    EXPECT_EQ(g.node(2).out_shape, Shape::nchw(2, 4, 8, 8));
+    EXPECT_EQ(g.node(3).out_shape, Shape::nchw(2, 4, 4, 4));
+    EXPECT_EQ(g.node(4).out_shape, Shape({ 2, 5 }));
+    EXPECT_EQ(g.node(5).out_shape, Shape({ 1 }));
+}
+
+TEST(Graph, StepNumbering)
+{
+    Graph g = smallChain();
+    EXPECT_EQ(g.numSteps(), 12);
+    EXPECT_EQ(g.fwdStep(0), 0);
+    EXPECT_EQ(g.fwdStep(5), 5);
+    EXPECT_EQ(g.bwdStep(5), 6); // loss backward runs first
+    EXPECT_EQ(g.bwdStep(0), 11);
+}
+
+TEST(ScheduleInfo, ConsumersAndLastForwardRead)
+{
+    Graph g = smallChain();
+    ScheduleInfo sched(g);
+    ASSERT_EQ(sched.consumers(0).size(), 1u);
+    EXPECT_EQ(sched.consumers(0)[0], 1);
+    EXPECT_EQ(sched.lastFwdRead(0), 1);
+    EXPECT_EQ(sched.lastFwdRead(2), 3);
+    EXPECT_EQ(sched.lastFwdRead(5), 5); // loss output is unconsumed
+}
+
+TEST(ScheduleInfo, BackwardReadsFollowLayerNeeds)
+{
+    Graph g = smallChain();
+    ScheduleInfo sched(g);
+
+    // Input: read by conv backward (conv needs X).
+    EXPECT_TRUE(sched.stashed(0));
+    EXPECT_EQ(sched.bwdReads(0), std::vector<int>{ g.bwdStep(1) });
+
+    // Conv output: relu (dense) needs no X, so only... nothing. Relu
+    // doesn't need its input; conv output is immediately consumed.
+    EXPECT_FALSE(sched.stashed(1));
+
+    // Relu output: relu's own backward needs Y; maxpool (dense) needs X.
+    EXPECT_TRUE(sched.stashed(2));
+    const std::vector<int> expected = { g.bwdStep(3), g.bwdStep(2) };
+    EXPECT_EQ(sched.bwdReads(2), expected);
+    EXPECT_EQ(sched.firstBwdRead(2), g.bwdStep(3));
+    EXPECT_EQ(sched.lastBwdRead(2), g.bwdStep(2));
+
+    // Pool output: maxpool's own backward needs Y, fc needs X.
+    EXPECT_TRUE(sched.stashed(3));
+    EXPECT_EQ(sched.bwdReads(3).size(), 2u);
+
+    // FC output (logits): loss needs neither X nor Y.
+    EXPECT_FALSE(sched.stashed(4));
+    EXPECT_FALSE(sched.stashed(5));
+}
+
+TEST(ScheduleInfo, GistModesChangeStashedness)
+{
+    Graph g = smallChain();
+    auto *relu = dynamic_cast<ReluLayer *>(g.node(2).layer.get());
+    auto *pool = dynamic_cast<MaxPoolLayer *>(g.node(3).layer.get());
+    ASSERT_TRUE(relu && pool);
+    relu->setStashMode(ReluLayer::StashMode::Mask);
+    pool->setStashMode(MaxPoolLayer::StashMode::IndexMap);
+
+    ScheduleInfo sched(g);
+    // The ReLU output is no longer needed by anyone's backward pass.
+    EXPECT_FALSE(sched.stashed(2));
+    // Pool output is still stashed (fc needs X) but not by the pool.
+    EXPECT_TRUE(sched.stashed(3));
+    EXPECT_EQ(sched.bwdReads(3), std::vector<int>{ g.bwdStep(4) });
+}
+
+TEST(ScheduleInfo, BranchingGraphConsumers)
+{
+    NetBuilder net(1, 4, 4, 4);
+    const NodeId trunk = net.tip();
+    const NodeId left = net.reluAt(trunk);
+    net.setTip(left);
+    const NodeId right = net.reluAt(trunk);
+    net.setTip(left);
+    net.add(right);
+    net.fc(3);
+    net.loss(3);
+    Graph g = net.take();
+
+    ScheduleInfo sched(g);
+    EXPECT_EQ(sched.consumers(trunk).size(), 2u);
+    // Both relus need their own outputs; the Add needs nothing.
+    EXPECT_TRUE(sched.stashed(left));
+    EXPECT_TRUE(sched.stashed(right));
+}
+
+TEST(Graph, ParamsCountAndInit)
+{
+    Graph g = smallChain();
+    // conv: 4*3*3*3 + 4; fc: 5*(4*4*4) + 5.
+    EXPECT_EQ(g.numParams(), 4 * 3 * 3 * 3 + 4 + 5 * 64 + 5);
+    Rng rng(1);
+    g.initParams(rng);
+    auto params = g.node(1).layer->params();
+    ASSERT_EQ(params.size(), 2u);
+    EXPECT_FALSE(params[0]->empty());
+}
+
+TEST(Graph, HasGradient)
+{
+    Graph g = smallChain();
+    ScheduleInfo sched(g);
+    EXPECT_FALSE(sched.hasGradient(0));
+    EXPECT_TRUE(sched.hasGradient(1));
+    EXPECT_TRUE(sched.hasGradient(5));
+}
+
+} // namespace
+} // namespace gist

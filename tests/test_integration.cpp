@@ -1,0 +1,145 @@
+/**
+ * @file
+ * End-to-end integration tests across all tiny models: every model
+ * trains under every Gist configuration; lossless configurations are
+ * bit-identical to baseline; planner MFRs exceed 1 on every paper model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/gist.hpp"
+#include "models/tiny.hpp"
+#include "models/zoo.hpp"
+#include "train/trainer.hpp"
+#include "util/rng.hpp"
+
+namespace gist {
+namespace {
+
+struct NamedConfig
+{
+    const char *name;
+    GistConfig config;
+};
+
+std::vector<NamedConfig>
+allConfigs()
+{
+    return {
+        { "baseline", GistConfig::baseline() },
+        { "lossless", GistConfig::lossless() },
+        { "lossy-fp16", GistConfig::lossy(DprFormat::Fp16) },
+        { "lossy-fp10", GistConfig::lossy(DprFormat::Fp10) },
+        { "lossy-fp8", GistConfig::lossy(DprFormat::Fp8) },
+    };
+}
+
+float
+oneStepLoss(const models::ModelEntry &entry, const GistConfig &cfg)
+{
+    Graph g = entry.build(8);
+    Rng rng(5);
+    g.initParams(rng);
+    Executor exec(g);
+    applyToExecutor(buildSchedule(g, cfg), exec);
+
+    Rng drng(9);
+    Tensor batch = Tensor::uniform(g.node(0).out_shape, drng, 0.0f,
+                                   1.0f);
+    std::vector<std::int32_t> labels;
+    for (int i = 0; i < 8; ++i)
+        labels.push_back(i % models::kTinyClasses);
+    return exec.runMinibatch(batch, labels);
+}
+
+TEST(Integration, EveryTinyModelRunsEveryConfig)
+{
+    for (const auto &entry : models::tinyModels()) {
+        for (const auto &nc : allConfigs()) {
+            const float loss = oneStepLoss(entry, nc.config);
+            EXPECT_TRUE(std::isfinite(loss))
+                << entry.name << " / " << nc.name;
+            EXPECT_GT(loss, 0.0f) << entry.name << " / " << nc.name;
+        }
+    }
+}
+
+TEST(Integration, LosslessIsBitIdenticalOnEveryTinyModel)
+{
+    for (const auto &entry : models::tinyModels()) {
+        const float base = oneStepLoss(entry, GistConfig::baseline());
+        const float gist = oneStepLoss(entry, GistConfig::lossless());
+        EXPECT_EQ(base, gist) << entry.name;
+    }
+}
+
+TEST(Integration, PlannerMfrExceedsOneOnAllPaperModels)
+{
+    const SparsityModel sparsity;
+    for (const auto &entry : models::paperModels()) {
+        Graph g = entry.build(64);
+        const auto base = planModel(g, GistConfig::baseline(), sparsity);
+        const auto lossless =
+            planModel(g, GistConfig::lossless(), sparsity);
+        const auto lossy =
+            planModel(g, GistConfig::lossy(DprFormat::Fp16), sparsity);
+
+        const double mfr_lossless =
+            double(base.pool_static) / double(lossless.pool_static);
+        const double mfr_lossy =
+            double(base.pool_static) / double(lossy.pool_static);
+        EXPECT_GT(mfr_lossless, 1.1) << entry.name;
+        EXPECT_GT(mfr_lossy, mfr_lossless * 0.99) << entry.name;
+        EXPECT_LT(mfr_lossy, 5.0) << entry.name;
+    }
+}
+
+TEST(Integration, MeasuredSparsityFeedsPlanner)
+{
+    // Train a couple of steps, measure real ReLU sparsities, then plan
+    // with them — the planner must accept per-node overrides.
+    Graph g = models::tinyVgg(16);
+    Rng rng(2);
+    g.initParams(rng);
+    Executor exec(g);
+    exec.setCollectSparsity(true);
+    applyToExecutor(buildSchedule(g, GistConfig::baseline()), exec);
+
+    Rng drng(3);
+    Tensor batch =
+        Tensor::uniform(g.node(0).out_shape, drng, 0.0f, 1.0f);
+    std::vector<std::int32_t> labels(16, 1);
+    exec.runMinibatch(batch, labels);
+
+    SparsityModel measured;
+    for (const auto &node : g.nodes())
+        if (exec.lastSparsity(node.id) >= 0.0)
+            measured.set(node.id, exec.lastSparsity(node.id));
+
+    const auto s = planModel(g, GistConfig::lossless(), measured);
+    EXPECT_GT(s.pool_static, 0u);
+}
+
+TEST(Integration, ExecutorFootprintOrderingMatchesPlanner)
+{
+    // The executor's replaced-vs-encoded byte counters must agree in
+    // *direction* with the planner: FP8 stashes are smaller than FP16.
+    auto encoded_bytes = [](DprFormat fmt) {
+        Graph g = models::tinyVgg(8);
+        Rng rng(4);
+        g.initParams(rng);
+        Executor exec(g);
+        applyToExecutor(buildSchedule(g, GistConfig::lossy(fmt)), exec);
+        Rng drng(5);
+        Tensor batch =
+            Tensor::uniform(g.node(0).out_shape, drng, 0.0f, 1.0f);
+        std::vector<std::int32_t> labels(8, 0);
+        exec.runMinibatch(batch, labels);
+        return exec.stats().encoded_bytes;
+    };
+    EXPECT_LT(encoded_bytes(DprFormat::Fp8),
+              encoded_bytes(DprFormat::Fp16));
+}
+
+} // namespace
+} // namespace gist

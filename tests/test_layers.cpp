@@ -1,0 +1,355 @@
+/**
+ * @file
+ * Behavioral layer tests: forward semantics on known cases, mode
+ * equivalences (dense vs encoded backward paths), and eval-mode behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "layers/layers.hpp"
+#include "util/rng.hpp"
+
+namespace gist {
+namespace {
+
+Tensor
+runForward(Layer &layer, std::vector<const Tensor *> inputs,
+           bool training = true)
+{
+    std::vector<Shape> shapes;
+    for (const auto *t : inputs)
+        shapes.push_back(t->shape());
+    Tensor out(layer.outputShape(shapes));
+    FwdCtx ctx;
+    ctx.inputs = std::move(inputs);
+    ctx.output = &out;
+    ctx.training = training;
+    layer.forward(ctx);
+    return out;
+}
+
+TEST(ConvLayer, KnownValueIdentityKernel)
+{
+    ConvLayer conv(1, ConvSpec{ 1, 3, 3, 1, 1, 1, 1, true });
+    Rng rng(0);
+    conv.initParams(rng);
+    // Set the kernel to a centered delta and bias to 1: y = x + 1.
+    auto params = conv.params();
+    params[0]->setZero();
+    params[0]->at(4) = 1.0f; // center of 3x3
+    params[1]->at(0) = 1.0f;
+
+    Tensor x(Shape::nchw(1, 1, 3, 3));
+    for (int i = 0; i < 9; ++i)
+        x.at(i) = static_cast<float>(i);
+    const Tensor y = runForward(conv, { &x });
+    for (int i = 0; i < 9; ++i)
+        EXPECT_FLOAT_EQ(y.at(i), static_cast<float>(i) + 1.0f);
+}
+
+TEST(ConvLayer, SumKernelCountsNeighborhood)
+{
+    ConvLayer conv(1, ConvSpec{ 1, 3, 3, 1, 1, 1, 1, false });
+    Rng rng(0);
+    conv.initParams(rng);
+    auto params = conv.params();
+    for (std::int64_t i = 0; i < params[0]->numel(); ++i)
+        params[0]->at(i) = 1.0f;
+
+    Tensor x = Tensor::full(Shape::nchw(1, 1, 4, 4), 1.0f);
+    const Tensor y = runForward(conv, { &x });
+    EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 0), 4.0f);  // corner: 2x2 in-bounds
+    EXPECT_FLOAT_EQ(y.at4(0, 0, 1, 1), 9.0f);  // interior: full window
+    EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 1), 6.0f);  // edge: 2x3
+}
+
+TEST(ReluLayer, ForwardClampsNegatives)
+{
+    ReluLayer relu;
+    Tensor x(Shape{ 4 });
+    x.at(0) = -1.0f;
+    x.at(1) = 2.0f;
+    x.at(2) = 0.0f;
+    x.at(3) = -0.5f;
+    const Tensor y = runForward(relu, { &x });
+    EXPECT_EQ(y.at(0), 0.0f);
+    EXPECT_EQ(y.at(1), 2.0f);
+    EXPECT_EQ(y.at(2), 0.0f);
+    EXPECT_EQ(y.at(3), 0.0f);
+}
+
+TEST(ReluLayer, MaskModeBackwardMatchesDenseMode)
+{
+    Rng rng(31);
+    Tensor x = Tensor::randn(Shape::nchw(2, 4, 5, 5), rng);
+    Tensor dy = Tensor::randn(x.shape(), rng);
+
+    auto run = [&](ReluLayer::StashMode mode) {
+        ReluLayer relu;
+        relu.setStashMode(mode);
+        Tensor y = runForward(relu, { &x });
+        Tensor dx(x.shape());
+        BwdCtx ctx;
+        ctx.inputs = { nullptr };
+        ctx.output = mode == ReluLayer::StashMode::Dense ? &y : nullptr;
+        ctx.d_output = &dy;
+        ctx.d_inputs = { &dx };
+        relu.backward(ctx);
+        return dx;
+    };
+    const Tensor dense = run(ReluLayer::StashMode::Dense);
+    const Tensor mask = run(ReluLayer::StashMode::Mask);
+    EXPECT_TRUE(dense.bitIdentical(mask));
+}
+
+TEST(MaxPoolLayer, ForwardPicksWindowMax)
+{
+    MaxPoolLayer pool(PoolSpec::square(2, 2));
+    Tensor x(Shape::nchw(1, 1, 4, 4));
+    for (int i = 0; i < 16; ++i)
+        x.at(i) = static_cast<float>(i);
+    const Tensor y = runForward(pool, { &x });
+    EXPECT_EQ(y.shape(), Shape::nchw(1, 1, 2, 2));
+    EXPECT_FLOAT_EQ(y.at(0), 5.0f);
+    EXPECT_FLOAT_EQ(y.at(1), 7.0f);
+    EXPECT_FLOAT_EQ(y.at(2), 13.0f);
+    EXPECT_FLOAT_EQ(y.at(3), 15.0f);
+}
+
+TEST(MaxPoolLayer, IndexMapBackwardMatchesDenseBackward)
+{
+    Rng rng(32);
+    // Overlapping windows (stride < kernel) and padding: the hard case.
+    const PoolSpec spec = PoolSpec::square(3, 2, 1);
+    Tensor x = Tensor::randn(Shape::nchw(2, 3, 7, 7), rng);
+    Tensor dense_dx(x.shape());
+    Tensor map_dx(x.shape());
+
+    {
+        MaxPoolLayer pool(spec);
+        Tensor y = runForward(pool, { &x });
+        Tensor dy = Tensor::randn(y.shape(), rng);
+
+        BwdCtx ctx;
+        ctx.inputs = { &x };
+        ctx.output = &y;
+        ctx.d_output = &dy;
+        ctx.d_inputs = { &dense_dx };
+        pool.backward(ctx);
+
+        MaxPoolLayer gist_pool(spec);
+        gist_pool.setStashMode(MaxPoolLayer::StashMode::IndexMap);
+        Tensor y2 = runForward(gist_pool, { &x });
+        EXPECT_TRUE(y.bitIdentical(y2));
+
+        BwdCtx gctx;
+        gctx.inputs = { nullptr };
+        gctx.output = nullptr;
+        gctx.d_output = &dy;
+        gctx.d_inputs = { &map_dx };
+        gist_pool.backward(gctx);
+    }
+    EXPECT_TRUE(dense_dx.bitIdentical(map_dx));
+}
+
+TEST(MaxPoolLayer, TieBreaksIdenticallyInBothModes)
+{
+    // All-equal input: every window is a tie; both modes must route the
+    // gradient to the same (first) position.
+    const PoolSpec spec = PoolSpec::square(2, 2);
+    Tensor x = Tensor::full(Shape::nchw(1, 1, 4, 4), 1.0f);
+    Tensor dy = Tensor::full(Shape::nchw(1, 1, 2, 2), 1.0f);
+
+    Tensor dense_dx(x.shape());
+    MaxPoolLayer dense(spec);
+    Tensor y = runForward(dense, { &x });
+    BwdCtx ctx;
+    ctx.inputs = { &x };
+    ctx.output = &y;
+    ctx.d_output = &dy;
+    ctx.d_inputs = { &dense_dx };
+    dense.backward(ctx);
+
+    Tensor map_dx(x.shape());
+    MaxPoolLayer mapped(spec);
+    mapped.setStashMode(MaxPoolLayer::StashMode::IndexMap);
+    runForward(mapped, { &x });
+    BwdCtx mctx;
+    mctx.inputs = { nullptr };
+    mctx.d_output = &dy;
+    mctx.d_inputs = { &map_dx };
+    mapped.backward(mctx);
+
+    EXPECT_TRUE(dense_dx.bitIdentical(map_dx));
+    EXPECT_FLOAT_EQ(map_dx.at4(0, 0, 0, 0), 1.0f); // first tap wins
+    EXPECT_FLOAT_EQ(map_dx.at4(0, 0, 1, 1), 0.0f);
+}
+
+TEST(AvgPoolLayer, PaddedWindowsDivideByInBoundsCount)
+{
+    AvgPoolLayer pool(PoolSpec::square(3, 2, 1));
+    Tensor x = Tensor::full(Shape::nchw(1, 1, 4, 4), 6.0f);
+    const Tensor y = runForward(pool, { &x });
+    // Corner window has 4 in-bounds taps of the 9: mean is still 6.
+    EXPECT_FLOAT_EQ(y.at(0), 6.0f);
+}
+
+TEST(BatchNormLayer, NormalizesToZeroMeanUnitVar)
+{
+    Rng rng(33);
+    BatchNormLayer bn(4);
+    bn.initParams(rng);
+    Tensor x = Tensor::randn(Shape::nchw(8, 4, 5, 5), rng, 3.0f);
+    const Tensor y = runForward(bn, { &x });
+
+    const std::int64_t plane = 25;
+    for (std::int64_t c = 0; c < 4; ++c) {
+        double sum = 0.0;
+        double sum_sq = 0.0;
+        for (std::int64_t n = 0; n < 8; ++n)
+            for (std::int64_t i = 0; i < plane; ++i) {
+                const double v = y.at((n * 4 + c) * plane + i);
+                sum += v;
+                sum_sq += v * v;
+            }
+        const double m = sum / (8 * plane);
+        EXPECT_NEAR(m, 0.0, 1e-4);
+        EXPECT_NEAR(sum_sq / (8 * plane) - m * m, 1.0, 1e-2);
+    }
+}
+
+TEST(BatchNormLayer, EvalUsesRunningStats)
+{
+    Rng rng(34);
+    BatchNormLayer bn(2);
+    bn.initParams(rng);
+    // Before any training step, running stats are mean 0 / var 1: eval
+    // output equals input (gamma=1, beta=0), up to eps.
+    Tensor x = Tensor::randn(Shape::nchw(2, 2, 3, 3), rng);
+    const Tensor y = runForward(bn, { &x }, /*training=*/false);
+    EXPECT_LT(Tensor::maxAbsDiff(x, y), 1e-4f);
+}
+
+TEST(LrnLayer, MatchesClosedFormOnUniformInput)
+{
+    const float alpha = 0.5f;
+    const float beta = 0.75f;
+    const float k = 2.0f;
+    LrnLayer lrn(5, alpha, beta, k);
+    // 8 channels of constant 2.0: interior channels see 5 in-window
+    // squares -> scale = k + alpha/5 * 5*4 = 2 + 2 = 4.
+    Tensor x = Tensor::full(Shape::nchw(1, 8, 2, 2), 2.0f);
+    const Tensor y = runForward(lrn, { &x });
+    const float expected_interior =
+        2.0f * std::pow(4.0f, -beta);
+    EXPECT_NEAR(y.at4(0, 3, 0, 0), expected_interior, 1e-5f);
+    // Edge channel 0 sees only 3 in-window squares.
+    const float expected_edge =
+        2.0f * std::pow(k + alpha / 5.0f * 3.0f * 4.0f, -beta);
+    EXPECT_NEAR(y.at4(0, 0, 0, 0), expected_edge, 1e-5f);
+}
+
+TEST(ConcatLayer, LayoutIsChannelMajor)
+{
+    ConcatLayer concat;
+    Tensor a = Tensor::full(Shape::nchw(2, 1, 2, 2), 1.0f);
+    Tensor b = Tensor::full(Shape::nchw(2, 2, 2, 2), 2.0f);
+    const Tensor y = runForward(concat, { &a, &b });
+    EXPECT_EQ(y.shape(), Shape::nchw(2, 3, 2, 2));
+    for (std::int64_t n = 0; n < 2; ++n) {
+        EXPECT_EQ(y.at4(n, 0, 1, 1), 1.0f);
+        EXPECT_EQ(y.at4(n, 1, 0, 0), 2.0f);
+        EXPECT_EQ(y.at4(n, 2, 1, 0), 2.0f);
+    }
+}
+
+TEST(DropoutLayer, ScalesKeptValuesAndZerosDropped)
+{
+    DropoutLayer drop(0.5f, 42);
+    Tensor x = Tensor::full(Shape{ 1000 }, 1.0f);
+    const Tensor y = runForward(drop, { &x });
+    std::int64_t kept = 0;
+    for (std::int64_t i = 0; i < y.numel(); ++i) {
+        if (y.at(i) != 0.0f) {
+            EXPECT_FLOAT_EQ(y.at(i), 2.0f); // 1 / (1 - 0.5)
+            ++kept;
+        }
+    }
+    EXPECT_GT(kept, 400);
+    EXPECT_LT(kept, 600);
+}
+
+TEST(DropoutLayer, BackwardUsesTheForwardMask)
+{
+    DropoutLayer drop(0.3f, 7);
+    Tensor x = Tensor::full(Shape{ 64 }, 1.0f);
+    const Tensor y = runForward(drop, { &x });
+    Tensor dy = Tensor::full(x.shape(), 1.0f);
+    Tensor dx(x.shape());
+    BwdCtx ctx;
+    ctx.inputs = { nullptr };
+    ctx.d_output = &dy;
+    ctx.d_inputs = { &dx };
+    drop.backward(ctx);
+    // dx is nonzero exactly where y is nonzero, with the same scaling.
+    for (std::int64_t i = 0; i < x.numel(); ++i)
+        EXPECT_FLOAT_EQ(dx.at(i), y.at(i));
+}
+
+TEST(DropoutLayer, EvalModeIsIdentity)
+{
+    DropoutLayer drop(0.9f, 1);
+    Rng rng(35);
+    Tensor x = Tensor::randn(Shape{ 32 }, rng);
+    const Tensor y = runForward(drop, { &x }, /*training=*/false);
+    EXPECT_TRUE(x.bitIdentical(y));
+}
+
+TEST(SoftmaxLoss, UniformLogitsGiveLogCClasses)
+{
+    SoftmaxCrossEntropyLayer loss(4);
+    loss.setLabels(std::vector<std::int32_t>{ 1, 2 });
+    Tensor logits = Tensor::zeros(Shape{ 2, 4 });
+    const Tensor out = runForward(loss, { &logits });
+    EXPECT_NEAR(out.at(0), std::log(4.0f), 1e-5f);
+    EXPECT_NEAR(loss.lastLoss(), std::log(4.0f), 1e-5f);
+}
+
+TEST(SoftmaxLoss, ProbabilitiesSumToOne)
+{
+    SoftmaxCrossEntropyLayer loss(3);
+    loss.setLabels(std::vector<std::int32_t>{ 0 });
+    Rng rng(36);
+    Tensor logits = Tensor::randn(Shape{ 1, 3 }, rng, 5.0f);
+    runForward(loss, { &logits });
+    const auto &p = loss.probabilities();
+    EXPECT_NEAR(p[0] + p[1] + p[2], 1.0f, 1e-5f);
+}
+
+TEST(Workspace, ConvReportsIm2colBytes)
+{
+    ConvLayer conv(3, ConvSpec::square(8, 3, 1, 1));
+    const Shape in = Shape::nchw(4, 3, 10, 10);
+    // col matrix: (3*3*3) x (10*10) floats.
+    EXPECT_EQ(conv.workspaceBytes({ &in, 1 }), 27u * 100 * 4);
+}
+
+TEST(AuxStash, SizesMatchEncodings)
+{
+    const Shape in = Shape::nchw(2, 4, 8, 8);
+    ReluLayer relu;
+    EXPECT_EQ(relu.auxStashBytes({ &in, 1 }), 0u);
+    relu.setStashMode(ReluLayer::StashMode::Mask);
+    EXPECT_EQ(relu.auxStashBytes({ &in, 1 }), 2u * 4 * 8 * 8 / 8);
+
+    MaxPoolLayer pool(PoolSpec::square(2, 2));
+    EXPECT_EQ(pool.auxStashBytes({ &in, 1 }), 0u);
+    pool.setStashMode(MaxPoolLayer::StashMode::IndexMap);
+    // 4 bits per pooled output element (2*4*4*4 outputs).
+    EXPECT_EQ(pool.auxStashBytes({ &in, 1 }), 2u * 4 * 4 * 4 / 2);
+}
+
+} // namespace
+} // namespace gist

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Model-zoo tests: the full-scale descriptors must reproduce the
+ * published layer geometries and parameter counts (within the documented
+ * simplifications), and the tiny variants must be trainable graphs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/classify.hpp"
+#include "core/gist.hpp"
+#include "models/tiny.hpp"
+#include "models/zoo.hpp"
+#include "util/rng.hpp"
+
+namespace gist {
+namespace {
+
+const Node *
+lastOfKind(const Graph &g, LayerKind kind)
+{
+    const Node *found = nullptr;
+    for (const auto &node : g.nodes())
+        if (node.kind() == kind)
+            found = &node;
+    return found;
+}
+
+TEST(Models, AlexnetGeometry)
+{
+    Graph g = models::alexnet(64);
+    // conv1: (227-11)/4+1 = 55.
+    EXPECT_EQ(g.node(1).out_shape, Shape::nchw(64, 96, 55, 55));
+    // Final pool output: 256 x 6 x 6 (the classic 9216-dim flatten).
+    const Node *last_pool = lastOfKind(g, LayerKind::MaxPool);
+    ASSERT_TRUE(last_pool);
+    EXPECT_EQ(last_pool->out_shape, Shape::nchw(64, 256, 6, 6));
+    // ~61M parameters.
+    EXPECT_NEAR(static_cast<double>(g.numParams()), 61e6, 2e6);
+}
+
+TEST(Models, VggGeometry)
+{
+    Graph g = models::vgg16(64);
+    // 13 convs + 3 FCs = 16 weight layers, ~138M params.
+    int convs = 0;
+    int fcs = 0;
+    for (const auto &node : g.nodes()) {
+        convs += (node.kind() == LayerKind::Conv);
+        fcs += (node.kind() == LayerKind::Fc);
+    }
+    EXPECT_EQ(convs, 13);
+    EXPECT_EQ(fcs, 3);
+    EXPECT_NEAR(static_cast<double>(g.numParams()), 138e6, 3e6);
+    const Node *last_pool = lastOfKind(g, LayerKind::MaxPool);
+    EXPECT_EQ(last_pool->out_shape, Shape::nchw(64, 512, 7, 7));
+}
+
+TEST(Models, OverfeatGeometry)
+{
+    Graph g = models::overfeat(32);
+    // conv1: (231-11)/4+1 = 56.
+    EXPECT_EQ(g.node(1).out_shape, Shape::nchw(32, 96, 56, 56));
+    const Node *last_pool = lastOfKind(g, LayerKind::MaxPool);
+    EXPECT_EQ(last_pool->out_shape.c(), 1024);
+    EXPECT_EQ(last_pool->out_shape.h(), 6);
+}
+
+TEST(Models, NinEndsWithGlobalAveragePool)
+{
+    Graph g = models::nin(32);
+    const Node *gap = lastOfKind(g, LayerKind::AvgPool);
+    ASSERT_TRUE(gap);
+    // NiN: last conv emits one channel per class, GAP to 1x1.
+    EXPECT_EQ(gap->out_shape, Shape::nchw(32, 1000, 1, 1));
+}
+
+TEST(Models, InceptionModuleChannelArithmetic)
+{
+    Graph g = models::inceptionV1(32);
+    // Collect concat outputs: the 9 inception modules.
+    std::vector<std::int64_t> concat_channels;
+    std::vector<std::int64_t> concat_spatial;
+    for (const auto &node : g.nodes()) {
+        if (node.kind() == LayerKind::Concat) {
+            concat_channels.push_back(node.out_shape.c());
+            concat_spatial.push_back(node.out_shape.h());
+        }
+    }
+    const std::vector<std::int64_t> expected = { 256, 480, 512, 512,
+                                                 512, 528, 832, 832,
+                                                 1024 };
+    EXPECT_EQ(concat_channels, expected);
+    const std::vector<std::int64_t> spatial = { 28, 28, 14, 14, 14,
+                                                14, 14, 7, 7 };
+    EXPECT_EQ(concat_spatial, spatial);
+    // GoogLeNet is famously small: ~7M params (incl. the FC head).
+    EXPECT_LT(g.numParams(), 15'000'000);
+}
+
+TEST(Models, Resnet34Structure)
+{
+    Graph g = models::resnet34(16);
+    int adds = 0;
+    for (const auto &node : g.nodes())
+        adds += (node.kind() == LayerKind::Add);
+    EXPECT_EQ(adds, 16); // 3+4+6+3 blocks
+    EXPECT_NEAR(static_cast<double>(g.numParams()), 21.8e6, 1.5e6);
+}
+
+TEST(Models, ResnetCifarDepthScaling)
+{
+    // depth = 6n+2: parameter and node counts must grow with depth.
+    Graph g56 = models::resnetCifar(56, 8);
+    Graph g110 = models::resnetCifar(110, 8);
+    EXPECT_GT(g110.numNodes(), g56.numNodes());
+    EXPECT_GT(g110.numParams(), g56.numParams());
+    // ResNet-56: ~0.85M params per the ResNet paper.
+    EXPECT_NEAR(static_cast<double>(g56.numParams()), 0.85e6, 0.15e6);
+    // 1202-layer config builds (used by the Figure 16 study).
+    Graph g1202 = models::resnetCifar(1202, 1);
+    EXPECT_GT(g1202.numNodes(), 4000);
+}
+
+TEST(Models, Vgg19HasSixteenConvs)
+{
+    Graph g = models::vgg19(8);
+    int convs = 0;
+    for (const auto &node : g.nodes())
+        convs += (node.kind() == LayerKind::Conv);
+    EXPECT_EQ(convs, 16);
+    EXPECT_NEAR(static_cast<double>(g.numParams()), 143.7e6, 3e6);
+}
+
+TEST(Models, SqueezenetIsTiny)
+{
+    Graph g = models::squeezenet(8);
+    // The headline SqueezeNet claim: ~1.2M parameters.
+    EXPECT_LT(g.numParams(), 1'500'000);
+    EXPECT_GT(g.numParams(), 700'000);
+    int concats = 0;
+    for (const auto &node : g.nodes())
+        concats += (node.kind() == LayerKind::Concat);
+    EXPECT_EQ(concats, 8); // eight fire modules
+    // Final conv emits one channel per class before GAP.
+    const Node *gap = lastOfKind(g, LayerKind::AvgPool);
+    ASSERT_TRUE(gap);
+    EXPECT_EQ(gap->out_shape.c(), 1000);
+}
+
+TEST(Models, DensenetChannelGrowth)
+{
+    // Growth 12, 12 layers/block: channels 24 -> 24+12*12=168, halved
+    // at the transition, and so on.
+    Graph g = models::densenetBc(4, 12, 12);
+    // Count concats: 12 per block x 3 blocks.
+    int concats = 0;
+    for (const auto &node : g.nodes())
+        concats += (node.kind() == LayerKind::Concat);
+    EXPECT_EQ(concats, 36);
+    // The first transition conv compresses 168 -> 84 channels.
+    bool found_84 = false;
+    for (const auto &node : g.nodes())
+        found_84 = found_84 || (node.kind() == LayerKind::Conv &&
+                                node.out_shape.c() == 84);
+    EXPECT_TRUE(found_84);
+    // DenseNet-BC (L=100-ish region, growth 12) is sub-1M params.
+    EXPECT_LT(g.numParams(), 1'500'000);
+    EXPECT_GT(g.numParams(), 100'000);
+}
+
+TEST(Models, DensenetTrainsOneStep)
+{
+    Graph g = models::densenetBc(4, 3, 6, 4);
+    Rng rng(5);
+    g.initParams(rng);
+    Executor exec(g);
+    applyToExecutor(buildSchedule(g, GistConfig::lossless()), exec);
+    Rng drng(6);
+    Tensor batch = Tensor::uniform(g.node(0).out_shape, drng, 0.0f,
+                                   1.0f);
+    std::vector<std::int32_t> labels = { 0, 1, 2, 3 };
+    EXPECT_TRUE(std::isfinite(exec.runMinibatch(batch, labels)));
+}
+
+TEST(Models, PaperModelsRegistry)
+{
+    const auto &entries = models::paperModels();
+    ASSERT_EQ(entries.size(), 5u);
+    EXPECT_EQ(entries[0].name, "AlexNet");
+    EXPECT_EQ(entries[3].name, "VGG16");
+    for (const auto &entry : entries) {
+        Graph g = entry.build(2);
+        EXPECT_GT(g.numNodes(), 5) << entry.name;
+        EXPECT_EQ(g.node(g.numNodes() - 1).kind(),
+                  LayerKind::SoftmaxLoss)
+            << entry.name;
+    }
+}
+
+TEST(Models, EveryPaperModelHasReluConvAndReluPoolStashes)
+{
+    for (const auto &entry : models::paperModels()) {
+        Graph g = entry.build(2);
+        const auto cats = classifyStashes(g);
+        int relu_conv = 0;
+        int relu_pool = 0;
+        for (auto c : cats) {
+            relu_conv += (c == StashCategory::ReluConv);
+            relu_pool += (c == StashCategory::ReluPool);
+        }
+        EXPECT_GT(relu_conv, 0) << entry.name;
+        EXPECT_GT(relu_pool, 0) << entry.name;
+    }
+}
+
+TEST(Models, TinyModelsInitializeAndCount)
+{
+    for (const auto &entry : models::tinyModels()) {
+        Graph g = entry.build(4);
+        Rng rng(1);
+        g.initParams(rng);
+        EXPECT_GT(g.numParams(), 100) << entry.name;
+        EXPECT_LT(g.numParams(), 500'000) << entry.name;
+    }
+}
+
+TEST(Models, BatchDimensionPropagates)
+{
+    for (std::int64_t batch : { 1, 16, 64 }) {
+        Graph g = models::vgg16(batch);
+        for (const auto &node : g.nodes()) {
+            if (node.out_shape.rank() >= 1 &&
+                node.kind() != LayerKind::SoftmaxLoss) {
+                EXPECT_EQ(node.out_shape.dim(0), batch) << node.name;
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace gist

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Direct unit tests for the elementwise/reduction kernels in
+ * tensor/ops.hpp (the layer tests cover them indirectly; these pin the
+ * exact semantics).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace gist {
+namespace {
+
+TEST(Ops, ReluForwardClamps)
+{
+    const std::vector<float> x = { -2.0f, -0.0f, 0.0f, 3.5f, 1e-20f };
+    std::vector<float> y(x.size());
+    reluForward(x, y);
+    EXPECT_EQ(y, (std::vector<float>{ 0.0f, 0.0f, 0.0f, 3.5f, 1e-20f }));
+}
+
+TEST(Ops, ReluBackwardGatesOnOutputSign)
+{
+    const std::vector<float> y = { 0.0f, 1.0f, 0.0f, 2.0f };
+    const std::vector<float> dy = { 10.0f, 20.0f, 30.0f, 40.0f };
+    std::vector<float> dx(4);
+    reluBackward(y, dy, dx);
+    EXPECT_EQ(dx, (std::vector<float>{ 0.0f, 20.0f, 0.0f, 40.0f }));
+}
+
+TEST(Ops, AddAndAccumulate)
+{
+    const std::vector<float> a = { 1.0f, 2.0f };
+    const std::vector<float> b = { 10.0f, 20.0f };
+    std::vector<float> out(2);
+    add(a, b, out);
+    EXPECT_EQ(out, (std::vector<float>{ 11.0f, 22.0f }));
+    accumulate(a, out);
+    EXPECT_EQ(out, (std::vector<float>{ 12.0f, 24.0f }));
+}
+
+TEST(Ops, Scale)
+{
+    std::vector<float> x = { 2.0f, -4.0f };
+    scale(x, 0.5f);
+    EXPECT_EQ(x, (std::vector<float>{ 1.0f, -2.0f }));
+}
+
+TEST(Ops, SoftmaxRowsSumToOneAndOrder)
+{
+    const std::vector<float> logits = { 1.0f, 2.0f, 3.0f,
+                                        -1.0f, -1.0f, -1.0f };
+    std::vector<float> probs(6);
+    softmaxRows(logits.data(), probs.data(), 2, 3);
+    EXPECT_NEAR(probs[0] + probs[1] + probs[2], 1.0f, 1e-6f);
+    EXPECT_LT(probs[0], probs[1]);
+    EXPECT_LT(probs[1], probs[2]);
+    // Uniform row.
+    for (int c = 0; c < 3; ++c)
+        EXPECT_NEAR(probs[3 + c], 1.0f / 3.0f, 1e-6f);
+}
+
+TEST(Ops, SoftmaxRowsIsShiftInvariantAndOverflowSafe)
+{
+    const std::vector<float> logits = { 1000.0f, 1001.0f, 999.0f };
+    std::vector<float> probs(3);
+    softmaxRows(logits.data(), probs.data(), 1, 3);
+    for (float p : probs)
+        EXPECT_TRUE(std::isfinite(p));
+    const std::vector<float> shifted = { 0.0f, 1.0f, -1.0f };
+    std::vector<float> probs2(3);
+    softmaxRows(shifted.data(), probs2.data(), 1, 3);
+    for (int c = 0; c < 3; ++c)
+        EXPECT_NEAR(probs[c], probs2[c], 1e-6f);
+}
+
+TEST(Ops, CrossEntropyWithGradMatchesDefinition)
+{
+    // Two rows, three classes, labels {2, 0}.
+    const std::vector<float> logits = { 0.1f, 0.2f, 0.7f,
+                                        0.5f, 0.1f, 0.4f };
+    std::vector<float> probs(6);
+    softmaxRows(logits.data(), probs.data(), 2, 3);
+    const std::vector<std::int32_t> labels = { 2, 0 };
+    std::vector<float> dlogits(6);
+    const float loss = crossEntropyWithGrad(probs.data(), labels.data(),
+                                            2, 3, dlogits.data());
+    const float expected =
+        -0.5f * (std::log(probs[2]) + std::log(probs[3]));
+    EXPECT_NEAR(loss, expected, 1e-6f);
+    // Gradient: (p - onehot) / rows.
+    EXPECT_NEAR(dlogits[2], (probs[2] - 1.0f) / 2.0f, 1e-6f);
+    EXPECT_NEAR(dlogits[0], probs[0] / 2.0f, 1e-6f);
+    EXPECT_NEAR(dlogits[3], (probs[3] - 1.0f) / 2.0f, 1e-6f);
+    // Each row's gradient sums to zero.
+    EXPECT_NEAR(dlogits[0] + dlogits[1] + dlogits[2], 0.0f, 1e-6f);
+}
+
+TEST(Ops, ReluBackwardFromMaskAgreesWithDense)
+{
+    Rng rng(3);
+    std::vector<float> y(257);
+    std::vector<float> dy(257);
+    for (size_t i = 0; i < y.size(); ++i) {
+        y[i] = rng.normal();
+        y[i] = y[i] > 0 ? y[i] : 0.0f;
+        dy[i] = rng.normal();
+    }
+    std::vector<float> dense(y.size());
+    reluBackward(y, dy, dense);
+
+    std::vector<std::uint8_t> bits((y.size() + 7) / 8, 0);
+    for (size_t i = 0; i < y.size(); ++i)
+        if (y[i] > 0.0f)
+            bits[i >> 3] |= static_cast<std::uint8_t>(1u << (i & 7));
+    std::vector<float> masked(y.size());
+    reluBackwardFromMask(bits, dy, masked);
+    EXPECT_EQ(dense, masked);
+}
+
+} // namespace
+} // namespace gist

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * The paper's headline quantitative claims as assertions, so a
+ * regression that silently breaks a reproduction result fails CI rather
+ * than just printing different bench output. Bands are deliberately
+ * generous: they encode "same shape as the paper", not bit-exact
+ * figures.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/recompute.hpp"
+#include "baselines/swap_sim.hpp"
+#include "core/gist.hpp"
+#include "models/zoo.hpp"
+#include "perf/batch_fit.hpp"
+#include "util/stats.hpp"
+
+namespace gist {
+namespace {
+
+DprFormat
+bestFormatFor(const std::string &name)
+{
+    if (name == "AlexNet" || name == "Overfeat")
+        return DprFormat::Fp8;
+    if (name == "VGG16")
+        return DprFormat::Fp16;
+    return DprFormat::Fp10;
+}
+
+/** Fig 8: lossless ~1.4x average; lossy up to ~2x, ~1.8x average. */
+TEST(PaperClaims, Figure8EndToEndMfr)
+{
+    const SparsityModel sparsity;
+    std::vector<double> lossless_mfr;
+    std::vector<double> lossy_mfr;
+    for (const auto &entry : models::paperModels()) {
+        Graph g = entry.build(64);
+        const auto base = planModel(g, GistConfig::baseline(), sparsity);
+        const auto lossless =
+            planModel(g, GistConfig::lossless(), sparsity);
+        const auto lossy = planModel(
+            g, GistConfig::lossy(bestFormatFor(entry.name)), sparsity);
+        lossless_mfr.push_back(double(base.pool_static) /
+                               double(lossless.pool_static));
+        lossy_mfr.push_back(double(base.pool_static) /
+                            double(lossy.pool_static));
+    }
+    EXPECT_NEAR(mean(lossless_mfr), 1.4, 0.15);
+    EXPECT_NEAR(mean(lossy_mfr), 1.8, 0.25);
+    EXPECT_GE(maxOf(lossy_mfr), 1.9); // "up to 2x"
+}
+
+/** Fig 3: VGG16 spends ~40% of its stash on ReLU-Pool. */
+TEST(PaperClaims, Figure3VggReluPoolShare)
+{
+    Graph g = models::vgg16(64);
+    const auto cats = classifyStashes(g);
+    const ScheduleInfo sched(g);
+    std::uint64_t relu_pool = 0;
+    std::uint64_t total = 0;
+    for (const auto &node : g.nodes()) {
+        if (!sched.stashed(node.id))
+            continue;
+        const auto bytes =
+            static_cast<std::uint64_t>(node.out_shape.numel()) * 4;
+        total += bytes;
+        if (cats[static_cast<size_t>(node.id)] ==
+            StashCategory::ReluPool)
+            relu_pool += bytes;
+    }
+    EXPECT_NEAR(double(relu_pool) / double(total), 0.40, 0.05);
+}
+
+/** Fig 13: DPR stash compression is exactly 2x (FP16) / ~4x (FP8). */
+TEST(PaperClaims, Figure13DprStashCompression)
+{
+    Graph g = models::alexnet(64);
+    auto stash_bytes = [&](const GistConfig &cfg) {
+        const auto schedule = buildSchedule(g, cfg);
+        const auto bufs = planBuffers(g, schedule, SparsityModel{});
+        return bytesOfClasses(bufs, { DataClass::StashedFmap,
+                                      DataClass::EncodedFmap });
+    };
+    const auto base = stash_bytes(GistConfig::baseline());
+    GistConfig fp16;
+    fp16.dpr = true;
+    fp16.dpr_format = DprFormat::Fp16;
+    GistConfig fp8 = fp16;
+    fp8.dpr_format = DprFormat::Fp8;
+    EXPECT_NEAR(double(base) / double(stash_bytes(fp16)), 2.0, 0.02);
+    EXPECT_NEAR(double(base) / double(stash_bytes(fp8)), 4.0, 0.05);
+}
+
+/** Fig 15: naive ~30% average >> vDNN (worst on Inception) >> Gist. */
+TEST(PaperClaims, Figure15SwapOrdering)
+{
+    const GpuModelParams params;
+    const SparsityModel sparsity;
+    std::vector<double> naive_all;
+    std::vector<double> vdnn_all;
+    std::vector<double> gist_all;
+    double inception_vdnn = 0.0;
+    double worst_vdnn = 0.0;
+    for (const auto &entry : models::paperModels()) {
+        Graph g = entry.build(64);
+        const double naive =
+            simulateNaiveSwap(g, params).overheadFraction();
+        const double vdnn = simulateVdnn(g, params).overheadFraction();
+        const double gist = gistOverheadModel(
+            g, GistConfig::lossy(DprFormat::Fp16), sparsity, params);
+        naive_all.push_back(naive);
+        vdnn_all.push_back(vdnn);
+        gist_all.push_back(gist);
+        worst_vdnn = std::max(worst_vdnn, vdnn);
+        if (entry.name == "Inception")
+            inception_vdnn = vdnn;
+        EXPECT_GT(naive, vdnn) << entry.name;
+        EXPECT_GT(vdnn, gist * 0.5) << entry.name;
+    }
+    EXPECT_NEAR(mean(naive_all), 0.30, 0.10);
+    EXPECT_LT(mean(gist_all), 0.05);
+    EXPECT_EQ(worst_vdnn, inception_vdnn); // worst case is Inception
+}
+
+/** Fig 16: speedup grows with depth; ~20-25% at ResNet-1202. */
+TEST(PaperClaims, Figure16DepthScaling)
+{
+    const std::uint64_t budget = 11ull << 30;
+    const SparsityModel sparsity;
+    GpuModelParams params;
+    params.batch_half_point = 48.0;
+
+    double prev_speedup = 0.0;
+    double at_1202 = 0.0;
+    for (int depth : { 509, 851, 1202 }) {
+        auto build = [depth](std::int64_t b) {
+            return models::resnetCifar(depth, b);
+        };
+        const auto base = largestFittingBatch(
+            build, GistConfig::baseline(), sparsity, budget, 2048);
+        const auto gist = largestFittingBatch(
+            build, GistConfig::lossy(DprFormat::Fp10), sparsity, budget,
+            2048);
+        const double speedup =
+            speedupFromBatches(base.max_batch, gist.max_batch, params);
+        EXPECT_GT(speedup, prev_speedup) << depth;
+        prev_speedup = speedup;
+        if (depth == 1202)
+            at_1202 = speedup;
+    }
+    EXPECT_NEAR(at_1202, 1.22, 0.08);
+}
+
+/** Fig 17: dynamic ~1.2x; gist+dynamic 1.7x/2.6x; opt-sw avg ~3x. */
+TEST(PaperClaims, Figure17DynamicAllocation)
+{
+    const SparsityModel sparsity;
+    std::vector<double> dyn;
+    std::vector<double> lossless_dyn;
+    std::vector<double> lossy_dyn;
+    std::vector<double> opt_sw;
+    for (const auto &entry : models::paperModels()) {
+        Graph g = entry.build(64);
+        const auto base = planModel(g, GistConfig::baseline(), sparsity);
+        const double s = double(base.pool_static);
+        dyn.push_back(s / base.pool_dynamic);
+        lossless_dyn.push_back(
+            s / planModel(g, GistConfig::lossless(), sparsity)
+                    .pool_dynamic);
+        const DprFormat fmt = bestFormatFor(entry.name);
+        lossy_dyn.push_back(
+            s / planModel(g, GistConfig::lossy(fmt), sparsity)
+                    .pool_dynamic);
+        GistConfig opt = GistConfig::lossy(fmt);
+        opt.elide_decode_buffer = true;
+        opt_sw.push_back(s / planModel(g, opt, sparsity).pool_dynamic);
+    }
+    EXPECT_NEAR(mean(dyn), 1.2, 0.15);
+    EXPECT_NEAR(mean(lossless_dyn), 1.8, 0.3);
+    EXPECT_NEAR(mean(lossy_dyn), 2.6, 0.3);
+    EXPECT_GT(mean(opt_sw), mean(lossy_dyn));
+    EXPECT_GE(maxOf(opt_sw), 3.4); // "up to 4.1x"
+}
+
+/** §II-B: recompute trades ~an extra forward (~1/3) for its savings. */
+TEST(PaperClaims, RecomputeIsExpensive)
+{
+    Graph g = models::vgg16(32);
+    const GpuModelParams params;
+    const auto r = simulateRecompute(g, 4, params);
+    const double gist = gistOverheadModel(
+        g, GistConfig::lossless(), SparsityModel{}, params);
+    EXPECT_GT(r.overhead_fraction, 5.0 * gist);
+}
+
+} // namespace
+} // namespace gist

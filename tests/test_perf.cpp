@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Perf-model tests: the utilization curve, batch-fit search, and the
+ * speedup arithmetic behind the Figure 16 study.
+ */
+
+#include <gtest/gtest.h>
+
+#include "models/tiny.hpp"
+#include "models/zoo.hpp"
+#include "perf/batch_fit.hpp"
+
+namespace gist {
+namespace {
+
+TEST(Utilization, MonotoneAndBounded)
+{
+    const GpuModelParams params;
+    double prev = 0.0;
+    for (double b = 1; b <= 512; b *= 2) {
+        const double eta = utilizationEta(b, params);
+        EXPECT_GT(eta, prev);
+        EXPECT_LT(eta, 1.0);
+        prev = eta;
+    }
+    EXPECT_GT(utilizationEta(512, params), 0.95);
+}
+
+TEST(BatchFit, FindsExactBoundary)
+{
+    // Use a tiny model where we can verify the boundary by probing.
+    auto build = [](std::int64_t b) { return models::tinyVgg(b); };
+    const GistConfig cfg = GistConfig::baseline();
+    const SparsityModel sparsity;
+
+    Graph probe = build(8);
+    const auto at8 = planModel(probe, cfg, sparsity).pool_static;
+    // Budget exactly at the batch-8 footprint.
+    const auto fit = largestFittingBatch(build, cfg, sparsity, at8, 64);
+    EXPECT_GE(fit.max_batch, 8);
+    EXPECT_LE(fit.footprint_bytes, at8);
+    // One more example must not fit.
+    Graph next = build(fit.max_batch + 1);
+    EXPECT_GT(planModel(next, cfg, sparsity).pool_static, at8);
+}
+
+TEST(BatchFit, ZeroWhenNothingFits)
+{
+    auto build = [](std::int64_t b) { return models::tinyVgg(b); };
+    const auto fit = largestFittingBatch(
+        build, GistConfig::baseline(), SparsityModel{}, 1024, 64);
+    EXPECT_EQ(fit.max_batch, 0);
+}
+
+TEST(BatchFit, GistFitsLargerBatchThanBaseline)
+{
+    auto build = [](std::int64_t b) { return models::tinyVgg(b); };
+    const SparsityModel sparsity;
+    Graph probe = build(16);
+    const auto budget =
+        planModel(probe, GistConfig::baseline(), sparsity).pool_static;
+
+    const auto base = largestFittingBatch(
+        build, GistConfig::baseline(), sparsity, budget, 256);
+    const auto gist = largestFittingBatch(
+        build, GistConfig::lossy(DprFormat::Fp16), sparsity, budget,
+        256);
+    EXPECT_GT(gist.max_batch, base.max_batch);
+}
+
+TEST(BatchFit, SpeedupArithmetic)
+{
+    GpuModelParams params;
+    params.batch_half_point = 4.0;
+    // eta(4) = 0.5, eta(12) = 0.75: speedup 1.5.
+    EXPECT_NEAR(speedupFromBatches(4, 12, params), 1.5, 1e-12);
+    EXPECT_NEAR(speedupFromBatches(8, 8, params), 1.0, 1e-12);
+    EXPECT_GT(speedupFromBatches(4, 8, params), 1.0);
+}
+
+TEST(BatchFit, FootprintGrowsWithBatch)
+{
+    const SparsityModel sparsity;
+    std::uint64_t prev = 0;
+    for (std::int64_t b : { 1, 2, 4, 8, 16 }) {
+        Graph g = models::tinyAlexnet(b);
+        const auto s =
+            planModel(g, GistConfig::baseline(), sparsity).pool_static;
+        EXPECT_GT(s, prev);
+        prev = s;
+    }
+}
+
+} // namespace
+} // namespace gist

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Memory-planner tests: buffer enumeration, lifetime splitting (paper
+ * Figure 2), footprint ordering across configurations, and MFR > 1 on
+ * real model structures.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/gist.hpp"
+#include "models/builder.hpp"
+#include "models/tiny.hpp"
+#include "models/zoo.hpp"
+
+namespace gist {
+namespace {
+
+Graph
+vggBlock(std::int64_t batch = 2)
+{
+    NetBuilder net(batch, 3, 16, 16);
+    net.conv(8, 3, 1, 1, "conv1");
+    net.relu("relu1");
+    net.conv(8, 3, 1, 1, "conv2");
+    net.relu("relu2");
+    net.maxpool(2, 2, 0, "pool1");
+    net.fc(4, "fc");
+    net.loss(4);
+    return net.take();
+}
+
+const PlannedBuffer *
+findBuffer(const std::vector<PlannedBuffer> &bufs, const std::string &name)
+{
+    for (const auto &b : bufs)
+        if (b.name == name)
+            return &b;
+    return nullptr;
+}
+
+TEST(Planner, BaselineBufferClasses)
+{
+    Graph g = vggBlock();
+    const auto schedule = buildSchedule(g, GistConfig::baseline());
+    const auto bufs = planBuffers(g, schedule, SparsityModel{});
+
+    // relu1 output is stashed (conv2 needs X, relu1 needs Y).
+    const auto *relu1 = findBuffer(bufs, "relu1:fmap");
+    ASSERT_TRUE(relu1);
+    EXPECT_EQ(relu1->cls, DataClass::StashedFmap);
+
+    // conv1 output is immediately consumed (relu needs only Y).
+    const auto *conv1 = findBuffer(bufs, "conv1:fmap");
+    ASSERT_TRUE(conv1);
+    EXPECT_EQ(conv1->cls, DataClass::ImmediateFmap);
+
+    // Gradient maps and weights are present.
+    EXPECT_TRUE(findBuffer(bufs, "conv1:grad"));
+    EXPECT_TRUE(findBuffer(bufs, "conv1:w"));
+    EXPECT_TRUE(findBuffer(bufs, "conv1:ws_f"));
+}
+
+TEST(Planner, LifetimeSplitMatchesFigure2)
+{
+    Graph g = vggBlock();
+    const auto schedule =
+        buildSchedule(g, GistConfig::lossy(DprFormat::Fp16));
+    const auto bufs = planBuffers(g, schedule, SparsityModel{});
+
+    // relu1 (SSDC): FP32 part dies at its last forward read, the
+    // encoded part bridges to the first backward read, the decode
+    // buffer covers the backward reads.
+    const auto *fp32 = findBuffer(bufs, "relu1:fmap");
+    const auto *enc = findBuffer(bufs, "relu1:enc");
+    const auto *dec = findBuffer(bufs, "relu1:dec");
+    ASSERT_TRUE(fp32 && enc && dec);
+    EXPECT_EQ(fp32->cls, DataClass::ImmediateFmap);
+    EXPECT_EQ(enc->cls, DataClass::EncodedFmap);
+    EXPECT_EQ(dec->cls, DataClass::DecodeScratch);
+    EXPECT_EQ(fp32->live.end, enc->live.start);
+    EXPECT_EQ(enc->live.end, dec->live.start);
+    EXPECT_GT(dec->live.end, dec->live.start); // conv2 bwd then relu1 bwd
+    EXPECT_LT(enc->bytes, fp32->bytes);
+    EXPECT_EQ(dec->bytes, fp32->bytes);
+}
+
+TEST(Planner, BinarizeRemovesStashAndAddsMaskAndMap)
+{
+    Graph g = vggBlock();
+    const auto schedule = buildSchedule(g, GistConfig::lossless());
+    const auto bufs = planBuffers(g, schedule, SparsityModel{});
+
+    // relu2 output: was stashed in baseline, now immediately consumed.
+    // (It is also inplace-absorbed into conv2's buffer, so it appears
+    // with conv2's birth step.)
+    const auto *relu2 = findBuffer(bufs, "relu2:fmap");
+    ASSERT_TRUE(relu2);
+    EXPECT_EQ(relu2->cls, DataClass::ImmediateFmap);
+
+    // The 1-bit mask and 4-bit pool map ride as encoded aux.
+    const auto *mask = findBuffer(bufs, "relu2:aux");
+    const auto *map = findBuffer(bufs, "pool1:aux");
+    ASSERT_TRUE(mask && map);
+    EXPECT_EQ(mask->cls, DataClass::EncodedFmap);
+    EXPECT_EQ(map->cls, DataClass::EncodedFmap);
+    // 32x and 8x compression vs the FP32 fmaps they replace.
+    EXPECT_EQ(mask->bytes * 32, relu2->bytes);
+    const auto *pool = findBuffer(bufs, "pool1:fmap");
+    ASSERT_TRUE(pool);
+    EXPECT_EQ(map->bytes * 8, pool->bytes);
+}
+
+TEST(Planner, InplaceMergesProducerBuffer)
+{
+    Graph g = vggBlock();
+    const auto schedule = buildSchedule(g, GistConfig::lossless());
+    const auto bufs = planBuffers(g, schedule, SparsityModel{});
+    // conv1's fmap is absorbed by relu1 (inplace): no conv1:fmap buffer.
+    EXPECT_FALSE(findBuffer(bufs, "conv1:fmap"));
+    const auto *relu1 = findBuffer(bufs, "relu1:fmap");
+    ASSERT_TRUE(relu1);
+    // The merged buffer is born at conv1's forward step.
+    EXPECT_EQ(relu1->live.start, g.fwdStep(1));
+}
+
+TEST(Planner, FootprintOrderingAcrossConfigs)
+{
+    for (const auto &entry : models::tinyModels()) {
+        Graph g = entry.build(8);
+        const SparsityModel sparsity;
+        const auto base =
+            planModel(g, GistConfig::baseline(), sparsity);
+        const auto lossless =
+            planModel(g, GistConfig::lossless(), sparsity);
+        const auto fp16 =
+            planModel(g, GistConfig::lossy(DprFormat::Fp16), sparsity);
+        const auto fp8 =
+            planModel(g, GistConfig::lossy(DprFormat::Fp8), sparsity);
+
+        EXPECT_LT(lossless.pool_static, base.pool_static) << entry.name;
+        EXPECT_LE(fp16.pool_static, lossless.pool_static) << entry.name;
+        EXPECT_LE(fp8.pool_static, fp16.pool_static) << entry.name;
+    }
+}
+
+TEST(Planner, DynamicNeverExceedsStatic)
+{
+    for (const auto &entry : models::tinyModels()) {
+        Graph g = entry.build(4);
+        for (const auto &cfg :
+             { GistConfig::baseline(), GistConfig::lossless() }) {
+            const auto s = planModel(g, cfg, SparsityModel{});
+            EXPECT_LE(s.pool_dynamic, s.pool_static) << entry.name;
+            EXPECT_LE(s.pool_static, s.pool_raw) << entry.name;
+        }
+    }
+}
+
+TEST(Planner, InvestigationBaselineIsLargerOrEqual)
+{
+    Graph g = models::tinyVgg(8);
+    const auto shared =
+        planModel(g, GistConfig::baseline(), SparsityModel{}, false);
+    const auto investigation =
+        planModel(g, GistConfig::baseline(), SparsityModel{}, true);
+    EXPECT_GE(investigation.pool_static, shared.pool_static);
+}
+
+TEST(Planner, DecodeBufferElisionShrinksFootprint)
+{
+    Graph g = models::tinyVgg(8);
+    GistConfig with = GistConfig::lossy(DprFormat::Fp16);
+    GistConfig without = with;
+    without.elide_decode_buffer = true;
+    const auto s_with = planModel(g, with, SparsityModel{});
+    const auto s_without = planModel(g, without, SparsityModel{});
+    EXPECT_LT(s_without.pool_dynamic, s_with.pool_dynamic);
+    const auto it = s_without.raw.find(DataClass::DecodeScratch);
+    EXPECT_TRUE(it == s_without.raw.end() || it->second == 0u);
+    EXPECT_GT(s_with.raw.at(DataClass::DecodeScratch), 0u);
+}
+
+TEST(Planner, SsdcFootprintTracksSparsity)
+{
+    Graph g = models::tinyVgg(8);
+    GistConfig cfg;
+    cfg.ssdc = true;
+    const auto sparse =
+        planModel(g, cfg, SparsityModel(0.9, 0.9));
+    const auto dense =
+        planModel(g, cfg, SparsityModel(0.1, 0.1));
+    EXPECT_LT(sparse.raw.at(DataClass::EncodedFmap),
+              dense.raw.at(DataClass::EncodedFmap));
+}
+
+TEST(Planner, FullScaleVggMfrIsSubstantial)
+{
+    // The headline check: full-scale VGG16 at minibatch 64 must show
+    // MFR comfortably above 1.5x for lossless+DPR (paper: ~2x region).
+    Graph g = models::vgg16(64);
+    const SparsityModel sparsity; // paper-motivated defaults
+    const auto base = planModel(g, GistConfig::baseline(), sparsity);
+    const auto lossy =
+        planModel(g, GistConfig::lossy(DprFormat::Fp16), sparsity);
+    const double mfr = static_cast<double>(base.pool_static) /
+                       static_cast<double>(lossy.pool_static);
+    EXPECT_GT(mfr, 1.5);
+    EXPECT_LT(mfr, 4.0); // sanity upper bound
+}
+
+TEST(Planner, WeightsAndWorkspaceExcludedFromPool)
+{
+    Graph g = models::tinyAlexnet(4);
+    const auto s = planModel(g, GistConfig::baseline(), SparsityModel{});
+    EXPECT_GT(s.weights, 0u);
+    EXPECT_GT(s.workspace, 0u);
+    EXPECT_FALSE(inMfrPool(DataClass::Weight));
+    EXPECT_FALSE(inMfrPool(DataClass::Workspace));
+    EXPECT_TRUE(inMfrPool(DataClass::StashedFmap));
+}
+
+TEST(Planner, GradientMapLifetimes)
+{
+    Graph g = vggBlock();
+    const auto schedule = buildSchedule(g, GistConfig::baseline());
+    const auto bufs = planBuffers(g, schedule, SparsityModel{});
+    const auto *grad = findBuffer(bufs, "relu1:grad");
+    ASSERT_TRUE(grad);
+    EXPECT_EQ(grad->cls, DataClass::GradientMap);
+    // Written by conv2's backward, consumed by relu1's backward.
+    const NodeId relu1 = 2;
+    const NodeId conv2 = 3;
+    EXPECT_EQ(grad->live.start, g.bwdStep(conv2));
+    EXPECT_EQ(grad->live.end, g.bwdStep(relu1));
+}
+
+} // namespace
+} // namespace gist

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Cross-validation of the two halves of the system: the memory
+ * planner's *predicted* dynamic peak (what Figure 17's simulation uses)
+ * against the executor's *measured* peak of resident feature-map-pool
+ * bytes during a real training minibatch. For data-independent
+ * configurations the two must agree almost exactly; for SSDC the planner
+ * is fed the measured sparsities first.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/gist.hpp"
+#include "models/tiny.hpp"
+#include "util/rng.hpp"
+
+namespace gist {
+namespace {
+
+struct RunResult
+{
+    std::uint64_t measured_peak = 0;
+    std::uint64_t planned_peak = 0;
+};
+
+RunResult
+runAndPlan(const models::ModelEntry &entry, GistConfig cfg,
+           bool feed_measured_sparsity)
+{
+    // The planner merges inplace pairs that the executor still
+    // allocates separately; compare without inplace.
+    cfg.inplace_relu = false;
+
+    Graph g = entry.build(8);
+    Rng rng(3);
+    g.initParams(rng);
+    Executor exec(g);
+    const auto schedule = buildSchedule(g, cfg);
+    applyToExecutor(schedule, exec);
+    exec.setCollectSparsity(true);
+
+    Rng drng(4);
+    Tensor batch = Tensor::uniform(g.node(0).out_shape, drng, 0.0f,
+                                   1.0f);
+    std::vector<std::int32_t> labels;
+    for (int i = 0; i < 8; ++i)
+        labels.push_back(i % models::kTinyClasses);
+    exec.runMinibatch(batch, labels);
+
+    SparsityModel sparsity;
+    if (feed_measured_sparsity)
+        for (const auto &node : g.nodes())
+            if (exec.lastSparsity(node.id) >= 0.0)
+                sparsity.set(node.id, exec.lastSparsity(node.id));
+
+    const auto bufs = planBuffers(g, schedule, sparsity);
+    std::vector<PlannedBuffer> pool;
+    for (const auto &b : bufs)
+        if (inMfrPool(b.cls))
+            pool.push_back(b);
+
+    RunResult r;
+    r.measured_peak = exec.stats().peak_pool_bytes;
+    r.planned_peak = dynamicPeak(pool);
+    return r;
+}
+
+/**
+ * The planner works at schedule-step granularity: within one backward
+ * step it counts the encoded stash, its decode buffer and the newly
+ * written gradient as coexisting, while the executor frees the encoded
+ * form after decode and only then allocates the gradient. The planner is
+ * therefore a *conservative upper bound*, tight to within the largest
+ * such transient.
+ */
+void
+expectClose(const RunResult &r, double tolerance, const char *what)
+{
+    const double planned = static_cast<double>(r.planned_peak);
+    const double measured = static_cast<double>(r.measured_peak);
+    EXPECT_LE(measured, planned * 1.0001)
+        << what << ": executor exceeded the planner's upper bound";
+    EXPECT_GE(measured, planned * (1.0 - tolerance))
+        << what << ": measured " << r.measured_peak << " vs planned "
+        << r.planned_peak;
+}
+
+TEST(PlannerVsExecutor, BaselinePeaksAgree)
+{
+    for (const auto &entry : models::tinyModels()) {
+        const auto r = runAndPlan(entry, GistConfig::baseline(), false);
+        expectClose(r, 0.10, entry.name.c_str());
+    }
+}
+
+TEST(PlannerVsExecutor, DprPeaksAgree)
+{
+    GistConfig cfg;
+    cfg.dpr = true;
+    cfg.dpr_format = DprFormat::Fp10;
+    for (const auto &entry : models::tinyModels()) {
+        const auto r = runAndPlan(entry, cfg, false);
+        expectClose(r, 0.10, entry.name.c_str());
+    }
+}
+
+TEST(PlannerVsExecutor, BinarizePeaksAgree)
+{
+    GistConfig cfg;
+    cfg.binarize = true;
+    for (const auto &entry : models::tinyModels()) {
+        const auto r = runAndPlan(entry, cfg, false);
+        expectClose(r, 0.10, entry.name.c_str());
+    }
+}
+
+TEST(PlannerVsExecutor, SsdcPeaksAgreeWithMeasuredSparsity)
+{
+    GistConfig cfg;
+    cfg.ssdc = true;
+    for (const auto &entry : models::tinyModels()) {
+        const auto r = runAndPlan(entry, cfg, true);
+        expectClose(r, 0.12, entry.name.c_str());
+    }
+}
+
+TEST(PlannerVsExecutor, FullLossyConfigAgrees)
+{
+    for (const auto &entry : models::tinyModels()) {
+        const auto r =
+            runAndPlan(entry, GistConfig::lossy(DprFormat::Fp16), true);
+        // Several enc/dec/gradient transients stack in the full config.
+        expectClose(r, 0.15, entry.name.c_str());
+    }
+}
+
+TEST(PlannerVsExecutor, GistLowersTheMeasuredPeakToo)
+{
+    // Not just the model: the *executor's* real peak must drop when the
+    // encodings are on.
+    for (const auto &entry : models::tinyModels()) {
+        const auto base = runAndPlan(entry, GistConfig::baseline(),
+                                     false);
+        const auto gist =
+            runAndPlan(entry, GistConfig::lossy(DprFormat::Fp8), true);
+        EXPECT_LT(gist.measured_peak, base.measured_peak) << entry.name;
+    }
+}
+
+} // namespace
+} // namespace gist

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Pool Y->X argmax map tests: 4-bit packing for windows up to 3x3 (the
+ * paper's largest), the 8x compression claim, and the 8-bit fallback.
+ */
+
+#include <gtest/gtest.h>
+
+#include "encodings/pool_index_map.hpp"
+#include "util/rng.hpp"
+
+namespace gist {
+namespace {
+
+TEST(PoolIndexMap, BitsPerEntry)
+{
+    EXPECT_EQ(poolIndexBits(2, 2), 4);
+    EXPECT_EQ(poolIndexBits(3, 3), 4); // paper's largest window
+    EXPECT_EQ(poolIndexBits(4, 4), 4); // 16 positions still fit
+    EXPECT_EQ(poolIndexBits(5, 5), 8);
+}
+
+TEST(PoolIndexMap, SizeAccounting)
+{
+    // 4 bits per output element: 8x smaller than FP32.
+    EXPECT_EQ(poolIndexMapBytes(1000, 3, 3) * 8, 1000u * 4);
+    EXPECT_EQ(poolIndexMapBytes(3, 2, 2), 2u); // packed nibbles, ceil
+    EXPECT_EQ(poolIndexMapBytes(3, 5, 5), 3u); // byte fallback
+}
+
+TEST(PoolIndexMap, SetGetRoundTrip4Bit)
+{
+    PoolIndexMap map;
+    map.configure(100, 3, 3);
+    EXPECT_EQ(map.bitsPerEntry(), 4);
+    Rng rng(2);
+    std::vector<std::int64_t> expected(100);
+    for (std::int64_t i = 0; i < 100; ++i) {
+        expected[static_cast<size_t>(i)] =
+            static_cast<std::int64_t>(rng.uniformInt(9));
+        map.set(i, expected[static_cast<size_t>(i)]);
+    }
+    for (std::int64_t i = 0; i < 100; ++i)
+        EXPECT_EQ(map.get(i), expected[static_cast<size_t>(i)]) << i;
+}
+
+TEST(PoolIndexMap, SetGetRoundTrip8Bit)
+{
+    PoolIndexMap map;
+    map.configure(50, 6, 6);
+    EXPECT_EQ(map.bitsPerEntry(), 8);
+    for (std::int64_t i = 0; i < 50; ++i)
+        map.set(i, (i * 7) % 36);
+    for (std::int64_t i = 0; i < 50; ++i)
+        EXPECT_EQ(map.get(i), (i * 7) % 36);
+}
+
+TEST(PoolIndexMap, AdjacentNibblesDoNotInterfere)
+{
+    PoolIndexMap map;
+    map.configure(4, 3, 3);
+    map.set(0, 8);
+    map.set(1, 3);
+    map.set(2, 0);
+    map.set(3, 8);
+    EXPECT_EQ(map.get(0), 8);
+    EXPECT_EQ(map.get(1), 3);
+    EXPECT_EQ(map.get(2), 0);
+    EXPECT_EQ(map.get(3), 8);
+    // Overwrite one nibble; its neighbor must survive.
+    map.set(0, 1);
+    EXPECT_EQ(map.get(0), 1);
+    EXPECT_EQ(map.get(1), 3);
+}
+
+TEST(PoolIndexMap, ClearReleases)
+{
+    PoolIndexMap map;
+    map.configure(64, 2, 2);
+    EXPECT_GT(map.bytes(), 0u);
+    map.clear();
+    EXPECT_EQ(map.bytes(), 0u);
+    EXPECT_EQ(map.numel(), 0);
+}
+
+} // namespace
+} // namespace gist

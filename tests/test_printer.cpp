@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tests for the graph summary printer and the DOT exporter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/dot_export.hpp"
+#include "core/gist.hpp"
+#include "graph/printer.hpp"
+#include "models/tiny.hpp"
+
+namespace gist {
+namespace {
+
+TEST(Printer, SummaryListsEveryNode)
+{
+    Graph g = models::tinyVgg(4);
+    const std::string summary = graphSummary(g);
+    for (const auto &node : g.nodes())
+        EXPECT_NE(summary.find(node.name), std::string::npos)
+            << node.name;
+    EXPECT_NE(summary.find("stashed"), std::string::npos);
+    EXPECT_NE(summary.find("params="), std::string::npos);
+}
+
+TEST(Printer, SummaryReflectsLayerModes)
+{
+    Graph g = models::tinyVgg(4);
+    const std::string baseline_summary = graphSummary(g);
+    buildSchedule(g, GistConfig::lossless());
+    const std::string gist_summary = graphSummary(g);
+    // Binarize removes stashes, so the gist summary mentions fewer.
+    auto count = [](const std::string &s, const std::string &needle) {
+        size_t n = 0;
+        for (size_t pos = 0;
+             (pos = s.find(needle, pos)) != std::string::npos;
+             pos += needle.size())
+            ++n;
+        return n;
+    };
+    EXPECT_LT(count(gist_summary, "stashed"),
+              count(baseline_summary, "stashed"));
+}
+
+TEST(DotExport, WellFormedDigraph)
+{
+    Graph g = models::tinyInception(2);
+    const auto schedule =
+        buildSchedule(g, GistConfig::lossy(DprFormat::Fp16));
+    const std::string dot = toDot(g, schedule);
+    EXPECT_EQ(dot.rfind("digraph gist {", 0), 0u);
+    EXPECT_EQ(dot.back(), '\n');
+    EXPECT_NE(dot.find("}"), std::string::npos);
+    // One node statement per graph node.
+    for (const auto &node : g.nodes())
+        EXPECT_NE(dot.find("n" + std::to_string(node.id) + " [label="),
+                  std::string::npos)
+            << node.id;
+    // One edge per input relation.
+    size_t edges = 0;
+    for (size_t pos = 0; (pos = dot.find(" -> ", pos)) != std::string::npos;
+         pos += 4)
+        ++edges;
+    size_t expected = 0;
+    for (const auto &node : g.nodes())
+        expected += node.inputs.size();
+    EXPECT_EQ(edges, expected);
+}
+
+TEST(DotExport, DecisionsColorNodes)
+{
+    Graph g = models::tinyVgg(2);
+    const auto schedule =
+        buildSchedule(g, GistConfig::lossy(DprFormat::Fp16));
+    const std::string dot = toDot(g, schedule);
+    EXPECT_NE(dot.find("#8dd3c7"), std::string::npos); // binarize teal
+    EXPECT_NE(dot.find("#ffffb3"), std::string::npos); // SSDC yellow
+    EXPECT_NE(dot.find("#fb8072"), std::string::npos); // DPR red
+    EXPECT_NE(dot.find("dashed"), std::string::npos);  // inplace
+}
+
+} // namespace
+} // namespace gist

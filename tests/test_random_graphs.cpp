@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Property tests on randomly generated CNN graphs: for any well-formed
+ * architecture the planner invariants must hold, every Gist config must
+ * execute, and the lossless configuration must train bit-identically.
+ * This is the broad-coverage backstop behind the hand-written model
+ * tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/gist.hpp"
+#include "models/builder.hpp"
+#include "train/trainer.hpp"
+#include "util/rng.hpp"
+
+namespace gist {
+namespace {
+
+/**
+ * Generate a random but well-formed CNN: a trunk of conv/relu/pool/bn/
+ * dropout segments with occasional residual or concat branches, ending
+ * in FC + loss. Spatial extent is tracked so pooling never collapses
+ * the map below 2x2.
+ */
+Graph
+randomGraph(std::uint64_t seed, std::int64_t batch = 4)
+{
+    Rng rng(seed);
+    const std::int64_t img = 16;
+    NetBuilder net(batch, 3, img, img);
+    std::int64_t spatial = img;
+
+    const int segments = 2 + static_cast<int>(rng.uniformInt(4));
+    for (int s = 0; s < segments; ++s) {
+        const std::int64_t channels = 4 + 4 * rng.uniformInt(4);
+        switch (rng.uniformInt(7)) {
+          case 0: { // plain conv-relu
+            net.conv(channels, 3, 1, 1);
+            net.relu();
+            break;
+          }
+          case 1: { // conv-bn-relu
+            net.conv(channels, 3, 1, 1);
+            net.batchnorm();
+            net.relu();
+            break;
+          }
+          case 2: { // conv-relu-pool
+            net.conv(channels, 3, 1, 1);
+            net.relu();
+            if (spatial >= 4) {
+                net.maxpool(2, 2);
+                spatial /= 2;
+            }
+            break;
+          }
+          case 3: { // residual branch
+            net.conv(channels, 3, 1, 1);
+            net.relu();
+            const NodeId trunk = net.tip();
+            net.conv(channels, 3, 1, 1);
+            net.relu();
+            net.conv(channels, 3, 1, 1);
+            net.add(trunk);
+            net.relu();
+            break;
+          }
+          case 5: { // non-ReLU activation segment
+            net.conv(channels, 3, 1, 1);
+            if (rng.uniform() < 0.5)
+                net.sigmoid();
+            else
+                net.tanh();
+            break;
+          }
+          case 6: { // conv-relu-avgpool
+            net.conv(channels, 3, 1, 1);
+            net.relu();
+            if (spatial >= 4) {
+                net.avgpool(2, 2);
+                spatial /= 2;
+            }
+            break;
+          }
+          default: { // concat branch
+            const NodeId trunk = net.tip();
+            NodeId a = net.reluAt(net.convAt(trunk, channels, 1));
+            NodeId b = net.reluAt(net.convAt(trunk, channels, 3, 1, 1));
+            net.concat({ a, b });
+            break;
+          }
+        }
+        if (rng.uniform() < 0.2)
+            net.dropout(0.2f);
+    }
+    net.fc(5);
+    net.loss(5);
+    return net.take();
+}
+
+class RandomGraphs : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RandomGraphs, PlannerInvariantsHold)
+{
+    Graph g = randomGraph(GetParam());
+    const SparsityModel sparsity;
+    const auto base = planModel(g, GistConfig::baseline(), sparsity);
+    const auto lossless = planModel(g, GistConfig::lossless(), sparsity);
+    const auto lossy =
+        planModel(g, GistConfig::lossy(DprFormat::Fp16), sparsity);
+
+    EXPECT_GT(base.pool_static, 0u);
+    EXPECT_LE(lossless.pool_static, base.pool_static);
+    // DPR usually helps on top of lossless, but a stash whose backward
+    // reads span a long range (common with sigmoid/tanh, which need
+    // their real outputs) keeps a full-size decode buffer alive for
+    // most of the backward pass, and the extra buffer can group
+    // slightly worse than the single dense stash it replaced. Allow a
+    // small inversion; it must never be a blow-up.
+    EXPECT_LE(lossy.pool_static,
+              static_cast<std::uint64_t>(lossless.pool_static * 1.05));
+    EXPECT_LE(base.pool_dynamic, base.pool_static);
+    EXPECT_LE(base.pool_static, base.pool_raw);
+}
+
+TEST_P(RandomGraphs, BufferLifetimesAreWellFormed)
+{
+    Graph g = randomGraph(GetParam());
+    const auto schedule =
+        buildSchedule(g, GistConfig::lossy(DprFormat::Fp10));
+    const auto bufs = planBuffers(g, schedule, SparsityModel{});
+    const int steps = g.numSteps();
+    for (const auto &b : bufs) {
+        EXPECT_LE(b.live.start, b.live.end) << b.name;
+        EXPECT_GE(b.live.start, 0) << b.name;
+        EXPECT_LT(b.live.end, steps) << b.name;
+        EXPECT_GT(b.bytes, 0u) << b.name;
+        EXPECT_GE(b.origin_node, 0) << b.name;
+    }
+}
+
+TEST_P(RandomGraphs, LosslessTrainingIsBitIdentical)
+{
+    const std::uint64_t seed = GetParam();
+    // Also covers the chunked-CSR path: elided lossless must stay
+    // bit-identical too (checked below via a third arm).
+
+    auto one_step = [&](const GistConfig &cfg) {
+        Graph g = randomGraph(seed);
+        Rng rng(seed + 1);
+        g.initParams(rng);
+        Executor exec(g);
+        applyToExecutor(buildSchedule(g, cfg), exec);
+        Rng drng(seed + 2);
+        Tensor batch =
+            Tensor::uniform(g.node(0).out_shape, drng, 0.0f, 1.0f);
+        std::vector<std::int32_t> labels = { 0, 1, 2, 3 };
+        const float loss = exec.runMinibatch(batch, labels);
+        std::vector<float> grads;
+        for (auto &node : g.nodes())
+            if (node.layer)
+                for (Tensor *w : node.layer->paramGrads())
+                    grads.insert(grads.end(), w->data(),
+                                 w->data() + w->numel());
+        return std::make_pair(loss, grads);
+    };
+
+    const auto base = one_step(GistConfig::baseline());
+    const auto gist = one_step(GistConfig::lossless());
+    EXPECT_EQ(base.first, gist.first);
+    EXPECT_EQ(base.second, gist.second);
+
+    GistConfig elided = GistConfig::lossless();
+    elided.elide_decode_buffer = true;
+    const auto chunked = one_step(elided);
+    EXPECT_EQ(base.first, chunked.first);
+    EXPECT_EQ(base.second, chunked.second);
+}
+
+TEST_P(RandomGraphs, EveryConfigExecutes)
+{
+    const std::uint64_t seed = GetParam();
+    GistConfig elided = GistConfig::lossy(DprFormat::Fp16);
+    elided.elide_decode_buffer = true;
+    for (const auto &cfg :
+         { GistConfig::baseline(), GistConfig::lossless(),
+           GistConfig::lossy(DprFormat::Fp16),
+           GistConfig::lossy(DprFormat::Fp8), elided }) {
+        Graph g = randomGraph(seed);
+        Rng rng(seed + 1);
+        g.initParams(rng);
+        Executor exec(g);
+        applyToExecutor(buildSchedule(g, cfg), exec);
+        Rng drng(seed + 2);
+        Tensor batch =
+            Tensor::uniform(g.node(0).out_shape, drng, 0.0f, 1.0f);
+        std::vector<std::int32_t> labels = { 0, 1, 2, 3 };
+        const float loss = exec.runMinibatch(batch, labels);
+        EXPECT_TRUE(std::isfinite(loss));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphs,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+} // namespace
+} // namespace gist

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * SmallFloat codec tests: exhaustive bit-pattern round trips (the 8/10/16
+ * bit spaces are tiny), IEEE-half cross-checks, round-to-nearest-even,
+ * clamping, denormal flushing, and monotonicity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "encodings/small_float.hpp"
+#include "util/rng.hpp"
+
+namespace gist {
+namespace {
+
+class SmallFloatFormats
+    : public ::testing::TestWithParam<SmallFloatFormat>
+{
+};
+
+TEST_P(SmallFloatFormats, ExhaustiveEncodeDecodeRoundTrip)
+{
+    const auto fmt = GetParam();
+    const std::uint32_t count = 1u << fmt.totalBits();
+    const std::uint32_t exp_mask = (1u << fmt.exp_bits) - 1;
+    for (std::uint32_t bits = 0; bits < count; ++bits) {
+        const std::uint32_t e_field = (bits >> fmt.man_bits) & exp_mask;
+        const std::uint32_t man = bits & ((1u << fmt.man_bits) - 1);
+        if (e_field == exp_mask)
+            continue; // reserved (inf/nan space), never produced
+        if (e_field == 0 && man != 0)
+            continue; // denormal patterns, never produced
+        const float value = decodeSmallFloat(fmt, bits);
+        EXPECT_EQ(encodeSmallFloat(fmt, value), bits)
+            << "pattern " << bits << " value " << value;
+    }
+}
+
+TEST_P(SmallFloatFormats, QuantizationErrorWithinHalfUlp)
+{
+    const auto fmt = GetParam();
+    Rng rng(fmt.exp_bits * 100 + fmt.man_bits);
+    const float max_fin = fmt.maxFinite();
+    const float min_norm = fmt.minNormal();
+    for (int i = 0; i < 20000; ++i) {
+        // Log-uniform magnitudes across the normal range.
+        const float mag = min_norm *
+                          std::pow(max_fin / min_norm,
+                                   static_cast<float>(rng.uniform()));
+        const float x = (rng.uniform() < 0.5 ? -1.0f : 1.0f) * mag;
+        const float q = quantizeSmallFloat(fmt, x);
+        const float rel_err = std::fabs(q - x) / std::fabs(x);
+        // Half ULP: 2^-(man_bits+1).
+        EXPECT_LE(rel_err, std::ldexp(1.0f, -(int)fmt.man_bits - 1) *
+                               1.0001f)
+            << "x=" << x;
+    }
+}
+
+TEST_P(SmallFloatFormats, ClampsToMaxFinite)
+{
+    const auto fmt = GetParam();
+    const float max_fin = fmt.maxFinite();
+    EXPECT_EQ(quantizeSmallFloat(fmt, max_fin * 4.0f), max_fin);
+    EXPECT_EQ(quantizeSmallFloat(fmt, -max_fin * 4.0f), -max_fin);
+    EXPECT_EQ(quantizeSmallFloat(fmt,
+                                 std::numeric_limits<float>::infinity()),
+              max_fin);
+    EXPECT_EQ(quantizeSmallFloat(
+                  fmt, -std::numeric_limits<float>::infinity()),
+              -max_fin);
+}
+
+TEST_P(SmallFloatFormats, FlushesDenormalsToZero)
+{
+    const auto fmt = GetParam();
+    const float min_norm = fmt.minNormal();
+    EXPECT_EQ(quantizeSmallFloat(fmt, min_norm), min_norm);
+    EXPECT_EQ(quantizeSmallFloat(fmt, min_norm * 0.49f), 0.0f);
+    EXPECT_EQ(quantizeSmallFloat(fmt, -min_norm * 0.3f), -0.0f);
+    EXPECT_EQ(quantizeSmallFloat(fmt, 0.0f), 0.0f);
+    // Just below minNormal rounds up into the normal range (carry).
+    EXPECT_EQ(quantizeSmallFloat(fmt, min_norm * 0.9999f), min_norm);
+}
+
+TEST_P(SmallFloatFormats, QuantizationIsMonotonic)
+{
+    const auto fmt = GetParam();
+    Rng rng(99);
+    std::vector<float> xs;
+    for (int i = 0; i < 4000; ++i)
+        xs.push_back(rng.normal(0.0f, 10.0f));
+    std::sort(xs.begin(), xs.end());
+    float prev = quantizeSmallFloat(fmt, xs.front());
+    for (float x : xs) {
+        const float q = quantizeSmallFloat(fmt, x);
+        EXPECT_LE(prev, q);
+        prev = q;
+    }
+}
+
+TEST_P(SmallFloatFormats, PreservesSign)
+{
+    const auto fmt = GetParam();
+    EXPECT_GE(quantizeSmallFloat(fmt, 3.14f), 0.0f);
+    EXPECT_LE(quantizeSmallFloat(fmt, -3.14f), 0.0f);
+    EXPECT_TRUE(std::signbit(quantizeSmallFloat(fmt, -0.0f)));
+}
+
+TEST_P(SmallFloatFormats, PowersOfTwoAreExactInRange)
+{
+    const auto fmt = GetParam();
+    for (int e = -4; e <= 4; ++e) {
+        const float x = std::ldexp(1.0f, e);
+        EXPECT_EQ(quantizeSmallFloat(fmt, x), x) << "2^" << e;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, SmallFloatFormats,
+                         ::testing::Values(kFp16, kFp10, kFp8));
+
+// ---- FP16-specific: must agree with IEEE half precision ----
+
+TEST(Fp16, KnownIeeeHalfPatterns)
+{
+    EXPECT_EQ(encodeSmallFloat(kFp16, 1.0f), 0x3c00u);
+    EXPECT_EQ(encodeSmallFloat(kFp16, -2.0f), 0xc000u);
+    EXPECT_EQ(encodeSmallFloat(kFp16, 0.5f), 0x3800u);
+    EXPECT_EQ(encodeSmallFloat(kFp16, 65504.0f), 0x7bffu);
+    EXPECT_EQ(decodeSmallFloat(kFp16, 0x3c00u), 1.0f);
+    EXPECT_EQ(decodeSmallFloat(kFp16, 0x7bffu), 65504.0f);
+}
+
+TEST(Fp16, RangeConstants)
+{
+    EXPECT_FLOAT_EQ(kFp16.maxFinite(), 65504.0f);
+    EXPECT_FLOAT_EQ(kFp16.minNormal(), std::ldexp(1.0f, -14));
+}
+
+TEST(Fp10, RangeConstants)
+{
+    // 1 sign, 5 exp, 4 mantissa: bias 15, max exp field 30.
+    EXPECT_FLOAT_EQ(kFp10.maxFinite(), (2.0f - 1.0f / 16) * 32768.0f);
+    EXPECT_FLOAT_EQ(kFp10.minNormal(), std::ldexp(1.0f, -14));
+}
+
+TEST(Fp8, RangeConstants)
+{
+    // 1 sign, 4 exp, 3 mantissa: bias 7, max exp field 14.
+    EXPECT_FLOAT_EQ(kFp8.maxFinite(), 240.0f);
+    EXPECT_FLOAT_EQ(kFp8.minNormal(), std::ldexp(1.0f, -6));
+}
+
+TEST(SmallFloat, RoundToNearestEvenAtTies)
+{
+    // FP8 has 3 mantissa bits: representable values around 1.0 step by
+    // 1/8. 1 + 1/16 is exactly halfway between 1.0 and 1.125; RNE picks
+    // the even mantissa (1.0).
+    EXPECT_EQ(quantizeSmallFloat(kFp8, 1.0625f), 1.0f);
+    // 1 + 3/16 is halfway between 1.125 (odd) and 1.25 (even): RNE
+    // rounds up to 1.25.
+    EXPECT_EQ(quantizeSmallFloat(kFp8, 1.1875f), 1.25f);
+    // Just above/below the tie go to the nearest value.
+    EXPECT_EQ(quantizeSmallFloat(kFp8, 1.07f), 1.125f);
+    EXPECT_EQ(quantizeSmallFloat(kFp8, 1.05f), 1.0f);
+}
+
+TEST(SmallFloat, MantissaCarryBumpsExponent)
+{
+    // FP8: 1.9375 is above the last 3-bit mantissa step below 2.0
+    // (1.875) + half step (0.0625); RNE carries into the exponent.
+    EXPECT_EQ(quantizeSmallFloat(kFp8, 1.9688f), 2.0f);
+}
+
+TEST(SmallFloat, NanEncodesAsZero)
+{
+    EXPECT_EQ(quantizeSmallFloat(
+                  kFp16, std::numeric_limits<float>::quiet_NaN()),
+              0.0f);
+}
+
+} // namespace
+} // namespace gist

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Swap-baseline simulator tests: the Figure 15 ordering (naive >> vDNN
+ * >> Gist) must hold structurally, and the simulators must respond to
+ * PCIe bandwidth the right way.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/swap_sim.hpp"
+#include "models/tiny.hpp"
+#include "models/zoo.hpp"
+
+namespace gist {
+namespace {
+
+TEST(SwapSim, NaiveOverheadExceedsVdnn)
+{
+    for (const auto &entry : models::paperModels()) {
+        Graph g = entry.build(16);
+        GpuModelParams params;
+        const auto naive = simulateNaiveSwap(g, params);
+        const auto vdnn = simulateVdnn(g, params);
+        EXPECT_GT(naive.overheadFraction(), vdnn.overheadFraction())
+            << entry.name;
+        EXPECT_GE(vdnn.overheadFraction(), 0.0) << entry.name;
+        EXPECT_EQ(naive.transferred_bytes, vdnn.transferred_bytes)
+            << entry.name;
+    }
+}
+
+TEST(SwapSim, GistOverheadIsSmall)
+{
+    Graph g = models::vgg16(16);
+    GpuModelParams params;
+    const double gist = gistOverheadModel(
+        g, GistConfig::lossy(DprFormat::Fp16), SparsityModel{}, params);
+    const auto vdnn = simulateVdnn(g, params);
+    EXPECT_GT(gist, 0.0);
+    EXPECT_LT(gist, 0.15);
+    EXPECT_LT(gist, vdnn.overheadFraction());
+}
+
+TEST(SwapSim, InfinitePcieBandwidthRemovesVdnnOverhead)
+{
+    Graph g = models::vgg16(8);
+    GpuModelParams fast;
+    fast.pcie_bandwidth = 1e18;
+    const auto vdnn = simulateVdnn(g, fast);
+    EXPECT_NEAR(vdnn.overheadFraction(), 0.0, 1e-6);
+}
+
+TEST(SwapSim, SlowerPcieHurtsMore)
+{
+    Graph g = models::alexnet(16);
+    GpuModelParams fast;
+    GpuModelParams slow = fast;
+    slow.pcie_bandwidth = fast.pcie_bandwidth / 4.0;
+    EXPECT_GT(simulateVdnn(g, slow).overheadFraction(),
+              simulateVdnn(g, fast).overheadFraction());
+    EXPECT_GT(simulateNaiveSwap(g, slow).overheadFraction(),
+              simulateNaiveSwap(g, fast).overheadFraction());
+}
+
+TEST(SwapSim, TransfersCoverAllStashedBytes)
+{
+    Graph g = models::tinyVgg(8);
+    GpuModelParams params;
+    const auto result = simulateNaiveSwap(g, params);
+    // Stashed fmaps exist, so something must be transferred.
+    EXPECT_GT(result.transferred_bytes, 0u);
+    // And base compute time is positive.
+    EXPECT_GT(result.base_seconds, 0.0);
+    EXPECT_GT(result.total_seconds, result.base_seconds);
+}
+
+TEST(GpuModel, ConvDominatesElementwise)
+{
+    Graph g = models::tinyVgg(8);
+    const GpuModelParams params;
+    const auto times = estimateGraphTimes(g, params);
+    double conv_time = 0.0;
+    double relu_time = 0.0;
+    for (const auto &node : g.nodes()) {
+        if (node.kind() == LayerKind::Conv)
+            conv_time += times[size_t(node.id)].fwd;
+        if (node.kind() == LayerKind::Relu)
+            relu_time += times[size_t(node.id)].fwd;
+    }
+    EXPECT_GT(conv_time, relu_time);
+}
+
+TEST(GpuModel, BackwardCostsMoreThanForward)
+{
+    Graph g = models::alexnet(8);
+    const GpuModelParams params;
+    for (const auto &t : estimateGraphTimes(g, params))
+        EXPECT_GE(t.bwd, t.fwd);
+}
+
+TEST(GpuModel, TimeScalesWithBatch)
+{
+    const GpuModelParams params;
+    Graph small = models::tinyVgg(4);
+    Graph large = models::tinyVgg(16);
+    EXPECT_GT(minibatchComputeSeconds(large, params),
+              2.0 * minibatchComputeSeconds(small, params));
+}
+
+} // namespace
+} // namespace gist

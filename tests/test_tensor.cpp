@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for tensor/: Shape and Tensor semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace gist {
+namespace {
+
+TEST(Shape, BasicProperties)
+{
+    const Shape s = Shape::nchw(2, 3, 4, 5);
+    EXPECT_EQ(s.rank(), 4);
+    EXPECT_EQ(s.n(), 2);
+    EXPECT_EQ(s.c(), 3);
+    EXPECT_EQ(s.h(), 4);
+    EXPECT_EQ(s.w(), 5);
+    EXPECT_EQ(s.numel(), 120);
+    EXPECT_EQ(s.toString(), "[2, 3, 4, 5]");
+}
+
+TEST(Shape, EqualityAndEmpty)
+{
+    EXPECT_EQ(Shape({ 2, 3 }), Shape({ 2, 3 }));
+    EXPECT_NE(Shape({ 2, 3 }), Shape({ 3, 2 }));
+    EXPECT_EQ(Shape{}.numel(), 0);
+}
+
+TEST(Tensor, ZerosAndFull)
+{
+    Tensor z = Tensor::zeros(Shape{ 4 });
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(z.at(i), 0.0f);
+    Tensor f = Tensor::full(Shape{ 4 }, 2.5f);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(f.at(i), 2.5f);
+    EXPECT_EQ(f.bytes(), 16u);
+}
+
+TEST(Tensor, PlaceholderHasShapeButNoStorage)
+{
+    Tensor p = Tensor::placeholder(Shape::nchw(1, 64, 112, 112));
+    EXPECT_TRUE(p.empty());
+    EXPECT_EQ(p.numel(), 64 * 112 * 112);
+    p.reallocate();
+    EXPECT_FALSE(p.empty());
+    EXPECT_EQ(p.at(0), 0.0f);
+}
+
+TEST(Tensor, ReleaseAndReallocate)
+{
+    Tensor t = Tensor::full(Shape{ 8 }, 1.0f);
+    t.releaseStorage();
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.numel(), 8); // shape preserved
+    t.reallocate();
+    EXPECT_EQ(t.at(3), 0.0f);
+}
+
+TEST(Tensor, At4Indexing)
+{
+    Tensor t(Shape::nchw(2, 3, 4, 5));
+    t.at4(1, 2, 3, 4) = 7.0f;
+    // NCHW row-major: ((n*C + c)*H + h)*W + w
+    EXPECT_EQ(t.at(((1 * 3 + 2) * 4 + 3) * 5 + 4), 7.0f);
+}
+
+TEST(Tensor, Sparsity)
+{
+    Tensor t(Shape{ 10 });
+    for (int i = 0; i < 3; ++i)
+        t.at(i) = 1.0f;
+    EXPECT_DOUBLE_EQ(t.sparsity(), 0.7);
+}
+
+TEST(Tensor, BitIdenticalAndMaxAbsDiff)
+{
+    Rng rng(3);
+    Tensor a = Tensor::randn(Shape{ 32 }, rng);
+    Tensor b = a;
+    EXPECT_TRUE(a.bitIdentical(b));
+    b.at(7) += 0.25f;
+    EXPECT_FALSE(a.bitIdentical(b));
+    EXPECT_NEAR(Tensor::maxAbsDiff(a, b), 0.25f, 1e-6f);
+}
+
+TEST(Tensor, ReshapePreservesData)
+{
+    Tensor t = Tensor::full(Shape{ 2, 6 }, 3.0f);
+    t.reshape(Shape{ 3, 4 });
+    EXPECT_EQ(t.shape(), Shape({ 3, 4 }));
+    EXPECT_EQ(t.at(11), 3.0f);
+}
+
+TEST(Tensor, RandnIsDeterministicPerSeed)
+{
+    Rng r1(9);
+    Rng r2(9);
+    Tensor a = Tensor::randn(Shape{ 16 }, r1);
+    Tensor b = Tensor::randn(Shape{ 16 }, r2);
+    EXPECT_TRUE(a.bitIdentical(b));
+}
+
+} // namespace
+} // namespace gist

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Trainer tests: loss decreases, a tiny net beats chance comfortably,
+ * lossless Gist training is trajectory-identical to the baseline, and
+ * the per-step hook fires.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/gist.hpp"
+#include "models/tiny.hpp"
+#include "train/sparsity_probe.hpp"
+#include "train/trainer.hpp"
+#include "util/rng.hpp"
+
+namespace gist {
+namespace {
+
+SyntheticDataset::Spec
+spec()
+{
+    SyntheticDataset::Spec s;
+    s.num_train = 256;
+    s.num_eval = 64;
+    s.classes = models::kTinyClasses;
+    s.channels = models::kTinyChannels;
+    s.image = models::kTinyImage;
+    return s;
+}
+
+struct TrainRig
+{
+    Graph graph;
+    std::unique_ptr<Executor> exec;
+};
+
+TrainRig
+makeSetup(const GistConfig &cfg, std::int64_t batch = 32)
+{
+    TrainRig s{ models::tinyAlexnet(batch), nullptr };
+    Rng rng(123);
+    s.graph.initParams(rng);
+    s.exec = std::make_unique<Executor>(s.graph);
+    const auto schedule = buildSchedule(s.graph, cfg);
+    applyToExecutor(schedule, *s.exec);
+    return s;
+}
+
+TEST(Trainer, LossDecreasesOverEpochs)
+{
+    TrainRig s = makeSetup(GistConfig::baseline());
+    SyntheticDataset data(spec());
+    Trainer trainer(*s.exec);
+    TrainConfig cfg;
+    cfg.epochs = 4;
+    const auto records = trainer.run(data, cfg);
+    ASSERT_EQ(records.size(), 4u);
+    EXPECT_LT(records.back().mean_loss, records.front().mean_loss);
+}
+
+TEST(Trainer, BeatsChanceComfortably)
+{
+    TrainRig s = makeSetup(GistConfig::baseline());
+    SyntheticDataset data(spec());
+    Trainer trainer(*s.exec);
+    TrainConfig cfg;
+    cfg.epochs = 8;
+    const auto records = trainer.run(data, cfg);
+    // Chance is 1/8 = 12.5%; require a large margin.
+    EXPECT_GT(records.back().eval_accuracy, 0.5)
+        << "final loss " << records.back().mean_loss;
+}
+
+TEST(Trainer, LosslessGistTrajectoryIsIdentical)
+{
+    SyntheticDataset data(spec());
+    TrainConfig cfg;
+    cfg.epochs = 2;
+
+    TrainRig base = makeSetup(GistConfig::baseline());
+    Trainer base_trainer(*base.exec);
+    const auto base_records = base_trainer.run(data, cfg);
+
+    TrainRig gist = makeSetup(GistConfig::lossless());
+    Trainer gist_trainer(*gist.exec);
+    const auto gist_records = gist_trainer.run(data, cfg);
+
+    ASSERT_EQ(base_records.size(), gist_records.size());
+    for (size_t i = 0; i < base_records.size(); ++i) {
+        // Binarize and SSDC are lossless: identical losses and accuracy
+        // at every epoch (bit-identical training).
+        EXPECT_EQ(base_records[i].mean_loss, gist_records[i].mean_loss);
+        EXPECT_EQ(base_records[i].eval_accuracy,
+                  gist_records[i].eval_accuracy);
+    }
+}
+
+TEST(Trainer, DprFp16TracksBaselineClosely)
+{
+    SyntheticDataset data(spec());
+    TrainConfig cfg;
+    cfg.epochs = 6;
+
+    TrainRig base = makeSetup(GistConfig::baseline());
+    Trainer base_trainer(*base.exec);
+    const auto base_records = base_trainer.run(data, cfg);
+
+    TrainRig dpr = makeSetup(GistConfig::lossy(DprFormat::Fp16));
+    Trainer dpr_trainer(*dpr.exec);
+    const auto dpr_records = dpr_trainer.run(data, cfg);
+
+    // DPR-FP16 is lossy but must not derail training (paper Fig 12).
+    EXPECT_GT(dpr_records.back().eval_accuracy,
+              base_records.back().eval_accuracy - 0.15);
+}
+
+TEST(Trainer, AfterStepHookFires)
+{
+    TrainRig s = makeSetup(GistConfig::baseline());
+    SyntheticDataset data(spec());
+    Trainer trainer(*s.exec);
+    TrainConfig cfg;
+    cfg.epochs = 1;
+    std::int64_t calls = 0;
+    cfg.after_step = [&](std::int64_t step, Executor &) {
+        EXPECT_EQ(step, calls + 1);
+        ++calls;
+    };
+    trainer.run(data, cfg);
+    EXPECT_EQ(calls, 256 / cfg.batch_size);
+}
+
+TEST(Trainer, TimingCountersPopulated)
+{
+    TrainRig s = makeSetup(GistConfig::lossy(DprFormat::Fp16));
+    SyntheticDataset data(spec());
+    Trainer trainer(*s.exec);
+    TrainConfig cfg;
+    cfg.epochs = 1;
+    trainer.run(data, cfg);
+    EXPECT_GT(trainer.secondsPerMinibatch(), 0.0);
+    EXPECT_GT(trainer.codecSecondsPerMinibatch(), 0.0);
+    EXPECT_LT(trainer.codecSecondsPerMinibatch(),
+              trainer.secondsPerMinibatch());
+}
+
+TEST(Trainer, EvaluateIsSideEffectFreeOnWeights)
+{
+    TrainRig s = makeSetup(GistConfig::baseline());
+    SyntheticDataset data(spec());
+    Trainer trainer(*s.exec);
+    auto grab = [&]() {
+        std::vector<float> w;
+        for (auto &node : s.graph.nodes())
+            if (node.layer)
+                for (Tensor *p : node.layer->params())
+                    w.insert(w.end(), p->data(),
+                             p->data() + p->numel());
+        return w;
+    };
+    const auto before = grab();
+    trainer.evaluate(data, 32);
+    EXPECT_EQ(before, grab());
+}
+
+TEST(Trainer, DeterministicAcrossRuns)
+{
+    SyntheticDataset data(spec());
+    TrainConfig cfg;
+    cfg.epochs = 2;
+
+    TrainRig a = makeSetup(GistConfig::baseline());
+    Trainer ta(*a.exec);
+    const auto ra = ta.run(data, cfg);
+    TrainRig b = makeSetup(GistConfig::baseline());
+    Trainer tb(*b.exec);
+    const auto rb = tb.run(data, cfg);
+    for (size_t i = 0; i < ra.size(); ++i) {
+        EXPECT_EQ(ra[i].mean_loss, rb[i].mean_loss);
+        EXPECT_EQ(ra[i].eval_accuracy, rb[i].eval_accuracy);
+    }
+}
+
+TEST(SparsityProbe, MeasuresPlausibleReluSparsity)
+{
+    Graph g = models::tinyVgg(32);
+    const auto measured = measureSparsity(g, 2);
+    EXPECT_GT(measured.relu_layers, 0);
+    EXPECT_GT(measured.pool_layers, 0);
+    EXPECT_GT(measured.relu, 0.15);
+    EXPECT_LT(measured.relu, 0.98);
+    // Max-pooling keeps window maxima: pooled maps are denser.
+    EXPECT_LT(measured.pool, measured.relu);
+}
+
+TEST(SparsityProbe, Deterministic)
+{
+    Graph a = models::tinyAlexnet(32);
+    Graph b = models::tinyAlexnet(32);
+    const auto ma = measureSparsity(a, 1, 9);
+    const auto mb = measureSparsity(b, 1, 9);
+    EXPECT_EQ(ma.relu, mb.relu);
+    EXPECT_EQ(ma.pool, mb.pool);
+}
+
+} // namespace
+} // namespace gist

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for util/: bit helpers, deterministic RNG, stats, table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace gist {
+namespace {
+
+TEST(Bits, ExtractAndInsertRoundTrip)
+{
+    const std::uint32_t word = 0xdeadbeef;
+    for (unsigned lo = 0; lo < 28; ++lo) {
+        for (unsigned len = 1; len <= 32 - lo; len += 3) {
+            const std::uint32_t field = bitsOf(word, lo, len);
+            const std::uint32_t rebuilt =
+                insertBits<std::uint32_t>(0, lo, len, field);
+            EXPECT_EQ(bitsOf(rebuilt, lo, len), field);
+        }
+    }
+}
+
+TEST(Bits, InsertPreservesOtherBits)
+{
+    const std::uint32_t out =
+        insertBits<std::uint32_t>(0xffffffff, 8, 8, 0x00);
+    EXPECT_EQ(out, 0xffff00ffu);
+}
+
+TEST(Bits, CeilDivAndRoundUp)
+{
+    EXPECT_EQ(ceilDiv(10, 3), 4);
+    EXPECT_EQ(ceilDiv(9, 3), 3);
+    EXPECT_EQ(ceilDiv(1, 8), 1);
+    EXPECT_EQ(roundUp(10, 8), 16);
+    EXPECT_EQ(roundUp(16, 8), 16);
+    EXPECT_EQ(bytesForBits(1), 1u);
+    EXPECT_EQ(bytesForBits(8), 1u);
+    EXPECT_EQ(bytesForBits(9), 2u);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsProduceDifferentStreams)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, NormalHasApproxUnitMoments)
+{
+    Rng rng(11);
+    const int n = 20000;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sum_sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+    EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ForkIsIndependent)
+{
+    Rng root(5);
+    Rng f1 = root.fork(1);
+    Rng f2 = root.fork(2);
+    EXPECT_NE(f1.next(), f2.next());
+}
+
+TEST(Stats, MeanGeomeanStddevMax)
+{
+    const std::vector<double> xs = { 1.0, 2.0, 4.0 };
+    EXPECT_DOUBLE_EQ(mean(xs), 7.0 / 3.0);
+    EXPECT_NEAR(geomean(xs), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(maxOf(xs), 4.0);
+    EXPECT_NEAR(stddev(xs), std::sqrt((16.0 / 9 + 1.0 / 9 + 25.0 / 9) / 2),
+                1e-12);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(stddev({ 1.0 }), 0.0);
+}
+
+TEST(Stats, FormatBytes)
+{
+    EXPECT_EQ(formatBytes(512), "512 B");
+    EXPECT_EQ(formatBytes(2048), "2.00 KB");
+    EXPECT_EQ(formatBytes(3u << 20), "3.00 MB");
+    EXPECT_EQ(formatBytes(std::uint64_t{ 5 } << 30), "5.00 GB");
+}
+
+TEST(Stats, FormatRatioAndPercent)
+{
+    EXPECT_EQ(formatRatio(1.816), "1.82x");
+    EXPECT_EQ(formatPercent(0.0402), "4.0%");
+}
+
+TEST(Table, AlignsColumns)
+{
+    Table t({ "name", "value" });
+    t.addRow({ "a", "1" });
+    t.addRow({ "long-name", "22" });
+    const std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("long-name"), std::string::npos);
+    // Every line has the same length (aligned columns).
+    size_t prev = std::string::npos;
+    size_t pos = 0;
+    while (pos < out.size()) {
+        const size_t eol = out.find('\n', pos);
+        const size_t len = eol - pos;
+        if (prev != std::string::npos) {
+            EXPECT_EQ(len, prev);
+        }
+        prev = len;
+        pos = eol + 1;
+    }
+}
+
+TEST(Table, SeparatorRows)
+{
+    Table t({ "a" });
+    t.addRow({ "1" });
+    t.addSeparator();
+    t.addRow({ "2" });
+    const std::string out = t.render();
+    // Header separator plus the explicit one: two all-dash lines.
+    size_t dash_lines = 0;
+    size_t pos = 0;
+    while (pos < out.size()) {
+        const size_t eol = out.find('\n', pos);
+        const std::string line = out.substr(pos, eol - pos);
+        if (!line.empty() &&
+            line.find_first_not_of('-') == std::string::npos)
+            ++dash_lines;
+        pos = eol + 1;
+    }
+    EXPECT_EQ(dash_lines, 2u);
+}
+
+} // namespace
+} // namespace gist
