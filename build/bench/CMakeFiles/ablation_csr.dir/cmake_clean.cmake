@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_csr.dir/ablation_csr.cpp.o"
+  "CMakeFiles/ablation_csr.dir/ablation_csr.cpp.o.d"
+  "ablation_csr"
+  "ablation_csr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_csr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_cdma.dir/ext_cdma.cpp.o"
+  "CMakeFiles/ext_cdma.dir/ext_cdma.cpp.o.d"
+  "ext_cdma"
+  "ext_cdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_densenet.dir/ext_densenet.cpp.o"
+  "CMakeFiles/ext_densenet.dir/ext_densenet.cpp.o.d"
+  "ext_densenet"
+  "ext_densenet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_densenet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

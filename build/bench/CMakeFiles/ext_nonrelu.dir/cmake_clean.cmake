@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_nonrelu.dir/ext_nonrelu.cpp.o"
+  "CMakeFiles/ext_nonrelu.dir/ext_nonrelu.cpp.o.d"
+  "ext_nonrelu"
+  "ext_nonrelu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_nonrelu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

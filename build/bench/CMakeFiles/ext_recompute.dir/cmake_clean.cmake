@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_recompute.dir/ext_recompute.cpp.o"
+  "CMakeFiles/ext_recompute.dir/ext_recompute.cpp.o.d"
+  "ext_recompute"
+  "ext_recompute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_recompute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_end_to_end_mfr.dir/fig08_end_to_end_mfr.cpp.o"
+  "CMakeFiles/fig08_end_to_end_mfr.dir/fig08_end_to_end_mfr.cpp.o.d"
+  "fig08_end_to_end_mfr"
+  "fig08_end_to_end_mfr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_end_to_end_mfr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_perf_overhead.dir/fig09_perf_overhead.cpp.o"
+  "CMakeFiles/fig09_perf_overhead.dir/fig09_perf_overhead.cpp.o.d"
+  "fig09_perf_overhead"
+  "fig09_perf_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_perf_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_lossless_isolation.dir/fig10_lossless_isolation.cpp.o"
+  "CMakeFiles/fig10_lossless_isolation.dir/fig10_lossless_isolation.cpp.o.d"
+  "fig10_lossless_isolation"
+  "fig10_lossless_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_lossless_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_dpr_footprint.dir/fig13_dpr_footprint.cpp.o"
+  "CMakeFiles/fig13_dpr_footprint.dir/fig13_dpr_footprint.cpp.o.d"
+  "fig13_dpr_footprint"
+  "fig13_dpr_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_dpr_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

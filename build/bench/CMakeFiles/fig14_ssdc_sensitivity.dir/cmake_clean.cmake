@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_ssdc_sensitivity.dir/fig14_ssdc_sensitivity.cpp.o"
+  "CMakeFiles/fig14_ssdc_sensitivity.dir/fig14_ssdc_sensitivity.cpp.o.d"
+  "fig14_ssdc_sensitivity"
+  "fig14_ssdc_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_ssdc_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_resnet_depth.dir/fig16_resnet_depth.cpp.o"
+  "CMakeFiles/fig16_resnet_depth.dir/fig16_resnet_depth.cpp.o.d"
+  "fig16_resnet_depth"
+  "fig16_resnet_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_resnet_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_dynamic_alloc.dir/fig17_dynamic_alloc.cpp.o"
+  "CMakeFiles/fig17_dynamic_alloc.dir/fig17_dynamic_alloc.cpp.o.d"
+  "fig17_dynamic_alloc"
+  "fig17_dynamic_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_dynamic_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

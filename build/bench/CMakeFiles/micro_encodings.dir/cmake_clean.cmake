@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_encodings.dir/micro_encodings.cpp.o"
+  "CMakeFiles/micro_encodings.dir/micro_encodings.cpp.o.d"
+  "micro_encodings"
+  "micro_encodings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_encodings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

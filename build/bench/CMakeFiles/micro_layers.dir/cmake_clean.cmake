@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_layers.dir/micro_layers.cpp.o"
+  "CMakeFiles/micro_layers.dir/micro_layers.cpp.o.d"
+  "micro_layers"
+  "micro_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

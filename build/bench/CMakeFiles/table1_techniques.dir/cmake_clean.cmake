@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_techniques.dir/table1_techniques.cpp.o"
+  "CMakeFiles/table1_techniques.dir/table1_techniques.cpp.o.d"
+  "table1_techniques"
+  "table1_techniques.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_techniques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

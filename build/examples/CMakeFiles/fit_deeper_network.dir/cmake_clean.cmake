@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fit_deeper_network.dir/fit_deeper_network.cpp.o"
+  "CMakeFiles/fit_deeper_network.dir/fit_deeper_network.cpp.o.d"
+  "fit_deeper_network"
+  "fit_deeper_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fit_deeper_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

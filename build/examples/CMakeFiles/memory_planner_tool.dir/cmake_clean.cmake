@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_planner_tool.dir/memory_planner_tool.cpp.o"
+  "CMakeFiles/memory_planner_tool.dir/memory_planner_tool.cpp.o.d"
+  "memory_planner_tool"
+  "memory_planner_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_planner_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

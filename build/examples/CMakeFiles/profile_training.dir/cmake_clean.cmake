@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_training.dir/profile_training.cpp.o"
+  "CMakeFiles/profile_training.dir/profile_training.cpp.o.d"
+  "profile_training"
+  "profile_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gist_baselines.dir/recompute.cpp.o"
+  "CMakeFiles/gist_baselines.dir/recompute.cpp.o.d"
+  "CMakeFiles/gist_baselines.dir/swap_sim.cpp.o"
+  "CMakeFiles/gist_baselines.dir/swap_sim.cpp.o.d"
+  "libgist_baselines.a"
+  "libgist_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gist_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

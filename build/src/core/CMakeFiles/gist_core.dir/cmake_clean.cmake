@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gist_core.dir/classify.cpp.o"
+  "CMakeFiles/gist_core.dir/classify.cpp.o.d"
+  "CMakeFiles/gist_core.dir/dot_export.cpp.o"
+  "CMakeFiles/gist_core.dir/dot_export.cpp.o.d"
+  "CMakeFiles/gist_core.dir/planner.cpp.o"
+  "CMakeFiles/gist_core.dir/planner.cpp.o.d"
+  "CMakeFiles/gist_core.dir/schedule_builder.cpp.o"
+  "CMakeFiles/gist_core.dir/schedule_builder.cpp.o.d"
+  "libgist_core.a"
+  "libgist_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gist_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgist_core.a"
+)

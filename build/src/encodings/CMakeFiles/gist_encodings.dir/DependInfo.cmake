@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/encodings/binarize.cpp" "src/encodings/CMakeFiles/gist_encodings.dir/binarize.cpp.o" "gcc" "src/encodings/CMakeFiles/gist_encodings.dir/binarize.cpp.o.d"
+  "/root/repo/src/encodings/csr.cpp" "src/encodings/CMakeFiles/gist_encodings.dir/csr.cpp.o" "gcc" "src/encodings/CMakeFiles/gist_encodings.dir/csr.cpp.o.d"
+  "/root/repo/src/encodings/dpr.cpp" "src/encodings/CMakeFiles/gist_encodings.dir/dpr.cpp.o" "gcc" "src/encodings/CMakeFiles/gist_encodings.dir/dpr.cpp.o.d"
+  "/root/repo/src/encodings/pool_index_map.cpp" "src/encodings/CMakeFiles/gist_encodings.dir/pool_index_map.cpp.o" "gcc" "src/encodings/CMakeFiles/gist_encodings.dir/pool_index_map.cpp.o.d"
+  "/root/repo/src/encodings/small_float.cpp" "src/encodings/CMakeFiles/gist_encodings.dir/small_float.cpp.o" "gcc" "src/encodings/CMakeFiles/gist_encodings.dir/small_float.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gist_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gist_encodings.dir/binarize.cpp.o"
+  "CMakeFiles/gist_encodings.dir/binarize.cpp.o.d"
+  "CMakeFiles/gist_encodings.dir/csr.cpp.o"
+  "CMakeFiles/gist_encodings.dir/csr.cpp.o.d"
+  "CMakeFiles/gist_encodings.dir/dpr.cpp.o"
+  "CMakeFiles/gist_encodings.dir/dpr.cpp.o.d"
+  "CMakeFiles/gist_encodings.dir/pool_index_map.cpp.o"
+  "CMakeFiles/gist_encodings.dir/pool_index_map.cpp.o.d"
+  "CMakeFiles/gist_encodings.dir/small_float.cpp.o"
+  "CMakeFiles/gist_encodings.dir/small_float.cpp.o.d"
+  "libgist_encodings.a"
+  "libgist_encodings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gist_encodings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

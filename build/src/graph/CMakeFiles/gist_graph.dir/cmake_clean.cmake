@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gist_graph.dir/executor.cpp.o"
+  "CMakeFiles/gist_graph.dir/executor.cpp.o.d"
+  "CMakeFiles/gist_graph.dir/graph.cpp.o"
+  "CMakeFiles/gist_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/gist_graph.dir/layer.cpp.o"
+  "CMakeFiles/gist_graph.dir/layer.cpp.o.d"
+  "CMakeFiles/gist_graph.dir/printer.cpp.o"
+  "CMakeFiles/gist_graph.dir/printer.cpp.o.d"
+  "libgist_graph.a"
+  "libgist_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gist_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

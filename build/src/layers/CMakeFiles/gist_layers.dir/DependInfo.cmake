@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layers/activation.cpp" "src/layers/CMakeFiles/gist_layers.dir/activation.cpp.o" "gcc" "src/layers/CMakeFiles/gist_layers.dir/activation.cpp.o.d"
+  "/root/repo/src/layers/batchnorm.cpp" "src/layers/CMakeFiles/gist_layers.dir/batchnorm.cpp.o" "gcc" "src/layers/CMakeFiles/gist_layers.dir/batchnorm.cpp.o.d"
+  "/root/repo/src/layers/conv.cpp" "src/layers/CMakeFiles/gist_layers.dir/conv.cpp.o" "gcc" "src/layers/CMakeFiles/gist_layers.dir/conv.cpp.o.d"
+  "/root/repo/src/layers/fc.cpp" "src/layers/CMakeFiles/gist_layers.dir/fc.cpp.o" "gcc" "src/layers/CMakeFiles/gist_layers.dir/fc.cpp.o.d"
+  "/root/repo/src/layers/loss.cpp" "src/layers/CMakeFiles/gist_layers.dir/loss.cpp.o" "gcc" "src/layers/CMakeFiles/gist_layers.dir/loss.cpp.o.d"
+  "/root/repo/src/layers/lrn.cpp" "src/layers/CMakeFiles/gist_layers.dir/lrn.cpp.o" "gcc" "src/layers/CMakeFiles/gist_layers.dir/lrn.cpp.o.d"
+  "/root/repo/src/layers/pool.cpp" "src/layers/CMakeFiles/gist_layers.dir/pool.cpp.o" "gcc" "src/layers/CMakeFiles/gist_layers.dir/pool.cpp.o.d"
+  "/root/repo/src/layers/relu.cpp" "src/layers/CMakeFiles/gist_layers.dir/relu.cpp.o" "gcc" "src/layers/CMakeFiles/gist_layers.dir/relu.cpp.o.d"
+  "/root/repo/src/layers/structural.cpp" "src/layers/CMakeFiles/gist_layers.dir/structural.cpp.o" "gcc" "src/layers/CMakeFiles/gist_layers.dir/structural.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/gist_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/gist_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/encodings/CMakeFiles/gist_encodings.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gist_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

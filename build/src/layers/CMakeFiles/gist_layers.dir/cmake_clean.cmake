@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gist_layers.dir/activation.cpp.o"
+  "CMakeFiles/gist_layers.dir/activation.cpp.o.d"
+  "CMakeFiles/gist_layers.dir/batchnorm.cpp.o"
+  "CMakeFiles/gist_layers.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/gist_layers.dir/conv.cpp.o"
+  "CMakeFiles/gist_layers.dir/conv.cpp.o.d"
+  "CMakeFiles/gist_layers.dir/fc.cpp.o"
+  "CMakeFiles/gist_layers.dir/fc.cpp.o.d"
+  "CMakeFiles/gist_layers.dir/loss.cpp.o"
+  "CMakeFiles/gist_layers.dir/loss.cpp.o.d"
+  "CMakeFiles/gist_layers.dir/lrn.cpp.o"
+  "CMakeFiles/gist_layers.dir/lrn.cpp.o.d"
+  "CMakeFiles/gist_layers.dir/pool.cpp.o"
+  "CMakeFiles/gist_layers.dir/pool.cpp.o.d"
+  "CMakeFiles/gist_layers.dir/relu.cpp.o"
+  "CMakeFiles/gist_layers.dir/relu.cpp.o.d"
+  "CMakeFiles/gist_layers.dir/structural.cpp.o"
+  "CMakeFiles/gist_layers.dir/structural.cpp.o.d"
+  "libgist_layers.a"
+  "libgist_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gist_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memory/allocator.cpp" "src/memory/CMakeFiles/gist_memory.dir/allocator.cpp.o" "gcc" "src/memory/CMakeFiles/gist_memory.dir/allocator.cpp.o.d"
+  "/root/repo/src/memory/report.cpp" "src/memory/CMakeFiles/gist_memory.dir/report.cpp.o" "gcc" "src/memory/CMakeFiles/gist_memory.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gist_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

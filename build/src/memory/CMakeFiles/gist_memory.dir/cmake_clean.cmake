@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gist_memory.dir/allocator.cpp.o"
+  "CMakeFiles/gist_memory.dir/allocator.cpp.o.d"
+  "CMakeFiles/gist_memory.dir/report.cpp.o"
+  "CMakeFiles/gist_memory.dir/report.cpp.o.d"
+  "libgist_memory.a"
+  "libgist_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gist_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

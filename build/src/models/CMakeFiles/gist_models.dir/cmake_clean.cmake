@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gist_models.dir/builder.cpp.o"
+  "CMakeFiles/gist_models.dir/builder.cpp.o.d"
+  "CMakeFiles/gist_models.dir/tiny.cpp.o"
+  "CMakeFiles/gist_models.dir/tiny.cpp.o.d"
+  "CMakeFiles/gist_models.dir/zoo.cpp.o"
+  "CMakeFiles/gist_models.dir/zoo.cpp.o.d"
+  "libgist_models.a"
+  "libgist_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gist_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

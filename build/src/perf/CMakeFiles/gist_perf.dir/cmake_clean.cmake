@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gist_perf.dir/batch_fit.cpp.o"
+  "CMakeFiles/gist_perf.dir/batch_fit.cpp.o.d"
+  "CMakeFiles/gist_perf.dir/gpu_model.cpp.o"
+  "CMakeFiles/gist_perf.dir/gpu_model.cpp.o.d"
+  "libgist_perf.a"
+  "libgist_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gist_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

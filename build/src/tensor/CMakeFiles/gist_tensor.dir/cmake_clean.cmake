@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gist_tensor.dir/gemm.cpp.o"
+  "CMakeFiles/gist_tensor.dir/gemm.cpp.o.d"
+  "CMakeFiles/gist_tensor.dir/im2col.cpp.o"
+  "CMakeFiles/gist_tensor.dir/im2col.cpp.o.d"
+  "CMakeFiles/gist_tensor.dir/ops.cpp.o"
+  "CMakeFiles/gist_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/gist_tensor.dir/shape.cpp.o"
+  "CMakeFiles/gist_tensor.dir/shape.cpp.o.d"
+  "CMakeFiles/gist_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/gist_tensor.dir/tensor.cpp.o.d"
+  "libgist_tensor.a"
+  "libgist_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gist_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

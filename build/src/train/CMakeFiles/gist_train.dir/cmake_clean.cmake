@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gist_train.dir/checkpoint.cpp.o"
+  "CMakeFiles/gist_train.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/gist_train.dir/dataset.cpp.o"
+  "CMakeFiles/gist_train.dir/dataset.cpp.o.d"
+  "CMakeFiles/gist_train.dir/sparsity_probe.cpp.o"
+  "CMakeFiles/gist_train.dir/sparsity_probe.cpp.o.d"
+  "CMakeFiles/gist_train.dir/trainer.cpp.o"
+  "CMakeFiles/gist_train.dir/trainer.cpp.o.d"
+  "libgist_train.a"
+  "libgist_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gist_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gist_util.dir/logging.cpp.o"
+  "CMakeFiles/gist_util.dir/logging.cpp.o.d"
+  "CMakeFiles/gist_util.dir/stats.cpp.o"
+  "CMakeFiles/gist_util.dir/stats.cpp.o.d"
+  "CMakeFiles/gist_util.dir/table.cpp.o"
+  "CMakeFiles/gist_util.dir/table.cpp.o.d"
+  "libgist_util.a"
+  "libgist_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gist_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

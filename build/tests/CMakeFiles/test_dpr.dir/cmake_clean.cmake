@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dpr.dir/test_dpr.cpp.o"
+  "CMakeFiles/test_dpr.dir/test_dpr.cpp.o.d"
+  "test_dpr"
+  "test_dpr.pdb"
+  "test_dpr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_elide_decode.dir/test_elide_decode.cpp.o"
+  "CMakeFiles/test_elide_decode.dir/test_elide_decode.cpp.o.d"
+  "test_elide_decode"
+  "test_elide_decode.pdb"
+  "test_elide_decode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_elide_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_executor_memory.dir/test_executor_memory.cpp.o"
+  "CMakeFiles/test_executor_memory.dir/test_executor_memory.cpp.o.d"
+  "test_executor_memory"
+  "test_executor_memory.pdb"
+  "test_executor_memory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_executor_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

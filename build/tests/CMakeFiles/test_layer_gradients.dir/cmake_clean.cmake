@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layer_gradients.dir/test_layer_gradients.cpp.o"
+  "CMakeFiles/test_layer_gradients.dir/test_layer_gradients.cpp.o.d"
+  "test_layer_gradients"
+  "test_layer_gradients.pdb"
+  "test_layer_gradients[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layer_gradients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

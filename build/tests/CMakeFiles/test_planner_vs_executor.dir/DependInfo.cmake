@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_planner_vs_executor.cpp" "tests/CMakeFiles/test_planner_vs_executor.dir/test_planner_vs_executor.cpp.o" "gcc" "tests/CMakeFiles/test_planner_vs_executor.dir/test_planner_vs_executor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/train/CMakeFiles/gist_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/gist_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/gist_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/gist_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gist_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/layers/CMakeFiles/gist_layers.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gist_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/gist_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/encodings/CMakeFiles/gist_encodings.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/gist_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gist_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_planner_vs_executor.dir/test_planner_vs_executor.cpp.o"
+  "CMakeFiles/test_planner_vs_executor.dir/test_planner_vs_executor.cpp.o.d"
+  "test_planner_vs_executor"
+  "test_planner_vs_executor.pdb"
+  "test_planner_vs_executor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_planner_vs_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

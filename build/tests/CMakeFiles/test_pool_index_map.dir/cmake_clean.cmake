@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pool_index_map.dir/test_pool_index_map.cpp.o"
+  "CMakeFiles/test_pool_index_map.dir/test_pool_index_map.cpp.o.d"
+  "test_pool_index_map"
+  "test_pool_index_map.pdb"
+  "test_pool_index_map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pool_index_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

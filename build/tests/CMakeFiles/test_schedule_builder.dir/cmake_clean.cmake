@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_schedule_builder.dir/test_schedule_builder.cpp.o"
+  "CMakeFiles/test_schedule_builder.dir/test_schedule_builder.cpp.o.d"
+  "test_schedule_builder"
+  "test_schedule_builder.pdb"
+  "test_schedule_builder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_schedule_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

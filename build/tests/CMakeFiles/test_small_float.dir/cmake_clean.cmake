@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_small_float.dir/test_small_float.cpp.o"
+  "CMakeFiles/test_small_float.dir/test_small_float.cpp.o.d"
+  "test_small_float"
+  "test_small_float.pdb"
+  "test_small_float[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_small_float.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swap_sim.dir/test_swap_sim.cpp.o"
+  "CMakeFiles/test_swap_sim.dir/test_swap_sim.cpp.o.d"
+  "test_swap_sim"
+  "test_swap_sim.pdb"
+  "test_swap_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
