@@ -9,10 +9,24 @@
 #include <cstdio>
 #include <string>
 
+#include "util/parallel.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace gist::bench {
+
+/**
+ * Apply the benchmark's thread-count policy (explicit request, else the
+ * GIST_THREADS env / hardware default) and return the resolved count, so
+ * every bench binary reports the pool size it measured with.
+ */
+inline int
+initThreads(int requested = 0)
+{
+    if (requested > 0)
+        setNumThreads(requested);
+    return numThreads();
+}
 
 /** Print the exhibit banner. */
 inline void
@@ -22,6 +36,7 @@ banner(const std::string &exhibit, const std::string &what,
     std::printf("==============================================================\n");
     std::printf("%s — %s\n", exhibit.c_str(), what.c_str());
     std::printf("Paper reference: %s\n", paper_claim.c_str());
+    std::printf("threads: %d\n", initThreads());
     std::printf("==============================================================\n");
 }
 

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Run the thread-scaling microbenchmark and record its JSON so the
+# scaling trajectory can be tracked across PRs.
+#
+# Usage: scripts/run_micro_parallel.sh [build-dir] [threads] [out.json]
+#   build-dir  defaults to build
+#   threads    defaults to 0 (auto: GIST_THREADS env, then hardware)
+#   out.json   defaults to <build-dir>/bench/micro_parallel.json
+set -euo pipefail
+build="${1:-build}"
+threads="${2:-0}"
+out="${3:-$build/bench/micro_parallel.json}"
+
+bin="$build/bench/micro_parallel"
+[ -x "$bin" ] || {
+    echo "error: $bin not built (cmake --build $build --target micro_parallel)" >&2
+    exit 1
+}
+
+"$bin" "$threads" --json "$out"
+echo "scaling record: $out"

@@ -32,6 +32,14 @@ struct GistConfig
     bool elide_decode_buffer = false;
     /** CSR layout (narrow 1-byte indices by default). */
     CsrConfig csr{};
+    /**
+     * Worker threads for the parallel hot paths (gemm, im2col, the
+     * encoders). 0 = leave the global pool as configured (first use
+     * auto-resolves from GIST_THREADS, then hardware concurrency);
+     * 1 runs everything inline. Applied by applyToExecutor() and
+     * Trainer::run().
+     */
+    int num_threads = 0;
 
     /** No optimizations: the CNTK baseline. */
     static GistConfig baseline() { return GistConfig{}; }

@@ -121,6 +121,7 @@ applyToExecutor(const BuiltSchedule &schedule, Executor &exec)
         exec.setStashPlan(node.id, plan);
     }
     exec.setElideDecode(schedule.config.elide_decode_buffer);
+    exec.setNumThreads(schedule.config.num_threads);
     exec.refreshSchedule();
 }
 

@@ -2,6 +2,7 @@
 
 #include "util/bits.hpp"
 #include "util/logging.hpp"
+#include "util/parallel.hpp"
 
 namespace gist {
 
@@ -16,10 +17,23 @@ BinarizedMask::encode(std::span<const float> values)
 {
     numel_ = static_cast<std::int64_t>(values.size());
     bits.assign(static_cast<size_t>(binarizeBytes(numel_)), 0);
-    for (size_t i = 0; i < values.size(); ++i) {
-        if (values[i] > 0.0f)
-            bits[i >> 3] |= static_cast<std::uint8_t>(1u << (i & 7));
-    }
+    // Parallel over output *bytes*: each byte packs 8 input values, so
+    // byte-granular chunks never share a write target.
+    const auto nbytes = static_cast<std::int64_t>(bits.size());
+    parallelFor(0, nbytes, chooseGrain(nbytes, 1024),
+                [&](std::int64_t b0, std::int64_t b1) {
+        for (std::int64_t byte = b0; byte < b1; ++byte) {
+            const std::int64_t base = byte * 8;
+            const std::int64_t lim = std::min<std::int64_t>(base + 8,
+                                                            numel_);
+            std::uint8_t acc = 0;
+            for (std::int64_t i = base; i < lim; ++i) {
+                if (values[static_cast<size_t>(i)] > 0.0f)
+                    acc |= static_cast<std::uint8_t>(1u << (i - base));
+            }
+            bits[static_cast<size_t>(byte)] = acc;
+        }
+    });
 }
 
 void
@@ -55,10 +69,15 @@ BinarizedMask::reluBackward(std::span<const float> dy,
     GIST_ASSERT(static_cast<std::int64_t>(dy.size()) == numel_ &&
                     dy.size() == dx.size(),
                 "relu backward size mismatch");
-    for (size_t i = 0; i < dy.size(); ++i) {
-        const bool pos = (bits[i >> 3] >> (i & 7)) & 1;
-        dx[i] = pos ? dy[i] : 0.0f;
-    }
+    const auto n = static_cast<std::int64_t>(dy.size());
+    parallelFor(0, n, chooseGrain(n, 4096, /*align=*/8),
+                [&](std::int64_t lo, std::int64_t hi) {
+                    for (std::int64_t i = lo; i < hi; ++i) {
+                        const auto s = static_cast<size_t>(i);
+                        const bool pos = (bits[s >> 3] >> (s & 7)) & 1;
+                        dx[s] = pos ? dy[s] : 0.0f;
+                    }
+                });
 }
 
 void

@@ -5,6 +5,7 @@
 
 #include "util/bits.hpp"
 #include "util/logging.hpp"
+#include "util/parallel.hpp"
 
 namespace gist {
 
@@ -74,31 +75,55 @@ CsrBuffer::encode(std::span<const float> values)
     const std::int64_t rows = ceilDiv<std::int64_t>(numel_,
                                                     config.row_width);
     row_ptr.assign(static_cast<size_t>(rows + 1), 0);
-    col_idx.clear();
     values_f32.clear();
     values_dpr.clear();
 
-    std::vector<float> nz;
-    nz.reserve(values.size() / 4);
-    std::int64_t count = 0;
-    for (std::int64_t r = 0; r < rows; ++r) {
-        const std::int64_t begin = r * config.row_width;
-        const std::int64_t end = std::min(numel_, begin + config.row_width);
-        for (std::int64_t i = begin; i < end; ++i) {
-            const float v = values[static_cast<size_t>(i)];
-            if (v == 0.0f)
-                continue;
-            const auto col = static_cast<std::uint32_t>(i - begin);
-            for (int b = 0; b < config.index_bytes; ++b)
-                col_idx.push_back(
-                    static_cast<std::uint8_t>(col >> (8 * b)));
-            nz.push_back(v);
-            ++count;
+    // Pass 1 (parallel): per-row nnz counts into row_ptr[r + 1].
+    const std::int64_t row_grain = chooseGrain(rows, 16);
+    parallelFor(0, rows, row_grain, [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r) {
+            const std::int64_t begin = r * config.row_width;
+            const std::int64_t end =
+                std::min(numel_, begin + config.row_width);
+            std::uint32_t count = 0;
+            for (std::int64_t i = begin; i < end; ++i)
+                count += (values[static_cast<size_t>(i)] != 0.0f);
+            row_ptr[static_cast<size_t>(r + 1)] = count;
         }
-        row_ptr[static_cast<size_t>(r + 1)] =
-            static_cast<std::uint32_t>(count);
-    }
-    nnz_ = count;
+    });
+
+    // Serial prefix sum turns the counts into row offsets.
+    for (std::int64_t r = 0; r < rows; ++r)
+        row_ptr[static_cast<size_t>(r + 1)] +=
+            row_ptr[static_cast<size_t>(r)];
+    nnz_ = row_ptr[static_cast<size_t>(rows)];
+
+    // Pass 2 (parallel): every row fills its own [row_ptr[r],
+    // row_ptr[r+1]) slice of the index/value arrays — disjoint by
+    // construction, and identical to the serial fill order.
+    col_idx.resize(static_cast<size_t>(nnz_) *
+                   static_cast<size_t>(config.index_bytes));
+    std::vector<float> nz(static_cast<size_t>(nnz_));
+    parallelFor(0, rows, row_grain, [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r) {
+            const std::int64_t begin = r * config.row_width;
+            const std::int64_t end =
+                std::min(numel_, begin + config.row_width);
+            size_t k = row_ptr[static_cast<size_t>(r)];
+            for (std::int64_t i = begin; i < end; ++i) {
+                const float v = values[static_cast<size_t>(i)];
+                if (v == 0.0f)
+                    continue;
+                const auto col = static_cast<std::uint32_t>(i - begin);
+                for (int b = 0; b < config.index_bytes; ++b)
+                    col_idx[k * static_cast<size_t>(config.index_bytes) +
+                            static_cast<size_t>(b)] =
+                        static_cast<std::uint8_t>(col >> (8 * b));
+                nz[k] = v;
+                ++k;
+            }
+        }
+    });
 
     if (config.value_format == DprFormat::Fp32)
         values_f32 = std::move(nz);
@@ -112,7 +137,6 @@ CsrBuffer::decode(std::span<float> out) const
     GIST_ASSERT(static_cast<std::int64_t>(out.size()) == numel_,
                 "decode target has ", out.size(), " elements, encoded ",
                 numel_);
-    std::memset(out.data(), 0, out.size() * sizeof(float));
 
     std::vector<float> nz;
     const float *vals = nullptr;
@@ -124,23 +148,34 @@ CsrBuffer::decode(std::span<float> out) const
         vals = nz.data();
     }
 
+    // Parallel over rows: row r owns the output slice
+    // [r * row_width, (r + 1) * row_width), so each chunk zero-fills and
+    // scatters into a disjoint range.
     const std::int64_t rows =
         static_cast<std::int64_t>(row_ptr.size()) - 1;
-    for (std::int64_t r = 0; r < rows; ++r) {
-        const std::uint32_t begin = row_ptr[static_cast<size_t>(r)];
-        const std::uint32_t end = row_ptr[static_cast<size_t>(r + 1)];
-        for (std::uint32_t k = begin; k < end; ++k) {
-            std::uint32_t col = 0;
-            for (int b = 0; b < config.index_bytes; ++b)
-                col |= static_cast<std::uint32_t>(
-                           col_idx[static_cast<size_t>(k) *
-                                       static_cast<size_t>(
-                                           config.index_bytes) +
-                                   static_cast<size_t>(b)])
-                       << (8 * b);
-            out[static_cast<size_t>(r * config.row_width + col)] = vals[k];
+    parallelFor(0, rows, chooseGrain(rows, 16),
+                [&, vals](std::int64_t r0, std::int64_t r1) {
+        const std::int64_t lo = r0 * config.row_width;
+        const std::int64_t hi = std::min(numel_, r1 * config.row_width);
+        std::memset(out.data() + lo, 0,
+                    static_cast<size_t>(hi - lo) * sizeof(float));
+        for (std::int64_t r = r0; r < r1; ++r) {
+            const std::uint32_t begin = row_ptr[static_cast<size_t>(r)];
+            const std::uint32_t end = row_ptr[static_cast<size_t>(r + 1)];
+            for (std::uint32_t k = begin; k < end; ++k) {
+                std::uint32_t col = 0;
+                for (int b = 0; b < config.index_bytes; ++b)
+                    col |= static_cast<std::uint32_t>(
+                               col_idx[static_cast<size_t>(k) *
+                                           static_cast<size_t>(
+                                               config.index_bytes) +
+                                       static_cast<size_t>(b)])
+                           << (8 * b);
+                out[static_cast<size_t>(r * config.row_width + col)] =
+                    vals[k];
+            }
         }
-    }
+    });
 }
 
 void

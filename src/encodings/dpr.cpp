@@ -5,6 +5,7 @@
 
 #include "util/bits.hpp"
 #include "util/logging.hpp"
+#include "util/parallel.hpp"
 
 namespace gist {
 
@@ -72,8 +73,8 @@ DprBuffer::encode(DprFormat fmt, std::span<const float> values)
     numel_ = static_cast<std::int64_t>(values.size());
     const int per_word = dprValuesPerWord(fmt);
     const int bits = dprBitsPerValue(fmt);
-    words.assign(ceilDiv<size_t>(values.size(),
-                                 static_cast<size_t>(per_word)), 0);
+    words.resize(ceilDiv<size_t>(values.size(),
+                                 static_cast<size_t>(per_word)));
 
     if (fmt == DprFormat::Fp32) {
         std::memcpy(words.data(), values.data(),
@@ -81,14 +82,26 @@ DprBuffer::encode(DprFormat fmt, std::span<const float> values)
         return;
     }
 
+    // Parallel over packed words: each word holds per_word lanes, so
+    // word-granular chunks write disjoint storage.
     const SmallFloatFormat &sf = dprSmallFloat(fmt);
-    for (size_t i = 0; i < values.size(); ++i) {
-        const std::uint32_t enc = encodeSmallFloat(sf, values[i]);
-        const size_t word = i / static_cast<size_t>(per_word);
-        const unsigned lane =
-            static_cast<unsigned>(i % static_cast<size_t>(per_word));
-        words[word] |= enc << (lane * static_cast<unsigned>(bits));
-    }
+    const auto nwords = static_cast<std::int64_t>(words.size());
+    parallelFor(0, nwords, chooseGrain(nwords, 2048),
+                [&, per_word, bits](std::int64_t w0, std::int64_t w1) {
+        for (std::int64_t w = w0; w < w1; ++w) {
+            const std::int64_t base = w * per_word;
+            const std::int64_t lim =
+                std::min<std::int64_t>(base + per_word, numel_);
+            std::uint32_t word = 0;
+            for (std::int64_t i = base; i < lim; ++i) {
+                const std::uint32_t enc =
+                    encodeSmallFloat(sf, values[static_cast<size_t>(i)]);
+                word |= enc << (static_cast<unsigned>(i - base) *
+                                static_cast<unsigned>(bits));
+            }
+            words[static_cast<size_t>(w)] = word;
+        }
+    });
 }
 
 void
@@ -105,19 +118,31 @@ DprBuffer::decode(std::span<float> out) const
     const int bits = dprBitsPerValue(format_);
     const std::uint32_t mask = (bits >= 32) ? ~0u : ((1u << bits) - 1);
     const SmallFloatFormat &sf = dprSmallFloat(format_);
-    for (size_t i = 0; i < out.size(); ++i) {
-        const size_t word = i / static_cast<size_t>(per_word);
-        const unsigned lane =
-            static_cast<unsigned>(i % static_cast<size_t>(per_word));
-        const std::uint32_t enc =
-            (words[word] >> (lane * static_cast<unsigned>(bits))) & mask;
-        out[i] = decodeSmallFloat(sf, enc);
-    }
+    const auto nwords = static_cast<std::int64_t>(words.size());
+    parallelFor(0, nwords, chooseGrain(nwords, 2048),
+                [&, per_word, bits, mask](std::int64_t w0,
+                                          std::int64_t w1) {
+        for (std::int64_t w = w0; w < w1; ++w) {
+            const std::uint32_t word = words[static_cast<size_t>(w)];
+            const std::int64_t base = w * per_word;
+            const std::int64_t lim =
+                std::min<std::int64_t>(base + per_word, numel_);
+            for (std::int64_t i = base; i < lim; ++i) {
+                const std::uint32_t enc =
+                    (word >> (static_cast<unsigned>(i - base) *
+                              static_cast<unsigned>(bits))) &
+                    mask;
+                out[static_cast<size_t>(i)] = decodeSmallFloat(sf, enc);
+            }
+        }
+    });
 }
 
 void
 DprBuffer::decodeRange(std::int64_t offset, std::span<float> out) const
 {
+    // Tile-wise consumer path ("optimized software"): tiles are small,
+    // so this stays serial.
     GIST_ASSERT(offset >= 0 &&
                     offset + static_cast<std::int64_t>(out.size()) <=
                         numel_,
@@ -160,8 +185,14 @@ dprQuantizeInPlace(DprFormat fmt, std::span<float> values)
     if (fmt == DprFormat::Fp32)
         return;
     const SmallFloatFormat &sf = dprSmallFloat(fmt);
-    for (auto &v : values)
-        v = quantizeSmallFloat(sf, v);
+    const auto n = static_cast<std::int64_t>(values.size());
+    parallelFor(0, n, chooseGrain(n, 4096),
+                [&](std::int64_t lo, std::int64_t hi) {
+                    for (std::int64_t i = lo; i < hi; ++i) {
+                        auto &v = values[static_cast<size_t>(i)];
+                        v = quantizeSmallFloat(sf, v);
+                    }
+                });
 }
 
 } // namespace gist

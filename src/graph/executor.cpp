@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "util/logging.hpp"
+#include "util/parallel.hpp"
 
 namespace gist {
 
@@ -31,6 +32,19 @@ Executor::setStashPlan(NodeId id, StashPlan plan)
 {
     GIST_ASSERT(id >= 0 && id < graph_.numNodes(), "bad node id");
     states[static_cast<size_t>(id)].plan = std::move(plan);
+}
+
+void
+Executor::setNumThreads(int n)
+{
+    if (n > 0)
+        gist::setNumThreads(n);
+}
+
+int
+Executor::numThreads() const
+{
+    return gist::numThreads();
 }
 
 void

@@ -91,6 +91,17 @@ class Executor
      */
     void setElideDecode(bool on) { elide_decode = on; }
 
+    /**
+     * Size the shared thread pool driving gemm/im2col/encode/decode.
+     * n >= 1 forces that count; n == 0 keeps the current (auto-resolved)
+     * setting. The pool is process-global, so this affects every
+     * executor.
+     */
+    void setNumThreads(int n);
+
+    /** Current thread count of the shared pool. */
+    int numThreads() const;
+
     /** Seconds spent in node @p id's forward at the last minibatch. */
     double lastFwdSeconds(NodeId id) const;
     /** Seconds spent in node @p id's backward at the last minibatch. */

@@ -1,22 +1,139 @@
 #include "tensor/gemm.hpp"
 
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
 #include "util/logging.hpp"
+#include "util/parallel.hpp"
 
 namespace gist {
 
 namespace {
 
-/** Scale C by beta (handles beta == 0 without reading C). */
+// Cache blocking: C row panels of MC rows are the parallel unit; the
+// reduction is tiled into KC slices and C columns into NC slices so the
+// active B tile (KC x NC floats = 128 KB) stays L2-resident while a
+// panel streams over it. Every C row is computed entirely inside one
+// chunk with a thread-count-independent loop order (KC slices ascending,
+// p ascending within a slice), so results are bitwise-identical at any
+// thread count.
+constexpr std::int64_t kMC = 32;
+constexpr std::int64_t kKC = 128;
+constexpr std::int64_t kNC = 256;
+
+/** C *= beta over m*n elements (beta == 0 is folded into the compute
+ *  loops instead — no separate zero-fill pass over C). */
 void
-scaleC(std::int64_t m, std::int64_t n, float beta, float *c)
+scaleC(std::int64_t total, float beta, float *c)
 {
-    const std::int64_t total = m * n;
-    if (beta == 0.0f) {
-        for (std::int64_t i = 0; i < total; ++i)
-            c[i] = 0.0f;
-    } else if (beta != 1.0f) {
-        for (std::int64_t i = 0; i < total; ++i)
-            c[i] *= beta;
+    if (beta == 1.0f)
+        return;
+    parallelFor(0, total, chooseGrain(total, 4096),
+                [=](std::int64_t lo, std::int64_t hi) {
+                    if (beta == 0.0f)
+                        std::memset(c + lo, 0,
+                                    static_cast<size_t>(hi - lo) *
+                                        sizeof(float));
+                    else
+                        for (std::int64_t i = lo; i < hi; ++i)
+                            c[i] *= beta;
+                });
+}
+
+/**
+ * Row panel [i0, i1) of C for op(B) = B (row-major k x n): axpy form,
+ * the inner j loop streams B and C rows and auto-vectorizes. When
+ * beta == 0 each C segment is zero-initialized on first touch (kc slice
+ * 0) while it is already cache-hot, replacing the old whole-matrix
+ * zero-fill pass.
+ */
+void
+panelNoTransB(std::int64_t i0, std::int64_t i1, std::int64_t n,
+              std::int64_t k, bool trans_a, std::int64_t m, float alpha,
+              const float *a, const float *b, float beta, float *c)
+{
+    std::vector<float> a_pack;
+    if (trans_a)
+        a_pack.resize(static_cast<size_t>((i1 - i0) * kKC));
+
+    for (std::int64_t pc = 0; pc < k; pc += kKC) {
+        const std::int64_t kc = std::min(kKC, k - pc);
+        if (trans_a) {
+            // Gather the strided A^T slice once per (panel, kc slice) so
+            // the compute loop reads it contiguously.
+            for (std::int64_t i = i0; i < i1; ++i)
+                for (std::int64_t p = 0; p < kc; ++p)
+                    a_pack[static_cast<size_t>((i - i0) * kc + p)] =
+                        a[(pc + p) * m + i];
+        }
+        for (std::int64_t jc = 0; jc < n; jc += kNC) {
+            const std::int64_t nc = std::min(kNC, n - jc);
+            for (std::int64_t i = i0; i < i1; ++i) {
+                float *c_row = c + i * n + jc;
+                if (beta == 0.0f && pc == 0)
+                    std::memset(c_row, 0,
+                                static_cast<size_t>(nc) * sizeof(float));
+                const float *a_row =
+                    trans_a ? a_pack.data() + (i - i0) * kc
+                            : a + i * k + pc;
+                for (std::int64_t p = 0; p < kc; ++p) {
+                    const float a_val = alpha * a_row[p];
+                    if (a_val == 0.0f)
+                        continue;
+                    const float *b_row = b + (pc + p) * n + jc;
+                    for (std::int64_t j = 0; j < nc; ++j)
+                        c_row[j] += a_val * b_row[j];
+                }
+            }
+        }
+    }
+}
+
+/**
+ * Row panel [i0, i1) of C for op(B) = B^T (B stored n x k): dot-product
+ * form — both operand rows are contiguous, so the reduction is split
+ * over four accumulators to expose vector lanes.
+ */
+void
+panelTransB(std::int64_t i0, std::int64_t i1, std::int64_t n,
+            std::int64_t k, bool trans_a, std::int64_t m, float alpha,
+            const float *a, const float *b, float beta, float *c)
+{
+    std::vector<float> a_pack;
+    if (trans_a) {
+        a_pack.resize(static_cast<size_t>((i1 - i0) * k));
+        for (std::int64_t i = i0; i < i1; ++i)
+            for (std::int64_t p = 0; p < k; ++p)
+                a_pack[static_cast<size_t>((i - i0) * k + p)] =
+                    a[p * m + i];
+    }
+
+    for (std::int64_t jc = 0; jc < n; jc += kNC) {
+        const std::int64_t nc = std::min(kNC, n - jc);
+        for (std::int64_t i = i0; i < i1; ++i) {
+            const float *a_row = trans_a ? a_pack.data() + (i - i0) * k
+                                         : a + i * k;
+            float *c_row = c + i * n + jc;
+            for (std::int64_t j = 0; j < nc; ++j) {
+                const float *b_row = b + (jc + j) * k;
+                float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+                std::int64_t p = 0;
+                for (; p + 4 <= k; p += 4) {
+                    acc0 += a_row[p] * b_row[p];
+                    acc1 += a_row[p + 1] * b_row[p + 1];
+                    acc2 += a_row[p + 2] * b_row[p + 2];
+                    acc3 += a_row[p + 3] * b_row[p + 3];
+                }
+                for (; p < k; ++p)
+                    acc0 += a_row[p] * b_row[p];
+                const float acc = (acc0 + acc1) + (acc2 + acc3);
+                if (beta == 0.0f)
+                    c_row[j] = alpha * acc;
+                else
+                    c_row[j] += alpha * acc;
+            }
+        }
     }
 }
 
@@ -28,45 +145,32 @@ gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
      float *c)
 {
     GIST_ASSERT(m >= 0 && n >= 0 && k >= 0, "bad gemm dims");
-    scaleC(m, n, beta, c);
-    if (alpha == 0.0f || m == 0 || n == 0 || k == 0)
+    if (m == 0 || n == 0)
         return;
-
-    if (!trans_b) {
-        // op(B) rows are contiguous: use the (i, p, j) ordering so the
-        // inner loop streams both B and C.
-        for (std::int64_t i = 0; i < m; ++i) {
-            float *c_row = c + i * n;
-            for (std::int64_t p = 0; p < k; ++p) {
-                const float a_val =
-                    alpha * (trans_a ? a[p * m + i] : a[i * k + p]);
-                if (a_val == 0.0f)
-                    continue;
-                const float *b_row = b + p * n;
-                for (std::int64_t j = 0; j < n; ++j)
-                    c_row[j] += a_val * b_row[j];
-            }
-        }
-    } else {
-        // B is stored n x k: rows of B are the reduction axis, so use a
-        // dot-product per output element.
-        for (std::int64_t i = 0; i < m; ++i) {
-            float *c_row = c + i * n;
-            for (std::int64_t j = 0; j < n; ++j) {
-                const float *b_row = b + j * k;
-                float acc = 0.0f;
-                if (!trans_a) {
-                    const float *a_row = a + i * k;
-                    for (std::int64_t p = 0; p < k; ++p)
-                        acc += a_row[p] * b_row[p];
-                } else {
-                    for (std::int64_t p = 0; p < k; ++p)
-                        acc += a[p * m + i] * b_row[p];
-                }
-                c_row[j] += alpha * acc;
-            }
-        }
+    GIST_ASSERT(c != nullptr, "gemm: null C with m, n > 0");
+    if (alpha != 0.0f && k > 0) {
+        GIST_ASSERT(a != nullptr, "gemm: null A with m, k > 0");
+        GIST_ASSERT(b != nullptr, "gemm: null B with k, n > 0");
     }
+
+    if (alpha == 0.0f || k == 0) {
+        // No A*B contribution: C = beta * C (beta == 0 zero-fills, as
+        // BLAS semantics require even for garbage/NaN input C).
+        scaleC(m * n, beta, c);
+        return;
+    }
+
+    // beta == 0 skips the separate zero/scale pass entirely; the panel
+    // kernels write-initialize C instead.
+    if (beta != 0.0f)
+        scaleC(m * n, beta, c);
+
+    parallelFor(0, m, kMC, [=](std::int64_t i0, std::int64_t i1) {
+        if (!trans_b)
+            panelNoTransB(i0, i1, n, k, trans_a, m, alpha, a, b, beta, c);
+        else
+            panelTransB(i0, i1, n, k, trans_a, m, alpha, a, b, beta, c);
+    });
 }
 
 } // namespace gist

@@ -1,5 +1,7 @@
 #include "tensor/im2col.hpp"
 
+#include "util/parallel.hpp"
+
 namespace gist {
 
 void
@@ -7,31 +9,36 @@ im2col(const ConvGeometry &geom, const float *image, float *columns)
 {
     const std::int64_t out_h = geom.outH();
     const std::int64_t out_w = geom.outW();
-    std::int64_t row = 0;
-    for (std::int64_t c = 0; c < geom.in_c; ++c) {
-        for (std::int64_t kh = 0; kh < geom.kernel_h; ++kh) {
-            for (std::int64_t kw = 0; kw < geom.kernel_w; ++kw, ++row) {
-                float *out_row = columns + row * (out_h * out_w);
-                const float *img_plane = image + c * geom.in_h * geom.in_w;
-                for (std::int64_t oh = 0; oh < out_h; ++oh) {
-                    const std::int64_t ih =
-                        oh * geom.stride_h - geom.pad_h + kh;
-                    if (ih < 0 || ih >= geom.in_h) {
-                        for (std::int64_t ow = 0; ow < out_w; ++ow)
-                            out_row[oh * out_w + ow] = 0.0f;
-                        continue;
-                    }
-                    const float *img_row = img_plane + ih * geom.in_w;
-                    for (std::int64_t ow = 0; ow < out_w; ++ow) {
-                        const std::int64_t iw =
-                            ow * geom.stride_w - geom.pad_w + kw;
-                        out_row[oh * out_w + ow] =
-                            (iw < 0 || iw >= geom.in_w) ? 0.0f : img_row[iw];
-                    }
+    const std::int64_t kernel = geom.kernel_h * geom.kernel_w;
+    const std::int64_t rows = geom.in_c * kernel;
+    // Each (c, kh, kw) triple owns one disjoint output row of `columns`,
+    // so the row range parallelizes with no synchronization.
+    parallelFor(0, rows, chooseGrain(rows, 1),
+                [&, out_h, out_w](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t row = r0; row < r1; ++row) {
+            const std::int64_t c = row / kernel;
+            const std::int64_t kh = (row / geom.kernel_w) % geom.kernel_h;
+            const std::int64_t kw = row % geom.kernel_w;
+            float *out_row = columns + row * (out_h * out_w);
+            const float *img_plane = image + c * geom.in_h * geom.in_w;
+            for (std::int64_t oh = 0; oh < out_h; ++oh) {
+                const std::int64_t ih =
+                    oh * geom.stride_h - geom.pad_h + kh;
+                if (ih < 0 || ih >= geom.in_h) {
+                    for (std::int64_t ow = 0; ow < out_w; ++ow)
+                        out_row[oh * out_w + ow] = 0.0f;
+                    continue;
+                }
+                const float *img_row = img_plane + ih * geom.in_w;
+                for (std::int64_t ow = 0; ow < out_w; ++ow) {
+                    const std::int64_t iw =
+                        ow * geom.stride_w - geom.pad_w + kw;
+                    out_row[oh * out_w + ow] =
+                        (iw < 0 || iw >= geom.in_w) ? 0.0f : img_row[iw];
                 }
             }
         }
-    }
+    });
 }
 
 void
@@ -39,28 +46,38 @@ col2im(const ConvGeometry &geom, const float *columns, float *image)
 {
     const std::int64_t out_h = geom.outH();
     const std::int64_t out_w = geom.outW();
-    std::int64_t row = 0;
-    for (std::int64_t c = 0; c < geom.in_c; ++c) {
-        for (std::int64_t kh = 0; kh < geom.kernel_h; ++kh) {
-            for (std::int64_t kw = 0; kw < geom.kernel_w; ++kw, ++row) {
-                const float *in_row = columns + row * (out_h * out_w);
-                float *img_plane = image + c * geom.in_h * geom.in_w;
-                for (std::int64_t oh = 0; oh < out_h; ++oh) {
-                    const std::int64_t ih =
-                        oh * geom.stride_h - geom.pad_h + kh;
-                    if (ih < 0 || ih >= geom.in_h)
-                        continue;
-                    float *img_row = img_plane + ih * geom.in_w;
-                    for (std::int64_t ow = 0; ow < out_w; ++ow) {
-                        const std::int64_t iw =
-                            ow * geom.stride_w - geom.pad_w + kw;
-                        if (iw >= 0 && iw < geom.in_w)
-                            img_row[iw] += in_row[oh * out_w + ow];
+    // col2im scatters with += : different (kh, kw) rows of the same
+    // channel overlap in the image, but different *channels* never do,
+    // so the channel axis is the widest race-free parallel unit. The
+    // per-channel (kh, kw, oh, ow) accumulation order matches the serial
+    // code exactly, keeping results bitwise-identical at any thread
+    // count.
+    parallelFor(0, geom.in_c, 1,
+                [&, out_h, out_w](std::int64_t c0, std::int64_t c1) {
+        for (std::int64_t c = c0; c < c1; ++c) {
+            float *img_plane = image + c * geom.in_h * geom.in_w;
+            std::int64_t row = c * geom.kernel_h * geom.kernel_w;
+            for (std::int64_t kh = 0; kh < geom.kernel_h; ++kh) {
+                for (std::int64_t kw = 0; kw < geom.kernel_w;
+                     ++kw, ++row) {
+                    const float *in_row = columns + row * (out_h * out_w);
+                    for (std::int64_t oh = 0; oh < out_h; ++oh) {
+                        const std::int64_t ih =
+                            oh * geom.stride_h - geom.pad_h + kh;
+                        if (ih < 0 || ih >= geom.in_h)
+                            continue;
+                        float *img_row = img_plane + ih * geom.in_w;
+                        for (std::int64_t ow = 0; ow < out_w; ++ow) {
+                            const std::int64_t iw =
+                                ow * geom.stride_w - geom.pad_w + kw;
+                            if (iw >= 0 && iw < geom.in_w)
+                                img_row[iw] += in_row[oh * out_w + ow];
+                        }
                     }
                 }
             }
         }
-    }
+    });
 }
 
 } // namespace gist

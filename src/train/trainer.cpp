@@ -6,6 +6,7 @@
 #include "tensor/ops.hpp"
 
 #include "util/logging.hpp"
+#include "util/parallel.hpp"
 
 namespace gist {
 
@@ -129,6 +130,8 @@ Trainer::evaluate(const SyntheticDataset &data, std::int64_t batch_size)
 std::vector<EpochRecord>
 Trainer::run(const SyntheticDataset &data, const TrainConfig &config)
 {
+    if (config.num_threads > 0)
+        setNumThreads(config.num_threads);
     Graph &graph = exec.graph();
     Tensor batch(graph.node(0).out_shape);
     GIST_ASSERT(batch.shape().n() == config.batch_size,

@@ -28,6 +28,11 @@ struct TrainConfig
     float clip_grad_norm = 0.0f;
     /** L2 weight decay coefficient (0 = off). */
     float weight_decay = 0.0f;
+    /**
+     * Thread-pool size for the run (>= 1 forces it; 0 keeps the global
+     * setting, auto-resolved from GIST_THREADS / hardware concurrency).
+     */
+    int num_threads = 0;
     /** Called after every minibatch (step index, executor). */
     std::function<void(std::int64_t, Executor &)> after_step;
 };

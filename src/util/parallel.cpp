@@ -1,0 +1,289 @@
+#include "util/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/bits.hpp"
+#include "util/logging.hpp"
+
+namespace gist {
+
+namespace {
+
+/** Set while a thread runs chunks of a job, so nested parallelFor()
+ *  calls execute inline instead of re-entering (and deadlocking) the
+ *  pool. */
+thread_local bool tls_in_worker = false;
+
+/**
+ * One in-flight parallelFor: a statically chunked range plus an atomic
+ * cursor. Which thread claims which chunk is scheduling noise; the chunk
+ * boundaries themselves are fixed, which is what determinism needs.
+ */
+struct Job
+{
+    std::int64_t begin = 0;
+    std::int64_t grain = 1;
+    std::int64_t end = 0;
+    std::int64_t num_chunks = 0;
+    const RangeFn *fn = nullptr;
+    std::atomic<std::int64_t> next_chunk{ 0 };
+    std::atomic<std::int64_t> done_chunks{ 0 };
+    int workers_inside = 0; ///< guarded by the pool's wake_mu_
+    std::exception_ptr error;
+    std::mutex error_mu;
+
+    /** Claim and run chunks until none remain. */
+    void
+    work()
+    {
+        for (;;) {
+            const std::int64_t c =
+                next_chunk.fetch_add(1, std::memory_order_relaxed);
+            if (c >= num_chunks)
+                return;
+            const std::int64_t lo = begin + c * grain;
+            const std::int64_t hi = std::min(end, lo + grain);
+            try {
+                (*fn)(lo, hi);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mu);
+                if (!error)
+                    error = std::current_exception();
+            }
+            done_chunks.fetch_add(1, std::memory_order_release);
+        }
+    }
+
+    bool
+    finished() const
+    {
+        return done_chunks.load(std::memory_order_acquire) == num_chunks;
+    }
+};
+
+/**
+ * Persistent worker pool. Workers sleep on a condition variable between
+ * jobs; parallelFor publishes one Job at a time (callers serialize on
+ * job_mu_, so independent subsystems can share the pool safely). A job
+ * generation counter tells sleeping workers a *new* job arrived, so a
+ * worker that already drained the current job does not busy-spin on it.
+ */
+class ThreadPool
+{
+  public:
+    static ThreadPool &
+    instance()
+    {
+        static ThreadPool pool;
+        return pool;
+    }
+
+    int
+    numThreads()
+    {
+        std::lock_guard<std::mutex> lock(resize_mu_);
+        return threads_;
+    }
+
+    void
+    resize(int n)
+    {
+        std::lock_guard<std::mutex> lock(resize_mu_);
+        const int resolved = resolveThreadCount(n);
+        if (resolved == threads_)
+            return;
+        stopWorkers();
+        threads_ = resolved;
+        startWorkers();
+    }
+
+    void
+    run(std::int64_t begin, std::int64_t end, std::int64_t grain,
+        const RangeFn &fn)
+    {
+        Job job;
+        job.begin = begin;
+        job.end = end;
+        job.grain = grain;
+        job.num_chunks = ceilDiv(end - begin, grain);
+        job.fn = &fn;
+
+        // One parallelFor at a time; a second caller blocks here until
+        // the pool frees up rather than interleaving two jobs.
+        std::lock_guard<std::mutex> job_lock(job_mu_);
+        {
+            std::lock_guard<std::mutex> lock(wake_mu_);
+            current_ = &job;
+            ++job_gen_;
+        }
+        wake_cv_.notify_all();
+
+        // The caller is a full participant: with a busy pool it still
+        // makes progress, and tiny jobs often finish before any worker
+        // even wakes. Mark it a worker so nested calls run inline.
+        tls_in_worker = true;
+        job.work();
+        tls_in_worker = false;
+
+        // Retire the job only once no worker can still touch it (the
+        // job lives on this stack frame).
+        {
+            std::unique_lock<std::mutex> lock(wake_mu_);
+            done_cv_.wait(lock, [&] {
+                return job.finished() && job.workers_inside == 0;
+            });
+            current_ = nullptr;
+        }
+        if (job.error)
+            std::rethrow_exception(job.error);
+    }
+
+  private:
+    ThreadPool() { resize(0); }
+
+    ~ThreadPool()
+    {
+        std::lock_guard<std::mutex> lock(resize_mu_);
+        stopWorkers();
+    }
+
+    void
+    startWorkers()
+    {
+        // threads_ counts the caller, so spawn threads_ - 1 workers.
+        stop_ = false;
+        for (int i = 1; i < threads_; ++i)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+
+    void
+    stopWorkers()
+    {
+        {
+            std::lock_guard<std::mutex> lock(wake_mu_);
+            stop_ = true;
+        }
+        wake_cv_.notify_all();
+        for (auto &t : workers_)
+            t.join();
+        workers_.clear();
+    }
+
+    void
+    workerLoop()
+    {
+        tls_in_worker = true;
+        std::uint64_t seen_gen = 0;
+        for (;;) {
+            Job *job = nullptr;
+            {
+                std::unique_lock<std::mutex> lock(wake_mu_);
+                wake_cv_.wait(lock, [&] {
+                    return stop_ ||
+                           (current_ != nullptr && job_gen_ != seen_gen);
+                });
+                if (stop_)
+                    return;
+                job = current_;
+                seen_gen = job_gen_;
+                ++job->workers_inside;
+            }
+            job->work();
+            {
+                std::lock_guard<std::mutex> lock(wake_mu_);
+                --job->workers_inside;
+            }
+            // The caller's predicate reads done_chunks and
+            // workers_inside; taking wake_mu_ above orders this notify
+            // after its predicate check, so the wakeup cannot be lost.
+            done_cv_.notify_all();
+        }
+    }
+
+    std::mutex resize_mu_; ///< guards threads_ / workers_
+    std::mutex job_mu_;    ///< serializes parallelFor callers
+    std::mutex wake_mu_;   ///< guards current_ / job_gen_ / stop_
+    std::condition_variable wake_cv_;
+    std::condition_variable done_cv_;
+    std::vector<std::thread> workers_;
+    Job *current_ = nullptr;
+    std::uint64_t job_gen_ = 0;
+    bool stop_ = false;
+    int threads_ = 0;
+};
+
+} // namespace
+
+int
+resolveThreadCount(int requested)
+{
+    if (requested >= 1)
+        return requested;
+    if (const char *env = std::getenv("GIST_THREADS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v >= 1)
+            return static_cast<int>(v);
+        GIST_WARN("ignoring bad GIST_THREADS value '", env, "'");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+void
+setNumThreads(int n)
+{
+    ThreadPool::instance().resize(n);
+}
+
+int
+numThreads()
+{
+    return ThreadPool::instance().numThreads();
+}
+
+void
+parallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
+            const RangeFn &fn)
+{
+    if (end <= begin)
+        return;
+    if (grain <= 0)
+        grain = 1;
+    // Inline fast paths: single chunk or nested call.
+    if (end - begin <= grain || tls_in_worker) {
+        fn(begin, end);
+        return;
+    }
+    ThreadPool &pool = ThreadPool::instance();
+    if (pool.numThreads() <= 1) {
+        // Still chunked: the 1-thread path must traverse the identical
+        // chunk sequence so kernels see the same boundaries at any count.
+        for (std::int64_t lo = begin; lo < end; lo += grain)
+            fn(lo, std::min(end, lo + grain));
+        return;
+    }
+    pool.run(begin, end, grain, fn);
+}
+
+std::int64_t
+chooseGrain(std::int64_t range, std::int64_t min_grain, std::int64_t align)
+{
+    GIST_ASSERT(min_grain > 0 && align > 0, "bad grain parameters");
+    // Grain scales with the pool size, so chunk *boundaries* differ
+    // across thread counts. Kernels built on chooseGrain must therefore
+    // compute each output element independently of its chunk (true for
+    // every use in this codebase); kernels whose reduction order follows
+    // chunk boundaries should pass a fixed grain to parallelFor instead.
+    const auto threads = static_cast<std::int64_t>(numThreads());
+    std::int64_t grain = std::max(min_grain, ceilDiv(range, threads * 4));
+    grain = roundUp(grain, align);
+    return grain;
+}
+
+} // namespace gist

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared parallel-execution layer: a persistent thread pool plus a
+ * chunked parallelFor() used by every hot path (gemm, im2col, the
+ * encoders, elementwise ops).
+ *
+ * Determinism contract: parallelFor() statically partitions [begin, end)
+ * into fixed chunks of at most @p grain iterations. Chunk boundaries
+ * depend only on (begin, end, grain) — never on the number of threads or
+ * on scheduling order — so a kernel whose chunks write disjoint output
+ * ranges produces bitwise-identical results at any thread count,
+ * including the inline single-thread fallback.
+ *
+ * Thread count resolution (first use, or after setNumThreads(0)):
+ *   1. explicit setNumThreads(n) with n >= 1 wins;
+ *   2. else the GIST_THREADS environment variable;
+ *   3. else std::thread::hardware_concurrency().
+ * A resolved count of 1 disables the pool entirely: parallelFor() runs
+ * inline on the caller's thread with zero synchronization.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace gist {
+
+/** Loop body for parallelFor: processes the half-open range [begin, end). */
+using RangeFn = std::function<void(std::int64_t begin, std::int64_t end)>;
+
+/**
+ * Resolve a requested thread count: @p requested >= 1 is taken verbatim;
+ * 0 (or negative) consults GIST_THREADS, then hardware_concurrency().
+ */
+int resolveThreadCount(int requested);
+
+/**
+ * Set the global worker count. n >= 1 forces exactly n threads (1 means
+ * fully inline execution); n <= 0 re-resolves from the environment.
+ * Recreates the persistent pool; cheap if the count is unchanged.
+ */
+void setNumThreads(int n);
+
+/** Current global thread count (resolving the default on first call). */
+int numThreads();
+
+/**
+ * Run fn over [begin, end) in chunks of at most @p grain iterations,
+ * spread across the persistent pool. Blocks until every chunk finished.
+ *
+ * - Chunking is static (see file comment): safe for bitwise-deterministic
+ *   kernels as long as chunks write disjoint outputs.
+ * - The calling thread participates, so a 1-thread pool (or a range that
+ *   fits one chunk) degenerates to a plain function call.
+ * - Nested calls from inside a worker run inline on that worker — no
+ *   deadlock, no thread explosion.
+ * - @p grain <= 0 is treated as 1.
+ */
+void parallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                 const RangeFn &fn);
+
+/**
+ * Convenience: pick a grain that yields roughly 4 chunks per thread
+ * (load-balance slack without per-chunk overhead dominating), but never
+ * below @p min_grain, and snap it up to a multiple of @p align so chunk
+ * boundaries respect packed-word layouts (8 values/byte for binarize,
+ * 3 values/word for FP10, ...).
+ */
+std::int64_t chooseGrain(std::int64_t range, std::int64_t min_grain,
+                         std::int64_t align = 1);
+
+} // namespace gist
