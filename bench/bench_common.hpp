@@ -7,8 +7,11 @@
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -47,13 +50,27 @@ note(const std::string &text)
     std::printf("note: %s\n", text.c_str());
 }
 
+/** Render a byte count for a table cell (delegates to formatBytes). */
 inline std::string
 mb(std::uint64_t bytes)
 {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.1f MB",
-                  static_cast<double>(bytes) / (1024.0 * 1024.0));
-    return buf;
+    return formatBytes(bytes);
+}
+
+/**
+ * Scan argv for `--trace <path>` / `--metrics <path>` and enable the
+ * corresponding observability sink. Complements the GIST_TRACE /
+ * GIST_METRICS env vars for binaries that take no other arguments.
+ */
+inline void
+applyObsFlags(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace") == 0)
+            obs::traceStart(argv[++i]);
+        else if (std::strcmp(argv[i], "--metrics") == 0)
+            obs::metricsOpen(argv[++i]);
+    }
 }
 
 } // namespace gist::bench

@@ -42,10 +42,9 @@ main()
         const auto optimized = planModel(g, opt, sparsity);
         const auto rec =
             simulateRecompute(g, sqrtCheckpointInterval(g), params);
-        char rec_text[64];
-        std::snprintf(rec_text, sizeof(rec_text), "%.2fx (%.0f%%)",
-                      s / static_cast<double>(rec.footprint),
-                      rec.overhead_fraction * 100.0);
+        const std::string rec_text =
+            formatRatio(s / static_cast<double>(rec.footprint)) + " (" +
+            formatPercent(rec.overhead_fraction) + ")";
         table.addRow({ "DenseNet-BC L=" + std::to_string(layers * 3),
                        bench::mb(base.pool_static),
                        formatRatio(s / lossless.pool_static),

@@ -49,8 +49,9 @@ measureSecondsPerMinibatch(const models::ModelEntry &entry,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::applyObsFlags(argc, argv);
     bench::banner("Figure 9", "performance overhead of Gist encodings",
                   "~3% lossless, ~4% lossless+lossy on average; "
                   "max 7% (VGG16)");

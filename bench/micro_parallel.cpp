@@ -28,6 +28,7 @@
 #include "tensor/gemm.hpp"
 #include "tensor/im2col.hpp"
 #include "util/parallel.hpp"
+#include "util/stats.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -282,7 +283,8 @@ main(int argc, char **argv)
         worst = std::min(worst, r.speedup());
     }
     std::printf("bitwise determinism: %s\n", all_ok ? "PASS" : "FAIL");
-    std::printf("min speedup: %.2fx at %d threads\n", worst, par);
+    std::printf("min speedup: %s at %d threads\n",
+                gist::formatRatio(worst).c_str(), par);
 
     if (!json_path.empty()) {
         std::FILE *f = std::fopen(json_path.c_str(), "w");

@@ -6,6 +6,12 @@
  * encodings. Optionally dumps the memory trace as CSV:
  *
  *   profile_training [trace.csv]
+ *
+ * With GIST_TRACE=<file.json> and/or GIST_METRICS=<file.jsonl> set, a
+ * short training run is added so both observability artifacts cover the
+ * full step/epoch loop:
+ *
+ *   GIST_TRACE=trace.json GIST_METRICS=metrics.jsonl ./profile_training
  */
 
 #include <algorithm>
@@ -14,6 +20,9 @@
 
 #include "core/gist.hpp"
 #include "models/tiny.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "train/trainer.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -109,6 +118,42 @@ main(int argc, char **argv)
                 << gist.trace[i].second << '\n';
         std::printf("\nwrote %zu trace rows to %s\n", trace.size(),
                     argv[1]);
+    }
+
+    // With a tracer or metrics sink open, run a few real training steps
+    // so the artifacts cover the trainer's step/epoch loop too.
+    if (obs::traceEnabled() || obs::metricsEnabled()) {
+        std::printf("\nshort training run for the observability "
+                    "artifacts...\n");
+        Graph tg = models::tinyVgg(32);
+        Rng rng(3);
+        tg.initParams(rng);
+        Executor exec(tg);
+        applyToExecutor(
+            buildSchedule(tg, GistConfig::lossy(DprFormat::Fp16)), exec);
+        Trainer trainer(exec);
+
+        SyntheticDataset::Spec spec;
+        spec.num_train = 96;
+        spec.num_eval = 32;
+        spec.classes = models::kTinyClasses;
+        spec.image = models::kTinyImage;
+        SyntheticDataset data(spec);
+
+        TrainConfig tc;
+        tc.epochs = 1;
+        trainer.run(data, tc);
+
+        if (obs::metricsEnabled())
+            std::printf("step metrics: %s\n", obs::metricsPath().c_str());
+        if (obs::traceEnabled()) {
+            const std::string path = obs::tracePath();
+            obs::traceStop(); // writes the Chrome trace now
+            if (!path.empty())
+                std::printf("trace: %s (open in chrome://tracing or "
+                            "ui.perfetto.dev)\n",
+                            path.c_str());
+        }
     }
     return 0;
 }

@@ -1,15 +1,20 @@
 #!/usr/bin/env bash
 # Run the thread-scaling microbenchmark and record its JSON so the
-# scaling trajectory can be tracked across PRs.
+# scaling trajectory can be tracked across PRs. Each run is also
+# appended (one compact JSON object per line, stamped with commit and
+# UTC date) to a trajectory file at the repo root.
 #
-# Usage: scripts/run_micro_parallel.sh [build-dir] [threads] [out.json]
-#   build-dir  defaults to build
-#   threads    defaults to 0 (auto: GIST_THREADS env, then hardware)
-#   out.json   defaults to <build-dir>/bench/micro_parallel.json
+# Usage: scripts/run_micro_parallel.sh [build-dir] [threads] [out.json] [trajectory]
+#   build-dir   defaults to build
+#   threads     defaults to 0 (auto: GIST_THREADS env, then hardware)
+#   out.json    defaults to <build-dir>/bench/micro_parallel.json
+#   trajectory  defaults to <repo-root>/BENCH_parallel.json
 set -euo pipefail
 build="${1:-build}"
 threads="${2:-0}"
 out="${3:-$build/bench/micro_parallel.json}"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+trajectory="${4:-$repo_root/BENCH_parallel.json}"
 
 bin="$build/bench/micro_parallel"
 [ -x "$bin" ] || {
@@ -19,3 +24,20 @@ bin="$build/bench/micro_parallel"
 
 "$bin" "$threads" --json "$out"
 echo "scaling record: $out"
+
+if command -v python3 >/dev/null 2>&1; then
+    commit="$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+    out="$out" trajectory="$trajectory" commit="$commit" python3 - <<'EOF'
+import json, os, datetime
+
+record = json.load(open(os.environ["out"]))
+record["commit"] = os.environ["commit"]
+record["date"] = datetime.datetime.now(datetime.timezone.utc).strftime(
+    "%Y-%m-%dT%H:%M:%SZ")
+with open(os.environ["trajectory"], "a") as f:
+    f.write(json.dumps(record, separators=(",", ":")) + "\n")
+EOF
+    echo "trajectory: $trajectory ($(wc -l < "$trajectory") runs)"
+else
+    echo "warning: python3 not found, trajectory file not updated" >&2
+fi

@@ -11,6 +11,8 @@
 
 #pragma once
 
+#include <string>
+
 #include "encodings/csr.hpp"
 #include "encodings/dpr.hpp"
 
@@ -40,6 +42,18 @@ struct GistConfig
      * Trainer::run().
      */
     int num_threads = 0;
+    /**
+     * Chrome trace-event JSON output file. Non-empty starts the span
+     * tracer in applyToExecutor(); the file is written on traceStop()
+     * or at process exit. Equivalent to setting GIST_TRACE=<path>.
+     */
+    std::string trace_path;
+    /**
+     * JSONL metrics sink (one record per trainer step/epoch). Non-empty
+     * opens the sink in applyToExecutor(). Equivalent to
+     * GIST_METRICS=<path>.
+     */
+    std::string metrics_path;
 
     /** No optimizations: the CNTK baseline. */
     static GistConfig baseline() { return GistConfig{}; }

@@ -2,6 +2,8 @@
 
 #include "layers/pool.hpp"
 #include "layers/relu.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 
 namespace gist {
@@ -122,6 +124,10 @@ applyToExecutor(const BuiltSchedule &schedule, Executor &exec)
     }
     exec.setElideDecode(schedule.config.elide_decode_buffer);
     exec.setNumThreads(schedule.config.num_threads);
+    if (!schedule.config.trace_path.empty())
+        obs::traceStart(schedule.config.trace_path);
+    if (!schedule.config.metrics_path.empty())
+        obs::metricsOpen(schedule.config.metrics_path);
     exec.refreshSchedule();
 }
 

@@ -1,5 +1,6 @@
 #include "encodings/binarize.hpp"
 
+#include "obs/trace.hpp"
 #include "util/bits.hpp"
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
@@ -15,6 +16,7 @@ binarizeBytes(std::int64_t numel)
 void
 BinarizedMask::encode(std::span<const float> values)
 {
+    GIST_TRACE_SCOPE("codec", "binarize encode");
     numel_ = static_cast<std::int64_t>(values.size());
     bits.assign(static_cast<size_t>(binarizeBytes(numel_)), 0);
     // Parallel over output *bytes*: each byte packs 8 input values, so

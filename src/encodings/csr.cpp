@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "obs/trace.hpp"
 #include "util/bits.hpp"
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
@@ -70,6 +71,7 @@ csrBreakEvenSparsity(const CsrConfig &cfg)
 void
 CsrBuffer::encode(std::span<const float> values)
 {
+    GIST_TRACE_SCOPE("codec", "csr encode");
     checkConfig(config);
     numel_ = static_cast<std::int64_t>(values.size());
     const std::int64_t rows = ceilDiv<std::int64_t>(numel_,
@@ -134,6 +136,7 @@ CsrBuffer::encode(std::span<const float> values)
 void
 CsrBuffer::decode(std::span<float> out) const
 {
+    GIST_TRACE_SCOPE("codec", "csr decode");
     GIST_ASSERT(static_cast<std::int64_t>(out.size()) == numel_,
                 "decode target has ", out.size(), " elements, encoded ",
                 numel_);

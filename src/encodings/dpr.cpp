@@ -3,6 +3,7 @@
 #include <bit>
 #include <cstring>
 
+#include "obs/trace.hpp"
 #include "util/bits.hpp"
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
@@ -69,6 +70,7 @@ dprEncodedBytes(DprFormat fmt, std::int64_t numel)
 void
 DprBuffer::encode(DprFormat fmt, std::span<const float> values)
 {
+    GIST_TRACE_SCOPE_F("codec", "dpr encode %s", dprFormatName(fmt));
     format_ = fmt;
     numel_ = static_cast<std::int64_t>(values.size());
     const int per_word = dprValuesPerWord(fmt);
@@ -107,6 +109,7 @@ DprBuffer::encode(DprFormat fmt, std::span<const float> values)
 void
 DprBuffer::decode(std::span<float> out) const
 {
+    GIST_TRACE_SCOPE_F("codec", "dpr decode %s", dprFormatName(format_));
     GIST_ASSERT(static_cast<std::int64_t>(out.size()) == numel_,
                 "decode target has ", out.size(), " elements, encoded ",
                 numel_);

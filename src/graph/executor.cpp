@@ -1,13 +1,24 @@
 #include "graph/executor.hpp"
 
 #include <chrono>
+#include <cmath>
 
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
 
 namespace gist {
 
 namespace {
+
+std::uint64_t
+nanosSince(std::chrono::steady_clock::time_point t0)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+}
 
 double
 secondsSince(std::chrono::steady_clock::time_point t0)
@@ -18,6 +29,31 @@ secondsSince(std::chrono::steady_clock::time_point t0)
 }
 
 } // namespace
+
+Executor::Telemetry::Telemetry()
+    : encode_ns(obs::MetricRegistry::instance().counter("gist.encode.ns")),
+      decode_ns(obs::MetricRegistry::instance().counter("gist.decode.ns")),
+      encoded_bytes(
+          obs::MetricRegistry::instance().counter("gist.encode.bytes")),
+      dense_bytes_replaced(obs::MetricRegistry::instance().counter(
+          "gist.encode.dense_bytes_replaced")),
+      csr_encoded_bytes(
+          obs::MetricRegistry::instance().counter("gist.csr.encoded_bytes")),
+      csr_dense_bytes(
+          obs::MetricRegistry::instance().counter("gist.csr.dense_bytes")),
+      dpr_encoded_bytes(
+          obs::MetricRegistry::instance().counter("gist.dpr.encoded_bytes")),
+      dpr_dense_bytes(
+          obs::MetricRegistry::instance().counter("gist.dpr.dense_bytes")),
+      sparsity_zero_elems(
+          obs::MetricRegistry::instance().counter("gist.sparsity.zero_elems")),
+      sparsity_total_elems(obs::MetricRegistry::instance().counter(
+          "gist.sparsity.total_elems")),
+      minibatches(
+          obs::MetricRegistry::instance().counter("gist.exec.minibatches")),
+      pool_bytes(obs::MetricRegistry::instance().gauge("gist.fmap_pool.bytes"))
+{
+}
 
 Executor::Executor(Graph &graph)
     : graph_(graph), states(static_cast<size_t>(graph.numNodes()))
@@ -63,15 +99,16 @@ Executor::schedule() const
 void
 Executor::meterAdd(std::uint64_t bytes)
 {
-    meter_current += bytes;
-    meter_peak = std::max(meter_peak, meter_current);
+    tele.pool_bytes.add(static_cast<std::int64_t>(bytes));
 }
 
 void
 Executor::meterSub(std::uint64_t bytes)
 {
-    GIST_ASSERT(meter_current >= bytes, "memory meter underflow");
-    meter_current -= bytes;
+    GIST_ASSERT(tele.pool_bytes.current() >=
+                    static_cast<std::int64_t>(bytes),
+                "memory meter underflow");
+    tele.pool_bytes.sub(static_cast<std::int64_t>(bytes));
 }
 
 std::uint64_t
@@ -127,8 +164,14 @@ Executor::retireAfterForward(NodeId id)
         return; // already retired (e.g. node feeding the same consumer
                 // through two edges)
 
-    if (collect_sparsity)
+    if (collect_sparsity) {
         st.sparsity = st.value.sparsity();
+        tele.sparsity_zero_elems.add(static_cast<std::uint64_t>(
+            std::llround(st.sparsity *
+                         static_cast<double>(st.value.numel()))));
+        tele.sparsity_total_elems.add(
+            static_cast<std::uint64_t>(st.value.numel()));
+    }
 
     if (!sched->stashed(id)) {
         meterSub(st.value.bytes());
@@ -141,13 +184,17 @@ Executor::retireAfterForward(NodeId id)
       case StashPlan::Repr::Dense:
         return; // stays materialized until its last backward read
       case StashPlan::Repr::Csr: {
+        GIST_TRACE_SCOPE_F("encode", "encode csr %s",
+                           graph_.node(id).name.c_str());
         const auto t0 = std::chrono::steady_clock::now();
         st.csr = CsrBuffer(st.plan.csr);
         st.csr.encode(st.value.span());
-        last_stats.encode_seconds += secondsSince(t0);
+        tele.encode_ns.add(nanosSince(t0));
         st.csr_ratio = st.csr.compressionRatio();
-        last_stats.encoded_bytes += st.csr.bytes();
-        last_stats.dense_bytes_replaced += st.value.bytes();
+        tele.encoded_bytes.add(st.csr.bytes());
+        tele.dense_bytes_replaced.add(st.value.bytes());
+        tele.csr_encoded_bytes.add(st.csr.bytes());
+        tele.csr_dense_bytes.add(st.value.bytes());
         meterAdd(st.csr.bytes());
         meterSub(st.value.bytes());
         st.value.releaseStorage();
@@ -155,11 +202,15 @@ Executor::retireAfterForward(NodeId id)
         return;
       }
       case StashPlan::Repr::Dpr: {
+        GIST_TRACE_SCOPE_F("encode", "encode dpr %s",
+                           graph_.node(id).name.c_str());
         const auto t0 = std::chrono::steady_clock::now();
         st.dpr.encode(st.plan.dpr, st.value.span());
-        last_stats.encode_seconds += secondsSince(t0);
-        last_stats.encoded_bytes += st.dpr.bytes();
-        last_stats.dense_bytes_replaced += st.value.bytes();
+        tele.encode_ns.add(nanosSince(t0));
+        tele.encoded_bytes.add(st.dpr.bytes());
+        tele.dense_bytes_replaced.add(st.value.bytes());
+        tele.dpr_encoded_bytes.add(st.dpr.bytes());
+        tele.dpr_dense_bytes.add(st.value.bytes());
         meterAdd(st.dpr.bytes());
         meterSub(st.value.bytes());
         st.value.releaseStorage();
@@ -177,6 +228,9 @@ Executor::materialize(NodeId id)
         return;
     GIST_ASSERT(st.state == BufState::Encoded, "node ", id,
                 " has no stashed value to materialize");
+    GIST_TRACE_SCOPE_F("decode", "decode %s %s",
+                       st.plan.repr == StashPlan::Repr::Csr ? "csr" : "dpr",
+                       graph_.node(id).name.c_str());
     const auto t0 = std::chrono::steady_clock::now();
     st.value.reallocate();
     meterAdd(st.value.bytes());
@@ -189,7 +243,7 @@ Executor::materialize(NodeId id)
         meterSub(st.dpr.bytes());
         st.dpr.clear();
     }
-    last_stats.decode_seconds += secondsSince(t0);
+    tele.decode_ns.add(nanosSince(t0));
     st.state = BufState::Dense;
 }
 
@@ -242,6 +296,7 @@ Executor::forwardOnly(const Tensor &input)
                 ctx.inputs.push_back(&states[static_cast<size_t>(in)].value);
             ctx.output = &st.value;
             ctx.training = false;
+            GIST_TRACE_SCOPE_F("fwd", "fwd %s", node.name.c_str());
             node.layer->forward(ctx);
         }
         st.state = BufState::Dense;
@@ -254,9 +309,16 @@ Executor::runMinibatch(const Tensor &input,
 {
     if (!sched)
         refreshSchedule();
+    GIST_TRACE_SCOPE("exec", "minibatch");
     last_stats = ExecStats{};
-    meter_current = 0;
-    meter_peak = 0;
+    tele.minibatches.add(1);
+    // Per-run deltas of the shared instruments (see ExecStats docs).
+    const std::uint64_t encode_ns0 = tele.encode_ns.value();
+    const std::uint64_t decode_ns0 = tele.decode_ns.value();
+    const std::uint64_t encoded_bytes0 = tele.encoded_bytes.value();
+    const std::uint64_t dense_replaced0 = tele.dense_bytes_replaced.value();
+    tele.pool_bytes.set(0);
+    tele.pool_bytes.resetPeak();
     memory_trace.clear();
 
     const auto n = graph_.numNodes();
@@ -292,7 +354,10 @@ Executor::runMinibatch(const Tensor &input,
             ctx.output = &st.value;
             ctx.training = true;
             const auto t_fwd = std::chrono::steady_clock::now();
-            node.layer->forward(ctx);
+            {
+                GIST_TRACE_SCOPE_F("fwd", "fwd %s", node.name.c_str());
+                node.layer->forward(ctx);
+            }
             if (profile)
                 st.fwd_seconds = secondsSince(t_fwd);
             meterAdd(auxBytesOf(id)); // masks/maps/BN stats captured
@@ -309,7 +374,9 @@ Executor::runMinibatch(const Tensor &input,
                 retireAfterForward(in);
         if (sched->lastFwdRead(id) == graph_.fwdStep(id))
             retireAfterForward(id);
-        memory_trace.emplace_back(graph_.fwdStep(id), meter_current);
+        memory_trace.emplace_back(
+            graph_.fwdStep(id),
+            static_cast<std::uint64_t>(tele.pool_bytes.current()));
     }
 
     // ---- Backward pass ----
@@ -367,7 +434,10 @@ Executor::runMinibatch(const Tensor &input,
         }
 
         const auto t_bwd = std::chrono::steady_clock::now();
-        node.layer->backward(ctx);
+        {
+            GIST_TRACE_SCOPE_F("bwd", "bwd %s", node.name.c_str());
+            node.layer->backward(ctx);
+        }
         if (profile)
             states[static_cast<size_t>(i)].bwd_seconds =
                 secondsSince(t_bwd);
@@ -395,11 +465,20 @@ Executor::runMinibatch(const Tensor &input,
                 releaseStash(in);
         if (sched->stashed(id) && sched->lastBwdRead(id) == step)
             releaseStash(id);
-        memory_trace.emplace_back(step, meter_current);
+        memory_trace.emplace_back(
+            step, static_cast<std::uint64_t>(tele.pool_bytes.current()));
     }
 
     last_stats.loss = loss_layer->lastLoss();
-    last_stats.peak_pool_bytes = meter_peak;
+    last_stats.encode_seconds =
+        static_cast<double>(tele.encode_ns.value() - encode_ns0) * 1e-9;
+    last_stats.decode_seconds =
+        static_cast<double>(tele.decode_ns.value() - decode_ns0) * 1e-9;
+    last_stats.encoded_bytes = tele.encoded_bytes.value() - encoded_bytes0;
+    last_stats.dense_bytes_replaced =
+        tele.dense_bytes_replaced.value() - dense_replaced0;
+    last_stats.peak_pool_bytes =
+        static_cast<std::uint64_t>(tele.pool_bytes.peak());
     return last_stats.loss;
 }
 

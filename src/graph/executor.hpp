@@ -24,6 +24,7 @@
 #include "encodings/csr.hpp"
 #include "encodings/dpr.hpp"
 #include "graph/graph.hpp"
+#include "obs/counters.hpp"
 
 namespace gist {
 
@@ -45,7 +46,14 @@ struct StashPlan
     DprFormat dpr = DprFormat::Fp32;   ///< for Repr::Dpr
 };
 
-/** Per-minibatch execution statistics. */
+/**
+ * Per-minibatch execution statistics.
+ *
+ * These are per-run *views* of the process-global instruments in
+ * obs::MetricRegistry ("gist.encode.bytes", "gist.fmap_pool.bytes", ...):
+ * the executor snapshots the registry at minibatch start and stores the
+ * deltas here, so per-run numbers and cumulative telemetry always agree.
+ */
 struct ExecStats
 {
     float loss = 0.0f;
@@ -173,6 +181,29 @@ class Executor
     void meterSub(std::uint64_t bytes);
     std::uint64_t auxBytesOf(NodeId id) const;
 
+    /**
+     * Registry-backed instruments (see ExecStats). The memory meter is
+     * the "gist.fmap_pool.bytes" gauge; encode/decode time and byte
+     * counters split per encoding so compression ratios are derivable
+     * from the registry alone.
+     */
+    struct Telemetry
+    {
+        Telemetry();
+        obs::Counter &encode_ns;
+        obs::Counter &decode_ns;
+        obs::Counter &encoded_bytes;
+        obs::Counter &dense_bytes_replaced;
+        obs::Counter &csr_encoded_bytes;
+        obs::Counter &csr_dense_bytes;
+        obs::Counter &dpr_encoded_bytes;
+        obs::Counter &dpr_dense_bytes;
+        obs::Counter &sparsity_zero_elems;
+        obs::Counter &sparsity_total_elems;
+        obs::Counter &minibatches;
+        obs::Gauge &pool_bytes;
+    };
+
     Graph &graph_;
     std::unique_ptr<ScheduleInfo> sched;
     std::vector<NodeState> states;
@@ -182,8 +213,7 @@ class Executor
     bool elide_decode = false;
     std::vector<std::pair<int, std::uint64_t>> memory_trace;
     ExecStats last_stats;
-    std::uint64_t meter_current = 0;
-    std::uint64_t meter_peak = 0;
+    Telemetry tele;
 };
 
 } // namespace gist

@@ -1,0 +1,59 @@
+#include "obs/counters.hpp"
+
+namespace gist::obs {
+
+MetricRegistry &
+MetricRegistry::instance()
+{
+    // Intentionally leaked so instrument references never dangle, even
+    // from code running during static teardown.
+    static MetricRegistry *r = new MetricRegistry;
+    return *r;
+}
+
+Counter &
+MetricRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+std::vector<MetricSample>
+MetricRegistry::snapshot() const
+{
+    std::vector<MetricSample> out;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &[name, c] : counters_)
+        out.push_back({ name, static_cast<std::int64_t>(c->value()),
+                        false, 0 });
+    for (const auto &[name, g] : gauges_)
+        out.push_back({ name, g->current(), true, g->peak() });
+    return out;
+}
+
+void
+MetricRegistry::resetAll()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto &[name, c] : counters_)
+        c->reset();
+    for (auto &[name, g] : gauges_) {
+        g->set(0);
+        g->resetPeak();
+    }
+}
+
+} // namespace gist::obs

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Process-global counter/gauge registry — the numeric side of the
+ * observability layer.
+ *
+ * Counter: monotonically increasing uint64 (bytes encoded, elements
+ * seen, nanoseconds spent). Gauge: a level with built-in peak tracking
+ * (the executor's feature-map-pool memory meter). All mutation is
+ * lock-free atomics, so kernels on any pool thread may bump them;
+ * lookup-by-name takes the registry mutex once, after which the
+ * returned reference stays valid for the process lifetime.
+ *
+ * Derived quantities stay out of the registry by design: a compression
+ * ratio is dense_bytes / encoded_bytes of two counters, observed
+ * sparsity is zero_elems / total_elems — integer counters compose
+ * race-free where a stored double would not.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gist::obs {
+
+/** Monotonic event/byte/time accumulator. */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t n)
+    {
+        v_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+    void
+    reset()
+    {
+        v_.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> v_{ 0 };
+};
+
+/** A level (can rise and fall) that remembers its high-water mark. */
+class Gauge
+{
+  public:
+    void
+    add(std::int64_t n)
+    {
+        updatePeak(cur_.fetch_add(n, std::memory_order_relaxed) + n);
+    }
+
+    void
+    sub(std::int64_t n)
+    {
+        cur_.fetch_sub(n, std::memory_order_relaxed);
+    }
+
+    void
+    set(std::int64_t v)
+    {
+        cur_.store(v, std::memory_order_relaxed);
+        updatePeak(v);
+    }
+
+    std::int64_t
+    current() const
+    {
+        return cur_.load(std::memory_order_relaxed);
+    }
+
+    std::int64_t
+    peak() const
+    {
+        return peak_.load(std::memory_order_relaxed);
+    }
+
+    /** Restart peak tracking from the current level. */
+    void
+    resetPeak()
+    {
+        peak_.store(cur_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    }
+
+  private:
+    void
+    updatePeak(std::int64_t v)
+    {
+        std::int64_t p = peak_.load(std::memory_order_relaxed);
+        while (v > p &&
+               !peak_.compare_exchange_weak(p, v,
+                                            std::memory_order_relaxed)) {
+        }
+    }
+
+    std::atomic<std::int64_t> cur_{ 0 };
+    std::atomic<std::int64_t> peak_{ 0 };
+};
+
+/** One registry entry at snapshot time. */
+struct MetricSample
+{
+    std::string name;
+    std::int64_t value = 0;  ///< counter value or gauge current
+    bool is_gauge = false;
+    std::int64_t peak = 0;   ///< gauges only
+};
+
+/** Named registry; instruments register lazily and live forever. */
+class MetricRegistry
+{
+  public:
+    static MetricRegistry &instance();
+
+    /** Find-or-create; the reference never dangles. */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+
+    /** Point-in-time copy of every instrument, sorted by name. */
+    std::vector<MetricSample> snapshot() const;
+
+    /** Zero every counter and gauge (test isolation helper). */
+    void resetAll();
+
+  private:
+    mutable std::mutex mu_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+};
+
+} // namespace gist::obs

@@ -1,0 +1,189 @@
+#include "obs/metrics.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+
+#include "util/logging.hpp"
+
+namespace gist::obs {
+
+namespace {
+
+struct Sink
+{
+    std::mutex mu;
+    std::FILE *f = nullptr;
+    std::string path;
+    std::atomic<bool> on{ false };
+};
+
+Sink &
+sink()
+{
+    // Intentionally leaked: the atexit flush hook (and spans destructing
+    // during static teardown) may run after function-local statics are
+    // destroyed, so the sink must outlive them all.
+    static Sink *s = new Sink;
+    return *s;
+}
+
+void
+appendEscaped(std::string &out, const char *in)
+{
+    for (const char *p = in; *p; ++p) {
+        const unsigned char c = static_cast<unsigned char>(*p);
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+JsonLine::keyPrefix(const char *key)
+{
+    if (!first_)
+        body_ += ',';
+    first_ = false;
+    body_ += '"';
+    appendEscaped(body_, key);
+    body_ += "\":";
+}
+
+JsonLine &
+JsonLine::field(const char *key, const char *value)
+{
+    keyPrefix(key);
+    body_ += '"';
+    appendEscaped(body_, value);
+    body_ += '"';
+    return *this;
+}
+
+JsonLine &
+JsonLine::field(const char *key, const std::string &value)
+{
+    return field(key, value.c_str());
+}
+
+JsonLine &
+JsonLine::field(const char *key, double value)
+{
+    keyPrefix(key);
+    if (!std::isfinite(value)) {
+        body_ += "null";
+    } else {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.9g", value);
+        body_ += buf;
+    }
+    return *this;
+}
+
+JsonLine &
+JsonLine::field(const char *key, std::uint64_t value)
+{
+    keyPrefix(key);
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(value));
+    body_ += buf;
+    return *this;
+}
+
+JsonLine &
+JsonLine::field(const char *key, std::int64_t value)
+{
+    keyPrefix(key);
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(value));
+    body_ += buf;
+    return *this;
+}
+
+JsonLine &
+JsonLine::field(const char *key, int value)
+{
+    return field(key, static_cast<std::int64_t>(value));
+}
+
+std::string
+JsonLine::str() const
+{
+    return body_ + "}";
+}
+
+bool
+metricsEnabled()
+{
+    return sink().on.load(std::memory_order_relaxed);
+}
+
+void
+metricsOpen(const std::string &path)
+{
+    Sink &s = sink();
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.f)
+        std::fclose(s.f);
+    s.f = std::fopen(path.c_str(), "w");
+    if (!s.f) {
+        GIST_WARN("cannot open metrics file '", path, "'");
+        s.path.clear();
+        s.on.store(false, std::memory_order_release);
+        return;
+    }
+    s.path = path;
+    s.on.store(true, std::memory_order_release);
+}
+
+void
+metricsWrite(const JsonLine &line)
+{
+    Sink &s = sink();
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (!s.f)
+        return;
+    const std::string text = line.str();
+    std::fwrite(text.data(), 1, text.size(), s.f);
+    std::fputc('\n', s.f);
+    std::fflush(s.f); // the artifact survives an abnormal exit
+}
+
+void
+metricsClose()
+{
+    Sink &s = sink();
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.f)
+        std::fclose(s.f);
+    s.f = nullptr;
+    s.path.clear();
+    s.on.store(false, std::memory_order_release);
+}
+
+std::string
+metricsPath()
+{
+    Sink &s = sink();
+    std::lock_guard<std::mutex> lock(s.mu);
+    return s.path;
+}
+
+} // namespace gist::obs

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * JSONL step-metrics sink: one JSON object per line, written by the
+ * trainer per step/epoch (loss, examples/sec, encoded bytes, peak stash
+ * bytes, codec seconds) so external tools can tail/plot a run.
+ *
+ * Opening: metricsOpen(path) programmatically, the
+ * GistConfig::metrics_path field, or the GIST_METRICS=<path>
+ * environment variable. Writes are mutex-serialized and flushed per
+ * line, so the artifact is complete even if the process dies mid-run.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gist::obs {
+
+/** Builder for one JSONL record; fields appear in insertion order. */
+class JsonLine
+{
+  public:
+    JsonLine &field(const char *key, const char *value);
+    JsonLine &field(const char *key, const std::string &value);
+    JsonLine &field(const char *key, double value); ///< NaN/inf -> null
+    JsonLine &field(const char *key, std::uint64_t value);
+    JsonLine &field(const char *key, std::int64_t value);
+    JsonLine &field(const char *key, int value);
+
+    /** The finished one-line object, e.g. {"loss":0.5,"step":3}. */
+    std::string str() const;
+
+  private:
+    void keyPrefix(const char *key);
+
+    std::string body_ = "{";
+    bool first_ = true;
+};
+
+/** Is a sink open? One relaxed load — safe to check per step. */
+bool metricsEnabled();
+
+/** Open (truncate) the sink at @p path; replaces any open sink. */
+void metricsOpen(const std::string &path);
+
+/** Append one record (no-op while no sink is open). */
+void metricsWrite(const JsonLine &line);
+
+/** Flush and close the sink. */
+void metricsClose();
+
+/** Path of the open sink; empty when closed. */
+std::string metricsPath();
+
+} // namespace gist::obs

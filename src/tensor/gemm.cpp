@@ -4,6 +4,7 @@
 #include <cstring>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
 
@@ -144,6 +145,10 @@ gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
      std::int64_t k, float alpha, const float *a, const float *b, float beta,
      float *c)
 {
+    GIST_TRACE_SCOPE_F("compute", "gemm %lldx%lldx%lld",
+                       static_cast<long long>(m),
+                       static_cast<long long>(n),
+                       static_cast<long long>(k));
     GIST_ASSERT(m >= 0 && n >= 0 && k >= 0, "bad gemm dims");
     if (m == 0 || n == 0)
         return;

@@ -1,5 +1,6 @@
 #include "tensor/im2col.hpp"
 
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
 namespace gist {
@@ -7,6 +8,7 @@ namespace gist {
 void
 im2col(const ConvGeometry &geom, const float *image, float *columns)
 {
+    GIST_TRACE_SCOPE("compute", "im2col");
     const std::int64_t out_h = geom.outH();
     const std::int64_t out_w = geom.outW();
     const std::int64_t kernel = geom.kernel_h * geom.kernel_w;
@@ -44,6 +46,7 @@ im2col(const ConvGeometry &geom, const float *image, float *columns)
 void
 col2im(const ConvGeometry &geom, const float *columns, float *image)
 {
+    GIST_TRACE_SCOPE("compute", "col2im");
     const std::int64_t out_h = geom.outH();
     const std::int64_t out_w = geom.outW();
     // col2im scatters with += : different (kh, kw) rows of the same

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
 #include "util/logging.hpp"
@@ -103,6 +105,7 @@ Trainer::sgdStep(float lr, float momentum, float weight_decay)
 double
 Trainer::evaluate(const SyntheticDataset &data, std::int64_t batch_size)
 {
+    GIST_TRACE_SCOPE("train", "evaluate");
     Graph &graph = exec.graph();
     const NodeId loss_node = static_cast<NodeId>(graph.numNodes() - 1);
     const NodeId logits_node = graph.node(loss_node).inputs[0];
@@ -132,6 +135,8 @@ Trainer::run(const SyntheticDataset &data, const TrainConfig &config)
 {
     if (config.num_threads > 0)
         setNumThreads(config.num_threads);
+    if (!config.metrics_path.empty())
+        obs::metricsOpen(config.metrics_path);
     Graph &graph = exec.graph();
     Tensor batch(graph.node(0).out_shape);
     GIST_ASSERT(batch.shape().n() == config.batch_size,
@@ -150,6 +155,7 @@ Trainer::run(const SyntheticDataset &data, const TrainConfig &config)
             epoch % config.lr_decay_epochs == 0) {
             lr *= config.lr_decay;
         }
+        GIST_TRACE_SCOPE_F("train", "epoch %d", epoch);
         double loss_sum = 0.0;
         std::int64_t batches = 0;
         for (std::int64_t start = 0;
@@ -157,17 +163,47 @@ Trainer::run(const SyntheticDataset &data, const TrainConfig &config)
              start += config.batch_size) {
             data.trainBatch(start, batch, labels);
             const auto t0 = std::chrono::steady_clock::now();
-            loss_sum += exec.runMinibatch(batch, labels);
-            if (config.clip_grad_norm > 0.0f)
-                clipGradients(config.clip_grad_norm);
-            sgdStep(lr, config.momentum, config.weight_decay);
-            total_seconds += std::chrono::duration<double>(
-                                 std::chrono::steady_clock::now() - t0)
-                                 .count();
+            float step_loss;
+            {
+                GIST_TRACE_SCOPE_F("train", "step %lld",
+                                   static_cast<long long>(steps + 1));
+                step_loss = exec.runMinibatch(batch, labels);
+                if (config.clip_grad_norm > 0.0f)
+                    clipGradients(config.clip_grad_norm);
+                sgdStep(lr, config.momentum, config.weight_decay);
+            }
+            const double step_seconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            loss_sum += step_loss;
+            total_seconds += step_seconds;
             total_codec += exec.stats().encode_seconds +
                            exec.stats().decode_seconds;
             ++batches;
             ++steps;
+            if (obs::metricsEnabled()) {
+                const ExecStats &stats = exec.stats();
+                obs::JsonLine rec;
+                rec.field("type", "step")
+                    .field("step", static_cast<std::int64_t>(steps))
+                    .field("epoch", epoch)
+                    .field("loss", static_cast<double>(step_loss))
+                    .field("examples_per_sec",
+                           step_seconds > 0.0
+                               ? static_cast<double>(config.batch_size) /
+                                     step_seconds
+                               : 0.0)
+                    .field("step_seconds", step_seconds)
+                    .field("encode_seconds", stats.encode_seconds)
+                    .field("decode_seconds", stats.decode_seconds)
+                    .field("encoded_bytes", stats.encoded_bytes)
+                    .field("dense_bytes_replaced",
+                           stats.dense_bytes_replaced)
+                    .field("peak_pool_bytes", stats.peak_pool_bytes)
+                    .field("lr", static_cast<double>(lr));
+                obs::metricsWrite(rec);
+            }
             if (config.after_step)
                 config.after_step(steps, exec);
         }
@@ -177,6 +213,15 @@ Trainer::run(const SyntheticDataset &data, const TrainConfig &config)
             static_cast<float>(loss_sum / static_cast<double>(batches));
         rec.eval_accuracy = evaluate(data, config.batch_size);
         records.push_back(rec);
+        if (obs::metricsEnabled()) {
+            obs::JsonLine line;
+            line.field("type", "epoch")
+                .field("epoch", epoch)
+                .field("mean_loss", static_cast<double>(rec.mean_loss))
+                .field("eval_accuracy", rec.eval_accuracy)
+                .field("steps", static_cast<std::int64_t>(steps));
+            obs::metricsWrite(line);
+        }
     }
     if (steps > 0) {
         seconds_per_minibatch =

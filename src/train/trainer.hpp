@@ -33,6 +33,14 @@ struct TrainConfig
      * setting, auto-resolved from GIST_THREADS / hardware concurrency).
      */
     int num_threads = 0;
+    /**
+     * JSONL step-metrics file: one record per training step (loss,
+     * examples/sec, encoded bytes, peak pool bytes, codec seconds) and
+     * one per epoch (mean loss, eval accuracy). Empty keeps the current
+     * sink, so a sink opened via GIST_METRICS (or GistConfig) is used
+     * as-is.
+     */
+    std::string metrics_path;
     /** Called after every minibatch (step index, executor). */
     std::function<void(std::int64_t, Executor &)> after_step;
 };

@@ -1,6 +1,8 @@
 #include "util/logging.hpp"
 
+#include <chrono>
 #include <cstdio>
+#include <ctime>
 #include <stdexcept>
 
 namespace gist {
@@ -19,6 +21,23 @@ levelName(LogLevel level)
       case LogLevel::Fatal: return "fatal";
     }
     return "?";
+}
+
+/** "[HH:MM:SS.mmm] " wall-clock prefix. */
+void
+timestampPrefix(char *buf, size_t len)
+{
+    const auto now = std::chrono::system_clock::now();
+    const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+    const auto ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            now.time_since_epoch())
+            .count() %
+        1000;
+    std::tm tm{};
+    localtime_r(&secs, &tm);
+    std::snprintf(buf, len, "[%02d:%02d:%02d.%03d] ", tm.tm_hour,
+                  tm.tm_min, tm.tm_sec, static_cast<int>(ms));
 }
 
 } // namespace
@@ -42,12 +61,27 @@ logMessage(LogLevel level, const char *file, int line, const std::string &msg)
 {
     if (level == LogLevel::Inform && !informOn)
         return;
-    if (level == LogLevel::Inform) {
-        std::fprintf(stderr, "%s: %s\n", levelName(level), msg.c_str());
-    } else {
-        std::fprintf(stderr, "%s: %s (%s:%d)\n", levelName(level),
-                     msg.c_str(), file, line);
+
+    // Compose the whole line up front and emit it as one locked write,
+    // so messages from different pool threads never interleave.
+    char ts[24];
+    timestampPrefix(ts, sizeof(ts));
+    std::string out;
+    out.reserve(msg.size() + 64);
+    out += ts;
+    out += levelName(level);
+    out += ": ";
+    out += msg;
+    if (level != LogLevel::Inform) {
+        char loc[300];
+        std::snprintf(loc, sizeof(loc), " (%s:%d)", file, line);
+        out += loc;
     }
+    out += '\n';
+
+    flockfile(stderr);
+    std::fwrite(out.data(), 1, out.size(), stderr);
+    funlockfile(stderr);
 }
 
 void

@@ -20,6 +20,9 @@ namespace {
  *  pool. */
 thread_local bool tls_in_worker = false;
 
+/** Spawn index of a pool worker; 0 for every other thread. */
+thread_local int tls_worker_index = 0;
+
 /**
  * One in-flight parallelFor: a statically chunked range plus an atomic
  * cursor. Which thread claims which chunk is scheduling noise; the chunk
@@ -159,7 +162,10 @@ class ThreadPool
         // threads_ counts the caller, so spawn threads_ - 1 workers.
         stop_ = false;
         for (int i = 1; i < threads_; ++i)
-            workers_.emplace_back([this] { workerLoop(); });
+            workers_.emplace_back([this, i] {
+                tls_worker_index = i;
+                workerLoop();
+            });
     }
 
     void
@@ -245,6 +251,12 @@ int
 numThreads()
 {
     return ThreadPool::instance().numThreads();
+}
+
+int
+currentWorkerIndex()
+{
+    return tls_worker_index;
 }
 
 void

@@ -46,6 +46,16 @@ void setNumThreads(int n);
 int numThreads();
 
 /**
+ * Dense index of the calling thread within the persistent pool: pool
+ * workers return their spawn index (1 .. numThreads()-1, stable for the
+ * worker's lifetime); the parallelFor caller and any thread outside the
+ * pool return 0. The tracing layer (src/obs/) registers its per-thread
+ * buffers with this index so every pool worker gets a stable, named
+ * display row in the trace.
+ */
+int currentWorkerIndex();
+
+/**
  * Run fn over [begin, end) in chunks of at most @p grain iterations,
  * spread across the persistent pool. Blocks until every chunk finished.
  *
