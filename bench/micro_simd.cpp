@@ -1,0 +1,247 @@
+/**
+ * @file
+ * SIMD backend microbenchmark: times each dispatched kernel once with
+ * the scalar reference backend and once with the best ISA this machine
+ * offers, reports GB/s for both plus the speedup, and memcmp-verifies
+ * that the integer codec kernels produced byte-identical output (the
+ * cross-backend bitwise contract; axpy/dot are float kernels and are
+ * exempt). Runs single-threaded so the ratio isolates the ISA effect
+ * from thread scaling (micro_parallel covers the latter).
+ *
+ * Usage: micro_simd [--json <path>]
+ *   --json    write one JSON object with per-kernel rows, consumed by
+ *             scripts/run_micro_parallel.sh for the BENCH trajectory.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "simd/dispatch.hpp"
+#include "simd/sf_codes.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using gist::Rng;
+using namespace gist::simd;
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Time fn over enough repetitions to exceed ~60 ms; returns s/call. */
+double
+timeIt(const std::function<void()> &fn)
+{
+    fn(); // warm-up
+    int reps = 1;
+    for (;;) {
+        const double t0 = now();
+        for (int r = 0; r < reps; ++r)
+            fn();
+        const double dt = now() - t0;
+        if (dt > 0.06 || reps >= 1 << 14)
+            return dt / reps;
+        reps *= 4;
+    }
+}
+
+struct KernelResult
+{
+    std::string name;
+    double scalar_gbps = 0.0;
+    double simd_gbps = 0.0;
+    bool bitwise_identical = true; ///< always true for float kernels
+
+    double speedup() const { return simd_gbps / scalar_gbps; }
+};
+
+std::vector<KernelResult> g_results;
+
+/**
+ * Benchmark one kernel on both backends. run(ops, out) executes the
+ * kernel through the given table writing its result into out;
+ * out_bytes > 0 requests a byte-compare between the two backends.
+ */
+void
+runKernel(const std::string &name, double bytes_moved, size_t out_bytes,
+          const std::function<void(const SimdOps &, void *)> &run)
+{
+    const SimdOps &scalar = opsFor(Backend::Scalar);
+    const SimdOps &best = opsFor(bestBackend());
+
+    std::vector<unsigned char> out_scalar(out_bytes);
+    std::vector<unsigned char> out_simd(out_bytes);
+
+    KernelResult res;
+    res.name = name;
+    const double s_scalar =
+        timeIt([&] { run(scalar, out_scalar.data()); });
+    const double s_simd = timeIt([&] { run(best, out_simd.data()); });
+    res.scalar_gbps = bytes_moved / s_scalar / 1e9;
+    res.simd_gbps = bytes_moved / s_simd / 1e9;
+    res.bitwise_identical =
+        out_bytes == 0 ||
+        std::memcmp(out_scalar.data(), out_simd.data(), out_bytes) == 0;
+
+    std::printf("%-20s %8.2f GB/s  %8.2f GB/s   %5.2fx   %s\n",
+                name.c_str(), res.scalar_gbps, res.simd_gbps,
+                res.speedup(),
+                out_bytes == 0 ? "float"
+                : res.bitwise_identical ? "bitwise-ok"
+                                        : "MISMATCH");
+    g_results.push_back(res);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: micro_simd [--json <path>]\n");
+            return 2;
+        }
+    }
+
+    const char *best = backendName(bestBackend());
+    std::printf("micro_simd: scalar vs %s (single-threaded)\n", best);
+    std::printf("%-20s %13s %14s  %6s\n", "kernel", "scalar", best,
+                "spdup");
+
+    const std::int64_t n = 1 << 23; // 8M values = 32 MB input
+    Rng rng(42);
+    std::vector<float> src(static_cast<size_t>(n));
+    for (auto &x : src)
+        x = rng.normal();
+
+    // --- DPR small-float encode (all three formats) + fp16 decode ---
+    const char *sf_names[] = { "dpr_fp16", "dpr_fp10", "dpr_fp8" };
+    for (int f = 0; f < kSfFormatCount; ++f) {
+        const auto per_word =
+            static_cast<std::int64_t>(kSfLayouts[f].per_word);
+        const size_t nwords =
+            static_cast<size_t>((n + per_word - 1) / per_word);
+        runKernel(std::string(sf_names[f]) + "_encode",
+                  static_cast<double>(n) * sizeof(float), nwords * 4,
+                  [&, f](const SimdOps &o, void *out) {
+                      o.sfEncode[f](src.data(), n,
+                                    static_cast<std::uint32_t *>(out));
+                  });
+    }
+    {
+        const size_t nwords = static_cast<size_t>((n + 1) / 2);
+        std::vector<std::uint32_t> words(nwords);
+        opsFor(Backend::Scalar).sfEncode[kSfFp16](src.data(), n,
+                                                  words.data());
+        runKernel("dpr_fp16_decode",
+                  static_cast<double>(n) * sizeof(float),
+                  static_cast<size_t>(n) * sizeof(float),
+                  [&](const SimdOps &o, void *out) {
+                      o.sfDecode[kSfFp16](words.data(), n,
+                                          static_cast<float *>(out));
+                  });
+    }
+
+    // --- binarize pack + mask-expand backward ---
+    {
+        const size_t nbytes = static_cast<size_t>((n + 7) / 8);
+        runKernel("binarize_encode",
+                  static_cast<double>(n) * sizeof(float), nbytes,
+                  [&](const SimdOps &o, void *out) {
+                      o.binarizeEncode(src.data(), n,
+                                       static_cast<std::uint8_t *>(out));
+                  });
+
+        std::vector<std::uint8_t> bits(nbytes);
+        opsFor(Backend::Scalar).binarizeEncode(src.data(), n,
+                                               bits.data());
+        runKernel("binarize_backward",
+                  static_cast<double>(n) * sizeof(float) * 2,
+                  static_cast<size_t>(n) * sizeof(float),
+                  [&](const SimdOps &o, void *out) {
+                      o.binarizeBackward(bits.data(), src.data(), n,
+                                         static_cast<float *>(out));
+                  });
+    }
+
+    // --- CSR nonzero count (50% ReLU-style sparsity) ---
+    {
+        std::vector<float> sparse(src);
+        Rng srng(7);
+        for (auto &x : sparse)
+            if (srng.uniform() < 0.5)
+                x = 0.0f;
+        runKernel("csr_count_50",
+                  static_cast<double>(n) * sizeof(float),
+                  sizeof(std::int64_t),
+                  [&](const SimdOps &o, void *out) {
+                      const std::int64_t c =
+                          o.countNonzero(sparse.data(), n);
+                      std::memcpy(out, &c, sizeof(c));
+                  });
+    }
+
+    // --- GEMM micro-kernels (float: no bitwise contract) ---
+    {
+        const std::int64_t kv = 1 << 12; // L1-resident vectors
+        std::vector<float> x(src.begin(), src.begin() + kv);
+        std::vector<float> y(src.begin() + kv, src.begin() + 2 * kv);
+        runKernel("gemm_axpy",
+                  static_cast<double>(kv) * sizeof(float) * 3, 0,
+                  [&](const SimdOps &o, void *) {
+                      o.axpy(kv, 1.0001f, x.data(), y.data());
+                  });
+        runKernel("gemm_dot",
+                  static_cast<double>(kv) * sizeof(float) * 2, 0,
+                  [&](const SimdOps &o, void *) {
+                      volatile float sink =
+                          o.dot(kv, x.data(), y.data());
+                      (void)sink;
+                  });
+    }
+
+    bool all_ok = true;
+    for (const auto &r : g_results)
+        all_ok = all_ok && r.bitwise_identical;
+    std::printf("\ncodec bitwise parity: %s\n", all_ok ? "PASS" : "FAIL");
+
+    if (!json_path.empty()) {
+        std::FILE *f = std::fopen(json_path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+            return 1;
+        }
+        std::fprintf(f,
+                     "{\n  \"bench\": \"micro_simd\",\n"
+                     "  \"best_backend\": \"%s\",\n  \"kernels\": [\n",
+                     best);
+        for (size_t i = 0; i < g_results.size(); ++i) {
+            const auto &r = g_results[i];
+            std::fprintf(
+                f,
+                "    {\"name\": \"%s\", \"scalar_gbps\": %.3f, "
+                "\"simd_gbps\": %.3f, \"speedup\": %.3f, "
+                "\"bitwise_identical\": %s}%s\n",
+                r.name.c_str(), r.scalar_gbps, r.simd_gbps, r.speedup(),
+                r.bitwise_identical ? "true" : "false",
+                i + 1 < g_results.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::printf("json written to %s\n", json_path.c_str());
+    }
+    return all_ok ? 0 : 1;
+}

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Run the thread-scaling microbenchmark and record its JSON so the
-# scaling trajectory can be tracked across PRs. Each run is also
-# appended (one compact JSON object per line, stamped with commit and
-# UTC date) to a trajectory file at the repo root.
+# Run the thread-scaling microbenchmark (micro_parallel) and the SIMD
+# backend microbenchmark (micro_simd) and record their JSON so both
+# trajectories can be tracked across PRs. Each run is appended (one
+# compact JSON object per line, stamped with commit and UTC date) to a
+# trajectory file at the repo root; micro_simd records carry
+# "bench":"micro_simd" to distinguish them from the scaling records.
 #
 # Usage: scripts/run_micro_parallel.sh [build-dir] [threads] [out.json] [trajectory]
 #   build-dir   defaults to build
@@ -25,17 +27,33 @@ bin="$build/bench/micro_parallel"
 "$bin" "$threads" --json "$out"
 echo "scaling record: $out"
 
+simd_bin="$build/bench/micro_simd"
+simd_out="${out%.json}_simd.json"
+if [ -x "$simd_bin" ]; then
+    "$simd_bin" --json "$simd_out"
+    echo "simd record: $simd_out"
+else
+    echo "warning: $simd_bin not built, skipping SIMD record" >&2
+    simd_out=""
+fi
+
 if command -v python3 >/dev/null 2>&1; then
     commit="$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)"
-    out="$out" trajectory="$trajectory" commit="$commit" python3 - <<'EOF'
+    out="$out" simd_out="$simd_out" trajectory="$trajectory" \
+        commit="$commit" python3 - <<'EOF'
 import json, os, datetime
 
-record = json.load(open(os.environ["out"]))
-record["commit"] = os.environ["commit"]
-record["date"] = datetime.datetime.now(datetime.timezone.utc).strftime(
+date = datetime.datetime.now(datetime.timezone.utc).strftime(
     "%Y-%m-%dT%H:%M:%SZ")
+paths = [os.environ["out"]]
+if os.environ.get("simd_out"):
+    paths.append(os.environ["simd_out"])
 with open(os.environ["trajectory"], "a") as f:
-    f.write(json.dumps(record, separators=(",", ":")) + "\n")
+    for path in paths:
+        record = json.load(open(path))
+        record["commit"] = os.environ["commit"]
+        record["date"] = date
+        f.write(json.dumps(record, separators=(",", ":")) + "\n")
 EOF
     echo "trajectory: $trajectory ($(wc -l < "$trajectory") runs)"
 else

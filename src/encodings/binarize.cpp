@@ -1,6 +1,7 @@
 #include "encodings/binarize.hpp"
 
 #include "obs/trace.hpp"
+#include "simd/dispatch.hpp"
 #include "util/bits.hpp"
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
@@ -18,23 +19,18 @@ BinarizedMask::encode(std::span<const float> values)
 {
     GIST_TRACE_SCOPE("codec", "binarize encode");
     numel_ = static_cast<std::int64_t>(values.size());
-    bits.assign(static_cast<size_t>(binarizeBytes(numel_)), 0);
+    bits.resize(static_cast<size_t>(binarizeBytes(numel_)));
     // Parallel over output *bytes*: each byte packs 8 input values, so
-    // byte-granular chunks never share a write target.
+    // byte-granular chunks never share a write target. The SIMD kernel
+    // (compare + movemask) fills every byte of its span.
+    const auto kernel = simd::ops().binarizeEncode;
     const auto nbytes = static_cast<std::int64_t>(bits.size());
     parallelFor(0, nbytes, chooseGrain(nbytes, 1024),
                 [&](std::int64_t b0, std::int64_t b1) {
-        for (std::int64_t byte = b0; byte < b1; ++byte) {
-            const std::int64_t base = byte * 8;
-            const std::int64_t lim = std::min<std::int64_t>(base + 8,
-                                                            numel_);
-            std::uint8_t acc = 0;
-            for (std::int64_t i = base; i < lim; ++i) {
-                if (values[static_cast<size_t>(i)] > 0.0f)
-                    acc |= static_cast<std::uint8_t>(1u << (i - base));
-            }
-            bits[static_cast<size_t>(byte)] = acc;
-        }
+        const std::int64_t base = b0 * 8;
+        const std::int64_t lim = std::min<std::int64_t>(b1 * 8, numel_);
+        kernel(values.data() + base, lim - base,
+               bits.data() + static_cast<size_t>(b0));
     });
 }
 
@@ -71,14 +67,14 @@ BinarizedMask::reluBackward(std::span<const float> dy,
     GIST_ASSERT(static_cast<std::int64_t>(dy.size()) == numel_ &&
                     dy.size() == dx.size(),
                 "relu backward size mismatch");
+    // Chunks are 8-aligned (align=8), so each starts on a byte boundary
+    // of the mask and the kernel's bit 0 lines up with value lo.
+    const auto kernel = simd::ops().binarizeBackward;
     const auto n = static_cast<std::int64_t>(dy.size());
     parallelFor(0, n, chooseGrain(n, 4096, /*align=*/8),
                 [&](std::int64_t lo, std::int64_t hi) {
-                    for (std::int64_t i = lo; i < hi; ++i) {
-                        const auto s = static_cast<size_t>(i);
-                        const bool pos = (bits[s >> 3] >> (s & 7)) & 1;
-                        dx[s] = pos ? dy[s] : 0.0f;
-                    }
+                    kernel(bits.data() + (lo >> 3), dy.data() + lo,
+                           hi - lo, dx.data() + lo);
                 });
 }
 
@@ -87,6 +83,13 @@ BinarizedMask::clear()
 {
     bits.clear();
     bits.shrink_to_fit();
+    numel_ = 0;
+}
+
+void
+BinarizedMask::reset()
+{
+    bits.clear(); // capacity retained for the next same-sized encode
     numel_ = 0;
 }
 

@@ -46,6 +46,9 @@ class BinarizedMask
     /** Drop the storage. */
     void clear();
 
+    /** Forget contents, keep capacity (stash reuse across steps). */
+    void reset();
+
   private:
     std::int64_t numel_ = 0;
     std::vector<std::uint8_t> bits;

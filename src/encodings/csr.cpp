@@ -3,7 +3,9 @@
 #include <cmath>
 #include <cstring>
 
+#include "memory/arena.hpp"
 #include "obs/trace.hpp"
+#include "simd/dispatch.hpp"
 #include "util/bits.hpp"
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
@@ -76,21 +78,23 @@ CsrBuffer::encode(std::span<const float> values)
     numel_ = static_cast<std::int64_t>(values.size());
     const std::int64_t rows = ceilDiv<std::int64_t>(numel_,
                                                     config.row_width);
-    row_ptr.assign(static_cast<size_t>(rows + 1), 0);
+    row_ptr.resize(static_cast<size_t>(rows + 1));
+    row_ptr[0] = 0;
     values_f32.clear();
-    values_dpr.clear();
+    values_dpr.reset();
 
-    // Pass 1 (parallel): per-row nnz counts into row_ptr[r + 1].
+    // Pass 1 (parallel): per-row nnz counts into row_ptr[r + 1], one
+    // SIMD compare+popcount sweep per row.
+    const auto count_kernel = simd::ops().countNonzero;
     const std::int64_t row_grain = chooseGrain(rows, 16);
     parallelFor(0, rows, row_grain, [&](std::int64_t r0, std::int64_t r1) {
         for (std::int64_t r = r0; r < r1; ++r) {
             const std::int64_t begin = r * config.row_width;
             const std::int64_t end =
                 std::min(numel_, begin + config.row_width);
-            std::uint32_t count = 0;
-            for (std::int64_t i = begin; i < end; ++i)
-                count += (values[static_cast<size_t>(i)] != 0.0f);
-            row_ptr[static_cast<size_t>(r + 1)] = count;
+            row_ptr[static_cast<size_t>(r + 1)] =
+                static_cast<std::uint32_t>(
+                    count_kernel(values.data() + begin, end - begin));
         }
     });
 
@@ -105,7 +109,18 @@ CsrBuffer::encode(std::span<const float> values)
     // construction, and identical to the serial fill order.
     col_idx.resize(static_cast<size_t>(nnz_) *
                    static_cast<size_t>(config.index_bytes));
-    std::vector<float> nz(static_cast<size_t>(nnz_));
+    // Nonzero staging: Fp32 fills the persistent values array in place;
+    // DPR stages in step-scoped arena scratch, then packs. Worker
+    // threads write disjoint slices of the caller's frame — safe, the
+    // frame outlives the parallelFor barrier.
+    ArenaScope scope;
+    float *nz = nullptr;
+    if (config.value_format == DprFormat::Fp32) {
+        values_f32.resize(static_cast<size_t>(nnz_));
+        nz = values_f32.data();
+    } else {
+        nz = scope.alloc<float>(static_cast<size_t>(nnz_));
+    }
     parallelFor(0, rows, row_grain, [&](std::int64_t r0, std::int64_t r1) {
         for (std::int64_t r = r0; r < r1; ++r) {
             const std::int64_t begin = r * config.row_width;
@@ -127,10 +142,9 @@ CsrBuffer::encode(std::span<const float> values)
         }
     });
 
-    if (config.value_format == DprFormat::Fp32)
-        values_f32 = std::move(nz);
-    else
-        values_dpr.encode(config.value_format, nz);
+    if (config.value_format != DprFormat::Fp32)
+        values_dpr.encode(config.value_format,
+                          { nz, static_cast<size_t>(nnz_) });
 }
 
 void
@@ -141,14 +155,14 @@ CsrBuffer::decode(std::span<float> out) const
                 "decode target has ", out.size(), " elements, encoded ",
                 numel_);
 
-    std::vector<float> nz;
+    ArenaScope scope;
     const float *vals = nullptr;
     if (config.value_format == DprFormat::Fp32) {
         vals = values_f32.data();
     } else {
-        nz.resize(static_cast<size_t>(nnz_));
-        values_dpr.decode(nz);
-        vals = nz.data();
+        float *nz = scope.alloc<float>(static_cast<size_t>(nnz_));
+        values_dpr.decode({ nz, static_cast<size_t>(nnz_) });
+        vals = nz;
     }
 
     // Parallel over rows: row r owns the output slice
@@ -234,6 +248,25 @@ CsrBuffer::compressionRatio() const
         return 1.0;
     return static_cast<double>(numel_) * 4.0 /
            static_cast<double>(bytes());
+}
+
+void
+CsrBuffer::setConfig(const CsrConfig &cfg)
+{
+    checkConfig(cfg);
+    config = cfg;
+    reset();
+}
+
+void
+CsrBuffer::reset()
+{
+    row_ptr.clear(); // capacities retained for the next encode
+    col_idx.clear();
+    values_f32.clear();
+    values_dpr.reset();
+    numel_ = 0;
+    nnz_ = 0;
 }
 
 void

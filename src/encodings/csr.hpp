@@ -77,8 +77,19 @@ class CsrBuffer
 
     const CsrConfig &cfg() const { return config; }
 
+    /**
+     * Swap in a new layout while keeping the allocated storage, so the
+     * executor can retarget a stash buffer every step without the
+     * construct-and-destroy churn of a fresh CsrBuffer. Forgets any
+     * encoded contents.
+     */
+    void setConfig(const CsrConfig &cfg);
+
     /** Drop the storage. */
     void clear();
+
+    /** Forget contents, keep capacity (stash reuse across steps). */
+    void reset();
 
   private:
     CsrConfig config;

@@ -4,11 +4,30 @@
 #include <cstring>
 
 #include "obs/trace.hpp"
+#include "simd/dispatch.hpp"
+#include "simd/sf_codes.hpp"
 #include "util/bits.hpp"
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
 
 namespace gist {
+
+namespace {
+
+/** Dispatch-table slot for a packed format (invalid for Fp32). */
+int
+sfIndexOf(DprFormat fmt)
+{
+    switch (fmt) {
+      case DprFormat::Fp16: return simd::kSfFp16;
+      case DprFormat::Fp10: return simd::kSfFp10;
+      case DprFormat::Fp8: return simd::kSfFp8;
+      case DprFormat::Fp32: break;
+    }
+    GIST_PANIC("Fp32 has no packed codec");
+}
+
+} // namespace
 
 int
 dprValuesPerWord(DprFormat fmt)
@@ -74,7 +93,6 @@ DprBuffer::encode(DprFormat fmt, std::span<const float> values)
     format_ = fmt;
     numel_ = static_cast<std::int64_t>(values.size());
     const int per_word = dprValuesPerWord(fmt);
-    const int bits = dprBitsPerValue(fmt);
     words.resize(ceilDiv<size_t>(values.size(),
                                  static_cast<size_t>(per_word)));
 
@@ -85,24 +103,17 @@ DprBuffer::encode(DprFormat fmt, std::span<const float> values)
     }
 
     // Parallel over packed words: each word holds per_word lanes, so
-    // word-granular chunks write disjoint storage.
-    const SmallFloatFormat &sf = dprSmallFloat(fmt);
+    // word-granular chunks hand the SIMD kernel word-aligned disjoint
+    // spans. One dispatch per chunk, not per value.
+    const auto kernel = simd::ops().sfEncode[sfIndexOf(fmt)];
     const auto nwords = static_cast<std::int64_t>(words.size());
     parallelFor(0, nwords, chooseGrain(nwords, 2048),
-                [&, per_word, bits](std::int64_t w0, std::int64_t w1) {
-        for (std::int64_t w = w0; w < w1; ++w) {
-            const std::int64_t base = w * per_word;
-            const std::int64_t lim =
-                std::min<std::int64_t>(base + per_word, numel_);
-            std::uint32_t word = 0;
-            for (std::int64_t i = base; i < lim; ++i) {
-                const std::uint32_t enc =
-                    encodeSmallFloat(sf, values[static_cast<size_t>(i)]);
-                word |= enc << (static_cast<unsigned>(i - base) *
-                                static_cast<unsigned>(bits));
-            }
-            words[static_cast<size_t>(w)] = word;
-        }
+                [&, per_word](std::int64_t w0, std::int64_t w1) {
+        const std::int64_t base = w0 * per_word;
+        const std::int64_t lim =
+            std::min<std::int64_t>(w1 * per_word, numel_);
+        kernel(values.data() + base, lim - base,
+               words.data() + static_cast<size_t>(w0));
     });
 }
 
@@ -118,26 +129,15 @@ DprBuffer::decode(std::span<float> out) const
         return;
     }
     const int per_word = dprValuesPerWord(format_);
-    const int bits = dprBitsPerValue(format_);
-    const std::uint32_t mask = (bits >= 32) ? ~0u : ((1u << bits) - 1);
-    const SmallFloatFormat &sf = dprSmallFloat(format_);
+    const auto kernel = simd::ops().sfDecode[sfIndexOf(format_)];
     const auto nwords = static_cast<std::int64_t>(words.size());
     parallelFor(0, nwords, chooseGrain(nwords, 2048),
-                [&, per_word, bits, mask](std::int64_t w0,
-                                          std::int64_t w1) {
-        for (std::int64_t w = w0; w < w1; ++w) {
-            const std::uint32_t word = words[static_cast<size_t>(w)];
-            const std::int64_t base = w * per_word;
-            const std::int64_t lim =
-                std::min<std::int64_t>(base + per_word, numel_);
-            for (std::int64_t i = base; i < lim; ++i) {
-                const std::uint32_t enc =
-                    (word >> (static_cast<unsigned>(i - base) *
-                              static_cast<unsigned>(bits))) &
-                    mask;
-                out[static_cast<size_t>(i)] = decodeSmallFloat(sf, enc);
-            }
-        }
+                [&, per_word](std::int64_t w0, std::int64_t w1) {
+        const std::int64_t base = w0 * per_word;
+        const std::int64_t lim =
+            std::min<std::int64_t>(w1 * per_word, numel_);
+        kernel(words.data() + static_cast<size_t>(w0), lim - base,
+               out.data() + base);
     });
 }
 
@@ -162,7 +162,7 @@ DprBuffer::decodeRange(std::int64_t offset, std::span<float> out) const
     const int per_word = dprValuesPerWord(format_);
     const int bits = dprBitsPerValue(format_);
     const std::uint32_t mask = (bits >= 32) ? ~0u : ((1u << bits) - 1);
-    const SmallFloatFormat &sf = dprSmallFloat(format_);
+    const simd::SfLayout &L = simd::kSfLayouts[sfIndexOf(format_)];
     for (size_t i = 0; i < out.size(); ++i) {
         const auto flat = static_cast<size_t>(offset) + i;
         const size_t word = flat / static_cast<size_t>(per_word);
@@ -170,7 +170,7 @@ DprBuffer::decodeRange(std::int64_t offset, std::span<float> out) const
             static_cast<unsigned>(flat % static_cast<size_t>(per_word));
         const std::uint32_t enc =
             (words[word] >> (lane * static_cast<unsigned>(bits))) & mask;
-        out[i] = decodeSmallFloat(sf, enc);
+        out[i] = std::bit_cast<float>(simd::sfDecodeCode(L, enc));
     }
 }
 
@@ -183,18 +183,22 @@ DprBuffer::clear()
 }
 
 void
+DprBuffer::reset()
+{
+    words.clear(); // capacity retained for the next same-sized encode
+    numel_ = 0;
+}
+
+void
 dprQuantizeInPlace(DprFormat fmt, std::span<float> values)
 {
     if (fmt == DprFormat::Fp32)
         return;
-    const SmallFloatFormat &sf = dprSmallFloat(fmt);
+    const auto kernel = simd::ops().sfQuantize[sfIndexOf(fmt)];
     const auto n = static_cast<std::int64_t>(values.size());
     parallelFor(0, n, chooseGrain(n, 4096),
                 [&](std::int64_t lo, std::int64_t hi) {
-                    for (std::int64_t i = lo; i < hi; ++i) {
-                        auto &v = values[static_cast<size_t>(i)];
-                        v = quantizeSmallFloat(sf, v);
-                    }
+                    kernel(values.data() + lo, hi - lo);
                 });
 }
 

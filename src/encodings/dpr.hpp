@@ -59,8 +59,16 @@ class DprBuffer
     DprFormat format() const { return format_; }
     std::uint64_t bytes() const { return words.size() * 4; }
 
-    /** Drop the storage. */
+    /** Drop the storage and return its memory to the heap. */
     void clear();
+
+    /**
+     * Forget the contents but keep the capacity, so re-encoding a
+     * same-sized tensor next step allocates nothing. Stash buffers that
+     * live across minibatches reset(); buffers being retired for good
+     * clear().
+     */
+    void reset();
 
   private:
     DprFormat format_ = DprFormat::Fp32;

@@ -1,16 +1,34 @@
 #include "encodings/small_float.hpp"
 
 #include <bit>
-#include <cmath>
 
+#include "simd/sf_codes.hpp"
 #include "util/logging.hpp"
 
 namespace gist {
 
 namespace {
 
-constexpr std::uint32_t kF32ExpMask = 0xff;
-constexpr std::uint32_t kF32ManBits = 23;
+/**
+ * Bridge to the branchless conversion core in simd/sf_codes.hpp, which
+ * is the single source of truth for the conversion formulas (the SIMD
+ * backends lane-lift the same code, so scalar and vector paths cannot
+ * drift apart). Works for any format with 2..8 exponent and 1..22
+ * mantissa bits; the per-word packing fields are unused here.
+ */
+simd::SfLayout
+layoutOf(const SmallFloatFormat &fmt)
+{
+    GIST_ASSERT(fmt.exp_bits >= 2 && fmt.exp_bits <= 8 &&
+                    fmt.man_bits >= 1 && fmt.man_bits < 23,
+                "unsupported small-float layout");
+    return simd::SfLayout{ fmt.exp_bits,
+                           fmt.man_bits,
+                           fmt.bias(),
+                           fmt.maxExpField(),
+                           32u / fmt.totalBits(),
+                           fmt.totalBits() };
+}
 
 } // namespace
 
@@ -32,81 +50,22 @@ SmallFloatFormat::minNormal() const
 std::uint32_t
 encodeSmallFloat(const SmallFloatFormat &fmt, float value)
 {
-    const unsigned e_bits = fmt.exp_bits;
-    const unsigned m_bits = fmt.man_bits;
-    const std::uint32_t u = std::bit_cast<std::uint32_t>(value);
-    const std::uint32_t sign = u >> 31;
-    const std::uint32_t f32_exp = (u >> kF32ManBits) & kF32ExpMask;
-    const std::uint32_t f32_man = u & ((1u << kF32ManBits) - 1);
-    const std::uint32_t sign_shifted = sign << (e_bits + m_bits);
-
-    const std::uint32_t max_exp_field =
-        static_cast<std::uint32_t>(fmt.maxExpField());
-    const std::uint32_t max_finite_bits =
-        sign_shifted | (max_exp_field << m_bits) | ((1u << m_bits) - 1);
-
-    if (f32_exp == kF32ExpMask) {
-        // NaN encodes as zero (should not occur in sane training); +/-inf
-        // clamps to the max finite value, matching the paper's clamping.
-        if (f32_man != 0)
-            return 0;
-        return max_finite_bits;
-    }
-    if (f32_exp == 0) {
-        // FP32 zero or denormal: far below any target minNormal.
-        return sign_shifted;
-    }
-
-    // Round the 24-bit significand (implicit leading 1) to m_bits with
-    // round-to-nearest-even.
-    const unsigned shift = kF32ManBits - m_bits;
-    const std::uint32_t frac24 = (1u << kF32ManBits) | f32_man;
-    const std::uint32_t half = 1u << (shift - 1);
-    const std::uint32_t low = frac24 & ((1u << shift) - 1);
-    std::uint32_t t = frac24 >> shift;
-    if (low > half || (low == half && (t & 1)))
-        ++t;
-
-    int e = static_cast<int>(f32_exp) - 127;
-    if (t == (2u << m_bits)) { // mantissa carry: 10.0...0
-        t >>= 1;
-        ++e;
-    }
-
-    const int e_field = e + fmt.bias();
-    if (e_field > static_cast<int>(max_exp_field))
-        return max_finite_bits; // clamp to range
-    if (e_field <= 0)
-        return sign_shifted; // denormal range: flush to zero
-
-    const std::uint32_t man_t = t & ((1u << m_bits) - 1);
-    return sign_shifted |
-           (static_cast<std::uint32_t>(e_field) << m_bits) | man_t;
+    // NaN encodes as zero (should not occur in sane training); +/-inf
+    // and out-of-range values clamp to the max finite value, denormals
+    // and underflow flush to signed zero, matching the paper's
+    // ignore-the-corners semantics.
+    return simd::sfEncodeCode(layoutOf(fmt),
+                              std::bit_cast<std::uint32_t>(value));
 }
 
 float
 decodeSmallFloat(const SmallFloatFormat &fmt, std::uint32_t bits)
 {
-    const unsigned e_bits = fmt.exp_bits;
-    const unsigned m_bits = fmt.man_bits;
-    const std::uint32_t sign = (bits >> (e_bits + m_bits)) & 1;
-    const std::uint32_t e_field = (bits >> m_bits) & ((1u << e_bits) - 1);
-    const std::uint32_t man = bits & ((1u << m_bits) - 1);
-
-    if (e_field == 0) {
-        // Zero, or a denormal pattern (never produced by our encoder):
-        // denormals are ignored per the paper, so flush to signed zero.
-        return std::bit_cast<float>(sign << 31);
-    }
+    const std::uint32_t e_field =
+        (bits >> fmt.man_bits) & ((1u << fmt.exp_bits) - 1);
     GIST_ASSERT(e_field <= static_cast<std::uint32_t>(fmt.maxExpField()),
                 "reserved exponent field in small-float pattern");
-
-    const std::uint32_t f32_exp =
-        static_cast<std::uint32_t>(static_cast<int>(e_field) - fmt.bias() +
-                                   127);
-    const std::uint32_t f32_man = man << (kF32ManBits - m_bits);
-    return std::bit_cast<float>((sign << 31) | (f32_exp << kF32ManBits) |
-                                f32_man);
+    return std::bit_cast<float>(simd::sfDecodeCode(layoutOf(fmt), bits));
 }
 
 float

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "memory/arena.hpp"
 #include "obs/trace.hpp"
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
@@ -187,7 +188,7 @@ Executor::retireAfterForward(NodeId id)
         GIST_TRACE_SCOPE_F("encode", "encode csr %s",
                            graph_.node(id).name.c_str());
         const auto t0 = std::chrono::steady_clock::now();
-        st.csr = CsrBuffer(st.plan.csr);
+        st.csr.setConfig(st.plan.csr); // retarget, keep allocations
         st.csr.encode(st.value.span());
         tele.encode_ns.add(nanosSince(t0));
         st.csr_ratio = st.csr.compressionRatio();
@@ -237,11 +238,11 @@ Executor::materialize(NodeId id)
     if (st.plan.repr == StashPlan::Repr::Csr) {
         st.csr.decode(st.value.span());
         meterSub(st.csr.bytes());
-        st.csr.clear();
+        st.csr.reset(); // keep capacity for next step's encode
     } else {
         st.dpr.decode(st.value.span());
         meterSub(st.dpr.bytes());
-        st.dpr.clear();
+        st.dpr.reset();
     }
     tele.decode_ns.add(nanosSince(t0));
     st.state = BufState::Dense;
@@ -310,6 +311,10 @@ Executor::runMinibatch(const Tensor &input,
     if (!sched)
         refreshSchedule();
     GIST_TRACE_SCOPE("exec", "minibatch");
+    // Rewind the workspace arena while no kernels are in flight: any
+    // region that overflowed last step regrows to its high-water size,
+    // so warm steps serve all scratch without touching the heap.
+    WorkspaceArena::instance().beginStep();
     last_stats = ExecStats{};
     tele.minibatches.add(1);
     // Per-run deltas of the shared instruments (see ExecStats docs).

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "memory/arena.hpp"
 #include "tensor/gemm.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
@@ -100,15 +101,18 @@ ConvLayer::forward(const FwdCtx &ctx)
     const std::int64_t k = g.colRows();
     const std::int64_t p = g.colCols();
     const std::int64_t out_c = spec_.out_channels;
-    col_scratch.resize(static_cast<size_t>(k * p));
+    // Step-scoped workspace: the im2col panel is rebuilt per image, so
+    // it lives in the arena frame instead of a persistent member.
+    ArenaScope scope;
+    float *col_scratch = scope.alloc<float>(static_cast<size_t>(k * p));
 
     for (std::int64_t img = 0; img < batch; ++img) {
         const float *x_img = x.data() + img * in_c * g.in_h * g.in_w;
         float *y_img = y.data() + img * out_c * p;
-        im2col(g, x_img, col_scratch.data());
+        im2col(g, x_img, col_scratch);
         // Y (out_c x p) = W (out_c x k) * col (k x p)
-        gemm(false, false, out_c, p, k, 1.0f, weight.data(),
-             col_scratch.data(), 0.0f, y_img);
+        gemm(false, false, out_c, p, k, 1.0f, weight.data(), col_scratch,
+             0.0f, y_img);
         if (spec_.bias) {
             for (std::int64_t oc = 0; oc < out_c; ++oc) {
                 const float b = bias_.at(oc);
@@ -139,12 +143,15 @@ ConvLayer::backward(const BwdCtx &ctx)
     const std::int64_t k = g.colRows();
     const std::int64_t p = g.colCols();
     const std::int64_t out_c = spec_.out_channels;
-    col_scratch.resize(static_cast<size_t>(k * p));
+    ArenaScope scope;
+    float *col_scratch = scope.alloc<float>(static_cast<size_t>(k * p));
     // "Optimized software": decode one image's stash at a time instead
-    // of a full FP32 buffer (paper Section V-H).
-    std::vector<float> image_scratch;
+    // of a full FP32 buffer (paper Section V-H). The scratch comes from
+    // the same arena frame — zero heap traffic once the region is warm.
+    float *image_scratch = nullptr;
     if (!x)
-        image_scratch.resize(static_cast<size_t>(image_elems));
+        image_scratch =
+            scope.alloc<float>(static_cast<size_t>(image_elems));
 
     d_weight.setZero();
     if (spec_.bias)
@@ -156,16 +163,16 @@ ConvLayer::backward(const BwdCtx &ctx)
             x_img = x->data() + img * image_elems;
         } else {
             x_enc.decodeRange(img * image_elems,
-                              { image_scratch.data(),
-                                image_scratch.size() });
-            x_img = image_scratch.data();
+                              { image_scratch,
+                                static_cast<size_t>(image_elems) });
+            x_img = image_scratch;
         }
         const float *dy_img = dy.data() + img * out_c * p;
 
         // dW += dY (out_c x p) * col^T (p x k)
-        im2col(g, x_img, col_scratch.data());
-        gemm(false, true, out_c, k, p, 1.0f, dy_img, col_scratch.data(),
-             1.0f, d_weight.data());
+        im2col(g, x_img, col_scratch);
+        gemm(false, true, out_c, k, p, 1.0f, dy_img, col_scratch, 1.0f,
+             d_weight.data());
 
         if (spec_.bias) {
             for (std::int64_t oc = 0; oc < out_c; ++oc) {
@@ -180,9 +187,9 @@ ConvLayer::backward(const BwdCtx &ctx)
         if (dx) {
             // dcol (k x p) = W^T (k x out_c) * dY (out_c x p)
             gemm(true, false, k, p, out_c, 1.0f, weight.data(), dy_img,
-                 0.0f, col_scratch.data());
+                 0.0f, col_scratch);
             float *dx_img = dx->data() + img * image_elems;
-            col2im(g, col_scratch.data(), dx_img); // accumulates
+            col2im(g, col_scratch, dx_img); // accumulates
         }
     }
 }

@@ -68,7 +68,6 @@ class ConvLayer : public Layer
     Tensor bias_;   ///< (out_c)
     Tensor d_weight;
     Tensor d_bias;
-    std::vector<float> col_scratch; ///< im2col workspace
 };
 
 } // namespace gist

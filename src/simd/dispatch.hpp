@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD kernel table for the codec and GEMM hot paths.
+ *
+ * Three backends, each a separate translation unit compiled with its own
+ * -march flags (src/simd/CMakeLists.txt):
+ *
+ *   scalar  branchless reference (codec loops pinned unvectorized) — the
+ *           bitwise source of truth the equivalence tests sweep against;
+ *   sse2    the same generic kernels auto-vectorized for the x86-64
+ *           SSE4.2 baseline;
+ *   avx2    hand-written 8-wide AVX2/FMA intrinsics.
+ *
+ * The active backend is chosen once at first use: the GIST_SIMD
+ * environment variable (scalar | sse2 | avx2) wins if set and
+ * available, else the best ISA the CPU reports (probed via
+ * __builtin_cpu_supports on x86). setBackend() overrides at runtime
+ * (bench/tests). The integer codec kernels are bitwise-identical across
+ * backends by construction; the float GEMM kernels (axpy/dot) may round
+ * differently (FMA, wider accumulator trees) and are only required to be
+ * deterministic within a backend.
+ *
+ * Every function pointer operates on a caller-chunked range, so
+ * parallelFor call sites dispatch once per chunk, not per element.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+/** 1 on x86-64 / x86 targets, where the sse2 and avx2 TUs have bodies. */
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__) || \
+    defined(_M_IX86)
+#define GIST_SIMD_X86 1
+#else
+#define GIST_SIMD_X86 0
+#endif
+
+namespace gist::simd {
+
+enum class Backend { Scalar = 0, Sse2 = 1, Avx2 = 2 };
+inline constexpr int kNumBackends = 3;
+
+/** One backend's kernel table. */
+struct SimdOps
+{
+    const char *name = "?";
+    Backend backend = Backend::Scalar;
+
+    /**
+     * Packed small-float codecs, indexed by SfFormatIdx (fp16, fp10,
+     * fp8). Encode converts n FP32 values into ceil(n / per_word)
+     * packed words; decode is the inverse. Spans must start
+     * word-aligned. sfQuantize is decode(encode(x)) fused in place.
+     */
+    void (*sfEncode[3])(const float *src, std::int64_t n,
+                        std::uint32_t *words);
+    void (*sfDecode[3])(const std::uint32_t *words, std::int64_t n,
+                        float *dst);
+    void (*sfQuantize[3])(float *values, std::int64_t n);
+
+    /** Pack sign bits (v > 0) of n values into ceil(n / 8) bytes. */
+    void (*binarizeEncode)(const float *values, std::int64_t n,
+                           std::uint8_t *bytes);
+    /** dx[i] = bit(i) ? dy[i] : 0 over n values (bit 0 = first value). */
+    void (*binarizeBackward)(const std::uint8_t *bytes, const float *dy,
+                             std::int64_t n, float *dx);
+
+    /** Count of values != 0.0f (NaN counts, -0.0 does not). */
+    std::int64_t (*countNonzero)(const float *values, std::int64_t n);
+
+    /** y[i] += a * x[i]; backend-deterministic, not cross-backend exact. */
+    void (*axpy)(std::int64_t n, float a, const float *x, float *y);
+    /** sum(x[i] * y[i]); backend-deterministic reduction order. */
+    float (*dot)(std::int64_t n, const float *x, const float *y);
+};
+
+/** The active kernel table (resolves backend on first call). */
+const SimdOps &ops();
+
+/** Backend of the active table. */
+Backend activeBackend();
+
+/** Human-readable name ("scalar", "sse2", "avx2"). */
+const char *backendName(Backend b);
+
+/** True if the backend was compiled in AND this CPU can run it. */
+bool backendAvailable(Backend b);
+
+/** Strongest available backend on this machine. */
+Backend bestBackend();
+
+/** Kernel table of a specific backend (must be available). */
+const SimdOps &opsFor(Backend b);
+
+/**
+ * Force the active backend (bench/tests). Not thread-safe against
+ * in-flight kernels; call between parallel regions only.
+ */
+void setBackend(Backend b);
+
+/**
+ * Parse a GIST_SIMD value ("scalar" | "sse2" | "avx2", case-sensitive).
+ * Returns false (leaving @p out untouched) for anything else.
+ */
+bool parseBackend(const char *s, Backend *out);
+
+/**
+ * Re-run the GIST_SIMD / autodetect selection (undoes setBackend).
+ * Returns the backend now active. Exposed so tests can exercise the
+ * env plumbing without reloading the process.
+ */
+Backend initFromEnv();
+
+/* Per-backend tables, defined one per kernel TU. sse2Ops/avx2Ops exist
+ * only when their TU is compiled in (x86 and not GIST_SIMD_DISABLE). */
+const SimdOps &scalarOps();
+#if GIST_SIMD_X86 && !defined(GIST_SIMD_SCALAR_ONLY)
+const SimdOps &sse2Ops();
+const SimdOps &avx2Ops();
+#endif
+
+} // namespace gist::simd

@@ -1,0 +1,384 @@
+/**
+ * @file
+ * AVX2 backend: hand-written 8-wide intrinsics for the codec and GEMM
+ * hot loops (per-file -mavx2 -mfma -mf16c -O3).
+ *
+ * The small-float conversions are pure integer exponent/mantissa
+ * arithmetic — the same branchless formulas as sf_codes.hpp lane-lifted
+ * onto __m256i (compares produce lane masks, selects are blends), so
+ * codec output is bitwise-identical to the scalar reference including
+ * NaN/inf/denormal and rounding-tie inputs. Tails shorter than a vector
+ * fall back to the shared scalar formulas, which are identical by
+ * construction.
+ *
+ * F16C is deliberately NOT used for the FP16 path: VCVTPS2PH keeps NaNs
+ * and produces half denormals, while the paper's codec flushes denormals
+ * and encodes NaN as +0 — the integer pipeline matches the reference
+ * bit-for-bit and serves all three formats uniformly.
+ */
+
+#include "simd/dispatch.hpp"
+
+#if GIST_SIMD_X86
+
+#include <immintrin.h>
+
+#include "simd/sf_codes.hpp"
+
+namespace gist::simd {
+namespace {
+
+/** Lane-lifted sfEncodeCode: 8 FP32 bit patterns -> 8 codes. */
+template <int IDX>
+inline __m256i
+encodeCodes8(__m256i u)
+{
+    constexpr SfLayout L = kSfLayouts[IDX];
+    constexpr int m = static_cast<int>(L.m_bits);
+    constexpr int shift = 23 - m;
+    constexpr std::uint32_t man_mask = (1u << m) - 1u;
+
+    const __m256i sign = _mm256_srli_epi32(u, 31);
+    const __m256i f32_exp =
+        _mm256_and_si256(_mm256_srli_epi32(u, 23), _mm256_set1_epi32(0xff));
+    const __m256i f32_man =
+        _mm256_and_si256(u, _mm256_set1_epi32(0x7fffff));
+    const __m256i sign_shifted =
+        _mm256_slli_epi32(sign, static_cast<int>(L.e_bits) + m);
+    const __m256i max_finite = _mm256_or_si256(
+        sign_shifted,
+        _mm256_set1_epi32(
+            (static_cast<std::int32_t>(L.max_exp_field) << m) |
+            static_cast<std::int32_t>(man_mask)));
+
+    // Round-to-nearest-even of the 24-bit significand (see sf_codes.hpp).
+    const __m256i frac24 =
+        _mm256_or_si256(f32_man, _mm256_set1_epi32(1 << 23));
+    const __m256i lsb = _mm256_and_si256(_mm256_srli_epi32(frac24, shift),
+                                         _mm256_set1_epi32(1));
+    __m256i t = _mm256_srli_epi32(
+        _mm256_add_epi32(frac24,
+                         _mm256_add_epi32(
+                             lsb, _mm256_set1_epi32((1 << (shift - 1)) - 1))),
+        shift);
+    const __m256i carry = _mm256_srli_epi32(t, m + 1);
+    t = _mm256_srlv_epi32(t, carry);
+
+    const __m256i e_field = _mm256_add_epi32(
+        _mm256_add_epi32(f32_exp, carry),
+        _mm256_set1_epi32(L.bias - 127));
+
+    const __m256i normal = _mm256_or_si256(
+        _mm256_or_si256(sign_shifted, _mm256_slli_epi32(e_field, m)),
+        _mm256_and_si256(t, _mm256_set1_epi32(
+                                static_cast<std::int32_t>(man_mask))));
+
+    const __m256i is_special =
+        _mm256_cmpeq_epi32(f32_exp, _mm256_set1_epi32(0xff));
+    const __m256i man_is_zero =
+        _mm256_cmpeq_epi32(f32_man, _mm256_setzero_si256());
+    const __m256i is_nan = _mm256_andnot_si256(man_is_zero, is_special);
+    const __m256i is_input_zero =
+        _mm256_cmpeq_epi32(f32_exp, _mm256_setzero_si256());
+    const __m256i overflow = _mm256_cmpgt_epi32(
+        e_field, _mm256_set1_epi32(L.max_exp_field));
+    const __m256i underflow =
+        _mm256_cmpgt_epi32(_mm256_set1_epi32(1), e_field);
+
+    __m256i r = _mm256_blendv_epi8(normal, max_finite, overflow);
+    r = _mm256_blendv_epi8(r, sign_shifted,
+                           _mm256_or_si256(underflow, is_input_zero));
+    r = _mm256_blendv_epi8(r, max_finite, is_special); // +/-inf clamps
+    r = _mm256_andnot_si256(is_nan, r);                // NaN encodes as +0
+    return r;
+}
+
+/** Lane-lifted sfDecodeCode: 8 codes -> 8 FP32 bit patterns. */
+template <int IDX>
+inline __m256i
+decodeCodes8(__m256i code)
+{
+    constexpr SfLayout L = kSfLayouts[IDX];
+    constexpr int m = static_cast<int>(L.m_bits);
+
+    const __m256i sign = _mm256_and_si256(
+        _mm256_srli_epi32(code, static_cast<int>(L.e_bits) + m),
+        _mm256_set1_epi32(1));
+    const __m256i e_field = _mm256_and_si256(
+        _mm256_srli_epi32(code, m),
+        _mm256_set1_epi32((1 << L.e_bits) - 1));
+    const __m256i man =
+        _mm256_and_si256(code, _mm256_set1_epi32((1 << m) - 1));
+    const __m256i e_is_zero =
+        _mm256_cmpeq_epi32(e_field, _mm256_setzero_si256());
+    const __m256i f32_exp =
+        _mm256_add_epi32(e_field, _mm256_set1_epi32(127 - L.bias));
+    const __m256i body =
+        _mm256_or_si256(_mm256_slli_epi32(f32_exp, 23),
+                        _mm256_slli_epi32(man, 23 - m));
+    return _mm256_or_si256(_mm256_slli_epi32(sign, 31),
+                           _mm256_andnot_si256(e_is_zero, body));
+}
+
+template <int IDX>
+void
+encodeCodesSpan(const SfLayout &, const float *src, std::int64_t n,
+                std::uint32_t *codes)
+{
+    constexpr SfLayout L = kSfLayouts[IDX];
+    const auto *bits = reinterpret_cast<const std::uint32_t *>(src);
+    std::int64_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(codes + i),
+            encodeCodes8<IDX>(_mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(bits + i))));
+    for (; i < n; ++i)
+        codes[i] = sfEncodeCode(L, bits[i]);
+}
+
+template <int IDX>
+void
+decodeCodesSpan(const SfLayout &, const std::uint32_t *codes,
+                std::int64_t n, float *dst)
+{
+    constexpr SfLayout L = kSfLayouts[IDX];
+    auto *out = reinterpret_cast<std::uint32_t *>(dst);
+    std::int64_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(out + i),
+            decodeCodes8<IDX>(_mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(codes + i))));
+    for (; i < n; ++i)
+        out[i] = sfDecodeCode(L, codes[i]);
+}
+
+template <int IDX>
+void
+sfEncodeAvx2(const float *src, std::int64_t n, std::uint32_t *words)
+{
+    sfEncodeBlocks(kSfLayouts[IDX], src, n, words, encodeCodesSpan<IDX>);
+}
+
+/**
+ * FP16 skips the staged codes buffer entirely: encode 8 values, pack
+ * the 8 halves into 4 words in-register (OR the odd lane shifted into
+ * the even lane of each 64-bit pair, then compress the even 32-bit
+ * lanes), and store 16 bytes.
+ */
+template <>
+void
+sfEncodeAvx2<kSfFp16>(const float *src, std::int64_t n,
+                      std::uint32_t *words)
+{
+    constexpr SfLayout L = kSfLayouts[kSfFp16];
+    const auto *bits = reinterpret_cast<const std::uint32_t *>(src);
+    const __m256i gather_even =
+        _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+    std::int64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256i codes = encodeCodes8<kSfFp16>(_mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(bits + i)));
+        // 64-bit pair (c_even | c_odd << 32) -> c_even | c_odd << 16.
+        const __m256i paired =
+            _mm256_or_si256(codes, _mm256_srli_epi64(codes, 16));
+        const __m256i packed =
+            _mm256_permutevar8x32_epi32(paired, gather_even);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(words + i / 2),
+                         _mm256_castsi256_si128(packed));
+    }
+    if (i < n) {
+        alignas(32) std::uint32_t codes[8];
+        for (std::int64_t j = i; j < n; ++j)
+            codes[j - i] = sfEncodeCode(L, bits[j]);
+        sfPackWords(L, codes, n - i, words + i / 2);
+    }
+}
+
+template <int IDX>
+void
+sfDecodeAvx2(const std::uint32_t *words, std::int64_t n, float *dst)
+{
+    sfDecodeBlocks(kSfLayouts[IDX], words, n, dst, decodeCodesSpan<IDX>);
+}
+
+/** FP16 unpack is a single 16->32 widen, so skip the staged buffer. */
+template <>
+void
+sfDecodeAvx2<kSfFp16>(const std::uint32_t *words, std::int64_t n,
+                      float *dst)
+{
+    constexpr SfLayout L = kSfLayouts[kSfFp16];
+    auto *out = reinterpret_cast<std::uint32_t *>(dst);
+    std::int64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256i codes = _mm256_cvtepu16_epi32(_mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(words + i / 2)));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(out + i),
+                            decodeCodes8<kSfFp16>(codes));
+    }
+    for (; i < n; ++i) {
+        const std::uint32_t w = words[i / 2];
+        out[i] = sfDecodeCode(L, (w >> ((i & 1) * 16)) & 0xffffu);
+    }
+}
+
+template <int IDX>
+void
+sfQuantizeAvx2(float *values, std::int64_t n)
+{
+    constexpr SfLayout L = kSfLayouts[IDX];
+    auto *bits = reinterpret_cast<std::uint32_t *>(values);
+    std::int64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256i u = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(bits + i));
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(bits + i),
+            decodeCodes8<IDX>(encodeCodes8<IDX>(u)));
+    }
+    for (; i < n; ++i)
+        bits[i] = sfDecodeCode(L, sfEncodeCode(L, bits[i]));
+}
+
+void
+binarizeEncodeAvx2(const float *values, std::int64_t n, std::uint8_t *bytes)
+{
+    const __m256 zero = _mm256_setzero_ps();
+    std::int64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 m = _mm256_cmp_ps(_mm256_loadu_ps(values + i), zero,
+                                       _CMP_GT_OQ);
+        *bytes++ = static_cast<std::uint8_t>(_mm256_movemask_ps(m));
+    }
+    if (i < n) {
+        std::uint32_t acc = 0;
+        for (int b = 0; i + b < n; ++b)
+            acc |= static_cast<std::uint32_t>(values[i + b] > 0.0f) << b;
+        *bytes = static_cast<std::uint8_t>(acc);
+    }
+}
+
+void
+binarizeBackwardAvx2(const std::uint8_t *bytes, const float *dy,
+                     std::int64_t n, float *dx)
+{
+    const __m256i bitpos =
+        _mm256_setr_epi32(1, 2, 4, 8, 16, 32, 64, 128);
+    std::int64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256i b = _mm256_set1_epi32(bytes[i >> 3]);
+        const __m256i keep =
+            _mm256_cmpeq_epi32(_mm256_and_si256(b, bitpos), bitpos);
+        const __m256 m = _mm256_and_ps(_mm256_loadu_ps(dy + i),
+                                       _mm256_castsi256_ps(keep));
+        _mm256_storeu_ps(dx + i, m);
+    }
+    for (; i < n; ++i) {
+        const std::uint32_t keep =
+            maskOf((bytes[i >> 3] >> (i & 7)) & 1u);
+        reinterpret_cast<std::uint32_t *>(dx)[i] =
+            reinterpret_cast<const std::uint32_t *>(dy)[i] & keep;
+    }
+}
+
+std::int64_t
+countNonzeroAvx2(const float *values, std::int64_t n)
+{
+    const __m256 zero = _mm256_setzero_ps();
+    std::int64_t count = 0;
+    std::int64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        // Unordered-NEQ: NaN counts as nonzero, -0.0 does not.
+        const __m256 m = _mm256_cmp_ps(_mm256_loadu_ps(values + i), zero,
+                                       _CMP_NEQ_UQ);
+        count += _mm_popcnt_u32(
+            static_cast<unsigned>(_mm256_movemask_ps(m)));
+    }
+    for (; i < n; ++i)
+        count += (values[i] != 0.0f);
+    return count;
+}
+
+void
+axpyAvx2(std::int64_t n, float a, const float *x, float *y)
+{
+    const __m256 va = _mm256_set1_ps(a);
+    std::int64_t j = 0;
+    for (; j + 16 <= n; j += 16) {
+        const __m256 y0 = _mm256_fmadd_ps(va, _mm256_loadu_ps(x + j),
+                                          _mm256_loadu_ps(y + j));
+        const __m256 y1 = _mm256_fmadd_ps(va, _mm256_loadu_ps(x + j + 8),
+                                          _mm256_loadu_ps(y + j + 8));
+        _mm256_storeu_ps(y + j, y0);
+        _mm256_storeu_ps(y + j + 8, y1);
+    }
+    for (; j + 8 <= n; j += 8)
+        _mm256_storeu_ps(y + j,
+                         _mm256_fmadd_ps(va, _mm256_loadu_ps(x + j),
+                                         _mm256_loadu_ps(y + j)));
+    for (; j < n; ++j)
+        y[j] += a * x[j];
+}
+
+float
+dotAvx2(std::int64_t n, const float *x, const float *y)
+{
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    __m256 acc2 = _mm256_setzero_ps();
+    __m256 acc3 = _mm256_setzero_ps();
+    std::int64_t p = 0;
+    for (; p + 32 <= n; p += 32) {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(x + p),
+                               _mm256_loadu_ps(y + p), acc0);
+        acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(x + p + 8),
+                               _mm256_loadu_ps(y + p + 8), acc1);
+        acc2 = _mm256_fmadd_ps(_mm256_loadu_ps(x + p + 16),
+                               _mm256_loadu_ps(y + p + 16), acc2);
+        acc3 = _mm256_fmadd_ps(_mm256_loadu_ps(x + p + 24),
+                               _mm256_loadu_ps(y + p + 24), acc3);
+    }
+    for (; p + 8 <= n; p += 8)
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(x + p),
+                               _mm256_loadu_ps(y + p), acc0);
+    const __m256 acc = _mm256_add_ps(_mm256_add_ps(acc0, acc1),
+                                     _mm256_add_ps(acc2, acc3));
+    const __m128 lo = _mm256_castps256_ps128(acc);
+    const __m128 hi = _mm256_extractf128_ps(acc, 1);
+    __m128 s = _mm_add_ps(lo, hi);
+    s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+    s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+    float sum = _mm_cvtss_f32(s);
+    for (; p < n; ++p)
+        sum += x[p] * y[p];
+    return sum;
+}
+
+} // namespace
+
+const SimdOps &
+avx2Ops()
+{
+    static const SimdOps ops = {
+        "avx2",
+        Backend::Avx2,
+        { sfEncodeAvx2<kSfFp16>, sfEncodeAvx2<kSfFp10>,
+          sfEncodeAvx2<kSfFp8> },
+        { sfDecodeAvx2<kSfFp16>, sfDecodeAvx2<kSfFp10>,
+          sfDecodeAvx2<kSfFp8> },
+        { sfQuantizeAvx2<kSfFp16>, sfQuantizeAvx2<kSfFp10>,
+          sfQuantizeAvx2<kSfFp8> },
+        binarizeEncodeAvx2,
+        binarizeBackwardAvx2,
+        countNonzeroAvx2,
+        axpyAvx2,
+        dotAvx2,
+    };
+    return ops;
+}
+
+} // namespace gist::simd
+
+#endif // GIST_SIMD_X86

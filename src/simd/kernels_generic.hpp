@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Generic kernel bodies shared by the scalar and sse2 backend TUs.
+ *
+ * Included exactly once per backend translation unit with two macros
+ * set:
+ *
+ *   GIST_KIMPL_NS     the namespace the kernels are emitted into
+ *                     (kernels_scalar / kernels_sse2);
+ *   GIST_KIMPL_NOVEC  attribute pinning codec loops unvectorized in the
+ *                     scalar TU (empty elsewhere), so "scalar" stays a
+ *                     true one-lane reference even at -O3 while the sse2
+ *                     TU lets the compiler auto-vectorize the identical
+ *                     branchless formulas.
+ *
+ * Everything here is branchless integer arithmetic from sf_codes.hpp,
+ * so every instantiation produces bitwise-identical codec output.
+ */
+
+#ifndef GIST_KIMPL_NS
+#error "define GIST_KIMPL_NS before including kernels_generic.hpp"
+#endif
+
+#include <cstdint>
+
+#include "simd/sf_codes.hpp"
+
+namespace gist::simd {
+namespace GIST_KIMPL_NS {
+
+template <int IDX>
+GIST_KIMPL_NOVEC void
+sfEncodeCodesLoop(const SfLayout &, const float *src, std::int64_t n,
+                  std::uint32_t *codes)
+{
+    constexpr SfLayout L = kSfLayouts[IDX]; // compile-time shift counts
+    const auto *bits = reinterpret_cast<const std::uint32_t *>(src);
+    for (std::int64_t i = 0; i < n; ++i)
+        codes[i] = sfEncodeCode(L, bits[i]);
+}
+
+template <int IDX>
+GIST_KIMPL_NOVEC void
+sfDecodeCodesLoop(const SfLayout &, const std::uint32_t *codes,
+                  std::int64_t n, float *dst)
+{
+    constexpr SfLayout L = kSfLayouts[IDX];
+    auto *out = reinterpret_cast<std::uint32_t *>(dst);
+    for (std::int64_t i = 0; i < n; ++i)
+        out[i] = sfDecodeCode(L, codes[i]);
+}
+
+template <int IDX>
+GIST_KIMPL_NOVEC void
+sfEncode(const float *src, std::int64_t n, std::uint32_t *words)
+{
+    sfEncodeBlocks(kSfLayouts[IDX], src, n, words, sfEncodeCodesLoop<IDX>);
+}
+
+template <int IDX>
+GIST_KIMPL_NOVEC void
+sfDecode(const std::uint32_t *words, std::int64_t n, float *dst)
+{
+    sfDecodeBlocks(kSfLayouts[IDX], words, n, dst, sfDecodeCodesLoop<IDX>);
+}
+
+template <int IDX>
+GIST_KIMPL_NOVEC void
+sfQuantize(float *values, std::int64_t n)
+{
+    constexpr SfLayout L = kSfLayouts[IDX];
+    auto *bits = reinterpret_cast<std::uint32_t *>(values);
+    for (std::int64_t i = 0; i < n; ++i)
+        bits[i] = sfDecodeCode(L, sfEncodeCode(L, bits[i]));
+}
+
+GIST_KIMPL_NOVEC inline void
+binarizeEncode(const float *values, std::int64_t n, std::uint8_t *bytes)
+{
+    std::int64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        std::uint32_t acc = 0;
+        for (int b = 0; b < 8; ++b)
+            acc |= static_cast<std::uint32_t>(values[i + b] > 0.0f) << b;
+        *bytes++ = static_cast<std::uint8_t>(acc);
+    }
+    if (i < n) {
+        std::uint32_t acc = 0;
+        for (int b = 0; i + b < n; ++b)
+            acc |= static_cast<std::uint32_t>(values[i + b] > 0.0f) << b;
+        *bytes = static_cast<std::uint8_t>(acc);
+    }
+}
+
+GIST_KIMPL_NOVEC inline void
+binarizeBackward(const std::uint8_t *bytes, const float *dy, std::int64_t n,
+                 float *dx)
+{
+    const auto *dy_bits = reinterpret_cast<const std::uint32_t *>(dy);
+    auto *dx_bits = reinterpret_cast<std::uint32_t *>(dx);
+    for (std::int64_t i = 0; i < n; ++i) {
+        const std::uint32_t keep =
+            maskOf((bytes[i >> 3] >> (i & 7)) & 1u);
+        dx_bits[i] = dy_bits[i] & keep;
+    }
+}
+
+GIST_KIMPL_NOVEC inline std::int64_t
+countNonzero(const float *values, std::int64_t n)
+{
+    std::int64_t count = 0;
+    for (std::int64_t i = 0; i < n; ++i)
+        count += (values[i] != 0.0f);
+    return count;
+}
+
+/* The float GEMM microkernels are NOT pinned unvectorized: the scalar
+ * backend only has to be the bitwise reference for the integer codecs,
+ * and letting the compiler vectorize axpy/dot keeps GIST_SIMD=scalar
+ * from regressing GEMM against the pre-dispatch code. */
+
+inline void
+axpy(std::int64_t n, float a, const float *x, float *y)
+{
+    for (std::int64_t j = 0; j < n; ++j)
+        y[j] += a * x[j];
+}
+
+inline float
+dot(std::int64_t n, const float *x, const float *y)
+{
+    // Four-lane accumulator split: exposes vector lanes and fixes the
+    // reduction order so results are deterministic per backend.
+    float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+    std::int64_t p = 0;
+    for (; p + 4 <= n; p += 4) {
+        acc0 += x[p] * y[p];
+        acc1 += x[p + 1] * y[p + 1];
+        acc2 += x[p + 2] * y[p + 2];
+        acc3 += x[p + 3] * y[p + 3];
+    }
+    for (; p < n; ++p)
+        acc0 += x[p] * y[p];
+    return (acc0 + acc1) + (acc2 + acc3);
+}
+
+} // namespace GIST_KIMPL_NS
+} // namespace gist::simd

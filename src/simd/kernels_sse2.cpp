@@ -1,0 +1,88 @@
+/**
+ * @file
+ * SSE backend: the generic branchless kernels compiled for the x86-64
+ * SSE4.2 baseline (per-file -msse4.2 -O3, see src/simd/CMakeLists.txt)
+ * so the compiler auto-vectorizes the integer codec formulas 4-wide,
+ * plus hand-written compare+movemask loops for the paths whose scalar
+ * form the vectorizer cannot restructure (binarize packing, nonzero
+ * counting). Bitwise-identical to the scalar reference by construction:
+ * identical integer arithmetic, identical tail handling.
+ */
+
+#define GIST_KIMPL_NOVEC
+#define GIST_KIMPL_NS kernels_sse2
+
+#include "simd/kernels_generic.hpp"
+
+#include "simd/dispatch.hpp"
+
+#if GIST_SIMD_X86
+#include <nmmintrin.h> // SSE4.2 (includes SSE2, popcnt)
+
+namespace gist::simd {
+namespace {
+
+void
+binarizeEncodeSse(const float *values, std::int64_t n, std::uint8_t *bytes)
+{
+    const __m128 zero = _mm_setzero_ps();
+    std::int64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const int lo = _mm_movemask_ps(
+            _mm_cmpgt_ps(_mm_loadu_ps(values + i), zero));
+        const int hi = _mm_movemask_ps(
+            _mm_cmpgt_ps(_mm_loadu_ps(values + i + 4), zero));
+        *bytes++ = static_cast<std::uint8_t>(lo | (hi << 4));
+    }
+    if (i < n) {
+        std::uint32_t acc = 0;
+        for (int b = 0; i + b < n; ++b)
+            acc |= static_cast<std::uint32_t>(values[i + b] > 0.0f) << b;
+        *bytes = static_cast<std::uint8_t>(acc);
+    }
+}
+
+std::int64_t
+countNonzeroSse(const float *values, std::int64_t n)
+{
+    const __m128 zero = _mm_setzero_ps();
+    std::int64_t count = 0;
+    std::int64_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        // NEQ is unordered-or-unequal: NaN counts as nonzero, -0.0 does
+        // not — exactly the scalar v != 0.0f.
+        const __m128 m =
+            _mm_cmpneq_ps(_mm_loadu_ps(values + i), zero);
+        count += _mm_popcnt_u32(
+            static_cast<unsigned>(_mm_movemask_ps(m)));
+    }
+    for (; i < n; ++i)
+        count += (values[i] != 0.0f);
+    return count;
+}
+
+} // namespace
+
+const SimdOps &
+sse2Ops()
+{
+    namespace k = kernels_sse2;
+    static const SimdOps ops = {
+        "sse2",
+        Backend::Sse2,
+        { k::sfEncode<kSfFp16>, k::sfEncode<kSfFp10>, k::sfEncode<kSfFp8> },
+        { k::sfDecode<kSfFp16>, k::sfDecode<kSfFp10>, k::sfDecode<kSfFp8> },
+        { k::sfQuantize<kSfFp16>, k::sfQuantize<kSfFp10>,
+          k::sfQuantize<kSfFp8> },
+        binarizeEncodeSse,
+        k::binarizeBackward,
+        countNonzeroSse,
+        k::axpy,
+        k::dot,
+    };
+    return ops;
+}
+
+} // namespace gist::simd
+
+#endif // GIST_SIMD_X86

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Branchless small-float conversion core shared by every SIMD backend.
+ *
+ * The scalar functions here are the bitwise source of truth for the
+ * paper's FP16/FP10/FP8 storage formats: round-to-nearest-even, clamp
+ * out-of-range values to the max finite magnitude, flush denormals to
+ * signed zero, encode NaN as +0 (Section IV-A semantics, identical to
+ * encodings/small_float.cpp). Every operation is expressed with masks
+ * and selects — no per-value branches — so the same formulas lower
+ * directly to integer SIMD in the vector backends and auto-vectorize in
+ * the SSE backend, guaranteeing bit-for-bit agreement across ISAs.
+ *
+ * Layout of a packed word (dpr.hpp): per_word values of `bits` bits
+ * each, value i at bit offset i * bits, unused high bits zero.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace gist::simd {
+
+/** Compile-time constants of one storage format. */
+struct SfLayout
+{
+    std::uint32_t e_bits;
+    std::uint32_t m_bits;
+    std::int32_t bias;           ///< (1 << (e_bits - 1)) - 1
+    std::int32_t max_exp_field;  ///< (1 << e_bits) - 2; all-ones reserved
+    std::uint32_t per_word;      ///< values packed per 32-bit word
+    std::uint32_t bits;          ///< bits per stored value
+};
+
+/** Index into kSfLayouts (matches DprFormat order minus Fp32). */
+enum SfFormatIdx { kSfFp16 = 0, kSfFp10 = 1, kSfFp8 = 2, kSfFormatCount = 3 };
+
+inline constexpr SfLayout kSfLayouts[kSfFormatCount] = {
+    { 5, 10, 15, 30, 2, 16 }, // FP16 (IEEE half for normal values)
+    { 5, 4, 15, 30, 3, 10 },  // FP10
+    { 4, 3, 7, 14, 4, 8 },    // FP8
+};
+
+/** All-ones when @p cond, else all-zeros. */
+inline std::uint32_t
+maskOf(bool cond)
+{
+    return 0u - static_cast<std::uint32_t>(cond);
+}
+
+/** b where mask is 0, a where mask is all-ones (per-bit select). */
+inline std::uint32_t
+selectBits(std::uint32_t mask, std::uint32_t a, std::uint32_t b)
+{
+    return b ^ ((a ^ b) & mask);
+}
+
+/**
+ * Encode one FP32 bit pattern @p u into the small format's code
+ * (right-aligned). Branchless; bitwise-identical to
+ * gist::encodeSmallFloat for every input pattern.
+ */
+inline std::uint32_t
+sfEncodeCode(const SfLayout &L, std::uint32_t u)
+{
+    const std::uint32_t m = L.m_bits;
+    const std::uint32_t sign = u >> 31;
+    const std::uint32_t f32_exp = (u >> 23) & 0xffu;
+    const std::uint32_t f32_man = u & 0x7fffffu;
+    const std::uint32_t sign_shifted = sign << (L.e_bits + m);
+    const std::uint32_t man_mask = (1u << m) - 1;
+    const std::uint32_t max_finite =
+        sign_shifted | (static_cast<std::uint32_t>(L.max_exp_field) << m) |
+        man_mask;
+
+    // Round the 24-bit significand to m bits with round-to-nearest-even:
+    // t = (frac + half - 1 + lsb) >> shift increments exactly when the
+    // dropped tail exceeds half, or equals half with an odd keep-LSB.
+    const std::uint32_t shift = 23 - m;
+    const std::uint32_t frac24 = (1u << 23) | f32_man;
+    const std::uint32_t half = 1u << (shift - 1);
+    const std::uint32_t lsb = (frac24 >> shift) & 1u;
+    std::uint32_t t = (frac24 + (half - 1u) + lsb) >> shift;
+    // Mantissa carry (all-ones rounds up to 10.0...0): renormalize.
+    const std::uint32_t carry = t >> (m + 1);
+    t >>= carry;
+
+    const std::int32_t e_field = static_cast<std::int32_t>(f32_exp) - 127 +
+                                 static_cast<std::int32_t>(carry) + L.bias;
+
+    const std::uint32_t normal =
+        sign_shifted | (static_cast<std::uint32_t>(e_field) << m) |
+        (t & man_mask);
+
+    const std::uint32_t is_special = maskOf(f32_exp == 0xffu);
+    const std::uint32_t is_nan = is_special & maskOf(f32_man != 0);
+    const std::uint32_t is_input_zero = maskOf(f32_exp == 0);
+    const std::uint32_t overflow = maskOf(e_field > L.max_exp_field);
+    const std::uint32_t underflow = maskOf(e_field <= 0);
+
+    std::uint32_t r = selectBits(overflow, max_finite, normal);
+    r = selectBits(underflow | is_input_zero, sign_shifted, r);
+    r = selectBits(is_special, max_finite, r); // +/-inf clamps
+    r = selectBits(is_nan, 0u, r);             // NaN encodes as +0
+    return r;
+}
+
+/**
+ * Decode one small-format code to FP32 bits. Denormal patterns
+ * (e_field == 0, never produced by the encoder) flush to signed zero;
+ * reserved-exponent patterns are the caller's responsibility (the
+ * public decodeSmallFloat asserts on them).
+ */
+inline std::uint32_t
+sfDecodeCode(const SfLayout &L, std::uint32_t code)
+{
+    const std::uint32_t m = L.m_bits;
+    const std::uint32_t sign = (code >> (L.e_bits + m)) & 1u;
+    const std::uint32_t e_field = (code >> m) & ((1u << L.e_bits) - 1u);
+    const std::uint32_t man = code & ((1u << m) - 1u);
+    const std::uint32_t nonzero = maskOf(e_field != 0);
+    const std::uint32_t f32_exp =
+        e_field + 127u - static_cast<std::uint32_t>(L.bias);
+    const std::uint32_t body = (f32_exp << 23) | (man << (23 - m));
+    return (sign << 31) | (nonzero & body);
+}
+
+/**
+ * Pack @p n codes into ceil(n / per_word) words; trailing lanes of the
+ * last word are zero.
+ */
+inline void
+sfPackWords(const SfLayout &L, const std::uint32_t *codes, std::int64_t n,
+            std::uint32_t *words)
+{
+    const auto per_word = static_cast<std::int64_t>(L.per_word);
+    std::int64_t i = 0;
+    for (; i + per_word <= n; i += per_word) {
+        std::uint32_t w = 0;
+        for (std::int64_t l = 0; l < per_word; ++l)
+            w |= codes[i + l] << (static_cast<unsigned>(l) * L.bits);
+        *words++ = w;
+    }
+    if (i < n) {
+        std::uint32_t w = 0;
+        for (std::int64_t l = 0; i + l < n; ++l)
+            w |= codes[i + l] << (static_cast<unsigned>(l) * L.bits);
+        *words = w;
+    }
+}
+
+/** Unpack @p n codes from their packed words. */
+inline void
+sfUnpackWords(const SfLayout &L, const std::uint32_t *words, std::int64_t n,
+              std::uint32_t *codes)
+{
+    const auto per_word = static_cast<std::int64_t>(L.per_word);
+    const std::uint32_t mask =
+        (L.bits >= 32) ? ~0u : ((1u << L.bits) - 1u);
+    std::int64_t i = 0;
+    for (; i + per_word <= n; i += per_word) {
+        const std::uint32_t w = *words++;
+        for (std::int64_t l = 0; l < per_word; ++l)
+            codes[i + l] = (w >> (static_cast<unsigned>(l) * L.bits)) & mask;
+    }
+    if (i < n) {
+        const std::uint32_t w = *words;
+        for (std::int64_t l = 0; i + l < n; ++l)
+            codes[i + l] = (w >> (static_cast<unsigned>(l) * L.bits)) & mask;
+    }
+}
+
+/**
+ * Block size (values) for the staged encode/decode drivers: the codes
+ * scratch stays L1-resident and the size divides every per_word (2, 3,
+ * 4) and the 8-wide vector step, so only the final block has tails.
+ */
+inline constexpr std::int64_t kSfBlock = 3072;
+
+/**
+ * Whole-span encode driver: vectorized code conversion into an on-stack
+ * block, then scalar word packing. @p enc converts cnt float bit
+ * patterns to codes. The span must start word-aligned (the caller's
+ * chunking is word-granular).
+ */
+template <class EncodeCodes>
+inline void
+sfEncodeBlocks(const SfLayout &L, const float *src, std::int64_t n,
+               std::uint32_t *words, EncodeCodes enc)
+{
+    alignas(64) std::uint32_t codes[kSfBlock];
+    for (std::int64_t base = 0; base < n; base += kSfBlock) {
+        const std::int64_t cnt =
+            n - base < kSfBlock ? n - base : kSfBlock;
+        enc(L, src + base, cnt, codes);
+        sfPackWords(L, codes, cnt,
+                    words + base / static_cast<std::int64_t>(L.per_word));
+    }
+}
+
+/** Whole-span decode driver, mirror of sfEncodeBlocks. */
+template <class DecodeCodes>
+inline void
+sfDecodeBlocks(const SfLayout &L, const std::uint32_t *words, std::int64_t n,
+               float *dst, DecodeCodes dec)
+{
+    alignas(64) std::uint32_t codes[kSfBlock];
+    for (std::int64_t base = 0; base < n; base += kSfBlock) {
+        const std::int64_t cnt =
+            n - base < kSfBlock ? n - base : kSfBlock;
+        sfUnpackWords(L, words + base / static_cast<std::int64_t>(L.per_word),
+                      cnt, codes);
+        dec(L, codes, cnt, dst + base);
+    }
+}
+
+} // namespace gist::simd

@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
-#include <vector>
 
+#include "memory/arena.hpp"
 #include "obs/trace.hpp"
+#include "simd/dispatch.hpp"
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
 
@@ -54,9 +55,14 @@ panelNoTransB(std::int64_t i0, std::int64_t i1, std::int64_t n,
               std::int64_t k, bool trans_a, std::int64_t m, float alpha,
               const float *a, const float *b, float beta, float *c)
 {
-    std::vector<float> a_pack;
+    // Panels run on pool workers; the arena frame bumps this worker's
+    // own region, so the A-pack costs no heap allocation once the
+    // region is warm.
+    ArenaScope scope;
+    float *a_pack = nullptr;
     if (trans_a)
-        a_pack.resize(static_cast<size_t>((i1 - i0) * kKC));
+        a_pack = scope.alloc<float>(static_cast<size_t>((i1 - i0) * kKC));
+    const auto axpy = simd::ops().axpy;
 
     for (std::int64_t pc = 0; pc < k; pc += kKC) {
         const std::int64_t kc = std::min(kKC, k - pc);
@@ -75,16 +81,13 @@ panelNoTransB(std::int64_t i0, std::int64_t i1, std::int64_t n,
                 if (beta == 0.0f && pc == 0)
                     std::memset(c_row, 0,
                                 static_cast<size_t>(nc) * sizeof(float));
-                const float *a_row =
-                    trans_a ? a_pack.data() + (i - i0) * kc
-                            : a + i * k + pc;
+                const float *a_row = trans_a ? a_pack + (i - i0) * kc
+                                             : a + i * k + pc;
                 for (std::int64_t p = 0; p < kc; ++p) {
                     const float a_val = alpha * a_row[p];
                     if (a_val == 0.0f)
                         continue;
-                    const float *b_row = b + (pc + p) * n + jc;
-                    for (std::int64_t j = 0; j < nc; ++j)
-                        c_row[j] += a_val * b_row[j];
+                    axpy(nc, a_val, b + (pc + p) * n + jc, c_row);
                 }
             }
         }
@@ -101,34 +104,24 @@ panelTransB(std::int64_t i0, std::int64_t i1, std::int64_t n,
             std::int64_t k, bool trans_a, std::int64_t m, float alpha,
             const float *a, const float *b, float beta, float *c)
 {
-    std::vector<float> a_pack;
+    ArenaScope scope;
+    float *a_pack = nullptr;
     if (trans_a) {
-        a_pack.resize(static_cast<size_t>((i1 - i0) * k));
+        a_pack = scope.alloc<float>(static_cast<size_t>((i1 - i0) * k));
         for (std::int64_t i = i0; i < i1; ++i)
             for (std::int64_t p = 0; p < k; ++p)
-                a_pack[static_cast<size_t>((i - i0) * k + p)] =
-                    a[p * m + i];
+                a_pack[(i - i0) * k + p] = a[p * m + i];
     }
+    const auto dot = simd::ops().dot;
 
     for (std::int64_t jc = 0; jc < n; jc += kNC) {
         const std::int64_t nc = std::min(kNC, n - jc);
         for (std::int64_t i = i0; i < i1; ++i) {
-            const float *a_row = trans_a ? a_pack.data() + (i - i0) * k
+            const float *a_row = trans_a ? a_pack + (i - i0) * k
                                          : a + i * k;
             float *c_row = c + i * n + jc;
             for (std::int64_t j = 0; j < nc; ++j) {
-                const float *b_row = b + (jc + j) * k;
-                float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
-                std::int64_t p = 0;
-                for (; p + 4 <= k; p += 4) {
-                    acc0 += a_row[p] * b_row[p];
-                    acc1 += a_row[p + 1] * b_row[p + 1];
-                    acc2 += a_row[p + 2] * b_row[p + 2];
-                    acc3 += a_row[p + 3] * b_row[p + 3];
-                }
-                for (; p < k; ++p)
-                    acc0 += a_row[p] * b_row[p];
-                const float acc = (acc0 + acc1) + (acc2 + acc3);
+                const float acc = dot(k, a_row, b + (jc + j) * k);
                 if (beta == 0.0f)
                     c_row[j] = alpha * acc;
                 else

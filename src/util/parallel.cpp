@@ -274,10 +274,12 @@ parallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
     }
     ThreadPool &pool = ThreadPool::instance();
     if (pool.numThreads() <= 1) {
-        // Still chunked: the 1-thread path must traverse the identical
-        // chunk sequence so kernels see the same boundaries at any count.
-        for (std::int64_t lo = begin; lo < end; lo += grain)
-            fn(lo, std::min(end, lo + grain));
+        // One call covering the whole range: kernels compute elements
+        // chunk-independently (see chooseGrain), so skipping the chunk
+        // loop keeps results identical while shedding per-chunk dispatch
+        // overhead — the difference is what made several 1-thread
+        // kernels slower than their pre-pool serial form.
+        fn(begin, end);
         return;
     }
     pool.run(begin, end, grain, fn);

@@ -4,12 +4,15 @@
  * chunked parallelFor() used by every hot path (gemm, im2col, the
  * encoders, elementwise ops).
  *
- * Determinism contract: parallelFor() statically partitions [begin, end)
- * into fixed chunks of at most @p grain iterations. Chunk boundaries
- * depend only on (begin, end, grain) — never on the number of threads or
- * on scheduling order — so a kernel whose chunks write disjoint output
- * ranges produces bitwise-identical results at any thread count,
- * including the inline single-thread fallback.
+ * Determinism contract: when parallelFor() splits a range, it statically
+ * partitions [begin, end) into fixed chunks of at most @p grain
+ * iterations whose boundaries depend only on (begin, end, grain) — never
+ * on the number of threads or on scheduling order. Kernels must compute
+ * every element independently of which chunk delivered it (all callers
+ * in this codebase do); under that rule results are bitwise-identical at
+ * any thread count, including the single-thread path, which skips
+ * chunking entirely and runs fn(begin, end) in one call so 1-thread
+ * configurations never pay per-chunk dispatch overhead.
  *
  * Thread count resolution (first use, or after setNumThreads(0)):
  *   1. explicit setNumThreads(n) with n >= 1 wins;
@@ -22,12 +25,47 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <memory>
+#include <type_traits>
 
 namespace gist {
 
-/** Loop body for parallelFor: processes the half-open range [begin, end). */
-using RangeFn = std::function<void(std::int64_t begin, std::int64_t end)>;
+/**
+ * Loop body for parallelFor: processes the half-open range [begin, end).
+ *
+ * A non-owning callable reference (not std::function): parallelFor is
+ * fully synchronous, so the callee never outlives the call expression
+ * and nothing needs to be copied — constructing one is two pointer
+ * stores, never a heap allocation. That keeps tiny hot-path loops
+ * (im2col rows, codec chunks) allocation-free, which the arena's
+ * zero-alloc steady-state accounting depends on.
+ */
+class RangeFn
+{
+  public:
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, RangeFn> &&
+                  std::is_invocable_v<F &, std::int64_t, std::int64_t>>>
+    RangeFn(F &&f) // NOLINT: implicit by design, mirrors function_ref
+        : obj_(const_cast<void *>(
+              static_cast<const void *>(std::addressof(f)))),
+          call_([](void *obj, std::int64_t b, std::int64_t e) {
+              (*static_cast<std::remove_reference_t<F> *>(obj))(b, e);
+          })
+    {
+    }
+
+    void
+    operator()(std::int64_t begin, std::int64_t end) const
+    {
+        call_(obj_, begin, end);
+    }
+
+  private:
+    void *obj_;
+    void (*call_)(void *, std::int64_t, std::int64_t);
+};
 
 /**
  * Resolve a requested thread count: @p requested >= 1 is taken verbatim;
@@ -60,9 +98,11 @@ int currentWorkerIndex();
  * spread across the persistent pool. Blocks until every chunk finished.
  *
  * - Chunking is static (see file comment): safe for bitwise-deterministic
- *   kernels as long as chunks write disjoint outputs.
- * - The calling thread participates, so a 1-thread pool (or a range that
- *   fits one chunk) degenerates to a plain function call.
+ *   kernels as long as each element is computed chunk-independently.
+ * - A 1-thread pool, a nested call, or a range that fits one chunk
+ *   degenerates to a single plain function call (no chunk loop).
+ * - The calling thread participates in multi-thread runs, so tiny jobs
+ *   often finish before a worker even wakes.
  * - Nested calls from inside a worker run inline on that worker — no
  *   deadlock, no thread explosion.
  * - @p grain <= 0 is treated as 1.

@@ -67,8 +67,10 @@ TEST(ParallelFor, CoversEveryIndexExactlyOnce)
 
 TEST(ParallelFor, ChunkBoundariesAreStatic)
 {
-    // Chunks must be [begin + c*grain, ...) regardless of thread count.
-    for (int threads : { 1, 3, 7 }) {
+    // Chunks must be [begin + c*grain, ...) for every pool that splits
+    // the range (1-thread runs take the single-call path instead; see
+    // SingleThreadRunsWholeRangeInOneCall).
+    for (int threads : { 3, 7 }) {
         ThreadGuard guard(threads);
         std::vector<std::pair<std::int64_t, std::int64_t>> chunks(64);
         std::atomic<size_t> count{ 0 };
@@ -165,19 +167,21 @@ TEST(Threads, GistThreadsEnvFallback)
     EXPECT_GE(resolveThreadCount(0), 1);
 }
 
-TEST(Threads, SingleThreadFallbackStillChunksAndComputes)
+TEST(Threads, SingleThreadRunsWholeRangeInOneCall)
 {
     ASSERT_EQ(setenv("GIST_THREADS", "1", 1), 0);
     setNumThreads(0); // re-resolve from the env
     EXPECT_EQ(numThreads(), 1);
+    // The 1-thread path skips chunking: one call spanning the full
+    // range, so serial runs pay zero per-chunk dispatch overhead.
     std::vector<std::pair<std::int64_t, std::int64_t>> chunks;
     parallelFor(0, 1000, 100,
                 [&](std::int64_t lo, std::int64_t hi) {
                     chunks.emplace_back(lo, hi); // no race: inline
                 });
-    ASSERT_EQ(chunks.size(), 10u);
-    for (size_t c = 0; c < chunks.size(); ++c)
-        EXPECT_EQ(chunks[c].first, static_cast<std::int64_t>(c) * 100);
+    ASSERT_EQ(chunks.size(), 1u);
+    EXPECT_EQ(chunks[0].first, 0);
+    EXPECT_EQ(chunks[0].second, 1000);
     ASSERT_EQ(unsetenv("GIST_THREADS"), 0);
     setNumThreads(4);
 }

@@ -1,0 +1,383 @@
+/**
+ * @file
+ * SIMD backend equivalence tests. The scalar backend is the bitwise
+ * source of truth: every other compiled-in backend must produce
+ * byte-identical output for the integer codec kernels (DPR small-float
+ * encode/decode/quantize, binarize pack/backward, CSR nonzero count)
+ * over a value sweep that hits the nasty corners — denormals, ±inf,
+ * NaN, ±0, RNE ties, format overflow/underflow boundaries, and spans
+ * with odd tails. The float kernels (axpy/dot) are only required to be
+ * close (they may use FMA / wider reductions), so they get a tolerance
+ * check. The GIST_SIMD env plumbing is exercised via initFromEnv().
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "encodings/small_float.hpp"
+#include "simd/dispatch.hpp"
+#include "simd/sf_codes.hpp"
+#include "util/rng.hpp"
+
+namespace gist::simd {
+namespace {
+
+std::vector<Backend>
+availableBackends()
+{
+    std::vector<Backend> v;
+    for (int b = 0; b < kNumBackends; ++b)
+        if (backendAvailable(static_cast<Backend>(b)))
+            v.push_back(static_cast<Backend>(b));
+    return v;
+}
+
+const SmallFloatFormat &
+referenceFormat(int idx)
+{
+    switch (idx) {
+      case kSfFp16: return kFp16;
+      case kSfFp10: return kFp10;
+      default: return kFp8;
+    }
+}
+
+/**
+ * Value sweep covering every encoder code path: specials, signed
+ * zeros, FP32 denormals, values straddling each format's max-finite /
+ * min-normal boundary, exact RNE ties, and a large tail of arbitrary
+ * bit patterns (including random NaNs and denormals by construction).
+ */
+std::vector<float>
+sweepValues()
+{
+    std::vector<float> v = {
+        0.0f,
+        -0.0f,
+        1.0f,
+        -1.0f,
+        std::numeric_limits<float>::infinity(),
+        -std::numeric_limits<float>::infinity(),
+        std::numeric_limits<float>::quiet_NaN(),
+        -std::numeric_limits<float>::quiet_NaN(),
+        std::numeric_limits<float>::signaling_NaN(),
+        std::numeric_limits<float>::max(),
+        std::numeric_limits<float>::lowest(),
+        std::numeric_limits<float>::min(),         // smallest normal
+        std::numeric_limits<float>::denorm_min(),  // smallest denormal
+        -std::numeric_limits<float>::denorm_min(),
+        std::bit_cast<float>(0x007fffffu),         // largest denormal
+        65504.0f,   // FP16 max finite
+        65505.0f,   // rounds into FP16 overflow territory
+        65520.0f,   // exact FP16 overflow tie
+        240.0f,     // FP8 max finite
+        248.0f,     // FP8 overflow tie
+        0x1.0p-14f, // FP16/FP10 min normal
+        0x1.0p-15f, // below it: flushes to zero
+        0x1.0p-6f,  // FP8 min normal
+        0x1.0p-7f,
+    };
+    // Exact round-to-nearest-even ties for each mantissa width m: the
+    // dropped tail is exactly 0.5 ulp, with even and odd keep-LSBs.
+    for (unsigned m : { 10u, 4u, 3u }) {
+        const float ulp = std::ldexp(1.0f, -static_cast<int>(m));
+        v.push_back(1.0f + 0.5f * ulp);          // tie, even LSB: down
+        v.push_back(1.0f + 1.5f * ulp);          // tie, odd LSB: up
+        v.push_back(-(1.0f + 0.5f * ulp));
+        v.push_back(1.0f + 0.5f * ulp + 0.25f * ulp); // just above tie
+        // All-ones mantissa + tie: rounding carries into the exponent.
+        v.push_back(2.0f - 0.5f * ulp);
+    }
+    // Arbitrary bit patterns: ~1/256 are inf/NaN, ~1/256 denormal.
+    Rng rng(1234);
+    for (int i = 0; i < 100000; ++i)
+        v.push_back(std::bit_cast<float>(
+            static_cast<std::uint32_t>(rng.next())));
+    return v;
+}
+
+/** Span lengths with every tail shape (block, vector, and word tails). */
+const std::int64_t kSpanSizes[] = { 0,  1,  2,  3,    5,    7,    8,
+                                    9,  15, 16, 31,   63,   64,   65,
+                                    257, 3072, 6157, 10007 };
+
+class SimdEquivalence : public ::testing::Test
+{
+  protected:
+    void TearDown() override { initFromEnv(); } // undo any setBackend
+};
+
+TEST_F(SimdEquivalence, ScalarEncodeMatchesReferenceScalarCode)
+{
+    // The kernel-level encoder must agree with the public
+    // encodeSmallFloat for every sweep value (it is the same math; this
+    // pins the kernel to the spec'd semantics, not just to itself).
+    const auto values = sweepValues();
+    for (int f = 0; f < kSfFormatCount; ++f) {
+        const SfLayout &L = kSfLayouts[f];
+        const SmallFloatFormat &fmt = referenceFormat(f);
+        for (float x : values) {
+            const std::uint32_t want = encodeSmallFloat(fmt, x);
+            const std::uint32_t got =
+                sfEncodeCode(L, std::bit_cast<std::uint32_t>(x));
+            ASSERT_EQ(want, got)
+                << "format " << f << " value bits "
+                << std::bit_cast<std::uint32_t>(x);
+        }
+    }
+}
+
+TEST_F(SimdEquivalence, SmallFloatKernelsBitwiseIdenticalAcrossBackends)
+{
+    const auto values = sweepValues();
+    const auto backends = availableBackends();
+    for (int f = 0; f < kSfFormatCount; ++f) {
+        const SfLayout &L = kSfLayouts[f];
+        for (std::int64_t n : kSpanSizes) {
+            ASSERT_LE(static_cast<size_t>(n), values.size());
+            const float *src = values.data();
+            const size_t nwords =
+                static_cast<size_t>((n + L.per_word - 1) / L.per_word);
+
+            std::vector<std::uint32_t> ref_words(nwords + 1, 0xcdcdcdcdu);
+            scalarOps().sfEncode[f](src, n, ref_words.data());
+            std::vector<float> ref_dec(static_cast<size_t>(n));
+            scalarOps().sfDecode[f](ref_words.data(), n, ref_dec.data());
+
+            for (Backend b : backends) {
+                const SimdOps &o = opsFor(b);
+                std::vector<std::uint32_t> words(nwords + 1, 0xcdcdcdcdu);
+                o.sfEncode[f](src, n, words.data());
+                ASSERT_EQ(0, std::memcmp(words.data(), ref_words.data(),
+                                         nwords * 4))
+                    << o.name << " encode fmt " << f << " n " << n;
+                // The guard word past the end must be untouched.
+                ASSERT_EQ(0xcdcdcdcdu, words[nwords])
+                    << o.name << " encode wrote past ceil(n/per_word)";
+
+                std::vector<float> dec(static_cast<size_t>(n));
+                o.sfDecode[f](ref_words.data(), n, dec.data());
+                ASSERT_EQ(0, std::memcmp(dec.data(), ref_dec.data(),
+                                         static_cast<size_t>(n) * 4))
+                    << o.name << " decode fmt " << f << " n " << n;
+
+                std::vector<float> quant(src, src + n);
+                o.sfQuantize[f](quant.data(), n);
+                ASSERT_EQ(0, std::memcmp(quant.data(), ref_dec.data(),
+                                         static_cast<size_t>(n) * 4))
+                    << o.name << " quantize fmt " << f << " n " << n;
+            }
+        }
+    }
+}
+
+TEST_F(SimdEquivalence, EncodeDecodeRoundTripIsIdempotent)
+{
+    // decode(encode(x)) re-encodes to the same word stream on every
+    // backend (quantization is a projection).
+    const auto values = sweepValues();
+    const std::int64_t n = 10007;
+    for (int f = 0; f < kSfFormatCount; ++f) {
+        const SfLayout &L = kSfLayouts[f];
+        const size_t nwords =
+            static_cast<size_t>((n + L.per_word - 1) / L.per_word);
+        for (Backend b : availableBackends()) {
+            const SimdOps &o = opsFor(b);
+            std::vector<std::uint32_t> w1(nwords), w2(nwords);
+            std::vector<float> dec(static_cast<size_t>(n));
+            o.sfEncode[f](values.data(), n, w1.data());
+            o.sfDecode[f](w1.data(), n, dec.data());
+            o.sfEncode[f](dec.data(), n, w2.data());
+            ASSERT_EQ(0, std::memcmp(w1.data(), w2.data(), nwords * 4))
+                << o.name << " fmt " << f;
+        }
+    }
+}
+
+TEST_F(SimdEquivalence, BinarizeKernelsBitwiseIdenticalAcrossBackends)
+{
+    const auto values = sweepValues();
+    Rng rng(77);
+    std::vector<float> dy(values.size());
+    for (auto &g : dy)
+        g = rng.normal();
+
+    for (std::int64_t n : kSpanSizes) {
+        const size_t nbytes = static_cast<size_t>((n + 7) / 8);
+        std::vector<std::uint8_t> ref_bits(nbytes + 1, 0xcd);
+        scalarOps().binarizeEncode(values.data(), n, ref_bits.data());
+        std::vector<float> ref_dx(static_cast<size_t>(n));
+        scalarOps().binarizeBackward(ref_bits.data(), dy.data(), n,
+                                     ref_dx.data());
+
+        for (Backend b : availableBackends()) {
+            const SimdOps &o = opsFor(b);
+            std::vector<std::uint8_t> bits(nbytes + 1, 0xcd);
+            o.binarizeEncode(values.data(), n, bits.data());
+            ASSERT_EQ(0,
+                      std::memcmp(bits.data(), ref_bits.data(), nbytes))
+                << o.name << " binarize n " << n;
+            ASSERT_EQ(0xcdu, bits[nbytes])
+                << o.name << " binarize wrote past ceil(n/8)";
+
+            std::vector<float> dx(static_cast<size_t>(n));
+            o.binarizeBackward(ref_bits.data(), dy.data(), n, dx.data());
+            ASSERT_EQ(0, std::memcmp(dx.data(), ref_dx.data(),
+                                     static_cast<size_t>(n) * 4))
+                << o.name << " binarize backward n " << n;
+        }
+    }
+}
+
+TEST_F(SimdEquivalence, BinarizeSemanticsOnSpecials)
+{
+    // v > 0.0f: NaN and ±0 and negatives are 0-bits; +inf and denormals
+    // are 1-bits. Checked on every backend.
+    const std::vector<float> v = {
+        1.0f,
+        -1.0f,
+        0.0f,
+        -0.0f,
+        std::numeric_limits<float>::quiet_NaN(),
+        std::numeric_limits<float>::infinity(),
+        -std::numeric_limits<float>::infinity(),
+        std::numeric_limits<float>::denorm_min(),
+        -std::numeric_limits<float>::denorm_min(),
+    };
+    for (Backend b : availableBackends()) {
+        std::uint8_t bits[2] = { 0, 0 };
+        opsFor(b).binarizeEncode(v.data(),
+                                 static_cast<std::int64_t>(v.size()),
+                                 bits);
+        EXPECT_EQ(bits[0], 0b10100001u) << opsFor(b).name;
+        EXPECT_EQ(bits[1], 0b00000000u) << opsFor(b).name;
+    }
+}
+
+TEST_F(SimdEquivalence, CountNonzeroParityAcrossBackends)
+{
+    auto values = sweepValues();
+    // Inject extra zeros so the count is non-trivial on every prefix.
+    Rng rng(99);
+    for (auto &x : values)
+        if (rng.uniform() < 0.5)
+            x = (rng.uniform() < 0.5) ? 0.0f : -0.0f;
+
+    for (std::int64_t n : kSpanSizes) {
+        std::int64_t want = 0; // independent reference
+        for (std::int64_t i = 0; i < n; ++i)
+            want += (values[static_cast<size_t>(i)] != 0.0f) ? 1 : 0;
+        for (Backend b : availableBackends())
+            ASSERT_EQ(want, opsFor(b).countNonzero(values.data(), n))
+                << opsFor(b).name << " n " << n;
+    }
+    // NaN counts as nonzero; ±0 does not.
+    const float specials[3] = { std::numeric_limits<float>::quiet_NaN(),
+                                0.0f, -0.0f };
+    for (Backend b : availableBackends())
+        EXPECT_EQ(1, opsFor(b).countNonzero(specials, 3))
+            << opsFor(b).name;
+}
+
+TEST_F(SimdEquivalence, AxpyDotCloseToScalarReference)
+{
+    Rng rng(2024);
+    const std::int64_t sizes[] = { 1, 3, 7, 8, 9, 31, 32, 33, 100, 1000 };
+    for (std::int64_t n : sizes) {
+        std::vector<float> x(static_cast<size_t>(n)),
+            y0(static_cast<size_t>(n));
+        for (auto &v : x)
+            v = rng.normal();
+        for (auto &v : y0)
+            v = rng.normal();
+        const float a = 0.37f;
+
+        // Double-precision reference bounds every backend.
+        std::vector<double> yd(y0.begin(), y0.end());
+        double dotd = 0.0;
+        for (std::int64_t i = 0; i < n; ++i) {
+            yd[static_cast<size_t>(i)] +=
+                static_cast<double>(a) * x[static_cast<size_t>(i)];
+            dotd += static_cast<double>(x[static_cast<size_t>(i)]) *
+                    y0[static_cast<size_t>(i)];
+        }
+
+        for (Backend b : availableBackends()) {
+            const SimdOps &o = opsFor(b);
+            std::vector<float> y(y0);
+            o.axpy(n, a, x.data(), y.data());
+            for (std::int64_t i = 0; i < n; ++i)
+                ASSERT_NEAR(yd[static_cast<size_t>(i)],
+                            y[static_cast<size_t>(i)], 1e-5)
+                    << o.name << " axpy n " << n << " i " << i;
+
+            const float d = o.dot(n, x.data(), y0.data());
+            ASSERT_NEAR(dotd, d, 1e-3 * std::max<double>(1.0, n))
+                << o.name << " dot n " << n;
+        }
+    }
+}
+
+TEST_F(SimdEquivalence, ParseBackendAcceptsExactNamesOnly)
+{
+    Backend b = Backend::Avx2;
+    EXPECT_TRUE(parseBackend("scalar", &b));
+    EXPECT_EQ(Backend::Scalar, b);
+    EXPECT_TRUE(parseBackend("sse2", &b));
+    EXPECT_EQ(Backend::Sse2, b);
+    EXPECT_TRUE(parseBackend("avx2", &b));
+    EXPECT_EQ(Backend::Avx2, b);
+
+    b = Backend::Sse2;
+    EXPECT_FALSE(parseBackend("", &b));
+    EXPECT_FALSE(parseBackend("AVX2", &b)); // case-sensitive
+    EXPECT_FALSE(parseBackend("avx512", &b));
+    EXPECT_FALSE(parseBackend("scalar ", &b));
+    EXPECT_EQ(Backend::Sse2, b); // untouched on failure
+}
+
+TEST_F(SimdEquivalence, SetBackendAndOpsForAgree)
+{
+    for (Backend b : availableBackends()) {
+        setBackend(b);
+        EXPECT_EQ(b, activeBackend());
+        EXPECT_EQ(&opsFor(b), &ops());
+        EXPECT_STREQ(backendName(b), ops().name);
+    }
+}
+
+TEST_F(SimdEquivalence, InitFromEnvHonorsGistSimd)
+{
+    // Scalar is always compiled in, so GIST_SIMD=scalar must stick.
+    ASSERT_EQ(0, setenv("GIST_SIMD", "scalar", 1));
+    EXPECT_EQ(Backend::Scalar, initFromEnv());
+    EXPECT_EQ(Backend::Scalar, activeBackend());
+    EXPECT_STREQ("scalar", ops().name);
+
+    // A bogus value warns and falls back to autodetect.
+    ASSERT_EQ(0, setenv("GIST_SIMD", "quantum", 1));
+    EXPECT_EQ(bestBackend(), initFromEnv());
+
+    // Unset: pure autodetect.
+    ASSERT_EQ(0, unsetenv("GIST_SIMD"));
+    EXPECT_EQ(bestBackend(), initFromEnv());
+    EXPECT_TRUE(backendAvailable(activeBackend()));
+}
+
+TEST_F(SimdEquivalence, BestBackendIsStrongestAvailable)
+{
+    const auto avail = availableBackends();
+    ASSERT_FALSE(avail.empty());
+    EXPECT_TRUE(backendAvailable(Backend::Scalar)); // always
+    EXPECT_EQ(avail.back(), bestBackend());         // enum order = strength
+}
+
+} // namespace
+} // namespace gist::simd
