@@ -47,6 +47,18 @@ Layer::paramGrads()
     return {};
 }
 
+std::vector<Tensor *>
+Layer::stateTensors()
+{
+    return {};
+}
+
+std::vector<Rng *>
+Layer::rngStreams()
+{
+    return {};
+}
+
 std::uint64_t
 Layer::workspaceBytes(std::span<const Shape> in) const
 {

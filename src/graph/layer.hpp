@@ -135,6 +135,21 @@ class Layer
     /** Gradients of params(), written by backward(). */
     virtual std::vector<Tensor *> paramGrads();
 
+    /**
+     * Non-trainable model state that training mutates and inference
+     * reads (e.g. batchnorm running mean/var). Checkpointed alongside
+     * params(): omitting it restores a model that silently evaluates
+     * differently from the run that saved it.
+     */
+    virtual std::vector<Tensor *> stateTensors();
+
+    /**
+     * Per-layer deterministic RNG streams advanced by forward() in
+     * training mode (e.g. the dropout mask generator). Checkpointed so
+     * a resumed run draws the same masks the uninterrupted run would.
+     */
+    virtual std::vector<Rng *> rngStreams();
+
     /** Scratch (cuDNN-workspace analogue) bytes needed per invocation. */
     virtual std::uint64_t workspaceBytes(std::span<const Shape> in) const;
 

@@ -57,6 +57,12 @@ BatchNormLayer::paramGrads()
     return { &d_gamma, &d_beta };
 }
 
+std::vector<Tensor *>
+BatchNormLayer::stateTensors()
+{
+    return { &running_mean, &running_var };
+}
+
 std::uint64_t
 BatchNormLayer::auxStashBytes(std::span<const Shape> in) const
 {

@@ -27,6 +27,7 @@ class BatchNormLayer : public Layer
     void initParams(Rng &rng) override;
     std::vector<Tensor *> params() override;
     std::vector<Tensor *> paramGrads() override;
+    std::vector<Tensor *> stateTensors() override;
     std::uint64_t auxStashBytes(std::span<const Shape> in) const override;
     void forward(const FwdCtx &ctx) override;
     void backward(const BwdCtx &ctx) override;

@@ -44,6 +44,7 @@ class DropoutLayer : public Layer
     LayerKind kind() const override { return LayerKind::Dropout; }
     Shape outputShape(std::span<const Shape> in) const override;
     BackwardNeeds backwardNeeds() const override { return { false, false }; }
+    std::vector<Rng *> rngStreams() override { return { &rng }; }
     std::uint64_t auxStashBytes(std::span<const Shape> in) const override;
     void forward(const FwdCtx &ctx) override;
     void backward(const BwdCtx &ctx) override;

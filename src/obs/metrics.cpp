@@ -136,13 +136,13 @@ metricsEnabled()
 }
 
 void
-metricsOpen(const std::string &path)
+metricsOpen(const std::string &path, bool append)
 {
     Sink &s = sink();
     std::lock_guard<std::mutex> lock(s.mu);
     if (s.f)
         std::fclose(s.f);
-    s.f = std::fopen(path.c_str(), "w");
+    s.f = std::fopen(path.c_str(), append ? "a" : "w");
     if (!s.f) {
         GIST_WARN("cannot open metrics file '", path, "'");
         s.path.clear();

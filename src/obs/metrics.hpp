@@ -41,8 +41,12 @@ class JsonLine
 /** Is a sink open? One relaxed load — safe to check per step. */
 bool metricsEnabled();
 
-/** Open (truncate) the sink at @p path; replaces any open sink. */
-void metricsOpen(const std::string &path);
+/**
+ * Open the sink at @p path; replaces any open sink. By default the file
+ * is truncated; pass @p append = true to continue an existing file
+ * (resumed training runs keep the metrics history they are extending).
+ */
+void metricsOpen(const std::string &path, bool append = false);
 
 /** Append one record (no-op while no sink is open). */
 void metricsWrite(const JsonLine &line);

@@ -1,30 +1,94 @@
 /**
  * @file
- * Weight checkpointing: save/restore all trainable parameters of a graph
- * to a small self-describing binary file, so training runs (e.g. the
- * accuracy studies) can be resumed or inspected offline.
+ * Crash-safe training checkpoints.
  *
- * Format: magic "GISTCKPT", u32 version, u64 tensor count, then per
- * tensor: u64 element count followed by raw little-endian FP32 data.
- * Tensors are ordered exactly as Graph::nodes() x Layer::params().
+ * Format v2 is a sectioned binary file: magic "GISTCKPT", u32 version,
+ * u32 section count, then per section a 16-byte header (u32 fourcc id,
+ * u64 payload bytes, u32 CRC-32 of the payload) followed by the payload.
+ * Sections:
+ *
+ *   "WGTS" trainable parameters   u64 tensor count, then per tensor
+ *                                 u64 numel + raw little-endian FP32
+ *   "STAT" model state tensors    same layout (batchnorm running stats)
+ *   "RNGS" layer RNG streams      u32 count, then per stream u64 state,
+ *                                 u32 spare bits, u8 have-spare
+ *   "VELO" optimizer velocity     same layout as WGTS
+ *   "DCUR" dataset cursor         u64 dataset seed, i64 examples already
+ *                                 consumed in the current epoch
+ *   "CTRS" progress counters      i64 epoch, i64 global step
+ *   "LRSC" LR schedule position   u32 raw FP32 bits of the current LR
+ *
+ * Tensor-list sections are ordered exactly as Graph::nodes() x the
+ * layer's accessor. Writers publish atomically: the file is written to
+ * "<path>.tmp", flushed and fsync'd, then rename(2)d over @p path, so a
+ * crash at any point leaves the previous checkpoint intact. Readers
+ * validate structure and CRCs section by section and reject trailing
+ * bytes; every error names the offending section. Version-1 files
+ * (weights only, no sections) remain loadable.
  */
 
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "graph/graph.hpp"
+#include "util/rng.hpp"
 
 namespace gist {
 
-/** Write every parameter tensor of @p graph to @p path. */
+/** Training-loop state carried by a v2 checkpoint beyond the model. */
+struct TrainState
+{
+    std::int64_t epoch = 0;        ///< epoch the next step belongs to
+    std::int64_t step = 0;         ///< global minibatch count so far
+    std::int64_t epoch_offset = 0; ///< examples consumed in this epoch
+    std::uint64_t dataset_seed = 0; ///< sanity check against the dataset
+    float lr = 0.0f;               ///< LR in effect (decay applied)
+    std::vector<std::vector<float>> velocity; ///< per-param momentum
+};
+
+/**
+ * Write parameters + model state (batchnorm running stats) of @p graph
+ * to @p path, atomically. No training-loop sections: use saveCheckpoint
+ * for a resumable snapshot.
+ */
 void saveWeights(Graph &graph, const std::string &path);
 
 /**
- * Load parameters saved by saveWeights into @p graph. The graph must
- * have the same parameter structure (fatal error otherwise) and its
- * parameters must already be allocated (initParams).
+ * Load parameters (and, for v2 files, model state) saved by
+ * saveWeights/saveCheckpoint into @p graph. The graph must have the
+ * same parameter structure (fatal error otherwise). Accepts v1 files.
  */
 void loadWeights(Graph &graph, const std::string &path);
+
+/**
+ * Write a full resumable snapshot: everything saveWeights covers plus
+ * the layer RNG streams and @p state. Atomic: the previous checkpoint
+ * at @p path survives any crash or write failure.
+ */
+void saveCheckpoint(Graph &graph, const TrainState &state,
+                    const std::string &path);
+
+/**
+ * Restore a checkpoint into @p graph (+ @p state when present).
+ * @return true when the file carries full training state, false for a
+ * weights-only file (v1, or v2 written by saveWeights) — the caller
+ * should then start optimizer state fresh. A v2 file with only part of
+ * the training-state sections is rejected as corrupt.
+ */
+bool loadCheckpoint(Graph &graph, TrainState &state,
+                    const std::string &path);
+
+/**
+ * Fault injection for the crash-safety tests. ShortWrite makes the next
+ * save observe a partial fwrite (as if the disk filled); the save must
+ * fail without touching the published checkpoint. CrashBeforeRename
+ * makes the next save stop after the temp file is durable but before
+ * the rename — the on-disk state a SIGKILL at that instant leaves.
+ * One-shot: the fault resets to None after it fires.
+ */
+enum class CheckpointFault { None, ShortWrite, CrashBeforeRename };
+void setCheckpointFault(CheckpointFault fault);
 
 } // namespace gist

@@ -2,10 +2,12 @@
 
 #include <chrono>
 #include <cmath>
+#include <fstream>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "tensor/ops.hpp"
+#include "train/checkpoint.hpp"
 
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
@@ -130,13 +132,58 @@ Trainer::evaluate(const SyntheticDataset &data, std::int64_t batch_size)
                  : 0.0;
 }
 
+void
+Trainer::saveCheckpointNow(const TrainConfig &config,
+                           const SyntheticDataset &data, std::int64_t epoch,
+                           std::int64_t step, std::int64_t epoch_offset,
+                           float lr)
+{
+    TrainState state;
+    state.epoch = epoch;
+    state.step = step;
+    state.epoch_offset = epoch_offset;
+    state.dataset_seed = data.spec().seed;
+    state.lr = lr;
+    state.velocity = velocity;
+    saveCheckpoint(exec.graph(), state, config.checkpoint_path);
+}
+
+bool
+Trainer::restoreCheckpoint(const TrainConfig &config,
+                           const SyntheticDataset &data, float &lr,
+                           int &first_epoch, std::int64_t &steps,
+                           std::int64_t &resume_offset)
+{
+    TrainState state;
+    if (!loadCheckpoint(exec.graph(), state, config.checkpoint_path)) {
+        GIST_WARN("checkpoint ", config.checkpoint_path,
+                  " is weights-only; resuming with fresh optimizer state");
+        return true;
+    }
+    GIST_ASSERT(state.velocity.size() == velocity.size(),
+                "parameter bookkeeping mismatch on resume");
+    for (size_t i = 0; i < velocity.size(); ++i)
+        GIST_ASSERT(state.velocity[i].size() == velocity[i].size(),
+                    "velocity size mismatch on resume");
+    velocity = std::move(state.velocity);
+    if (state.dataset_seed != data.spec().seed)
+        GIST_WARN("checkpoint ", config.checkpoint_path,
+                  " was written against dataset seed ", state.dataset_seed,
+                  ", resuming on seed ", data.spec().seed);
+    lr = state.lr;
+    first_epoch = static_cast<int>(state.epoch);
+    steps = state.step;
+    resume_offset = state.epoch_offset;
+    GIST_INFORM("resumed from ", config.checkpoint_path, " at epoch ",
+                state.epoch, ", step ", state.step);
+    return true;
+}
+
 std::vector<EpochRecord>
 Trainer::run(const SyntheticDataset &data, const TrainConfig &config)
 {
     if (config.num_threads > 0)
         setNumThreads(config.num_threads);
-    if (!config.metrics_path.empty())
-        obs::metricsOpen(config.metrics_path);
     Graph &graph = exec.graph();
     Tensor batch(graph.node(0).out_shape);
     GIST_ASSERT(batch.shape().n() == config.batch_size,
@@ -144,13 +191,35 @@ Trainer::run(const SyntheticDataset &data, const TrainConfig &config)
     std::vector<std::int32_t> labels;
 
     std::vector<EpochRecord> records;
-    std::int64_t steps = 0;
+    std::int64_t steps = 0;     ///< global step (continues on resume)
+    std::int64_t run_steps = 0; ///< steps executed by this call
     double total_seconds = 0.0;
     double total_codec = 0.0;
 
     float lr = config.learning_rate;
-    for (int epoch = 0; epoch < config.epochs; ++epoch) {
-        if (epoch > 0 && config.lr_decay != 1.0f &&
+    int first_epoch = 0;
+    std::int64_t resume_offset = 0;
+    bool resumed = false;
+    const bool has_ckpt = !config.checkpoint_path.empty();
+    if (has_ckpt && config.resume &&
+        std::ifstream(config.checkpoint_path).good()) {
+        resumed = restoreCheckpoint(config, data, lr, first_epoch, steps,
+                                    resume_offset);
+    }
+    if (!config.metrics_path.empty())
+        obs::metricsOpen(config.metrics_path, /*append=*/resumed);
+
+    // Where the run currently stands, for the end-of-run snapshot.
+    std::int64_t cur_epoch = first_epoch;
+    std::int64_t cur_offset = resume_offset;
+    bool stop = config.max_steps > 0 && steps >= config.max_steps;
+    for (int epoch = first_epoch; epoch < config.epochs && !stop;
+         ++epoch) {
+        // The restored LR already includes the decay for the epoch the
+        // checkpoint was taken in; re-applying it would diverge from
+        // the uninterrupted run.
+        const bool resumed_epoch = resumed && epoch == first_epoch;
+        if (!resumed_epoch && epoch > 0 && config.lr_decay != 1.0f &&
             config.lr_decay_epochs > 0 &&
             epoch % config.lr_decay_epochs == 0) {
             lr *= config.lr_decay;
@@ -158,7 +227,7 @@ Trainer::run(const SyntheticDataset &data, const TrainConfig &config)
         GIST_TRACE_SCOPE_F("train", "epoch %d", epoch);
         double loss_sum = 0.0;
         std::int64_t batches = 0;
-        for (std::int64_t start = 0;
+        for (std::int64_t start = resumed_epoch ? resume_offset : 0;
              start + config.batch_size <= data.numTrain();
              start += config.batch_size) {
             data.trainBatch(start, batch, labels);
@@ -182,6 +251,13 @@ Trainer::run(const SyntheticDataset &data, const TrainConfig &config)
                            exec.stats().decode_seconds;
             ++batches;
             ++steps;
+            ++run_steps;
+            cur_epoch = epoch;
+            cur_offset = start + config.batch_size;
+            if (has_ckpt && config.checkpoint_every_steps > 0 &&
+                steps % config.checkpoint_every_steps == 0)
+                saveCheckpointNow(config, data, cur_epoch, steps,
+                                  cur_offset, lr);
             if (obs::metricsEnabled()) {
                 const ExecStats &stats = exec.stats();
                 obs::JsonLine rec;
@@ -206,11 +282,21 @@ Trainer::run(const SyntheticDataset &data, const TrainConfig &config)
             }
             if (config.after_step)
                 config.after_step(steps, exec);
+            if (config.max_steps > 0 && steps >= config.max_steps) {
+                stop = true;
+                break;
+            }
         }
+        if (stop)
+            break; // interrupted mid-epoch: no (partial) epoch record
+        if (batches == 0)
+            continue; // resumed exactly at this epoch's end
         EpochRecord rec;
         rec.epoch = epoch;
         rec.mean_loss =
-            static_cast<float>(loss_sum / static_cast<double>(batches));
+            batches > 0 ? static_cast<float>(
+                              loss_sum / static_cast<double>(batches))
+                        : 0.0f;
         rec.eval_accuracy = evaluate(data, config.batch_size);
         records.push_back(rec);
         if (obs::metricsEnabled()) {
@@ -223,10 +309,12 @@ Trainer::run(const SyntheticDataset &data, const TrainConfig &config)
             obs::metricsWrite(line);
         }
     }
-    if (steps > 0) {
+    if (has_ckpt)
+        saveCheckpointNow(config, data, cur_epoch, steps, cur_offset, lr);
+    if (run_steps > 0) {
         seconds_per_minibatch =
-            total_seconds / static_cast<double>(steps);
-        codec_seconds = total_codec / static_cast<double>(steps);
+            total_seconds / static_cast<double>(run_steps);
+        codec_seconds = total_codec / static_cast<double>(run_steps);
     }
     return records;
 }

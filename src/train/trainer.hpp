@@ -38,9 +38,33 @@ struct TrainConfig
      * examples/sec, encoded bytes, peak pool bytes, codec seconds) and
      * one per epoch (mean loss, eval accuracy). Empty keeps the current
      * sink, so a sink opened via GIST_METRICS (or GistConfig) is used
-     * as-is.
+     * as-is. A resumed run (see @c resume) opens the sink in append
+     * mode so the history from before the interruption is kept.
      */
     std::string metrics_path;
+    /**
+     * Checkpoint file. Non-empty makes run() write a full v2 snapshot
+     * (weights, batchnorm state, RNG streams, momentum, cursor, LR)
+     * every checkpoint_every_steps steps and once at the end of the
+     * run. Writes are atomic: a crash mid-save keeps the previous file.
+     */
+    std::string checkpoint_path;
+    /** Snapshot period in steps (0 = only the end-of-run snapshot). */
+    std::int64_t checkpoint_every_steps = 0;
+    /**
+     * Restore checkpoint_path before training and continue from the
+     * recorded epoch/step/cursor. Resume is bitwise deterministic:
+     * interrupt at step k, resume, and the final weights equal the
+     * uninterrupted run's. A missing file starts from scratch; a
+     * weights-only (v1) file warm-starts with fresh optimizer state.
+     */
+    bool resume = false;
+    /**
+     * Stop after this many global minibatches (0 = no cap). With
+     * checkpoint_path set, the final snapshot makes this a clean
+     * interruption point that resume continues from.
+     */
+    std::int64_t max_steps = 0;
     /** Called after every minibatch (step index, executor). */
     std::function<void(std::int64_t, Executor &)> after_step;
 };
@@ -81,6 +105,20 @@ class Trainer
     void sgdStep(float lr, float momentum, float weight_decay);
     /** Scale all weight gradients so their global L2 norm <= max_norm. */
     void clipGradients(float max_norm);
+    /** Write a full v2 snapshot of the current training position. */
+    void saveCheckpointNow(const TrainConfig &config,
+                           const SyntheticDataset &data, std::int64_t epoch,
+                           std::int64_t step, std::int64_t epoch_offset,
+                           float lr);
+    /**
+     * Restore config.checkpoint_path. Returns true when anything was
+     * loaded; full state rewinds @p lr / @p first_epoch / @p steps /
+     * @p resume_offset to the recorded position.
+     */
+    bool restoreCheckpoint(const TrainConfig &config,
+                           const SyntheticDataset &data, float &lr,
+                           int &first_epoch, std::int64_t &steps,
+                           std::int64_t &resume_offset);
 
     Executor &exec;
     std::vector<std::vector<float>> velocity; ///< per-param momentum

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, polynomial 0xEDB88320), the checksum guarding
+ * every checkpoint section against on-disk corruption. Table-driven,
+ * incremental: feed chunks by passing the previous return value as
+ * @p seed. Matches zlib's crc32() bit-for-bit so files can be checked
+ * with standard tools.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gist {
+
+/** CRC-32 of @p len bytes at @p data, continuing from @p seed. */
+std::uint32_t crc32(const void *data, std::size_t len,
+                    std::uint32_t seed = 0);
+
+} // namespace gist

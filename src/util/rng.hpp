@@ -11,10 +11,22 @@
 
 #pragma once
 
+#include <bit>
 #include <cmath>
 #include <cstdint>
 
 namespace gist {
+
+/**
+ * Serializable snapshot of an Rng, POD so checkpoints can store streams
+ * bit-exactly (the Box-Muller spare is kept as raw float bits).
+ */
+struct RngState
+{
+    std::uint64_t state = 0;
+    std::uint32_t spare_bits = 0;
+    bool have_spare = false;
+};
 
 /** Deterministic RNG (splitmix64) with uniform/normal helpers. */
 class Rng
@@ -84,6 +96,22 @@ class Rng
     fork(std::uint64_t stream_id)
     {
         return Rng(next() ^ (stream_id * 0xd1342543de82ef95ULL));
+    }
+
+    /** Snapshot the full generator state (checkpointing). */
+    RngState
+    saveState() const
+    {
+        return { state, std::bit_cast<std::uint32_t>(spare), haveSpare };
+    }
+
+    /** Restore a snapshot; the stream continues bit-exactly. */
+    void
+    restoreState(const RngState &s)
+    {
+        state = s.state;
+        spare = std::bit_cast<float>(s.spare_bits);
+        haveSpare = s.have_spare;
     }
 
   private:

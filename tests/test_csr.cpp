@@ -169,6 +169,26 @@ TEST(Csr, LastPartialRowHandled)
     EXPECT_EQ(buf.nnz(), 1);
 }
 
+TEST(CsrDeath, DecodeIntoWrongSizeSpanAborts)
+{
+    std::vector<float> values(256, 0.0f);
+    values[3] = 1.0f;
+    CsrBuffer buf(CsrConfig{});
+    buf.encode(values);
+    std::vector<float> wrong(255);
+    EXPECT_DEATH(buf.decode(wrong), "decode target has 255 elements");
+}
+
+TEST(CsrDeath, DecodeRangePastEndAborts)
+{
+    std::vector<float> values(256, 1.0f);
+    CsrBuffer buf(CsrConfig{});
+    buf.encode(values);
+    std::vector<float> out(64);
+    EXPECT_DEATH(buf.decodeRange(224, out), "decode range .* exceeds");
+    EXPECT_DEATH(buf.decodeRange(-1, out), "decode range");
+}
+
 TEST(Csr, ClearReleases)
 {
     CsrBuffer buf(CsrConfig{});

@@ -73,6 +73,27 @@ TEST(PoolIndexMap, AdjacentNibblesDoNotInterfere)
     EXPECT_EQ(map.get(1), 3);
 }
 
+TEST(PoolIndexMapDeath, IndexOutOfRangeAborts)
+{
+    PoolIndexMap map;
+    map.configure(8, 2, 2);
+    EXPECT_DEATH(map.set(8, 0), "pool map index out of range");
+    EXPECT_DEATH(map.get(-1), "pool map index out of range");
+}
+
+TEST(PoolIndexMapDeath, WindowPositionPastWindowAborts)
+{
+    PoolIndexMap map;
+    map.configure(8, 2, 2); // 2x2 window -> nibble entries
+    EXPECT_DEATH(map.set(0, 16), "window position 16 exceeds 4 bits");
+}
+
+TEST(PoolIndexMapDeath, OversizedWindowRejected)
+{
+    PoolIndexMap map;
+    EXPECT_DEATH(map.configure(8, 17, 17), "unsupported pool window");
+}
+
 TEST(PoolIndexMap, ClearReleases)
 {
     PoolIndexMap map;
