@@ -43,6 +43,21 @@ struct GistConfig
      */
     int num_threads = 0;
     /**
+     * Asynchronous codec pipeline: submit stash encodes to dedicated
+     * codec worker(s) right after the producing forward and prefetch
+     * decodes one backward node ahead, so codec time overlaps compute
+     * instead of landing on the critical path. Lossless configs stay
+     * bitwise-identical to sync runs. Default off (the sync fallback);
+     * the GIST_ASYNC environment variable (0/1) overrides this in
+     * applyToExecutor().
+     */
+    bool async_codec = false;
+    /**
+     * Dedicated codec-queue worker threads when async_codec is on
+     * (clamped to >= 1). GIST_CODEC_THREADS overrides.
+     */
+    int codec_threads = 1;
+    /**
      * Chrome trace-event JSON output file. Non-empty starts the span
      * tracer in applyToExecutor(); the file is written on traceStop()
      * or at process exit. Equivalent to setting GIST_TRACE=<path>.

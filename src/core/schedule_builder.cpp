@@ -1,5 +1,7 @@
 #include "core/schedule_builder.hpp"
 
+#include <cstdlib>
+
 #include "layers/pool.hpp"
 #include "layers/relu.hpp"
 #include "obs/metrics.hpp"
@@ -124,6 +126,22 @@ applyToExecutor(const BuiltSchedule &schedule, Executor &exec)
     }
     exec.setElideDecode(schedule.config.elide_decode_buffer);
     exec.setNumThreads(schedule.config.num_threads);
+    // Async codec pipeline: config value, overridable by GIST_ASYNC so
+    // benchmarks flip modes without a rebuild. The env override lives
+    // here (config layer) on purpose: tests drive Executor::setAsyncCodec
+    // directly for side-by-side sync/async comparisons.
+    bool async_codec = schedule.config.async_codec;
+    if (const char *env = std::getenv("GIST_ASYNC"))
+        async_codec = std::strtol(env, nullptr, 10) != 0;
+    int codec_threads = schedule.config.codec_threads;
+    if (const char *env = std::getenv("GIST_CODEC_THREADS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v >= 1)
+            codec_threads = static_cast<int>(v);
+        else
+            GIST_WARN("ignoring bad GIST_CODEC_THREADS value '", env, "'");
+    }
+    exec.setAsyncCodec(async_codec, codec_threads);
     if (!schedule.config.trace_path.empty())
         obs::traceStart(schedule.config.trace_path);
     if (!schedule.config.metrics_path.empty())

@@ -1,0 +1,47 @@
+#include "graph/codec_points.hpp"
+
+#include <algorithm>
+
+namespace gist {
+
+CodecPoints
+buildCodecPoints(const Graph &graph, const ScheduleInfo &sched)
+{
+    const auto n = static_cast<size_t>(graph.numNodes());
+    CodecPoints points;
+    points.encode_after_fwd.assign(n, false);
+    points.decode_targets.assign(n, {});
+    points.next_bwd.assign(n, -1);
+
+    NodeId prev = -1; // backward runs ids in descending order
+    for (std::int64_t i = graph.numNodes() - 1; i >= 0; --i) {
+        const auto id = static_cast<NodeId>(i);
+        const auto &node = graph.node(id);
+        if (node.kind() == LayerKind::Input)
+            continue;
+        if (prev >= 0)
+            points.next_bwd[static_cast<size_t>(prev)] = id;
+        prev = id;
+
+        points.encode_after_fwd[static_cast<size_t>(i)] = sched.stashed(id);
+
+        const BackwardNeeds needs = node.layer->backwardNeeds();
+        auto &targets = points.decode_targets[static_cast<size_t>(i)];
+        auto add = [&](NodeId slot, bool chunkable) {
+            const bool dup = std::any_of(
+                targets.begin(), targets.end(),
+                [&](const DecodeTarget &t) { return t.slot == slot; });
+            if (!dup)
+                targets.push_back(DecodeTarget{ slot, chunkable });
+        };
+        if (needs.input)
+            for (NodeId in : node.inputs)
+                if (sched.stashed(in))
+                    add(in, node.kind() == LayerKind::Conv);
+        if (needs.output && sched.stashed(id))
+            add(id, false);
+    }
+    return points;
+}
+
+} // namespace gist

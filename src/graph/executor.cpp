@@ -1,5 +1,6 @@
 #include "graph/executor.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 
@@ -88,6 +89,18 @@ void
 Executor::refreshSchedule()
 {
     sched = std::make_unique<ScheduleInfo>(graph_);
+    // Encode-ready / decode-prefetch points depend on the layers'
+    // current modes (Binarize flips change BackwardNeeds), so they are
+    // rebuilt together with the use records.
+    codec_points = buildCodecPoints(graph_, *sched);
+}
+
+void
+Executor::setAsyncCodec(bool on, int workers)
+{
+    async_codec = on;
+    if (on)
+        CodecQueue::instance().setNumWorkers(std::max(1, workers));
 }
 
 const ScheduleInfo &
@@ -181,54 +194,67 @@ Executor::retireAfterForward(NodeId id)
         return;
     }
 
-    switch (st.plan.repr) {
-      case StashPlan::Repr::Dense:
+    if (st.plan.repr == StashPlan::Repr::Dense)
         return; // stays materialized until its last backward read
-      case StashPlan::Repr::Csr: {
-        GIST_TRACE_SCOPE_F("encode", "encode csr %s",
-                           graph_.node(id).name.c_str());
-        const auto t0 = std::chrono::steady_clock::now();
-        st.csr.setConfig(st.plan.csr); // retarget, keep allocations
-        st.csr.encode(st.value.span());
-        tele.encode_ns.add(nanosSince(t0));
-        st.csr_ratio = st.csr.compressionRatio();
-        tele.encoded_bytes.add(st.csr.bytes());
-        tele.dense_bytes_replaced.add(st.value.bytes());
-        tele.csr_encoded_bytes.add(st.csr.bytes());
-        tele.csr_dense_bytes.add(st.value.bytes());
-        meterAdd(st.csr.bytes());
-        meterSub(st.value.bytes());
-        st.value.releaseStorage();
-        st.state = BufState::Encoded;
-        return;
-      }
-      case StashPlan::Repr::Dpr: {
-        GIST_TRACE_SCOPE_F("encode", "encode dpr %s",
-                           graph_.node(id).name.c_str());
-        const auto t0 = std::chrono::steady_clock::now();
-        st.dpr.encode(st.plan.dpr, st.value.span());
-        tele.encode_ns.add(nanosSince(t0));
-        tele.encoded_bytes.add(st.dpr.bytes());
-        tele.dense_bytes_replaced.add(st.value.bytes());
-        tele.dpr_encoded_bytes.add(st.dpr.bytes());
-        tele.dpr_dense_bytes.add(st.value.bytes());
-        meterAdd(st.dpr.bytes());
-        meterSub(st.value.bytes());
-        st.value.releaseStorage();
-        st.state = BufState::Encoded;
-        return;
-      }
+
+    // Slot ENCODING: state flips to Encoded on the main thread at
+    // submission; the codec worker owns the slot's buffers until the
+    // encode ticket is joined (joinEncode/awaitDense/releaseStash).
+    if (async_codec) {
+        st.encode_job =
+            CodecQueue::instance().submit([this, id] { encodeSlot(id); });
+    } else {
+        encodeSlot(id);
     }
+    st.state = BufState::Encoded;
 }
 
+/**
+ * Encode the slot per its plan and retire the FP32 buffer. Runs inline
+ * in sync mode, on a codec worker in async mode; every instrument it
+ * touches (counters, the pool gauge) is lock-free and the slot buffers
+ * are owned by this task until its ticket is joined.
+ */
 void
-Executor::materialize(NodeId id)
+Executor::encodeSlot(NodeId id)
 {
     auto &st = states[static_cast<size_t>(id)];
-    if (st.state == BufState::Dense)
-        return;
-    GIST_ASSERT(st.state == BufState::Encoded, "node ", id,
-                " has no stashed value to materialize");
+    const bool is_csr = st.plan.repr == StashPlan::Repr::Csr;
+    GIST_TRACE_SCOPE_F("encode", "encode %s %s", is_csr ? "csr" : "dpr",
+                       graph_.node(id).name.c_str());
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t encoded_bytes = 0;
+    if (is_csr) {
+        st.csr.setConfig(st.plan.csr); // retarget, keep allocations
+        st.csr.encode(st.value.span());
+        st.csr_ratio = st.csr.compressionRatio();
+        encoded_bytes = st.csr.bytes();
+        tele.csr_encoded_bytes.add(encoded_bytes);
+        tele.csr_dense_bytes.add(st.value.bytes());
+    } else {
+        st.dpr.encode(st.plan.dpr, st.value.span());
+        encoded_bytes = st.dpr.bytes();
+        tele.dpr_encoded_bytes.add(encoded_bytes);
+        tele.dpr_dense_bytes.add(st.value.bytes());
+    }
+    tele.encode_ns.add(nanosSince(t0));
+    tele.encoded_bytes.add(encoded_bytes);
+    tele.dense_bytes_replaced.add(st.value.bytes());
+    meterAdd(encoded_bytes);
+    meterSub(st.value.bytes());
+    st.value.releaseStorage();
+}
+
+/**
+ * Decode the slot back to FP32. The caller guarantees the encode has
+ * completed (sync mode: trivially; async mode: the decode task waits on
+ * the slot's encode ticket before calling this). The main-thread
+ * BufState flip to Dense happens when the decode ticket is joined.
+ */
+void
+Executor::decodeSlot(NodeId id)
+{
+    auto &st = states[static_cast<size_t>(id)];
     GIST_TRACE_SCOPE_F("decode", "decode %s %s",
                        st.plan.repr == StashPlan::Repr::Csr ? "csr" : "dpr",
                        graph_.node(id).name.c_str());
@@ -245,7 +271,84 @@ Executor::materialize(NodeId id)
         st.dpr.reset();
     }
     tele.decode_ns.add(nanosSince(t0));
+}
+
+void
+Executor::materialize(NodeId id)
+{
+    auto &st = states[static_cast<size_t>(id)];
+    if (st.state == BufState::Dense)
+        return;
+    GIST_ASSERT(st.state == BufState::Encoded, "node ", id,
+                " has no stashed value to materialize");
+    decodeSlot(id);
     st.state = BufState::Dense;
+}
+
+void
+Executor::submitDecodes(NodeId consumer, NodeId chunked_reader)
+{
+    if (consumer < 0)
+        return;
+    // Slots the currently-executing conv reads tile-by-tile (elide mode)
+    // must not decode concurrently: the decode resets the very encoding
+    // the chunked read walks. Defer those to the consumer's own step.
+    const bool hold = chunked_reader >= 0 && elide_decode &&
+                      graph_.node(chunked_reader).kind() == LayerKind::Conv;
+    for (const DecodeTarget &t :
+         codec_points.decode_targets[static_cast<size_t>(consumer)]) {
+        auto &st = states[static_cast<size_t>(t.slot)];
+        if (st.state != BufState::Encoded)
+            continue; // dense plan, already decoded, or released
+        if (st.decode_job)
+            continue; // already in flight (submitted one node ahead)
+        if (elide_decode && t.chunkable)
+            continue; // consumer reads the encoding tile-by-tile
+        if (hold) {
+            const auto &ins = graph_.node(chunked_reader).inputs;
+            if (std::find(ins.begin(), ins.end(), t.slot) != ins.end())
+                continue;
+        }
+        // The decode task waits on the slot's own encode ticket first:
+        // with the FIFO queue a popped task only ever waits on
+        // earlier-submitted tasks (already popped), so every worker
+        // count down to one is deadlock-free.
+        const TaskTicket after = st.encode_job;
+        const NodeId slot = t.slot;
+        st.decode_job = CodecQueue::instance().submit([this, slot, after] {
+            after.wait();
+            decodeSlot(slot);
+        });
+    }
+}
+
+void
+Executor::joinEncode(NodeId id)
+{
+    auto &st = states[static_cast<size_t>(id)];
+    if (st.encode_job) {
+        st.encode_job.wait();
+        st.encode_job.reset();
+    }
+}
+
+void
+Executor::awaitDense(NodeId id)
+{
+    auto &st = states[static_cast<size_t>(id)];
+    if (st.decode_job) {
+        st.decode_job.wait(); // blocks only if the prefetch came early
+        st.decode_job.reset();
+        st.encode_job.reset(); // decode waited on it already
+        st.state = BufState::Dense;
+        return;
+    }
+    if (st.state == BufState::Dense)
+        return;
+    // No prefetch in flight (e.g. elide-skipped slot read densely after
+    // all): fall back to the synchronous decode path.
+    joinEncode(id);
+    materialize(id);
 }
 
 Tensor &
@@ -263,6 +366,16 @@ void
 Executor::releaseStash(NodeId id)
 {
     auto &st = states[static_cast<size_t>(id)];
+    // Join any in-flight codec work first so the buffers (and the
+    // memory meter) are quiescent before the release bookkeeping.
+    if (st.decode_job) {
+        st.decode_job.wait();
+        st.decode_job.reset();
+        st.encode_job.reset();
+        st.state = BufState::Dense;
+    } else {
+        joinEncode(id);
+    }
     if (st.state == BufState::Dense)
         meterSub(st.value.bytes());
     else if (st.state == BufState::Encoded)
@@ -399,12 +512,32 @@ Executor::runMinibatch(const Tensor &input,
             return elide_decode && node.kind() == LayerKind::Conv &&
                    in_st.state == BufState::Encoded;
         };
+        if (async_codec) {
+            // Make sure this node's own dense reads are in flight (a
+            // no-op when the previous iteration prefetched them), then
+            // prefetch the next backward node's decodes so they overlap
+            // this node's backward compute.
+            submitDecodes(id);
+            submitDecodes(codec_points.next_bwd[static_cast<size_t>(i)],
+                          id);
+        }
         if (needs.input)
-            for (NodeId in : node.inputs)
-                if (!chunked_ok(in))
-                    materialize(in);
-        if (needs.output)
-            materialize(id);
+            for (NodeId in : node.inputs) {
+                if (!chunked_ok(in)) {
+                    if (async_codec)
+                        awaitDense(in);
+                    else
+                        materialize(in);
+                } else if (async_codec) {
+                    joinEncode(in); // chunked read of the encoding
+                }
+            }
+        if (needs.output) {
+            if (async_codec)
+                awaitDense(id);
+            else
+                materialize(id);
+        }
 
         BwdCtx ctx;
         for (NodeId in : node.inputs) {

@@ -23,8 +23,10 @@
 
 #include "encodings/csr.hpp"
 #include "encodings/dpr.hpp"
+#include "graph/codec_points.hpp"
 #include "graph/graph.hpp"
 #include "obs/counters.hpp"
+#include "util/parallel.hpp"
 
 namespace gist {
 
@@ -100,6 +102,27 @@ class Executor
     void setElideDecode(bool on) { elide_decode = on; }
 
     /**
+     * Asynchronous codec pipeline: submit each stash encode to the
+     * dedicated codec queue right after the producing layer's forward
+     * retires it, and prefetch each decode one backward node ahead of
+     * its consumer; the main thread blocks on the slot's ticket only
+     * when the codec work has not finished yet. Each stash slot moves
+     * through FP32_LIVE -> ENCODING -> ENCODED -> DECODING -> READY,
+     * tracked by (BufState, encode/decode tickets) with all state
+     * transitions on the main thread. Codec workers run their kernels
+     * inline single-threaded, so lossless async runs are bitwise
+     * identical to sync runs. Default off (sync fallback); usually set
+     * via GistConfig::async_codec / GIST_ASYNC.
+     *
+     * @p workers sizes the process-global codec queue (clamped to >= 1
+     * when @p on).
+     */
+    void setAsyncCodec(bool on, int workers = 1);
+
+    /** True when the async codec pipeline is enabled. */
+    bool asyncCodec() const { return async_codec; }
+
+    /**
      * Size the shared thread pool driving gemm/im2col/encode/decode.
      * n >= 1 forces that count; n == 0 keeps the current (auto-resolved)
      * setting. The pool is process-global, so this affects every
@@ -165,6 +188,14 @@ class Executor
         StashPlan plan;
         CsrBuffer csr;
         DprBuffer dpr;
+        /**
+         * Async pipeline tickets. BufState stays the main thread's
+         * authoritative view (Encoded = encode *submitted*); a non-empty
+         * ticket means a codec worker may still own the slot's buffers,
+         * so the main thread joins the ticket before touching them.
+         */
+        TaskTicket encode_job;
+        TaskTicket decode_job;
         double sparsity = -1.0;
         double csr_ratio = -1.0;
         double fwd_seconds = 0.0;
@@ -175,6 +206,20 @@ class Executor
     void materialize(NodeId id);
     Tensor &ensureGrad(NodeId id);
     void releaseStash(NodeId id);
+
+    /** Codec-queue task bodies (run on codec workers in async mode). */
+    void encodeSlot(NodeId id);
+    void decodeSlot(NodeId id);
+
+    /**
+     * Submit decode prefetches for @p consumer's dense stash reads,
+     * skipping slots @p chunked_reader is about to read tile-by-tile.
+     */
+    void submitDecodes(NodeId consumer, NodeId chunked_reader = -1);
+    /** Join the encode ticket so the encoding is safe to read/release. */
+    void joinEncode(NodeId id);
+    /** Ensure the slot is materialized, preferring the prefetched decode. */
+    void awaitDense(NodeId id);
 
     /** Memory-meter bookkeeping (feature-map pool only). */
     void meterAdd(std::uint64_t bytes);
@@ -206,11 +251,13 @@ class Executor
 
     Graph &graph_;
     std::unique_ptr<ScheduleInfo> sched;
+    CodecPoints codec_points;
     std::vector<NodeState> states;
     DprFormat forward_quantize = DprFormat::Fp32;
     bool collect_sparsity = false;
     bool profile = false;
     bool elide_decode = false;
+    bool async_codec = false;
     std::vector<std::pair<int, std::uint64_t>> memory_trace;
     ExecStats last_stats;
     Telemetry tele;

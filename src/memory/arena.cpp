@@ -8,6 +8,7 @@
 
 #include "obs/counters.hpp"
 #include "util/bits.hpp"
+#include "util/logging.hpp"
 
 namespace gist {
 namespace {
@@ -16,6 +17,14 @@ constexpr std::size_t kArenaAlign = 64;
 
 /** Heap allocations taken by arena paths (growth + overflow + fallback). */
 std::atomic<std::uint64_t> g_heap_allocs{ 0 };
+
+/**
+ * ArenaScope frames open across all threads. beginStep() rewinds every
+ * region, so a frame alive through it (a kernel or codec task still
+ * running) would see its pointers recycled — the counter turns that
+ * protocol violation into a deterministic assert instead of corruption.
+ */
+std::atomic<int> g_open_frames{ 0 };
 
 /**
  * All thread regions, for beginStep()/stats. Leaked (repo singleton
@@ -101,6 +110,9 @@ WorkspaceArena::instance()
 void
 WorkspaceArena::beginStep()
 {
+    GIST_ASSERT(g_open_frames.load(std::memory_order_acquire) == 0,
+                "WorkspaceArena::beginStep() while an ArenaScope is open "
+                "(kernel or codec task still in flight?)");
     if (!enabled_)
         return;
     RegionRegistry &reg = registry();
@@ -150,12 +162,19 @@ WorkspaceArena::heapAllocCount() const
     return g_heap_allocs.load(std::memory_order_relaxed);
 }
 
+int
+WorkspaceArena::openFrames() const
+{
+    return g_open_frames.load(std::memory_order_acquire);
+}
+
 ArenaScope::ArenaScope()
     : region_(&threadRegion())
 {
     saved_off_ = region_->off;
     saved_in_use_ = region_->in_use;
     saved_chunks_ = region_->chunk_count;
+    g_open_frames.fetch_add(1, std::memory_order_acq_rel);
 }
 
 ArenaScope::~ArenaScope()
@@ -165,6 +184,7 @@ ArenaScope::~ArenaScope()
         alignedDelete(r->chunks[--r->chunk_count].p);
     r->off = saved_off_;
     r->in_use = saved_in_use_;
+    g_open_frames.fetch_sub(1, std::memory_order_acq_rel);
 }
 
 void *

@@ -18,9 +18,14 @@
  *
  * Regions are strictly thread-local: a frame must be opened and closed
  * on the same thread, and pool workers each bump their own region, so
- * no allocation path takes a lock or shares a cache line. beginStep()
- * touches every region, which is safe because the thread pool's
- * quiescent barrier orders it against kernel execution on both sides.
+ * no allocation path takes a lock or shares a cache line. Codec-queue
+ * workers (the async stash pipeline) likewise get their own regions —
+ * scratch is double-buffered per thread by construction, so codec
+ * encodes never fight the main thread's step arena. beginStep() touches
+ * every region, which is safe because the executor joins all codec
+ * tickets before the step ends and the thread pool's quiescent barrier
+ * orders it against kernel execution on both sides; an open-frame count
+ * asserts that no ArenaScope (on any thread) spans the call.
  *
  * Reserved bytes are published to the "gist.arena.bytes" gauge (peak
  * tracking included) in the PR 2 metric registry. Set GIST_ARENA=0 to
@@ -86,6 +91,9 @@ class WorkspaceArena
 
     /** Heap allocations taken by arena paths (block grows + overflow). */
     std::uint64_t heapAllocCount() const;
+
+    /** ArenaScope frames currently open across all threads. */
+    int openFrames() const;
 
   private:
     WorkspaceArena();

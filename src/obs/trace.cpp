@@ -283,6 +283,9 @@ traceWrite(const std::string &path)
             if (buf->worker_index > 0)
                 std::snprintf(tname, sizeof(tname), "pool worker %d",
                               buf->worker_index);
+            else if (buf->worker_index < 0)
+                std::snprintf(tname, sizeof(tname), "codec worker %d",
+                              -buf->worker_index);
             else if (buf->tid == 0)
                 std::snprintf(tname, sizeof(tname), "main");
             else

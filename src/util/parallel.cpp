@@ -3,9 +3,11 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdlib>
+#include <deque>
 #include <exception>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "util/bits.hpp"
@@ -283,6 +285,216 @@ parallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
         return;
     }
     pool.run(begin, end, grain, fn);
+}
+
+bool
+TaskTicket::ready() const
+{
+    if (!state_)
+        return false;
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->done;
+}
+
+void
+TaskTicket::wait() const
+{
+    if (!state_)
+        return;
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [&] { return state_->done; });
+    if (state_->error)
+        std::rethrow_exception(state_->error);
+}
+
+/**
+ * FIFO queue + dedicated worker threads. One mutex guards the deque and
+ * the in-flight count; per-task completion is published through the
+ * ticket's own TaskState so waiters never contend with submitters.
+ */
+struct CodecQueue::Impl
+{
+    struct Task
+    {
+        std::function<void()> fn;
+        std::shared_ptr<detail::TaskState> state;
+    };
+
+    std::mutex mu;                 ///< guards queue / in_flight / stop
+    std::condition_variable wake;  ///< workers sleep here
+    std::condition_variable idle;  ///< drain() sleeps here
+    std::deque<Task> queue;
+    std::vector<std::thread> workers;
+    int in_flight = 0; ///< tasks popped but not yet completed
+    bool stop = false;
+    std::atomic<std::uint64_t> jitter{ 0 };
+
+    /** xorshift step on the shared jitter state; returns 0..3 yields. */
+    int
+    jitterYields()
+    {
+        std::uint64_t s = jitter.load(std::memory_order_relaxed);
+        if (s == 0)
+            return 0;
+        std::uint64_t x = s;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        jitter.store(x, std::memory_order_relaxed);
+        return static_cast<int>(x & 3);
+    }
+
+    static void
+    complete(const std::shared_ptr<detail::TaskState> &state,
+             std::exception_ptr error)
+    {
+        {
+            std::lock_guard<std::mutex> lock(state->mu);
+            state->done = true;
+            state->error = std::move(error);
+        }
+        state->cv.notify_all();
+    }
+
+    static std::exception_ptr
+    runGuarded(const std::function<void()> &fn)
+    {
+        try {
+            fn();
+        } catch (...) {
+            return std::current_exception();
+        }
+        return nullptr;
+    }
+
+    void
+    workerLoop(int spawn_index)
+    {
+        // Mark the thread as a worker so nested parallelFor from codec
+        // kernels runs inline (bitwise-identical by the static chunking
+        // contract, and free of pool-mutex contention); the negative
+        // index gives the trace layer a distinct "codec worker" row.
+        tls_in_worker = true;
+        tls_worker_index = -spawn_index;
+        for (;;) {
+            Task task;
+            {
+                std::unique_lock<std::mutex> lock(mu);
+                wake.wait(lock, [&] { return stop || !queue.empty(); });
+                if (stop && queue.empty())
+                    return;
+                task = std::move(queue.front());
+                queue.pop_front();
+                ++in_flight;
+            }
+            for (int i = jitterYields(); i > 0; --i)
+                std::this_thread::yield();
+            std::exception_ptr error = runGuarded(task.fn);
+            for (int i = jitterYields(); i > 0; --i)
+                std::this_thread::yield();
+            complete(task.state, std::move(error));
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                --in_flight;
+            }
+            idle.notify_all();
+        }
+    }
+
+    void
+    startWorkers(int n)
+    {
+        stop = false;
+        for (int i = 1; i <= n; ++i)
+            workers.emplace_back([this, i] { workerLoop(i); });
+    }
+
+    void
+    stopWorkers()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            stop = true;
+        }
+        wake.notify_all();
+        for (auto &t : workers)
+            t.join();
+        workers.clear();
+    }
+};
+
+CodecQueue::CodecQueue() : impl_(new Impl) {}
+
+CodecQueue::~CodecQueue()
+{
+    impl_->stopWorkers();
+}
+
+CodecQueue &
+CodecQueue::instance()
+{
+    static CodecQueue queue;
+    return queue;
+}
+
+void
+CodecQueue::setNumWorkers(int n)
+{
+    if (n < 0)
+        n = 0;
+    if (n == numWorkers())
+        return;
+    drain();
+    impl_->stopWorkers();
+    impl_->startWorkers(n);
+}
+
+int
+CodecQueue::numWorkers()
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    return static_cast<int>(impl_->workers.size());
+}
+
+TaskTicket
+CodecQueue::submit(std::function<void()> fn)
+{
+    GIST_ASSERT(fn != nullptr, "CodecQueue::submit: null task");
+    TaskTicket ticket;
+    ticket.state_ = std::make_shared<detail::TaskState>();
+    bool inline_run = false;
+    {
+        std::lock_guard<std::mutex> lock(impl_->mu);
+        if (impl_->workers.empty()) {
+            inline_run = true;
+        } else {
+            impl_->queue.push_back(
+                Impl::Task{ std::move(fn), ticket.state_ });
+        }
+    }
+    if (inline_run) {
+        // No workers: run on the calling thread, still routing any
+        // exception through the ticket so callers have one error path.
+        Impl::complete(ticket.state_, Impl::runGuarded(fn));
+    } else {
+        impl_->wake.notify_one();
+    }
+    return ticket;
+}
+
+void
+CodecQueue::drain()
+{
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    impl_->idle.wait(lock, [&] {
+        return impl_->queue.empty() && impl_->in_flight == 0;
+    });
+}
+
+void
+CodecQueue::setJitter(std::uint64_t seed)
+{
+    impl_->jitter.store(seed, std::memory_order_relaxed);
 }
 
 std::int64_t

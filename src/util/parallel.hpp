@@ -24,8 +24,12 @@
 
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <exception>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <type_traits>
 
 namespace gist {
@@ -86,10 +90,11 @@ int numThreads();
 /**
  * Dense index of the calling thread within the persistent pool: pool
  * workers return their spawn index (1 .. numThreads()-1, stable for the
- * worker's lifetime); the parallelFor caller and any thread outside the
- * pool return 0. The tracing layer (src/obs/) registers its per-thread
- * buffers with this index so every pool worker gets a stable, named
- * display row in the trace.
+ * worker's lifetime); codec-queue workers return a negative index
+ * (-1 .. -numWorkers(), stable likewise); the parallelFor caller and
+ * any thread outside both pools return 0. The tracing layer (src/obs/)
+ * registers its per-thread buffers with this index so every worker gets
+ * a stable, named display row in the trace.
  */
 int currentWorkerIndex();
 
@@ -119,5 +124,108 @@ void parallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
  */
 std::int64_t chooseGrain(std::int64_t range, std::int64_t min_grain,
                          std::int64_t align = 1);
+
+namespace detail {
+
+/** Shared completion record behind a TaskTicket (see below). */
+struct TaskState
+{
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::exception_ptr error;
+};
+
+} // namespace detail
+
+/**
+ * Completion handle for one task submitted to the CodecQueue. Cheap to
+ * copy (shared_ptr); a default-constructed ticket is "empty" and all
+ * operations on it are no-ops, so callers can keep one per stash slot
+ * and only pay when a task is actually in flight.
+ *
+ * wait() blocks until the task ran to completion and rethrows any
+ * exception the task threw (once per wait() call, matching the
+ * parallelFor error contract).
+ */
+class TaskTicket
+{
+  public:
+    TaskTicket() = default;
+
+    /** True if this ticket refers to a submitted task. */
+    explicit operator bool() const { return state_ != nullptr; }
+
+    /** True if the task has run to completion (false for empty). */
+    bool ready() const;
+
+    /** Block until done; rethrow the task's exception. Empty: no-op. */
+    void wait() const;
+
+    /** Drop the reference; the ticket becomes empty. */
+    void reset() { state_.reset(); }
+
+  private:
+    friend class CodecQueue;
+    std::shared_ptr<detail::TaskState> state_;
+};
+
+/**
+ * A small dedicated FIFO task queue for asynchronous codec work
+ * (stash encode/decode), separate from the data-parallel ThreadPool so
+ * codec jobs never contend with parallelFor for the pool's single job
+ * slot. Tasks run in strict submission order per worker pick-up; with
+ * one worker the execution order equals the submission order exactly,
+ * which the executor's encode-before-decode slot protocol relies on for
+ * deadlock freedom (a decode task only waits on tickets submitted
+ * before it).
+ *
+ * Determinism: codec workers are marked as "inside a worker", so any
+ * nested parallelFor runs inline single-threaded — by the static
+ * chunking contract above this is bitwise-identical to running the same
+ * codec through the pool, which is what keeps async lossless runs
+ * bit-for-bit equal to sync runs.
+ *
+ * setNumWorkers(0) disables the queue: submit() runs the task inline on
+ * the calling thread (still capturing exceptions into the ticket), so
+ * callers need no special sync fallback path.
+ */
+class CodecQueue
+{
+  public:
+    static CodecQueue &instance();
+
+    /**
+     * Resize to @p n dedicated worker threads (n <= 0 means inline
+     * execution). Drains all in-flight tasks first; cheap when the
+     * count is unchanged.
+     */
+    void setNumWorkers(int n);
+
+    /** Current worker count (0 = inline execution). */
+    int numWorkers();
+
+    /** Enqueue a task; returns a ticket completed when the task ran. */
+    TaskTicket submit(std::function<void()> fn);
+
+    /** Block until every task submitted so far has completed. */
+    void drain();
+
+    /**
+     * Test hook: when @p seed != 0, workers interleave a seeded
+     * pseudo-random number of std::this_thread::yield() calls around
+     * each task, shaking out ordering assumptions in stress tests.
+     * Yields never change task order (FIFO pop under the queue mutex),
+     * only timing.
+     */
+    void setJitter(std::uint64_t seed);
+
+  private:
+    CodecQueue();
+    ~CodecQueue();
+
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
 
 } // namespace gist

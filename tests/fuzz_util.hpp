@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Shared helpers for the property-based fuzz tests: seeded case
+ * generation with environment overrides, byte-level file IO, POD field
+ * readers, and random byte-buffer mutators.
+ *
+ * Seed conventions (uniform across the codec and checkpoint fuzzers):
+ *   GIST_FUZZ_SEED=<n>   run exactly one case with seed n (the one-line
+ *                        repro a failing run prints);
+ *   GIST_FUZZ_BASE=<n>   derive the case seeds from base n instead of
+ *                        the compiled-in default (nightly CI passes a
+ *                        date-derived base so every night explores a
+ *                        fresh region of the space);
+ *   GIST_FUZZ_CASES=<n>  override the number of cases.
+ *
+ * Case seeds are splitmix64 outputs of the base, so neighbouring bases
+ * share no cases.
+ */
+
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace gist {
+namespace fuzz {
+
+/** Parse a non-negative integer env var; @p fallback when unset/bad. */
+inline std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *env = std::getenv(name);
+    if (!env || !*env)
+        return fallback;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end == env || *end != '\0') {
+        ADD_FAILURE() << "bad " << name << " value '" << env << "'";
+        return fallback;
+    }
+    return static_cast<std::uint64_t>(v);
+}
+
+/** True when GIST_FUZZ_SEED pins a single-case repro run. */
+inline bool
+singleSeed(std::uint64_t &seed)
+{
+    if (const char *env = std::getenv("GIST_FUZZ_SEED"); env && *env) {
+        seed = envU64("GIST_FUZZ_SEED", 0);
+        return true;
+    }
+    return false;
+}
+
+/**
+ * The seeds to fuzz: either the single GIST_FUZZ_SEED, or @p cases
+ * (overridable via GIST_FUZZ_CASES) seeds derived from @p base
+ * (overridable via GIST_FUZZ_BASE).
+ */
+inline std::vector<std::uint64_t>
+caseSeeds(std::uint64_t base, std::uint64_t cases)
+{
+    std::uint64_t pinned = 0;
+    if (singleSeed(pinned))
+        return { pinned };
+    base = envU64("GIST_FUZZ_BASE", base);
+    cases = envU64("GIST_FUZZ_CASES", cases);
+    Rng rng(base);
+    std::vector<std::uint64_t> seeds(static_cast<size_t>(cases));
+    for (auto &s : seeds)
+        s = rng.next();
+    return seeds;
+}
+
+// --------------------------------------------------------- byte-level IO
+
+inline std::vector<std::uint8_t>
+readBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    EXPECT_TRUE(in.good()) << path;
+    std::vector<std::uint8_t> bytes(static_cast<size_t>(in.tellg()));
+    in.seekg(0);
+    in.read(reinterpret_cast<char *>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+    return bytes;
+}
+
+inline void
+writeBytes(const std::string &path, const std::vector<std::uint8_t> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(out.good()) << path;
+}
+
+inline std::uint32_t
+podU32(const std::vector<std::uint8_t> &b, size_t off)
+{
+    std::uint32_t v;
+    std::memcpy(&v, b.data() + off, sizeof(v));
+    return v;
+}
+
+inline std::uint64_t
+podU64(const std::vector<std::uint8_t> &b, size_t off)
+{
+    std::uint64_t v;
+    std::memcpy(&v, b.data() + off, sizeof(v));
+    return v;
+}
+
+// ------------------------------------------------------- byte mutators
+
+/**
+ * Apply one random mutation drawn from @p rng: single bit flip, byte
+ * overwrite, truncation, random-garbage extension, or a block splice
+ * (duplicate a random run over another offset). Returns a description
+ * of what was done for failure messages. Empty inputs only grow.
+ */
+inline std::string
+mutateBytes(std::vector<std::uint8_t> &bytes, Rng &rng)
+{
+    const std::uint64_t kind = rng.uniformInt(5);
+    if (bytes.empty() || kind == 3) {
+        const size_t n = 1 + static_cast<size_t>(rng.uniformInt(64));
+        const size_t at = bytes.empty()
+                              ? 0
+                              : static_cast<size_t>(
+                                    rng.uniformInt(bytes.size() + 1));
+        std::vector<std::uint8_t> garbage(n);
+        for (auto &g : garbage)
+            g = static_cast<std::uint8_t>(rng.uniformInt(256));
+        bytes.insert(bytes.begin() + static_cast<std::ptrdiff_t>(at),
+                     garbage.begin(), garbage.end());
+        return "insert " + std::to_string(n) + " bytes at " +
+               std::to_string(at);
+    }
+    switch (kind) {
+      case 0: {
+        const size_t at = static_cast<size_t>(rng.uniformInt(bytes.size()));
+        const int bit = static_cast<int>(rng.uniformInt(8));
+        bytes[at] ^= static_cast<std::uint8_t>(1u << bit);
+        return "flip bit " + std::to_string(bit) + " at " +
+               std::to_string(at);
+      }
+      case 1: {
+        const size_t at = static_cast<size_t>(rng.uniformInt(bytes.size()));
+        bytes[at] = static_cast<std::uint8_t>(rng.uniformInt(256));
+        return "set byte at " + std::to_string(at);
+      }
+      case 2: {
+        const size_t keep =
+            static_cast<size_t>(rng.uniformInt(bytes.size()));
+        bytes.resize(keep);
+        return "truncate to " + std::to_string(keep);
+      }
+      default: {
+        const size_t len =
+            1 + static_cast<size_t>(rng.uniformInt(
+                    std::min<std::size_t>(bytes.size(), 32)));
+        const size_t src = static_cast<size_t>(
+            rng.uniformInt(bytes.size() - len + 1));
+        const size_t dst = static_cast<size_t>(
+            rng.uniformInt(bytes.size() - len + 1));
+        std::memmove(bytes.data() + dst, bytes.data() + src, len);
+        return "splice " + std::to_string(len) + " bytes " +
+               std::to_string(src) + " -> " + std::to_string(dst);
+      }
+    }
+}
+
+} // namespace fuzz
+} // namespace gist

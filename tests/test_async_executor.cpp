@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Concurrency stress tests for the async codec pipeline: random graphs
+ * x random codec-worker counts x injected yield jitter, asserting that
+ * async execution is bit-for-bit identical to the synchronous fallback
+ * (lossless AND lossy — quantization is deterministic), that a single
+ * starved codec worker can never deadlock (decode tasks wait only on
+ * the same slot's earlier-submitted encode, so FIFO order suffices),
+ * and that encode/decode spans really run on codec workers (negative
+ * worker_index in the trace). Overlap with main-thread compute is
+ * asserted from the trace only when the machine has >= 2 cores.
+ *
+ * The whole file runs under the CI TSan job with GIST_ASYNC=1.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/gist.hpp"
+#include "models/builder.hpp"
+#include "obs/trace.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace gist {
+namespace {
+
+/**
+ * Random well-formed CNN (trunk of conv/relu/pool segments with
+ * residual and concat branches) — every ReLU/pool feeding a conv is a
+ * stash the codec pipeline must encode and prefetch-decode.
+ */
+Graph
+randomGraph(std::uint64_t seed, std::int64_t batch = 4)
+{
+    Rng rng(seed);
+    const std::int64_t img = 16;
+    NetBuilder net(batch, 3, img, img);
+    std::int64_t spatial = img;
+    const int segments = 2 + static_cast<int>(rng.uniformInt(4));
+    for (int s = 0; s < segments; ++s) {
+        const std::int64_t channels = 4 + 4 * rng.uniformInt(4);
+        switch (rng.uniformInt(5)) {
+          case 0:
+            net.conv(channels, 3, 1, 1);
+            net.relu();
+            break;
+          case 1:
+            net.conv(channels, 3, 1, 1);
+            net.batchnorm();
+            net.relu();
+            break;
+          case 2:
+            net.conv(channels, 3, 1, 1);
+            net.relu();
+            if (spatial >= 4) {
+                net.maxpool(2, 2);
+                spatial /= 2;
+            }
+            break;
+          case 3: {
+            net.conv(channels, 3, 1, 1);
+            net.relu();
+            const NodeId trunk = net.tip();
+            net.conv(channels, 3, 1, 1);
+            net.relu();
+            net.conv(channels, 3, 1, 1);
+            net.add(trunk);
+            net.relu();
+            break;
+          }
+          default: {
+            const NodeId trunk = net.tip();
+            NodeId a = net.reluAt(net.convAt(trunk, channels, 1));
+            NodeId b = net.reluAt(net.convAt(trunk, channels, 3, 1, 1));
+            net.concat({ a, b });
+            break;
+          }
+        }
+    }
+    net.fc(5);
+    net.loss(5);
+    return net.take();
+}
+
+/** Fixed stash-heavy net for the trace and starvation tests. */
+Graph
+stashHeavyGraph(std::int64_t batch = 4)
+{
+    NetBuilder net(batch, 3, 16, 16);
+    net.conv(8, 3, 1, 1);
+    net.relu();
+    net.conv(8, 3, 1, 1);
+    net.relu();
+    net.maxpool(2, 2);
+    net.conv(16, 3, 1, 1);
+    net.relu();
+    net.conv(16, 3, 1, 1);
+    net.relu();
+    net.maxpool(2, 2);
+    net.fc(5);
+    net.loss(5);
+    return net.take();
+}
+
+struct StepResult
+{
+    std::vector<float> losses;
+    std::vector<float> grads;
+};
+
+/**
+ * Train @p steps identical minibatches and collect every loss and
+ * parameter gradient. The async arms set jitter so codec workers yield
+ * at randomized points; jitter is always cleared again on return.
+ */
+StepResult
+runSteps(Graph &&g, std::uint64_t seed, const GistConfig &cfg, bool async,
+         int workers, std::uint64_t jitter_seed, int steps = 3)
+{
+    Rng rng(seed + 1);
+    g.initParams(rng);
+    Executor exec(g);
+    applyToExecutor(buildSchedule(g, cfg), exec);
+    CodecQueue::instance().setJitter(async ? jitter_seed : 0);
+    exec.setAsyncCodec(async, workers);
+    StepResult result;
+    Rng drng(seed + 2);
+    const std::vector<std::int32_t> labels = { 0, 1, 2, 3 };
+    for (int s = 0; s < steps; ++s) {
+        const Tensor batch =
+            Tensor::uniform(g.node(0).out_shape, drng, 0.0f, 1.0f);
+        result.losses.push_back(exec.runMinibatch(batch, labels));
+    }
+    for (auto &node : g.nodes())
+        if (node.layer)
+            for (Tensor *w : node.layer->paramGrads())
+                result.grads.insert(result.grads.end(), w->data(),
+                                    w->data() + w->numel());
+    CodecQueue::instance().setJitter(0);
+    return result;
+}
+
+class AsyncExecutor : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(AsyncExecutor, LosslessAsyncMatchesSyncBitwise)
+{
+    const std::uint64_t seed = GetParam();
+    const int workers = 1 + static_cast<int>(seed % 3);
+    const auto sync =
+        runSteps(randomGraph(seed), seed, GistConfig::lossless(), false,
+                 workers, 0);
+    const auto async =
+        runSteps(randomGraph(seed), seed, GistConfig::lossless(), true,
+                 workers, /*jitter_seed=*/seed * 2 + 1);
+    EXPECT_EQ(sync.losses, async.losses) << "workers=" << workers;
+    EXPECT_EQ(sync.grads, async.grads) << "workers=" << workers;
+}
+
+TEST_P(AsyncExecutor, ElidedLosslessAsyncMatchesSyncBitwise)
+{
+    const std::uint64_t seed = GetParam();
+    GistConfig cfg = GistConfig::lossless();
+    cfg.elide_decode_buffer = true;
+    const auto sync = runSteps(randomGraph(seed), seed, cfg, false, 2, 0);
+    const auto async =
+        runSteps(randomGraph(seed), seed, cfg, true, 2, seed * 2 + 1);
+    EXPECT_EQ(sync.losses, async.losses);
+    EXPECT_EQ(sync.grads, async.grads);
+}
+
+TEST_P(AsyncExecutor, LossyAsyncIsDeterministic)
+{
+    const std::uint64_t seed = GetParam();
+    const auto sync = runSteps(randomGraph(seed), seed,
+                               GistConfig::lossy(DprFormat::Fp16), false,
+                               2, 0);
+    const auto async =
+        runSteps(randomGraph(seed), seed, GistConfig::lossy(DprFormat::Fp16),
+                 true, 2, seed * 2 + 1);
+    EXPECT_EQ(sync.losses, async.losses);
+    EXPECT_EQ(sync.grads, async.grads);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AsyncExecutor,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(AsyncExecutorStress, SingleStarvedWorkerNeverDeadlocks)
+{
+    // One codec worker, yield jitter on: every decode task waits on the
+    // same slot's encode ticket inside the only worker thread. FIFO
+    // submission order (encode before decode) is the no-deadlock
+    // argument; this test is the regression net for it. A deadlock
+    // shows up as a ctest timeout.
+    for (std::uint64_t seed = 21; seed < 25; ++seed) {
+        const auto result =
+            runSteps(randomGraph(seed), seed, GistConfig::lossless(), true,
+                     /*workers=*/1, /*jitter_seed=*/seed);
+        for (const float loss : result.losses)
+            EXPECT_TRUE(std::isfinite(loss)) << "seed=" << seed;
+    }
+}
+
+TEST(AsyncExecutorStress, CodecSpansRunOnCodecWorkers)
+{
+    obs::traceStart(""); // memory-only
+    runSteps(stashHeavyGraph(), 7, GistConfig::lossless(), true, 2, 0);
+    obs::traceStop();
+    const auto events = obs::traceCollect();
+    obs::traceReset();
+
+    int encode_on_worker = 0;
+    int decode_on_worker = 0;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> codec_spans;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> compute_spans;
+    for (const auto &e : events) {
+        if (e.cat == "encode" || e.cat == "decode") {
+            if (e.worker_index < 0) {
+                ++(e.cat == "encode" ? encode_on_worker : decode_on_worker);
+                codec_spans.emplace_back(e.ts_ns, e.ts_ns + e.dur_ns);
+            }
+        } else if ((e.cat == "fwd" || e.cat == "bwd") &&
+                   e.worker_index == 0) {
+            compute_spans.emplace_back(e.ts_ns, e.ts_ns + e.dur_ns);
+        }
+    }
+    EXPECT_GT(encode_on_worker, 0)
+        << "no encode span ran on a codec worker";
+    EXPECT_GT(decode_on_worker, 0)
+        << "no decode span ran on a codec worker";
+
+    if (std::thread::hardware_concurrency() < 2)
+        GTEST_SKIP() << "single core: overlap not guaranteed";
+    // On >= 2 cores at least one codec span must overlap main-thread
+    // compute — the pipeline's whole point (fig09 rerun: GIST_ASYNC=1).
+    bool overlapped = false;
+    for (const auto &c : codec_spans) {
+        for (const auto &m : compute_spans)
+            if (c.first < m.second && m.first < c.second) {
+                overlapped = true;
+                break;
+            }
+        if (overlapped)
+            break;
+    }
+    EXPECT_TRUE(overlapped)
+        << "no codec span overlapped fwd/bwd compute in the trace";
+}
+
+} // namespace
+} // namespace gist

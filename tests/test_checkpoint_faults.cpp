@@ -17,7 +17,12 @@
 #include <string>
 #include <vector>
 
+#if !defined(_WIN32)
+#include <sys/wait.h>
+#endif
+
 #include "core/gist.hpp"
+#include "fuzz_util.hpp"
 #include "models/tiny.hpp"
 #include "obs/counters.hpp"
 #include "train/checkpoint.hpp"
@@ -25,6 +30,11 @@
 
 namespace gist {
 namespace {
+
+using fuzz::podU32;
+using fuzz::podU64;
+using fuzz::readBytes;
+using fuzz::writeBytes;
 
 std::string
 tempPath(const std::string &name)
@@ -39,27 +49,6 @@ testScopedPath(const char *suffix)
     const auto *info =
         ::testing::UnitTest::GetInstance()->current_test_info();
     return tempPath(std::string("faults_") + info->name() + suffix);
-}
-
-std::vector<std::uint8_t>
-readBytes(const std::string &path)
-{
-    std::ifstream in(path, std::ios::binary | std::ios::ate);
-    EXPECT_TRUE(in.good()) << path;
-    std::vector<std::uint8_t> bytes(static_cast<size_t>(in.tellg()));
-    in.seekg(0);
-    in.read(reinterpret_cast<char *>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-    return bytes;
-}
-
-void
-writeBytes(const std::string &path, const std::vector<std::uint8_t> &bytes)
-{
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    out.write(reinterpret_cast<const char *>(bytes.data()),
-              static_cast<std::streamsize>(bytes.size()));
-    ASSERT_TRUE(out.good()) << path;
 }
 
 std::vector<Tensor *>
@@ -120,22 +109,6 @@ struct SectionLoc
     size_t payload_off;
     size_t payload_len;
 };
-
-std::uint32_t
-podU32(const std::vector<std::uint8_t> &b, size_t off)
-{
-    std::uint32_t v;
-    std::memcpy(&v, b.data() + off, sizeof(v));
-    return v;
-}
-
-std::uint64_t
-podU64(const std::vector<std::uint8_t> &b, size_t off)
-{
-    std::uint64_t v;
-    std::memcpy(&v, b.data() + off, sizeof(v));
-    return v;
-}
 
 std::string
 sectionNameOf(std::uint32_t id)
@@ -377,6 +350,45 @@ TEST_F(CheckpointCorruption, StructureMismatchNamesSectionAndTensor)
     TrainState st;
     EXPECT_EXIT(loadCheckpoint(other, st, path),
                 ::testing::ExitedWithCode(1), "section 'weights'");
+}
+
+// ------------------------------------------------- random-mutation sweep
+
+/**
+ * Property: whatever bytes land on disk, the loader either rejects them
+ * with a clean error (exit 1 via fatal()) or performs a full round trip
+ * (exit 0) — it never crashes on a signal or trips a sanitizer. Run
+ * under ASan in CI; seeds follow the fuzz_util conventions, so a
+ * failure reproduces with GIST_FUZZ_SEED=<printed seed>.
+ */
+TEST_F(CheckpointCorruption, RandomMutationSweepNeverCrashes)
+{
+    const auto accept_clean_exit = [](int status) {
+#if defined(_WIN32)
+        return status == 0 || status == 1;
+#else
+        return WIFEXITED(status) && (WEXITSTATUS(status) == 0 ||
+                                     WEXITSTATUS(status) == 1);
+#endif
+    };
+    for (const std::uint64_t seed : fuzz::caseSeeds(0x5eedC4Fe, 48)) {
+        Rng rng(seed);
+        auto bytes = good;
+        std::string desc;
+        const int mutations = 1 + static_cast<int>(rng.uniformInt(3));
+        for (int m = 0; m < mutations; ++m)
+            desc += (m ? "; " : "") + fuzz::mutateBytes(bytes, rng);
+        const std::string p = mutate(bytes);
+        Graph target = makeGraph(1);
+        TrainState st;
+        EXPECT_EXIT(
+            {
+                loadCheckpoint(target, st, p);
+                std::exit(0);
+            },
+            accept_clean_exit, "")
+            << "GIST_FUZZ_SEED=" << seed << " (" << desc << ")";
+    }
 }
 
 // ------------------------------------------------------------ atomicity

@@ -11,7 +11,9 @@
 #include <memory>
 #include <vector>
 
+#include "core/gist.hpp"
 #include "layers/layers.hpp"
+#include "models/builder.hpp"
 #include "util/rng.hpp"
 
 namespace gist {
@@ -253,6 +255,124 @@ TEST(LayerGradients, Lrn)
     CheckOptions opts;
     opts.tol = 4e-2;
     checkGradients(lrn, std::move(inputs), opts);
+}
+
+TEST(LayerGradients, LrnSmallWindowSteepBeta)
+{
+    // Window 3 leaves channels at the edges with asymmetric sums;
+    // beta > 1 steepens the denominator's nonlinearity.
+    LrnLayer lrn(3, 5e-2f, 1.2f, 1.0f);
+    std::vector<Tensor> inputs;
+    inputs.push_back(mixedSignTensor(Shape::nchw(2, 5, 3, 3), 0.1f, 47));
+    CheckOptions opts;
+    opts.tol = 4e-2;
+    checkGradients(lrn, std::move(inputs), opts);
+}
+
+TEST(LayerGradients, LrnWindowWiderThanChannels)
+{
+    // n = 7 over C = 4: every window clamps at both channel edges.
+    LrnLayer lrn(7, 1e-2f, 0.75f, 2.0f);
+    std::vector<Tensor> inputs;
+    inputs.push_back(mixedSignTensor(Shape::nchw(2, 4, 3, 3), 0.1f, 48));
+    CheckOptions opts;
+    opts.tol = 4e-2;
+    checkGradients(lrn, std::move(inputs), opts);
+}
+
+TEST(LayerGradients, MaxPoolOverlappingDense)
+{
+    // Kernel 3, stride 1, pad 1: every input belongs to up to 9
+    // windows, so the backward must accumulate across overlaps.
+    MaxPoolLayer pool(PoolSpec::square(3, 1, 1));
+    std::vector<Tensor> inputs;
+    inputs.push_back(mixedSignTensor(Shape::nchw(1, 2, 5, 5), 0.1f, 49));
+    CheckOptions opts;
+    opts.eps = 1e-3; // keep the argmax stable under perturbation
+    checkGradients(pool, std::move(inputs), opts);
+}
+
+TEST(LayerGradients, MaxPoolOverlappingIndexMap)
+{
+    // Same overlap pattern routed through the 4-bit argmax map.
+    MaxPoolLayer pool(PoolSpec::square(3, 1));
+    pool.setStashMode(MaxPoolLayer::StashMode::IndexMap);
+    std::vector<Tensor> inputs;
+    inputs.push_back(mixedSignTensor(Shape::nchw(2, 2, 6, 6), 0.1f, 50));
+    CheckOptions opts;
+    opts.eps = 1e-3;
+    checkGradients(pool, std::move(inputs), opts);
+}
+
+TEST(LayerGradients, ConvParamGradsUnderEncodedStashes)
+{
+    // Full-executor check: under the lossless config the ReLU output
+    // feeding the second conv is stashed in CSR and decoded for the
+    // conv backward; its weight/bias gradients must still match
+    // central differences of the minibatch loss.
+    NetBuilder net(2, 3, 8, 8);
+    net.conv(4, 3, 1, 1);
+    net.relu();
+    net.conv(4, 3, 1, 1);
+    net.fc(3);
+    net.loss(3);
+    Graph g = net.take();
+    Rng rng(31);
+    g.initParams(rng);
+    Executor exec(g);
+    applyToExecutor(buildSchedule(g, GistConfig::lossless()), exec);
+    Rng drng(32);
+    const Tensor batch =
+        Tensor::uniform(g.node(0).out_shape, drng, 0.0f, 1.0f);
+    const std::vector<std::int32_t> labels = { 0, 1 };
+    auto run = [&]() {
+        return static_cast<double>(exec.runMinibatch(batch, labels));
+    };
+    run();
+
+    // Snapshot the analytic grads now: every perturbed rerun below
+    // recomputes (and thus trashes) the gradient tensors.
+    struct ConvCheck
+    {
+        const std::string *name;
+        std::vector<Tensor *> params;
+        std::vector<std::vector<float>> analytic;
+    };
+    std::vector<ConvCheck> convs;
+    for (auto &node : g.nodes()) {
+        if (!node.layer || node.kind() != LayerKind::Conv)
+            continue;
+        ConvCheck c;
+        c.name = &node.name;
+        c.params = node.layer->params();
+        for (Tensor *grad : node.layer->paramGrads())
+            c.analytic.emplace_back(grad->data(),
+                                    grad->data() + grad->numel());
+        ASSERT_EQ(c.params.size(), c.analytic.size());
+        convs.push_back(std::move(c));
+    }
+    ASSERT_EQ(convs.size(), 2u);
+
+    const double eps = 1e-2;
+    for (ConvCheck &c : convs) {
+        for (size_t p = 0; p < c.params.size(); ++p) {
+            for (std::int64_t i = 0; i < c.params[p]->numel(); ++i) {
+                const float saved = c.params[p]->at(i);
+                const double analytic = static_cast<double>(
+                    c.analytic[p][static_cast<size_t>(i)]);
+                c.params[p]->at(i) = saved + static_cast<float>(eps);
+                const double up = run();
+                c.params[p]->at(i) = saved - static_cast<float>(eps);
+                const double down = run();
+                c.params[p]->at(i) = saved;
+                const double numeric = (up - down) / (2.0 * eps);
+                const double denom = std::max(
+                    1.0, std::abs(numeric) + std::abs(analytic));
+                EXPECT_NEAR(analytic, numeric, 3e-2 * denom)
+                    << *c.name << " param " << p << " index " << i;
+            }
+        }
+    }
 }
 
 TEST(LayerGradients, Concat)
