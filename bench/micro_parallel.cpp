@@ -25,6 +25,7 @@
 #include "encodings/binarize.hpp"
 #include "encodings/csr.hpp"
 #include "encodings/dpr.hpp"
+#include "simd/dispatch.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/im2col.hpp"
 #include "util/parallel.hpp"
@@ -247,6 +248,87 @@ main(int argc, char **argv)
                     csr.decode({ static_cast<float *>(out),
                                  static_cast<size_t>(n) });
                 });
+
+        // --- vectorized encode fill in isolation (pass 2 of encode:
+        //     compress-store values + 1-byte column indices into
+        //     precomputed row offsets, with the same chunk-edge pad
+        //     guard the encoder uses) ---
+        {
+            const std::int64_t nrows = (n + 255) / 256;
+            std::vector<std::uint32_t> row_ptr(
+                static_cast<size_t>(nrows) + 1, 0);
+            for (std::int64_t r = 0; r < nrows; ++r) {
+                const std::int64_t len =
+                    std::min<std::int64_t>(256, n - r * 256);
+                row_ptr[static_cast<size_t>(r) + 1] =
+                    row_ptr[static_cast<size_t>(r)] +
+                    static_cast<std::uint32_t>(gist::simd::ops().countNonzero(
+                        v.data() + r * 256, len));
+            }
+            const std::int64_t nnz = row_ptr[static_cast<size_t>(nrows)];
+            runPath("csr_fill_50", par,
+                    static_cast<double>(n) * sizeof(float),
+                    static_cast<size_t>(nnz) * (sizeof(float) + 1),
+                    [&](void *out) {
+                        auto *vals = static_cast<float *>(out);
+                        auto *idx = reinterpret_cast<std::uint8_t *>(
+                            vals + nnz);
+                        gist::parallelFor(
+                            0, nrows, gist::chooseGrain(nrows, 16),
+                            [&](std::int64_t r0, std::int64_t r1) {
+                                const std::uint32_t chunk_end =
+                                    row_ptr[static_cast<size_t>(r1)];
+                                const auto fill =
+                                    gist::simd::ops().csrFill;
+                                for (std::int64_t r = r0; r < r1; ++r) {
+                                    const std::int64_t len =
+                                        std::min<std::int64_t>(
+                                            256, n - r * 256);
+                                    const auto k =
+                                        row_ptr[static_cast<size_t>(r)];
+                                    const bool pad_ok =
+                                        row_ptr[static_cast<size_t>(r) +
+                                                1] +
+                                            7 <=
+                                        chunk_end;
+                                    fill(v.data() + r * 256, len,
+                                         idx + k, vals + k, pad_ok);
+                                }
+                            });
+                    });
+        }
+
+        // --- fused CSR-of-DPR encode (quantize during compaction) ---
+        {
+            gist::CsrConfig dcfg;
+            dcfg.value_format = gist::DprFormat::Fp16;
+            runPath("csr_encode_dpr", par,
+                    static_cast<double>(n) * sizeof(float),
+                    static_cast<size_t>(n) * sizeof(float),
+                    [&](void *out) {
+                        gist::CsrBuffer enc(dcfg);
+                        enc.encode(v);
+                        enc.decode({ static_cast<float *>(out),
+                                     static_cast<size_t>(n) });
+                    });
+        }
+
+        // --- fused row-sparse GEMM over the CSR stash (deterministic
+        //     at any thread count like the dense path) ---
+        {
+            const std::int64_t gm = 256;
+            const std::int64_t gk = n / gm;
+            const std::int64_t gn = 128;
+            const auto bmat = randomDense(gk * gn, 9);
+            runPath("fused_csr_gemm", par,
+                    static_cast<double>(gm) * gk * sizeof(float),
+                    static_cast<size_t>(gm * gn) * sizeof(float),
+                    [&](void *out) {
+                        gist::gemmCsrA(gm, gn, gk, 1.0f, csr.view(),
+                                       bmat.data(), 0.0f,
+                                       static_cast<float *>(out));
+                    });
+        }
     }
 
     // --- DPR FP16 encode/decode ---

@@ -20,8 +20,10 @@
 #include <string>
 #include <vector>
 
+#include "encodings/csr.hpp"
 #include "simd/dispatch.hpp"
 #include "simd/sf_codes.hpp"
+#include "tensor/gemm.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -192,6 +194,83 @@ main(int argc, char **argv)
                           o.countNonzero(sparse.data(), n);
                       std::memcpy(out, &c, sizeof(c));
                   });
+
+        // --- CSR encode fill (compress-store values + 1-byte indices,
+        //     256-element narrow rows). Output layout: [values][idx];
+        //     the pad scribble past each row's nnz is overwritten by
+        //     the next row's compact fill, and the tail past the final
+        //     nnz is zeroed so the cross-backend memcmp sees only
+        //     contract-covered bytes. ---
+        runKernel("csr_fill_50",
+                  static_cast<double>(n) * sizeof(float),
+                  static_cast<size_t>(n) * (sizeof(float) + 1),
+                  [&](const SimdOps &o, void *out) {
+                      auto *vals = static_cast<float *>(out);
+                      auto *idx = reinterpret_cast<std::uint8_t *>(
+                          vals + n);
+                      std::int64_t k = 0;
+                      for (std::int64_t i = 0; i < n; i += 256)
+                          k += o.csrFill(sparse.data() + i,
+                                         std::min<std::int64_t>(256,
+                                                                n - i),
+                                         idx + k, vals + k, true);
+                      std::memset(vals + k, 0,
+                                  static_cast<size_t>(n - k) *
+                                      sizeof(float));
+                      std::memset(idx + k, 0,
+                                  static_cast<size_t>(n - k));
+                  });
+
+        // --- Fused CSR-of-DPR encode: compress-store fill straight
+        //     into FP16 code quantization (no dense intermediate).
+        //     Output layout: [codes][idx], tail-zeroed as above. ---
+        runKernel("csr_encode_dpr",
+                  static_cast<double>(n) * sizeof(float),
+                  static_cast<size_t>(n) * (sizeof(std::uint32_t) + 1),
+                  [&](const SimdOps &o, void *out) {
+                      auto *codes = static_cast<std::uint32_t *>(out);
+                      auto *idx = reinterpret_cast<std::uint8_t *>(
+                          codes + n);
+                      alignas(32) float staged[256 + 8];
+                      std::int64_t k = 0;
+                      for (std::int64_t i = 0; i < n; i += 256) {
+                          const std::int64_t cnt = o.csrFill(
+                              sparse.data() + i,
+                              std::min<std::int64_t>(256, n - i),
+                              idx + k, staged, true);
+                          o.sfEncodeCodes[kSfFp16](staged, cnt,
+                                                   codes + k);
+                          k += cnt;
+                      }
+                      std::memset(codes + k, 0,
+                                  static_cast<size_t>(n - k) *
+                                      sizeof(std::uint32_t));
+                      std::memset(idx + k, 0,
+                                  static_cast<size_t>(n - k));
+                  });
+
+        // --- Fused row-sparse GEMM: CSR A operand consumed without a
+        //     dense decode (float accumulate: no bitwise contract). ---
+        {
+            const std::int64_t gm = 128;
+            const std::int64_t gk = 1 << 12;
+            const std::int64_t gn = 128;
+            gist::CsrBuffer a_enc{ gist::CsrConfig{} };
+            a_enc.encode({ sparse.data(),
+                           static_cast<size_t>(gm * gk) });
+            std::vector<float> bmat(
+                src.begin(), src.begin() + static_cast<size_t>(gk * gn));
+            std::vector<float> cmat(static_cast<size_t>(gm * gn));
+            runKernel("fused_csr_gemm",
+                      static_cast<double>(gm) * gk * sizeof(float), 0,
+                      [&](const SimdOps &o, void *) {
+                          setBackend(o.backend);
+                          gist::gemmCsrA(gm, gn, gk, 1.0f, a_enc.view(),
+                                         bmat.data(), 0.0f,
+                                         cmat.data());
+                      });
+            initFromEnv();
+        }
     }
 
     // --- GEMM micro-kernels (float: no bitwise contract) ---

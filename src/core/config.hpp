@@ -32,6 +32,23 @@ struct GistConfig
      * Affects the memory plan only.
      */
     bool elide_decode_buffer = false;
+    /**
+     * Fused consumption: conv/FC backward pull encoded stashes straight
+     * into the im2col tile loops / the GEMM B-pack, deleting the
+     * per-image decode scratch from the arena frame. Bitwise-identical
+     * to the scratch path and a no-op unless elide_decode_buffer is on.
+     * The GIST_FUSED environment variable (0/1/2) overrides this in
+     * applyToExecutor().
+     */
+    bool fused_consume = true;
+    /**
+     * Measured sparsity at or above which a fused CSR stash is consumed
+     * by the row-sparse GEMM (compute ~ nnz) instead of the bitwise
+     * fused im2col. Values > 1 disable the sparse route (the default:
+     * its float results are tolerance- rather than bitwise-equal);
+     * GIST_FUSED=2 lowers it to 0.5.
+     */
+    double sparse_gemm_threshold = 2.0;
     /** CSR layout (narrow 1-byte indices by default). */
     CsrConfig csr{};
     /**

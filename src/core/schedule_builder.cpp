@@ -125,6 +125,20 @@ applyToExecutor(const BuiltSchedule &schedule, Executor &exec)
         exec.setStashPlan(node.id, plan);
     }
     exec.setElideDecode(schedule.config.elide_decode_buffer);
+    // Fused consumption: config value, overridable by GIST_FUSED.
+    // 0 = decode-to-scratch path, 1 = fused (bitwise), 2 = fused plus
+    // the row-sparse GEMM route at >= 50% measured sparsity
+    // (tolerance-gated opt-in).
+    bool fused_consume = schedule.config.fused_consume;
+    double sparse_thr = schedule.config.sparse_gemm_threshold;
+    if (const char *env = std::getenv("GIST_FUSED")) {
+        const long v = std::strtol(env, nullptr, 10);
+        fused_consume = v != 0;
+        if (v >= 2 && sparse_thr > 1.0)
+            sparse_thr = 0.5;
+    }
+    exec.setFusedConsume(fused_consume);
+    exec.setSparseGemmThreshold(sparse_thr);
     exec.setNumThreads(schedule.config.num_threads);
     // Async codec pipeline: config value, overridable by GIST_ASYNC so
     // benchmarks flip modes without a rebuild. The env override lives

@@ -6,6 +6,7 @@
 #include "memory/arena.hpp"
 #include "obs/trace.hpp"
 #include "simd/dispatch.hpp"
+#include "simd/sf_codes.hpp"
 #include "util/bits.hpp"
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
@@ -13,6 +14,19 @@
 namespace gist {
 
 namespace {
+
+/** Dispatch-table slot for a packed value format (invalid for Fp32). */
+int
+sfIndexFor(DprFormat fmt)
+{
+    switch (fmt) {
+      case DprFormat::Fp16: return simd::kSfFp16;
+      case DprFormat::Fp10: return simd::kSfFp10;
+      case DprFormat::Fp8: return simd::kSfFp8;
+      case DprFormat::Fp32: break;
+    }
+    GIST_PANIC("Fp32 has no packed codec");
+}
 
 void
 checkConfig(const CsrConfig &cfg)
@@ -106,22 +120,22 @@ CsrBuffer::encode(std::span<const float> values)
 
     // Pass 2 (parallel): every row fills its own [row_ptr[r],
     // row_ptr[r+1]) slice of the index/value arrays — disjoint by
-    // construction, and identical to the serial fill order.
+    // construction, and identical to the serial fill order. Narrow
+    // (1-byte-index) rows dispatch the compress-store kernel; its
+    // vector stores may scribble up to 7 elements past a row's slice,
+    // which is safe only while the scribble stays inside this chunk's
+    // own range (later rows of the chunk overwrite it), so rows near
+    // the chunk's end take the kernel's exact-store path (pad_ok off).
     col_idx.resize(static_cast<size_t>(nnz_) *
                    static_cast<size_t>(config.index_bytes));
-    // Nonzero staging: Fp32 fills the persistent values array in place;
-    // DPR stages in step-scoped arena scratch, then packs. Worker
-    // threads write disjoint slices of the caller's frame — safe, the
-    // frame outlives the parallelFor barrier.
+    const bool narrow =
+        config.index_bytes == 1 && config.row_width <= 256;
+    const auto fill_kernel = simd::ops().csrFill;
     ArenaScope scope;
-    float *nz = nullptr;
-    if (config.value_format == DprFormat::Fp32) {
-        values_f32.resize(static_cast<size_t>(nnz_));
-        nz = values_f32.data();
-    } else {
-        nz = scope.alloc<float>(static_cast<size_t>(nnz_));
-    }
-    parallelFor(0, rows, row_grain, [&](std::int64_t r0, std::int64_t r1) {
+
+    // Scalar reference fill for non-narrow layouts (multi-byte column
+    // indices; row widths beyond the kernel's 256 contract).
+    auto fill_wide = [&](std::int64_t r0, std::int64_t r1, float *nz) {
         for (std::int64_t r = r0; r < r1; ++r) {
             const std::int64_t begin = r * config.row_width;
             const std::int64_t end =
@@ -140,11 +154,101 @@ CsrBuffer::encode(std::span<const float> values)
                 ++k;
             }
         }
-    });
+    };
 
-    if (config.value_format != DprFormat::Fp32)
-        values_dpr.encode(config.value_format,
-                          { nz, static_cast<size_t>(nnz_) });
+    if (config.value_format == DprFormat::Fp32) {
+        values_f32.resize(static_cast<size_t>(nnz_));
+        float *nz = values_f32.data();
+        parallelFor(0, rows, row_grain,
+                    [&](std::int64_t r0, std::int64_t r1) {
+            if (!narrow) {
+                fill_wide(r0, r1, nz);
+                return;
+            }
+            const std::uint32_t chunk_end =
+                row_ptr[static_cast<size_t>(r1)];
+            for (std::int64_t r = r0; r < r1; ++r) {
+                const std::int64_t begin = r * config.row_width;
+                const std::int64_t end =
+                    std::min(numel_, begin + config.row_width);
+                const std::uint32_t k = row_ptr[static_cast<size_t>(r)];
+                const bool pad_ok =
+                    row_ptr[static_cast<size_t>(r + 1)] + 7 <= chunk_end;
+                fill_kernel(values.data() + begin, end - begin,
+                            col_idx.data() + k, nz + k, pad_ok);
+            }
+        });
+        return;
+    }
+
+    if (narrow) {
+        // Fused CSR-of-DPR fill: compact each row's nonzeros into a
+        // stack staging buffer and convert them to small-float codes in
+        // the same pass; one word-packing sweep finishes the encode. No
+        // dense nnz-sized FP32 staging buffer is ever written.
+        auto *codes =
+            scope.alloc<std::uint32_t>(static_cast<size_t>(nnz_));
+        const auto encode_codes =
+            simd::ops().sfEncodeCodes[sfIndexFor(config.value_format)];
+        parallelFor(0, rows, row_grain,
+                    [&](std::int64_t r0, std::int64_t r1) {
+            alignas(32) float staged[256 + 8];
+            const std::uint32_t chunk_end =
+                row_ptr[static_cast<size_t>(r1)];
+            for (std::int64_t r = r0; r < r1; ++r) {
+                const std::int64_t begin = r * config.row_width;
+                const std::int64_t end =
+                    std::min(numel_, begin + config.row_width);
+                const std::uint32_t k = row_ptr[static_cast<size_t>(r)];
+                const bool pad_ok =
+                    row_ptr[static_cast<size_t>(r + 1)] + 7 <= chunk_end;
+                const std::int64_t cnt =
+                    fill_kernel(values.data() + begin, end - begin,
+                                col_idx.data() + k, staged, pad_ok);
+                encode_codes(staged, cnt, codes + k);
+            }
+        });
+        values_dpr.encodeFromCodes(config.value_format, codes, nnz_);
+        return;
+    }
+
+    float *nz = scope.alloc<float>(static_cast<size_t>(nnz_));
+    parallelFor(0, rows, row_grain,
+                [&](std::int64_t r0, std::int64_t r1) {
+        fill_wide(r0, r1, nz);
+    });
+    values_dpr.encode(config.value_format,
+                      { nz, static_cast<size_t>(nnz_) });
+}
+
+CsrConstView
+CsrBuffer::view() const
+{
+    CsrConstView v;
+    v.row_ptr = row_ptr.data();
+    v.col_idx = col_idx.data();
+    if (config.value_format == DprFormat::Fp32)
+        v.values_f32 = values_f32.data();
+    else
+        v.values_dpr = &values_dpr;
+    v.rows = static_cast<std::int64_t>(row_ptr.size()) - 1;
+    v.row_width = config.row_width;
+    v.index_bytes = config.index_bytes;
+    v.numel = numel_;
+    v.nnz = nnz_;
+    return v;
+}
+
+void
+csrValues(const CsrConstView &v, std::int64_t k0, std::int64_t k1,
+          float *out)
+{
+    if (v.values_f32)
+        std::memcpy(out, v.values_f32 + k0,
+                    static_cast<size_t>(k1 - k0) * sizeof(float));
+    else
+        v.values_dpr->decodeRange(
+            k0, { out, static_cast<size_t>(k1 - k0) });
 }
 
 void

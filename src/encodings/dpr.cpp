@@ -118,6 +118,28 @@ DprBuffer::encode(DprFormat fmt, std::span<const float> values)
 }
 
 void
+DprBuffer::encodeFromCodes(DprFormat fmt, const std::uint32_t *codes,
+                           std::int64_t n)
+{
+    GIST_TRACE_SCOPE_F("codec", "dpr pack %s", dprFormatName(fmt));
+    GIST_ASSERT(fmt != DprFormat::Fp32, "Fp32 has no packed codec");
+    format_ = fmt;
+    numel_ = n;
+    const int per_word = dprValuesPerWord(fmt);
+    words.resize(ceilDiv<size_t>(static_cast<size_t>(n),
+                                 static_cast<size_t>(per_word)));
+    const simd::SfLayout &L = simd::kSfLayouts[sfIndexOf(fmt)];
+    const auto nwords = static_cast<std::int64_t>(words.size());
+    parallelFor(0, nwords, chooseGrain(nwords, 2048),
+                [&, per_word](std::int64_t w0, std::int64_t w1) {
+        const std::int64_t base = w0 * per_word;
+        const std::int64_t lim = std::min<std::int64_t>(w1 * per_word, n);
+        simd::sfPackWords(L, codes + base, lim - base,
+                          words.data() + static_cast<size_t>(w0));
+    });
+}
+
+void
 DprBuffer::decode(std::span<float> out) const
 {
     GIST_TRACE_SCOPE_F("codec", "dpr decode %s", dprFormatName(format_));
@@ -159,19 +181,33 @@ DprBuffer::decodeRange(std::int64_t offset, std::span<float> out) const
                     out.size() * sizeof(float));
         return;
     }
-    const int per_word = dprValuesPerWord(format_);
+    const auto per_word =
+        static_cast<std::int64_t>(dprValuesPerWord(format_));
     const int bits = dprBitsPerValue(format_);
     const std::uint32_t mask = (bits >= 32) ? ~0u : ((1u << bits) - 1);
-    const simd::SfLayout &L = simd::kSfLayouts[sfIndexOf(format_)];
-    for (size_t i = 0; i < out.size(); ++i) {
-        const auto flat = static_cast<size_t>(offset) + i;
-        const size_t word = flat / static_cast<size_t>(per_word);
-        const unsigned lane =
+    const int sf_idx = sfIndexOf(format_);
+    const simd::SfLayout &L = simd::kSfLayouts[sf_idx];
+    const auto n = static_cast<std::int64_t>(out.size());
+    // Scalar head up to the next word boundary, then the dispatched
+    // whole-span kernel (its contract requires a word-aligned start).
+    // Same sfDecodeCode formulas either way, so the split is invisible
+    // in the output bits.
+    std::int64_t i = 0;
+    while (i < n && (offset + i) % per_word != 0) {
+        const auto flat = static_cast<size_t>(offset + i);
+        const auto word = flat / static_cast<size_t>(per_word);
+        const auto lane =
             static_cast<unsigned>(flat % static_cast<size_t>(per_word));
         const std::uint32_t enc =
             (words[word] >> (lane * static_cast<unsigned>(bits))) & mask;
-        out[i] = std::bit_cast<float>(simd::sfDecodeCode(L, enc));
+        out[static_cast<size_t>(i)] =
+            std::bit_cast<float>(simd::sfDecodeCode(L, enc));
+        ++i;
     }
+    if (i < n)
+        simd::ops().sfDecode[sf_idx](
+            words.data() + static_cast<size_t>((offset + i) / per_word),
+            n - i, out.data() + i);
 }
 
 void

@@ -35,6 +35,20 @@ const char *dprFormatName(DprFormat fmt);
 /** Encoded size in bytes for @p numel values. */
 std::uint64_t dprEncodedBytes(DprFormat fmt, std::int64_t numel);
 
+class DprBuffer;
+
+/**
+ * Non-owning pack-callback view of a DprBuffer: fused consumers (GEMM
+ * B-tile packing, im2col strip decode) pull value ranges straight into
+ * their pack buffers instead of ever materializing the full dense FP32
+ * copy. Decoded values are bitwise-identical to decode()'s.
+ */
+struct DprPackView
+{
+    const DprBuffer *buf = nullptr;
+    void operator()(std::int64_t offset, float *dst, std::int64_t n) const;
+};
+
 /** A DPR-encoded buffer. */
 class DprBuffer
 {
@@ -43,6 +57,16 @@ class DprBuffer
 
     /** Encode @p values; replaces any previous contents. */
     void encode(DprFormat fmt, std::span<const float> values);
+
+    /**
+     * Encode from pre-converted small-float codes (one code per uint32),
+     * so callers that already ran the convert stage — the fused
+     * CSR-of-DPR fill quantizes during nonzero compaction — only pay the
+     * word packing here. Bitwise-identical to encode() on the values the
+     * codes came from. Invalid for Fp32.
+     */
+    void encodeFromCodes(DprFormat fmt, const std::uint32_t *codes,
+                         std::int64_t n);
 
     /** Decode all values into @p out (out.size() must equal numel()). */
     void decode(std::span<float> out) const;
@@ -54,6 +78,9 @@ class DprBuffer
      * instead of materializing the full FP32 buffer.
      */
     void decodeRange(std::int64_t offset, std::span<float> out) const;
+
+    /** Pack-callback view over decodeRange for fused consumers. */
+    DprPackView packView() const { return { this }; }
 
     std::int64_t numel() const { return numel_; }
     DprFormat format() const { return format_; }
@@ -75,6 +102,13 @@ class DprBuffer
     std::int64_t numel_ = 0;
     std::vector<std::uint32_t> words;
 };
+
+inline void
+DprPackView::operator()(std::int64_t offset, float *dst,
+                        std::int64_t n) const
+{
+    buf->decodeRange(offset, { dst, static_cast<size_t>(n) });
+}
 
 /** Quantize in place: x <- decode(encode(x)). Used by the All-FP16 arm. */
 void dprQuantizeInPlace(DprFormat fmt, std::span<float> values);

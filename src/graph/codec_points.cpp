@@ -37,7 +37,8 @@ buildCodecPoints(const Graph &graph, const ScheduleInfo &sched)
         if (needs.input)
             for (NodeId in : node.inputs)
                 if (sched.stashed(in))
-                    add(in, node.kind() == LayerKind::Conv);
+                    add(in, node.kind() == LayerKind::Conv ||
+                                node.kind() == LayerKind::Fc);
         if (needs.output && sched.stashed(id))
             add(id, false);
     }

@@ -285,16 +285,26 @@ Executor::materialize(NodeId id)
     st.state = BufState::Dense;
 }
 
+bool
+Executor::chunkedReader(NodeId consumer) const
+{
+    if (!elide_decode)
+        return false;
+    const LayerKind kind = graph_.node(consumer).kind();
+    return kind == LayerKind::Conv ||
+           (fused_consume && kind == LayerKind::Fc);
+}
+
 void
 Executor::submitDecodes(NodeId consumer, NodeId chunked_reader)
 {
     if (consumer < 0)
         return;
-    // Slots the currently-executing conv reads tile-by-tile (elide mode)
-    // must not decode concurrently: the decode resets the very encoding
-    // the chunked read walks. Defer those to the consumer's own step.
-    const bool hold = chunked_reader >= 0 && elide_decode &&
-                      graph_.node(chunked_reader).kind() == LayerKind::Conv;
+    // Slots the currently-executing consumer reads tile-by-tile (elide
+    // mode) must not decode concurrently: the decode resets the very
+    // encoding the chunked read walks. Defer those to the consumer's
+    // own step.
+    const bool hold = chunked_reader >= 0 && chunkedReader(chunked_reader);
     for (const DecodeTarget &t :
          codec_points.decode_targets[static_cast<size_t>(consumer)]) {
         auto &st = states[static_cast<size_t>(t.slot)];
@@ -302,7 +312,7 @@ Executor::submitDecodes(NodeId consumer, NodeId chunked_reader)
             continue; // dense plan, already decoded, or released
         if (st.decode_job)
             continue; // already in flight (submitted one node ahead)
-        if (elide_decode && t.chunkable)
+        if (t.chunkable && chunkedReader(consumer))
             continue; // consumer reads the encoding tile-by-tile
         if (hold) {
             const auto &ins = graph_.node(chunked_reader).inputs;
@@ -506,10 +516,11 @@ Executor::runMinibatch(const Tensor &input,
 
         const BackwardNeeds needs = node.layer->backwardNeeds();
         // Can this consumer read the encoded stash tile-by-tile instead
-        // of forcing a full decode? (Conv backward supports it.)
+        // of forcing a full decode? (Conv backward always supports it;
+        // FC only via the fused GEMM B-pack.)
         auto chunked_ok = [&](NodeId in) {
             const auto &in_st = states[static_cast<size_t>(in)];
-            return elide_decode && node.kind() == LayerKind::Conv &&
+            return chunkedReader(id) &&
                    in_st.state == BufState::Encoded;
         };
         if (async_codec) {
@@ -548,10 +559,24 @@ Executor::runMinibatch(const Tensor &input,
                     : nullptr);
             EncodedStash stash;
             if (needs.input && chunked_ok(in)) {
-                if (in_st.plan.repr == StashPlan::Repr::Csr)
+                if (in_st.plan.repr == StashPlan::Repr::Csr) {
                     stash.csr = &in_st.csr;
-                else
+                    // Route through the row-sparse GEMM only when the
+                    // measured sparsity clears the opt-in threshold —
+                    // that path trades bitwise identity for
+                    // nnz-proportional compute.
+                    const std::int64_t numel = in_st.csr.numel();
+                    if (numel > 0 && sparse_gemm_threshold <= 1.0) {
+                        const double sparsity =
+                            1.0 - static_cast<double>(in_st.csr.nnz()) /
+                                      static_cast<double>(numel);
+                        stash.sparse_compute =
+                            sparsity >= sparse_gemm_threshold;
+                    }
+                } else {
                     stash.dpr = &in_st.dpr;
+                }
+                stash.fused = fused_consume;
             }
             ctx.encoded_inputs.push_back(stash);
         }

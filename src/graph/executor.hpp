@@ -102,6 +102,24 @@ class Executor
     void setElideDecode(bool on) { elide_decode = on; }
 
     /**
+     * Fused consumption: conv/FC backward feed the encoded stash
+     * straight into the im2col tile loops / the GEMM B-pack instead of
+     * decodeRange into per-image scratch, deleting that arena
+     * allocation. Bitwise-identical to the scratch path; requires
+     * elide-decode to take effect. Usually set via
+     * GistConfig::fused_consume / GIST_FUSED.
+     */
+    void setFusedConsume(bool on) { fused_consume = on; }
+
+    /**
+     * Sparsity at or above which a fused CSR stash is consumed by the
+     * row-sparse GEMM route (compute ~ nnz). Float results are
+     * tolerance- rather than bitwise-equal to the dense path, so the
+     * default (2.0) disables it; GIST_FUSED=2 opts in at 0.5.
+     */
+    void setSparseGemmThreshold(double t) { sparse_gemm_threshold = t; }
+
+    /**
      * Asynchronous codec pipeline: submit each stash encode to the
      * dedicated codec queue right after the producing layer's forward
      * retires it, and prefetch each decode one backward node ahead of
@@ -257,7 +275,12 @@ class Executor
     bool collect_sparsity = false;
     bool profile = false;
     bool elide_decode = false;
+    bool fused_consume = false;
+    double sparse_gemm_threshold = 2.0;
     bool async_codec = false;
+
+    /** Does @p consumer read its encoded inputs tile-by-tile? */
+    bool chunkedReader(NodeId consumer) const;
     std::vector<std::pair<int, std::uint64_t>> memory_trace;
     ExecStats last_stats;
     Telemetry tele;

@@ -81,6 +81,19 @@ struct EncodedStash
 {
     const DprBuffer *dpr = nullptr;
     const CsrBuffer *csr = nullptr;
+    /**
+     * Consume the stash with the fused (decode-free) kernels instead of
+     * decodeRange into a per-image scratch buffer. Bitwise-identical to
+     * the scratch path; set by the executor from GistConfig.
+     */
+    bool fused = false;
+    /**
+     * Additionally route CSR stashes through the row-sparse GEMM so
+     * compute scales with nnz. Opt-in (GIST_FUSED=2): float results are
+     * tolerance- rather than bitwise-equal to the dense path because the
+     * accumulation order differs.
+     */
+    bool sparse_compute = false;
 
     bool valid() const { return dpr || csr; }
 

@@ -1,13 +1,111 @@
 #include "layers/conv.hpp"
 
 #include <cmath>
+#include <cstring>
 
 #include "memory/arena.hpp"
+#include "simd/dispatch.hpp"
 #include "tensor/gemm.hpp"
 #include "util/logging.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace gist {
+
+namespace {
+
+/**
+ * Row-sparse weight-gradient accumulation for one image: for every
+ * stored nonzero v at (c, ih, iw) and every (kh, kw) tap reading it,
+ * dW^T[row(c,kh,kw)] += v * dY^T[pos(oh,ow)] — one contiguous axpy over
+ * output channels per (nonzero, tap). Channels own disjoint dw_t row
+ * bands, so the channel axis parallelizes race-free with a
+ * thread-count-independent accumulation order.
+ */
+void
+sparseConvDw(const ConvGeometry &g, const CsrConstView &stash,
+             std::int64_t image_offset, std::int64_t out_c,
+             const float *dy_img, float *dy_t, float *dw_t)
+{
+    const std::int64_t out_h = g.outH();
+    const std::int64_t out_w = g.outW();
+    const std::int64_t p = out_h * out_w;
+    const std::int64_t kernel = g.kernel_h * g.kernel_w;
+    const std::int64_t plane = g.in_h * g.in_w;
+    // dy_t holds dY^T (p x out_c) so the inner accumulation streams a
+    // contiguous out_c-wide row per tap.
+    parallelFor(0, p, chooseGrain(p, 64),
+                [&](std::int64_t j0, std::int64_t j1) {
+        for (std::int64_t j = j0; j < j1; ++j)
+            for (std::int64_t oc = 0; oc < out_c; ++oc)
+                dy_t[j * out_c + oc] = dy_img[oc * p + j];
+    });
+    parallelFor(0, g.in_c, 1, [&](std::int64_t c0, std::int64_t c1) {
+        ArenaScope scope;
+        float *vals =
+            scope.alloc<float>(static_cast<size_t>(stash.row_width));
+        const auto axpy = simd::ops().axpy;
+        for (std::int64_t c = c0; c < c1; ++c) {
+            float *dw_band = dw_t + c * kernel * out_c;
+            const std::int64_t flat0 = image_offset + c * plane;
+            const std::int64_t r0 = flat0 / stash.row_width;
+            const std::int64_t r1 =
+                (flat0 + plane - 1) / stash.row_width;
+            for (std::int64_t r = r0; r <= r1; ++r) {
+                const auto k0 = static_cast<std::int64_t>(
+                    stash.row_ptr[static_cast<size_t>(r)]);
+                const auto k1 = static_cast<std::int64_t>(
+                    stash.row_ptr[static_cast<size_t>(r + 1)]);
+                if (k0 == k1)
+                    continue;
+                csrValues(stash, k0, k1, vals);
+                const std::int64_t row_base = r * stash.row_width;
+                for (std::int64_t kk = k0; kk < k1; ++kk) {
+                    const std::int64_t flat =
+                        row_base +
+                        static_cast<std::int64_t>(csrColAt(stash, kk));
+                    if (flat < flat0 || flat >= flat0 + plane)
+                        continue;
+                    const float v = vals[kk - k0];
+                    if (v == 0.0f)
+                        continue;
+                    const std::int64_t local = flat - flat0;
+                    const std::int64_t ih = local / g.in_w;
+                    const std::int64_t iw = local % g.in_w;
+                    for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
+                        const std::int64_t oh_num = ih + g.pad_h - kh;
+                        if (oh_num < 0)
+                            break; // decreases with kh
+                        if (oh_num % g.stride_h != 0)
+                            continue;
+                        const std::int64_t oh = oh_num / g.stride_h;
+                        if (oh >= out_h)
+                            continue;
+                        for (std::int64_t kw = 0; kw < g.kernel_w;
+                             ++kw) {
+                            const std::int64_t ow_num =
+                                iw + g.pad_w - kw;
+                            if (ow_num < 0)
+                                break;
+                            if (ow_num % g.stride_w != 0)
+                                continue;
+                            const std::int64_t ow =
+                                ow_num / g.stride_w;
+                            if (ow >= out_w)
+                                continue;
+                            axpy(out_c, v,
+                                 dy_t + (oh * out_w + ow) * out_c,
+                                 dw_band +
+                                     (kh * g.kernel_w + kw) * out_c);
+                        }
+                    }
+                }
+            }
+        }
+    });
+}
+
+} // namespace
 
 ConvLayer::ConvLayer(std::int64_t in_channels, ConvSpec spec)
     : in_c(in_channels), spec_(spec)
@@ -146,33 +244,58 @@ ConvLayer::backward(const BwdCtx &ctx)
     ArenaScope scope;
     float *col_scratch = scope.alloc<float>(static_cast<size_t>(k * p));
     // "Optimized software": decode one image's stash at a time instead
-    // of a full FP32 buffer (paper Section V-H). The scratch comes from
-    // the same arena frame — zero heap traffic once the region is warm.
+    // of a full FP32 buffer (paper Section V-H). With fused consumption
+    // the stash feeds the im2col tile loops directly and even this
+    // per-image scratch disappears from the arena frame.
+    const bool sparse_dw =
+        !x && x_enc.fused && x_enc.sparse_compute && x_enc.csr;
     float *image_scratch = nullptr;
-    if (!x)
+    if (!x && !x_enc.fused)
         image_scratch =
             scope.alloc<float>(static_cast<size_t>(image_elems));
+    float *dw_t = nullptr;
+    float *dy_t = nullptr;
+    if (sparse_dw) {
+        dw_t = scope.alloc<float>(static_cast<size_t>(k * out_c));
+        dy_t = scope.alloc<float>(static_cast<size_t>(p * out_c));
+        std::memset(dw_t, 0,
+                    static_cast<size_t>(k * out_c) * sizeof(float));
+    }
 
     d_weight.setZero();
     if (spec_.bias)
         d_bias.setZero();
 
     for (std::int64_t img = 0; img < batch; ++img) {
-        const float *x_img;
-        if (x) {
-            x_img = x->data() + img * image_elems;
-        } else {
-            x_enc.decodeRange(img * image_elems,
-                              { image_scratch,
-                                static_cast<size_t>(image_elems) });
-            x_img = image_scratch;
-        }
         const float *dy_img = dy.data() + img * out_c * p;
 
-        // dW += dY (out_c x p) * col^T (p x k)
-        im2col(g, x_img, col_scratch);
-        gemm(false, true, out_c, k, p, 1.0f, dy_img, col_scratch, 1.0f,
-             d_weight.data());
+        if (sparse_dw) {
+            // Row-sparse dW: dW^T[r] += v * dY^T[col] for every stored
+            // nonzero's (r = c*kh*kw tap row, col = oh*ow position)
+            // pair — compute scales with nnz instead of k * p.
+            sparseConvDw(g, x_enc.csr->view(), img * image_elems, out_c,
+                         dy_img, dy_t, dw_t);
+        } else {
+            const float *x_img;
+            if (x) {
+                x_img = x->data() + img * image_elems;
+                im2col(g, x_img, col_scratch);
+            } else if (x_enc.fused && x_enc.csr) {
+                im2colFromCsr(g, x_enc.csr->view(), img * image_elems,
+                              col_scratch);
+            } else if (x_enc.fused && x_enc.dpr) {
+                im2colPacked(g, x_enc.dpr->packView(), img * image_elems,
+                             col_scratch);
+            } else {
+                x_enc.decodeRange(img * image_elems,
+                                  { image_scratch,
+                                    static_cast<size_t>(image_elems) });
+                im2col(g, image_scratch, col_scratch);
+            }
+            // dW += dY (out_c x p) * col^T (p x k)
+            gemm(false, true, out_c, k, p, 1.0f, dy_img, col_scratch,
+                 1.0f, d_weight.data());
+        }
 
         if (spec_.bias) {
             for (std::int64_t oc = 0; oc < out_c; ++oc) {
@@ -191,6 +314,14 @@ ConvLayer::backward(const BwdCtx &ctx)
             float *dx_img = dx->data() + img * image_elems;
             col2im(g, col_scratch, dx_img); // accumulates
         }
+    }
+
+    if (sparse_dw) {
+        // Fold the transposed accumulator back into d_weight's layout.
+        float *dw = d_weight.data();
+        for (std::int64_t r = 0; r < k; ++r)
+            for (std::int64_t oc = 0; oc < out_c; ++oc)
+                dw[oc * k + r] += dw_t[r * out_c + oc];
     }
 }
 

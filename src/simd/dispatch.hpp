@@ -69,6 +69,27 @@ struct SimdOps
     /** Count of values != 0.0f (NaN counts, -0.0 does not). */
     std::int64_t (*countNonzero)(const float *values, std::int64_t n);
 
+    /**
+     * CSR row fill: compact the nonzeros of values[0..n) (n <= 256, the
+     * narrow-index row width) in ascending order, writing each nonzero's
+     * in-row column as one byte to idx[] and its value to out[]; returns
+     * the nonzero count. The predicate matches countNonzero exactly (NaN
+     * is nonzero, -0.0 is not). When pad_ok is set the kernel may
+     * scribble up to 7 elements past the returned count in BOTH output
+     * arrays (vector compress stores); with pad_ok false every store is
+     * exact. Bitwise-identical across backends either way.
+     */
+    std::int64_t (*csrFill)(const float *values, std::int64_t n,
+                            std::uint8_t *idx, float *out, bool pad_ok);
+
+    /**
+     * FP32 -> small-float conversion without word packing: one code per
+     * uint32, indexed by SfFormatIdx. Same branchless convert stage as
+     * sfEncode, so codes are bitwise-identical across backends.
+     */
+    void (*sfEncodeCodes[3])(const float *src, std::int64_t n,
+                             std::uint32_t *codes);
+
     /** y[i] += a * x[i]; backend-deterministic, not cross-backend exact. */
     void (*axpy)(std::int64_t n, float a, const float *x, float *y);
     /** sum(x[i] * y[i]); backend-deterministic reduction order. */

@@ -23,6 +23,8 @@
 
 #include <immintrin.h>
 
+#include <cstring>
+
 #include "simd/sf_codes.hpp"
 
 namespace gist::simd {
@@ -301,6 +303,103 @@ countNonzeroAvx2(const float *values, std::int64_t n)
     return count;
 }
 
+/**
+ * Compress-store tables for csrFillAvx2, one entry per 8-bit nonzero
+ * mask: perm[m] is a _mm256_permutevar8x32_ps control moving the set
+ * lanes to the front, pos[m] packs the set lane numbers as bytes so the
+ * eight in-row column indices fall out of one 64-bit add.
+ */
+struct CsrFillLutAvx2
+{
+    alignas(32) std::int32_t perm[256][8];
+    std::uint64_t pos[256];
+};
+
+const CsrFillLutAvx2 &
+csrFillLutAvx2()
+{
+    static const CsrFillLutAvx2 lut = [] {
+        CsrFillLutAvx2 t{};
+        for (unsigned m = 0; m < 256; ++m) {
+            unsigned c = 0;
+            for (unsigned b = 0; b < 8; ++b) {
+                if (!((m >> b) & 1u))
+                    continue;
+                t.perm[m][c] = static_cast<std::int32_t>(b);
+                t.pos[m] |= static_cast<std::uint64_t>(b) << (8 * c);
+                ++c;
+            }
+        }
+        return t;
+    }();
+    return lut;
+}
+
+std::int64_t
+csrFillAvx2(const float *values, std::int64_t n, std::uint8_t *idx,
+            float *out, bool pad_ok)
+{
+    if (n > 256) { // narrow-index contract; keep the reference behavior
+        std::int64_t k = 0;
+        for (std::int64_t i = 0; i < n; ++i) {
+            const float v = values[i];
+            if (v != 0.0f) {
+                idx[k] = static_cast<std::uint8_t>(i);
+                out[k] = v;
+                ++k;
+            }
+        }
+        return k;
+    }
+    if (!pad_ok) {
+        // Stage into padded stack buffers, then copy exactly count
+        // elements so no store lands past the caller's slice.
+        alignas(32) float vtmp[256 + 8];
+        std::uint8_t itmp[256 + 8];
+        const std::int64_t k = csrFillAvx2(values, n, itmp, vtmp, true);
+        std::memcpy(out, vtmp, static_cast<size_t>(k) * sizeof(float));
+        std::memcpy(idx, itmp, static_cast<size_t>(k));
+        return k;
+    }
+    const CsrFillLutAvx2 &lut = csrFillLutAvx2();
+    const __m256 zero = _mm256_setzero_ps();
+    std::int64_t k = 0;
+    std::int64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 v = _mm256_loadu_ps(values + i);
+        // Same predicate as countNonzeroAvx2: unordered NEQ, so NaN is
+        // kept and -0.0 dropped — count and fill must agree exactly.
+        const auto m = static_cast<unsigned>(_mm256_movemask_ps(
+            _mm256_cmp_ps(v, zero, _CMP_NEQ_UQ)));
+        if (!m)
+            continue;
+        const __m256i perm = _mm256_load_si256(
+            reinterpret_cast<const __m256i *>(lut.perm[m]));
+        _mm256_storeu_ps(out + k, _mm256_permutevar8x32_ps(v, perm));
+        const std::uint64_t pos =
+            lut.pos[m] +
+            0x0101010101010101ULL * static_cast<std::uint64_t>(i);
+        std::memcpy(idx + k, &pos, sizeof(pos));
+        k += _mm_popcnt_u32(m);
+    }
+    for (; i < n; ++i) {
+        const float v = values[i];
+        if (v != 0.0f) {
+            idx[k] = static_cast<std::uint8_t>(i);
+            out[k] = v;
+            ++k;
+        }
+    }
+    return k;
+}
+
+template <int IDX>
+void
+sfEncodeCodesAvx2(const float *src, std::int64_t n, std::uint32_t *codes)
+{
+    encodeCodesSpan<IDX>(kSfLayouts[IDX], src, n, codes);
+}
+
 void
 axpyAvx2(std::int64_t n, float a, const float *x, float *y)
 {
@@ -373,6 +472,9 @@ avx2Ops()
         binarizeEncodeAvx2,
         binarizeBackwardAvx2,
         countNonzeroAvx2,
+        csrFillAvx2,
+        { sfEncodeCodesAvx2<kSfFp16>, sfEncodeCodesAvx2<kSfFp10>,
+          sfEncodeCodesAvx2<kSfFp8> },
         axpyAvx2,
         dotAvx2,
     };

@@ -114,6 +114,29 @@ countNonzero(const float *values, std::int64_t n)
     return count;
 }
 
+GIST_KIMPL_NOVEC inline std::int64_t
+csrFill(const float *values, std::int64_t n, std::uint8_t *idx, float *out,
+        bool /*pad_ok*/)
+{
+    std::int64_t k = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+        const float v = values[i];
+        if (v == 0.0f)
+            continue;
+        idx[k] = static_cast<std::uint8_t>(i);
+        out[k] = v;
+        ++k;
+    }
+    return k;
+}
+
+template <int IDX>
+GIST_KIMPL_NOVEC void
+sfEncodeCodes(const float *src, std::int64_t n, std::uint32_t *codes)
+{
+    sfEncodeCodesLoop<IDX>(kSfLayouts[IDX], src, n, codes);
+}
+
 /* The float GEMM microkernels are NOT pinned unvectorized: the scalar
  * backend only has to be the bitwise reference for the integer codecs,
  * and letting the compiler vectorize axpy/dot keeps GIST_SIMD=scalar

@@ -33,6 +33,9 @@ scalarOps()
         k::binarizeEncode,
         k::binarizeBackward,
         k::countNonzero,
+        k::csrFill,
+        { k::sfEncodeCodes<kSfFp16>, k::sfEncodeCodes<kSfFp10>,
+          k::sfEncodeCodes<kSfFp8> },
         k::axpy,
         k::dot,
     };

@@ -171,4 +171,153 @@ gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
     });
 }
 
+void
+gemmPackedB(bool trans_a, std::int64_t m, std::int64_t n, std::int64_t k,
+            float alpha, const float *a, const PackFn &b_pack, float beta,
+            float *c)
+{
+    GIST_TRACE_SCOPE_F("compute", "gemm packed-b %lldx%lldx%lld",
+                       static_cast<long long>(m),
+                       static_cast<long long>(n),
+                       static_cast<long long>(k));
+    GIST_ASSERT(m >= 0 && n >= 0 && k >= 0, "bad gemm dims");
+    if (m == 0 || n == 0)
+        return;
+    GIST_ASSERT(c != nullptr, "gemm: null C with m, n > 0");
+    if (alpha == 0.0f || k == 0) {
+        scaleC(m * n, beta, c);
+        return;
+    }
+    GIST_ASSERT(a != nullptr, "gemm: null A with m, k > 0");
+    if (beta != 0.0f)
+        scaleC(m * n, beta, c);
+
+    // The kc-slice loop sits OUTSIDE the row-panel parallelFor (the
+    // inverse of panelNoTransB's nesting) so each B slice is decoded
+    // exactly once per call, not once per panel. Per C element the
+    // contribution order is still kc slices ascending, p ascending —
+    // identical to the dense nesting.
+    ArenaScope scope;
+    float *b_tile =
+        scope.alloc<float>(static_cast<size_t>(kKC) *
+                           static_cast<size_t>(n));
+    for (std::int64_t pc = 0; pc < k; pc += kKC) {
+        const std::int64_t kc = std::min(kKC, k - pc);
+        b_pack(pc * n, b_tile, kc * n);
+        parallelFor(0, m, kMC,
+                    [&, pc, kc](std::int64_t i0, std::int64_t i1) {
+            ArenaScope panel_scope;
+            float *a_pack = nullptr;
+            if (trans_a) {
+                a_pack = panel_scope.alloc<float>(
+                    static_cast<size_t>((i1 - i0) * kc));
+                for (std::int64_t i = i0; i < i1; ++i)
+                    for (std::int64_t p = 0; p < kc; ++p)
+                        a_pack[static_cast<size_t>((i - i0) * kc + p)] =
+                            a[(pc + p) * m + i];
+            }
+            const auto axpy = simd::ops().axpy;
+            for (std::int64_t jc = 0; jc < n; jc += kNC) {
+                const std::int64_t nc = std::min(kNC, n - jc);
+                for (std::int64_t i = i0; i < i1; ++i) {
+                    float *c_row = c + i * n + jc;
+                    if (beta == 0.0f && pc == 0)
+                        std::memset(c_row, 0,
+                                    static_cast<size_t>(nc) *
+                                        sizeof(float));
+                    const float *a_row = trans_a
+                                             ? a_pack + (i - i0) * kc
+                                             : a + i * k + pc;
+                    for (std::int64_t p = 0; p < kc; ++p) {
+                        const float a_val = alpha * a_row[p];
+                        if (a_val == 0.0f)
+                            continue;
+                        axpy(nc, a_val, b_tile + p * n + jc, c_row);
+                    }
+                }
+            }
+        });
+    }
+}
+
+void
+gemmCsrA(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+         const CsrConstView &a, const float *b, float beta, float *c)
+{
+    GIST_TRACE_SCOPE_F("compute", "gemm csr-a %lldx%lldx%lld",
+                       static_cast<long long>(m),
+                       static_cast<long long>(n),
+                       static_cast<long long>(k));
+    GIST_ASSERT(m >= 0 && n >= 0 && k >= 0, "bad gemm dims");
+    if (m == 0 || n == 0)
+        return;
+    GIST_ASSERT(c != nullptr, "gemm: null C with m, n > 0");
+    if (alpha == 0.0f || k == 0) {
+        scaleC(m * n, beta, c);
+        return;
+    }
+    GIST_ASSERT(a.numel == m * k, "csr A holds ", a.numel,
+                " values, expected ", m * k);
+    GIST_ASSERT(b != nullptr, "gemm: null B with k, n > 0");
+    if (beta != 0.0f)
+        scaleC(m * n, beta, c);
+
+    parallelFor(0, m, kMC, [&](std::int64_t i0, std::int64_t i1) {
+        ArenaScope scope;
+        // Per C row: gather the (p, alpha * value) pairs once (ascending
+        // flat order = the order the dense path visits and skips them),
+        // then accumulate with the dense path's column tiling so every
+        // axpy call matches the dense reference argument-for-argument.
+        auto *p_idx =
+            scope.alloc<std::int32_t>(static_cast<size_t>(k));
+        float *p_val = scope.alloc<float>(static_cast<size_t>(k));
+        float *vals =
+            scope.alloc<float>(static_cast<size_t>(a.row_width));
+        const auto axpy = simd::ops().axpy;
+        for (std::int64_t i = i0; i < i1; ++i) {
+            float *c_row = c + i * n;
+            if (beta == 0.0f)
+                std::memset(c_row, 0,
+                            static_cast<size_t>(n) * sizeof(float));
+            const std::int64_t flat0 = i * k;
+            const std::int64_t r0 = flat0 / a.row_width;
+            const std::int64_t r1 = (flat0 + k - 1) / a.row_width;
+            std::int64_t cnt = 0;
+            for (std::int64_t r = r0; r <= r1; ++r) {
+                const auto k0 = static_cast<std::int64_t>(
+                    a.row_ptr[static_cast<size_t>(r)]);
+                const auto k1 = static_cast<std::int64_t>(
+                    a.row_ptr[static_cast<size_t>(r + 1)]);
+                if (k0 == k1)
+                    continue;
+                csrValues(a, k0, k1, vals);
+                const std::int64_t row_base = r * a.row_width;
+                for (std::int64_t kk = k0; kk < k1; ++kk) {
+                    const std::int64_t flat =
+                        row_base +
+                        static_cast<std::int64_t>(csrColAt(a, kk));
+                    if (flat < flat0 || flat >= flat0 + k)
+                        continue;
+                    // Lossy-valued entries can decode to zero; the
+                    // dense path's a_val == 0 skip drops those, so
+                    // drop them here too.
+                    const float a_val = alpha * vals[kk - k0];
+                    if (a_val == 0.0f)
+                        continue;
+                    p_idx[cnt] =
+                        static_cast<std::int32_t>(flat - flat0);
+                    p_val[cnt] = a_val;
+                    ++cnt;
+                }
+            }
+            for (std::int64_t jc = 0; jc < n; jc += kNC) {
+                const std::int64_t nc = std::min(kNC, n - jc);
+                for (std::int64_t t = 0; t < cnt; ++t)
+                    axpy(nc, p_val[t], b + p_idx[t] * n + jc,
+                         c_row + jc);
+            }
+        }
+    });
+}
+
 } // namespace gist

@@ -9,6 +9,9 @@
 
 #include <cstdint>
 
+#include "encodings/csr.hpp"
+#include "tensor/pack.hpp"
+
 namespace gist {
 
 /**
@@ -24,5 +27,32 @@ namespace gist {
 void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
           std::int64_t k, float alpha, const float *a, const float *b,
           float beta, float *c);
+
+/**
+ * gemm() with op(B) = B (k x n row-major) supplied by a pack callback
+ * instead of a dense pointer: each KC-row reduction slice of B is
+ * decoded once into step-arena scratch and every C row panel consumes
+ * it from there, so the resident B footprint is KC * n floats instead
+ * of the full k * n decode buffer. The slice/panel loop structure, the
+ * zero-initialization point and the per-element accumulation order all
+ * match gemm(trans_a, false, ...) exactly — the result is
+ * bitwise-identical to decoding B densely first.
+ */
+void gemmPackedB(bool trans_a, std::int64_t m, std::int64_t n,
+                 std::int64_t k, float alpha, const float *a,
+                 const PackFn &b_pack, float beta, float *c);
+
+/**
+ * gemm() with op(A) = A (m x k row-major, no transpose) supplied in
+ * flat-CSR form: walks row_ptr/col_idx directly and issues one axpy per
+ * stored nonzero, so compute scales with (1 - sparsity) and the A
+ * operand is never decoded to dense. Per C row the nonzeros are visited
+ * in ascending flat order with the same column tiling and axpy widths
+ * as the dense path, so the result is bitwise-identical to decoding A
+ * and calling gemm(false, false, ...). @p a must hold exactly m * k
+ * encoded values.
+ */
+void gemmCsrA(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+              const CsrConstView &a, const float *b, float beta, float *c);
 
 } // namespace gist

@@ -9,6 +9,9 @@
 
 #include <cstdint>
 
+#include "encodings/csr.hpp"
+#include "tensor/pack.hpp"
+
 namespace gist {
 
 /** Static geometry of a 2-D convolution / pooling window. */
@@ -49,5 +52,27 @@ void im2col(const ConvGeometry &geom, const float *image, float *columns);
  * buffer (which must be pre-zeroed by the caller).
  */
 void col2im(const ConvGeometry &geom, const float *columns, float *image);
+
+/**
+ * im2col() reading one image directly from a CSR-encoded stash: the
+ * columns of image number @p image_offset are zero-filled and every
+ * stored nonzero is scattered to its (c, kh, kw) taps, so work scales
+ * with nnz and the image is never decoded to a dense buffer. All stored
+ * values are written — including lossy values that decode to +/-0.0 —
+ * so the result is bitwise-identical to decodeRange + im2col().
+ */
+void im2colFromCsr(const ConvGeometry &geom, const CsrConstView &stash,
+                   std::int64_t image_offset, float *columns);
+
+/**
+ * im2col() with the image supplied by a pack callback (one image =
+ * values [image_offset, image_offset + C*H*W) of the flat stash): each
+ * input row is decoded once into a W-element strip and fanned out to
+ * every (kh, kw) tap that reads it, replacing the dense per-image decode
+ * buffer with an H*W-bytes-smaller strip. Bitwise-identical to
+ * decodeRange + im2col().
+ */
+void im2colPacked(const ConvGeometry &geom, const PackFn &pack,
+                  std::int64_t image_offset, float *columns);
 
 } // namespace gist

@@ -42,6 +42,9 @@
 #include "encodings/small_float.hpp"
 #include "fuzz_util.hpp"
 #include "simd/dispatch.hpp"
+#include "simd/sf_codes.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/im2col.hpp"
 #include "util/rng.hpp"
 
 namespace gist {
@@ -474,6 +477,206 @@ TEST(FuzzCodecs, PoolIndexMapSetGetIdentity)
     }
 }
 
+// ---------------------------------------------- fused consumption
+
+/** Sparsity for fused cases: force both boundaries plus the middle. */
+double
+pickSparsity(Rng &rng)
+{
+    switch (rng.uniformInt(4)) {
+      case 0:
+        return 0.0; // 0% sparse: every element stored
+      case 1:
+        return 1.0; // 100% sparse: empty CSR
+      default:
+        return rng.uniform();
+    }
+}
+
+TEST(FuzzFused, CsrGemmMatchesDecodeThenGemm)
+{
+    runCases("fused-csr-gemm", 0xF5133331, 300,
+             [](Rng &rng, std::vector<float> &data) -> Property {
+                 CsrConfig cfg;
+                 cfg.row_width =
+                     1 + static_cast<std::int64_t>(rng.uniformInt(256));
+                 if (rng.uniform() < 0.5)
+                     cfg.value_format = DprFormat::Fp16;
+                 const auto m =
+                     1 + static_cast<std::int64_t>(rng.uniformInt(24));
+                 const auto k =
+                     1 + static_cast<std::int64_t>(rng.uniformInt(96));
+                 const auto n =
+                     1 + static_cast<std::int64_t>(rng.uniformInt(80));
+                 data = genValues(rng, m * k, pickSparsity(rng));
+                 const std::uint64_t b_seed = rng.next();
+                 return [cfg, m, k, n,
+                         b_seed](const std::vector<float> &d) -> std::string {
+                     if (d.size() != static_cast<size_t>(m * k))
+                         return ""; // shrinker changed the shape contract
+                     Rng brng(b_seed);
+                     std::vector<float> b(static_cast<size_t>(k * n));
+                     for (auto &x : b)
+                         x = brng.normal();
+                     CsrBuffer a(cfg);
+                     a.encode({ d.data(), d.size() });
+                     std::vector<float> a_dense(d.size());
+                     a.decode(a_dense);
+                     std::vector<float> c_ref(static_cast<size_t>(m * n));
+                     gemm(false, false, m, n, k, 1.0f, a_dense.data(),
+                          b.data(), 0.0f, c_ref.data());
+                     std::vector<float> c_fused(static_cast<size_t>(m * n),
+                                                -3.0f);
+                     gemmCsrA(m, n, k, 1.0f, a.view(), b.data(), 0.0f,
+                              c_fused.data());
+                     for (size_t i = 0; i < c_ref.size(); ++i)
+                         if (!bitEqual(c_ref[i], c_fused[i]))
+                             return "gemmCsrA c[" + std::to_string(i) +
+                                    "] fused != dense (m=" +
+                                    std::to_string(m) + " k=" +
+                                    std::to_string(k) + " n=" +
+                                    std::to_string(n) + ")";
+                     return "";
+                 };
+             });
+}
+
+TEST(FuzzFused, PackedGemmMatchesDecodeThenGemm)
+{
+    static const DprFormat kFormats[] = { DprFormat::Fp16, DprFormat::Fp10,
+                                          DprFormat::Fp8 };
+    runCases("fused-packed-gemm", 0xF5144442, 300,
+             [](Rng &rng, std::vector<float> &data) -> Property {
+                 const bool use_csr = rng.uniform() < 0.5;
+                 const DprFormat fmt = kFormats[rng.uniformInt(3)];
+                 const bool trans_a = rng.uniform() < 0.5;
+                 const auto m =
+                     1 + static_cast<std::int64_t>(rng.uniformInt(24));
+                 const auto k =
+                     1 + static_cast<std::int64_t>(rng.uniformInt(96));
+                 const auto n =
+                     1 + static_cast<std::int64_t>(rng.uniformInt(80));
+                 data = genValues(rng, k * n,
+                                  use_csr ? pickSparsity(rng) : 0.0);
+                 const std::uint64_t a_seed = rng.next();
+                 return [use_csr, fmt, trans_a, m, k, n,
+                         a_seed](const std::vector<float> &d) -> std::string {
+                     if (d.size() != static_cast<size_t>(k * n))
+                         return "";
+                     Rng arng(a_seed);
+                     std::vector<float> a(static_cast<size_t>(m * k));
+                     for (auto &x : a)
+                         x = arng.normal();
+                     CsrBuffer csr;
+                     DprBuffer dpr;
+                     std::vector<float> b_dense(d.size());
+                     if (use_csr) {
+                         CsrConfig cfg;
+                         cfg.value_format = fmt;
+                         csr.setConfig(cfg);
+                         csr.encode({ d.data(), d.size() });
+                         csr.decode(b_dense);
+                     } else {
+                         dpr.encode(fmt, { d.data(), d.size() });
+                         dpr.decode(b_dense);
+                     }
+                     std::vector<float> c_ref(static_cast<size_t>(m * n));
+                     gemm(trans_a, false, m, n, k, 1.0f, a.data(),
+                          b_dense.data(), 0.0f, c_ref.data());
+                     const auto pack = [&](std::int64_t off, float *dst,
+                                           std::int64_t cnt) {
+                         if (use_csr)
+                             csr.decodeRange(
+                                 off, { dst, static_cast<size_t>(cnt) });
+                         else
+                             dpr.decodeRange(
+                                 off, { dst, static_cast<size_t>(cnt) });
+                     };
+                     std::vector<float> c_fused(static_cast<size_t>(m * n),
+                                                -3.0f);
+                     gemmPackedB(trans_a, m, n, k, 1.0f, a.data(), pack,
+                                 0.0f, c_fused.data());
+                     for (size_t i = 0; i < c_ref.size(); ++i)
+                         if (!bitEqual(c_ref[i], c_fused[i]))
+                             return "gemmPackedB c[" + std::to_string(i) +
+                                    "] fused != dense (trans_a=" +
+                                    std::to_string(trans_a) + " m=" +
+                                    std::to_string(m) + " k=" +
+                                    std::to_string(k) + " n=" +
+                                    std::to_string(n) + ")";
+                     return "";
+                 };
+             });
+}
+
+TEST(FuzzFused, Im2colFusedMatchesDecodeThenIm2col)
+{
+    runCases("fused-im2col", 0xF5155553, 300,
+             [](Rng &rng, std::vector<float> &data) -> Property {
+                 ConvGeometry g;
+                 g.in_c = 1 + static_cast<std::int64_t>(rng.uniformInt(4));
+                 g.in_h = 1 + static_cast<std::int64_t>(rng.uniformInt(12));
+                 g.in_w = 1 + static_cast<std::int64_t>(rng.uniformInt(12));
+                 g.kernel_h = 1 + static_cast<std::int64_t>(
+                                      rng.uniformInt(3));
+                 g.kernel_w = 1 + static_cast<std::int64_t>(
+                                      rng.uniformInt(3));
+                 g.stride_h = 1 + static_cast<std::int64_t>(
+                                      rng.uniformInt(2));
+                 g.stride_w = 1 + static_cast<std::int64_t>(
+                                      rng.uniformInt(2));
+                 g.pad_h = static_cast<std::int64_t>(rng.uniformInt(2));
+                 g.pad_w = static_cast<std::int64_t>(rng.uniformInt(2));
+                 if (g.in_h + 2 * g.pad_h < g.kernel_h ||
+                     g.in_w + 2 * g.pad_w < g.kernel_w)
+                     g.kernel_h = g.kernel_w = 1; // keep output nonempty
+                 CsrConfig cfg;
+                 cfg.row_width =
+                     1 + static_cast<std::int64_t>(rng.uniformInt(256));
+                 if (rng.uniform() < 0.5)
+                     cfg.value_format = DprFormat::Fp16;
+                 const DprFormat dpr_fmt = rng.uniform() < 0.5
+                                               ? DprFormat::Fp16
+                                               : DprFormat::Fp10;
+                 const std::int64_t numel =
+                     g.in_c * g.in_h * g.in_w;
+                 data = genValues(rng, numel, pickSparsity(rng));
+                 return [g, cfg,
+                         dpr_fmt](const std::vector<float> &d) -> std::string {
+                     const size_t numel = static_cast<size_t>(
+                         g.in_c * g.in_h * g.in_w);
+                     if (d.size() != numel)
+                         return "";
+                     const size_t cols = static_cast<size_t>(
+                         g.colRows() * g.colCols());
+
+                     CsrBuffer csr(cfg);
+                     csr.encode({ d.data(), d.size() });
+                     std::vector<float> dense(numel);
+                     csr.decode(dense);
+                     std::vector<float> ref(cols, -1.0f);
+                     im2col(g, dense.data(), ref.data());
+                     std::vector<float> fused(cols, -2.0f);
+                     im2colFromCsr(g, csr.view(), 0, fused.data());
+                     for (size_t i = 0; i < cols; ++i)
+                         if (!bitEqual(ref[i], fused[i]))
+                             return "im2colFromCsr col[" +
+                                    std::to_string(i) + "] mismatch";
+
+                     DprBuffer dpr;
+                     dpr.encode(dpr_fmt, { d.data(), d.size() });
+                     dpr.decode(dense);
+                     im2col(g, dense.data(), ref.data());
+                     im2colPacked(g, dpr.packView(), 0, fused.data());
+                     for (size_t i = 0; i < cols; ++i)
+                         if (!bitEqual(ref[i], fused[i]))
+                             return "im2colPacked col[" +
+                                    std::to_string(i) + "] mismatch";
+                     return "";
+                 };
+             });
+}
+
 // ------------------------------------------- scalar vs SIMD agreement
 
 class FuzzSimdParity : public ::testing::Test
@@ -539,6 +742,68 @@ TEST_F(FuzzSimdParity, ActiveBackendMatchesScalarBitwise)
                 << ")\n  repro: GIST_FUZZ_SEED=" << seed
                 << " ./tests/test_fuzz_codecs";
             return;
+        }
+    }
+}
+
+TEST_F(FuzzSimdParity, CsrFillAndEncodeCodesMatchScalar)
+{
+    const simd::Backend best = simd::bestBackend();
+    if (best == simd::Backend::Scalar)
+        GTEST_SKIP() << "no SIMD backend available";
+    const simd::SimdOps &scalar = simd::opsFor(simd::Backend::Scalar);
+    const simd::SimdOps &vec = simd::opsFor(best);
+    for (const std::uint64_t seed : fuzz::caseSeeds(0xF5166664, 500)) {
+        Rng rng(seed);
+        // Mostly in-contract rows (n <= 256); a few larger to cover the
+        // delegate-to-generic path.
+        const std::int64_t n =
+            rng.uniform() < 0.9
+                ? 1 + static_cast<std::int64_t>(rng.uniformInt(256))
+                : 257 + static_cast<std::int64_t>(rng.uniformInt(512));
+        const bool pad_ok = n <= 256 && rng.uniform() < 0.5;
+        const std::vector<float> data =
+            genValues(rng, n, pickSparsity(rng));
+        const size_t cap = static_cast<size_t>(n) + 8;
+
+        std::vector<float> v_s(cap, -5.0f), v_v(cap, -5.0f);
+        std::vector<std::uint8_t> i_s(cap, 0xEE), i_v(cap, 0xEE);
+        const std::int64_t k_s =
+            scalar.csrFill(data.data(), n, i_s.data(), v_s.data(), pad_ok);
+        const std::int64_t k_v =
+            vec.csrFill(data.data(), n, i_v.data(), v_v.data(), pad_ok);
+        ASSERT_EQ(k_s, k_v) << "nnz diverged, GIST_FUZZ_SEED=" << seed;
+        ASSERT_EQ(k_s, scalar.countNonzero(data.data(), n))
+            << "fill/count predicate diverged, GIST_FUZZ_SEED=" << seed;
+        // The contract covers [0, nnz); with pad_ok the next 7 slots
+        // are scribble, without it they must be untouched.
+        ASSERT_EQ(0, std::memcmp(v_s.data(), v_v.data(),
+                                 static_cast<size_t>(k_s) * sizeof(float)))
+            << "values diverged, GIST_FUZZ_SEED=" << seed;
+        ASSERT_EQ(0, std::memcmp(i_s.data(), i_v.data(),
+                                 static_cast<size_t>(k_s)))
+            << "indices diverged, GIST_FUZZ_SEED=" << seed;
+        if (!pad_ok) {
+            for (size_t j = static_cast<size_t>(k_s); j < cap; ++j) {
+                ASSERT_TRUE(bitEqual(v_v[j], -5.0f))
+                    << "pad_ok=false wrote past nnz at " << j
+                    << ", GIST_FUZZ_SEED=" << seed;
+                ASSERT_EQ(i_v[j], 0xEE)
+                    << "pad_ok=false wrote past nnz at " << j
+                    << ", GIST_FUZZ_SEED=" << seed;
+            }
+        }
+
+        // Fused quantize-during-compaction: code streams must agree.
+        for (int f = 0; f < simd::kSfFormatCount; ++f) {
+            std::vector<std::uint32_t> c_s(static_cast<size_t>(k_s) + 1,
+                                           0xABABABAB);
+            std::vector<std::uint32_t> c_v(c_s);
+            scalar.sfEncodeCodes[f](v_s.data(), k_s, c_s.data());
+            vec.sfEncodeCodes[f](v_s.data(), k_s, c_v.data());
+            ASSERT_EQ(c_s, c_v)
+                << "sfEncodeCodes[" << f
+                << "] diverged, GIST_FUZZ_SEED=" << seed;
         }
     }
 }

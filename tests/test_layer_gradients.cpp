@@ -304,12 +304,18 @@ TEST(LayerGradients, MaxPoolOverlappingIndexMap)
     checkGradients(pool, std::move(inputs), opts);
 }
 
-TEST(LayerGradients, ConvParamGradsUnderEncodedStashes)
+/**
+ * Full-executor check: under the lossless config the ReLU output
+ * feeding the second conv is stashed in CSR and consumed by the conv
+ * backward either via decode-to-scratch (fused = false) or via the
+ * fused im2col-from-CSR path (fused = true). With sparse_thr <= 1.0
+ * the row-sparse dW route is also armed. In every mode the conv
+ * weight/bias gradients must match central differences of the
+ * minibatch loss.
+ */
+void
+checkConvParamGradsFullExecutor(bool fused, double sparse_thr)
 {
-    // Full-executor check: under the lossless config the ReLU output
-    // feeding the second conv is stashed in CSR and decoded for the
-    // conv backward; its weight/bias gradients must still match
-    // central differences of the minibatch loss.
     NetBuilder net(2, 3, 8, 8);
     net.conv(4, 3, 1, 1);
     net.relu();
@@ -321,6 +327,10 @@ TEST(LayerGradients, ConvParamGradsUnderEncodedStashes)
     g.initParams(rng);
     Executor exec(g);
     applyToExecutor(buildSchedule(g, GistConfig::lossless()), exec);
+    // Pin the consumption mode explicitly so the check is meaningful
+    // regardless of the GIST_FUSED environment the suite runs under.
+    exec.setFusedConsume(fused);
+    exec.setSparseGemmThreshold(sparse_thr);
     Rng drng(32);
     const Tensor batch =
         Tensor::uniform(g.node(0).out_shape, drng, 0.0f, 1.0f);
@@ -373,6 +383,28 @@ TEST(LayerGradients, ConvParamGradsUnderEncodedStashes)
             }
         }
     }
+}
+
+TEST(LayerGradients, ConvParamGradsUnderEncodedStashes)
+{
+    // Legacy decode-to-scratch consumption (GIST_FUSED=0 behavior).
+    checkConvParamGradsFullExecutor(false, 2.0);
+}
+
+TEST(LayerGradients, ConvParamGradsFusedConsume)
+{
+    // Fused im2col-from-CSR consumption; bitwise-identical kernels, so
+    // the same numeric gates must hold.
+    checkConvParamGradsFullExecutor(true, 2.0);
+}
+
+TEST(LayerGradients, ConvParamGradsSparseGemmRoute)
+{
+    // Threshold 0.0 forces the row-sparse dW route for every encoded
+    // CSR stash regardless of measured sparsity; this path reorders
+    // float accumulation, so it is covered by the numeric tolerance
+    // rather than bitwise identity.
+    checkConvParamGradsFullExecutor(true, 0.0);
 }
 
 TEST(LayerGradients, Concat)
