@@ -14,6 +14,7 @@
  *             can track the scaling trajectory across PRs.
  */
 
+#include <algorithm>
 #include <cctype>
 #include <chrono>
 #include <cstdio>
@@ -44,21 +45,37 @@ now()
         .count();
 }
 
-/** Time fn over enough repetitions to exceed ~80 ms; returns s/call. */
+/**
+ * Time fn: repetitions are grown until one pass exceeds ~80 ms, then
+ * two more passes at that count take the best (min) seconds/call. A
+ * single pass is one scheduler hiccup away from recording a phantom
+ * regression on big kernels where one pass = one call (the
+ * fused_csr_gemm speedup-0.886 artifact); the min across passes is
+ * the standard noise filter.
+ */
 double
 timeIt(const std::function<void()> &fn)
 {
     fn(); // warm-up (and first-touch of output pages)
     int reps = 1;
+    double dt = 0.0;
     for (;;) {
         const double t0 = now();
         for (int r = 0; r < reps; ++r)
             fn();
-        const double dt = now() - t0;
+        dt = now() - t0;
         if (dt > 0.08 || reps >= 1 << 14)
-            return dt / reps;
+            break;
         reps *= 4;
     }
+    double best = dt / reps;
+    for (int pass = 0; pass < 2; ++pass) {
+        const double t0 = now();
+        for (int r = 0; r < reps; ++r)
+            fn();
+        best = std::min(best, (now() - t0) / reps);
+    }
+    return best;
 }
 
 struct PathResult

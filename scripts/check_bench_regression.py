@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the BENCH_parallel.json trajectory.
+
+The trajectory file is JSONL: thread-scaling records ({"threads": N,
+"paths": [...]}) and SIMD records ({"bench": "micro_simd",
+"kernels": [...]}) appended by scripts/run_micro_parallel.sh, one per
+bench run, stamped with commit and date.
+
+This gate compares the newest record of each type against the previous
+record of the same type (same thread count for scaling records) and
+fails when any path's throughput dropped by more than the noise band
+(default 25%). Fewer than two comparable records is a skip, not a
+failure — first runs and freshly added paths must not break CI.
+
+Usage:
+  scripts/check_bench_regression.py [--file BENCH_parallel.json]
+                                    [--band 0.25] [--self-test]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    rows = []
+    try:
+        with open(path) as f:
+            for line_no, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rows.append(json.loads(line))
+                except json.JSONDecodeError as e:
+                    print(f"warning: {path}:{line_no}: bad JSON ({e}),"
+                          " skipping line")
+    except OSError as e:
+        print(f"error: cannot read {path}: {e}")
+        sys.exit(2)
+    return rows
+
+
+def throughputs(row):
+    """Map path/kernel name -> GB/s for one trajectory record."""
+    out = {}
+    if row.get("bench") == "micro_simd":
+        for k in row.get("kernels", []):
+            if "simd_gbps" in k:
+                out[k["name"]] = k["simd_gbps"]
+    else:
+        for p in row.get("paths", []):
+            if "gbps" in p:
+                out[p["name"]] = p["gbps"]
+    return out
+
+
+def row_key(row):
+    """Records are only comparable within the same bench type (and the
+    same thread count for scaling records)."""
+    if row.get("bench") == "micro_simd":
+        return "micro_simd"
+    return f"scaling@{row.get('threads', '?')}threads"
+
+
+def compare(old, new, band):
+    """Regressions in `new` vs `old`: (name, old_gbps, new_gbps) where
+    new < old * (1 - band)."""
+    old_t, new_t = throughputs(old), throughputs(new)
+    regressions = []
+    for name, new_gbps in new_t.items():
+        old_gbps = old_t.get(name)
+        if old_gbps is None or old_gbps <= 0:
+            continue  # new path: nothing to compare against
+        if new_gbps < old_gbps * (1.0 - band):
+            regressions.append((name, old_gbps, new_gbps))
+    return regressions
+
+
+def run_gate(rows, band):
+    """Gate every bench type's newest record; exit status style int."""
+    by_key = {}
+    for row in rows:
+        by_key.setdefault(row_key(row), []).append(row)
+
+    failed = False
+    for key, group in sorted(by_key.items()):
+        if len(group) < 2:
+            print(f"{key}: only {len(group)} record(s), skipping")
+            continue
+        old, new = group[-2], group[-1]
+        regressions = compare(old, new, band)
+        label = (f"{key}: {old.get('commit', '?')} ({old.get('date', '?')})"
+                 f" -> {new.get('commit', '?')} ({new.get('date', '?')})")
+        if regressions:
+            failed = True
+            print(f"FAIL {label}")
+            for name, old_gbps, new_gbps in regressions:
+                drop = (1.0 - new_gbps / old_gbps) * 100.0
+                print(f"  {name}: {old_gbps:.3f} -> {new_gbps:.3f} GB/s"
+                      f" ({drop:.1f}% drop, band {band * 100:.0f}%)")
+        else:
+            n = len(throughputs(new))
+            print(f"ok   {label} ({n} paths within {band * 100:.0f}%)")
+    return 1 if failed else 0
+
+
+def self_test(band):
+    """Exercise the gate on synthetic rows with a deliberate regression
+    and assert it actually fails — CI runs this so a broken gate cannot
+    silently pass real regressions."""
+    base = {"threads": 1, "commit": "aaaaaaa", "date": "t0",
+            "paths": [{"name": "gemm_512", "gbps": 10.0},
+                      {"name": "csr_encode_50", "gbps": 4.0}]}
+    ok = {"threads": 1, "commit": "bbbbbbb", "date": "t1",
+          "paths": [{"name": "gemm_512", "gbps": 9.0},
+                    {"name": "csr_encode_50", "gbps": 4.1}]}
+    bad = {"threads": 1, "commit": "ccccccc", "date": "t2",
+           "paths": [{"name": "gemm_512", "gbps": 10.0},
+                     {"name": "csr_encode_50",
+                      "gbps": 4.0 * (1.0 - band) * 0.9}]}
+
+    checks = [
+        ("within-band run passes", run_gate([base, ok], band), 0),
+        ("deliberate regression fails", run_gate([base, bad], band), 1),
+        ("single record skips", run_gate([base], band), 0),
+        ("new path skips comparison",
+         run_gate([base, {**ok, "paths": ok["paths"] +
+                          [{"name": "brand_new", "gbps": 0.1}]}], band), 0),
+    ]
+    failures = [name for name, got, want in checks if got != want]
+    for name, got, want in checks:
+        print(f"self-test {'ok  ' if got == want else 'FAIL'}: {name}"
+              f" (exit {got}, want {want})")
+    if failures:
+        print("self-test FAILED")
+        return 1
+    print("self-test passed")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--file", default="BENCH_parallel.json",
+                    help="trajectory JSONL (default: BENCH_parallel.json)")
+    ap.add_argument("--band", type=float, default=0.25,
+                    help="allowed fractional throughput drop (default 0.25)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the gate catches a synthetic regression")
+    args = ap.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test(args.band))
+    sys.exit(run_gate(load_rows(args.file), args.band))
+
+
+if __name__ == "__main__":
+    main()

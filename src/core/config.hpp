@@ -86,6 +86,13 @@ struct GistConfig
      * GIST_METRICS=<path>.
      */
     std::string metrics_path;
+    /**
+     * Memory-timeline profiler output JSON (per-step peak attribution
+     * and fig15-style samples). Non-empty starts the profiler in
+     * applyToExecutor(); the file is written at memprofStop() or at
+     * process exit. Equivalent to GIST_MEMPROF=<path>.
+     */
+    std::string memprof_path;
 
     /** No optimizations: the CNTK baseline. */
     static GistConfig baseline() { return GistConfig{}; }

@@ -1,7 +1,10 @@
 #include "core/planner.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
+#include "layers/conv.hpp"
+#include "tensor/im2col.hpp"
 #include "util/logging.hpp"
 
 namespace gist {
@@ -211,6 +214,154 @@ planModel(Graph &graph, const GistConfig &config,
     const BuiltSchedule schedule = buildSchedule(graph, config);
     const auto buffers = planBuffers(graph, schedule, sparsity);
     return summarize(buffers, investigation);
+}
+
+namespace {
+
+std::string
+gemmKey(std::int64_t m, std::int64_t n, std::int64_t k)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "m=%lld,n=%lld,k=%lld",
+                  static_cast<long long>(m), static_cast<long long>(n),
+                  static_cast<long long>(k));
+    return buf;
+}
+
+/** Bytes one m x n x k GEMM touches (A + B + C, fp32). */
+std::uint64_t
+gemmBytes(std::int64_t m, std::int64_t n, std::int64_t k)
+{
+    return 4ull * static_cast<std::uint64_t>(m * k + k * n + m * n);
+}
+
+} // namespace
+
+std::vector<KernelShape>
+collectKernelShapes(const Graph &graph, const BuiltSchedule &schedule)
+{
+    const ScheduleInfo sched(graph);
+    std::vector<KernelShape> out;
+    const auto add = [&out](std::string kernel, std::string shape,
+                            std::uint64_t work, std::uint64_t calls) {
+        for (KernelShape &ks : out) {
+            if (ks.kernel == kernel && ks.shape == shape) {
+                ks.calls += calls;
+                return;
+            }
+        }
+        out.push_back(
+            { std::move(kernel), std::move(shape), work, calls });
+    };
+
+    for (const auto &node : graph.nodes()) {
+        const NodeId id = node.id;
+        const auto &decision = schedule.of(id);
+
+        // ---- Codec kernels: one encode + one decode per encoded stash.
+        if (sched.stashed(id) &&
+            decision.repr != StashPlan::Repr::Dense) {
+            const std::int64_t numel = node.out_shape.numel();
+            const std::uint64_t fp32 =
+                static_cast<std::uint64_t>(numel) * 4;
+            char key[48];
+            if (decision.repr == StashPlan::Repr::Csr) {
+                std::snprintf(key, sizeof key, "numel=%lld",
+                              static_cast<long long>(numel));
+                add("csr_encode", key, fp32, 1);
+                add("csr_decode", key, fp32, 1);
+            } else {
+                std::snprintf(key, sizeof key, "fmt=%s,numel=%lld",
+                              dprFormatName(schedule.config.dpr_format),
+                              static_cast<long long>(numel));
+                add("dpr_encode", key, fp32, 1);
+                add("dpr_decode", key, fp32, 1);
+            }
+        }
+
+        // ---- Compute kernels at the schedule's shapes.
+        if (node.kind() == LayerKind::Conv) {
+            const auto *conv =
+                static_cast<const ConvLayer *>(node.layer.get());
+            const ConvSpec &spec = conv->spec();
+            const Shape &in = graph.node(node.inputs[0]).out_shape;
+            const ConvGeometry g{ in.c(),        in.h(),
+                                  in.w(),        spec.kernel_h,
+                                  spec.kernel_w, spec.stride_h,
+                                  spec.stride_w, spec.pad_h,
+                                  spec.pad_w };
+            const auto batch = static_cast<std::uint64_t>(in.n());
+            const std::int64_t m = spec.out_channels;
+            const std::int64_t n = g.colCols();
+            const std::int64_t k = g.colRows();
+            char key[160];
+            std::snprintf(key, sizeof key,
+                          "c=%lld,h=%lld,w=%lld,kh=%lld,kw=%lld,"
+                          "sh=%lld,sw=%lld,ph=%lld,pw=%lld",
+                          static_cast<long long>(in.c()),
+                          static_cast<long long>(in.h()),
+                          static_cast<long long>(in.w()),
+                          static_cast<long long>(spec.kernel_h),
+                          static_cast<long long>(spec.kernel_w),
+                          static_cast<long long>(spec.stride_h),
+                          static_cast<long long>(spec.stride_w),
+                          static_cast<long long>(spec.pad_h),
+                          static_cast<long long>(spec.pad_w));
+            add("im2col", key,
+                4ull * static_cast<std::uint64_t>(
+                           in.c() * in.h() * in.w() + k * n),
+                batch);
+            // Forward Y = W * cols, backward dW = dY * cols^T and
+            // dcols = W^T * dY — one GEMM per image each.
+            add("gemm", gemmKey(m, n, k), gemmBytes(m, n, k), batch);
+            add("gemm", gemmKey(m, k, n), gemmBytes(m, k, n), batch);
+            add("gemm", gemmKey(k, n, m), gemmBytes(k, n, m), batch);
+        } else if (node.kind() == LayerKind::Fc) {
+            const Shape &in = graph.node(node.inputs[0]).out_shape;
+            const std::int64_t batch = in.dim(0);
+            const std::int64_t in_f = in.numel() / batch;
+            const std::int64_t out_f = node.out_shape.numel() / batch;
+            // Forward Y = X * W^T, backward dX = dY * W and
+            // dW = dY^T * X — whole-batch GEMMs.
+            add("gemm", gemmKey(batch, out_f, in_f),
+                gemmBytes(batch, out_f, in_f), 1);
+            add("gemm", gemmKey(batch, in_f, out_f),
+                gemmBytes(batch, in_f, out_f), 1);
+            add("gemm", gemmKey(out_f, in_f, batch),
+                gemmBytes(out_f, in_f, batch), 1);
+        }
+    }
+    return out;
+}
+
+CostEstimate
+estimateStepCost(const Graph &graph, const BuiltSchedule &schedule,
+                 const obs::CalibrationTable &table)
+{
+    CostEstimate est;
+    for (const KernelShape &ks : collectKernelShapes(graph, schedule)) {
+        double seconds;
+        if (const obs::CalibrationEntry *e =
+                table.find(ks.kernel, ks.shape)) {
+            seconds = e->seconds;
+        } else {
+            seconds = table.secondsFor(ks.kernel, ks.work_bytes);
+            if (seconds < 0.0) {
+                ++est.missing;
+                continue;
+            }
+        }
+        const double total = seconds * static_cast<double>(ks.calls);
+        if (ks.kernel == "gemm")
+            est.gemm_seconds += total;
+        else if (ks.kernel == "im2col")
+            est.im2col_seconds += total;
+        else if (ks.kernel.ends_with("_encode"))
+            est.encode_seconds += total;
+        else if (ks.kernel.ends_with("_decode"))
+            est.decode_seconds += total;
+    }
+    return est;
 }
 
 } // namespace gist

@@ -18,6 +18,7 @@
 #include "core/sparsity.hpp"
 #include "memory/allocator.hpp"
 #include "memory/report.hpp"
+#include "obs/calibrate.hpp"
 
 namespace gist {
 
@@ -62,5 +63,56 @@ PlanSummary summarize(const std::vector<PlannedBuffer> &buffers,
 PlanSummary planModel(Graph &graph, const GistConfig &config,
                       const SparsityModel &sparsity,
                       bool investigation = false);
+
+/**
+ * One kernel invocation class a schedule implies: the calibration key
+ * (kernel, shape), the bytes one call moves, and how many calls one
+ * training step issues. This is the bridge between the static schedule
+ * and the measured per-host table tools/gist_calibrate writes.
+ */
+struct KernelShape
+{
+    std::string kernel;           ///< "gemm", "im2col", "csr_encode", ...
+    std::string shape;            ///< human key, e.g. "m=64,n=784,k=576"
+    std::uint64_t work_bytes = 0; ///< bytes one call moves
+    std::uint64_t calls = 0;      ///< invocations per training step
+};
+
+/**
+ * Enumerate the kernel shapes one minibatch of @p graph dispatches under
+ * @p schedule: per-image conv im2col + forward/backward GEMMs, per-node
+ * FC GEMMs, and one encode + one decode per encoded stash slot. Shapes
+ * with identical (kernel, shape) keys are merged with summed calls.
+ */
+std::vector<KernelShape> collectKernelShapes(const Graph &graph,
+                                             const BuiltSchedule &schedule);
+
+/** Per-kernel-family cost split of estimateStepCost(). */
+struct CostEstimate
+{
+    double encode_seconds = 0.0;
+    double decode_seconds = 0.0;
+    double gemm_seconds = 0.0;
+    double im2col_seconds = 0.0;
+    /** Kernel shapes the table had no entry for (costed as zero). */
+    int missing = 0;
+
+    double total() const
+    {
+        return encode_seconds + decode_seconds + gemm_seconds +
+               im2col_seconds;
+    }
+};
+
+/**
+ * Estimated seconds per training step of @p graph under @p schedule,
+ * priced from a measured calibration @p table: exact (kernel, shape)
+ * entries when present, work_bytes interpolation otherwise. Kernels the
+ * table has never seen contribute zero and bump CostEstimate::missing,
+ * so callers can tell a cheap schedule from an unpriced one.
+ */
+CostEstimate estimateStepCost(const Graph &graph,
+                              const BuiltSchedule &schedule,
+                              const obs::CalibrationTable &table);
 
 } // namespace gist

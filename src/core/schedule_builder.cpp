@@ -4,6 +4,7 @@
 
 #include "layers/pool.hpp"
 #include "layers/relu.hpp"
+#include "obs/memprof.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/logging.hpp"
@@ -160,6 +161,8 @@ applyToExecutor(const BuiltSchedule &schedule, Executor &exec)
         obs::traceStart(schedule.config.trace_path);
     if (!schedule.config.metrics_path.empty())
         obs::metricsOpen(schedule.config.metrics_path);
+    if (!schedule.config.memprof_path.empty())
+        obs::memprofStart(schedule.config.memprof_path);
     exec.refreshSchedule();
 }
 

@@ -53,12 +53,23 @@ Executor::Telemetry::Telemetry()
           "gist.sparsity.total_elems")),
       minibatches(
           obs::MetricRegistry::instance().counter("gist.exec.minibatches")),
+      codec_stall_ns(
+          obs::MetricRegistry::instance().counter("gist.codec.stall_ns")),
+      codec_stalls(
+          obs::MetricRegistry::instance().counter("gist.codec.stalls")),
+      codec_queue_wait_ns(obs::MetricRegistry::instance().counter(
+          "gist.codec.queue_wait_ns")),
+      codec_run_ns(
+          obs::MetricRegistry::instance().counter("gist.codec.run_ns")),
+      codec_queue_depth(
+          obs::MetricRegistry::instance().gauge("gist.codec.queue_depth")),
       pool_bytes(obs::MetricRegistry::instance().gauge("gist.fmap_pool.bytes"))
 {
 }
 
 Executor::Executor(Graph &graph)
-    : graph_(graph), states(static_cast<size_t>(graph.numNodes()))
+    : graph_(graph), states(static_cast<size_t>(graph.numNodes())),
+      mem_accounts(new SlotAccount[static_cast<size_t>(graph.numNodes())])
 {
     for (std::int64_t i = 0; i < graph_.numNodes(); ++i)
         states[static_cast<size_t>(i)].value = Tensor::placeholder(
@@ -111,18 +122,144 @@ Executor::schedule() const
 }
 
 void
-Executor::meterAdd(std::uint64_t bytes)
+Executor::meterAdd(NodeId id, MemKind kind, std::uint64_t bytes)
 {
-    tele.pool_bytes.add(static_cast<std::int64_t>(bytes));
+    const std::int64_t level =
+        tele.pool_bytes.add(static_cast<std::int64_t>(bytes));
+    if (!obs::memprofEnabled())
+        return;
+    mem_accounts[static_cast<size_t>(id)]
+        .bytes[static_cast<size_t>(kind)]
+        .fetch_add(bytes, std::memory_order_relaxed);
+    if (kind == MemKind::Encoded)
+        encoded_level.fetch_add(static_cast<std::int64_t>(bytes),
+                                std::memory_order_relaxed);
+    notePoolLevel(level);
 }
 
 void
-Executor::meterSub(std::uint64_t bytes)
+Executor::meterSub(NodeId id, MemKind kind, std::uint64_t bytes)
 {
     GIST_ASSERT(tele.pool_bytes.current() >=
                     static_cast<std::int64_t>(bytes),
                 "memory meter underflow");
     tele.pool_bytes.sub(static_cast<std::int64_t>(bytes));
+    if (!obs::memprofEnabled())
+        return;
+    mem_accounts[static_cast<size_t>(id)]
+        .bytes[static_cast<size_t>(kind)]
+        .fetch_sub(bytes, std::memory_order_relaxed);
+    if (kind == MemKind::Encoded)
+        encoded_level.fetch_sub(static_cast<std::int64_t>(bytes),
+                                std::memory_order_relaxed);
+}
+
+/**
+ * New-peak probe, called on every metered add while memprof is on. The
+ * fast path is one relaxed load + compare; only a strict new step peak
+ * takes mp_mu and copies the per-slot accounts. In sync mode every
+ * meter op happens on the main thread, so the snapshot taken here sums
+ * to the pool level exactly; in async mode it is a best-effort capture
+ * under concurrent codec-worker metering (see obs/memprof.hpp).
+ */
+void
+Executor::notePoolLevel(std::int64_t level)
+{
+    if (level <= mp_peak_fast.load(std::memory_order_relaxed))
+        return;
+    std::lock_guard<std::mutex> lock(mp_mu);
+    if (level <= mp_peak)
+        return;
+    mp_peak = level;
+    mp_peak_fast.store(level, std::memory_order_relaxed);
+    mp_peak_step = cur_sched_step.load(std::memory_order_relaxed);
+    const std::int64_t n = graph_.numNodes();
+    mp_attr.resize(static_cast<size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i)
+        for (size_t k = 0; k < 4; ++k)
+            mp_attr[static_cast<size_t>(i)][k] =
+                mem_accounts[static_cast<size_t>(i)].bytes[k].load(
+                    std::memory_order_relaxed);
+}
+
+void
+Executor::memprofSample(int sched_step, NodeId node, const char *phase)
+{
+    obs::MemProfSample s;
+    s.sched_step = sched_step;
+    s.node = node >= 0 ? graph_.node(node).name : std::string();
+    s.phase = phase;
+    s.pool_bytes = tele.pool_bytes.current();
+    s.arena_bytes = static_cast<std::int64_t>(
+        WorkspaceArena::instance().reservedBytes());
+    s.encoded_bytes = encoded_level.load(std::memory_order_relaxed);
+    mp_samples.push_back(std::move(s));
+}
+
+void
+Executor::memprofBeginStep()
+{
+    const std::int64_t n = graph_.numNodes();
+    for (std::int64_t i = 0; i < n; ++i)
+        for (size_t k = 0; k < 4; ++k)
+            mem_accounts[static_cast<size_t>(i)].bytes[k].store(
+                0, std::memory_order_relaxed);
+    encoded_level.store(0, std::memory_order_relaxed);
+    cur_sched_step.store(-1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mp_mu);
+    mp_peak = 0;
+    mp_peak_fast.store(0, std::memory_order_relaxed);
+    mp_peak_step = -1;
+    mp_attr.clear();
+    mp_samples.clear();
+}
+
+void
+Executor::memprofFinishStep()
+{
+    obs::MemProfStep step;
+    step.step = tele.minibatches.value() - 1;
+    step.arena_high_water = static_cast<std::int64_t>(
+        WorkspaceArena::instance().stepHighWaterBytes());
+    std::lock_guard<std::mutex> lock(mp_mu);
+    step.peak_pool_bytes = mp_peak;
+    step.peak_sched_step = mp_peak_step;
+    const std::int64_t n = graph_.numNodes();
+    const int half = static_cast<int>(n);
+    if (mp_peak_step >= 0 && mp_peak_step < 2 * half) {
+        const NodeId at = mp_peak_step < half
+                              ? static_cast<NodeId>(mp_peak_step)
+                              : static_cast<NodeId>(2 * half - 1 -
+                                                    mp_peak_step);
+        step.peak_node = graph_.node(at).name;
+    }
+    for (size_t i = 0; i < mp_attr.size(); ++i) {
+        const auto &a = mp_attr[i];
+        if (a[0] + a[1] + a[2] + a[3] == 0)
+            continue;
+        obs::MemProfSlot slot;
+        slot.node = graph_.node(static_cast<NodeId>(i)).name;
+        slot.value_bytes = a[0];
+        slot.grad_bytes = a[1];
+        slot.encoded_bytes = a[2];
+        slot.aux_bytes = a[3];
+        step.peak_attribution.push_back(std::move(slot));
+    }
+    // Synthesize the peak itself as a timeline point so the series'
+    // maximum equals the reported peak (boundary samples alone can
+    // miss mid-node transients such as a decode's value+encoded
+    // overlap).
+    obs::MemProfSample peak;
+    peak.sched_step = mp_peak_step;
+    peak.node = step.peak_node;
+    peak.phase = "peak";
+    peak.pool_bytes = mp_peak;
+    peak.arena_bytes = step.arena_high_water;
+    peak.encoded_bytes = -1; // not sampled at the peak instant
+    step.timeline = std::move(mp_samples);
+    step.timeline.push_back(std::move(peak));
+    mp_samples.clear();
+    obs::memprofRecordStep(std::move(step));
 }
 
 std::uint64_t
@@ -188,7 +325,7 @@ Executor::retireAfterForward(NodeId id)
     }
 
     if (!sched->stashed(id)) {
-        meterSub(st.value.bytes());
+        meterSub(id, MemKind::Value, st.value.bytes());
         st.value.releaseStorage();
         st.state = BufState::Empty;
         return;
@@ -240,8 +377,8 @@ Executor::encodeSlot(NodeId id)
     tele.encode_ns.add(nanosSince(t0));
     tele.encoded_bytes.add(encoded_bytes);
     tele.dense_bytes_replaced.add(st.value.bytes());
-    meterAdd(encoded_bytes);
-    meterSub(st.value.bytes());
+    meterAdd(id, MemKind::Encoded, encoded_bytes);
+    meterSub(id, MemKind::Value, st.value.bytes());
     st.value.releaseStorage();
 }
 
@@ -260,14 +397,14 @@ Executor::decodeSlot(NodeId id)
                        graph_.node(id).name.c_str());
     const auto t0 = std::chrono::steady_clock::now();
     st.value.reallocate();
-    meterAdd(st.value.bytes());
+    meterAdd(id, MemKind::Value, st.value.bytes());
     if (st.plan.repr == StashPlan::Repr::Csr) {
         st.csr.decode(st.value.span());
-        meterSub(st.csr.bytes());
+        meterSub(id, MemKind::Encoded, st.csr.bytes());
         st.csr.reset(); // keep capacity for next step's encode
     } else {
         st.dpr.decode(st.value.span());
-        meterSub(st.dpr.bytes());
+        meterSub(id, MemKind::Encoded, st.dpr.bytes());
         st.dpr.reset();
     }
     tele.decode_ns.add(nanosSince(t0));
@@ -332,12 +469,36 @@ Executor::submitDecodes(NodeId consumer, NodeId chunked_reader)
     }
 }
 
+/**
+ * Join a codec ticket, classifying the join: ready tickets cost one
+ * mutex acquisition; a not-ready ticket means the main thread is now
+ * serialized behind codec work, so the blocked time is counted (and
+ * traced) as a stall — the numerator of the overlap-efficiency metric.
+ */
+void
+Executor::joinTicket(const TaskTicket &ticket, const char *what,
+                     NodeId id)
+{
+    if (!ticket)
+        return;
+    if (ticket.ready()) {
+        ticket.wait(); // no block; still the single rethrow path
+        return;
+    }
+    GIST_TRACE_SCOPE_F("stall", "stall %s %s", what,
+                       graph_.node(id).name.c_str());
+    const auto t0 = std::chrono::steady_clock::now();
+    ticket.wait();
+    tele.codec_stall_ns.add(nanosSince(t0));
+    tele.codec_stalls.add(1);
+}
+
 void
 Executor::joinEncode(NodeId id)
 {
     auto &st = states[static_cast<size_t>(id)];
     if (st.encode_job) {
-        st.encode_job.wait();
+        joinTicket(st.encode_job, "encode", id);
         st.encode_job.reset();
     }
 }
@@ -347,7 +508,8 @@ Executor::awaitDense(NodeId id)
 {
     auto &st = states[static_cast<size_t>(id)];
     if (st.decode_job) {
-        st.decode_job.wait(); // blocks only if the prefetch came early
+        // Blocks only if the prefetch came early.
+        joinTicket(st.decode_job, "decode", id);
         st.decode_job.reset();
         st.encode_job.reset(); // decode waited on it already
         st.state = BufState::Dense;
@@ -367,7 +529,7 @@ Executor::ensureGrad(NodeId id)
     auto &st = states[static_cast<size_t>(id)];
     if (st.grad.empty()) {
         st.grad = Tensor(graph_.node(id).out_shape);
-        meterAdd(st.grad.bytes());
+        meterAdd(id, MemKind::Grad, st.grad.bytes());
     }
     return st.grad;
 }
@@ -379,7 +541,7 @@ Executor::releaseStash(NodeId id)
     // Join any in-flight codec work first so the buffers (and the
     // memory meter) are quiescent before the release bookkeeping.
     if (st.decode_job) {
-        st.decode_job.wait();
+        joinTicket(st.decode_job, "release", id);
         st.decode_job.reset();
         st.encode_job.reset();
         st.state = BufState::Dense;
@@ -387,9 +549,10 @@ Executor::releaseStash(NodeId id)
         joinEncode(id);
     }
     if (st.state == BufState::Dense)
-        meterSub(st.value.bytes());
+        meterSub(id, MemKind::Value, st.value.bytes());
     else if (st.state == BufState::Encoded)
-        meterSub(st.plan.repr == StashPlan::Repr::Csr ? st.csr.bytes()
+        meterSub(id, MemKind::Encoded,
+                 st.plan.repr == StashPlan::Repr::Csr ? st.csr.bytes()
                                                       : st.dpr.bytes());
     st.value.releaseStorage();
     st.csr.clear();
@@ -445,9 +608,16 @@ Executor::runMinibatch(const Tensor &input,
     const std::uint64_t decode_ns0 = tele.decode_ns.value();
     const std::uint64_t encoded_bytes0 = tele.encoded_bytes.value();
     const std::uint64_t dense_replaced0 = tele.dense_bytes_replaced.value();
+    const std::uint64_t stall_ns0 = tele.codec_stall_ns.value();
+    const std::uint64_t stalls0 = tele.codec_stalls.value();
+    const CodecQueueStats q0 = CodecQueue::instance().stats();
+    CodecQueue::instance().markDepth();
     tele.pool_bytes.set(0);
     tele.pool_bytes.resetPeak();
     memory_trace.clear();
+    const bool memprof = obs::memprofEnabled();
+    if (memprof)
+        memprofBeginStep();
 
     const auto n = graph_.numNodes();
     GIST_ASSERT(n > 0, "empty graph");
@@ -462,11 +632,13 @@ Executor::runMinibatch(const Tensor &input,
         const auto id = static_cast<NodeId>(i);
         auto &node = graph_.node(id);
         auto &st = states[static_cast<size_t>(i)];
+        cur_sched_step.store(graph_.fwdStep(id),
+                             std::memory_order_relaxed);
         if (st.value.empty())
             st.value.reallocate();
         // Count at production time whether the storage is fresh or was
         // left materialized by an interleaved forwardOnly() pass.
-        meterAdd(st.value.bytes());
+        meterAdd(id, MemKind::Value, st.value.bytes());
         if (node.kind() == LayerKind::Input) {
             GIST_ASSERT(input.shape() == node.out_shape,
                         "input shape mismatch");
@@ -488,7 +660,8 @@ Executor::runMinibatch(const Tensor &input,
             }
             if (profile)
                 st.fwd_seconds = secondsSince(t_fwd);
-            meterAdd(auxBytesOf(id)); // masks/maps/BN stats captured
+            meterAdd(id, MemKind::Aux,
+                     auxBytesOf(id)); // masks/maps/BN stats captured
             if (forward_quantize != DprFormat::Fp32 &&
                 node.kind() != LayerKind::SoftmaxLoss) {
                 dprQuantizeInPlace(forward_quantize, st.value.span());
@@ -505,6 +678,8 @@ Executor::runMinibatch(const Tensor &input,
         memory_trace.emplace_back(
             graph_.fwdStep(id),
             static_cast<std::uint64_t>(tele.pool_bytes.current()));
+        if (memprof)
+            memprofSample(graph_.fwdStep(id), id, "fwd");
     }
 
     // ---- Backward pass ----
@@ -513,6 +688,8 @@ Executor::runMinibatch(const Tensor &input,
         auto &node = graph_.node(id);
         if (node.kind() == LayerKind::Input)
             continue;
+        cur_sched_step.store(graph_.bwdStep(id),
+                             std::memory_order_relaxed);
 
         const BackwardNeeds needs = node.layer->backwardNeeds();
         // Can this consumer read the encoded stash tile-by-tile instead
@@ -616,9 +793,9 @@ Executor::runMinibatch(const Tensor &input,
         // The node's own gradient map is consumed; release it.
         auto &own = states[static_cast<size_t>(i)];
         if (!own.grad.empty())
-            meterSub(own.grad.bytes());
+            meterSub(id, MemKind::Grad, own.grad.bytes());
         own.grad.releaseStorage();
-        meterSub(auxBytesOf(id));
+        meterSub(id, MemKind::Aux, auxBytesOf(id));
         node.layer->releaseAuxStash();
 
         // Release stashes whose last backward read just happened.
@@ -630,6 +807,8 @@ Executor::runMinibatch(const Tensor &input,
             releaseStash(id);
         memory_trace.emplace_back(
             step, static_cast<std::uint64_t>(tele.pool_bytes.current()));
+        if (memprof)
+            memprofSample(step, id, "bwd");
     }
 
     last_stats.loss = loss_layer->lastLoss();
@@ -642,6 +821,28 @@ Executor::runMinibatch(const Tensor &input,
         tele.dense_bytes_replaced.value() - dense_replaced0;
     last_stats.peak_pool_bytes =
         static_cast<std::uint64_t>(tele.pool_bytes.peak());
+
+    // Stall accounting: per-step deltas of the stall counters (bumped
+    // by joinTicket) and of the CodecQueue's own per-ticket stats,
+    // mirrored into the registry so snapshot-based tools see them.
+    const CodecQueueStats q1 = CodecQueue::instance().stats();
+    last_stats.codec_stall_ns = tele.codec_stall_ns.value() - stall_ns0;
+    last_stats.codec_stalls = tele.codec_stalls.value() - stalls0;
+    last_stats.codec_queue_wait_ns = q1.queue_wait_ns - q0.queue_wait_ns;
+    last_stats.codec_run_ns = q1.run_ns - q0.run_ns;
+    last_stats.codec_queue_peak_depth = q1.max_depth;
+    tele.codec_queue_wait_ns.add(last_stats.codec_queue_wait_ns);
+    tele.codec_run_ns.add(last_stats.codec_run_ns);
+    tele.codec_queue_depth.set(q1.max_depth);
+    if (last_stats.codec_run_ns > 0) {
+        const double stall = static_cast<double>(
+            std::min(last_stats.codec_stall_ns, last_stats.codec_run_ns));
+        last_stats.overlap_efficiency =
+            1.0 - stall / static_cast<double>(last_stats.codec_run_ns);
+    }
+
+    if (memprof)
+        memprofFinishStep();
     return last_stats.loss;
 }
 

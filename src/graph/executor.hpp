@@ -16,8 +16,11 @@
 
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -26,6 +29,7 @@
 #include "graph/codec_points.hpp"
 #include "graph/graph.hpp"
 #include "obs/counters.hpp"
+#include "obs/memprof.hpp"
 #include "util/parallel.hpp"
 
 namespace gist {
@@ -70,6 +74,24 @@ struct ExecStats
      * dynamicPeak() predicts.
      */
     std::uint64_t peak_pool_bytes = 0;
+
+    /**
+     * Async-pipeline stall accounting (all zero in sync mode, where
+     * codec work never goes through tickets). A "stall" is the main
+     * thread blocking on a codec ticket that was not ready — the
+     * serialized share of codec time. Queue wait / run time are the
+     * CodecQueue's own per-ticket deltas for this minibatch.
+     */
+    std::uint64_t codec_stall_ns = 0;   ///< main-thread block time
+    std::uint64_t codec_stalls = 0;     ///< number of blocking joins
+    std::uint64_t codec_queue_wait_ns = 0; ///< enqueue -> pick-up total
+    std::uint64_t codec_run_ns = 0;        ///< codec task execution total
+    std::int64_t codec_queue_peak_depth = 0; ///< max queued this step
+    /**
+     * Share of codec run time hidden under main-thread compute:
+     * 1 - stall/run (clamped to [0,1]); 1.0 when no codec work ran.
+     */
+    double overlap_efficiency = 1.0;
 };
 
 /** Executes forward/backward minibatches over a Graph. */
@@ -238,11 +260,36 @@ class Executor
     void joinEncode(NodeId id);
     /** Ensure the slot is materialized, preferring the prefetched decode. */
     void awaitDense(NodeId id);
+    /**
+     * Join @p ticket, counting (and tracing) a stall when it was not
+     * ready yet — the per-join probe behind ExecStats' stall fields.
+     */
+    void joinTicket(const TaskTicket &ticket, const char *what,
+                    NodeId id);
+
+    /** What a metered byte delta is storage for (memprof attribution). */
+    enum class MemKind : int { Value = 0, Grad = 1, Encoded = 2, Aux = 3 };
+
+    /** Per-slot resident-byte account, one column per MemKind. */
+    struct SlotAccount
+    {
+        std::array<std::atomic<std::uint64_t>, 4> bytes{};
+    };
 
     /** Memory-meter bookkeeping (feature-map pool only). */
-    void meterAdd(std::uint64_t bytes);
-    void meterSub(std::uint64_t bytes);
+    void meterAdd(NodeId id, MemKind kind, std::uint64_t bytes);
+    void meterSub(NodeId id, MemKind kind, std::uint64_t bytes);
     std::uint64_t auxBytesOf(NodeId id) const;
+
+    /** New-peak probe: capture the attribution snapshot when @p level
+     *  sets a strict step maximum (rare path, under mp_mu). */
+    void notePoolLevel(std::int64_t level);
+    /** Append one timeline sample at a schedule-step boundary. */
+    void memprofSample(int sched_step, NodeId node, const char *phase);
+    /** Reset per-step memprof scratch (accounts, peak, timeline). */
+    void memprofBeginStep();
+    /** Assemble and record the step's MemProfStep. */
+    void memprofFinishStep();
 
     /**
      * Registry-backed instruments (see ExecStats). The memory meter is
@@ -264,6 +311,11 @@ class Executor
         obs::Counter &sparsity_zero_elems;
         obs::Counter &sparsity_total_elems;
         obs::Counter &minibatches;
+        obs::Counter &codec_stall_ns;
+        obs::Counter &codec_stalls;
+        obs::Counter &codec_queue_wait_ns;
+        obs::Counter &codec_run_ns;
+        obs::Gauge &codec_queue_depth;
         obs::Gauge &pool_bytes;
     };
 
@@ -284,6 +336,24 @@ class Executor
     std::vector<std::pair<int, std::uint64_t>> memory_trace;
     ExecStats last_stats;
     Telemetry tele;
+
+    /**
+     * Memory-profiler scratch (only touched when memprofEnabled()).
+     * Accounts and the encoded-level tally are relaxed atomics because
+     * codec workers meter concurrently in async mode; the capture
+     * snapshot (attribution at the peak) lives under mp_mu. Timeline
+     * samples are main-thread only. See obs/memprof.hpp for the
+     * sync-exact / async-best-effort contract.
+     */
+    std::unique_ptr<SlotAccount[]> mem_accounts;
+    std::atomic<std::int64_t> encoded_level{ 0 };
+    std::atomic<int> cur_sched_step{ -1 };
+    std::atomic<std::int64_t> mp_peak_fast{ 0 }; ///< lock-free probe
+    std::mutex mp_mu; ///< guards the four fields below
+    std::int64_t mp_peak = 0;
+    int mp_peak_step = -1;
+    std::vector<std::array<std::uint64_t, 4>> mp_attr;
+    std::vector<obs::MemProfSample> mp_samples; ///< main thread only
 };
 
 } // namespace gist

@@ -129,6 +129,7 @@ WorkspaceArena::beginStep()
         }
         r->off = 0;
         r->in_use = 0;
+        r->step_water = 0;
         reserved += r->cap;
     }
     arenaGauge().set(static_cast<std::int64_t>(reserved));
@@ -153,6 +154,17 @@ WorkspaceArena::highWaterBytes() const
     std::size_t hw = 0;
     for (const detail::ArenaRegion *r : reg.regions)
         hw = hw > r->high_water ? hw : r->high_water;
+    return hw;
+}
+
+std::size_t
+WorkspaceArena::stepHighWaterBytes() const
+{
+    RegionRegistry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    std::size_t hw = 0;
+    for (const detail::ArenaRegion *r : reg.regions)
+        hw = hw > r->step_water ? hw : r->step_water;
     return hw;
 }
 
@@ -195,6 +207,8 @@ ArenaScope::alloc(std::size_t bytes)
     r->in_use += bytes;
     if (r->in_use > r->high_water)
         r->high_water = r->in_use;
+    if (r->in_use > r->step_water)
+        r->step_water = r->in_use;
     if (WorkspaceArena::instance().enabled() &&
         r->off + bytes <= r->cap) {
         void *p = r->base + r->off;

@@ -51,6 +51,7 @@ struct ArenaRegion
     std::size_t off = 0;           ///< bump offset into base
     std::size_t in_use = 0;        ///< live bytes incl. overflow chunks
     std::size_t high_water = 0;    ///< max in_use ever (monotone)
+    std::size_t step_water = 0;    ///< max in_use since last beginStep()
     /** Overflow chunks live at most until their owning frame closes. */
     struct Chunk
     {
@@ -88,6 +89,13 @@ class WorkspaceArena
 
     /** Max bytes ever simultaneously live in any single region. */
     std::size_t highWaterBytes() const;
+
+    /**
+     * Like highWaterBytes() but only since the last beginStep() — the
+     * per-minibatch arena peak the memory-timeline profiler reports
+     * (the monotone high-water would freeze after the largest step).
+     */
+    std::size_t stepHighWaterBytes() const;
 
     /** Heap allocations taken by arena paths (block grows + overflow). */
     std::uint64_t heapAllocCount() const;

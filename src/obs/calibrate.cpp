@@ -1,0 +1,182 @@
+#include "obs/calibrate.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/jsonin.hpp"
+#include "util/logging.hpp"
+
+namespace gist::obs {
+
+namespace {
+
+void
+escapeJson(const std::string &in, std::string &out)
+{
+    for (const char ch : in) {
+        switch (ch) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          default: out += ch;
+        }
+    }
+}
+
+std::string
+quoted(const std::string &s)
+{
+    std::string out = "\"";
+    escapeJson(s, out);
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+const CalibrationEntry *
+CalibrationTable::find(const std::string &kernel,
+                       const std::string &shape) const
+{
+    for (const CalibrationEntry &e : entries)
+        if (e.kernel == kernel && e.shape == shape)
+            return &e;
+    return nullptr;
+}
+
+double
+CalibrationTable::secondsFor(const std::string &kernel,
+                             std::uint64_t work_bytes) const
+{
+    // Gather the kernel's (work_bytes, seconds) points sorted by work.
+    std::vector<const CalibrationEntry *> pts;
+    for (const CalibrationEntry &e : entries)
+        if (e.kernel == kernel && e.work_bytes > 0 && e.seconds > 0.0)
+            pts.push_back(&e);
+    if (pts.empty())
+        return -1.0;
+    std::sort(pts.begin(), pts.end(),
+              [](const CalibrationEntry *a, const CalibrationEntry *b) {
+                  return a->work_bytes < b->work_bytes;
+              });
+    const double w = static_cast<double>(work_bytes);
+    if (work_bytes <= pts.front()->work_bytes)
+        return pts.front()->seconds * w /
+               static_cast<double>(pts.front()->work_bytes);
+    if (work_bytes >= pts.back()->work_bytes)
+        return pts.back()->seconds * w /
+               static_cast<double>(pts.back()->work_bytes);
+    for (size_t i = 1; i < pts.size(); ++i) {
+        if (work_bytes > pts[i]->work_bytes)
+            continue;
+        const double w0 = static_cast<double>(pts[i - 1]->work_bytes);
+        const double w1 = static_cast<double>(pts[i]->work_bytes);
+        const double t = (w - w0) / (w1 - w0);
+        return pts[i - 1]->seconds +
+               t * (pts[i]->seconds - pts[i - 1]->seconds);
+    }
+    return pts.back()->seconds; // unreachable
+}
+
+bool
+CalibrationTable::save(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        GIST_WARN("cannot open calibration file '", path, "'");
+        return false;
+    }
+    std::fprintf(f,
+                 "{\n  \"version\": %d,\n  \"kind\":"
+                 " \"gist-calibration\",\n  \"host\": %s,\n"
+                 "  \"simd\": %s,\n  \"threads\": %d,\n"
+                 "  \"created\": %s,\n  \"entries\": [",
+                 version, quoted(host).c_str(), quoted(simd).c_str(),
+                 threads, quoted(created).c_str());
+    bool first = true;
+    for (const CalibrationEntry &e : entries) {
+        std::fprintf(f,
+                     "%s\n    {\"kernel\": %s, \"shape\": %s,"
+                     " \"work_bytes\": %llu, \"seconds\": %.9g,"
+                     " \"gbps\": %.4f}",
+                     first ? "" : ",", quoted(e.kernel).c_str(),
+                     quoted(e.shape).c_str(),
+                     static_cast<unsigned long long>(e.work_bytes),
+                     e.seconds, e.gbps());
+        first = false;
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    return true;
+}
+
+bool
+CalibrationTable::load(const std::string &path, CalibrationTable &out,
+                       std::string *err)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (err)
+            *err = "cannot open '" + path + "'";
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    JsonValue root;
+    std::string perr;
+    if (!JsonValue::parse(ss.str(), root, &perr)) {
+        if (err)
+            *err = path + ": " + perr;
+        return false;
+    }
+    if (!root.isObject()) {
+        if (err)
+            *err = path + ": top level is not an object";
+        return false;
+    }
+    const std::int64_t version = root.intOr("version", -1);
+    if (version != kVersion) {
+        if (err)
+            *err = path + ": calibration version " +
+                   std::to_string(version) + " != expected " +
+                   std::to_string(kVersion);
+        return false;
+    }
+    if (root.stringOr("kind", "") != "gist-calibration") {
+        if (err)
+            *err = path + ": not a gist-calibration file";
+        return false;
+    }
+    out = CalibrationTable{};
+    out.version = static_cast<int>(version);
+    out.host = root.stringOr("host", "unknown");
+    out.simd = root.stringOr("simd", "unknown");
+    out.threads = static_cast<int>(root.intOr("threads", 0));
+    out.created = root.stringOr("created", "");
+    const JsonValue *entries = root.get("entries");
+    if (!entries || !entries->isArray()) {
+        if (err)
+            *err = path + ": missing entries array";
+        return false;
+    }
+    for (const JsonValue &je : entries->items()) {
+        CalibrationEntry e;
+        e.kernel = je.stringOr("kernel", "");
+        e.shape = je.stringOr("shape", "");
+        e.work_bytes =
+            static_cast<std::uint64_t>(je.intOr("work_bytes", 0));
+        e.seconds = je.numberOr("seconds", 0.0);
+        if (e.kernel.empty() || e.seconds <= 0.0) {
+            if (err)
+                *err = path + ": entry with empty kernel or"
+                              " non-positive seconds";
+            return false;
+        }
+        out.entries.push_back(std::move(e));
+    }
+    return true;
+}
+
+} // namespace gist::obs

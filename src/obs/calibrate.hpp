@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Per-host kernel cost calibration table: measured seconds for the
+ * dispatched encode/decode/GEMM/im2col kernels at the shapes a real
+ * schedule uses, persisted as versioned JSON (`calibration.json`).
+ *
+ * This file is the data model only (save/load/lookup/interpolation);
+ * the measurement driver lives in tools/gist_calibrate.cpp (it needs
+ * the tensor/encodings/graph layers, which must not become gist_obs
+ * dependencies), and the consumer is src/core/planner.cpp's
+ * estimateStepCost() — the measured substrate for ROADMAP item 3's
+ * hybrid encode-vs-recompute-vs-swap planner.
+ *
+ * Cost model: each entry records the bytes the kernel moves per call,
+ * so cost(kernel, work_bytes) interpolates linearly in bytes between
+ * same-kernel entries and extrapolates at the nearest entry's
+ * throughput. Per-kernel-name entries, not a parametric model: the
+ * planner only ever asks about shapes the schedule contains, which is
+ * exactly what the calibrator measured.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gist::obs {
+
+/** One measured kernel at one shape. */
+struct CalibrationEntry
+{
+    std::string kernel; ///< e.g. "csr_encode", "gemm", "im2col"
+    std::string shape;  ///< human key, e.g. "m=64,n=784,k=576"
+    std::uint64_t work_bytes = 0; ///< bytes moved per call (GB/s basis)
+    double seconds = 0.0;         ///< measured seconds per call
+
+    double
+    gbps() const
+    {
+        return seconds > 0.0
+                   ? static_cast<double>(work_bytes) / seconds / 1e9
+                   : 0.0;
+    }
+};
+
+/** The versioned per-host table. */
+struct CalibrationTable
+{
+    static constexpr int kVersion = 1;
+
+    int version = kVersion;
+    std::string host;    ///< hostname (or "unknown")
+    std::string simd;    ///< dispatched backend ("avx2", "scalar", ...)
+    int threads = 0;     ///< pool size during measurement
+    std::string created; ///< ISO-8601 UTC timestamp
+    std::vector<CalibrationEntry> entries;
+
+    /** Exact (kernel, shape) lookup; nullptr when absent. */
+    const CalibrationEntry *find(const std::string &kernel,
+                                 const std::string &shape) const;
+
+    /**
+     * Estimated seconds for @p kernel moving @p work_bytes: linear
+     * interpolation in work_bytes between the two bracketing entries
+     * of that kernel, throughput extrapolation outside the measured
+     * range. Returns a negative value when the kernel has no entries.
+     */
+    double secondsFor(const std::string &kernel,
+                      std::uint64_t work_bytes) const;
+
+    /** Write as JSON; false (with a warning) on I/O failure. */
+    bool save(const std::string &path) const;
+
+    /**
+     * Parse @p path. False when the file is unreadable, not JSON, or
+     * a newer/older version than kVersion (forward compatibility is
+     * an explicit re-calibrate, never a silent partial read).
+     */
+    static bool load(const std::string &path, CalibrationTable &out,
+                     std::string *err = nullptr);
+};
+
+} // namespace gist::obs

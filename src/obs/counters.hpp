@@ -58,10 +58,14 @@ class Counter
 class Gauge
 {
   public:
-    void
+    /** @return the level right after this add (for peak attribution). */
+    std::int64_t
     add(std::int64_t n)
     {
-        updatePeak(cur_.fetch_add(n, std::memory_order_relaxed) + n);
+        const std::int64_t now =
+            cur_.fetch_add(n, std::memory_order_relaxed) + n;
+        updatePeak(now);
+        return now;
     }
 
     void

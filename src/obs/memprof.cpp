@@ -1,0 +1,189 @@
+#include "obs/memprof.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <utility>
+
+#include "util/logging.hpp"
+
+namespace gist::obs {
+
+namespace detail {
+std::atomic<bool> g_memprof_on{ false };
+} // namespace detail
+
+namespace {
+
+struct MemProfState
+{
+    std::mutex mu;
+    std::vector<MemProfStep> steps;
+    std::string path;
+};
+
+MemProfState &
+state()
+{
+    // Leaked on purpose, like the trace registry: the atexit flush may
+    // run during static teardown.
+    static MemProfState *s = new MemProfState;
+    return *s;
+}
+
+void
+escapeJson(const std::string &in, std::string &out)
+{
+    for (const char ch : in) {
+        const unsigned char c = static_cast<unsigned char>(ch);
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+}
+
+std::string
+quoted(const std::string &s)
+{
+    std::string out = "\"";
+    escapeJson(s, out);
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+void
+memprofStart(const std::string &path)
+{
+    {
+        MemProfState &s = state();
+        std::lock_guard<std::mutex> lock(s.mu);
+        s.path = path;
+    }
+    if (!path.empty()) {
+        // Make the file appear even when the caller never stops the
+        // profiler (config-path route); memprofStop() is write-once so
+        // a second flush from the trace atexit hook is a no-op.
+        static std::once_flag once;
+        std::call_once(once, [] { std::atexit([] { memprofStop(); }); });
+    }
+    detail::g_memprof_on.store(true, std::memory_order_release);
+}
+
+void
+memprofStop()
+{
+    detail::g_memprof_on.store(false, std::memory_order_release);
+    std::string path;
+    {
+        MemProfState &s = state();
+        std::lock_guard<std::mutex> lock(s.mu);
+        path.swap(s.path); // write once; a later stop is a no-op
+    }
+    if (!path.empty())
+        memprofWrite(path);
+}
+
+void
+memprofRecordStep(MemProfStep step)
+{
+    MemProfState &s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.steps.push_back(std::move(step));
+}
+
+std::vector<MemProfStep>
+memprofCollect()
+{
+    MemProfState &s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    return s.steps;
+}
+
+void
+memprofReset()
+{
+    MemProfState &s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.steps.clear();
+}
+
+bool
+memprofWrite(const std::string &path)
+{
+    const std::vector<MemProfStep> steps = memprofCollect();
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        GIST_WARN("cannot open memprof file '", path, "'");
+        return false;
+    }
+    std::fprintf(f, "{\n  \"version\": 1,\n  \"kind\": \"gist-memprof\","
+                    "\n  \"steps\": [");
+    bool first_step = true;
+    for (const MemProfStep &st : steps) {
+        std::fprintf(f, "%s\n    {\"step\": %llu,"
+                        " \"peak_pool_bytes\": %lld,"
+                        " \"peak_sched_step\": %d,"
+                        " \"peak_node\": %s,"
+                        " \"arena_high_water\": %lld,",
+                     first_step ? "" : ",",
+                     static_cast<unsigned long long>(st.step),
+                     static_cast<long long>(st.peak_pool_bytes),
+                     st.peak_sched_step, quoted(st.peak_node).c_str(),
+                     static_cast<long long>(st.arena_high_water));
+        first_step = false;
+        std::fprintf(f, "\n     \"peak_attribution\": [");
+        bool first = true;
+        for (const MemProfSlot &slot : st.peak_attribution) {
+            std::fprintf(
+                f,
+                "%s\n       {\"node\": %s, \"value_bytes\": %llu,"
+                " \"grad_bytes\": %llu, \"encoded_bytes\": %llu,"
+                " \"aux_bytes\": %llu, \"total_bytes\": %llu}",
+                first ? "" : ",", quoted(slot.node).c_str(),
+                static_cast<unsigned long long>(slot.value_bytes),
+                static_cast<unsigned long long>(slot.grad_bytes),
+                static_cast<unsigned long long>(slot.encoded_bytes),
+                static_cast<unsigned long long>(slot.aux_bytes),
+                static_cast<unsigned long long>(slot.total()));
+            first = false;
+        }
+        std::fprintf(f, "%s],", first ? "" : "\n     ");
+        std::fprintf(f, "\n     \"timeline\": [");
+        first = true;
+        for (const MemProfSample &smp : st.timeline) {
+            std::fprintf(
+                f,
+                "%s\n       {\"sched_step\": %d, \"node\": %s,"
+                " \"phase\": %s, \"pool_bytes\": %lld,"
+                " \"arena_bytes\": %lld, \"encoded_bytes\": %lld}",
+                first ? "" : ",", smp.sched_step,
+                quoted(smp.node).c_str(), quoted(smp.phase).c_str(),
+                static_cast<long long>(smp.pool_bytes),
+                static_cast<long long>(smp.arena_bytes),
+                static_cast<long long>(smp.encoded_bytes));
+            first = false;
+        }
+        std::fprintf(f, "%s]}", first ? "" : "\n     ");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    GIST_INFORM("memory timeline written to ", path, " (", steps.size(),
+                " steps)");
+    return true;
+}
+
+} // namespace gist::obs

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Memory timeline profiler — the fig15-style footprint-over-time view.
+ *
+ * The executor samples the resident feature-map pool, the workspace
+ * arena and the encoded-stash share at every schedule-step boundary,
+ * and captures a per-slot byte attribution snapshot at the exact
+ * moment the pool reaches a new step peak (meter granularity, so
+ * mid-node transients like a decode's value+encoded overlap are
+ * never missed). One MemProfStep is recorded per minibatch.
+ *
+ * Exactness contract: in sync mode every meter update happens on the
+ * main thread, so `peak_pool_bytes` equals the pool gauge's peak
+ * exactly and the attribution rows sum to it exactly. In async mode
+ * codec workers update the meter concurrently; the capture is then a
+ * best-effort snapshot (relaxed atomics, taken under the profiler's
+ * capture mutex) whose sum can transiently differ from the peak by
+ * in-flight deltas.
+ *
+ * Activation: GIST_MEMPROF=<path> at process start (written by the
+ * atexit flush hook), GistConfig::memprof_path via applyToExecutor(),
+ * or memprofStart() directly. An empty path collects in memory only
+ * (what the tests use via memprofCollect()).
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gist::obs {
+
+namespace detail {
+extern std::atomic<bool> g_memprof_on;
+} // namespace detail
+
+/** One footprint sample at a schedule-step boundary (or at the peak). */
+struct MemProfSample
+{
+    int sched_step = -1;        ///< fwd: node id, bwd: 2N-1-id
+    std::string node;           ///< node whose boundary this is
+    std::string phase;          ///< "fwd" | "bwd" | "peak"
+    std::int64_t pool_bytes = 0;    ///< fmap-pool gauge level
+    std::int64_t arena_bytes = 0;   ///< workspace arena reserved bytes
+    std::int64_t encoded_bytes = 0; ///< encoded-stash share of the pool
+};
+
+/** Per-slot byte account captured at the step's pool peak. */
+struct MemProfSlot
+{
+    std::string node;
+    std::uint64_t value_bytes = 0;
+    std::uint64_t grad_bytes = 0;
+    std::uint64_t encoded_bytes = 0;
+    std::uint64_t aux_bytes = 0;
+
+    std::uint64_t
+    total() const
+    {
+        return value_bytes + grad_bytes + encoded_bytes + aux_bytes;
+    }
+};
+
+/** One minibatch's worth of timeline + peak attribution. */
+struct MemProfStep
+{
+    std::uint64_t step = 0;           ///< minibatch ordinal
+    std::int64_t peak_pool_bytes = 0; ///< == pool gauge peak
+    int peak_sched_step = -1;         ///< schedule step at the peak
+    std::string peak_node;            ///< node executing at the peak
+    std::int64_t arena_high_water = 0;
+    std::vector<MemProfSlot> peak_attribution; ///< nonzero slots only
+    std::vector<MemProfSample> timeline;
+};
+
+/** Hot-path check (one relaxed load); false means meters skip tagging. */
+inline bool
+memprofEnabled()
+{
+    return detail::g_memprof_on.load(std::memory_order_relaxed);
+}
+
+/**
+ * Enable collection. Non-empty @p path is written by memprofStop()
+ * (and by the atexit hook); empty collects in memory only.
+ */
+void memprofStart(const std::string &path);
+
+/** Disable collection and write the JSON if a path was set (once). */
+void memprofStop();
+
+/** Append one step record (called by the executor at minibatch end). */
+void memprofRecordStep(MemProfStep step);
+
+/** Copy of everything recorded so far (test hook). */
+std::vector<MemProfStep> memprofCollect();
+
+/** Drop all recorded steps (test isolation). */
+void memprofReset();
+
+/** Write the recorded steps as versioned JSON; true on success. */
+bool memprofWrite(const std::string &path);
+
+} // namespace gist::obs

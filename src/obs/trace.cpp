@@ -8,6 +8,8 @@
 #include <memory>
 #include <mutex>
 
+#include "obs/counters.hpp"
+#include "obs/memprof.hpp"
 #include "obs/metrics.hpp"
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
@@ -99,6 +101,7 @@ ensureAtexitFlush()
     static const bool registered = [] {
         std::atexit([] {
             traceStop();
+            memprofStop();
             metricsClose();
         });
         return true;
@@ -142,6 +145,10 @@ struct EnvInit
             traceStart(t);
         if (const char *m = std::getenv("GIST_METRICS"); m && *m)
             metricsOpen(m);
+        if (const char *p = std::getenv("GIST_MEMPROF"); p && *p) {
+            memprofStart(p);
+            ensureAtexitFlush();
+        }
     }
 };
 EnvInit g_env_init;
@@ -169,6 +176,12 @@ traceRecord(const char *cat, const char *name, std::uint64_t ts_ns,
     const std::uint32_t h = b.head.load(std::memory_order_relaxed);
     if (h >= kCapacity) {
         b.dropped.fetch_add(1, std::memory_order_relaxed);
+        // Mirror into the registry so a metrics snapshot flags the
+        // truncation even when nobody inspects the trace footer. The
+        // name lookup resolves once; drops are already the cold path.
+        static Counter &drops =
+            MetricRegistry::instance().counter("gist.trace.dropped");
+        drops.add(1);
         return;
     }
     RawEvent &e = b.events[h];
@@ -313,8 +326,40 @@ traceWrite(const std::string &path)
                      static_cast<double>(e.dur_ns) / 1e3, e.tid);
         first = false;
     }
-    std::fprintf(f, "\n  ]\n}\n");
+    // Footer: per-thread drop accounting. A truncated trace must not
+    // look complete — every thread that overflowed its ring gets a row,
+    // and a top-level warning string makes the loss obvious to both
+    // humans and the gist_prof report.
+    std::fprintf(f, "\n  ]");
+    if (dropped > 0) {
+        std::fprintf(f, ",\n  \"droppedByThread\": [");
+        bool dfirst = true;
+        TraceState &s = state();
+        std::lock_guard<std::mutex> lock(s.mu);
+        for (const auto &buf : s.bufs) {
+            const std::uint64_t d =
+                buf->dropped.load(std::memory_order_relaxed);
+            if (d == 0)
+                continue;
+            std::fprintf(f,
+                         "%s\n    {\"tid\": %d, \"worker_index\": %d,"
+                         " \"dropped\": %llu}",
+                         dfirst ? "" : ",", buf->tid, buf->worker_index,
+                         static_cast<unsigned long long>(d));
+            dfirst = false;
+        }
+        std::fprintf(f,
+                     "\n  ],\n  \"warning\": \"trace truncated: %llu"
+                     " events dropped (ring capacity %u/thread)\"",
+                     static_cast<unsigned long long>(dropped),
+                     kCapacity);
+    }
+    std::fprintf(f, "\n}\n");
     std::fclose(f);
+    if (dropped > 0)
+        GIST_WARN("trace '", path, "' is truncated: ", dropped,
+                  " events dropped (ring capacity ", kCapacity,
+                  " per thread)");
     GIST_INFORM("trace written to ", path, " (", events.size(),
                 " spans, ", dropped, " dropped)");
     return true;

@@ -24,6 +24,13 @@ constexpr std::int64_t kMC = 32;
 constexpr std::int64_t kKC = 128;
 constexpr std::int64_t kNC = 256;
 
+// Minimum estimated axpy traffic (elements) before gemmCsrA fans out to
+// the pool: below this the per-chunk dispatch plus the cold per-worker
+// arena scratch cost more than the nonzero work itself, so the whole
+// range runs as one inline chunk (bitwise-identical by the static
+// chunking contract).
+constexpr std::int64_t kMinCsrParallelWork = 1 << 20;
+
 /** C *= beta over m*n elements (beta == 0 is folded into the compute
  *  loops instead — no separate zero-fill pass over C). */
 void
@@ -262,7 +269,10 @@ gemmCsrA(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
     if (beta != 0.0f)
         scaleC(m * n, beta, c);
 
-    parallelFor(0, m, kMC, [&](std::int64_t i0, std::int64_t i1) {
+    const std::int64_t est_work = a.nnz * n;
+    const std::int64_t grain =
+        est_work < kMinCsrParallelWork ? m : kMC;
+    parallelFor(0, m, grain, [&](std::int64_t i0, std::int64_t i1) {
         ArenaScope scope;
         // Per C row: gather the (p, alpha * value) pairs once (ascending
         // flat order = the order the dense path visits and skips them),

@@ -277,6 +277,20 @@ Trainer::run(const SyntheticDataset &data, const TrainConfig &config)
                     .field("dense_bytes_replaced",
                            stats.dense_bytes_replaced)
                     .field("peak_pool_bytes", stats.peak_pool_bytes)
+                    .field("codec_stall_seconds",
+                           static_cast<double>(stats.codec_stall_ns) /
+                               1e9)
+                    .field("codec_stalls",
+                           static_cast<std::int64_t>(stats.codec_stalls))
+                    .field("codec_queue_wait_seconds",
+                           static_cast<double>(
+                               stats.codec_queue_wait_ns) /
+                               1e9)
+                    .field("codec_queue_peak_depth",
+                           static_cast<std::int64_t>(
+                               stats.codec_queue_peak_depth))
+                    .field("overlap_efficiency",
+                           stats.overlap_efficiency)
                     .field("lr", static_cast<double>(lr));
                 obs::metricsWrite(rec);
             }

@@ -1,0 +1,306 @@
+#include "util/jsonin.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace gist {
+
+const JsonValue *
+JsonValue::get(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    for (const auto &m : members_)
+        if (m.first == key)
+            return &m.second;
+    return nullptr;
+}
+
+double
+JsonValue::numberOr(const std::string &key, double def) const
+{
+    const JsonValue *v = get(key);
+    return v && v->isNumber() ? v->asNumber() : def;
+}
+
+std::string
+JsonValue::stringOr(const std::string &key, const std::string &def) const
+{
+    const JsonValue *v = get(key);
+    return v && v->isString() ? v->asString() : def;
+}
+
+std::int64_t
+JsonValue::intOr(const std::string &key, std::int64_t def) const
+{
+    const JsonValue *v = get(key);
+    return v && v->isNumber() ? static_cast<std::int64_t>(v->asNumber())
+                              : def;
+}
+
+/** Recursive-descent parser over a string_view; depth-capped. */
+class JsonParser
+{
+  public:
+    JsonParser(std::string_view text, std::string *err)
+        : text_(text), err_(err)
+    {
+    }
+
+    bool
+    run(JsonValue &out)
+    {
+        skipWs();
+        if (!parseValue(out, 0))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing data after top-level value");
+        return true;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 128;
+
+    bool
+    fail(const char *what)
+    {
+        if (err_) {
+            char buf[128];
+            std::snprintf(buf, sizeof(buf), "%s at offset %zu", what,
+                          pos_);
+            *err_ = buf;
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word, size_t len)
+    {
+        if (text_.compare(pos_, len, word) != 0)
+            return fail("bad literal");
+        pos_ += len;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        switch (text_[pos_]) {
+          case 'n':
+            out.type_ = JsonValue::Type::Null;
+            return literal("null", 4);
+          case 't':
+            out.type_ = JsonValue::Type::Bool;
+            out.bool_ = true;
+            return literal("true", 4);
+          case 'f':
+            out.type_ = JsonValue::Type::Bool;
+            out.bool_ = false;
+            return literal("false", 5);
+          case '"':
+            out.type_ = JsonValue::Type::String;
+            return parseString(out.str_);
+          case '[':
+            return parseArray(out, depth);
+          case '{':
+            return parseObject(out, depth);
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            return fail("expected a value");
+        const std::string num(text_.substr(start, pos_ - start));
+        char *end = nullptr;
+        const double v = std::strtod(num.c_str(), &end);
+        if (end != num.c_str() + num.size() || !std::isfinite(v))
+            return fail("bad number");
+        out.type_ = JsonValue::Type::Number;
+        out.num_ = v;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        ++pos_; // opening quote
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                out += c;
+                ++pos_;
+                continue;
+            }
+            if (++pos_ >= text_.size())
+                return fail("unterminated escape");
+            switch (text_[pos_]) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 >= text_.size())
+                    return fail("truncated \\u escape");
+                unsigned cp = 0;
+                for (int i = 1; i <= 4; ++i) {
+                    const char h = text_[pos_ + static_cast<size_t>(i)];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape");
+                }
+                pos_ += 4;
+                // BMP code point to UTF-8 (surrogate pairs are not
+                // produced by any writer in this repo; a lone
+                // surrogate round-trips as the replacement sequence).
+                if (cp < 0x80) {
+                    out += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    out += static_cast<char>(0xC0 | (cp >> 6));
+                    out += static_cast<char>(0x80 | (cp & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (cp >> 12));
+                    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (cp & 0x3F));
+                }
+                break;
+              }
+              default:
+                return fail("bad escape");
+            }
+            ++pos_;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseArray(JsonValue &out, int depth)
+    {
+        ++pos_; // '['
+        out.type_ = JsonValue::Type::Array;
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            JsonValue item;
+            skipWs();
+            if (!parseValue(item, depth + 1))
+                return false;
+            out.items_.push_back(std::move(item));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseObject(JsonValue &out, int depth)
+    {
+        ++pos_; // '{'
+        out.type_ = JsonValue::Type::Object;
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key");
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':'");
+            ++pos_;
+            skipWs();
+            JsonValue val;
+            if (!parseValue(val, depth + 1))
+                return false;
+            out.members_.emplace_back(std::move(key), std::move(val));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    std::string_view text_;
+    std::string *err_;
+    size_t pos_ = 0;
+};
+
+bool
+JsonValue::parse(std::string_view text, JsonValue &out, std::string *err)
+{
+    out = JsonValue();
+    JsonParser p(text, err);
+    return p.run(out);
+}
+
+} // namespace gist

@@ -1,6 +1,7 @@
 #include "util/parallel.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <deque>
@@ -323,6 +324,7 @@ struct CodecQueue::Impl
     {
         std::function<void()> fn;
         std::shared_ptr<detail::TaskState> state;
+        std::uint64_t enqueue_ns = 0; ///< stamp for queue-wait stats
     };
 
     std::mutex mu;                 ///< guards queue / in_flight / stop
@@ -333,6 +335,36 @@ struct CodecQueue::Impl
     int in_flight = 0; ///< tasks popped but not yet completed
     bool stop = false;
     std::atomic<std::uint64_t> jitter{ 0 };
+
+    // Stall-accounting stats: plain relaxed atomics, never the obs
+    // registry (gist_obs links gist_util, so the dependency only runs
+    // the other way; the executor mirrors these per step). All writes
+    // are monotonic adds except the depth gauge and its watermark.
+    std::atomic<std::uint64_t> submitted{ 0 };
+    std::atomic<std::uint64_t> completed{ 0 };
+    std::atomic<std::uint64_t> queue_wait_ns{ 0 };
+    std::atomic<std::uint64_t> run_ns{ 0 };
+    std::atomic<std::int64_t> depth{ 0 };
+    std::atomic<std::int64_t> max_depth{ 0 };
+
+    static std::uint64_t
+    nowNs()
+    {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count());
+    }
+
+    void
+    noteDepth(std::int64_t d)
+    {
+        std::int64_t m = max_depth.load(std::memory_order_relaxed);
+        while (d > m &&
+               !max_depth.compare_exchange_weak(
+                   m, d, std::memory_order_relaxed)) {
+        }
+    }
 
     /** xorshift step on the shared jitter state; returns 0..3 yields. */
     int
@@ -392,9 +424,16 @@ struct CodecQueue::Impl
                 queue.pop_front();
                 ++in_flight;
             }
+            depth.fetch_sub(1, std::memory_order_relaxed);
+            const std::uint64_t t_pick = nowNs();
+            queue_wait_ns.fetch_add(t_pick - task.enqueue_ns,
+                                    std::memory_order_relaxed);
             for (int i = jitterYields(); i > 0; --i)
                 std::this_thread::yield();
             std::exception_ptr error = runGuarded(task.fn);
+            run_ns.fetch_add(nowNs() - t_pick,
+                             std::memory_order_relaxed);
+            completed.fetch_add(1, std::memory_order_relaxed);
             for (int i = jitterYields(); i > 0; --i)
                 std::this_thread::yield();
             complete(task.state, std::move(error));
@@ -467,20 +506,31 @@ CodecQueue::submit(std::function<void()> fn)
     GIST_ASSERT(fn != nullptr, "CodecQueue::submit: null task");
     TaskTicket ticket;
     ticket.state_ = std::make_shared<detail::TaskState>();
+    impl_->submitted.fetch_add(1, std::memory_order_relaxed);
     bool inline_run = false;
     {
         std::lock_guard<std::mutex> lock(impl_->mu);
         if (impl_->workers.empty()) {
             inline_run = true;
         } else {
-            impl_->queue.push_back(
-                Impl::Task{ std::move(fn), ticket.state_ });
+            impl_->queue.push_back(Impl::Task{ std::move(fn),
+                                               ticket.state_,
+                                               Impl::nowNs() });
+            impl_->noteDepth(
+                impl_->depth.fetch_add(1, std::memory_order_relaxed) +
+                1);
         }
     }
     if (inline_run) {
         // No workers: run on the calling thread, still routing any
         // exception through the ticket so callers have one error path.
+        // Zero queue wait by definition; run time still counts so the
+        // overlap metric's denominator covers sync-fallback codec work.
+        const std::uint64_t t0 = Impl::nowNs();
         Impl::complete(ticket.state_, Impl::runGuarded(fn));
+        impl_->run_ns.fetch_add(Impl::nowNs() - t0,
+                                std::memory_order_relaxed);
+        impl_->completed.fetch_add(1, std::memory_order_relaxed);
     } else {
         impl_->wake.notify_one();
     }
@@ -494,6 +544,27 @@ CodecQueue::drain()
     impl_->idle.wait(lock, [&] {
         return impl_->queue.empty() && impl_->in_flight == 0;
     });
+}
+
+CodecQueueStats
+CodecQueue::stats() const
+{
+    CodecQueueStats s;
+    s.submitted = impl_->submitted.load(std::memory_order_relaxed);
+    s.completed = impl_->completed.load(std::memory_order_relaxed);
+    s.queue_wait_ns =
+        impl_->queue_wait_ns.load(std::memory_order_relaxed);
+    s.run_ns = impl_->run_ns.load(std::memory_order_relaxed);
+    s.depth = impl_->depth.load(std::memory_order_relaxed);
+    s.max_depth = impl_->max_depth.load(std::memory_order_relaxed);
+    return s;
+}
+
+void
+CodecQueue::markDepth()
+{
+    impl_->max_depth.store(impl_->depth.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
 }
 
 void

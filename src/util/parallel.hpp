@@ -171,6 +171,24 @@ class TaskTicket
 };
 
 /**
+ * Aggregate CodecQueue statistics, maintained with plain relaxed
+ * atomics inside the queue (the util layer cannot depend on the
+ * obs registry; the executor mirrors these into it per step).
+ * Counters are cumulative since process start; callers diff two
+ * snapshots for per-step views. `max_depth` is a watermark since the
+ * last markDepth() call.
+ */
+struct CodecQueueStats
+{
+    std::uint64_t submitted = 0;     ///< tasks handed to submit()
+    std::uint64_t completed = 0;     ///< tasks run to completion
+    std::uint64_t queue_wait_ns = 0; ///< total enqueue -> pick-up ns
+    std::uint64_t run_ns = 0;        ///< total task execution ns
+    std::int64_t depth = 0;          ///< tasks enqueued, not picked up
+    std::int64_t max_depth = 0;      ///< depth watermark since markDepth()
+};
+
+/**
  * A small dedicated FIFO task queue for asynchronous codec work
  * (stash encode/decode), separate from the data-parallel ThreadPool so
  * codec jobs never contend with parallelFor for the pool's single job
@@ -210,6 +228,16 @@ class CodecQueue
 
     /** Block until every task submitted so far has completed. */
     void drain();
+
+    /**
+     * Point-in-time copy of the queue statistics (see CodecQueueStats).
+     * Inline-executed tasks (zero workers) count as submitted/completed
+     * with zero queue wait, so sync-fallback runs stay comparable.
+     */
+    CodecQueueStats stats() const;
+
+    /** Restart the max-depth watermark from the current depth. */
+    void markDepth();
 
     /**
      * Test hook: when @p seed != 0, workers interleave a seeded

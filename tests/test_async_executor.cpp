@@ -208,6 +208,44 @@ TEST(AsyncExecutorStress, SingleStarvedWorkerNeverDeadlocks)
     }
 }
 
+TEST(AsyncExecutorStress, StallCountersZeroSyncNonzeroQueueWaitAsync)
+{
+    // Sync mode never creates codec tickets — every encode/decode runs
+    // inline on the main thread — so the per-step stall accounting must
+    // read exactly zero. Async with one starved worker must observe
+    // queue wait (enqueue -> pickup) on the codec tasks.
+    Graph g = stashHeavyGraph();
+    Rng rng(5);
+    g.initParams(rng);
+    Executor exec(g);
+    applyToExecutor(buildSchedule(g, GistConfig::lossless()), exec);
+    exec.setAsyncCodec(false, 1);
+
+    Rng drng(6);
+    const std::vector<std::int32_t> labels = { 0, 1, 2, 3 };
+    const Tensor batch =
+        Tensor::uniform(g.node(0).out_shape, drng, 0.0f, 1.0f);
+    exec.runMinibatch(batch, labels);
+    EXPECT_EQ(exec.stats().codec_stalls, 0u);
+    EXPECT_EQ(exec.stats().codec_stall_ns, 0u);
+    EXPECT_EQ(exec.stats().codec_queue_wait_ns, 0u);
+    EXPECT_EQ(exec.stats().codec_run_ns, 0u);
+    EXPECT_EQ(exec.stats().codec_queue_peak_depth, 0);
+    EXPECT_DOUBLE_EQ(exec.stats().overlap_efficiency, 1.0);
+
+    exec.setAsyncCodec(true, /*workers=*/1);
+    CodecQueue::instance().setJitter(31); // stretch worker pickup
+    exec.runMinibatch(batch, labels);
+    CodecQueue::instance().setJitter(0);
+    EXPECT_GT(exec.stats().codec_run_ns, 0u)
+        << "async step dispatched no codec tasks";
+    EXPECT_GT(exec.stats().codec_queue_wait_ns, 0u)
+        << "codec tasks reported zero enqueue->pickup time";
+    EXPECT_GT(exec.stats().codec_queue_peak_depth, 0);
+    EXPECT_GE(exec.stats().overlap_efficiency, 0.0);
+    EXPECT_LE(exec.stats().overlap_efficiency, 1.0);
+}
+
 TEST(AsyncExecutorStress, CodecSpansRunOnCodecWorkers)
 {
     obs::traceStart(""); // memory-only

@@ -1,0 +1,325 @@
+/**
+ * @file
+ * The self-profiling runtime's contracts: the memory-timeline profiler
+ * reports a step peak that matches the executor's fmap-pool high-water
+ * exactly with per-slot attribution summing to it (sync mode is the
+ * exact path — every meter op runs on the main thread); the calibration
+ * table round-trips through its versioned JSON, rejects foreign files,
+ * and interpolates; and the planner prices a schedule from a table.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/gist.hpp"
+#include "core/planner.hpp"
+#include "models/builder.hpp"
+#include "obs/calibrate.hpp"
+#include "obs/memprof.hpp"
+#include "obs/profreport.hpp"
+#include "util/rng.hpp"
+
+namespace gist {
+namespace {
+
+Graph
+chain(std::int64_t batch = 4)
+{
+    NetBuilder net(batch, 3, 8, 8);
+    net.conv(6, 3, 1, 1, "conv1");
+    net.relu("relu1");
+    net.conv(6, 3, 1, 1, "conv2");
+    net.relu("relu2");
+    net.maxpool(2, 2, 0, "pool1");
+    net.fc(5, "fc");
+    net.loss(5);
+    return net.take();
+}
+
+struct Rig
+{
+    Graph g;
+    std::unique_ptr<Executor> exec;
+
+    explicit Rig(const GistConfig &cfg) : g(chain())
+    {
+        Rng rng(2);
+        g.initParams(rng);
+        exec = std::make_unique<Executor>(g);
+        applyToExecutor(buildSchedule(g, cfg), *exec);
+        exec->setAsyncCodec(false, 1); // sync = the exact-metering path
+    }
+
+    void
+    step()
+    {
+        Rng drng(3);
+        const Tensor batch =
+            Tensor::uniform(g.node(0).out_shape, drng, 0.0f, 1.0f);
+        const std::vector<std::int32_t> labels = { 0, 1, 2, 3 };
+        exec->runMinibatch(batch, labels);
+    }
+};
+
+/** Run one profiled step and return the recorded MemProfStep. */
+obs::MemProfStep
+profiledStep(const GistConfig &cfg)
+{
+    obs::memprofReset();
+    obs::memprofStart(""); // collect-only, no file
+    Rig rig(cfg);
+    rig.step();
+    obs::memprofStop();
+    const auto steps = obs::memprofCollect();
+    EXPECT_EQ(steps.size(), 1u);
+    EXPECT_EQ(steps.back().peak_pool_bytes,
+              static_cast<std::int64_t>(
+                  rig.exec->stats().peak_pool_bytes));
+    return steps.back();
+}
+
+std::uint64_t
+attributionSum(const obs::MemProfStep &step)
+{
+    std::uint64_t sum = 0;
+    for (const obs::MemProfSlot &slot : step.peak_attribution)
+        sum += slot.total();
+    return sum;
+}
+
+std::int64_t
+timelineMax(const obs::MemProfStep &step)
+{
+    std::int64_t peak = 0;
+    for (const obs::MemProfSample &s : step.timeline)
+        peak = std::max(peak, s.pool_bytes);
+    return peak;
+}
+
+TEST(MemProf, BaselinePeakAttributionIsExact)
+{
+    const auto step = profiledStep(GistConfig::baseline());
+    EXPECT_GT(step.peak_pool_bytes, 0);
+    EXPECT_EQ(attributionSum(step),
+              static_cast<std::uint64_t>(step.peak_pool_bytes));
+    EXPECT_EQ(timelineMax(step), step.peak_pool_bytes);
+    EXPECT_FALSE(step.peak_node.empty());
+    EXPECT_GE(step.peak_sched_step, 0);
+    EXPECT_FALSE(step.timeline.empty());
+}
+
+TEST(MemProf, EncodedSchedulePeakAttributionIsExact)
+{
+    // Lossy schedule: encoded stashes flow through the Encoded meter
+    // kind; the attribution must still sum to the pool peak exactly.
+    const auto step = profiledStep(GistConfig::lossy(DprFormat::Fp16));
+    EXPECT_GT(step.peak_pool_bytes, 0);
+    EXPECT_EQ(attributionSum(step),
+              static_cast<std::uint64_t>(step.peak_pool_bytes));
+    EXPECT_EQ(timelineMax(step), step.peak_pool_bytes);
+
+    std::uint64_t encoded = 0;
+    for (const obs::MemProfSlot &slot : step.peak_attribution)
+        encoded += slot.encoded_bytes;
+    EXPECT_GT(encoded, 0u)
+        << "lossy schedule shows no encoded bytes at the peak";
+}
+
+TEST(MemProf, DisabledRunRecordsNothing)
+{
+    obs::memprofReset();
+    ASSERT_FALSE(obs::memprofEnabled());
+    Rig rig(GistConfig::lossless());
+    rig.step();
+    EXPECT_TRUE(obs::memprofCollect().empty());
+}
+
+TEST(MemProf, WritesWellFormedJson)
+{
+    obs::memprofReset();
+    obs::memprofStart("");
+    Rig rig(GistConfig::lossless());
+    rig.step();
+    obs::memprofStop();
+
+    const std::string path =
+        ::testing::TempDir() + "gist_memprof_test.json";
+    ASSERT_TRUE(obs::memprofWrite(path));
+    JsonValue root;
+    std::string err;
+    ASSERT_TRUE(obs::loadJsonFile(path, root, &err)) << err;
+    EXPECT_EQ(root.stringOr("kind", ""), "gist-memprof");
+    const JsonValue *steps = root.get("steps");
+    ASSERT_NE(steps, nullptr);
+    ASSERT_TRUE(steps->isArray());
+    ASSERT_FALSE(steps->items().empty());
+    const JsonValue &st = steps->items().front();
+    EXPECT_GT(st.intOr("peak_pool_bytes", 0), 0);
+    ASSERT_NE(st.get("peak_attribution"), nullptr);
+    ASSERT_NE(st.get("timeline"), nullptr);
+    std::remove(path.c_str());
+}
+
+TEST(Calibration, SaveLoadRoundTrip)
+{
+    obs::CalibrationTable table;
+    table.host = "testhost";
+    table.simd = "avx2";
+    table.threads = 4;
+    table.created = "2026-08-08T00:00:00Z";
+    table.entries = { { "gemm", "m=8,n=8,k=8", 768, 1.5e-6 },
+                      { "csr_encode", "numel=1024", 4096, 2.5e-6 } };
+
+    const std::string path =
+        ::testing::TempDir() + "gist_calibration_test.json";
+    ASSERT_TRUE(table.save(path));
+
+    obs::CalibrationTable loaded;
+    std::string err;
+    ASSERT_TRUE(obs::CalibrationTable::load(path, loaded, &err)) << err;
+    EXPECT_EQ(loaded.version, obs::CalibrationTable::kVersion);
+    EXPECT_EQ(loaded.host, table.host);
+    EXPECT_EQ(loaded.simd, table.simd);
+    EXPECT_EQ(loaded.threads, table.threads);
+    EXPECT_EQ(loaded.created, table.created);
+    ASSERT_EQ(loaded.entries.size(), table.entries.size());
+    const obs::CalibrationEntry *e = loaded.find("gemm", "m=8,n=8,k=8");
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->work_bytes, 768u);
+    EXPECT_DOUBLE_EQ(e->seconds, 1.5e-6);
+    std::remove(path.c_str());
+}
+
+TEST(Calibration, RejectsWrongVersionAndKind)
+{
+    const std::string path =
+        ::testing::TempDir() + "gist_calibration_bad.json";
+    {
+        std::ofstream f(path);
+        f << "{\"version\": 99, \"kind\": \"gist-calibration\","
+             " \"entries\": []}";
+    }
+    obs::CalibrationTable out;
+    std::string err;
+    EXPECT_FALSE(obs::CalibrationTable::load(path, out, &err));
+    EXPECT_NE(err.find("version"), std::string::npos) << err;
+    {
+        std::ofstream f(path);
+        f << "{\"version\": 1, \"kind\": \"something-else\","
+             " \"entries\": []}";
+    }
+    EXPECT_FALSE(obs::CalibrationTable::load(path, out, &err));
+    {
+        std::ofstream f(path);
+        f << "this is not json";
+    }
+    EXPECT_FALSE(obs::CalibrationTable::load(path, out, &err));
+    std::remove(path.c_str());
+}
+
+TEST(Calibration, InterpolatesBetweenMeasuredShapes)
+{
+    obs::CalibrationTable table;
+    table.entries = { { "csr_encode", "numel=250", 1000, 1e-6 },
+                      { "csr_encode", "numel=750", 3000, 3e-6 } };
+    // Between the two points: linear in work_bytes.
+    EXPECT_DOUBLE_EQ(table.secondsFor("csr_encode", 2000), 2e-6);
+    // Outside the range: nearest entry's throughput.
+    EXPECT_DOUBLE_EQ(table.secondsFor("csr_encode", 500), 0.5e-6);
+    EXPECT_DOUBLE_EQ(table.secondsFor("csr_encode", 6000), 6e-6);
+    // Unknown kernel: negative sentinel.
+    EXPECT_LT(table.secondsFor("gemm", 1000), 0.0);
+}
+
+TEST(PlannerCost, CollectsScheduleShapesAndPricesThem)
+{
+    Graph g = chain();
+    const BuiltSchedule schedule =
+        buildSchedule(g, GistConfig::lossy(DprFormat::Fp16));
+    const auto shapes = collectKernelShapes(g, schedule);
+    ASSERT_FALSE(shapes.empty());
+
+    bool has_gemm = false, has_im2col = false, has_codec = false;
+    for (const KernelShape &ks : shapes) {
+        has_gemm |= ks.kernel == "gemm";
+        has_im2col |= ks.kernel == "im2col";
+        has_codec |= ks.kernel.find("_encode") != std::string::npos;
+        EXPECT_GT(ks.work_bytes, 0u) << ks.kernel << " " << ks.shape;
+        EXPECT_GT(ks.calls, 0u);
+    }
+    EXPECT_TRUE(has_gemm);
+    EXPECT_TRUE(has_im2col);
+    EXPECT_TRUE(has_codec) << "lossy schedule emitted no codec kernels";
+
+    // A table covering every shape prices the whole step.
+    obs::CalibrationTable table;
+    for (const KernelShape &ks : shapes)
+        table.entries.push_back(
+            { ks.kernel, ks.shape, ks.work_bytes, 1e-6 });
+    const CostEstimate est = estimateStepCost(g, schedule, table);
+    EXPECT_EQ(est.missing, 0);
+    EXPECT_GT(est.total(), 0.0);
+    EXPECT_GT(est.gemm_seconds, 0.0);
+    EXPECT_GT(est.im2col_seconds, 0.0);
+    EXPECT_GT(est.encode_seconds, 0.0);
+    EXPECT_GT(est.decode_seconds, 0.0);
+
+    // An empty table prices nothing and says so.
+    const CostEstimate none =
+        estimateStepCost(g, schedule, obs::CalibrationTable{});
+    EXPECT_EQ(none.total(), 0.0);
+    EXPECT_EQ(none.missing, static_cast<int>(shapes.size()));
+}
+
+TEST(ProfReport, RendersSectionsFromArtifacts)
+{
+    JsonValue trace;
+    std::string err;
+    ASSERT_TRUE(JsonValue::parse(
+        R"({"traceEvents": [
+             {"ph":"X","cat":"fwd","name":"fwd conv1","ts":0,
+              "dur":1000,"tid":0},
+             {"ph":"X","cat":"stall","name":"stall decode conv1",
+              "ts":1000,"dur":500,"tid":0}]})",
+        trace, &err))
+        << err;
+    std::vector<JsonValue> metrics(1);
+    ASSERT_TRUE(JsonValue::parse(
+        R"({"type":"step","codec_stall_seconds":0.5,"codec_stalls":2,
+            "codec_queue_wait_seconds":0.1,"overlap_efficiency":0.75,
+            "codec_queue_peak_depth":3})",
+        metrics[0], &err))
+        << err;
+    JsonValue memprof;
+    ASSERT_TRUE(JsonValue::parse(
+        R"({"kind":"gist-memprof","steps":[
+             {"step":0,"peak_pool_bytes":2048,"peak_sched_step":1,
+              "peak_node":"conv1","arena_high_water":512,
+              "peak_attribution":[
+                {"node":"conv1","value_bytes":2048,"grad_bytes":0,
+                 "encoded_bytes":0,"aux_bytes":0,"total_bytes":2048}],
+              "timeline":[]}]})",
+        memprof, &err))
+        << err;
+
+    const std::string report =
+        obs::renderProfReport(&trace, &metrics, &memprof, {});
+    EXPECT_NE(report.find("top spans"), std::string::npos);
+    EXPECT_NE(report.find("critical path"), std::string::npos);
+    EXPECT_NE(report.find("stall"), std::string::npos);
+    EXPECT_NE(report.find("peak memory attribution"), std::string::npos);
+    EXPECT_NE(report.find("conv1"), std::string::npos);
+
+    // All-null inputs still render (sections are skipped with notes).
+    const std::string empty =
+        obs::renderProfReport(nullptr, nullptr, nullptr, {});
+    EXPECT_NE(empty.find("gist_prof"), std::string::npos);
+}
+
+} // namespace
+} // namespace gist

@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Per-host kernel cost calibrator: enumerates the kernel shapes a
+ * model's schedules dispatch (via collectKernelShapes), times each one
+ * with synthetic data on this machine, and writes the versioned
+ * calibration.json that src/core/planner.cpp's estimateStepCost()
+ * prices schedules from.
+ *
+ *   gist_calibrate [--out calibration.json] [--model tinyvgg]
+ *                  [--batch 32] [--min-ms 5] [--list]
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/planner.hpp"
+#include "encodings/csr.hpp"
+#include "encodings/dpr.hpp"
+#include "models/tiny.hpp"
+#include "obs/calibrate.hpp"
+#include "simd/dispatch.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/im2col.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+using namespace gist;
+
+namespace {
+
+/** Value of an "name=value" field inside a comma-separated shape key. */
+std::int64_t
+keyInt(const std::string &shape, const char *name, std::int64_t def = -1)
+{
+    const std::string tag = std::string(name) + "=";
+    size_t pos = 0;
+    while (pos < shape.size()) {
+        const size_t end = shape.find(',', pos);
+        const std::string field =
+            shape.substr(pos, end == std::string::npos ? end : end - pos);
+        if (field.rfind(tag, 0) == 0)
+            return std::strtoll(field.c_str() + tag.size(), nullptr, 10);
+        if (end == std::string::npos)
+            break;
+        pos = end + 1;
+    }
+    return def;
+}
+
+std::string
+keyStr(const std::string &shape, const char *name)
+{
+    const std::string tag = std::string(name) + "=";
+    size_t pos = 0;
+    while (pos < shape.size()) {
+        const size_t end = shape.find(',', pos);
+        const std::string field =
+            shape.substr(pos, end == std::string::npos ? end : end - pos);
+        if (field.rfind(tag, 0) == 0)
+            return field.substr(tag.size());
+        if (end == std::string::npos)
+            break;
+        pos = end + 1;
+    }
+    return {};
+}
+
+bool
+dprFormatFromName(const std::string &name, DprFormat &out)
+{
+    for (const DprFormat fmt : { DprFormat::Fp32, DprFormat::Fp16,
+                                 DprFormat::Fp10, DprFormat::Fp8 }) {
+        if (name == dprFormatName(fmt)) {
+            out = fmt;
+            return true;
+        }
+    }
+    return false;
+}
+
+/**
+ * Median-of-3 seconds per call: reps are grown until one pass runs at
+ * least @p min_ms, then three passes at that rep count take the best
+ * (min) — robust against scheduler noise on small kernels.
+ */
+template <typename Fn>
+double
+timeKernel(Fn &&fn, double min_ms)
+{
+    using clock = std::chrono::steady_clock;
+    fn(); // warmup (page in buffers, resolve dispatch)
+
+    std::int64_t reps = 1;
+    double elapsed = 0.0;
+    for (;;) {
+        const auto t0 = clock::now();
+        for (std::int64_t i = 0; i < reps; ++i)
+            fn();
+        elapsed = std::chrono::duration<double>(clock::now() - t0).count();
+        if (elapsed * 1e3 >= min_ms || reps >= (1ll << 22))
+            break;
+        reps *= 2;
+    }
+    double best = elapsed / static_cast<double>(reps);
+    for (int pass = 0; pass < 2; ++pass) {
+        const auto t0 = clock::now();
+        for (std::int64_t i = 0; i < reps; ++i)
+            fn();
+        const double dt =
+            std::chrono::duration<double>(clock::now() - t0).count();
+        best = std::min(best, dt / static_cast<double>(reps));
+    }
+    return best;
+}
+
+/** Uniform floats with ~50% exact zeros (the paper's ReLU sparsity). */
+std::vector<float>
+sparseValues(std::int64_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> v(static_cast<size_t>(n));
+    for (auto &x : v) {
+        const double u = rng.uniform();
+        x = u < 0.5 ? 0.0f : static_cast<float>(u);
+    }
+    return v;
+}
+
+std::vector<float>
+denseValues(std::int64_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> v(static_cast<size_t>(n));
+    for (auto &x : v)
+        x = static_cast<float>(rng.uniform()) - 0.5f;
+    return v;
+}
+
+/** Time one (kernel, shape) with synthetic operands; false = unknown. */
+bool
+measure(const KernelShape &ks, double min_ms, double &seconds)
+{
+    if (ks.kernel == "gemm") {
+        const std::int64_t m = keyInt(ks.shape, "m");
+        const std::int64_t n = keyInt(ks.shape, "n");
+        const std::int64_t k = keyInt(ks.shape, "k");
+        if (m <= 0 || n <= 0 || k <= 0)
+            return false;
+        const auto a = denseValues(m * k, 11);
+        const auto b = denseValues(k * n, 12);
+        std::vector<float> c(static_cast<size_t>(m * n), 0.0f);
+        seconds = timeKernel(
+            [&] {
+                gemm(false, false, m, n, k, 1.0f, a.data(), b.data(),
+                     0.0f, c.data());
+            },
+            min_ms);
+        return true;
+    }
+    if (ks.kernel == "im2col") {
+        const ConvGeometry g{ keyInt(ks.shape, "c"),
+                              keyInt(ks.shape, "h"),
+                              keyInt(ks.shape, "w"),
+                              keyInt(ks.shape, "kh"),
+                              keyInt(ks.shape, "kw"),
+                              keyInt(ks.shape, "sh", 1),
+                              keyInt(ks.shape, "sw", 1),
+                              keyInt(ks.shape, "ph", 0),
+                              keyInt(ks.shape, "pw", 0) };
+        if (g.in_c <= 0 || g.in_h <= 0 || g.in_w <= 0)
+            return false;
+        const auto image = denseValues(g.in_c * g.in_h * g.in_w, 13);
+        std::vector<float> cols(
+            static_cast<size_t>(g.colRows() * g.colCols()), 0.0f);
+        seconds = timeKernel(
+            [&] { im2col(g, image.data(), cols.data()); }, min_ms);
+        return true;
+    }
+    if (ks.kernel == "csr_encode" || ks.kernel == "csr_decode") {
+        const std::int64_t numel = keyInt(ks.shape, "numel");
+        if (numel <= 0)
+            return false;
+        const auto values = sparseValues(numel, 14);
+        CsrBuffer buf;
+        buf.setConfig(CsrConfig{});
+        if (ks.kernel == "csr_encode") {
+            seconds = timeKernel(
+                [&] {
+                    buf.encode(std::span<const float>(values));
+                },
+                min_ms);
+        } else {
+            buf.encode(std::span<const float>(values));
+            std::vector<float> out(static_cast<size_t>(numel));
+            seconds = timeKernel(
+                [&] { buf.decode(std::span<float>(out)); }, min_ms);
+        }
+        return true;
+    }
+    if (ks.kernel == "dpr_encode" || ks.kernel == "dpr_decode") {
+        const std::int64_t numel = keyInt(ks.shape, "numel");
+        DprFormat fmt = DprFormat::Fp16;
+        if (numel <= 0 || !dprFormatFromName(keyStr(ks.shape, "fmt"), fmt))
+            return false;
+        const auto values = denseValues(numel, 15);
+        DprBuffer buf;
+        if (ks.kernel == "dpr_encode") {
+            seconds = timeKernel(
+                [&] {
+                    buf.encode(fmt, std::span<const float>(values));
+                },
+                min_ms);
+        } else {
+            buf.encode(fmt, std::span<const float>(values));
+            std::vector<float> out(static_cast<size_t>(numel));
+            seconds = timeKernel(
+                [&] { buf.decode(std::span<float>(out)); }, min_ms);
+        }
+        return true;
+    }
+    return false;
+}
+
+Graph
+modelByName(const std::string &name, std::int64_t batch)
+{
+    if (name == "tinyvgg")
+        return models::tinyVgg(batch);
+    if (name == "tinyalexnet")
+        return models::tinyAlexnet(batch);
+    if (name == "tinynin")
+        return models::tinyNin(batch);
+    if (name == "tinyresnet")
+        return models::tinyResnet(batch);
+    std::fprintf(stderr,
+                 "unknown model '%s' (tinyvgg, tinyalexnet, tinynin, "
+                 "tinyresnet)\n",
+                 name.c_str());
+    std::exit(2);
+}
+
+std::string
+utcNow()
+{
+    char buf[32];
+    const std::time_t now = std::time(nullptr);
+    std::tm tm{};
+    gmtime_r(&now, &tm);
+    std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "calibration.json";
+    std::string model = "tinyvgg";
+    std::int64_t batch = 32;
+    double min_ms = 5.0;
+    bool list_only = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--out")
+            out_path = next();
+        else if (arg == "--model")
+            model = next();
+        else if (arg == "--batch")
+            batch = std::strtoll(next(), nullptr, 10);
+        else if (arg == "--min-ms")
+            min_ms = std::strtod(next(), nullptr);
+        else if (arg == "--list")
+            list_only = true;
+        else {
+            std::fprintf(stderr,
+                         "usage: gist_calibrate [--out file] [--model m] "
+                         "[--batch n] [--min-ms x] [--list]\n");
+            return arg == "--help" ? 0 : 2;
+        }
+    }
+
+    // Union of kernel shapes over the schedule space the planner
+    // explores: baseline has no codecs, lossless adds CSR, the lossy
+    // configs add each DPR width.
+    std::vector<KernelShape> shapes;
+    const auto merge = [&shapes](std::vector<KernelShape> more) {
+        for (KernelShape &ks : more) {
+            bool found = false;
+            for (KernelShape &have : shapes)
+                if (have.kernel == ks.kernel && have.shape == ks.shape) {
+                    found = true;
+                    break;
+                }
+            if (!found)
+                shapes.push_back(std::move(ks));
+        }
+    };
+    for (const GistConfig &cfg :
+         { GistConfig::baseline(), GistConfig::lossless(),
+           GistConfig::lossy(DprFormat::Fp16),
+           GistConfig::lossy(DprFormat::Fp8) }) {
+        Graph g = modelByName(model, batch);
+        merge(collectKernelShapes(g, buildSchedule(g, cfg)));
+    }
+
+    if (list_only) {
+        for (const KernelShape &ks : shapes)
+            std::printf("%-12s %-44s %12llu bytes x%llu\n",
+                        ks.kernel.c_str(), ks.shape.c_str(),
+                        static_cast<unsigned long long>(ks.work_bytes),
+                        static_cast<unsigned long long>(ks.calls));
+        return 0;
+    }
+
+    obs::CalibrationTable table;
+    char host[256] = "unknown";
+    if (gethostname(host, sizeof host - 1) != 0)
+        std::strcpy(host, "unknown");
+    table.host = host;
+    table.simd = simd::backendName(simd::activeBackend());
+    table.threads = numThreads();
+    table.created = utcNow();
+
+    std::printf("calibrating %zu kernel shapes (%s, %s, %d threads)\n",
+                shapes.size(), table.host.c_str(), table.simd.c_str(),
+                table.threads);
+    int skipped = 0;
+    for (const KernelShape &ks : shapes) {
+        double seconds = 0.0;
+        if (!measure(ks, min_ms, seconds)) {
+            ++skipped;
+            continue;
+        }
+        table.entries.push_back(
+            { ks.kernel, ks.shape, ks.work_bytes, seconds });
+        std::printf("  %-12s %-44s %9.3f us  %7.2f GB/s\n",
+                    ks.kernel.c_str(), ks.shape.c_str(), seconds * 1e6,
+                    table.entries.back().gbps());
+    }
+    if (skipped > 0)
+        std::printf("  (%d shapes had no measurable kernel)\n", skipped);
+
+    if (!table.save(out_path))
+        return 1;
+    std::printf("wrote %zu entries to %s\n", table.entries.size(),
+                out_path.c_str());
+    return 0;
+}
