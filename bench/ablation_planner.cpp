@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Budget ablation for the hybrid planner: the measured time-vs-footprint
+ * frontier of the budget-driven hybrid plan against the two pure
+ * policies it generalizes — pure Gist (lossless encodings, no budget)
+ * and pure recompute (gradient checkpointing at the cheapest interval
+ * that fits the budget). All three run the *real* executor on the
+ * fig09-style workload (tiny ResNet, batch 32, synthetic minibatches), so
+ * every row is a measured seconds-per-minibatch plus a measured
+ * ExecStats peak — not a model.
+ *
+ * Usage: ablation_planner [--mem-budget <size>] [--json <path>]
+ *                         [--steps <n>] [--model <name>]
+ *   --mem-budget  run one absolute budget instead of the default sweep
+ *                 over fractions of the measured pure-Gist peak
+ *   --json        write a {"bench":"ablation_planner",...} record for
+ *                 the BENCH_parallel.json trajectory (regression gate)
+ *   --steps       timed minibatches per policy (default 6)
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "baselines/recompute.hpp"
+#include "bench_common.hpp"
+#include "core/gist.hpp"
+#include "models/tiny.hpp"
+#include "util/rng.hpp"
+
+using namespace gist;
+
+namespace {
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+struct Measured
+{
+    double s_per_mb = 0.0;        ///< best-of timed minibatches
+    std::uint64_t peak_bytes = 0; ///< max ExecStats::peak_pool_bytes
+};
+
+/**
+ * Run @p steps identical synthetic minibatches under @p schedule and
+ * return the best (min) seconds per minibatch plus the measured pool
+ * peak. The first minibatch is a warm-up (pool growth, first-touch)
+ * and is excluded from the timing but not from the peak.
+ */
+Measured
+measure(Graph &g, const BuiltSchedule &schedule, int steps)
+{
+    Rng rng(7);
+    g.initParams(rng);
+    Executor exec(g);
+    applyToExecutor(schedule, exec);
+
+    Rng drng(8);
+    const std::int64_t batch = g.node(0).out_shape.dim(0);
+    std::vector<std::int32_t> labels(static_cast<size_t>(batch));
+    for (std::int64_t i = 0; i < batch; ++i)
+        labels[static_cast<size_t>(i)] =
+            static_cast<std::int32_t>(i % models::kTinyClasses);
+    const Tensor input =
+        Tensor::uniform(g.node(0).out_shape, drng, 0.0f, 1.0f);
+
+    Measured m;
+    m.s_per_mb = 1e30;
+    for (int s = 0; s < steps + 1; ++s) {
+        const double t0 = now();
+        exec.runMinibatch(input, labels);
+        const double dt = now() - t0;
+        if (s > 0)
+            m.s_per_mb = std::min(m.s_per_mb, dt);
+        m.peak_bytes =
+            std::max(m.peak_bytes, exec.stats().peak_pool_bytes);
+    }
+    return m;
+}
+
+struct Row
+{
+    std::string name;
+    std::uint64_t budget = 0; ///< 0 = unconstrained
+    bool feasible = true;
+    std::uint64_t planned_peak = 0; ///< 0 = policy has no model
+    Measured meas;
+    std::string detail;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::applyObsFlags(argc, argv);
+    const std::uint64_t fixed_budget = bench::memBudgetFlag(argc, argv);
+    int steps = 6;
+    std::string json_path;
+    std::string model_name = "ResNet";
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0)
+            json_path = argv[i + 1];
+        else if (std::strcmp(argv[i], "--steps") == 0)
+            steps = std::max(1, std::atoi(argv[i + 1]));
+        else if (std::strcmp(argv[i], "--model") == 0)
+            model_name = argv[i + 1];
+    }
+
+    bench::banner("Planner ablation",
+                  "hybrid plan vs pure Gist vs pure recompute",
+                  "ROADMAP item 3: one planner owning the "
+                  "encode-vs-recompute-vs-keep trade under a budget");
+
+    const models::ModelEntry *entry = nullptr;
+    for (const auto &e : models::tinyModels())
+        if (model_name == e.name)
+            entry = &e;
+    if (!entry) {
+        std::fprintf(stderr, "unknown --model '%s'\n",
+                     model_name.c_str());
+        return 2;
+    }
+    const std::int64_t batch = 32;
+
+    // --- the two unconstrained anchors ---
+    Graph gb = entry->build(batch);
+    const Measured base =
+        measure(gb, buildSchedule(gb, GistConfig::baseline()), steps);
+    Graph gg = entry->build(batch);
+    const Measured gist =
+        measure(gg, buildSchedule(gg, GistConfig::lossless()), steps);
+    std::printf("%s batch %lld: baseline peak %s (%.4f s/mb), "
+                "pure-Gist peak %s (%.4f s/mb)\n\n",
+                entry->name.c_str(), static_cast<long long>(batch),
+                bench::mb(base.peak_bytes).c_str(), base.s_per_mb,
+                bench::mb(gist.peak_bytes).c_str(), gist.s_per_mb);
+
+    // --- pure recompute, one measured point per interval ---
+    struct RecPoint
+    {
+        int interval;
+        Measured meas;
+    };
+    std::vector<RecPoint> rec_points;
+    for (const int k : { 2, 3, 4, 6, 8, 12 }) {
+        Graph g = entry->build(batch);
+        rec_points.push_back(
+            { k, measure(g, recomputeSchedule(g, k), steps) });
+    }
+
+    // Cheapest (in time) recompute point whose measured peak fits.
+    auto best_recompute = [&](std::uint64_t budget) -> const RecPoint * {
+        const RecPoint *best = nullptr;
+        for (const auto &p : rec_points) {
+            if (p.meas.peak_bytes > budget)
+                continue;
+            if (!best || p.meas.s_per_mb < best->meas.s_per_mb)
+                best = &p;
+        }
+        return best;
+    };
+
+    std::vector<std::uint64_t> budgets;
+    if (fixed_budget > 0) {
+        budgets.push_back(fixed_budget);
+    } else {
+        // Sweep fractions of the measured pure-Gist peak; 0.70 is the
+        // acceptance point (30% below pure Gist).
+        for (const double f : { 0.95, 0.85, 0.70, 0.55, 0.40 })
+            budgets.push_back(static_cast<std::uint64_t>(
+                static_cast<double>(gist.peak_bytes) * f));
+    }
+
+    std::vector<Row> rows;
+    rows.push_back({ "baseline", 0, true, 0, base, "keep everything" });
+    rows.push_back({ "gist-lossless", 0, true, 0, gist, "no budget" });
+
+    std::string plan_json; // deepest feasible hybrid plan, for --json
+    for (const std::uint64_t budget : budgets) {
+        Graph g = entry->build(batch);
+        GistConfig cfg = GistConfig::lossless();
+        cfg.mem_budget_bytes = budget;
+        const BuiltSchedule schedule = buildSchedule(g, cfg);
+        Row hy;
+        hy.name = "hybrid";
+        hy.budget = budget;
+        hy.feasible = schedule.hybrid.feasible;
+        hy.planned_peak = schedule.hybrid.planned_peak_bytes;
+        hy.meas = measure(g, schedule, steps);
+        char d[96];
+        std::snprintf(d, sizeof(d), "planned peak %s%s",
+                      bench::mb(hy.planned_peak).c_str(),
+                      hy.feasible ? "" : " (infeasible)");
+        hy.detail = d;
+        rows.push_back(hy);
+        if (hy.feasible)
+            plan_json = hybridPlanJson(schedule);
+
+        Row rc;
+        rc.name = "recompute";
+        rc.budget = budget;
+        if (const RecPoint *p = best_recompute(budget)) {
+            rc.meas = p->meas;
+            rc.detail = "k=" + std::to_string(p->interval);
+        } else {
+            rc.feasible = false;
+            rc.meas.s_per_mb = 0.0;
+            rc.detail = "no interval fits";
+        }
+        rows.push_back(rc);
+    }
+
+    Table table({ "policy", "budget", "measured peak", "fits", "s/mb",
+                  "overhead", "detail" });
+    for (const Row &r : rows) {
+        const bool fits =
+            r.budget == 0 ||
+            (r.feasible && r.meas.peak_bytes <= r.budget);
+        char t[32];
+        std::snprintf(t, sizeof(t), "%.4f", r.meas.s_per_mb);
+        table.addRow(
+            { r.name, r.budget ? bench::mb(r.budget) : "-",
+              r.feasible ? bench::mb(r.meas.peak_bytes) : "-",
+              r.budget == 0 ? "-" : (fits ? "yes" : "NO"),
+              r.feasible ? t : "-",
+              r.feasible && base.s_per_mb > 0.0
+                  ? formatPercent(r.meas.s_per_mb / base.s_per_mb - 1.0)
+                  : "-",
+              r.detail });
+    }
+    table.print();
+    bench::note("hybrid rows run the budget-driven planner (keep / CSR "
+                "/ recompute per stash slot); recompute rows pick the "
+                "fastest checkpoint interval whose measured peak fits "
+                "the same budget. All rows are measured executor runs "
+                "on identical minibatches.");
+
+    if (!json_path.empty()) {
+        std::FILE *f = std::fopen(json_path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+            return 1;
+        }
+        std::fprintf(f,
+                     "{\n  \"bench\": \"ablation_planner\",\n"
+                     "  \"model\": \"%s\",\n  \"batch\": %lld,\n"
+                     "  \"gist_peak_bytes\": %llu,\n  \"rows\": [\n",
+                     entry->name.c_str(), static_cast<long long>(batch),
+                     static_cast<unsigned long long>(gist.peak_bytes));
+        for (size_t i = 0; i < rows.size(); ++i) {
+            const Row &r = rows[i];
+            const double frac =
+                gist.peak_bytes > 0
+                    ? static_cast<double>(r.budget) /
+                          static_cast<double>(gist.peak_bytes)
+                    : 0.0;
+            char name[64];
+            if (r.budget > 0)
+                std::snprintf(name, sizeof(name), "%s@%.2f",
+                              r.name.c_str(), frac);
+            else
+                std::snprintf(name, sizeof(name), "%s", r.name.c_str());
+            std::fprintf(
+                f,
+                "    {\"name\": \"%s\", \"budget_bytes\": %llu, "
+                "\"feasible\": %s, \"peak_bytes\": %llu, "
+                "\"s_per_mb\": %.6f, \"mb_per_s\": %.4f}%s\n",
+                name, static_cast<unsigned long long>(r.budget),
+                r.feasible ? "true" : "false",
+                static_cast<unsigned long long>(r.meas.peak_bytes),
+                r.meas.s_per_mb,
+                r.meas.s_per_mb > 0.0 ? 1.0 / r.meas.s_per_mb : 0.0,
+                i + 1 < rows.size() ? "," : "");
+        }
+        std::fprintf(f, "  ],\n  \"plan\": %s\n}\n",
+                     plan_json.empty() ? "null" : plan_json.c_str());
+        std::fclose(f);
+        std::printf("json written to %s\n", json_path.c_str());
+    }
+    return 0;
+}

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <string>
 
+#include "core/config.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/parallel.hpp"
@@ -71,6 +72,21 @@ applyObsFlags(int argc, char **argv)
         else if (std::strcmp(argv[i], "--metrics") == 0)
             obs::metricsOpen(argv[++i]);
     }
+}
+
+/**
+ * Scan argv for `--mem-budget <size>` and return the parsed byte count
+ * (k/m/g suffixes per parseByteSize), 0 when the flag is absent. The
+ * training benches feed this into GistConfig::mem_budget_bytes so the
+ * hybrid planner runs in the measured loop.
+ */
+inline std::uint64_t
+memBudgetFlag(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], "--mem-budget") == 0)
+            return parseByteSize(argv[i + 1]);
+    return 0;
 }
 
 } // namespace gist::bench

@@ -7,12 +7,62 @@
  * encodings are bandwidth-cheap.
  */
 
+#include <algorithm>
+#include <chrono>
+
 #include "baselines/recompute.hpp"
 #include "baselines/swap_sim.hpp"
 #include "bench_common.hpp"
+#include "models/tiny.hpp"
 #include "models/zoo.hpp"
+#include "util/rng.hpp"
 
 using namespace gist;
+
+namespace {
+
+/**
+ * Measured arm: run the tiny variant with the executor's real replay
+ * machinery and report seconds/minibatch plus the measured pool peak.
+ */
+struct MeasuredRun
+{
+    double s_per_mb = 0.0;
+    std::uint64_t peak_bytes = 0;
+};
+
+MeasuredRun
+measureSchedule(Graph &g, const BuiltSchedule &schedule, int steps = 4)
+{
+    Rng rng(7);
+    g.initParams(rng);
+    Executor exec(g);
+    applyToExecutor(schedule, exec);
+    Rng drng(8);
+    const std::int64_t batch = g.node(0).out_shape.dim(0);
+    std::vector<std::int32_t> labels(static_cast<size_t>(batch));
+    for (std::int64_t i = 0; i < batch; ++i)
+        labels[static_cast<size_t>(i)] =
+            static_cast<std::int32_t>(i % models::kTinyClasses);
+    const Tensor input =
+        Tensor::uniform(g.node(0).out_shape, drng, 0.0f, 1.0f);
+    MeasuredRun m;
+    m.s_per_mb = 1e30;
+    for (int s = 0; s < steps + 1; ++s) {
+        const auto t0 = std::chrono::steady_clock::now();
+        exec.runMinibatch(input, labels);
+        const double dt = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+        if (s > 0) // first step is pool/first-touch warm-up
+            m.s_per_mb = std::min(m.s_per_mb, dt);
+        m.peak_bytes =
+            std::max(m.peak_bytes, exec.stats().peak_pool_bytes);
+    }
+    return m;
+}
+
+} // namespace
 
 int
 main()
@@ -68,5 +118,43 @@ main()
                 "strategies planned over identical graphs. The paper "
                 "notes the two are composable (recompute works for e.g. "
                 "batch-norm while Gist covers ReLU maps).");
+
+    // --- measured arm: the executor's real on-demand replays on the
+    //     tiny suite (bitwise-identical to keeping, asserted in tests).
+    std::printf("\nmeasured on this CPU (tiny suite, batch 32, real "
+                "replays):\n");
+    Table measured({ "network", "strategy", "measured peak", "s/mb",
+                     "time overhead" });
+    for (const auto &entry : models::tinyModels()) {
+        Graph gb = entry.build(32);
+        const MeasuredRun base_run =
+            measureSchedule(gb, buildSchedule(gb, GistConfig::baseline()));
+        char bt[32];
+        std::snprintf(bt, sizeof(bt), "%.4f", base_run.s_per_mb);
+        measured.addRow({ entry.name, "baseline",
+                          bench::mb(base_run.peak_bytes), bt, "-" });
+        std::vector<int> intervals = { 4 };
+        if (sqrtCheckpointInterval(gb) != 4)
+            intervals.push_back(sqrtCheckpointInterval(gb));
+        for (const int k : intervals) {
+            Graph g = entry.build(32);
+            const MeasuredRun run =
+                measureSchedule(g, recomputeSchedule(g, k));
+            char t[32];
+            std::snprintf(t, sizeof(t), "%.4f", run.s_per_mb);
+            measured.addRow(
+                { entry.name, "recompute k=" + std::to_string(k),
+                  bench::mb(run.peak_bytes), t,
+                  formatPercent(run.s_per_mb / base_run.s_per_mb -
+                                1.0) });
+        }
+        measured.addSeparator();
+    }
+    measured.print();
+    bench::note("measured rows drop every non-checkpoint stash and "
+                "re-run the producer segment on demand during backward "
+                "(baselines/recompute.hpp recomputeSchedule); the "
+                "modeled table above prices the same policy on Titan-X "
+                "parameters.");
     return 0;
 }

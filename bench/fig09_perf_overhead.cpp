@@ -22,10 +22,14 @@ using namespace gist;
 
 namespace {
 
+std::uint64_t g_mem_budget = 0; ///< --mem-budget: hybrid-planner smoke
+
 double
 measureSecondsPerMinibatch(const models::ModelEntry &entry,
-                           const GistConfig &cfg)
+                           const GistConfig &cfg_in)
 {
+    GistConfig cfg = cfg_in;
+    cfg.mem_budget_bytes = g_mem_budget;
     Graph g = entry.build(32);
     Rng rng(7);
     g.initParams(rng);
@@ -55,6 +59,11 @@ main(int argc, char **argv)
     bench::banner("Figure 9", "performance overhead of Gist encodings",
                   "~3% lossless, ~4% lossless+lossy on average; "
                   "max 7% (VGG16)");
+    g_mem_budget = bench::memBudgetFlag(argc, argv);
+    if (g_mem_budget > 0)
+        std::printf("mem budget: %s (hybrid planner active on every "
+                    "measured config)\n",
+                    bench::mb(g_mem_budget).c_str());
 
     std::printf("\n(a) measured on this CPU, tiny model suite:\n");
     Table measured({ "network", "baseline s/mb", "lossless", "overhead",

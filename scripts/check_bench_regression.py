@@ -2,9 +2,11 @@
 """Perf-regression gate over the BENCH_parallel.json trajectory.
 
 The trajectory file is JSONL: thread-scaling records ({"threads": N,
-"paths": [...]}) and SIMD records ({"bench": "micro_simd",
-"kernels": [...]}) appended by scripts/run_micro_parallel.sh, one per
-bench run, stamped with commit and date.
+"paths": [...]}), SIMD records ({"bench": "micro_simd",
+"kernels": [...]}) appended by scripts/run_micro_parallel.sh, and
+planner-frontier records ({"bench": "ablation_planner",
+"rows": [...]}) appended by the CI release job — one per bench run,
+stamped with commit and date.
 
 This gate compares the newest record of each type against the previous
 record of the same type (same thread count for scaling records) and
@@ -42,12 +44,18 @@ def load_rows(path):
 
 
 def throughputs(row):
-    """Map path/kernel name -> GB/s for one trajectory record."""
+    """Map path/kernel name -> throughput for one trajectory record:
+    GB/s for kernel records, minibatches/s for planner-frontier rows
+    (feasible rows only — infeasible rows have no measured time)."""
     out = {}
     if row.get("bench") == "micro_simd":
         for k in row.get("kernels", []):
             if "simd_gbps" in k:
                 out[k["name"]] = k["simd_gbps"]
+    elif row.get("bench") == "ablation_planner":
+        for r in row.get("rows", []):
+            if r.get("feasible") and r.get("mb_per_s", 0) > 0:
+                out[r["name"]] = r["mb_per_s"]
     else:
         for p in row.get("paths", []):
             if "gbps" in p:
@@ -60,6 +68,8 @@ def row_key(row):
     same thread count for scaling records)."""
     if row.get("bench") == "micro_simd":
         return "micro_simd"
+    if row.get("bench") == "ablation_planner":
+        return f"ablation_planner@{row.get('model', '?')}"
     return f"scaling@{row.get('threads', '?')}threads"
 
 

@@ -6,6 +6,24 @@
 
 namespace gist {
 
+BuiltSchedule
+recomputeSchedule(Graph &graph, int interval)
+{
+    GIST_ASSERT(interval >= 1, "checkpoint interval must be >= 1");
+    BuiltSchedule schedule = buildSchedule(graph, GistConfig::baseline());
+    const ScheduleInfo sched(graph);
+    for (const auto &node : graph.nodes()) {
+        if (!sched.stashed(node.id))
+            continue;
+        if (node.kind() == LayerKind::Input ||
+            (node.id % interval) == 0)
+            continue; // checkpoint: stays resident, bounds the segment
+        schedule.decisions[static_cast<size_t>(node.id)].repr =
+            StashPlan::Repr::Recompute;
+    }
+    return schedule;
+}
+
 int
 sqrtCheckpointInterval(const Graph &graph)
 {

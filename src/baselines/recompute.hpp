@@ -32,9 +32,24 @@ struct RecomputeResult
  * Simulate checkpointing every @p interval nodes (interval >= 1;
  * 1 keeps everything = the baseline). The graph is put in baseline
  * (dense) mode.
+ *
+ * This is the *analytic* model (closed-form liveness + GPU cost
+ * table); recomputeSchedule() below is the measured counterpart that
+ * actually runs the replays.
  */
 RecomputeResult simulateRecompute(Graph &graph, int interval,
                                   const GpuModelParams &params);
+
+/**
+ * The pure-recompute policy as a runnable schedule: baseline (dense)
+ * mode with every stashed slot that is not a checkpoint flipped to
+ * StashPlan::Repr::Recompute. Checkpoints (the graph input and every
+ * @p interval-th node) stay resident and bound each replay segment —
+ * the executor's on-demand replay then *measures* what
+ * simulateRecompute() models. Apply with applyToExecutor() like any
+ * other schedule; results are bitwise-identical to keeping everything.
+ */
+BuiltSchedule recomputeSchedule(Graph &graph, int interval);
 
 /** Chen et al.'s sqrt(N) heuristic interval for @p graph. */
 int sqrtCheckpointInterval(const Graph &graph);

@@ -1,0 +1,42 @@
+#include "core/config.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/logging.hpp"
+
+namespace gist {
+
+std::uint64_t
+parseByteSize(const std::string &text)
+{
+    if (text.empty()) {
+        GIST_WARN("empty byte-size string");
+        return 0;
+    }
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || value < 0.0) {
+        GIST_WARN("malformed byte-size '", text, "'");
+        return 0;
+    }
+    double scale = 1.0;
+    std::string suffix;
+    for (const char *p = end; *p != '\0'; ++p)
+        if (!std::isspace(static_cast<unsigned char>(*p)))
+            suffix += static_cast<char>(
+                std::tolower(static_cast<unsigned char>(*p)));
+    if (suffix == "k" || suffix == "kb")
+        scale = 1024.0;
+    else if (suffix == "m" || suffix == "mb")
+        scale = 1024.0 * 1024.0;
+    else if (suffix == "g" || suffix == "gb")
+        scale = 1024.0 * 1024.0 * 1024.0;
+    else if (!suffix.empty()) {
+        GIST_WARN("malformed byte-size suffix '", text, "'");
+        return 0;
+    }
+    return static_cast<std::uint64_t>(value * scale);
+}
+
+} // namespace gist

@@ -11,12 +11,20 @@
 
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "encodings/csr.hpp"
 #include "encodings/dpr.hpp"
 
 namespace gist {
+
+/**
+ * Parse a human byte-size string: a non-negative number with an
+ * optional k/m/g (or kb/mb/gb, any case) suffix, e.g. "64m", "1.5G",
+ * "262144". Returns 0 and warns on malformed input.
+ */
+std::uint64_t parseByteSize(const std::string &text);
 
 /** Enabled Gist optimizations and their parameters. */
 struct GistConfig
@@ -93,6 +101,25 @@ struct GistConfig
      * process exit. Equivalent to GIST_MEMPROF=<path>.
      */
     std::string memprof_path;
+    /**
+     * Peak feature-map-pool budget in bytes. 0 (the default) keeps the
+     * static Table I assignment above. Non-zero hands every stash slot
+     * to the cost-model-driven hybrid planner (core/planner.cpp), which
+     * chooses per slot among {keep FP32, CSR, DPR, recompute} — gated
+     * by the binarize/ssdc/dpr flags — minimizing estimated step time
+     * subject to the modeled peak staying at or under the budget. The
+     * GIST_MEM_BUDGET environment variable (bytes, k/m/g suffixes)
+     * overrides this in buildSchedule().
+     */
+    std::uint64_t mem_budget_bytes = 0;
+    /**
+     * calibration.json (written by tools/gist_calibrate) used to price
+     * the hybrid planner's choices with this host's measured kernel
+     * costs. Empty consults GIST_CALIBRATION; when neither yields a
+     * table the planner falls back to the static roofline model
+     * (perf/gpu_model.hpp).
+     */
+    std::string calibration_path;
 
     /** No optimizations: the CNTK baseline. */
     static GistConfig baseline() { return GistConfig{}; }

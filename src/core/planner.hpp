@@ -109,10 +109,45 @@ struct CostEstimate
  * priced from a measured calibration @p table: exact (kernel, shape)
  * entries when present, work_bytes interpolation otherwise. Kernels the
  * table has never seen contribute zero and bump CostEstimate::missing,
- * so callers can tell a cheap schedule from an unpriced one.
+ * so callers can tell a cheap schedule from an unpriced one. Every
+ * missing shape also bumps the process-global
+ * "gist.planner.missing_shapes" counter (visible in the metrics JSONL
+ * snapshot), and the first call that drops shapes warns on stderr
+ * naming the largest one dropped — a silently-unpriced schedule looks
+ * exactly like a cheap one otherwise.
  */
 CostEstimate estimateStepCost(const Graph &graph,
                               const BuiltSchedule &schedule,
                               const obs::CalibrationTable &table);
+
+/**
+ * The budget-driven hybrid planner (the `--mem-budget` tentpole).
+ *
+ * Re-chooses the storage representation of every stashed slot in
+ * @p schedule among {keep FP32, CSR, DPR, recompute} — CSR only where
+ * the config enables SSDC and the slot classifies ReluConv, DPR only
+ * where the config enables DPR, recompute always — minimizing the
+ * estimated per-step overhead subject to the modeled peak of the
+ * feature-map pool staying at or under @p budget_bytes.
+ *
+ * Greedy over the liveness graph: starting from all-keep it applies
+ * the single-slot upgrade with the best seconds-per-byte score at the
+ * peak until the plan fits (tied-peak steps are handled by scoring
+ * byte reduction *at the peak level* rather than the raw max). The
+ * move chain never raises the modeled peak, so sweeping descending
+ * budgets yields monotonically non-increasing planned peaks. A final
+ * revert pass downgrades expensive choices the peak turned out not to
+ * need. When even the most aggressive plan overshoots, the minimum-peak
+ * plan is kept and HybridPlan::feasible is false (with a warning).
+ *
+ * Choices are priced by @p table (measured host calibration, log-log
+ * interpolated for unmeasured shapes) when non-null, otherwise by the
+ * static roofline model in perf/gpu_model.hpp. Results land in
+ * @p schedule: decisions[].repr is rewritten and schedule.hybrid is
+ * filled (plan summary + per-slot table for the JSON artifacts).
+ */
+void optimizeHybridSchedule(const Graph &graph, BuiltSchedule &schedule,
+                            std::uint64_t budget_bytes,
+                            const obs::CalibrationTable *table);
 
 } // namespace gist

@@ -1,9 +1,12 @@
 #include "core/schedule_builder.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 
+#include "core/planner.hpp"
 #include "layers/pool.hpp"
 #include "layers/relu.hpp"
+#include "obs/calibrate.hpp"
 #include "obs/memprof.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -100,7 +103,87 @@ buildSchedule(Graph &graph, const GistConfig &config)
         }
     }
 
+    // Memory budget: hand every stash slot to the hybrid planner, which
+    // re-chooses the representations (keep / CSR / DPR / recompute)
+    // against the budget. GIST_MEM_BUDGET overrides the config so
+    // benchmarks sweep budgets without a rebuild.
+    std::uint64_t budget = config.mem_budget_bytes;
+    if (const char *env = std::getenv("GIST_MEM_BUDGET"))
+        budget = parseByteSize(env);
+    if (budget > 0) {
+        std::string cal_path = config.calibration_path;
+        if (cal_path.empty())
+            if (const char *env = std::getenv("GIST_CALIBRATION"))
+                cal_path = env;
+        obs::CalibrationTable table;
+        bool have_table = false;
+        if (!cal_path.empty()) {
+            std::string err;
+            have_table = obs::CalibrationTable::load(cal_path, table,
+                                                     &err);
+            if (!have_table)
+                GIST_WARN("hybrid planner falling back to the static "
+                          "cost model: ",
+                          err);
+        }
+        optimizeHybridSchedule(graph, built, budget,
+                               have_table ? &table : nullptr);
+    }
+
     return built;
+}
+
+std::string
+hybridPlanJson(const BuiltSchedule &schedule)
+{
+    const HybridPlan &plan = schedule.hybrid;
+    if (!plan.active)
+        return {};
+    const auto reprName = [](StashPlan::Repr r) {
+        switch (r) {
+          case StashPlan::Repr::Dense: return "keep";
+          case StashPlan::Repr::Csr: return "csr";
+          case StashPlan::Repr::Dpr: return "dpr";
+          case StashPlan::Repr::Recompute: return "recompute";
+        }
+        return "?";
+    };
+    char buf[256];
+    std::string out = "{\"kind\": \"gist-hybrid-plan\", \"version\": 1,";
+    std::snprintf(buf, sizeof buf,
+                  " \"budget_bytes\": %llu, \"feasible\": %s,"
+                  " \"calibrated\": %s, \"keep_peak_bytes\": %llu,"
+                  " \"planned_peak_bytes\": %llu,"
+                  " \"est_overhead_seconds\": %.9g,"
+                  " \"missing_shapes\": %d, \"slots\": [",
+                  static_cast<unsigned long long>(plan.budget_bytes),
+                  plan.feasible ? "true" : "false",
+                  plan.calibrated ? "true" : "false",
+                  static_cast<unsigned long long>(plan.keep_peak_bytes),
+                  static_cast<unsigned long long>(
+                      plan.planned_peak_bytes),
+                  plan.est_overhead_seconds, plan.missing_shapes);
+    out += buf;
+    bool first = true;
+    for (const HybridSlot &slot : plan.slots) {
+        // Node names come from model builders (identifier-style); no
+        // escaping machinery needed for a diagnostics artifact.
+        std::snprintf(buf, sizeof buf,
+                      "%s{\"node\": %d, \"name\": \"%s\","
+                      " \"category\": \"%s\", \"repr\": \"%s\","
+                      " \"fp32_bytes\": %llu, \"stored_bytes\": %llu,"
+                      " \"est_seconds\": %.9g}",
+                      first ? "" : ", ", slot.node, slot.name.c_str(),
+                      stashCategoryName(slot.category),
+                      reprName(slot.repr),
+                      static_cast<unsigned long long>(slot.fp32_bytes),
+                      static_cast<unsigned long long>(slot.stored_bytes),
+                      slot.est_seconds);
+        out += buf;
+        first = false;
+    }
+    out += "]}";
+    return out;
 }
 
 void
@@ -121,6 +204,9 @@ applyToExecutor(const BuiltSchedule &schedule, Executor &exec)
           case StashPlan::Repr::Dpr:
             plan.repr = StashPlan::Repr::Dpr;
             plan.dpr = schedule.config.dpr_format;
+            break;
+          case StashPlan::Repr::Recompute:
+            plan.repr = StashPlan::Repr::Recompute;
             break;
         }
         exec.setStashPlan(node.id, plan);
@@ -163,6 +249,18 @@ applyToExecutor(const BuiltSchedule &schedule, Executor &exec)
         obs::metricsOpen(schedule.config.metrics_path);
     if (!schedule.config.memprof_path.empty())
         obs::memprofStart(schedule.config.memprof_path);
+    // Surface the hybrid plan in the run's artifacts, so gist_prof can
+    // put plan-vs-actual side by side: one "plan" record in the metrics
+    // JSONL and a "plan" object in the memprof JSON.
+    if (schedule.hybrid.active) {
+        const std::string plan_json = hybridPlanJson(schedule);
+        if (obs::metricsEnabled()) {
+            obs::JsonLine line;
+            line.field("record", "plan").raw("plan", plan_json);
+            obs::metricsWrite(line);
+        }
+        obs::memprofSetPlan(plan_json);
+    }
     exec.refreshSchedule();
 }
 

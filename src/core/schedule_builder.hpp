@@ -31,11 +31,43 @@ struct ScheduleDecision
     bool inplace = false;      ///< output aliases its producer's buffer
 };
 
+/** One stash slot's outcome from the budget-driven hybrid planner. */
+struct HybridSlot
+{
+    NodeId node = -1;
+    std::string name;
+    StashCategory category = StashCategory::Other;
+    StashPlan::Repr repr = StashPlan::Repr::Dense;
+    std::uint64_t fp32_bytes = 0;   ///< dense bytes the choice governs
+    std::uint64_t stored_bytes = 0; ///< modeled bytes across the gap
+    double est_seconds = 0.0;       ///< modeled per-step overhead
+};
+
+/**
+ * Summary of the hybrid planner's run (active only when a memory
+ * budget was set). The modeled peak is a conservative upper bound of
+ * the executor's measured ExecStats::peak_pool_bytes, so feasible
+ * plans keep the measured peak at or under the budget too.
+ */
+struct HybridPlan
+{
+    bool active = false;      ///< a budget was set and planning ran
+    bool feasible = true;     ///< planned peak fits the budget
+    bool calibrated = false;  ///< priced from a measured calibration.json
+    std::uint64_t budget_bytes = 0;
+    std::uint64_t keep_peak_bytes = 0;    ///< all-keep modeled peak
+    std::uint64_t planned_peak_bytes = 0; ///< chosen-plan modeled peak
+    double est_overhead_seconds = 0.0;    ///< codec + replay per step
+    int missing_shapes = 0; ///< uncalibrated shapes priced statically
+    std::vector<HybridSlot> slots;        ///< one per stash slot
+};
+
 /** The rewritten schedule: per-node decisions plus the config used. */
 struct BuiltSchedule
 {
     GistConfig config;
     std::vector<ScheduleDecision> decisions;
+    HybridPlan hybrid; ///< inactive unless a mem budget drove the build
 
     const ScheduleDecision &
     of(NodeId id) const
@@ -43,6 +75,14 @@ struct BuiltSchedule
         return decisions[static_cast<size_t>(id)];
     }
 };
+
+/**
+ * The hybrid plan as a JSON object string (single line), the payload
+ * applyToExecutor() emits into the metrics JSONL ("plan" record) and
+ * the memprof JSON so gist_prof can show plan-vs-actual. Empty when
+ * the plan is inactive.
+ */
+std::string hybridPlanJson(const BuiltSchedule &schedule);
 
 /**
  * Apply @p config to @p graph: set layer modes (mutates ReLU/MaxPool

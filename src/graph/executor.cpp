@@ -61,6 +61,14 @@ Executor::Telemetry::Telemetry()
           "gist.codec.queue_wait_ns")),
       codec_run_ns(
           obs::MetricRegistry::instance().counter("gist.codec.run_ns")),
+      recompute_ns(
+          obs::MetricRegistry::instance().counter("gist.recompute.ns")),
+      recompute_segments(obs::MetricRegistry::instance().counter(
+          "gist.recompute.segments")),
+      recompute_nodes(
+          obs::MetricRegistry::instance().counter("gist.recompute.nodes")),
+      recompute_dropped_bytes(obs::MetricRegistry::instance().counter(
+          "gist.recompute.dropped_bytes")),
       codec_queue_depth(
           obs::MetricRegistry::instance().gauge("gist.codec.queue_depth")),
       pool_bytes(obs::MetricRegistry::instance().gauge("gist.fmap_pool.bytes"))
@@ -334,6 +342,16 @@ Executor::retireAfterForward(NodeId id)
     if (st.plan.repr == StashPlan::Repr::Dense)
         return; // stays materialized until its last backward read
 
+    if (st.plan.repr == StashPlan::Repr::Recompute) {
+        // Store nothing: drop the buffer now, replay the producer
+        // segment when the backward pass first reads this slot.
+        tele.recompute_dropped_bytes.add(st.value.bytes());
+        meterSub(id, MemKind::Value, st.value.bytes());
+        st.value.releaseStorage();
+        st.state = BufState::Empty;
+        return;
+    }
+
     // Slot ENCODING: state flips to Encoded on the main thread at
     // submission; the codec worker owns the slot's buffers until the
     // encode ticket is joined (joinEncode/awaitDense/releaseStash).
@@ -561,6 +579,103 @@ Executor::releaseStash(NodeId id)
 }
 
 void
+Executor::ensureRecomputed(NodeId id, int at_step)
+{
+    const auto &st = states[static_cast<size_t>(id)];
+    if (st.plan.repr != StashPlan::Repr::Recompute ||
+        st.state != BufState::Empty || !sched->stashed(id))
+        return;
+    replaySegment(id, at_step);
+}
+
+void
+Executor::replaySegment(NodeId target, int at_step)
+{
+    GIST_TRACE_SCOPE_F("replay", "replay %s",
+                       graph_.node(target).name.c_str());
+    const auto t0 = std::chrono::steady_clock::now();
+
+    // Find the minimal producer segment: walk ancestors from the target
+    // until a materialized frontier. Dense ancestors are available as
+    // is; encoded ancestors decode in place (always cheaper than
+    // replaying past them, and their decode was due by their own first
+    // backward read anyway — this just moves it earlier); only empty
+    // ancestors are re-run.
+    std::vector<NodeId> segment;
+    std::vector<char> visited(static_cast<size_t>(graph_.numNodes()), 0);
+    std::vector<NodeId> stack{ target };
+    while (!stack.empty()) {
+        const NodeId id = stack.back();
+        stack.pop_back();
+        if (visited[static_cast<size_t>(id)])
+            continue;
+        visited[static_cast<size_t>(id)] = 1;
+        auto &st = states[static_cast<size_t>(id)];
+        if (st.state == BufState::Dense)
+            continue;
+        if (st.state == BufState::Encoded) {
+            awaitDense(id); // joins in-flight codec work first
+            continue;
+        }
+        segment.push_back(id);
+        for (NodeId in : graph_.node(id).inputs)
+            stack.push_back(in);
+    }
+    std::sort(segment.begin(), segment.end());
+
+    // Re-run the forward bodies in topological order. FwdCtx::replay
+    // keeps training state (BN running stats, dropout RNG) untouched so
+    // the rebuilt values are bitwise-identical to the dropped ones.
+    for (const NodeId id : segment) {
+        auto &node = graph_.node(id);
+        auto &st = states[static_cast<size_t>(id)];
+        if (st.value.empty())
+            st.value.reallocate();
+        meterAdd(id, MemKind::Value, st.value.bytes());
+        if (node.kind() == LayerKind::Input) {
+            GIST_ASSERT(cur_input_ != nullptr,
+                        "no minibatch input to replay from");
+            st.value = *cur_input_;
+        } else {
+            FwdCtx ctx;
+            for (NodeId in : node.inputs) {
+                const auto &in_st = states[static_cast<size_t>(in)];
+                GIST_ASSERT(in_st.state == BufState::Dense,
+                            "replay input of node ", id,
+                            " not materialized");
+                ctx.inputs.push_back(&in_st.value);
+            }
+            ctx.output = &st.value;
+            ctx.training = true;
+            ctx.replay = true;
+            GIST_TRACE_SCOPE_F("fwd", "replay %s", node.name.c_str());
+            node.layer->forward(ctx);
+            if (forward_quantize != DprFormat::Fp32 &&
+                node.kind() != LayerKind::SoftmaxLoss)
+                dprQuantizeInPlace(forward_quantize, st.value.span());
+        }
+        st.state = BufState::Dense;
+    }
+
+    // Keep replayed slots with a pending backward read at or after the
+    // triggering step — the normal lastBwdRead release path owns them
+    // from here (so one replay serves every dropped slot on the chain).
+    // Everything else was segment scaffolding; release it.
+    for (const NodeId id : segment) {
+        if (sched->stashed(id) && sched->lastBwdRead(id) >= at_step)
+            continue;
+        auto &st = states[static_cast<size_t>(id)];
+        meterSub(id, MemKind::Value, st.value.bytes());
+        st.value.releaseStorage();
+        st.state = BufState::Empty;
+    }
+
+    tele.recompute_ns.add(nanosSince(t0));
+    tele.recompute_segments.add(1);
+    tele.recompute_nodes.add(segment.size());
+}
+
+void
 Executor::forwardOnly(const Tensor &input)
 {
     if (!sched)
@@ -602,6 +717,7 @@ Executor::runMinibatch(const Tensor &input,
     // so warm steps serve all scratch without touching the heap.
     WorkspaceArena::instance().beginStep();
     last_stats = ExecStats{};
+    cur_input_ = &input;
     tele.minibatches.add(1);
     // Per-run deltas of the shared instruments (see ExecStats docs).
     const std::uint64_t encode_ns0 = tele.encode_ns.value();
@@ -610,6 +726,12 @@ Executor::runMinibatch(const Tensor &input,
     const std::uint64_t dense_replaced0 = tele.dense_bytes_replaced.value();
     const std::uint64_t stall_ns0 = tele.codec_stall_ns.value();
     const std::uint64_t stalls0 = tele.codec_stalls.value();
+    const std::uint64_t recompute_ns0 = tele.recompute_ns.value();
+    const std::uint64_t recompute_segments0 =
+        tele.recompute_segments.value();
+    const std::uint64_t recompute_nodes0 = tele.recompute_nodes.value();
+    const std::uint64_t recompute_dropped0 =
+        tele.recompute_dropped_bytes.value();
     const CodecQueueStats q0 = CodecQueue::instance().stats();
     CodecQueue::instance().markDepth();
     tele.pool_bytes.set(0);
@@ -692,6 +814,14 @@ Executor::runMinibatch(const Tensor &input,
                              std::memory_order_relaxed);
 
         const BackwardNeeds needs = node.layer->backwardNeeds();
+        // Rematerialize Recompute-dropped stashes this node is about to
+        // read, before the decode/materialize paths run (those assert
+        // an encoded slot).
+        if (needs.input)
+            for (NodeId in : node.inputs)
+                ensureRecomputed(in, graph_.bwdStep(id));
+        if (needs.output)
+            ensureRecomputed(id, graph_.bwdStep(id));
         // Can this consumer read the encoded stash tile-by-tile instead
         // of forcing a full decode? (Conv backward always supports it;
         // FC only via the fused GEMM B-pack.)
@@ -821,6 +951,16 @@ Executor::runMinibatch(const Tensor &input,
         tele.dense_bytes_replaced.value() - dense_replaced0;
     last_stats.peak_pool_bytes =
         static_cast<std::uint64_t>(tele.pool_bytes.peak());
+    last_stats.recompute_seconds =
+        static_cast<double>(tele.recompute_ns.value() - recompute_ns0) *
+        1e-9;
+    last_stats.recompute_segments =
+        tele.recompute_segments.value() - recompute_segments0;
+    last_stats.recompute_nodes =
+        tele.recompute_nodes.value() - recompute_nodes0;
+    last_stats.recompute_dropped_bytes =
+        tele.recompute_dropped_bytes.value() - recompute_dropped0;
+    cur_input_ = nullptr;
 
     // Stall accounting: per-step deltas of the stall counters (bumped
     // by joinTicket) and of the CodecQueue's own per-ticket stats,

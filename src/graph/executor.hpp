@@ -45,7 +45,15 @@ class LossLayer : public Layer
 /** How a stashed feature map is stored between its two uses. */
 struct StashPlan
 {
-    enum class Repr { Dense, Csr, Dpr };
+    /**
+     * Dense keeps the FP32 buffer; Csr/Dpr encode it at the last
+     * forward read and decode before the first backward read.
+     * Recompute stores *nothing*: the buffer is dropped at retire time
+     * and the minimal producer forward segment is re-run on demand when
+     * the backward pass first reads the slot (gradient-checkpointing
+     * folded into the same per-slot plan space as the encodings).
+     */
+    enum class Repr { Dense, Csr, Dpr, Recompute };
 
     Repr repr = Repr::Dense;
     CsrConfig csr{};                   ///< for Repr::Csr
@@ -87,6 +95,18 @@ struct ExecStats
     std::uint64_t codec_queue_wait_ns = 0; ///< enqueue -> pick-up total
     std::uint64_t codec_run_ns = 0;        ///< codec task execution total
     std::int64_t codec_queue_peak_depth = 0; ///< max queued this step
+
+    /**
+     * Recompute accounting: forward-replay time spent rematerializing
+     * dropped stashes this minibatch, how many segments were replayed,
+     * how many node forwards they re-ran, and the FP32 bytes the drops
+     * freed at retire time (the recompute analogue of
+     * dense_bytes_replaced).
+     */
+    double recompute_seconds = 0.0;
+    std::uint64_t recompute_segments = 0;
+    std::uint64_t recompute_nodes = 0;
+    std::uint64_t recompute_dropped_bytes = 0;
     /**
      * Share of codec run time hidden under main-thread compute:
      * 1 - stall/run (clamped to [0,1]); 1.0 when no codec work ran.
@@ -247,6 +267,22 @@ class Executor
     Tensor &ensureGrad(NodeId id);
     void releaseStash(NodeId id);
 
+    /**
+     * Rematerialize a Recompute-dropped stash (no-op otherwise) before
+     * the backward pass at schedule step @p at_step reads it.
+     */
+    void ensureRecomputed(NodeId id, int at_step);
+    /**
+     * Re-run the minimal producer forward segment that rebuilds @p
+     * target's output: walk ancestors until a materialized (or
+     * decodable) frontier, replay the empty ones in topological order
+     * with FwdCtx::replay set, then release replayed intermediates with
+     * no pending backward read at or after @p at_step. Dropped stashes
+     * on the path are rebuilt by the same replay, so one segment serves
+     * a chain of Recompute slots.
+     */
+    void replaySegment(NodeId target, int at_step);
+
     /** Codec-queue task bodies (run on codec workers in async mode). */
     void encodeSlot(NodeId id);
     void decodeSlot(NodeId id);
@@ -315,6 +351,10 @@ class Executor
         obs::Counter &codec_stalls;
         obs::Counter &codec_queue_wait_ns;
         obs::Counter &codec_run_ns;
+        obs::Counter &recompute_ns;
+        obs::Counter &recompute_segments;
+        obs::Counter &recompute_nodes;
+        obs::Counter &recompute_dropped_bytes;
         obs::Gauge &codec_queue_depth;
         obs::Gauge &pool_bytes;
     };
@@ -330,6 +370,9 @@ class Executor
     bool fused_consume = false;
     double sparse_gemm_threshold = 2.0;
     bool async_codec = false;
+    /** Minibatch input of the in-flight runMinibatch, for replaying an
+     *  Input-node stash (the cheapest possible recompute: a memcpy). */
+    const Tensor *cur_input_ = nullptr;
 
     /** Does @p consumer read its encoded inputs tile-by-tile? */
     bool chunkedReader(NodeId consumer) const;

@@ -62,6 +62,16 @@ struct FwdCtx
     std::vector<const Tensor *> inputs;
     Tensor *output = nullptr;
     bool training = true; ///< stash auxiliary data for backward?
+    /**
+     * This forward is a recompute replay of a stash the executor dropped
+     * at forward time (StashPlan::Repr::Recompute). The layer must
+     * reproduce its original output bitwise *without* re-mutating
+     * training state: batchnorm skips the running-stat update, dropout
+     * reuses its captured keep mask instead of advancing its RNG.
+     * Deterministic aux (ReLU masks, pool argmax maps) may simply be
+     * rewritten — the bytes come out identical.
+     */
+    bool replay = false;
 };
 
 /**

@@ -105,10 +105,15 @@ BatchNormLayer::forward(const FwdCtx &ctx)
             const float var_c =
                 static_cast<float>(var_sum / static_cast<double>(m));
             invstd_c = 1.0f / std::sqrt(var_c + eps);
-            running_mean.at(c) =
-                momentum * running_mean.at(c) + (1 - momentum) * mean_c;
-            running_var.at(c) =
-                momentum * running_var.at(c) + (1 - momentum) * var_c;
+            // A recompute replay re-derives the minibatch statistics
+            // (bitwise, same deterministic accumulation) but must not
+            // fold them into the running averages a second time.
+            if (!ctx.replay) {
+                running_mean.at(c) = momentum * running_mean.at(c) +
+                                     (1 - momentum) * mean_c;
+                running_var.at(c) =
+                    momentum * running_var.at(c) + (1 - momentum) * var_c;
+            }
             saved_mean[static_cast<size_t>(c)] = mean_c;
             saved_invstd[static_cast<size_t>(c)] = invstd_c;
         } else {

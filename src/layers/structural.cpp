@@ -128,6 +128,18 @@ DropoutLayer::forward(const FwdCtx &ctx)
         std::memcpy(y.data(), x.data(), x.size() * sizeof(float));
         return;
     }
+    if (ctx.replay) {
+        // Re-apply the captured mask: advancing the RNG here would both
+        // change this output and desync every later minibatch's draws.
+        GIST_ASSERT(keep_mask.numel() ==
+                        static_cast<std::int64_t>(x.size()),
+                    "dropout replay without a captured mask");
+        for (size_t i = 0; i < x.size(); ++i)
+            y[i] = keep_mask.positive(static_cast<std::int64_t>(i))
+                       ? x[i] * inv_keep
+                       : 0.0f;
+        return;
+    }
     keep_mask.resize(static_cast<std::int64_t>(x.size()));
     for (size_t i = 0; i < x.size(); ++i) {
         const bool keep = rng.uniform() >= drop_prob;

@@ -1,6 +1,7 @@
 #include "obs/calibrate.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -71,11 +72,22 @@ CalibrationTable::secondsFor(const std::string &kernel,
     for (size_t i = 1; i < pts.size(); ++i) {
         if (work_bytes > pts[i]->work_bytes)
             continue;
+        // Log-log interpolation: kernel cost curves are close to power
+        // laws in bytes moved (cache-level regime changes bend them on
+        // a linear axis), so interpolating log(seconds) against
+        // log(bytes) reproduces any local t = c * w^p segment exactly —
+        // in particular a constant-throughput segment (p = 1), where
+        // linear interpolation agrees.
         const double w0 = static_cast<double>(pts[i - 1]->work_bytes);
         const double w1 = static_cast<double>(pts[i]->work_bytes);
-        const double t = (w - w0) / (w1 - w0);
-        return pts[i - 1]->seconds +
-               t * (pts[i]->seconds - pts[i - 1]->seconds);
+        const double t0 = pts[i - 1]->seconds;
+        const double t1 = pts[i]->seconds;
+        if (w0 == w1)
+            return std::min(t0, t1);
+        const double f = (std::log(w) - std::log(w0)) /
+                         (std::log(w1) - std::log(w0));
+        return std::exp(std::log(t0) +
+                        f * (std::log(t1) - std::log(t0)));
     }
     return pts.back()->seconds; // unreachable
 }

@@ -12,8 +12,9 @@
  * hybrid encode-vs-recompute-vs-swap planner.
  *
  * Cost model: each entry records the bytes the kernel moves per call,
- * so cost(kernel, work_bytes) interpolates linearly in bytes between
- * same-kernel entries and extrapolates at the nearest entry's
+ * so cost(kernel, work_bytes) interpolates log-log in bytes between
+ * same-kernel entries (kernel cost curves are near power laws, which
+ * log-log reproduces exactly) and extrapolates at the nearest entry's
  * throughput. Per-kernel-name entries, not a parametric model: the
  * planner only ever asks about shapes the schedule contains, which is
  * exactly what the calibrator measured.
@@ -61,7 +62,7 @@ struct CalibrationTable
                                  const std::string &shape) const;
 
     /**
-     * Estimated seconds for @p kernel moving @p work_bytes: linear
+     * Estimated seconds for @p kernel moving @p work_bytes: log-log
      * interpolation in work_bytes between the two bracketing entries
      * of that kernel, throughput extrapolation outside the measured
      * range. Returns a negative value when the kernel has no entries.

@@ -20,6 +20,7 @@ struct MemProfState
     std::mutex mu;
     std::vector<MemProfStep> steps;
     std::string path;
+    std::string plan_json; ///< hybrid plan object, "" = none
 };
 
 MemProfState &
@@ -121,6 +122,22 @@ memprofReset()
     s.steps.clear();
 }
 
+void
+memprofSetPlan(std::string plan_json)
+{
+    MemProfState &s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.plan_json = std::move(plan_json);
+}
+
+std::string
+memprofPlan()
+{
+    MemProfState &s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    return s.plan_json;
+}
+
 bool
 memprofWrite(const std::string &path)
 {
@@ -130,8 +147,11 @@ memprofWrite(const std::string &path)
         GIST_WARN("cannot open memprof file '", path, "'");
         return false;
     }
-    std::fprintf(f, "{\n  \"version\": 1,\n  \"kind\": \"gist-memprof\","
-                    "\n  \"steps\": [");
+    std::fprintf(f, "{\n  \"version\": 1,\n  \"kind\": \"gist-memprof\",");
+    const std::string plan = memprofPlan();
+    if (!plan.empty())
+        std::fprintf(f, "\n  \"plan\": %s,", plan.c_str());
+    std::fprintf(f, "\n  \"steps\": [");
     bool first_step = true;
     for (const MemProfStep &st : steps) {
         std::fprintf(f, "%s\n    {\"step\": %llu,"

@@ -94,6 +94,16 @@ void memprofStop();
 /** Append one step record (called by the executor at minibatch end). */
 void memprofRecordStep(MemProfStep step);
 
+/**
+ * Attach the hybrid planner's plan (a JSON object string) to the
+ * profile: memprofWrite() embeds it as the "plan" member so gist_prof
+ * shows plan-vs-actual. Empty clears it. Survives memprofReset().
+ */
+void memprofSetPlan(std::string plan_json);
+
+/** The attached plan JSON; empty when none. */
+std::string memprofPlan();
+
 /** Copy of everything recorded so far (test hook). */
 std::vector<MemProfStep> memprofCollect();
 

@@ -123,6 +123,14 @@ JsonLine::field(const char *key, int value)
     return field(key, static_cast<std::int64_t>(value));
 }
 
+JsonLine &
+JsonLine::raw(const char *key, const std::string &json)
+{
+    keyPrefix(key);
+    body_ += json.empty() ? "null" : json;
+    return *this;
+}
+
 std::string
 JsonLine::str() const
 {

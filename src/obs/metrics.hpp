@@ -27,6 +27,8 @@ class JsonLine
     JsonLine &field(const char *key, std::uint64_t value);
     JsonLine &field(const char *key, std::int64_t value);
     JsonLine &field(const char *key, int value);
+    /** Splice @p json in verbatim as the value (caller-validated JSON). */
+    JsonLine &raw(const char *key, const std::string &json);
 
     /** The finished one-line object, e.g. {"loss":0.5,"step":3}. */
     std::string str() const;

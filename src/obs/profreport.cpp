@@ -271,6 +271,78 @@ sectionMemory(const JsonValue &memprof, int top_k, std::ostringstream &out)
     }
 }
 
+void
+sectionPlan(const JsonValue &memprof, int top_k, std::ostringstream &out)
+{
+    const JsonValue *plan = memprof.get("plan");
+    if (!plan || !plan->isObject()) {
+        out << "  (no hybrid plan in memprof timeline — run with"
+               " GIST_MEM_BUDGET to plan one)\n";
+        return;
+    }
+    // Measured peak: max over the timeline's steps, the same number
+    // sectionMemory reports — the plan's promise is against this.
+    double measured = 0.0;
+    if (const JsonValue *steps = memprof.get("steps"))
+        if (steps->isArray())
+            for (const JsonValue &s : steps->items())
+                measured = std::max(
+                    measured, s.numberOr("peak_pool_bytes", 0.0));
+    const auto boolOf = [&](const char *key) {
+        const JsonValue *v = plan->get(key);
+        return v && v->isBool() && v->asBool();
+    };
+    const double budget = plan->numberOr("budget_bytes", 0.0);
+    const double planned = plan->numberOr("planned_peak_bytes", 0.0);
+    out << fmt("  budget: %s (%s, %s pricing)\n",
+               bytesHuman(budget).c_str(),
+               boolOf("feasible") ? "feasible" : "INFEASIBLE",
+               boolOf("calibrated") ? "calibrated" : "roofline");
+    out << fmt("  planned peak: %s   keep-everything peak: %s   "
+               "measured peak: %s%s\n",
+               bytesHuman(planned).c_str(),
+               bytesHuman(plan->numberOr("keep_peak_bytes", 0.0)).c_str(),
+               measured > 0.0 ? bytesHuman(measured).c_str() : "?",
+               measured > budget && budget > 0.0 ? "  ** OVER BUDGET **"
+                                                 : "");
+    const auto missing = plan->intOr("missing_shapes", 0);
+    if (missing > 0)
+        out << fmt("  uncalibrated shapes: %lld (priced by fallback)\n",
+                   static_cast<long long>(missing));
+    const JsonValue *slots = plan->get("slots");
+    if (!slots || !slots->isArray())
+        return;
+    int keep = 0, changed = 0;
+    std::vector<const JsonValue *> rows;
+    for (const JsonValue &s : slots->items()) {
+        if (s.stringOr("repr", "keep") == std::string("keep")) {
+            ++keep;
+            continue;
+        }
+        ++changed;
+        rows.push_back(&s);
+    }
+    out << fmt("  %d stash slots: %d kept, %d re-represented\n",
+               keep + changed, keep, changed);
+    std::sort(rows.begin(), rows.end(),
+              [](const JsonValue *a, const JsonValue *b) {
+                  return a->numberOr("fp32_bytes", 0.0) >
+                         b->numberOr("fp32_bytes", 0.0);
+              });
+    if (!rows.empty())
+        out << "  repr            fp32      stored  est s/step  slot\n";
+    for (size_t i = 0;
+         i < rows.size() && i < static_cast<size_t>(top_k); ++i) {
+        const JsonValue &s = *rows[i];
+        out << fmt("  %-9s %s %s   %.6f  %s\n",
+                   s.stringOr("repr", "?").c_str(),
+                   bytesHuman(s.numberOr("fp32_bytes", 0.0)).c_str(),
+                   bytesHuman(s.numberOr("stored_bytes", 0.0)).c_str(),
+                   s.numberOr("est_seconds", 0.0),
+                   s.stringOr("name", "?").c_str());
+    }
+}
+
 } // namespace
 
 bool
@@ -348,6 +420,12 @@ renderProfReport(const JsonValue *trace,
     out << "\n-- peak memory attribution --\n";
     if (memprof)
         sectionMemory(*memprof, opts.top_k, out);
+    else
+        out << "  (no memprof timeline given)\n";
+
+    out << "\n-- hybrid plan vs actual --\n";
+    if (memprof)
+        sectionPlan(*memprof, opts.top_k, out);
     else
         out << "  (no memprof timeline given)\n";
 

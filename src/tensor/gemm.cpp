@@ -31,6 +31,26 @@ constexpr std::int64_t kNC = 256;
 // chunking contract).
 constexpr std::int64_t kMinCsrParallelWork = 1 << 20;
 
+// B slab one CSR column block may touch (block_k rows x n floats):
+// 512 KB keeps the slab L2-resident while every row of a kMC panel
+// streams over it, instead of each row sweeping the whole of B.
+constexpr std::int64_t kCsrBSlabBytes = 512 << 10;
+
+// Gathered entries to run ahead of the axpy loop with a software
+// prefetch: the B rows a CSR row touches are scattered, so the hardware
+// stride prefetcher cannot see them coming.
+constexpr std::int64_t kCsrPrefetchDist = 8;
+
+inline void
+prefetchRead(const void *p)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(p);
+#else
+    (void)p;
+#endif
+}
+
 /** C *= beta over m*n elements (beta == 0 is folded into the compute
  *  loops instead — no separate zero-fill pass over C). */
 void
@@ -272,59 +292,113 @@ gemmCsrA(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
     const std::int64_t est_work = a.nnz * n;
     const std::int64_t grain =
         est_work < kMinCsrParallelWork ? m : kMC;
+    // A-column block: the B rows a block can reach form an L2-resident
+    // slab that all rows of a panel reuse, instead of each row sweeping
+    // the whole of B (the dense path's KC slicing, adapted to the
+    // gathered entry lists).
+    const std::int64_t block_k = std::max<std::int64_t>(
+        64, kCsrBSlabBytes /
+                (static_cast<std::int64_t>(sizeof(float)) * n));
     parallelFor(0, m, grain, [&](std::int64_t i0, std::int64_t i1) {
-        ArenaScope scope;
-        // Per C row: gather the (p, alpha * value) pairs once (ascending
-        // flat order = the order the dense path visits and skips them),
-        // then accumulate with the dense path's column tiling so every
-        // axpy call matches the dense reference argument-for-argument.
-        auto *p_idx =
-            scope.alloc<std::int32_t>(static_cast<size_t>(k));
-        float *p_val = scope.alloc<float>(static_cast<size_t>(k));
-        float *vals =
-            scope.alloc<float>(static_cast<size_t>(a.row_width));
         const auto axpy = simd::ops().axpy;
-        for (std::int64_t i = i0; i < i1; ++i) {
-            float *c_row = c + i * n;
-            if (beta == 0.0f)
-                std::memset(c_row, 0,
-                            static_cast<size_t>(n) * sizeof(float));
-            const std::int64_t flat0 = i * k;
-            const std::int64_t r0 = flat0 / a.row_width;
-            const std::int64_t r1 = (flat0 + k - 1) / a.row_width;
+        for (std::int64_t ip = i0; ip < i1; ip += kMC) {
+            const std::int64_t ie = std::min(ip + kMC, i1);
+            const std::int64_t rows = ie - ip;
+            ArenaScope scope;
+            // Exact per-panel entry bound straight from row_ptr (the
+            // CSR chunk rows overlapping the panel's flat range).
+            const std::int64_t rp0 = (ip * k) / a.row_width;
+            const std::int64_t rp1 = (ie * k - 1) / a.row_width;
+            const std::int64_t bound =
+                static_cast<std::int64_t>(
+                    a.row_ptr[static_cast<size_t>(rp1 + 1)]) -
+                static_cast<std::int64_t>(
+                    a.row_ptr[static_cast<size_t>(rp0)]);
+            auto *p_idx = scope.alloc<std::int32_t>(
+                static_cast<size_t>(std::max<std::int64_t>(bound, 1)));
+            float *p_val = scope.alloc<float>(
+                static_cast<size_t>(std::max<std::int64_t>(bound, 1)));
+            auto *start =
+                scope.alloc<std::int64_t>(static_cast<size_t>(rows) + 1);
+            auto *cur =
+                scope.alloc<std::int64_t>(static_cast<size_t>(rows));
+            float *vals =
+                scope.alloc<float>(static_cast<size_t>(a.row_width));
+            // Stage 1 — per-row value prefetch: decode each row's
+            // surviving (p, alpha * value) pairs once, in ascending
+            // flat order (the order the dense path visits and skips
+            // them), packed panel-contiguously.
             std::int64_t cnt = 0;
-            for (std::int64_t r = r0; r <= r1; ++r) {
-                const auto k0 = static_cast<std::int64_t>(
-                    a.row_ptr[static_cast<size_t>(r)]);
-                const auto k1 = static_cast<std::int64_t>(
-                    a.row_ptr[static_cast<size_t>(r + 1)]);
-                if (k0 == k1)
-                    continue;
-                csrValues(a, k0, k1, vals);
-                const std::int64_t row_base = r * a.row_width;
-                for (std::int64_t kk = k0; kk < k1; ++kk) {
-                    const std::int64_t flat =
-                        row_base +
-                        static_cast<std::int64_t>(csrColAt(a, kk));
-                    if (flat < flat0 || flat >= flat0 + k)
+            for (std::int64_t i = ip; i < ie; ++i) {
+                start[i - ip] = cnt;
+                if (beta == 0.0f)
+                    std::memset(c + i * n, 0,
+                                static_cast<size_t>(n) * sizeof(float));
+                const std::int64_t flat0 = i * k;
+                const std::int64_t r0 = flat0 / a.row_width;
+                const std::int64_t r1 = (flat0 + k - 1) / a.row_width;
+                for (std::int64_t r = r0; r <= r1; ++r) {
+                    const auto k0 = static_cast<std::int64_t>(
+                        a.row_ptr[static_cast<size_t>(r)]);
+                    const auto k1 = static_cast<std::int64_t>(
+                        a.row_ptr[static_cast<size_t>(r + 1)]);
+                    if (k0 == k1)
                         continue;
-                    // Lossy-valued entries can decode to zero; the
-                    // dense path's a_val == 0 skip drops those, so
-                    // drop them here too.
-                    const float a_val = alpha * vals[kk - k0];
-                    if (a_val == 0.0f)
-                        continue;
-                    p_idx[cnt] =
-                        static_cast<std::int32_t>(flat - flat0);
-                    p_val[cnt] = a_val;
-                    ++cnt;
+                    csrValues(a, k0, k1, vals);
+                    const std::int64_t row_base = r * a.row_width;
+                    for (std::int64_t kk = k0; kk < k1; ++kk) {
+                        const std::int64_t flat =
+                            row_base +
+                            static_cast<std::int64_t>(csrColAt(a, kk));
+                        if (flat < flat0 || flat >= flat0 + k)
+                            continue;
+                        // Lossy-valued entries can decode to zero; the
+                        // dense path's a_val == 0 skip drops those, so
+                        // drop them here too.
+                        const float a_val = alpha * vals[kk - k0];
+                        if (a_val == 0.0f)
+                            continue;
+                        p_idx[cnt] =
+                            static_cast<std::int32_t>(flat - flat0);
+                        p_val[cnt] = a_val;
+                        ++cnt;
+                    }
                 }
             }
-            for (std::int64_t jc = 0; jc < n; jc += kNC) {
-                const std::int64_t nc = std::min(kNC, n - jc);
-                for (std::int64_t t = 0; t < cnt; ++t)
-                    axpy(nc, p_val[t], b + p_idx[t] * n + jc,
-                         c_row + jc);
+            start[rows] = cnt;
+            // Stage 2 — blocked accumulation: A-column blocks ascending,
+            // each row's entries within a block ascending, the dense
+            // path's NC tiling inside. Per C element the contribution
+            // order is still p ascending with axpy arguments identical
+            // to the dense reference, so results stay bitwise-identical
+            // at any thread count.
+            for (std::int64_t r = 0; r < rows; ++r)
+                cur[r] = start[r];
+            for (std::int64_t pc = 0; pc < k; pc += block_k) {
+                const std::int64_t pend = std::min(pc + block_k, k);
+                for (std::int64_t r = 0; r < rows; ++r) {
+                    const std::int64_t t0 = cur[r];
+                    const std::int64_t stop = start[r + 1];
+                    std::int64_t t1 = t0;
+                    while (t1 < stop && p_idx[t1] < pend)
+                        ++t1;
+                    cur[r] = t1;
+                    if (t0 == t1)
+                        continue;
+                    float *c_row = c + (ip + r) * n;
+                    for (std::int64_t jc = 0; jc < n; jc += kNC) {
+                        const std::int64_t nc = std::min(kNC, n - jc);
+                        for (std::int64_t t = t0; t < t1; ++t) {
+                            if (t + kCsrPrefetchDist < t1)
+                                prefetchRead(
+                                    b +
+                                    p_idx[t + kCsrPrefetchDist] * n +
+                                    jc);
+                            axpy(nc, p_val[t], b + p_idx[t] * n + jc,
+                                 c_row + jc);
+                        }
+                    }
+                }
             }
         }
     });

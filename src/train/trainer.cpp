@@ -291,6 +291,12 @@ Trainer::run(const SyntheticDataset &data, const TrainConfig &config)
                                stats.codec_queue_peak_depth))
                     .field("overlap_efficiency",
                            stats.overlap_efficiency)
+                    .field("recompute_seconds", stats.recompute_seconds)
+                    .field("recompute_segments",
+                           static_cast<std::int64_t>(
+                               stats.recompute_segments))
+                    .field("recompute_dropped_bytes",
+                           stats.recompute_dropped_bytes)
                     .field("lr", static_cast<double>(lr));
                 obs::metricsWrite(rec);
             }

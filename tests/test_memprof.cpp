@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -227,13 +228,23 @@ TEST(Calibration, InterpolatesBetweenMeasuredShapes)
     obs::CalibrationTable table;
     table.entries = { { "csr_encode", "numel=250", 1000, 1e-6 },
                       { "csr_encode", "numel=750", 3000, 3e-6 } };
-    // Between the two points: linear in work_bytes.
+    // Between two equal-throughput points the log-log fit is t ~ w^1,
+    // identical to linear interpolation in work_bytes.
     EXPECT_DOUBLE_EQ(table.secondsFor("csr_encode", 2000), 2e-6);
     // Outside the range: nearest entry's throughput.
     EXPECT_DOUBLE_EQ(table.secondsFor("csr_encode", 500), 0.5e-6);
     EXPECT_DOUBLE_EQ(table.secondsFor("csr_encode", 6000), 6e-6);
     // Unknown kernel: negative sentinel.
     EXPECT_LT(table.secondsFor("gemm", 1000), 0.0);
+
+    // A genuinely super-linear kernel: (1000, 1e-6) -> (4000, 8e-6) is
+    // t ~ w^1.5 in log-log, so the midpoint (w=2000) prices at
+    // 2^1.5 µs, NOT the linear-in-bytes 10/3 µs.
+    obs::CalibrationTable curved;
+    curved.entries = { { "gemm", "m=1", 1000, 1e-6 },
+                       { "gemm", "m=2", 4000, 8e-6 } };
+    EXPECT_NEAR(curved.secondsFor("gemm", 2000),
+                std::pow(2.0, 1.5) * 1e-6, 1e-12);
 }
 
 TEST(PlannerCost, CollectsScheduleShapesAndPricesThem)
@@ -319,6 +330,69 @@ TEST(ProfReport, RendersSectionsFromArtifacts)
     const std::string empty =
         obs::renderProfReport(nullptr, nullptr, nullptr, {});
     EXPECT_NE(empty.find("gist_prof"), std::string::npos);
+
+    // Without a "plan" member the hybrid section renders its hint.
+    EXPECT_NE(report.find("hybrid plan vs actual"), std::string::npos);
+    EXPECT_NE(report.find("GIST_MEM_BUDGET"), std::string::npos);
+}
+
+TEST(ProfReport, RendersHybridPlanVsActual)
+{
+    JsonValue memprof;
+    std::string err;
+    ASSERT_TRUE(JsonValue::parse(
+        R"({"kind":"gist-memprof","steps":[
+             {"step":0,"peak_pool_bytes":3000,"peak_sched_step":1,
+              "peak_node":"conv1","arena_high_water":512,
+              "peak_attribution":[],"timeline":[]}],
+            "plan":{"kind":"gist-hybrid-plan","version":1,
+              "budget_bytes":4096,"feasible":true,"calibrated":false,
+              "keep_peak_bytes":8192,"planned_peak_bytes":3100,
+              "est_overhead_seconds":0.001,"missing_shapes":0,
+              "slots":[
+                {"node":1,"name":"relu1","category":"relu_conv",
+                 "repr":"csr","fp32_bytes":4096,"stored_bytes":2048,
+                 "est_seconds":0.0005},
+                {"node":3,"name":"conv2","category":"other",
+                 "repr":"recompute","fp32_bytes":8192,"stored_bytes":0,
+                 "est_seconds":0.0003},
+                {"node":5,"name":"fc1","category":"other",
+                 "repr":"keep","fp32_bytes":1024,"stored_bytes":1024,
+                 "est_seconds":0}]}})",
+        memprof, &err))
+        << err;
+
+    const std::string report =
+        obs::renderProfReport(nullptr, nullptr, &memprof, {});
+    EXPECT_NE(report.find("feasible"), std::string::npos);
+    EXPECT_NE(report.find("3 stash slots: 1 kept, 2 re-represented"),
+              std::string::npos);
+    // Re-represented slots render largest-fp32 first; kept slots don't.
+    const auto rec = report.find("recompute");
+    const auto csr = report.find("csr");
+    EXPECT_NE(rec, std::string::npos);
+    EXPECT_NE(csr, std::string::npos);
+    EXPECT_LT(rec, csr);
+    EXPECT_EQ(report.find("fc1"), std::string::npos);
+    // Measured (3000) fits the 4096 budget: no over-budget flag.
+    EXPECT_EQ(report.find("OVER BUDGET"), std::string::npos);
+
+    // An infeasible, over-budget run is called out.
+    JsonValue memprof2;
+    ASSERT_TRUE(JsonValue::parse(
+        R"({"kind":"gist-memprof","steps":[
+             {"step":0,"peak_pool_bytes":9000}],
+            "plan":{"kind":"gist-hybrid-plan","budget_bytes":4096,
+              "feasible":false,"calibrated":true,
+              "keep_peak_bytes":9000,"planned_peak_bytes":8500,
+              "missing_shapes":2,"slots":[]}})",
+        memprof2, &err))
+        << err;
+    const std::string report2 =
+        obs::renderProfReport(nullptr, nullptr, &memprof2, {});
+    EXPECT_NE(report2.find("INFEASIBLE"), std::string::npos);
+    EXPECT_NE(report2.find("OVER BUDGET"), std::string::npos);
+    EXPECT_NE(report2.find("uncalibrated shapes: 2"), std::string::npos);
 }
 
 } // namespace
