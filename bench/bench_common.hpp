@@ -6,7 +6,9 @@
 
 #pragma once
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -87,6 +89,41 @@ memBudgetFlag(int argc, char **argv)
         if (std::strcmp(argv[i], "--mem-budget") == 0)
             return parseByteSize(argv[i + 1]);
     return 0;
+}
+
+/**
+ * Scan argv for `--device-pool <size>`: the simulated device's byte
+ * cap for the tiered-memory benches (0 = unbounded). Feeds
+ * GistConfig::device_pool_bytes, same as the GIST_DEVICE_POOL env.
+ */
+inline std::uint64_t
+devicePoolFlag(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], "--device-pool") == 0)
+            return parseByteSize(argv[i + 1]);
+    return 0;
+}
+
+/**
+ * Scan argv for `--tier-gbps <float>`: the slow tier's throttle in
+ * GB/s for the in-memory tier (deterministic transfer cost), @p def
+ * when absent. 0 disables the throttle.
+ */
+inline double
+tierGbpsFlag(int argc, char **argv, double def)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], "--tier-gbps") == 0)
+            return std::strtod(argv[i + 1], nullptr);
+    return def;
+}
+
+/** formatPercent, but NaN renders as "n/a" (degenerate zero base). */
+inline std::string
+percentOrNa(double fraction)
+{
+    return std::isnan(fraction) ? "n/a" : formatPercent(fraction);
 }
 
 } // namespace gist::bench

@@ -3,10 +3,11 @@
 
 The trajectory file is JSONL: thread-scaling records ({"threads": N,
 "paths": [...]}), SIMD records ({"bench": "micro_simd",
-"kernels": [...]}) appended by scripts/run_micro_parallel.sh, and
+"kernels": [...]}) appended by scripts/run_micro_parallel.sh,
 planner-frontier records ({"bench": "ablation_planner",
-"rows": [...]}) appended by the CI release job — one per bench run,
-stamped with commit and date.
+"rows": [...]}), and tiered-memory records ({"bench": "ext_cdma",
+"rows": [...]}, one row per swap strategy arm) appended by the CI
+release job — one per bench run, stamped with commit and date.
 
 This gate compares the newest record of each type against the previous
 record of the same type (same thread count for scaling records) and
@@ -56,6 +57,10 @@ def throughputs(row):
         for r in row.get("rows", []):
             if r.get("feasible") and r.get("mb_per_s", 0) > 0:
                 out[r["name"]] = r["mb_per_s"]
+    elif row.get("bench") == "ext_cdma":
+        for r in row.get("rows", []):
+            if r.get("mb_per_s", 0) > 0:
+                out[r["arm"]] = r["mb_per_s"]
     else:
         for p in row.get("paths", []):
             if "gbps" in p:
@@ -70,6 +75,8 @@ def row_key(row):
         return "micro_simd"
     if row.get("bench") == "ablation_planner":
         return f"ablation_planner@{row.get('model', '?')}"
+    if row.get("bench") == "ext_cdma":
+        return f"ext_cdma@{row.get('model', '?')}"
     return f"scaling@{row.get('threads', '?')}threads"
 
 
@@ -130,9 +137,21 @@ def self_test(band):
                      {"name": "csr_encode_50",
                       "gbps": 4.0 * (1.0 - band) * 0.9}]}
 
+    cdma_base = {"bench": "ext_cdma", "model": "ResNet",
+                 "commit": "aaaaaaa", "date": "t0",
+                 "rows": [{"arm": "vdnn-cdma", "mb_per_s": 5.0},
+                          {"arm": "naive-swap", "mb_per_s": 2.0}]}
+    cdma_bad = {"bench": "ext_cdma", "model": "ResNet",
+                "commit": "ccccccc", "date": "t1",
+                "rows": [{"arm": "vdnn-cdma",
+                          "mb_per_s": 5.0 * (1.0 - band) * 0.9},
+                         {"arm": "naive-swap", "mb_per_s": 2.0}]}
+
     checks = [
         ("within-band run passes", run_gate([base, ok], band), 0),
         ("deliberate regression fails", run_gate([base, bad], band), 1),
+        ("ext_cdma arm regression fails",
+         run_gate([cdma_base, cdma_bad], band), 1),
         ("single record skips", run_gate([base], band), 0),
         ("new path skips comparison",
          run_gate([base, {**ok, "paths": ok["paths"] +

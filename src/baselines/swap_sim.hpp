@@ -17,6 +17,8 @@
 
 #pragma once
 
+#include <limits>
+
 #include "core/gist.hpp"
 #include "perf/gpu_model.hpp"
 
@@ -29,12 +31,18 @@ struct SwapSimResult
     double total_seconds = 0.0;  ///< with the strategy applied
     std::uint64_t transferred_bytes = 0; ///< one-way offload volume
 
+    /**
+     * Overhead relative to the compute-only time. NaN when there is no
+     * base time to divide by — a zero-compute model has no meaningful
+     * overhead fraction, and 0.0 would silently read as "free".
+     * Callers that print it should render NaN as "n/a".
+     */
     double
     overheadFraction() const
     {
         return base_seconds > 0.0
                    ? (total_seconds - base_seconds) / base_seconds
-                   : 0.0;
+                   : std::numeric_limits<double>::quiet_NaN();
     }
 };
 

@@ -1,6 +1,7 @@
 #include "core/config.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <cstdlib>
 
 #include "util/logging.hpp"
@@ -10,16 +11,14 @@ namespace gist {
 std::uint64_t
 parseByteSize(const std::string &text)
 {
-    if (text.empty()) {
-        GIST_WARN("empty byte-size string");
-        return 0;
-    }
+    if (text.empty())
+        GIST_FATAL("empty byte-size string");
     char *end = nullptr;
     const double value = std::strtod(text.c_str(), &end);
-    if (end == text.c_str() || value < 0.0) {
-        GIST_WARN("malformed byte-size '", text, "'");
-        return 0;
-    }
+    if (end == text.c_str())
+        GIST_FATAL("malformed byte-size '", text, "'");
+    if (!std::isfinite(value) || value < 0.0)
+        GIST_FATAL("byte-size '", text, "' is not a finite non-negative value");
     double scale = 1.0;
     std::string suffix;
     for (const char *p = end; *p != '\0'; ++p)
@@ -32,11 +31,13 @@ parseByteSize(const std::string &text)
         scale = 1024.0 * 1024.0;
     else if (suffix == "g" || suffix == "gb")
         scale = 1024.0 * 1024.0 * 1024.0;
-    else if (!suffix.empty()) {
-        GIST_WARN("malformed byte-size suffix '", text, "'");
-        return 0;
-    }
-    return static_cast<std::uint64_t>(value * scale);
+    else if (!suffix.empty())
+        GIST_FATAL("malformed byte-size suffix '", text, "'");
+    const double scaled = value * scale;
+    // 2^64 exactly; >= catches the doubles that would wrap on conversion.
+    if (scaled >= 18446744073709551616.0)
+        GIST_FATAL("byte-size '", text, "' overflows 64 bits");
+    return static_cast<std::uint64_t>(scaled);
 }
 
 } // namespace gist

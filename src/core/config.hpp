@@ -22,7 +22,10 @@ namespace gist {
 /**
  * Parse a human byte-size string: a non-negative number with an
  * optional k/m/g (or kb/mb/gb, any case) suffix, e.g. "64m", "1.5G",
- * "262144". Returns 0 and warns on malformed input.
+ * "262144". Malformed input (empty string, no digits, negative or
+ * non-finite value, unknown suffix, or a product that overflows 64
+ * bits) is a hard error: a silently-zero budget would quietly disable
+ * the planner the caller asked for.
  */
 std::uint64_t parseByteSize(const std::string &text);
 
@@ -120,6 +123,30 @@ struct GistConfig
      * (perf/gpu_model.hpp).
      */
     std::string calibration_path;
+    /**
+     * Device feature-map pool cap in bytes (the tiered-memory engine).
+     * 0 (the default) = unbounded device, no eviction. Non-zero bounds
+     * the metered pool: stash slots overflowing the cap are evicted to
+     * the pool's slow tier through the codec workers and prefetched
+     * back before their backward reads (memory/device_pool.hpp). Also
+     * unlocks the planner's per-slot "swap" choice. GIST_DEVICE_POOL
+     * (bytes, k/m/g suffixes) overrides in buildSchedule().
+     */
+    std::uint64_t device_pool_bytes = 0;
+    /**
+     * Slow-tier spill directory. Non-empty uses a file-backed tier
+     * (one file per evicted slot); empty uses the in-memory tier.
+     * GIST_TIER_PATH overrides in applyToExecutor().
+     */
+    std::string tier_path;
+    /**
+     * Modeled device<->tier link bandwidth, bytes/second. Throttles the
+     * in-memory tier (deterministic stall experiments) and prices the
+     * planner's swap choice. 0 = unthrottled transfers priced at the
+     * PCIe bandwidth of the roofline model. GIST_TIER_GBPS (in GB/s)
+     * overrides in applyToExecutor().
+     */
+    double tier_bandwidth_bytes_per_s = 0.0;
 
     /** No optimizations: the CNTK baseline. */
     static GistConfig baseline() { return GistConfig{}; }

@@ -16,6 +16,10 @@ fillColor(const ScheduleDecision &decision, bool stashed)
         return "#ffffb3"; // yellow: SSDC
       case StashPlan::Repr::Dpr:
         return "#fb8072"; // red: DPR
+      case StashPlan::Repr::Recompute:
+        return "#b3de69"; // green: recompute
+      case StashPlan::Repr::Swap:
+        return "#80b1d3"; // blue: swapped to the slow tier
       case StashPlan::Repr::Dense:
         break;
     }
@@ -33,8 +37,9 @@ toDot(const Graph &graph, const BuiltSchedule &schedule)
     oss << "digraph gist {\n"
         << "  rankdir=TB;\n"
         << "  node [shape=box, style=filled, fontname=\"monospace\"];\n"
-        << "  label=\"teal=Binarize yellow=SSDC red=DPR violet=dense "
-           "stash white=immediate; dashed border = inplace\";\n";
+        << "  label=\"teal=Binarize yellow=SSDC red=DPR green=recompute "
+           "blue=swap violet=dense stash white=immediate; "
+           "dashed border = inplace\";\n";
     for (const auto &node : graph.nodes()) {
         const auto &decision = schedule.of(node.id);
         oss << "  n" << node.id << " [label=\"" << node.name << "\\n"

@@ -100,6 +100,45 @@ planBuffers(const Graph &graph, const BuiltSchedule &schedule,
                                     { sched.firstBwdRead(id),
                                       sched.lastBwdRead(id) },
                                     true });
+            } else if (decision.repr == StashPlan::Repr::Swap) {
+                // Swap: the map leaves the device across the gap. What
+                // stays resident is only the transfer scaffolding — the
+                // encoded form (when the transfer is compressed) exists
+                // momentarily around the eviction and again around the
+                // fetch, and the fetched copy serves the backward reads.
+                const int last_fwd = sched.lastFwdRead(id);
+                const int first_bwd = sched.firstBwdRead(id);
+                const int last_bwd = sched.lastBwdRead(id);
+                buffers.push_back({ node.name + ":fmap",
+                                    DataClass::ImmediateFmap, fp32_bytes,
+                                    { birth, last_fwd }, true });
+                const StashPlan::SwapCodec codec =
+                    swapCodecFor(schedule.config, decision.category);
+                if (codec != StashPlan::SwapCodec::None) {
+                    const std::uint64_t enc_bytes =
+                        codec == StashPlan::SwapCodec::Csr
+                            ? csrBytesForSparsity(
+                                  schedule.config.csr,
+                                  node.out_shape.numel(),
+                                  sparsity.at(graph, id))
+                            : dprEncodedBytes(schedule.config.dpr_format,
+                                              node.out_shape.numel());
+                    buffers.push_back({ node.name + ":enc",
+                                        DataClass::EncodedFmap, enc_bytes,
+                                        { last_fwd, last_fwd }, true });
+                    buffers.push_back({ node.name + ":enc",
+                                        DataClass::EncodedFmap, enc_bytes,
+                                        { first_bwd, first_bwd }, true });
+                    buffers.push_back({ node.name + ":dec",
+                                        DataClass::DecodeScratch,
+                                        fp32_bytes,
+                                        { first_bwd, last_bwd }, true });
+                } else {
+                    buffers.push_back({ node.name + ":rem",
+                                        DataClass::StashedFmap,
+                                        fp32_bytes,
+                                        { first_bwd, last_bwd }, true });
+                }
             } else {
                 // Encoded stash: the FP32 copy becomes immediately
                 // consumed, the encoded form bridges the temporal gap,
@@ -279,13 +318,22 @@ collectKernelShapes(const Graph &graph, const BuiltSchedule &schedule)
         const auto &decision = schedule.of(id);
 
         // ---- Codec kernels: one encode + one decode per encoded stash.
-        if (sched.stashed(id) &&
-            decision.repr != StashPlan::Repr::Dense) {
+        // Recompute stores nothing (no codec); Swap runs the transfer
+        // codec's encode/decode when the transfer is compressed.
+        bool emit_csr = decision.repr == StashPlan::Repr::Csr;
+        bool emit_dpr = decision.repr == StashPlan::Repr::Dpr;
+        if (decision.repr == StashPlan::Repr::Swap) {
+            const StashPlan::SwapCodec codec =
+                swapCodecFor(schedule.config, decision.category);
+            emit_csr = codec == StashPlan::SwapCodec::Csr;
+            emit_dpr = codec == StashPlan::SwapCodec::Dpr;
+        }
+        if (sched.stashed(id) && (emit_csr || emit_dpr)) {
             const std::int64_t numel = node.out_shape.numel();
             const std::uint64_t fp32 =
                 static_cast<std::uint64_t>(numel) * 4;
             char key[48];
-            if (decision.repr == StashPlan::Repr::Csr) {
+            if (emit_csr) {
                 std::snprintf(key, sizeof key, "numel=%lld",
                               static_cast<long long>(numel));
                 add("csr_encode", key, fp32, 1);
@@ -444,6 +492,11 @@ class HybridCost
         }
         if (host_bw_ <= 0.0)
             host_bw_ = params_.mem_bandwidth;
+        // Slow-tier link speed, for pricing Swap transfers: a measured
+        // throttle from the config wins, else the modeled host link.
+        tier_bw_ = config.tier_bandwidth_bytes_per_s > 0.0
+                       ? config.tier_bandwidth_bytes_per_s
+                       : params_.pcie_bandwidth;
     }
 
     /** Distinct (kernel, shape) keys that had to be priced statically. */
@@ -482,6 +535,22 @@ class HybridCost
                               : 2.0 * static_cast<double>(fp32) / host_bw_;
         }
         return total;
+    }
+
+    /**
+     * Seconds to move @p bytes one way across the slow tier. Prefers a
+     * calibrated tier_write/tier_read bandwidth fit when the table has
+     * one; otherwise the configured/modeled link speed.
+     */
+    double
+    tierSeconds(const char *kernel, std::uint64_t bytes)
+    {
+        if (table_) {
+            const double s = table_->secondsFor(kernel, bytes);
+            if (s >= 0.0)
+                return s;
+        }
+        return static_cast<double>(bytes) / tier_bw_;
     }
 
     /** Seconds to re-run node @p id's forward once (replay pricing). */
@@ -587,6 +656,7 @@ class HybridCost
     const obs::CalibrationTable *table_;
     GpuModelParams params_{};
     double host_bw_ = 0.0;
+    double tier_bw_ = 0.0;
     std::vector<double> fwd_memo_;
     std::set<std::string> missing_;
 };
@@ -625,6 +695,10 @@ simulateReplays(const Graph &graph, const ScheduleInfo &sched,
             break;
           case StashPlan::Repr::Csr:
           case StashPlan::Repr::Dpr:
+          case StashPlan::Repr::Swap:
+            // Swap behaves like an encoded stash for replay purposes:
+            // the slot is fetched back (and decoded) before its first
+            // backward read, so it can serve as a replay frontier.
             avail[i] = Avail::Encoded;
             break;
           case StashPlan::Repr::Recompute:
@@ -757,6 +831,29 @@ evaluatePlan(const Graph &graph, const ScheduleInfo &sched,
             const double s = cost.codecSeconds(node.id, r);
             ev.seconds += s;
             ev.slot_seconds[static_cast<size_t>(node.id)] += s;
+        } else if (r == StashPlan::Repr::Swap) {
+            // Swap pays the round trip over the slow tier, plus the
+            // transfer codec when the eviction is compressed (the cDMA
+            // idea: fewer bytes on the link buys back stall time).
+            const StashPlan::SwapCodec codec =
+                swapCodecFor(base.config, base.of(node.id).category);
+            std::uint64_t moved =
+                static_cast<std::uint64_t>(node.out_shape.numel()) * 4;
+            double s = 0.0;
+            if (codec == StashPlan::SwapCodec::Csr) {
+                moved = csrBytesForSparsity(base.config.csr,
+                                            node.out_shape.numel(),
+                                            sparsity.at(graph, node.id));
+                s += cost.codecSeconds(node.id, StashPlan::Repr::Csr);
+            } else if (codec == StashPlan::SwapCodec::Dpr) {
+                moved = dprEncodedBytes(base.config.dpr_format,
+                                        node.out_shape.numel());
+                s += cost.codecSeconds(node.id, StashPlan::Repr::Dpr);
+            }
+            s += cost.tierSeconds("tier_write", moved) +
+                 cost.tierSeconds("tier_read", moved);
+            ev.seconds += s;
+            ev.slot_seconds[static_cast<size_t>(node.id)] += s;
         }
     }
 
@@ -820,6 +917,8 @@ optimizeHybridSchedule(const Graph &graph, BuiltSchedule &schedule,
             up.push_back(StashPlan::Repr::Csr);
         if (schedule.config.dpr)
             up.push_back(StashPlan::Repr::Dpr);
+        if (schedule.config.device_pool_bytes > 0)
+            up.push_back(StashPlan::Repr::Swap);
         up.push_back(StashPlan::Repr::Recompute);
     }
 
@@ -918,9 +1017,10 @@ optimizeHybridSchedule(const Graph &graph, BuiltSchedule &schedule,
     for (const NodeId id : chosen) {
         const auto idx = static_cast<size_t>(id);
         std::vector<StashPlan::Repr> alts{ StashPlan::Repr::Dense };
-        if (repr[idx] == StashPlan::Repr::Recompute)
+        if (repr[idx] == StashPlan::Repr::Recompute ||
+            repr[idx] == StashPlan::Repr::Swap)
             for (const StashPlan::Repr up : upgrades[idx])
-                if (up != StashPlan::Repr::Recompute)
+                if (up != StashPlan::Repr::Recompute && up != repr[idx])
                     alts.push_back(up);
         for (const StashPlan::Repr alt : alts) {
             auto cand = repr;
@@ -973,6 +1073,29 @@ optimizeHybridSchedule(const Graph &graph, BuiltSchedule &schedule,
           case StashPlan::Repr::Recompute:
             slot.stored_bytes = 0;
             break;
+          case StashPlan::Repr::Swap: {
+            // Nothing stays device-resident across the gap; what the
+            // choice costs is the per-direction tier traffic.
+            slot.stored_bytes = 0;
+            const StashPlan::SwapCodec codec = swapCodecFor(
+                schedule.config, schedule.of(node.id).category);
+            switch (codec) {
+              case StashPlan::SwapCodec::Csr:
+                slot.tier_bytes = csrBytesForSparsity(
+                    schedule.config.csr, node.out_shape.numel(),
+                    planning_sparsity.at(graph, node.id));
+                break;
+              case StashPlan::SwapCodec::Dpr:
+                slot.tier_bytes = dprEncodedBytes(
+                    schedule.config.dpr_format,
+                    node.out_shape.numel());
+                break;
+              case StashPlan::SwapCodec::None:
+                slot.tier_bytes = slot.fp32_bytes;
+                break;
+            }
+            break;
+          }
         }
         slot.est_seconds = cur.slot_seconds[idx];
         plan.slots.push_back(std::move(slot));

@@ -2,8 +2,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 
 #include "core/planner.hpp"
+#include "memory/device_pool.hpp"
 #include "layers/pool.hpp"
 #include "layers/relu.hpp"
 #include "obs/calibrate.hpp"
@@ -13,6 +15,16 @@
 #include "util/logging.hpp"
 
 namespace gist {
+
+StashPlan::SwapCodec
+swapCodecFor(const GistConfig &config, StashCategory category)
+{
+    if (config.ssdc && category == StashCategory::ReluConv)
+        return StashPlan::SwapCodec::Csr;
+    if (config.dpr)
+        return StashPlan::SwapCodec::Dpr;
+    return StashPlan::SwapCodec::None;
+}
 
 BuiltSchedule
 buildSchedule(Graph &graph, const GistConfig &config)
@@ -110,6 +122,11 @@ buildSchedule(Graph &graph, const GistConfig &config)
     std::uint64_t budget = config.mem_budget_bytes;
     if (const char *env = std::getenv("GIST_MEM_BUDGET"))
         budget = parseByteSize(env);
+    // Device pool cap (the bounded "device" the swap tier sits behind).
+    // Resolved here so the hybrid planner sees it: a nonzero cap makes
+    // Swap an eligible per-slot choice.
+    if (const char *env = std::getenv("GIST_DEVICE_POOL"))
+        built.config.device_pool_bytes = parseByteSize(env);
     if (budget > 0) {
         std::string cal_path = config.calibration_path;
         if (cal_path.empty())
@@ -145,6 +162,7 @@ hybridPlanJson(const BuiltSchedule &schedule)
           case StashPlan::Repr::Csr: return "csr";
           case StashPlan::Repr::Dpr: return "dpr";
           case StashPlan::Repr::Recompute: return "recompute";
+          case StashPlan::Repr::Swap: return "swap";
         }
         return "?";
     };
@@ -172,12 +190,13 @@ hybridPlanJson(const BuiltSchedule &schedule)
                       "%s{\"node\": %d, \"name\": \"%s\","
                       " \"category\": \"%s\", \"repr\": \"%s\","
                       " \"fp32_bytes\": %llu, \"stored_bytes\": %llu,"
-                      " \"est_seconds\": %.9g}",
+                      " \"tier_bytes\": %llu, \"est_seconds\": %.9g}",
                       first ? "" : ", ", slot.node, slot.name.c_str(),
                       stashCategoryName(slot.category),
                       reprName(slot.repr),
                       static_cast<unsigned long long>(slot.fp32_bytes),
                       static_cast<unsigned long long>(slot.stored_bytes),
+                      static_cast<unsigned long long>(slot.tier_bytes),
                       slot.est_seconds);
         out += buf;
         first = false;
@@ -208,8 +227,42 @@ applyToExecutor(const BuiltSchedule &schedule, Executor &exec)
           case StashPlan::Repr::Recompute:
             plan.repr = StashPlan::Repr::Recompute;
             break;
+          case StashPlan::Repr::Swap:
+            plan.repr = StashPlan::Repr::Swap;
+            plan.swap_codec =
+                swapCodecFor(schedule.config, decision.category);
+            if (plan.swap_codec == StashPlan::SwapCodec::Csr)
+                plan.csr = schedule.config.csr;
+            else if (plan.swap_codec == StashPlan::SwapCodec::Dpr)
+                plan.dpr = schedule.config.dpr_format;
+            break;
         }
         exec.setStashPlan(node.id, plan);
+    }
+    // Bounded device: attach the pool + slow tier whenever a cap is set
+    // or the plan contains swap slots (a pure-swap plan still needs the
+    // tier even on an unbounded device). Env overrides let benchmarks
+    // redirect the tier without a rebuild; the cap itself was resolved
+    // in buildSchedule() so the planner and executor agree on it.
+    {
+        bool any_swap = false;
+        for (const auto &decision : schedule.decisions)
+            any_swap |= decision.repr == StashPlan::Repr::Swap;
+        if (schedule.config.device_pool_bytes > 0 || any_swap) {
+            DevicePoolConfig pc;
+            pc.cap_bytes = schedule.config.device_pool_bytes;
+            pc.tier_path = schedule.config.tier_path;
+            if (const char *env = std::getenv("GIST_TIER_PATH"))
+                pc.tier_path = env;
+            pc.tier_bytes_per_second =
+                schedule.config.tier_bandwidth_bytes_per_s;
+            if (const char *env = std::getenv("GIST_TIER_GBPS"))
+                pc.tier_bytes_per_second =
+                    std::strtod(env, nullptr) * 1e9;
+            exec.setDevicePool(std::make_shared<DevicePool>(pc));
+        } else {
+            exec.setDevicePool(nullptr);
+        }
     }
     exec.setElideDecode(schedule.config.elide_decode_buffer);
     // Fused consumption: config value, overridable by GIST_FUSED.

@@ -40,6 +40,7 @@ struct HybridSlot
     StashPlan::Repr repr = StashPlan::Repr::Dense;
     std::uint64_t fp32_bytes = 0;   ///< dense bytes the choice governs
     std::uint64_t stored_bytes = 0; ///< modeled bytes across the gap
+    std::uint64_t tier_bytes = 0;   ///< bytes moved per direction (swap)
     double est_seconds = 0.0;       ///< modeled per-step overhead
 };
 
@@ -75,6 +76,16 @@ struct BuiltSchedule
         return decisions[static_cast<size_t>(id)];
     }
 };
+
+/**
+ * The transfer codec a Swap slot compresses with before eviction (the
+ * cDMA idea: stack the paper's encodings on the slow-tier transfer).
+ * Deterministic from config + category so the planner's pricing, the
+ * buffer model and applyToExecutor() always agree: CSR for ReluConv
+ * slots when SSDC is on, else DPR when enabled, else raw FP32.
+ */
+StashPlan::SwapCodec swapCodecFor(const GistConfig &config,
+                                  StashCategory category);
 
 /**
  * The hybrid plan as a JSON object string (single line), the payload

@@ -373,6 +373,97 @@ CsrBuffer::reset()
     nnz_ = 0;
 }
 
+namespace {
+
+/** Tier-blob header for CsrBuffer (host-order; process-local blobs). */
+struct CsrBlobHeader
+{
+    std::int64_t numel;
+    std::int64_t nnz;
+    std::int64_t row_width;
+    std::uint32_t index_bytes;
+    std::uint32_t value_format;
+    std::uint64_t row_ptr_count;
+    std::uint64_t col_idx_count;
+    std::uint64_t values_f32_count;
+    std::uint64_t values_dpr_bytes;
+};
+
+} // namespace
+
+std::uint64_t
+CsrBuffer::serializedBytes() const
+{
+    return sizeof(CsrBlobHeader) + row_ptr.size() * 4 + col_idx.size() +
+           values_f32.size() * 4 + values_dpr.serializedBytes();
+}
+
+void
+CsrBuffer::serialize(std::uint8_t *dst) const
+{
+    CsrBlobHeader h;
+    h.numel = numel_;
+    h.nnz = nnz_;
+    h.row_width = config.row_width;
+    h.index_bytes = static_cast<std::uint32_t>(config.index_bytes);
+    h.value_format = static_cast<std::uint32_t>(config.value_format);
+    h.row_ptr_count = row_ptr.size();
+    h.col_idx_count = col_idx.size();
+    h.values_f32_count = values_f32.size();
+    h.values_dpr_bytes = values_dpr.serializedBytes();
+    std::memcpy(dst, &h, sizeof(h));
+    std::uint8_t *p = dst + sizeof(h);
+    if (!row_ptr.empty()) {
+        std::memcpy(p, row_ptr.data(), row_ptr.size() * 4);
+        p += row_ptr.size() * 4;
+    }
+    if (!col_idx.empty()) {
+        std::memcpy(p, col_idx.data(), col_idx.size());
+        p += col_idx.size();
+    }
+    if (!values_f32.empty()) {
+        std::memcpy(p, values_f32.data(), values_f32.size() * 4);
+        p += values_f32.size() * 4;
+    }
+    values_dpr.serialize(p);
+}
+
+void
+CsrBuffer::deserialize(const std::uint8_t *src, std::uint64_t bytes)
+{
+    GIST_ASSERT(bytes >= sizeof(CsrBlobHeader), "CSR tier blob truncated: ",
+                bytes, " bytes");
+    CsrBlobHeader h;
+    std::memcpy(&h, src, sizeof(h));
+    const std::uint64_t want = sizeof(h) + h.row_ptr_count * 4 +
+                               h.col_idx_count + h.values_f32_count * 4 +
+                               h.values_dpr_bytes;
+    GIST_ASSERT(bytes == want, "CSR tier blob size mismatch: ", bytes,
+                " bytes, header implies ", want);
+    config.row_width = h.row_width;
+    config.index_bytes = static_cast<int>(h.index_bytes);
+    config.value_format = static_cast<DprFormat>(h.value_format);
+    numel_ = h.numel;
+    nnz_ = h.nnz;
+    const std::uint8_t *p = src + sizeof(h);
+    row_ptr.resize(h.row_ptr_count);
+    if (h.row_ptr_count > 0) {
+        std::memcpy(row_ptr.data(), p, h.row_ptr_count * 4);
+        p += h.row_ptr_count * 4;
+    }
+    col_idx.resize(h.col_idx_count);
+    if (h.col_idx_count > 0) {
+        std::memcpy(col_idx.data(), p, h.col_idx_count);
+        p += h.col_idx_count;
+    }
+    values_f32.resize(h.values_f32_count);
+    if (h.values_f32_count > 0) {
+        std::memcpy(values_f32.data(), p, h.values_f32_count * 4);
+        p += h.values_f32_count * 4;
+    }
+    values_dpr.deserialize(p, h.values_dpr_bytes);
+}
+
 void
 CsrBuffer::clear()
 {

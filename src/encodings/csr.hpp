@@ -125,6 +125,17 @@ class CsrBuffer
      */
     void setConfig(const CsrConfig &cfg);
 
+    /**
+     * Byte-exact blob round trip for the slow-tier swap path: restores
+     * the config, shape and all three arrays (values nested through
+     * DprBuffer::serialize when DPR-packed) bit-for-bit.
+     */
+    std::uint64_t serializedBytes() const;
+    /** Write serializedBytes() bytes of blob into @p dst. */
+    void serialize(std::uint8_t *dst) const;
+    /** Restore from a serialize()d blob (replaces any contents). */
+    void deserialize(const std::uint8_t *src, std::uint64_t bytes);
+
     /** Drop the storage. */
     void clear();
 

@@ -225,6 +225,59 @@ DprBuffer::reset()
     numel_ = 0;
 }
 
+namespace {
+
+/**
+ * Tier-blob header for DprBuffer. All fields little-endian host order:
+ * the blob never leaves the machine that wrote it (the slow tier is a
+ * process-local file or memory store), so no cross-endian concern.
+ */
+struct DprBlobHeader
+{
+    std::uint32_t format;
+    std::uint32_t reserved;
+    std::int64_t numel;
+    std::uint64_t word_count;
+};
+
+} // namespace
+
+std::uint64_t
+DprBuffer::serializedBytes() const
+{
+    return sizeof(DprBlobHeader) + words.size() * 4;
+}
+
+void
+DprBuffer::serialize(std::uint8_t *dst) const
+{
+    DprBlobHeader h;
+    h.format = static_cast<std::uint32_t>(format_);
+    h.reserved = 0;
+    h.numel = numel_;
+    h.word_count = words.size();
+    std::memcpy(dst, &h, sizeof(h));
+    if (!words.empty())
+        std::memcpy(dst + sizeof(h), words.data(), words.size() * 4);
+}
+
+void
+DprBuffer::deserialize(const std::uint8_t *src, std::uint64_t bytes)
+{
+    GIST_ASSERT(bytes >= sizeof(DprBlobHeader), "DPR tier blob truncated: ",
+                bytes, " bytes");
+    DprBlobHeader h;
+    std::memcpy(&h, src, sizeof(h));
+    GIST_ASSERT(bytes == sizeof(h) + h.word_count * 4,
+                "DPR tier blob size mismatch: ", bytes, " bytes for ",
+                h.word_count, " words");
+    format_ = static_cast<DprFormat>(h.format);
+    numel_ = h.numel;
+    words.resize(h.word_count);
+    if (h.word_count > 0)
+        std::memcpy(words.data(), src + sizeof(h), h.word_count * 4);
+}
+
 void
 dprQuantizeInPlace(DprFormat fmt, std::span<float> values)
 {

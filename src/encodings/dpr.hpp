@@ -86,6 +86,17 @@ class DprBuffer
     DprFormat format() const { return format_; }
     std::uint64_t bytes() const { return words.size() * 4; }
 
+    /**
+     * Byte-exact blob round trip for the slow-tier swap path: the blob
+     * restores format, numel and the packed words bit-for-bit, so a
+     * decode after deserialize() equals a decode of the original.
+     */
+    std::uint64_t serializedBytes() const;
+    /** Write serializedBytes() bytes of blob into @p dst. */
+    void serialize(std::uint8_t *dst) const;
+    /** Restore from a serialize()d blob (replaces any contents). */
+    void deserialize(const std::uint8_t *src, std::uint64_t bytes);
+
     /** Drop the storage and return its memory to the heap. */
     void clear();
 

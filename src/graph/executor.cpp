@@ -30,6 +30,36 @@ secondsSince(std::chrono::steady_clock::time_point t0)
         .count();
 }
 
+/**
+ * Does this plan's encoded form live in the CsrBuffer (vs DprBuffer)?
+ * Repr::Swap reuses the same codecs for its transfer compression, so
+ * every "which buffer" branch routes through here.
+ */
+bool
+planUsesCsr(const StashPlan &plan)
+{
+    return plan.repr == StashPlan::Repr::Csr ||
+           (plan.repr == StashPlan::Repr::Swap &&
+            plan.swap_codec == StashPlan::SwapCodec::Csr);
+}
+
+/** Does this plan encode at all before retiring the FP32 buffer? */
+bool
+planEncodes(const StashPlan &plan)
+{
+    switch (plan.repr) {
+    case StashPlan::Repr::Csr:
+    case StashPlan::Repr::Dpr:
+        return true;
+    case StashPlan::Repr::Swap:
+        return plan.swap_codec != StashPlan::SwapCodec::None;
+    case StashPlan::Repr::Dense:
+    case StashPlan::Repr::Recompute:
+        return false;
+    }
+    return false;
+}
+
 } // namespace
 
 Executor::Telemetry::Telemetry()
@@ -119,7 +149,19 @@ Executor::setAsyncCodec(bool on, int workers)
 {
     async_codec = on;
     if (on)
-        CodecQueue::instance().setNumWorkers(std::max(1, workers));
+        codec_queue_.setNumWorkers(std::max(1, workers));
+    else
+        codec_queue_.setNumWorkers(0); // inline execution (sync fallback)
+}
+
+void
+Executor::setDevicePool(std::shared_ptr<DevicePool> pool)
+{
+    // Quiesce any in-flight evict/fetch against the old pool first.
+    codec_queue_.drain();
+    device_pool_ = std::move(pool);
+    pending_evict_bytes_.store(0, std::memory_order_relaxed);
+    evict_fifo_.clear();
 }
 
 const ScheduleInfo &
@@ -201,6 +243,10 @@ Executor::memprofSample(int sched_step, NodeId node, const char *phase)
     s.arena_bytes = static_cast<std::int64_t>(
         WorkspaceArena::instance().reservedBytes());
     s.encoded_bytes = encoded_level.load(std::memory_order_relaxed);
+    s.tier_bytes =
+        device_pool_
+            ? static_cast<std::int64_t>(device_pool_->residentBytes())
+            : 0;
     mp_samples.push_back(std::move(s));
 }
 
@@ -352,12 +398,31 @@ Executor::retireAfterForward(NodeId id)
         return;
     }
 
+    if (st.plan.repr == StashPlan::Repr::Swap) {
+        // vDNN-style offload: the stash always leaves the device at
+        // retire time, optionally compressed on the way (the cDMA
+        // idea). Raw swaps ship the FP32 buffer directly; codec swaps
+        // encode first and the evict chains after the encode ticket.
+        GIST_ASSERT(device_pool_ != nullptr, "node ", id,
+                    " has a Swap plan but no device pool is attached");
+        if (planEncodes(st.plan)) {
+            if (async_codec)
+                st.encode_job =
+                    codec_queue_.submit([this, id] { encodeSlot(id); });
+            else
+                encodeSlot(id);
+            st.state = BufState::Encoded;
+        }
+        submitEvict(id);
+        return;
+    }
+
     // Slot ENCODING: state flips to Encoded on the main thread at
     // submission; the codec worker owns the slot's buffers until the
     // encode ticket is joined (joinEncode/awaitDense/releaseStash).
     if (async_codec) {
         st.encode_job =
-            CodecQueue::instance().submit([this, id] { encodeSlot(id); });
+            codec_queue_.submit([this, id] { encodeSlot(id); });
     } else {
         encodeSlot(id);
     }
@@ -374,7 +439,7 @@ void
 Executor::encodeSlot(NodeId id)
 {
     auto &st = states[static_cast<size_t>(id)];
-    const bool is_csr = st.plan.repr == StashPlan::Repr::Csr;
+    const bool is_csr = planUsesCsr(st.plan);
     GIST_TRACE_SCOPE_F("encode", "encode %s %s", is_csr ? "csr" : "dpr",
                        graph_.node(id).name.c_str());
     const auto t0 = std::chrono::steady_clock::now();
@@ -411,12 +476,12 @@ Executor::decodeSlot(NodeId id)
 {
     auto &st = states[static_cast<size_t>(id)];
     GIST_TRACE_SCOPE_F("decode", "decode %s %s",
-                       st.plan.repr == StashPlan::Repr::Csr ? "csr" : "dpr",
+                       planUsesCsr(st.plan) ? "csr" : "dpr",
                        graph_.node(id).name.c_str());
     const auto t0 = std::chrono::steady_clock::now();
     st.value.reallocate();
     meterAdd(id, MemKind::Value, st.value.bytes());
-    if (st.plan.repr == StashPlan::Repr::Csr) {
+    if (planUsesCsr(st.plan)) {
         st.csr.decode(st.value.span());
         meterSub(id, MemKind::Encoded, st.csr.bytes());
         st.csr.reset(); // keep capacity for next step's encode
@@ -438,6 +503,206 @@ Executor::materialize(NodeId id)
                 " has no stashed value to materialize");
     decodeSlot(id);
     st.state = BufState::Dense;
+}
+
+void
+Executor::submitEvict(NodeId id)
+{
+    auto &st = states[static_cast<size_t>(id)];
+    GIST_ASSERT(device_pool_ != nullptr, "evict without a device pool");
+    GIST_ASSERT(st.state == BufState::Dense ||
+                    st.state == BufState::Encoded,
+                "node ", id, " is not evictable in its current state");
+    GIST_ASSERT(!st.evict_job && !st.fetch_job && !st.decode_job,
+                "node ", id, " has tier/decode work in flight");
+    if (st.state == BufState::Dense) {
+        st.tier_form = TierForm::Dense;
+        st.evict_estimate = st.value.bytes();
+    } else {
+        const bool is_csr = planUsesCsr(st.plan);
+        st.tier_form = is_csr ? TierForm::Csr : TierForm::Dpr;
+        // Device bytes the transfer will free. With the encode still in
+        // flight the CSR size is unknown (nnz-dependent), so credit the
+        // FP32 upper bound; DPR is exactly sized by format and numel.
+        if (st.encode_job && !st.encode_job.ready())
+            st.evict_estimate =
+                is_csr ? st.value.bytes()
+                       : dprEncodedBytes(st.plan.dpr, st.value.numel());
+        else
+            st.evict_estimate = is_csr ? st.csr.bytes() : st.dpr.bytes();
+    }
+    // Credit before submit: with zero workers the task runs inline and
+    // debits the credit before submit() returns.
+    pending_evict_bytes_.fetch_add(st.evict_estimate,
+                                   std::memory_order_relaxed);
+    // The evict task waits on the slot's own encode ticket first — the
+    // same earlier-submitted-only chaining that keeps decode prefetch
+    // deadlock-free at any worker count.
+    const TaskTicket after = st.encode_job;
+    st.evict_job = codec_queue_.submit([this, id, after] {
+        after.wait();
+        evictSlot(id);
+    });
+    st.state = BufState::Evicted;
+    evict_fifo_.push_back(id);
+}
+
+/**
+ * Worker-side evict body: move the slot's device-resident payload
+ * (dense FP32 or a serialized encoding) into the tier and release the
+ * device bytes. The slot's buffers are owned by this task until its
+ * ticket is joined.
+ */
+void
+Executor::evictSlot(NodeId id)
+{
+    auto &st = states[static_cast<size_t>(id)];
+    GIST_TRACE_SCOPE_F("evict", "evict %s", graph_.node(id).name.c_str());
+    if (st.tier_form == TierForm::Dense) {
+        const std::uint64_t bytes = st.value.bytes();
+        device_pool_->store(id, st.value.data(), bytes);
+        st.tier_bytes = bytes;
+        meterSub(id, MemKind::Value, bytes);
+        st.value.releaseStorage();
+    } else {
+        const bool is_csr = st.tier_form == TierForm::Csr;
+        const std::uint64_t blob =
+            is_csr ? st.csr.serializedBytes() : st.dpr.serializedBytes();
+        st.xfer.resize(blob);
+        if (is_csr)
+            st.csr.serialize(st.xfer.data());
+        else
+            st.dpr.serialize(st.xfer.data());
+        device_pool_->store(id, st.xfer.data(), blob);
+        st.tier_bytes = blob;
+        const std::uint64_t enc = is_csr ? st.csr.bytes() : st.dpr.bytes();
+        meterSub(id, MemKind::Encoded, enc);
+        if (is_csr)
+            st.csr.reset(); // keep capacity for the fetch-back
+        else
+            st.dpr.reset();
+    }
+    pending_evict_bytes_.fetch_sub(st.evict_estimate,
+                                   std::memory_order_relaxed);
+}
+
+void
+Executor::submitFetch(NodeId id)
+{
+    auto &st = states[static_cast<size_t>(id)];
+    if (st.state != BufState::Evicted || st.fetch_job)
+        return;
+    const TaskTicket after = st.evict_job; // fetch never passes its evict
+    st.fetch_job = codec_queue_.submit([this, id, after] {
+        after.wait();
+        fetchSlot(id);
+    });
+}
+
+/** Worker-side fetch body: bring the tier blob back onto the device. */
+void
+Executor::fetchSlot(NodeId id)
+{
+    auto &st = states[static_cast<size_t>(id)];
+    GIST_TRACE_SCOPE_F("fetch", "fetch %s", graph_.node(id).name.c_str());
+    if (st.tier_form == TierForm::Dense) {
+        st.value.reallocate();
+        meterAdd(id, MemKind::Value, st.value.bytes());
+        device_pool_->fetch(id, st.value.data(), st.tier_bytes);
+    } else {
+        st.xfer.resize(st.tier_bytes);
+        device_pool_->fetch(id, st.xfer.data(), st.tier_bytes);
+        if (st.tier_form == TierForm::Csr) {
+            st.csr.deserialize(st.xfer.data(), st.tier_bytes);
+            meterAdd(id, MemKind::Encoded, st.csr.bytes());
+        } else {
+            st.dpr.deserialize(st.xfer.data(), st.tier_bytes);
+            meterAdd(id, MemKind::Encoded, st.dpr.bytes());
+        }
+    }
+    device_pool_->erase(id);
+    st.tier_bytes = 0;
+}
+
+void
+Executor::joinFetch(NodeId id)
+{
+    auto &st = states[static_cast<size_t>(id)];
+    if (!st.fetch_job)
+        return;
+    joinTicket(st.fetch_job, "fetch", id);
+    st.fetch_job.reset();
+    st.evict_job.reset();  // fetch waited on it already
+    st.encode_job.reset(); // evict waited on it already
+    st.state = st.tier_form == TierForm::Dense ? BufState::Dense
+                                               : BufState::Encoded;
+    st.tier_form = TierForm::None;
+}
+
+void
+Executor::enforcePoolCap(int cur_step)
+{
+    if (!device_pool_ || device_pool_->cap() == 0)
+        return;
+    const auto cap = static_cast<std::int64_t>(device_pool_->cap());
+    // In-flight evicts are credited against the level so one overflow
+    // does not trigger a cascade of duplicate evictions while the
+    // workers catch up.
+    const auto level = [&] {
+        return tele.pool_bytes.current() -
+               static_cast<std::int64_t>(pending_evict_bytes_.load(
+                   std::memory_order_relaxed));
+    };
+    while (level() > cap) {
+        // Pick the evictable stash whose backward read is furthest in
+        // the future (Belady-style, on the known schedule): stashed,
+        // past its forward reads, not yet into its backward reads, and
+        // with no tier/decode work in flight. Encode-in-flight is fine
+        // (the evict chains after it).
+        NodeId best = -1;
+        int best_read = -1;
+        const std::int64_t n = graph_.numNodes();
+        for (std::int64_t i = 0; i < n; ++i) {
+            const auto id = static_cast<NodeId>(i);
+            const auto &st = states[static_cast<size_t>(i)];
+            if (!sched->stashed(id) ||
+                st.plan.repr == StashPlan::Repr::Recompute)
+                continue;
+            if (st.state != BufState::Dense &&
+                st.state != BufState::Encoded)
+                continue;
+            if (st.evict_job || st.fetch_job || st.decode_job)
+                continue;
+            if (sched->lastFwdRead(id) > cur_step)
+                continue; // still feeding forward consumers
+            const int next_read = sched->firstBwdRead(id);
+            if (next_read <= cur_step)
+                continue; // its backward reads have begun
+            if (next_read > best_read ||
+                (next_read == best_read && id < best)) {
+                best = id;
+                best_read = next_read;
+            }
+        }
+        if (best < 0)
+            break; // nothing evictable: allow the transient overshoot
+        submitEvict(best);
+    }
+    // Hard backpressure: when the *actual* level is still above the cap
+    // the producer has outrun the tier link; block on the oldest
+    // in-flight evict (counted as a stall) instead of racing further
+    // ahead. Never waits for anything but already-submitted transfers,
+    // so this cannot deadlock; with an empty FIFO the overshoot stands
+    // (the tier is unbounded, the device cap is a target).
+    while (tele.pool_bytes.current() > cap && !evict_fifo_.empty()) {
+        const NodeId vid = evict_fifo_.front();
+        evict_fifo_.pop_front();
+        auto &vst = states[static_cast<size_t>(vid)];
+        if (vst.evict_job) {
+            joinTicket(vst.evict_job, "evict", vid);
+            vst.evict_job.reset();
+        }
+    }
 }
 
 bool
@@ -463,6 +728,29 @@ Executor::submitDecodes(NodeId consumer, NodeId chunked_reader)
     for (const DecodeTarget &t :
          codec_points.decode_targets[static_cast<size_t>(consumer)]) {
         auto &st = states[static_cast<size_t>(t.slot)];
+        const NodeId slot = t.slot;
+        if (st.state == BufState::Evicted) {
+            // Prefetch-back: start the tier transfer now so it overlaps
+            // the preceding backward compute like a decode prefetch.
+            submitFetch(slot);
+            if (st.tier_form == TierForm::Dense || st.decode_job)
+                continue; // awaitDense joins the fetch / already chained
+            if (t.chunkable && chunkedReader(consumer))
+                continue; // fetch suffices; consumer walks the encoding
+            if (hold) {
+                const auto &ins = graph_.node(chunked_reader).inputs;
+                if (std::find(ins.begin(), ins.end(), slot) != ins.end())
+                    continue;
+            }
+            // Chain the decode behind the fetch (FIFO, earlier-submitted
+            // only — the same deadlock-freedom argument as below).
+            const TaskTicket after_fetch = st.fetch_job;
+            st.decode_job = codec_queue_.submit([this, slot, after_fetch] {
+                after_fetch.wait();
+                decodeSlot(slot);
+            });
+            continue;
+        }
         if (st.state != BufState::Encoded)
             continue; // dense plan, already decoded, or released
         if (st.decode_job)
@@ -479,8 +767,7 @@ Executor::submitDecodes(NodeId consumer, NodeId chunked_reader)
         // earlier-submitted tasks (already popped), so every worker
         // count down to one is deadlock-free.
         const TaskTicket after = st.encode_job;
-        const NodeId slot = t.slot;
-        st.decode_job = CodecQueue::instance().submit([this, slot, after] {
+        st.decode_job = codec_queue_.submit([this, slot, after] {
             after.wait();
             decodeSlot(slot);
         });
@@ -530,11 +817,24 @@ Executor::awaitDense(NodeId id)
         joinTicket(st.decode_job, "decode", id);
         st.decode_job.reset();
         st.encode_job.reset(); // decode waited on it already
+        st.fetch_job.reset();  // (and, for evicted slots, on these two)
+        st.evict_job.reset();
+        st.tier_form = TierForm::None;
         st.state = BufState::Dense;
         return;
     }
     if (st.state == BufState::Dense)
         return;
+    if (st.state == BufState::Evicted) {
+        // No decode chained (raw swap, chunk-held, or sync mode): bring
+        // the blob back, then decode inline if it came back encoded.
+        submitFetch(id); // no-op when the prefetch is already in flight
+        joinFetch(id);
+        if (st.state == BufState::Dense)
+            return;
+        materialize(id);
+        return;
+    }
     // No prefetch in flight (e.g. elide-skipped slot read densely after
     // all): fall back to the synchronous decode path.
     joinEncode(id);
@@ -556,25 +856,42 @@ void
 Executor::releaseStash(NodeId id)
 {
     auto &st = states[static_cast<size_t>(id)];
-    // Join any in-flight codec work first so the buffers (and the
+    // Join any in-flight codec/tier work first so the buffers (and the
     // memory meter) are quiescent before the release bookkeeping.
     if (st.decode_job) {
         joinTicket(st.decode_job, "release", id);
         st.decode_job.reset();
         st.encode_job.reset();
+        st.fetch_job.reset();
+        st.evict_job.reset();
+        st.tier_form = TierForm::None;
         st.state = BufState::Dense;
+    } else if (st.fetch_job) {
+        joinFetch(id); // -> Dense or Encoded
+    } else if (st.evict_job) {
+        joinTicket(st.evict_job, "release", id);
+        st.evict_job.reset();
+        st.encode_job.reset(); // evict waited on it already
     } else {
         joinEncode(id);
     }
-    if (st.state == BufState::Dense)
+    if (st.state == BufState::Dense) {
         meterSub(id, MemKind::Value, st.value.bytes());
-    else if (st.state == BufState::Encoded)
+    } else if (st.state == BufState::Encoded) {
         meterSub(id, MemKind::Encoded,
-                 st.plan.repr == StashPlan::Repr::Csr ? st.csr.bytes()
-                                                      : st.dpr.bytes());
+                 planUsesCsr(st.plan) ? st.csr.bytes() : st.dpr.bytes());
+    } else if (st.state == BufState::Evicted) {
+        // Released while tier-resident (its device bytes were already
+        // un-metered by the evict); just drop the blob.
+        device_pool_->erase(id);
+        st.tier_bytes = 0;
+        st.tier_form = TierForm::None;
+    }
     st.value.releaseStorage();
     st.csr.clear();
     st.dpr.clear();
+    st.xfer.clear();
+    st.xfer.shrink_to_fit();
     st.state = BufState::Empty;
 }
 
@@ -613,8 +930,9 @@ Executor::replaySegment(NodeId target, int at_step)
         auto &st = states[static_cast<size_t>(id)];
         if (st.state == BufState::Dense)
             continue;
-        if (st.state == BufState::Encoded) {
-            awaitDense(id); // joins in-flight codec work first
+        if (st.state == BufState::Encoded ||
+            st.state == BufState::Evicted) {
+            awaitDense(id); // joins in-flight codec/tier work first
             continue;
         }
         segment.push_back(id);
@@ -732,8 +1050,11 @@ Executor::runMinibatch(const Tensor &input,
     const std::uint64_t recompute_nodes0 = tele.recompute_nodes.value();
     const std::uint64_t recompute_dropped0 =
         tele.recompute_dropped_bytes.value();
-    const CodecQueueStats q0 = CodecQueue::instance().stats();
-    CodecQueue::instance().markDepth();
+    const CodecQueueStats q0 = codec_queue_.stats();
+    codec_queue_.markDepth();
+    const TierStats tier0 =
+        device_pool_ ? device_pool_->stats() : TierStats{};
+    evict_fifo_.clear(); // stale ids only; all tickets joined by now
     tele.pool_bytes.set(0);
     tele.pool_bytes.resetPeak();
     memory_trace.clear();
@@ -797,6 +1118,7 @@ Executor::runMinibatch(const Tensor &input,
                 retireAfterForward(in);
         if (sched->lastFwdRead(id) == graph_.fwdStep(id))
             retireAfterForward(id);
+        enforcePoolCap(graph_.fwdStep(id));
         memory_trace.emplace_back(
             graph_.fwdStep(id),
             static_cast<std::uint64_t>(tele.pool_bytes.current()));
@@ -839,6 +1161,22 @@ Executor::runMinibatch(const Tensor &input,
             submitDecodes(codec_points.next_bwd[static_cast<size_t>(i)],
                           id);
         }
+        // Land tier-resident reads back on device first. Slots with a
+        // chained decode resolve through awaitDense below; the rest
+        // (raw swaps, chunk-held fetches, sync mode) join their fetch
+        // here so the chunked_ok probe sees the restored BufState.
+        auto landFetched = [&](NodeId slot) {
+            auto &slot_st = states[static_cast<size_t>(slot)];
+            if (slot_st.state == BufState::Evicted && !slot_st.decode_job) {
+                submitFetch(slot);
+                joinFetch(slot);
+            }
+        };
+        if (needs.input)
+            for (NodeId in : node.inputs)
+                landFetched(in);
+        if (needs.output)
+            landFetched(id);
         if (needs.input)
             for (NodeId in : node.inputs) {
                 if (!chunked_ok(in)) {
@@ -866,7 +1204,7 @@ Executor::runMinibatch(const Tensor &input,
                     : nullptr);
             EncodedStash stash;
             if (needs.input && chunked_ok(in)) {
-                if (in_st.plan.repr == StashPlan::Repr::Csr) {
+                if (planUsesCsr(in_st.plan)) {
                     stash.csr = &in_st.csr;
                     // Route through the row-sparse GEMM only when the
                     // measured sparsity clears the opt-in threshold —
@@ -935,6 +1273,7 @@ Executor::runMinibatch(const Tensor &input,
                 releaseStash(in);
         if (sched->stashed(id) && sched->lastBwdRead(id) == step)
             releaseStash(id);
+        enforcePoolCap(step);
         memory_trace.emplace_back(
             step, static_cast<std::uint64_t>(tele.pool_bytes.current()));
         if (memprof)
@@ -965,7 +1304,7 @@ Executor::runMinibatch(const Tensor &input,
     // Stall accounting: per-step deltas of the stall counters (bumped
     // by joinTicket) and of the CodecQueue's own per-ticket stats,
     // mirrored into the registry so snapshot-based tools see them.
-    const CodecQueueStats q1 = CodecQueue::instance().stats();
+    const CodecQueueStats q1 = codec_queue_.stats();
     last_stats.codec_stall_ns = tele.codec_stall_ns.value() - stall_ns0;
     last_stats.codec_stalls = tele.codec_stalls.value() - stalls0;
     last_stats.codec_queue_wait_ns = q1.queue_wait_ns - q0.queue_wait_ns;
@@ -979,6 +1318,18 @@ Executor::runMinibatch(const Tensor &input,
             std::min(last_stats.codec_stall_ns, last_stats.codec_run_ns));
         last_stats.overlap_efficiency =
             1.0 - stall / static_cast<double>(last_stats.codec_run_ns);
+    }
+
+    // Tier traffic: per-step deltas of the DevicePool's cumulative
+    // transfer statistics.
+    if (device_pool_) {
+        const TierStats tier1 = device_pool_->stats();
+        last_stats.tier_evictions = tier1.stores - tier0.stores;
+        last_stats.tier_fetches = tier1.fetches - tier0.fetches;
+        last_stats.tier_bytes_out = tier1.bytes_out - tier0.bytes_out;
+        last_stats.tier_bytes_in = tier1.bytes_in - tier0.bytes_in;
+        last_stats.tier_write_ns = tier1.write_ns - tier0.write_ns;
+        last_stats.tier_read_ns = tier1.read_ns - tier0.read_ns;
     }
 
     if (memprof)

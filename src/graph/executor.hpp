@@ -19,6 +19,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -28,6 +29,7 @@
 #include "encodings/dpr.hpp"
 #include "graph/codec_points.hpp"
 #include "graph/graph.hpp"
+#include "memory/device_pool.hpp"
 #include "obs/counters.hpp"
 #include "obs/memprof.hpp"
 #include "util/parallel.hpp"
@@ -52,12 +54,20 @@ struct StashPlan
      * and the minimal producer forward segment is re-run on demand when
      * the backward pass first reads the slot (gradient-checkpointing
      * folded into the same per-slot plan space as the encodings).
+     * Swap moves the stash off-device into the executor's DevicePool
+     * tier at retire time (vDNN-style offload; optionally compressing
+     * on the way per swap_codec — the cDMA idea) and fetches it back
+     * ahead of the first backward read.
      */
-    enum class Repr { Dense, Csr, Dpr, Recompute };
+    enum class Repr { Dense, Csr, Dpr, Recompute, Swap };
+
+    /** Transfer encoding for Repr::Swap (None = raw FP32 offload). */
+    enum class SwapCodec { None, Csr, Dpr };
 
     Repr repr = Repr::Dense;
-    CsrConfig csr{};                   ///< for Repr::Csr
-    DprFormat dpr = DprFormat::Fp32;   ///< for Repr::Dpr
+    CsrConfig csr{};                   ///< for Repr::Csr / SwapCodec::Csr
+    DprFormat dpr = DprFormat::Fp32;   ///< for Repr::Dpr / SwapCodec::Dpr
+    SwapCodec swap_codec = SwapCodec::None; ///< for Repr::Swap
 };
 
 /**
@@ -112,6 +122,20 @@ struct ExecStats
      * 1 - stall/run (clamped to [0,1]); 1.0 when no codec work ran.
      */
     double overlap_efficiency = 1.0;
+
+    /**
+     * Tiered-memory accounting (all zero without a DevicePool): slot
+     * evictions to / fetches from the slow tier this minibatch, the
+     * transferred bytes, and the wall time the transfers took on the
+     * codec workers (overlapped with compute in async mode, on the
+     * critical path in sync mode).
+     */
+    std::uint64_t tier_evictions = 0;
+    std::uint64_t tier_fetches = 0;
+    std::uint64_t tier_bytes_out = 0; ///< device -> tier
+    std::uint64_t tier_bytes_in = 0;  ///< tier -> device
+    std::uint64_t tier_write_ns = 0;
+    std::uint64_t tier_read_ns = 0;
 };
 
 /** Executes forward/backward minibatches over a Graph. */
@@ -174,13 +198,35 @@ class Executor
      * identical to sync runs. Default off (sync fallback); usually set
      * via GistConfig::async_codec / GIST_ASYNC.
      *
-     * @p workers sizes the process-global codec queue (clamped to >= 1
+     * @p workers sizes this executor's codec queue (clamped to >= 1
      * when @p on).
      */
     void setAsyncCodec(bool on, int workers = 1);
 
     /** True when the async codec pipeline is enabled. */
     bool asyncCodec() const { return async_codec; }
+
+    /**
+     * This executor's own codec queue (workers, stats, jitter). Each
+     * executor owns one, so two executors in a process never share
+     * FIFO ordering or stall accounting. Test hooks (setJitter) and
+     * stat probes go through here.
+     */
+    CodecQueue &codecQueue() { return codec_queue_; }
+
+    /**
+     * Attach a bounded device pool + slow tier. With pool->cap() > 0,
+     * stash slots overflowing the cap are evicted to the tier through
+     * the codec queue after their last forward read and prefetched back
+     * ahead of their backward reads; Repr::Swap plans always route
+     * through the tier. Evicted contents round-trip bit-exactly, so
+     * results are bitwise-identical to an unbounded run. nullptr
+     * detaches. Must not be changed mid-minibatch.
+     */
+    void setDevicePool(std::shared_ptr<DevicePool> pool);
+
+    /** The attached device pool (nullptr when unbounded / detached). */
+    DevicePool *devicePool() const { return device_pool_.get(); }
 
     /**
      * Size the shared thread pool driving gemm/im2col/encode/decode.
@@ -238,7 +284,15 @@ class Executor
     const ScheduleInfo &schedule() const;
 
   private:
-    enum class BufState { Empty, Dense, Encoded };
+    /**
+     * Evicted = the slot's contents live in the DevicePool tier (an
+     * evict was *submitted*; the transfer may still be in flight on a
+     * codec worker). tier_form records what was shipped.
+     */
+    enum class BufState { Empty, Dense, Encoded, Evicted };
+
+    /** What an Evicted slot holds in the tier. */
+    enum class TierForm { None, Dense, Csr, Dpr };
 
     struct NodeState
     {
@@ -253,9 +307,25 @@ class Executor
          * authoritative view (Encoded = encode *submitted*); a non-empty
          * ticket means a codec worker may still own the slot's buffers,
          * so the main thread joins the ticket before touching them.
+         * The tier tickets chain FIFO per slot: evict waits on encode,
+         * fetch waits on evict, decode waits on fetch — each captured
+         * at submission, so every task only waits on earlier-submitted
+         * tickets and the queue stays deadlock-free at any worker count.
          */
         TaskTicket encode_job;
         TaskTicket decode_job;
+        TaskTicket evict_job;
+        TaskTicket fetch_job;
+        /** What the tier blob holds while state == Evicted. */
+        TierForm tier_form = TierForm::None;
+        /** Host staging buffer for encoded tier blobs (not metered:
+         *  it stands in for the DMA engine's bounce buffer). */
+        std::vector<std::uint8_t> xfer;
+        /** Stored blob size while tier-resident (0 otherwise). */
+        std::uint64_t tier_bytes = 0;
+        /** Device bytes an in-flight evict will free (credit against
+         *  the pool gauge until the worker finishes the transfer). */
+        std::uint64_t evict_estimate = 0;
         double sparsity = -1.0;
         double csr_ratio = -1.0;
         double fwd_seconds = 0.0;
@@ -286,6 +356,32 @@ class Executor
     /** Codec-queue task bodies (run on codec workers in async mode). */
     void encodeSlot(NodeId id);
     void decodeSlot(NodeId id);
+
+    /**
+     * Tier path (all submissions on the main thread). submitEvict moves
+     * a Dense or Encoded slot into the tier through the codec queue
+     * (chained after any in-flight encode) and flips it to Evicted;
+     * submitFetch chains the transfer back after the evict;
+     * joinFetch blocks until the blob is back on "device" and restores
+     * Dense/Encoded. evictSlot/fetchSlot are the worker-side bodies.
+     */
+    void submitEvict(NodeId id);
+    void submitFetch(NodeId id);
+    void joinFetch(NodeId id);
+    void evictSlot(NodeId id);
+    void fetchSlot(NodeId id);
+
+    /**
+     * Overflow control, called at schedule-step boundaries: while the
+     * metered pool level (minus bytes already credited to in-flight
+     * evicts) exceeds the cap, pick the evictable stash with the
+     * furthest next read and submit its eviction; if the level still
+     * exceeds the cap hard-join the oldest in-flight evict
+     * (backpressure). Never blocks waiting for space only the caller
+     * could free — when nothing is evictable the overshoot is allowed,
+     * which is what keeps the loop deadlock-free.
+     */
+    void enforcePoolCap(int cur_step);
 
     /**
      * Submit decode prefetches for @p consumer's dense stash reads,
@@ -380,6 +476,15 @@ class Executor
     ExecStats last_stats;
     Telemetry tele;
 
+    /** Bounded device pool + slow tier (nullptr = unbounded device). */
+    std::shared_ptr<DevicePool> device_pool_;
+    /** Device bytes in-flight evicts will free once their workers run
+     *  (written by workers, read by enforcePoolCap). */
+    std::atomic<std::uint64_t> pending_evict_bytes_{ 0 };
+    /** Submission-ordered ids with an outstanding evict ticket — the
+     *  backpressure join order (main thread only). */
+    std::deque<NodeId> evict_fifo_;
+
     /**
      * Memory-profiler scratch (only touched when memprofEnabled()).
      * Accounts and the encoded-level tally are relaxed atomics because
@@ -397,6 +502,14 @@ class Executor
     int mp_peak_step = -1;
     std::vector<std::array<std::uint64_t, 4>> mp_attr;
     std::vector<obs::MemProfSample> mp_samples; ///< main thread only
+
+    /**
+     * The executor's own codec queue. Declared last so it is destroyed
+     * first: its destructor drains every in-flight encode/evict/fetch/
+     * decode task while the node states those tasks touch are still
+     * alive.
+     */
+    CodecQueue codec_queue_;
 };
 
 } // namespace gist

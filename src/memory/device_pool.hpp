@@ -1,0 +1,95 @@
+/**
+ * @file
+ * DevicePool: a byte cap on the simulated device's feature-map pool,
+ * with a slow tier behind it.
+ *
+ * The executor's memory meter ("gist.fmap_pool.bytes") stands in for
+ * device memory; the pool does not allocate anything itself. What it
+ * owns is the *overflow path*: when the metered level exceeds cap(),
+ * the executor evicts stash slots through store() into the pool's
+ * TierStore and fetches them back before their backward reads. The
+ * pool wraps every transfer with timing and mirrors the tier traffic
+ * into the obs registry:
+ *
+ *   gist.tier.evictions / gist.tier.fetches      (counters)
+ *   gist.tier.bytes_out / gist.tier.bytes_in     (counters)
+ *   gist.tier.write_ns  / gist.tier.read_ns      (counters)
+ *   gist.tier.bytes                              (gauge, resident level)
+ *
+ * cap() == 0 disables enforcement (an unbounded device); the store
+ * still works, which is what the planner's pure-swap plans use.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "memory/tier.hpp"
+#include "obs/counters.hpp"
+
+namespace gist {
+
+/** How to build a DevicePool (from GistConfig / env / bench flags). */
+struct DevicePoolConfig
+{
+    /** Device pool byte cap; 0 = unbounded (no overflow eviction). */
+    std::uint64_t cap_bytes = 0;
+    /** Spill directory for a file tier; empty = in-memory tier. */
+    std::string tier_path;
+    /**
+     * Slow-link bandwidth in bytes/second for the memory tier's
+     * throttle (0 = unthrottled). Ignored by the file tier, whose
+     * speed is the filesystem's own.
+     */
+    double tier_bytes_per_second = 0.0;
+};
+
+/** The bounded device pool + its slow tier. */
+class DevicePool
+{
+  public:
+    /** Builds the tier (file when tier_path set, else memory). Throws
+     *  std::runtime_error when a file tier's directory is unusable. */
+    explicit DevicePool(const DevicePoolConfig &config);
+
+    /** The device byte cap (0 = unbounded). */
+    std::uint64_t cap() const { return config_.cap_bytes; }
+
+    /** Evict: move @p bytes of @p data for slot @p key into the tier. */
+    void store(std::int64_t key, const void *data, std::uint64_t bytes);
+
+    /** Fetch slot @p key's blob back (@p bytes = its stored size). */
+    void fetch(std::int64_t key, void *dst, std::uint64_t bytes);
+
+    /** Stored blob size of slot @p key (0 when not tier-resident). */
+    std::uint64_t storedBytes(std::int64_t key) const;
+
+    /** Drop slot @p key from the tier. */
+    void erase(std::int64_t key);
+
+    /** Bytes currently tier-resident (the gist.tier.bytes gauge). */
+    std::uint64_t residentBytes() const;
+
+    /** Cumulative transfer statistics of the tier. */
+    TierStats stats() const { return tier_->stats(); }
+
+    /** "memory" or "file". */
+    const char *tierKind() const { return tier_->kind(); }
+
+    const DevicePoolConfig &config() const { return config_; }
+
+  private:
+    DevicePoolConfig config_;
+    std::unique_ptr<TierStore> tier_;
+    obs::Counter &evictions_;
+    obs::Counter &fetches_;
+    obs::Counter &bytes_out_;
+    obs::Counter &bytes_in_;
+    obs::Counter &write_ns_;
+    obs::Counter &read_ns_;
+    obs::Gauge &tier_bytes_;
+};
+
+} // namespace gist

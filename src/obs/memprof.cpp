@@ -189,12 +189,14 @@ memprofWrite(const std::string &path)
                 f,
                 "%s\n       {\"sched_step\": %d, \"node\": %s,"
                 " \"phase\": %s, \"pool_bytes\": %lld,"
-                " \"arena_bytes\": %lld, \"encoded_bytes\": %lld}",
+                " \"arena_bytes\": %lld, \"encoded_bytes\": %lld,"
+                " \"tier_bytes\": %lld}",
                 first ? "" : ",", smp.sched_step,
                 quoted(smp.node).c_str(), quoted(smp.phase).c_str(),
                 static_cast<long long>(smp.pool_bytes),
                 static_cast<long long>(smp.arena_bytes),
-                static_cast<long long>(smp.encoded_bytes));
+                static_cast<long long>(smp.encoded_bytes),
+                static_cast<long long>(smp.tier_bytes));
             first = false;
         }
         std::fprintf(f, "%s]}", first ? "" : "\n     ");

@@ -45,6 +45,7 @@ struct MemProfSample
     std::int64_t pool_bytes = 0;    ///< fmap-pool gauge level
     std::int64_t arena_bytes = 0;   ///< workspace arena reserved bytes
     std::int64_t encoded_bytes = 0; ///< encoded-stash share of the pool
+    std::int64_t tier_bytes = 0;    ///< slow-tier resident bytes
 };
 
 /** Per-slot byte account captured at the step's pool peak. */

@@ -297,6 +297,18 @@ Trainer::run(const SyntheticDataset &data, const TrainConfig &config)
                                stats.recompute_segments))
                     .field("recompute_dropped_bytes",
                            stats.recompute_dropped_bytes)
+                    .field("tier_evictions",
+                           static_cast<std::int64_t>(
+                               stats.tier_evictions))
+                    .field("tier_fetches",
+                           static_cast<std::int64_t>(stats.tier_fetches))
+                    .field("tier_bytes_out", stats.tier_bytes_out)
+                    .field("tier_bytes_in", stats.tier_bytes_in)
+                    .field("tier_write_seconds",
+                           static_cast<double>(stats.tier_write_ns) /
+                               1e9)
+                    .field("tier_read_seconds",
+                           static_cast<double>(stats.tier_read_ns) / 1e9)
                     .field("lr", static_cast<double>(lr));
                 obs::metricsWrite(rec);
             }

@@ -474,13 +474,6 @@ CodecQueue::~CodecQueue()
     impl_->stopWorkers();
 }
 
-CodecQueue &
-CodecQueue::instance()
-{
-    static CodecQueue queue;
-    return queue;
-}
-
 void
 CodecQueue::setNumWorkers(int n)
 {

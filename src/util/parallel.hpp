@@ -207,11 +207,21 @@ struct CodecQueueStats
  * setNumWorkers(0) disables the queue: submit() runs the task inline on
  * the calling thread (still capturing exceptions into the ticket), so
  * callers need no special sync fallback path.
+ *
+ * Each queue instance owns its worker threads and statistics: the
+ * executor embeds one per instance, so two executors in one process
+ * never share workers, stall accounting, or jitter state. Destroying a
+ * queue drains every submitted task first, so owners must declare it
+ * after (destroy it before) any state its tasks touch.
  */
 class CodecQueue
 {
   public:
-    static CodecQueue &instance();
+    CodecQueue();
+    ~CodecQueue();
+
+    CodecQueue(const CodecQueue &) = delete;
+    CodecQueue &operator=(const CodecQueue &) = delete;
 
     /**
      * Resize to @p n dedicated worker threads (n <= 0 means inline
@@ -249,9 +259,6 @@ class CodecQueue
     void setJitter(std::uint64_t seed);
 
   private:
-    CodecQueue();
-    ~CodecQueue();
-
     struct Impl;
     std::unique_ptr<Impl> impl_;
 };

@@ -127,7 +127,7 @@ runSteps(Graph &&g, std::uint64_t seed, const GistConfig &cfg, bool async,
     g.initParams(rng);
     Executor exec(g);
     applyToExecutor(buildSchedule(g, cfg), exec);
-    CodecQueue::instance().setJitter(async ? jitter_seed : 0);
+    exec.codecQueue().setJitter(async ? jitter_seed : 0);
     exec.setAsyncCodec(async, workers);
     StepResult result;
     Rng drng(seed + 2);
@@ -142,7 +142,7 @@ runSteps(Graph &&g, std::uint64_t seed, const GistConfig &cfg, bool async,
             for (Tensor *w : node.layer->paramGrads())
                 result.grads.insert(result.grads.end(), w->data(),
                                     w->data() + w->numel());
-    CodecQueue::instance().setJitter(0);
+    exec.codecQueue().setJitter(0);
     return result;
 }
 
@@ -234,9 +234,9 @@ TEST(AsyncExecutorStress, StallCountersZeroSyncNonzeroQueueWaitAsync)
     EXPECT_DOUBLE_EQ(exec.stats().overlap_efficiency, 1.0);
 
     exec.setAsyncCodec(true, /*workers=*/1);
-    CodecQueue::instance().setJitter(31); // stretch worker pickup
+    exec.codecQueue().setJitter(31); // stretch worker pickup
     exec.runMinibatch(batch, labels);
-    CodecQueue::instance().setJitter(0);
+    exec.codecQueue().setJitter(0);
     EXPECT_GT(exec.stats().codec_run_ns, 0u)
         << "async step dispatched no codec tasks";
     EXPECT_GT(exec.stats().codec_queue_wait_ns, 0u)

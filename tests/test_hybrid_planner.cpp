@@ -323,8 +323,36 @@ TEST(HybridPlanner, ByteSizeParser)
     EXPECT_EQ(parseByteSize("1.5m"),
               static_cast<std::uint64_t>(1.5 * 1024 * 1024));
     EXPECT_EQ(parseByteSize("2G"), std::uint64_t{ 2 } << 30);
-    EXPECT_EQ(parseByteSize("bogus"), 0u);
-    EXPECT_EQ(parseByteSize("12q"), 0u);
+    // Whitespace between number and suffix is tolerated.
+    EXPECT_EQ(parseByteSize("64 k"), 64u * 1024);
+    EXPECT_EQ(parseByteSize("2 GB"), std::uint64_t{ 2 } << 30);
+    EXPECT_EQ(parseByteSize("0"), 0u);
+    // Near the 64-bit edge but representable.
+    EXPECT_EQ(parseByteSize("8g"), std::uint64_t{ 8 } << 30);
+}
+
+TEST(HybridPlannerDeathTest, ByteSizeParserRejectsMalformedInput)
+{
+    // A typo'd budget must fail fast, not silently disable the planner.
+    EXPECT_EXIT(parseByteSize(""), ::testing::ExitedWithCode(1),
+                "empty byte-size");
+    EXPECT_EXIT(parseByteSize("bogus"), ::testing::ExitedWithCode(1),
+                "malformed byte-size");
+    EXPECT_EXIT(parseByteSize("12q"), ::testing::ExitedWithCode(1),
+                "malformed byte-size suffix");
+    EXPECT_EXIT(parseByteSize("3gb."), ::testing::ExitedWithCode(1),
+                "malformed byte-size suffix");
+    EXPECT_EXIT(parseByteSize("-1"), ::testing::ExitedWithCode(1),
+                "non-negative");
+    EXPECT_EXIT(parseByteSize("inf"), ::testing::ExitedWithCode(1),
+                "non-negative");
+    EXPECT_EXIT(parseByteSize("nan"), ::testing::ExitedWithCode(1),
+                "non-negative");
+    // value * scale overflowing uint64 must not wrap silently.
+    EXPECT_EXIT(parseByteSize("1e30"), ::testing::ExitedWithCode(1),
+                "overflows 64 bits");
+    EXPECT_EXIT(parseByteSize("999999999999g"), ::testing::ExitedWithCode(1),
+                "overflows 64 bits");
 }
 
 TEST(HybridPlanner, MissingShapesBumpCounterAndSplitFromCheap)

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "baselines/swap_sim.hpp"
 #include "models/tiny.hpp"
 #include "models/zoo.hpp"
@@ -39,6 +41,15 @@ TEST(SwapSim, GistOverheadIsSmall)
     EXPECT_GT(gist, 0.0);
     EXPECT_LT(gist, 0.15);
     EXPECT_LT(gist, vdnn.overheadFraction());
+}
+
+TEST(SwapSim, OverheadFractionIsNanOnZeroBase)
+{
+    // A degenerate simulation (no baseline seconds) must not read as
+    // "zero overhead" — callers render the NaN as "n/a".
+    SwapSimResult r;
+    r.total_seconds = 1.0;
+    EXPECT_TRUE(std::isnan(r.overheadFraction()));
 }
 
 TEST(SwapSim, InfinitePcieBandwidthRemovesVdnnOverhead)
