@@ -250,6 +250,7 @@ applyToExecutor(const BuiltSchedule &schedule, Executor &exec)
             any_swap |= decision.repr == StashPlan::Repr::Swap;
         if (schedule.config.device_pool_bytes > 0 || any_swap) {
             DevicePoolConfig pc;
+            pc.registry = &exec.registry();
             pc.cap_bytes = schedule.config.device_pool_bytes;
             pc.tier_path = schedule.config.tier_path;
             if (const char *env = std::getenv("GIST_TIER_PATH"))

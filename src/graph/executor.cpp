@@ -62,51 +62,54 @@ planEncodes(const StashPlan &plan)
 
 } // namespace
 
-Executor::Telemetry::Telemetry()
-    : encode_ns(obs::MetricRegistry::instance().counter("gist.encode.ns")),
-      decode_ns(obs::MetricRegistry::instance().counter("gist.decode.ns")),
+Executor::Telemetry::Telemetry(obs::MetricRegistry &registry)
+    : encode_ns(registry.counter("gist.encode.ns")),
+      decode_ns(registry.counter("gist.decode.ns")),
       encoded_bytes(
-          obs::MetricRegistry::instance().counter("gist.encode.bytes")),
-      dense_bytes_replaced(obs::MetricRegistry::instance().counter(
+          registry.counter("gist.encode.bytes")),
+      dense_bytes_replaced(registry.counter(
           "gist.encode.dense_bytes_replaced")),
       csr_encoded_bytes(
-          obs::MetricRegistry::instance().counter("gist.csr.encoded_bytes")),
+          registry.counter("gist.csr.encoded_bytes")),
       csr_dense_bytes(
-          obs::MetricRegistry::instance().counter("gist.csr.dense_bytes")),
+          registry.counter("gist.csr.dense_bytes")),
       dpr_encoded_bytes(
-          obs::MetricRegistry::instance().counter("gist.dpr.encoded_bytes")),
+          registry.counter("gist.dpr.encoded_bytes")),
       dpr_dense_bytes(
-          obs::MetricRegistry::instance().counter("gist.dpr.dense_bytes")),
+          registry.counter("gist.dpr.dense_bytes")),
       sparsity_zero_elems(
-          obs::MetricRegistry::instance().counter("gist.sparsity.zero_elems")),
-      sparsity_total_elems(obs::MetricRegistry::instance().counter(
+          registry.counter("gist.sparsity.zero_elems")),
+      sparsity_total_elems(registry.counter(
           "gist.sparsity.total_elems")),
       minibatches(
-          obs::MetricRegistry::instance().counter("gist.exec.minibatches")),
+          registry.counter("gist.exec.minibatches")),
       codec_stall_ns(
-          obs::MetricRegistry::instance().counter("gist.codec.stall_ns")),
+          registry.counter("gist.codec.stall_ns")),
       codec_stalls(
-          obs::MetricRegistry::instance().counter("gist.codec.stalls")),
-      codec_queue_wait_ns(obs::MetricRegistry::instance().counter(
+          registry.counter("gist.codec.stalls")),
+      codec_queue_wait_ns(registry.counter(
           "gist.codec.queue_wait_ns")),
       codec_run_ns(
-          obs::MetricRegistry::instance().counter("gist.codec.run_ns")),
+          registry.counter("gist.codec.run_ns")),
       recompute_ns(
-          obs::MetricRegistry::instance().counter("gist.recompute.ns")),
-      recompute_segments(obs::MetricRegistry::instance().counter(
+          registry.counter("gist.recompute.ns")),
+      recompute_segments(registry.counter(
           "gist.recompute.segments")),
       recompute_nodes(
-          obs::MetricRegistry::instance().counter("gist.recompute.nodes")),
-      recompute_dropped_bytes(obs::MetricRegistry::instance().counter(
+          registry.counter("gist.recompute.nodes")),
+      recompute_dropped_bytes(registry.counter(
           "gist.recompute.dropped_bytes")),
       codec_queue_depth(
-          obs::MetricRegistry::instance().gauge("gist.codec.queue_depth")),
-      pool_bytes(obs::MetricRegistry::instance().gauge("gist.fmap_pool.bytes"))
+          registry.gauge("gist.codec.queue_depth")),
+      pool_bytes(registry.gauge("gist.fmap_pool.bytes"))
 {
 }
 
-Executor::Executor(Graph &graph)
-    : graph_(graph), states(static_cast<size_t>(graph.numNodes())),
+Executor::Executor(Graph &graph, obs::MetricRegistry *registry)
+    : graph_(graph),
+      registry_(registry ? registry : &obs::MetricRegistry::instance()),
+      states(static_cast<size_t>(graph.numNodes())),
+      tele(*registry_),
       mem_accounts(new SlotAccount[static_cast<size_t>(graph.numNodes())])
 {
     for (std::int64_t i = 0; i < graph_.numNodes(); ++i)
@@ -273,6 +276,7 @@ Executor::memprofFinishStep()
 {
     obs::MemProfStep step;
     step.step = tele.minibatches.value() - 1;
+    step.job = job_tag_;
     step.arena_high_water = static_cast<std::int64_t>(
         WorkspaceArena::instance().stepHighWaterBytes());
     std::lock_guard<std::mutex> lock(mp_mu);

@@ -142,7 +142,16 @@ struct ExecStats
 class Executor
 {
   public:
-    explicit Executor(Graph &graph);
+    /**
+     * @param registry instrument registry this executor meters into.
+     * nullptr (the default) uses the process-global registry — the
+     * single-run configuration. A multi-job service passes one registry
+     * per job, which makes the executor fully self-contained: the pool
+     * gauge, codec counters and ExecStats deltas of concurrent
+     * executors never touch each other.
+     */
+    explicit Executor(Graph &graph,
+                      obs::MetricRegistry *registry = nullptr);
 
     /** Set the stash storage plan for node @p id's output. */
     void setStashPlan(NodeId id, StashPlan plan);
@@ -282,6 +291,18 @@ class Executor
 
     Graph &graph() { return graph_; }
     const ScheduleInfo &schedule() const;
+
+    /** The registry this executor meters into (global by default). */
+    obs::MetricRegistry &registry() { return *registry_; }
+
+    /**
+     * Tag this executor's observability records with a job id: memprof
+     * steps carry it as their "job" member and trace spans around
+     * minibatches name it, so a multi-job process can split its
+     * artifacts per job. Empty (the default) leaves records untagged.
+     */
+    void setJobTag(std::string tag) { job_tag_ = std::move(tag); }
+    const std::string &jobTag() const { return job_tag_; }
 
   private:
     /**
@@ -431,7 +452,7 @@ class Executor
      */
     struct Telemetry
     {
-        Telemetry();
+        explicit Telemetry(obs::MetricRegistry &registry);
         obs::Counter &encode_ns;
         obs::Counter &decode_ns;
         obs::Counter &encoded_bytes;
@@ -456,6 +477,11 @@ class Executor
     };
 
     Graph &graph_;
+    /** Instrument registry (never null; see the constructor). Declared
+     *  before tele so the Telemetry references resolve against it. */
+    obs::MetricRegistry *registry_;
+    /** Job id tag for memprof/trace records; empty = untagged. */
+    std::string job_tag_;
     std::unique_ptr<ScheduleInfo> sched;
     CodecPoints codec_points;
     std::vector<NodeState> states;

@@ -17,20 +17,29 @@ nanosSince(std::chrono::steady_clock::time_point t0)
 
 } // namespace
 
+namespace {
+
+obs::MetricRegistry &
+registryOf(const DevicePoolConfig &config)
+{
+    return config.registry ? *config.registry
+                           : obs::MetricRegistry::instance();
+}
+
+} // namespace
+
 DevicePool::DevicePool(const DevicePoolConfig &config)
     : config_(config),
       tier_(config.tier_path.empty()
                 ? makeMemoryTier(config.tier_bytes_per_second)
                 : makeFileTier(config.tier_path)),
-      evictions_(
-          obs::MetricRegistry::instance().counter("gist.tier.evictions")),
-      fetches_(obs::MetricRegistry::instance().counter("gist.tier.fetches")),
-      bytes_out_(
-          obs::MetricRegistry::instance().counter("gist.tier.bytes_out")),
-      bytes_in_(obs::MetricRegistry::instance().counter("gist.tier.bytes_in")),
-      write_ns_(obs::MetricRegistry::instance().counter("gist.tier.write_ns")),
-      read_ns_(obs::MetricRegistry::instance().counter("gist.tier.read_ns")),
-      tier_bytes_(obs::MetricRegistry::instance().gauge("gist.tier.bytes"))
+      evictions_(registryOf(config).counter("gist.tier.evictions")),
+      fetches_(registryOf(config).counter("gist.tier.fetches")),
+      bytes_out_(registryOf(config).counter("gist.tier.bytes_out")),
+      bytes_in_(registryOf(config).counter("gist.tier.bytes_in")),
+      write_ns_(registryOf(config).counter("gist.tier.write_ns")),
+      read_ns_(registryOf(config).counter("gist.tier.read_ns")),
+      tier_bytes_(registryOf(config).gauge("gist.tier.bytes"))
 {
 }
 

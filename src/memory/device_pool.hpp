@@ -44,6 +44,13 @@ struct DevicePoolConfig
      * speed is the filesystem's own.
      */
     double tier_bytes_per_second = 0.0;
+    /**
+     * Registry the gist.tier.* instruments live in. nullptr (the
+     * default) uses the process-global registry; a multi-job service
+     * passes the owning executor's per-job registry so concurrent
+     * pools never share counters.
+     */
+    obs::MetricRegistry *registry = nullptr;
 };
 
 /** The bounded device pool + its slow tier. */

@@ -154,13 +154,14 @@ memprofWrite(const std::string &path)
     std::fprintf(f, "\n  \"steps\": [");
     bool first_step = true;
     for (const MemProfStep &st : steps) {
-        std::fprintf(f, "%s\n    {\"step\": %llu,"
-                        " \"peak_pool_bytes\": %lld,"
+        std::fprintf(f, "%s\n    {\"step\": %llu,", first_step ? "" : ",",
+                     static_cast<unsigned long long>(st.step));
+        if (!st.job.empty())
+            std::fprintf(f, " \"job\": %s,", quoted(st.job).c_str());
+        std::fprintf(f, " \"peak_pool_bytes\": %lld,"
                         " \"peak_sched_step\": %d,"
                         " \"peak_node\": %s,"
                         " \"arena_high_water\": %lld,",
-                     first_step ? "" : ",",
-                     static_cast<unsigned long long>(st.step),
                      static_cast<long long>(st.peak_pool_bytes),
                      st.peak_sched_step, quoted(st.peak_node).c_str(),
                      static_cast<long long>(st.arena_high_water));

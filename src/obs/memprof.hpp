@@ -68,6 +68,9 @@ struct MemProfSlot
 struct MemProfStep
 {
     std::uint64_t step = 0;           ///< minibatch ordinal
+    /** Owning job id in a multi-job service (Executor::setJobTag);
+     *  empty for single-run processes. */
+    std::string job;
     std::int64_t peak_pool_bytes = 0; ///< == pool gauge peak
     int peak_sched_step = -1;         ///< schedule step at the peak
     std::string peak_node;            ///< node executing at the peak

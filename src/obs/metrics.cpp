@@ -11,21 +11,13 @@ namespace gist::obs {
 
 namespace {
 
-struct Sink
-{
-    std::mutex mu;
-    std::FILE *f = nullptr;
-    std::string path;
-    std::atomic<bool> on{ false };
-};
-
-Sink &
+MetricsSink &
 sink()
 {
     // Intentionally leaked: the atexit flush hook (and spans destructing
     // during static teardown) may run after function-local statics are
     // destroyed, so the sink must outlive them all.
-    static Sink *s = new Sink;
+    static MetricsSink *s = new MetricsSink;
     return *s;
 }
 
@@ -137,61 +129,87 @@ JsonLine::str() const
     return body_ + "}";
 }
 
+MetricsSink::~MetricsSink()
+{
+    close();
+}
+
+bool
+MetricsSink::open(const std::string &path, bool append)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (f_)
+        std::fclose(f_);
+    f_ = std::fopen(path.c_str(), append ? "a" : "w");
+    if (!f_) {
+        GIST_WARN("cannot open metrics file '", path, "'");
+        path_.clear();
+        on_.store(false, std::memory_order_release);
+        return false;
+    }
+    path_ = path;
+    on_.store(true, std::memory_order_release);
+    return true;
+}
+
+void
+MetricsSink::write(const JsonLine &line)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!f_)
+        return;
+    const std::string text = line.str();
+    std::fwrite(text.data(), 1, text.size(), f_);
+    std::fputc('\n', f_);
+    std::fflush(f_); // the artifact survives an abnormal exit
+}
+
+void
+MetricsSink::close()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (f_)
+        std::fclose(f_);
+    f_ = nullptr;
+    path_.clear();
+    on_.store(false, std::memory_order_release);
+}
+
+std::string
+MetricsSink::path() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return path_;
+}
+
 bool
 metricsEnabled()
 {
-    return sink().on.load(std::memory_order_relaxed);
+    return sink().enabled();
 }
 
 void
 metricsOpen(const std::string &path, bool append)
 {
-    Sink &s = sink();
-    std::lock_guard<std::mutex> lock(s.mu);
-    if (s.f)
-        std::fclose(s.f);
-    s.f = std::fopen(path.c_str(), append ? "a" : "w");
-    if (!s.f) {
-        GIST_WARN("cannot open metrics file '", path, "'");
-        s.path.clear();
-        s.on.store(false, std::memory_order_release);
-        return;
-    }
-    s.path = path;
-    s.on.store(true, std::memory_order_release);
+    sink().open(path, append);
 }
 
 void
 metricsWrite(const JsonLine &line)
 {
-    Sink &s = sink();
-    std::lock_guard<std::mutex> lock(s.mu);
-    if (!s.f)
-        return;
-    const std::string text = line.str();
-    std::fwrite(text.data(), 1, text.size(), s.f);
-    std::fputc('\n', s.f);
-    std::fflush(s.f); // the artifact survives an abnormal exit
+    sink().write(line);
 }
 
 void
 metricsClose()
 {
-    Sink &s = sink();
-    std::lock_guard<std::mutex> lock(s.mu);
-    if (s.f)
-        std::fclose(s.f);
-    s.f = nullptr;
-    s.path.clear();
-    s.on.store(false, std::memory_order_release);
+    sink().close();
 }
 
 std::string
 metricsPath()
 {
-    Sink &s = sink();
-    std::lock_guard<std::mutex> lock(s.mu);
-    return s.path;
+    return sink().path();
 }
 
 } // namespace gist::obs

@@ -12,7 +12,10 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <cstdio>
+#include <mutex>
 #include <string>
 
 namespace gist::obs {
@@ -40,7 +43,47 @@ class JsonLine
     bool first_ = true;
 };
 
-/** Is a sink open? One relaxed load — safe to check per step. */
+/**
+ * One JSONL output file. The process-global sink (metricsOpen() /
+ * metricsWrite() below) is an instance of this class; a multi-job
+ * service opens one MetricsSink per job so concurrent jobs never share
+ * a file or interleave records. Writes are mutex-serialized and flushed
+ * per line, so the artifact is complete even if the process dies
+ * mid-run.
+ */
+class MetricsSink
+{
+  public:
+    MetricsSink() = default;
+    ~MetricsSink();
+
+    MetricsSink(const MetricsSink &) = delete;
+    MetricsSink &operator=(const MetricsSink &) = delete;
+
+    /** Open @p path (truncate, or @p append). Replaces any open file.
+     *  @return false (with a warning) when the file cannot be opened. */
+    bool open(const std::string &path, bool append = false);
+
+    /** Is a file open? One relaxed load — safe to check per step. */
+    bool enabled() const { return on_.load(std::memory_order_relaxed); }
+
+    /** Append one record (no-op while closed). */
+    void write(const JsonLine &line);
+
+    /** Flush and close. */
+    void close();
+
+    /** Path of the open file; empty when closed. */
+    std::string path() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::FILE *f_ = nullptr;
+    std::string path_;
+    std::atomic<bool> on_{ false };
+};
+
+/** Is the process-global sink open? Safe to check per step. */
 bool metricsEnabled();
 
 /**

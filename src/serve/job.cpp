@@ -1,0 +1,194 @@
+#include "serve/job.hpp"
+
+#include <cctype>
+
+#include "core/planner.hpp"
+#include "core/schedule_builder.hpp"
+#include "core/sparsity.hpp"
+#include "models/tiny.hpp"
+#include "util/logging.hpp"
+
+namespace gist::serve {
+
+const char *
+jobStateName(JobState state)
+{
+    switch (state) {
+      case JobState::Queued: return "queued";
+      case JobState::Running: return "running";
+      case JobState::Paused: return "paused";
+      case JobState::Done: return "done";
+      case JobState::Failed: return "failed";
+      case JobState::Cancelled: return "cancelled";
+      case JobState::Rejected: return "rejected";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Case-insensitive tiny-model lookup ("alexnet" finds "AlexNet"). */
+const models::ModelEntry *
+findModel(const std::string &name)
+{
+    auto lower = [](const std::string &in) {
+        std::string out = in;
+        for (char &c : out)
+            c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        return out;
+    };
+    const std::string want = lower(name);
+    for (const auto &entry : models::tinyModels())
+        if (lower(entry.name) == want)
+            return &entry;
+    return nullptr;
+}
+
+bool
+fail(std::string *err, const std::string &what)
+{
+    if (err)
+        *err = what;
+    return false;
+}
+
+/** Byte-size member: JSON number, or a "64m"-style string. */
+bool
+byteSizeOr(const JsonValue &obj, const std::string &key,
+           std::uint64_t &out, std::string *err)
+{
+    const JsonValue *v = obj.get(key);
+    if (!v)
+        return true;
+    if (v->isNumber()) {
+        if (v->asNumber() < 0)
+            return fail(err, "negative byte size for '" + key + "'");
+        out = static_cast<std::uint64_t>(v->asNumber());
+        return true;
+    }
+    if (v->isString()) {
+        out = parseByteSize(v->asString());
+        return true;
+    }
+    return fail(err, "'" + key + "' must be a number or byte-size string");
+}
+
+} // namespace
+
+bool
+parseJobSpec(const JsonValue &obj, JobSpec &spec, std::string *err)
+{
+    if (!obj.isObject())
+        return fail(err, "job spec must be a JSON object");
+    spec.id = obj.stringOr("id", "");
+    if (spec.id.empty())
+        return fail(err, "job spec is missing required member 'id'");
+
+    spec.model = obj.stringOr("model", spec.model);
+    if (!findModel(spec.model))
+        return fail(err, "job '" + spec.id + "': unknown model '" +
+                             spec.model + "'");
+
+    spec.batch_size = obj.intOr("batch_size", spec.batch_size);
+    spec.epochs = static_cast<int>(obj.intOr("epochs", spec.epochs));
+    spec.max_steps = obj.intOr("max_steps", spec.max_steps);
+    spec.seed = static_cast<std::uint64_t>(
+        obj.intOr("seed", static_cast<std::int64_t>(spec.seed)));
+    spec.dataset_seed = static_cast<std::uint64_t>(obj.intOr(
+        "dataset_seed", static_cast<std::int64_t>(spec.dataset_seed)));
+    spec.num_train = obj.intOr("num_train", spec.num_train);
+    spec.num_eval = obj.intOr("num_eval", spec.num_eval);
+    spec.learning_rate = static_cast<float>(
+        obj.numberOr("lr", spec.learning_rate));
+    spec.momentum =
+        static_cast<float>(obj.numberOr("momentum", spec.momentum));
+    spec.lr_decay =
+        static_cast<float>(obj.numberOr("lr_decay", spec.lr_decay));
+    spec.lr_decay_epochs = static_cast<int>(
+        obj.intOr("lr_decay_epochs", spec.lr_decay_epochs));
+    spec.checkpoint_path = obj.stringOr("checkpoint", spec.checkpoint_path);
+    spec.checkpoint_every_steps =
+        obj.intOr("checkpoint_every_steps", spec.checkpoint_every_steps);
+    spec.metrics_path = obj.stringOr("metrics", spec.metrics_path);
+    if (spec.batch_size <= 0 || spec.num_train < spec.batch_size)
+        return fail(err, "job '" + spec.id +
+                             "': need batch_size >= 1 and num_train >= "
+                             "batch_size");
+
+    const std::string fmt_name = obj.stringOr("dpr_format", "fp16");
+    DprFormat fmt;
+    if (fmt_name == "fp32")
+        fmt = DprFormat::Fp32;
+    else if (fmt_name == "fp16")
+        fmt = DprFormat::Fp16;
+    else if (fmt_name == "fp10")
+        fmt = DprFormat::Fp10;
+    else if (fmt_name == "fp8")
+        fmt = DprFormat::Fp8;
+    else
+        return fail(err, "job '" + spec.id + "': unknown dpr_format '" +
+                             fmt_name + "'");
+
+    const std::string mode = obj.stringOr("mode", "baseline");
+    if (mode == "baseline")
+        spec.gist = GistConfig::baseline();
+    else if (mode == "lossless")
+        spec.gist = GistConfig::lossless();
+    else if (mode == "lossy")
+        spec.gist = GistConfig::lossy(fmt);
+    else
+        return fail(err, "job '" + spec.id + "': unknown mode '" + mode +
+                             "' (want baseline|lossless|lossy)");
+
+    if (!byteSizeOr(obj, "mem_budget", spec.gist.mem_budget_bytes, err) ||
+        !byteSizeOr(obj, "device_pool", spec.gist.device_pool_bytes, err))
+        return false;
+    spec.gist.tier_path = obj.stringOr("tier_path", spec.gist.tier_path);
+    const double gbps = obj.numberOr("tier_gbps", 0.0);
+    if (gbps > 0.0)
+        spec.gist.tier_bandwidth_bytes_per_s = gbps * 1e9;
+    if (const JsonValue *v = obj.get("async"))
+        spec.gist.async_codec = v->isBool() ? v->asBool()
+                                            : v->asNumber() != 0.0;
+    spec.gist.codec_threads = static_cast<int>(
+        obj.intOr("codec_threads", spec.gist.codec_threads));
+    return true;
+}
+
+bool
+parseJobSpec(const std::string &json_line, JobSpec &spec, std::string *err)
+{
+    JsonValue obj;
+    std::string parse_err;
+    if (!JsonValue::parse(json_line, obj, &parse_err))
+        return fail(err, "bad job spec JSON: " + parse_err);
+    return parseJobSpec(obj, spec, err);
+}
+
+bool
+knownModel(const std::string &name)
+{
+    return findModel(name) != nullptr;
+}
+
+Graph
+buildModelGraph(const JobSpec &spec)
+{
+    const models::ModelEntry *entry = findModel(spec.model);
+    if (!entry)
+        GIST_FATAL("unknown model '", spec.model, "'");
+    return entry->build(spec.batch_size);
+}
+
+std::uint64_t
+modeledPeakBytes(const JobSpec &spec)
+{
+    Graph graph = buildModelGraph(spec);
+    BuiltSchedule schedule = buildSchedule(graph, spec.gist);
+    if (schedule.hybrid.active)
+        return schedule.hybrid.planned_peak_bytes;
+    const auto buffers = planBuffers(graph, schedule, SparsityModel{});
+    return summarize(buffers, /*investigation=*/false).pool_dynamic;
+}
+
+} // namespace gist::serve

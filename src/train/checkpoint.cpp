@@ -8,6 +8,7 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <stdexcept>
 
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
@@ -191,29 +192,33 @@ publishFile(const std::string &path, const Bytes &bytes)
     const std::string tmp = path + ".tmp";
     std::FILE *f = std::fopen(tmp.c_str(), "wb");
     if (!f)
-        GIST_FATAL("cannot open ", tmp, " for writing");
+        throw std::runtime_error(detail::composeMessage(
+            "cannot open ", tmp, " for writing"));
     std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
     if (fault == CheckpointFault::ShortWrite)
         written = bytes.size() / 2;
     if (written != bytes.size() || std::fflush(f) != 0) {
         std::fclose(f);
         std::remove(tmp.c_str());
-        GIST_FATAL("short write to ", tmp, " (", written, " of ",
-                   bytes.size(), " bytes); previous checkpoint at ", path,
-                   " left intact");
+        throw std::runtime_error(detail::composeMessage(
+            "short write to ", tmp, " (", written, " of ", bytes.size(),
+            " bytes); previous checkpoint at ", path, " left intact"));
     }
     if (::fsync(::fileno(f)) != 0) {
         std::fclose(f);
         std::remove(tmp.c_str());
-        GIST_FATAL("fsync failed for ", tmp,
-                   "; previous checkpoint at ", path, " left intact");
+        throw std::runtime_error(detail::composeMessage(
+            "fsync failed for ", tmp, "; previous checkpoint at ", path,
+            " left intact"));
     }
     std::fclose(f);
     if (fault == CheckpointFault::CrashBeforeRename)
         return; // simulated kill: durable temp file, no publication
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
         std::remove(tmp.c_str());
-        GIST_FATAL("cannot rename ", tmp, " over ", path);
+        throw std::runtime_error(detail::composeMessage(
+            "cannot rename ", tmp, " over ", path,
+            "; previous checkpoint left intact"));
     }
     // Make the rename itself durable (best effort: some filesystems
     // reject directory fsync).

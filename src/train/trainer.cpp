@@ -182,173 +182,231 @@ Trainer::restoreCheckpoint(const TrainConfig &config,
 std::vector<EpochRecord>
 Trainer::run(const SyntheticDataset &data, const TrainConfig &config)
 {
-    if (config.num_threads > 0)
-        setNumThreads(config.num_threads);
-    Graph &graph = exec.graph();
-    Tensor batch(graph.node(0).out_shape);
-    GIST_ASSERT(batch.shape().n() == config.batch_size,
+    TrainLoop loop(*this, data, config);
+    while (loop.step()) {
+    }
+    return loop.finish();
+}
+
+TrainLoop::TrainLoop(Trainer &trainer, const SyntheticDataset &data,
+                     const TrainConfig &config)
+    : trainer_(trainer),
+      data_(data),
+      cfg_(config),
+      batch_(trainer.exec.graph().node(0).out_shape),
+      lr_(config.learning_rate)
+{
+    if (cfg_.num_threads > 0)
+        setNumThreads(cfg_.num_threads);
+    GIST_ASSERT(batch_.shape().n() == cfg_.batch_size,
                 "graph batch dim != train batch size");
-    std::vector<std::int32_t> labels;
-
-    std::vector<EpochRecord> records;
-    std::int64_t steps = 0;     ///< global step (continues on resume)
-    std::int64_t run_steps = 0; ///< steps executed by this call
-    double total_seconds = 0.0;
-    double total_codec = 0.0;
-
-    float lr = config.learning_rate;
-    int first_epoch = 0;
-    std::int64_t resume_offset = 0;
-    bool resumed = false;
-    const bool has_ckpt = !config.checkpoint_path.empty();
-    if (has_ckpt && config.resume &&
-        std::ifstream(config.checkpoint_path).good()) {
-        resumed = restoreCheckpoint(config, data, lr, first_epoch, steps,
-                                    resume_offset);
+    has_ckpt_ = !cfg_.checkpoint_path.empty();
+    if (has_ckpt_ && cfg_.resume &&
+        std::ifstream(cfg_.checkpoint_path).good()) {
+        resumed_ = trainer_.restoreCheckpoint(cfg_, data_, lr_,
+                                              first_epoch_, steps_,
+                                              resume_offset_);
     }
-    if (!config.metrics_path.empty())
-        obs::metricsOpen(config.metrics_path, /*append=*/resumed);
+    if (!cfg_.metrics_path.empty()) {
+        if (cfg_.sink)
+            cfg_.sink->open(cfg_.metrics_path, /*append=*/resumed_);
+        else
+            obs::metricsOpen(cfg_.metrics_path, /*append=*/resumed_);
+    }
+    epoch_ = first_epoch_;
+    cur_epoch_ = first_epoch_;
+    cur_offset_ = resume_offset_;
+    if ((cfg_.max_steps > 0 && steps_ >= cfg_.max_steps) ||
+        epoch_ >= cfg_.epochs) {
+        done_ = true;
+        return;
+    }
+    enterEpoch();
+}
 
-    // Where the run currently stands, for the end-of-run snapshot.
-    std::int64_t cur_epoch = first_epoch;
-    std::int64_t cur_offset = resume_offset;
-    bool stop = config.max_steps > 0 && steps >= config.max_steps;
-    for (int epoch = first_epoch; epoch < config.epochs && !stop;
-         ++epoch) {
-        // The restored LR already includes the decay for the epoch the
-        // checkpoint was taken in; re-applying it would diverge from
-        // the uninterrupted run.
-        const bool resumed_epoch = resumed && epoch == first_epoch;
-        if (!resumed_epoch && epoch > 0 && config.lr_decay != 1.0f &&
-            config.lr_decay_epochs > 0 &&
-            epoch % config.lr_decay_epochs == 0) {
-            lr *= config.lr_decay;
+bool
+TrainLoop::metricsOn() const
+{
+    return cfg_.sink ? cfg_.sink->enabled() : obs::metricsEnabled();
+}
+
+void
+TrainLoop::writeMetrics(const obs::JsonLine &rec)
+{
+    if (cfg_.sink)
+        cfg_.sink->write(rec);
+    else
+        obs::metricsWrite(rec);
+}
+
+void
+TrainLoop::enterEpoch()
+{
+    // The restored LR already includes the decay for the epoch the
+    // checkpoint was taken in; re-applying it would diverge from the
+    // uninterrupted run.
+    const bool resumed_epoch = resumed_ && epoch_ == first_epoch_;
+    if (!resumed_epoch && epoch_ > 0 && cfg_.lr_decay != 1.0f &&
+        cfg_.lr_decay_epochs > 0 && epoch_ % cfg_.lr_decay_epochs == 0)
+        lr_ *= cfg_.lr_decay;
+    loss_sum_ = 0.0;
+    batches_ = 0;
+    start_ = resumed_epoch ? resume_offset_ : 0;
+}
+
+void
+TrainLoop::closeEpoch()
+{
+    if (batches_ == 0)
+        return; // resumed exactly at this epoch's end
+    EpochRecord rec;
+    rec.epoch = epoch_;
+    rec.mean_loss =
+        static_cast<float>(loss_sum_ / static_cast<double>(batches_));
+    rec.eval_accuracy = trainer_.evaluate(data_, cfg_.batch_size);
+    records_.push_back(rec);
+    if (metricsOn()) {
+        obs::JsonLine line;
+        line.field("type", "epoch");
+        if (!cfg_.job_id.empty())
+            line.field("job", cfg_.job_id);
+        line.field("epoch", epoch_)
+            .field("mean_loss", static_cast<double>(rec.mean_loss))
+            .field("eval_accuracy", rec.eval_accuracy)
+            .field("steps", static_cast<std::int64_t>(steps_));
+        writeMetrics(line);
+    }
+}
+
+void
+TrainLoop::executeStep()
+{
+    data_.trainBatch(start_, batch_, labels_);
+    const auto t0 = std::chrono::steady_clock::now();
+    float step_loss;
+    {
+        GIST_TRACE_SCOPE_F("train", "step %lld",
+                           static_cast<long long>(steps_ + 1));
+        step_loss = trainer_.exec.runMinibatch(batch_, labels_);
+        if (cfg_.clip_grad_norm > 0.0f)
+            trainer_.clipGradients(cfg_.clip_grad_norm);
+        trainer_.sgdStep(lr_, cfg_.momentum, cfg_.weight_decay);
+    }
+    const double step_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    loss_sum_ += step_loss;
+    total_seconds_ += step_seconds;
+    total_codec_ += trainer_.exec.stats().encode_seconds +
+                    trainer_.exec.stats().decode_seconds;
+    ++batches_;
+    ++steps_;
+    ++run_steps_;
+    cur_epoch_ = epoch_;
+    cur_offset_ = start_ + cfg_.batch_size;
+    start_ += cfg_.batch_size;
+    if (has_ckpt_ && cfg_.checkpoint_every_steps > 0 &&
+        steps_ % cfg_.checkpoint_every_steps == 0)
+        trainer_.saveCheckpointNow(cfg_, data_, cur_epoch_, steps_,
+                                   cur_offset_, lr_);
+    if (metricsOn()) {
+        const ExecStats &stats = trainer_.exec.stats();
+        obs::JsonLine rec;
+        rec.field("type", "step");
+        if (!cfg_.job_id.empty())
+            rec.field("job", cfg_.job_id);
+        rec.field("step", static_cast<std::int64_t>(steps_))
+            .field("epoch", epoch_)
+            .field("loss", static_cast<double>(step_loss))
+            .field("examples_per_sec",
+                   step_seconds > 0.0
+                       ? static_cast<double>(cfg_.batch_size) /
+                             step_seconds
+                       : 0.0)
+            .field("step_seconds", step_seconds)
+            .field("encode_seconds", stats.encode_seconds)
+            .field("decode_seconds", stats.decode_seconds)
+            .field("encoded_bytes", stats.encoded_bytes)
+            .field("dense_bytes_replaced", stats.dense_bytes_replaced)
+            .field("peak_pool_bytes", stats.peak_pool_bytes)
+            .field("codec_stall_seconds",
+                   static_cast<double>(stats.codec_stall_ns) / 1e9)
+            .field("codec_stalls",
+                   static_cast<std::int64_t>(stats.codec_stalls))
+            .field("codec_queue_wait_seconds",
+                   static_cast<double>(stats.codec_queue_wait_ns) / 1e9)
+            .field("codec_queue_peak_depth",
+                   static_cast<std::int64_t>(
+                       stats.codec_queue_peak_depth))
+            .field("overlap_efficiency", stats.overlap_efficiency)
+            .field("recompute_seconds", stats.recompute_seconds)
+            .field("recompute_segments",
+                   static_cast<std::int64_t>(stats.recompute_segments))
+            .field("recompute_dropped_bytes",
+                   stats.recompute_dropped_bytes)
+            .field("tier_evictions",
+                   static_cast<std::int64_t>(stats.tier_evictions))
+            .field("tier_fetches",
+                   static_cast<std::int64_t>(stats.tier_fetches))
+            .field("tier_bytes_out", stats.tier_bytes_out)
+            .field("tier_bytes_in", stats.tier_bytes_in)
+            .field("tier_write_seconds",
+                   static_cast<double>(stats.tier_write_ns) / 1e9)
+            .field("tier_read_seconds",
+                   static_cast<double>(stats.tier_read_ns) / 1e9)
+            .field("lr", static_cast<double>(lr_));
+        writeMetrics(rec);
+    }
+    if (cfg_.after_step)
+        cfg_.after_step(steps_, trainer_.exec);
+    if (cfg_.max_steps > 0 && steps_ >= cfg_.max_steps)
+        done_ = true; // interrupted mid-epoch: no (partial) epoch record
+}
+
+bool
+TrainLoop::step()
+{
+    if (done_)
+        return false;
+    while (start_ + cfg_.batch_size > data_.numTrain()) {
+        closeEpoch();
+        ++epoch_;
+        if (epoch_ >= cfg_.epochs) {
+            done_ = true;
+            return false;
         }
-        GIST_TRACE_SCOPE_F("train", "epoch %d", epoch);
-        double loss_sum = 0.0;
-        std::int64_t batches = 0;
-        for (std::int64_t start = resumed_epoch ? resume_offset : 0;
-             start + config.batch_size <= data.numTrain();
-             start += config.batch_size) {
-            data.trainBatch(start, batch, labels);
-            const auto t0 = std::chrono::steady_clock::now();
-            float step_loss;
-            {
-                GIST_TRACE_SCOPE_F("train", "step %lld",
-                                   static_cast<long long>(steps + 1));
-                step_loss = exec.runMinibatch(batch, labels);
-                if (config.clip_grad_norm > 0.0f)
-                    clipGradients(config.clip_grad_norm);
-                sgdStep(lr, config.momentum, config.weight_decay);
-            }
-            const double step_seconds =
-                std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - t0)
-                    .count();
-            loss_sum += step_loss;
-            total_seconds += step_seconds;
-            total_codec += exec.stats().encode_seconds +
-                           exec.stats().decode_seconds;
-            ++batches;
-            ++steps;
-            ++run_steps;
-            cur_epoch = epoch;
-            cur_offset = start + config.batch_size;
-            if (has_ckpt && config.checkpoint_every_steps > 0 &&
-                steps % config.checkpoint_every_steps == 0)
-                saveCheckpointNow(config, data, cur_epoch, steps,
-                                  cur_offset, lr);
-            if (obs::metricsEnabled()) {
-                const ExecStats &stats = exec.stats();
-                obs::JsonLine rec;
-                rec.field("type", "step")
-                    .field("step", static_cast<std::int64_t>(steps))
-                    .field("epoch", epoch)
-                    .field("loss", static_cast<double>(step_loss))
-                    .field("examples_per_sec",
-                           step_seconds > 0.0
-                               ? static_cast<double>(config.batch_size) /
-                                     step_seconds
-                               : 0.0)
-                    .field("step_seconds", step_seconds)
-                    .field("encode_seconds", stats.encode_seconds)
-                    .field("decode_seconds", stats.decode_seconds)
-                    .field("encoded_bytes", stats.encoded_bytes)
-                    .field("dense_bytes_replaced",
-                           stats.dense_bytes_replaced)
-                    .field("peak_pool_bytes", stats.peak_pool_bytes)
-                    .field("codec_stall_seconds",
-                           static_cast<double>(stats.codec_stall_ns) /
-                               1e9)
-                    .field("codec_stalls",
-                           static_cast<std::int64_t>(stats.codec_stalls))
-                    .field("codec_queue_wait_seconds",
-                           static_cast<double>(
-                               stats.codec_queue_wait_ns) /
-                               1e9)
-                    .field("codec_queue_peak_depth",
-                           static_cast<std::int64_t>(
-                               stats.codec_queue_peak_depth))
-                    .field("overlap_efficiency",
-                           stats.overlap_efficiency)
-                    .field("recompute_seconds", stats.recompute_seconds)
-                    .field("recompute_segments",
-                           static_cast<std::int64_t>(
-                               stats.recompute_segments))
-                    .field("recompute_dropped_bytes",
-                           stats.recompute_dropped_bytes)
-                    .field("tier_evictions",
-                           static_cast<std::int64_t>(
-                               stats.tier_evictions))
-                    .field("tier_fetches",
-                           static_cast<std::int64_t>(stats.tier_fetches))
-                    .field("tier_bytes_out", stats.tier_bytes_out)
-                    .field("tier_bytes_in", stats.tier_bytes_in)
-                    .field("tier_write_seconds",
-                           static_cast<double>(stats.tier_write_ns) /
-                               1e9)
-                    .field("tier_read_seconds",
-                           static_cast<double>(stats.tier_read_ns) / 1e9)
-                    .field("lr", static_cast<double>(lr));
-                obs::metricsWrite(rec);
-            }
-            if (config.after_step)
-                config.after_step(steps, exec);
-            if (config.max_steps > 0 && steps >= config.max_steps) {
-                stop = true;
-                break;
-            }
-        }
-        if (stop)
-            break; // interrupted mid-epoch: no (partial) epoch record
-        if (batches == 0)
-            continue; // resumed exactly at this epoch's end
-        EpochRecord rec;
-        rec.epoch = epoch;
-        rec.mean_loss =
-            batches > 0 ? static_cast<float>(
-                              loss_sum / static_cast<double>(batches))
-                        : 0.0f;
-        rec.eval_accuracy = evaluate(data, config.batch_size);
-        records.push_back(rec);
-        if (obs::metricsEnabled()) {
-            obs::JsonLine line;
-            line.field("type", "epoch")
-                .field("epoch", epoch)
-                .field("mean_loss", static_cast<double>(rec.mean_loss))
-                .field("eval_accuracy", rec.eval_accuracy)
-                .field("steps", static_cast<std::int64_t>(steps));
-            obs::metricsWrite(line);
+        enterEpoch();
+    }
+    executeStep();
+    return true;
+}
+
+void
+TrainLoop::checkpointNow()
+{
+    GIST_ASSERT(has_ckpt_,
+                "TrainLoop::checkpointNow() needs a checkpoint_path");
+    trainer_.saveCheckpointNow(cfg_, data_, cur_epoch_, steps_,
+                               cur_offset_, lr_);
+}
+
+std::vector<EpochRecord>
+TrainLoop::finish()
+{
+    if (!finished_) {
+        finished_ = true;
+        if (has_ckpt_)
+            trainer_.saveCheckpointNow(cfg_, data_, cur_epoch_, steps_,
+                                       cur_offset_, lr_);
+        if (run_steps_ > 0) {
+            trainer_.seconds_per_minibatch =
+                total_seconds_ / static_cast<double>(run_steps_);
+            trainer_.codec_seconds =
+                total_codec_ / static_cast<double>(run_steps_);
         }
     }
-    if (has_ckpt)
-        saveCheckpointNow(config, data, cur_epoch, steps, cur_offset, lr);
-    if (run_steps > 0) {
-        seconds_per_minibatch =
-            total_seconds / static_cast<double>(run_steps);
-        codec_seconds = total_codec / static_cast<double>(run_steps);
-    }
-    return records;
+    return records_;
 }
 
 } // namespace gist

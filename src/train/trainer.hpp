@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "graph/executor.hpp"
+#include "obs/metrics.hpp"
 #include "train/dataset.hpp"
 
 namespace gist {
@@ -67,6 +68,20 @@ struct TrainConfig
     std::int64_t max_steps = 0;
     /** Called after every minibatch (step index, executor). */
     std::function<void(std::int64_t, Executor &)> after_step;
+    /**
+     * Per-job metrics sink. nullptr (the default) routes step/epoch
+     * records through the process-global sink; a multi-job service
+     * passes each job's own sink so concurrent runs never interleave
+     * lines in one file. When metrics_path is also set, the path is
+     * opened on this sink instead of the global one.
+     */
+    obs::MetricsSink *sink = nullptr;
+    /**
+     * Job id stamped into every step/epoch metrics record as a "job"
+     * field. Empty (the default) omits the field, keeping single-run
+     * JSONL output unchanged.
+     */
+    std::string job_id;
 };
 
 /** One epoch's outcome. */
@@ -124,6 +139,96 @@ class Trainer
     std::vector<std::vector<float>> velocity; ///< per-param momentum
     double seconds_per_minibatch = 0.0;
     double codec_seconds = 0.0;
+
+    friend class TrainLoop;
+};
+
+/**
+ * The trainer's epoch/minibatch loop unrolled into a stepwise state
+ * machine, so a scheduler can interleave many training runs one
+ * minibatch at a time. Trainer::run() is exactly
+ *
+ *     TrainLoop loop(trainer, data, config);
+ *     while (loop.step()) {}
+ *     return loop.finish();
+ *
+ * so a run driven by step() is bitwise identical to run() — same LR
+ * decay points, same checkpoint cadence, same metrics records, same
+ * stop semantics. The constructor performs the run prologue (thread
+ * count, checkpoint restore, metrics-sink open).
+ */
+class TrainLoop
+{
+  public:
+    TrainLoop(Trainer &trainer, const SyntheticDataset &data,
+              const TrainConfig &config);
+
+    /**
+     * Execute one training minibatch (crossing epoch boundaries as
+     * needed: epoch records and eval run inside). Returns false when
+     * the run is complete — epochs exhausted or max_steps reached —
+     * and the call executed nothing.
+     */
+    bool step();
+
+    /** True once the run is complete; step() will execute nothing. */
+    bool done() const { return done_; }
+
+    /** Global step count (continues across a resumed run). */
+    std::int64_t globalStep() const { return steps_; }
+
+    /** Epoch the loop is currently positioned in. */
+    int epoch() const { return epoch_; }
+
+    /** Epoch records completed so far. */
+    const std::vector<EpochRecord> &records() const { return records_; }
+
+    /**
+     * Write a full v2 snapshot of the current training position to
+     * config.checkpoint_path (which must be set). The lifecycle API's
+     * pause path: a run resumed from this snapshot continues bitwise
+     * identically.
+     */
+    void checkpointNow();
+
+    /**
+     * Run epilogue: the end-of-run snapshot (when checkpoint_path is
+     * set) and the trainer's per-minibatch timing averages. Idempotent;
+     * returns the epoch records. Safe to call before done() — that is
+     * the pause/cancel path, snapshotting wherever the loop stands.
+     */
+    std::vector<EpochRecord> finish();
+
+  private:
+    void enterEpoch();
+    void closeEpoch();
+    void executeStep();
+    bool metricsOn() const;
+    void writeMetrics(const obs::JsonLine &rec);
+
+    Trainer &trainer_;
+    const SyntheticDataset &data_;
+    TrainConfig cfg_;
+    Tensor batch_;
+    std::vector<std::int32_t> labels_;
+    std::vector<EpochRecord> records_;
+    std::int64_t steps_ = 0;     ///< global step (continues on resume)
+    std::int64_t run_steps_ = 0; ///< steps executed by this loop
+    double total_seconds_ = 0.0;
+    double total_codec_ = 0.0;
+    float lr_;
+    int first_epoch_ = 0;
+    std::int64_t resume_offset_ = 0;
+    bool resumed_ = false;
+    bool has_ckpt_ = false;
+    int epoch_ = 0;
+    std::int64_t start_ = 0; ///< dataset cursor within the epoch
+    double loss_sum_ = 0.0;
+    std::int64_t batches_ = 0;
+    std::int64_t cur_epoch_ = 0;  ///< last position, for snapshots
+    std::int64_t cur_offset_ = 0; ///< last position, for snapshots
+    bool done_ = false;
+    bool finished_ = false;
 };
 
 /** Argmax of each row of a (rows x cols) logits tensor. */

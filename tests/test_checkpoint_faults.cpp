@@ -7,6 +7,7 @@
  * checkpoint survives any failed save.
  */
 
+#include <gmock/gmock.h>
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -14,6 +15,7 @@
 #include <fstream>
 #include <memory>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -435,10 +437,14 @@ TEST(CheckpointFaults, FailedWriteLeavesPreviousFileByteIdentical)
 
     paramsOf(g)[0]->data()[0] += 1.0f;
     setCheckpointFault(CheckpointFault::ShortWrite);
-    EXPECT_EXIT(saveCheckpoint(g, st, path),
-                ::testing::ExitedWithCode(1),
-                "short write.*previous checkpoint.*left intact");
-    setCheckpointFault(CheckpointFault::None); // fork kept parent's flag
+    try {
+        saveCheckpoint(g, st, path);
+        FAIL() << "short write should throw";
+    } catch (const std::runtime_error &e) {
+        EXPECT_THAT(e.what(), ::testing::ContainsRegex(
+                                  "short write.*previous checkpoint.*"
+                                  "left intact"));
+    }
     EXPECT_EQ(readBytes(path), before)
         << "failed save must not touch the published checkpoint";
     EXPECT_FALSE(std::ifstream(path + ".tmp").good())

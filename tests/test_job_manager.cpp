@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Multi-tenant JobManager tests: the bitwise tentpole (N concurrent
+ * jobs with mixed memory configurations finish with checkpoint files
+ * and epoch records identical to each spec run solo — sync and async
+ * codec, 1 and 4 pool threads), pause/resume round trips, admission
+ * control against the global budget, charge release on every exit
+ * path, and the lifecycle API's error surface.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/job_manager.hpp"
+#include "serve_util.hpp"
+#include "util/parallel.hpp"
+
+namespace gist {
+namespace {
+
+using serve::JobManager;
+using serve::JobSpec;
+using serve::JobState;
+using serve::JobStatus;
+using serve::ServeConfig;
+using serve::SubmitResult;
+using servetest::compareRecords;
+using servetest::mixedFleet;
+using servetest::retarget;
+using servetest::runSolo;
+using servetest::SoloRun;
+using servetest::tinySpec;
+
+/** Poll @p manager until @p id has stepped at least @p step times. */
+JobStatus
+waitForStep(JobManager &manager, const std::string &id, std::int64_t step)
+{
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (true) {
+        const JobStatus st = manager.status(id);
+        if (st.state != JobState::Running || st.step >= step)
+            return st;
+        if (std::chrono::steady_clock::now() > deadline) {
+            ADD_FAILURE() << "job '" << id << "' stuck at step " << st.step;
+            return st;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+}
+
+/**
+ * Run @p fleet concurrently under one JobManager and require every
+ * job's checkpoint bytes + epoch records to match its solo twin.
+ */
+void
+expectConcurrentMatchesSolo(const std::vector<JobSpec> &fleet,
+                            const std::string &tag)
+{
+    std::vector<SoloRun> solo;
+    std::vector<JobSpec> svc;
+    for (const JobSpec &spec : fleet) {
+        solo.push_back(runSolo(retarget(spec, tag + "_solo")));
+        svc.push_back(retarget(spec, tag + "_svc"));
+    }
+
+    JobManager manager;
+    for (const JobSpec &spec : svc) {
+        const SubmitResult res = manager.submit(spec);
+        ASSERT_TRUE(res.admitted) << res.error;
+        EXPECT_GT(res.modeled_peak_bytes, 0u) << spec.id;
+    }
+    manager.waitAll();
+
+    for (size_t i = 0; i < svc.size(); ++i) {
+        const JobStatus st = manager.status(svc[i].id);
+        EXPECT_EQ(st.state, JobState::Done)
+            << svc[i].id << ": " << st.error;
+        EXPECT_EQ(compareRecords(solo[i].records, st.records), "")
+            << svc[i].id;
+        const auto bytes = fuzz::readBytes(svc[i].checkpoint_path);
+        ASSERT_FALSE(bytes.empty()) << svc[i].id;
+        EXPECT_EQ(bytes, solo[i].ckpt_bytes)
+            << svc[i].id << ": concurrent checkpoint diverged from solo";
+    }
+    EXPECT_EQ(manager.budgetUsedBytes(), 0u)
+        << "finished jobs left admission charges behind";
+}
+
+// ---------------------------------------------------------------------
+// The tentpole: concurrent == solo, bitwise
+// ---------------------------------------------------------------------
+
+TEST(JobManager, ConcurrentMatchesSoloBitwise)
+{
+    for (const std::uint64_t seed : { 3ull, 5ull, 9ull })
+        expectConcurrentMatchesSolo(mixedFleet(seed),
+                                    "_s" + std::to_string(seed));
+}
+
+TEST(JobManager, AsyncCodecConcurrentMatchesSoloBitwise)
+{
+    std::vector<JobSpec> fleet = mixedFleet(11);
+    for (JobSpec &spec : fleet)
+        if (spec.gist.binarize || spec.gist.ssdc || spec.gist.dpr) {
+            spec.gist.async_codec = true;
+            spec.gist.codec_threads = 2;
+        }
+    expectConcurrentMatchesSolo(fleet, "_async");
+}
+
+TEST(JobManager, ThreadCountInvariance)
+{
+    // parallelFor partitions by (begin, end, grain) only, so the same
+    // fleet must land on identical bytes at any pool width.
+    const std::vector<JobSpec> fleet = mixedFleet(13);
+    setNumThreads(1);
+    expectConcurrentMatchesSolo(fleet, "_t1");
+    setNumThreads(4);
+    expectConcurrentMatchesSolo(fleet, "_t4");
+    setNumThreads(0); // back to GIST_THREADS / auto for later tests
+
+    // The two service runs themselves must agree across pool widths.
+    const auto one = fuzz::readBytes(
+        retarget(fleet[0], "_t1_svc").checkpoint_path);
+    const auto four = fuzz::readBytes(
+        retarget(fleet[0], "_t4_svc").checkpoint_path);
+    EXPECT_EQ(one, four);
+}
+
+TEST(JobManager, MultiStepTurnsMatchSolo)
+{
+    ServeConfig cfg;
+    cfg.steps_per_turn = 3; // coarser fairness quantum, same math
+    const JobSpec spec = retarget(tinySpec("quantum", "alexnet", 17),
+                                  "_q_svc");
+    const SoloRun solo = runSolo(retarget(tinySpec("quantum", "alexnet",
+                                                   17),
+                                          "_q_solo"));
+    JobManager manager(cfg);
+    ASSERT_TRUE(manager.submit(spec).admitted);
+    manager.waitAll();
+    const JobStatus st = manager.status("quantum");
+    EXPECT_EQ(st.state, JobState::Done) << st.error;
+    EXPECT_EQ(fuzz::readBytes(spec.checkpoint_path), solo.ckpt_bytes);
+}
+
+// ---------------------------------------------------------------------
+// Pause / resume
+// ---------------------------------------------------------------------
+
+TEST(JobManager, PauseResumeMatchesUninterruptedBitwise)
+{
+    JobSpec spec = tinySpec("pausee", "alexnet", 21);
+    spec.epochs = 20; // 80 steps: plenty of room to pause mid-run
+    const SoloRun solo = runSolo(retarget(spec, "_p_solo"));
+    const JobSpec svc = retarget(spec, "_p_svc");
+
+    JobManager manager;
+    ASSERT_TRUE(manager.submit(svc).admitted);
+    EXPECT_GT(manager.budgetUsedBytes(), 0u);
+    waitForStep(manager, "pausee", 3);
+
+    std::string err;
+    ASSERT_TRUE(manager.pause("pausee", &err)) << err;
+    const JobStatus paused = manager.status("pausee");
+    EXPECT_EQ(paused.state, JobState::Paused);
+    EXPECT_LT(paused.step, 80);
+    EXPECT_EQ(manager.budgetUsedBytes(), 0u)
+        << "pause kept the admission charge";
+
+    ASSERT_TRUE(manager.resume("pausee", &err)) << err;
+    manager.waitAll();
+
+    const JobStatus st = manager.status("pausee");
+    EXPECT_EQ(st.state, JobState::Done) << st.error;
+    EXPECT_EQ(st.step, 80);
+    // The interrupted epoch's mean_loss only covers post-resume batches
+    // (and a pause landing exactly on an epoch boundary skips that
+    // epoch's record entirely — documented Trainer resume semantics),
+    // but the weights — and so every per-epoch eval accuracy — must be
+    // bitwise equal to the uninterrupted run, as must the checkpoint.
+    ASSERT_GE(st.records.size() + 1, solo.records.size());
+    for (const EpochRecord &rec : st.records) {
+        ASSERT_GE(rec.epoch, 0);
+        ASSERT_LT(rec.epoch, static_cast<int>(solo.records.size()));
+        EXPECT_EQ(rec.eval_accuracy,
+                  solo.records[static_cast<size_t>(rec.epoch)]
+                      .eval_accuracy)
+            << "epoch " << rec.epoch;
+    }
+    EXPECT_EQ(fuzz::readBytes(svc.checkpoint_path), solo.ckpt_bytes)
+        << "pause+resume diverged from the uninterrupted run";
+}
+
+TEST(JobManager, MidRunCheckpointDoesNotPerturbTheRun)
+{
+    JobSpec spec = tinySpec("snap", "nin", 23);
+    spec.epochs = 20;
+    spec.gist = GistConfig::lossless();
+    const SoloRun solo = runSolo(retarget(spec, "_c_solo"));
+    const JobSpec svc = retarget(spec, "_c_svc");
+
+    JobManager manager;
+    ASSERT_TRUE(manager.submit(svc).admitted);
+    waitForStep(manager, "snap", 2);
+    std::string err;
+    EXPECT_TRUE(manager.checkpoint("snap", &err)) << err;
+    manager.waitAll();
+    const JobStatus st = manager.status("snap");
+    EXPECT_EQ(st.state, JobState::Done) << st.error;
+    EXPECT_EQ(fuzz::readBytes(svc.checkpoint_path), solo.ckpt_bytes);
+}
+
+// ---------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------
+
+TEST(JobManager, AdmissionRejectsOverBudget)
+{
+    const JobSpec first = retarget(tinySpec("first", "alexnet", 31),
+                                   "_adm");
+    const JobSpec second = retarget(tinySpec("second", "nin", 32),
+                                    "_adm");
+    const std::uint64_t peak = serve::modeledPeakBytes(first);
+    ASSERT_GT(peak, 0u);
+
+    ServeConfig cfg;
+    cfg.global_budget_bytes = peak; // exactly one 'first' fits
+    JobManager manager(cfg);
+
+    const SubmitResult ok = manager.submit(first);
+    ASSERT_TRUE(ok.admitted) << ok.error;
+    EXPECT_EQ(ok.modeled_peak_bytes, peak);
+    EXPECT_EQ(ok.budget_remaining_bytes, 0u);
+    EXPECT_EQ(manager.budgetUsedBytes(), peak);
+
+    const SubmitResult no = manager.submit(second);
+    EXPECT_FALSE(no.admitted);
+    EXPECT_NE(no.error.find("job 'second'"), std::string::npos)
+        << no.error;
+    EXPECT_NE(no.error.find("exceeds remaining global budget"),
+              std::string::npos)
+        << no.error;
+    EXPECT_GT(no.modeled_peak_bytes, 0u);
+    const JobStatus rejected = manager.status("second");
+    EXPECT_EQ(rejected.state, JobState::Rejected);
+    EXPECT_EQ(rejected.error, no.error);
+
+    // The running job still owns the whole budget; once it finishes the
+    // charge is released and an identical spec is admitted.
+    manager.waitAll();
+    EXPECT_EQ(manager.status("first").state, JobState::Done);
+    EXPECT_EQ(manager.budgetUsedBytes(), 0u);
+    JobSpec third = retarget(tinySpec("third", "alexnet", 31), "_adm2");
+    const SubmitResult yes = manager.submit(third);
+    EXPECT_TRUE(yes.admitted) << yes.error;
+    manager.waitAll();
+}
+
+TEST(JobManager, CancelReleasesBudgetAndIsTerminal)
+{
+    JobSpec spec = retarget(tinySpec("victim", "alexnet", 37), "_cancel");
+    spec.epochs = 50; // long enough that cancel lands mid-run
+    JobManager manager;
+    ASSERT_TRUE(manager.submit(spec).admitted);
+    EXPECT_GT(manager.budgetUsedBytes(), 0u);
+
+    std::string err;
+    ASSERT_TRUE(manager.cancel("victim", &err)) << err;
+    EXPECT_EQ(manager.status("victim").state, JobState::Cancelled);
+    EXPECT_EQ(manager.budgetUsedBytes(), 0u)
+        << "cancel leaked the admission charge";
+    EXPECT_FALSE(manager.cancel("victim", &err));
+    EXPECT_NE(err.find("cannot cancel while cancelled"),
+              std::string::npos)
+        << err;
+    manager.waitAll(); // returns immediately: nothing queued or running
+}
+
+// ---------------------------------------------------------------------
+// Lifecycle API error surface
+// ---------------------------------------------------------------------
+
+TEST(JobManager, LifecycleErrors)
+{
+    JobManager manager;
+    std::string err;
+
+    EXPECT_FALSE(manager.pause("ghost", &err));
+    EXPECT_NE(err.find("no such job"), std::string::npos) << err;
+    EXPECT_FALSE(manager.cancel("ghost", &err));
+    EXPECT_NE(err.find("no such job"), std::string::npos) << err;
+
+    JobSpec bad_model = tinySpec("badmodel", "alexnet", 41);
+    bad_model.model = "resnet9000";
+    const SubmitResult bad = manager.submit(bad_model);
+    EXPECT_FALSE(bad.admitted);
+    EXPECT_NE(bad.error.find("unknown model"), std::string::npos)
+        << bad.error;
+
+    JobSpec spec = retarget(tinySpec("runner", "alexnet", 42), "_err");
+    spec.epochs = 50;
+    ASSERT_TRUE(manager.submit(spec).admitted);
+
+    const SubmitResult dup = manager.submit(spec);
+    EXPECT_FALSE(dup.admitted);
+    EXPECT_NE(dup.error.find("duplicate id"), std::string::npos)
+        << dup.error;
+
+    EXPECT_FALSE(manager.resume("runner", &err));
+    EXPECT_NE(err.find("cannot resume while running"), std::string::npos)
+        << err;
+
+    JobSpec no_ckpt = tinySpec("nockpt", "alexnet", 43);
+    no_ckpt.epochs = 50;
+    ASSERT_TRUE(manager.submit(no_ckpt).admitted);
+    EXPECT_FALSE(manager.pause("nockpt", &err));
+    EXPECT_NE(err.find("no checkpoint_path"), std::string::npos) << err;
+
+    EXPECT_TRUE(manager.cancel("runner", &err)) << err;
+    EXPECT_TRUE(manager.cancel("nockpt", &err)) << err;
+    EXPECT_EQ(manager.budgetUsedBytes(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Destructor behaviour
+// ---------------------------------------------------------------------
+
+TEST(JobManager, DestructorCancelsLiveJobs)
+{
+    JobSpec spec = retarget(tinySpec("orphan", "alexnet", 47), "_dtor");
+    spec.epochs = 50;
+    {
+        JobManager manager;
+        ASSERT_TRUE(manager.submit(spec).admitted);
+        waitForStep(manager, "orphan", 1);
+        // Falls out of scope mid-run: the manager must tear the job
+        // down cleanly without hanging or leaking the runtime.
+    }
+    SUCCEED();
+}
+
+} // namespace
+} // namespace gist

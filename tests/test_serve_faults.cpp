@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Fault isolation for the multi-tenant training service: a fault that
+ * strikes one job of a concurrent fleet — a checkpoint-save short
+ * write, or the slow tier's spill directory vanishing mid-run — must
+ * fail exactly that job (with an error naming its id), release its
+ * admission charge, and leave every other job finishing bitwise
+ * identical to its solo run. The failed job must then be resumable
+ * once the fault is gone, and still land on the solo bytes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/job_manager.hpp"
+#include "serve_util.hpp"
+#include "train/checkpoint.hpp"
+
+namespace gist {
+namespace {
+
+using serve::JobManager;
+using serve::JobSpec;
+using serve::JobState;
+using serve::JobStatus;
+using servetest::retarget;
+using servetest::runSolo;
+using servetest::SoloRun;
+using servetest::tinySpec;
+
+/** Poll until @p id leaves Running (or reaches @p step), bounded. */
+JobStatus
+waitForStepOrExit(JobManager &manager, const std::string &id,
+                  std::int64_t step)
+{
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (true) {
+        const JobStatus st = manager.status(id);
+        if (st.state != JobState::Running || st.step >= step)
+            return st;
+        if (std::chrono::steady_clock::now() > deadline) {
+            ADD_FAILURE() << "job '" << id << "' stuck at step " << st.step;
+            return st;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+}
+
+TEST(ServeFaults, CheckpointShortWriteHitsOnlyTheVictim)
+{
+    // The victim checkpoints every step, the healthy jobs only at the
+    // end of their runs; the victim is submitted first and so owns the
+    // very first save — which deterministically consumes the one-shot
+    // fault armed below.
+    JobSpec victim = tinySpec("victim", "alexnet", 61);
+    victim.checkpoint_every_steps = 1;
+    JobSpec h1 = tinySpec("healthy1", "nin", 62);
+    h1.gist = GistConfig::lossless();
+    JobSpec h2 = tinySpec("healthy2", "overfeat", 63);
+    h2.gist = GistConfig::lossless();
+    h2.gist.device_pool_bytes = 64 * 1024;
+
+    // Solo ground truth, computed before any fault is armed.
+    const SoloRun victim_solo = runSolo(retarget(victim, "_cf_solo"));
+    const SoloRun h1_solo = runSolo(retarget(h1, "_cf_solo"));
+    const SoloRun h2_solo = runSolo(retarget(h2, "_cf_solo"));
+    const JobSpec victim_svc = retarget(victim, "_cf_svc");
+    const JobSpec h1_svc = retarget(h1, "_cf_svc");
+    const JobSpec h2_svc = retarget(h2, "_cf_svc");
+    // Scrub checkpoints from earlier runs of this binary: the resume
+    // below must see the state THIS run's fault left behind.
+    for (const JobSpec *spec : { &victim_svc, &h1_svc, &h2_svc })
+        std::filesystem::remove(spec->checkpoint_path);
+
+    setCheckpointFault(CheckpointFault::ShortWrite);
+    JobManager manager;
+    ASSERT_TRUE(manager.submit(victim_svc).admitted);
+    ASSERT_TRUE(manager.submit(h1_svc).admitted);
+    ASSERT_TRUE(manager.submit(h2_svc).admitted);
+    manager.waitAll();
+
+    const JobStatus failed = manager.status("victim");
+    EXPECT_EQ(failed.state, JobState::Failed);
+    EXPECT_NE(failed.error.find("job 'victim'"), std::string::npos)
+        << failed.error;
+    EXPECT_NE(failed.error.find("short write"), std::string::npos)
+        << failed.error;
+
+    for (const JobSpec *spec : { &h1_svc, &h2_svc }) {
+        const JobStatus st = manager.status(spec->id);
+        EXPECT_EQ(st.state, JobState::Done)
+            << spec->id << ": " << st.error;
+    }
+    EXPECT_EQ(fuzz::readBytes(h1_svc.checkpoint_path), h1_solo.ckpt_bytes)
+        << "a fault in another job perturbed healthy1";
+    EXPECT_EQ(fuzz::readBytes(h2_svc.checkpoint_path), h2_solo.ckpt_bytes)
+        << "a fault in another job perturbed healthy2";
+    EXPECT_EQ(manager.budgetUsedBytes(), 0u)
+        << "the failed job kept its admission charge";
+
+    // The fault fired before any checkpoint existed, so resume is a
+    // clean fresh start — and must land on the solo bytes and records.
+    std::string err;
+    ASSERT_TRUE(manager.resume("victim", &err)) << err;
+    manager.waitAll();
+    const JobStatus recovered = manager.status("victim");
+    EXPECT_EQ(recovered.state, JobState::Done) << recovered.error;
+    EXPECT_EQ(fuzz::readBytes(victim_svc.checkpoint_path),
+              victim_solo.ckpt_bytes)
+        << "resumed victim diverged from its solo run";
+    EXPECT_EQ(servetest::compareRecords(victim_solo.records,
+                                        recovered.records),
+              "");
+    EXPECT_EQ(manager.budgetUsedBytes(), 0u);
+}
+
+TEST(ServeFaults, TierSpillDirLossHitsOnlyTheVictim)
+{
+    // The victim spills to a file tier every step (its working set is
+    // far above the 48 KB device cap); deleting the spill directory
+    // mid-run makes the next store/fetch throw inside runMinibatch.
+    JobSpec victim = tinySpec("tvictim", "overfeat", 71);
+    victim.epochs = 20; // 80 steps: the deletion lands mid-run
+    victim.checkpoint_every_steps = 1;
+    victim.gist = GistConfig::lossless();
+    victim.gist.device_pool_bytes = 48 * 1024;
+    victim.gist.tier_path = "tier";
+    JobSpec h1 = tinySpec("thealthy1", "alexnet", 72);
+    JobSpec h2 = tinySpec("thealthy2", "nin", 73);
+    h2.gist = GistConfig::lossless();
+
+    const SoloRun victim_solo = runSolo(retarget(victim, "_tf_solo"));
+    const SoloRun h1_solo = runSolo(retarget(h1, "_tf_solo"));
+    const SoloRun h2_solo = runSolo(retarget(h2, "_tf_solo"));
+    const JobSpec victim_svc = retarget(victim, "_tf_svc");
+    const JobSpec h1_svc = retarget(h1, "_tf_svc");
+    const JobSpec h2_svc = retarget(h2, "_tf_svc");
+    for (const JobSpec *spec : { &victim_svc, &h1_svc, &h2_svc })
+        std::filesystem::remove(spec->checkpoint_path);
+
+    JobManager manager;
+    ASSERT_TRUE(manager.submit(victim_svc).admitted);
+    ASSERT_TRUE(manager.submit(h1_svc).admitted);
+    ASSERT_TRUE(manager.submit(h2_svc).admitted);
+
+    waitForStepOrExit(manager, "tvictim", 2);
+    std::filesystem::remove_all(victim_svc.gist.tier_path);
+    const JobStatus after =
+        waitForStepOrExit(manager, "tvictim", 1 << 20);
+    EXPECT_EQ(after.state, JobState::Failed) << "victim step "
+                                             << after.step;
+    EXPECT_NE(after.error.find("job 'tvictim'"), std::string::npos)
+        << after.error;
+    manager.waitAll();
+
+    for (const JobSpec *spec : { &h1_svc, &h2_svc }) {
+        const JobStatus st = manager.status(spec->id);
+        EXPECT_EQ(st.state, JobState::Done)
+            << spec->id << ": " << st.error;
+    }
+    EXPECT_EQ(fuzz::readBytes(h1_svc.checkpoint_path), h1_solo.ckpt_bytes)
+        << "the tier loss perturbed thealthy1";
+    EXPECT_EQ(fuzz::readBytes(h2_svc.checkpoint_path), h2_solo.ckpt_bytes)
+        << "the tier loss perturbed thealthy2";
+    EXPECT_EQ(manager.budgetUsedBytes(), 0u);
+
+    // Restore the spill directory and resume from the last good
+    // checkpoint: the run must complete and land on the solo bytes.
+    std::filesystem::create_directories(victim_svc.gist.tier_path);
+    std::string err;
+    ASSERT_TRUE(manager.resume("tvictim", &err)) << err;
+    manager.waitAll();
+    const JobStatus recovered = manager.status("tvictim");
+    EXPECT_EQ(recovered.state, JobState::Done) << recovered.error;
+    EXPECT_EQ(recovered.step, 80);
+    EXPECT_EQ(fuzz::readBytes(victim_svc.checkpoint_path),
+              victim_solo.ckpt_bytes)
+        << "resumed victim diverged from its solo run";
+    EXPECT_EQ(manager.budgetUsedBytes(), 0u);
+}
+
+} // namespace
+} // namespace gist

@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Lifecycle fuzzer for the multi-tenant training service: seeded random
+ * submit/pause/resume/checkpoint/cancel/wait sequences against a small
+ * mixed fleet, checked for the service's core invariants —
+ *
+ *   - no deadlock: every sequence drains to all-terminal (a hang trips
+ *     the ctest timeout);
+ *   - no spurious failures: without fault injection no job may end
+ *     Failed;
+ *   - no leaked admission bytes: budgetUsedBytes() == 0 once every job
+ *     is terminal, no matter which path (done/cancel/pause) it took;
+ *   - no leaked tier spill: the device-pool job's spill directory is
+ *     empty after its runtime is gone;
+ *   - bitwise completion: every job that ends Done has checkpoint bytes
+ *     identical to its spec run solo, regardless of how many
+ *     pause/resume/checkpoint interruptions the sequence dealt it.
+ *
+ * Failing cases are greedily shrunk (drop ops while the failure
+ * persists) and the minimal sequence is appended to
+ * fuzz_failure_serve.txt next to a one-line GIST_FUZZ_SEED repro.
+ * Seed conventions follow tests/fuzz_util.hpp (GIST_FUZZ_SEED /
+ * GIST_FUZZ_BASE / GIST_FUZZ_CASES; the nightly CI sweep passes a
+ * date-derived base and 2000 cases).
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/job_manager.hpp"
+#include "serve_util.hpp"
+#include "util/rng.hpp"
+
+namespace gist {
+namespace {
+
+using serve::JobManager;
+using serve::JobSpec;
+using serve::JobState;
+using serve::JobStatus;
+using servetest::retarget;
+using servetest::runSolo;
+using servetest::SoloRun;
+using servetest::tinySpec;
+
+// ------------------------------------------------------------- op model
+
+enum class OpKind { Submit, Pause, Resume, Checkpoint, Cancel, WaitJob,
+                    WaitAll };
+
+struct Op
+{
+    OpKind kind;
+    int job; ///< fleet template index (ignored by WaitAll)
+};
+
+const char *
+opName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Submit: return "submit";
+      case OpKind::Pause: return "pause";
+      case OpKind::Resume: return "resume";
+      case OpKind::Checkpoint: return "checkpoint";
+      case OpKind::Cancel: return "cancel";
+      case OpKind::WaitJob: return "wait";
+      case OpKind::WaitAll: return "wait-all";
+    }
+    return "?";
+}
+
+std::string
+formatOps(const std::vector<Op> &ops)
+{
+    std::ostringstream oss;
+    for (const Op &op : ops) {
+        oss << opName(op.kind);
+        if (op.kind != OpKind::WaitAll)
+            oss << "(j" << op.job << ")";
+        oss << " ";
+    }
+    return oss.str();
+}
+
+/**
+ * The fleet the sequences act on. Fixed across cases so the solo
+ * reference runs are computed once per process; 6 epochs keep jobs
+ * alive long enough for mid-run ops to land.
+ */
+std::vector<JobSpec>
+fleetTemplates()
+{
+    std::vector<JobSpec> fleet;
+    JobSpec base = tinySpec("j0", "alexnet", 101);
+    base.epochs = 6;
+    fleet.push_back(base);
+
+    JobSpec gist = tinySpec("j1", "nin", 102);
+    gist.epochs = 6;
+    gist.gist = GistConfig::lossless();
+    fleet.push_back(gist);
+
+    JobSpec pool = tinySpec("j2", "overfeat", 103);
+    pool.epochs = 6;
+    pool.gist = GistConfig::lossless();
+    pool.gist.device_pool_bytes = 64 * 1024;
+    pool.gist.tier_path = "tier"; // retarget() makes it a real temp dir
+    fleet.push_back(pool);
+    return fleet;
+}
+
+/** Solo ground truth per fleet template, computed once. */
+const std::vector<SoloRun> &
+soloRefs()
+{
+    static const std::vector<SoloRun> refs = [] {
+        std::vector<SoloRun> out;
+        for (const JobSpec &spec : fleetTemplates())
+            out.push_back(runSolo(retarget(spec, "_fuzzref")));
+        return out;
+    }();
+    return refs;
+}
+
+std::vector<Op>
+generateOps(Rng &rng)
+{
+    const size_t len = 3 + static_cast<size_t>(rng.uniformInt(8));
+    std::vector<Op> ops;
+    // Lead with a submit so most sequences have something to act on.
+    ops.push_back({ OpKind::Submit,
+                    static_cast<int>(rng.uniformInt(3)) });
+    while (ops.size() < len) {
+        const auto kind = static_cast<OpKind>(rng.uniformInt(7));
+        ops.push_back({ kind, static_cast<int>(rng.uniformInt(3)) });
+    }
+    return ops;
+}
+
+// ------------------------------------------------------------ execution
+
+/**
+ * Run @p ops against a fresh JobManager and check every invariant.
+ * Individual API calls are allowed to fail (ops fire in states the
+ * verb cannot act on — that IS the fuzz surface); the invariants are
+ * on the end state. Returns "" on success, a failure description
+ * otherwise. @p tag keeps each run's output files distinct.
+ */
+std::string
+runOps(const std::vector<Op> &ops, const std::string &tag)
+{
+    const std::vector<JobSpec> templates = fleetTemplates();
+    std::vector<JobSpec> specs;
+    for (const JobSpec &spec : templates)
+        specs.push_back(retarget(spec, tag));
+
+    std::vector<bool> submitted(specs.size(), false);
+    {
+        JobManager manager;
+        for (const Op &op : ops) {
+            const size_t j = static_cast<size_t>(op.job);
+            const std::string &id = specs[j].id;
+            std::string err;
+            switch (op.kind) {
+              case OpKind::Submit: {
+                const auto res = manager.submit(specs[j]);
+                if (res.admitted)
+                    submitted[j] = true;
+                else if (!submitted[j])
+                    return "unlimited-budget submit of '" + id +
+                           "' rejected: " + res.error;
+                break;
+              }
+              case OpKind::Pause:
+                if (submitted[j])
+                    manager.pause(id, &err);
+                break;
+              case OpKind::Resume:
+                if (submitted[j])
+                    manager.resume(id, &err);
+                break;
+              case OpKind::Checkpoint:
+                if (submitted[j])
+                    manager.checkpoint(id, &err);
+                break;
+              case OpKind::Cancel:
+                if (submitted[j])
+                    manager.cancel(id, &err);
+                break;
+              case OpKind::WaitJob:
+                if (submitted[j])
+                    manager.wait(id);
+                break;
+              case OpKind::WaitAll:
+                manager.waitAll();
+                break;
+            }
+        }
+
+        // Drain: resume whatever the sequence left paused, then wait
+        // for all-terminal. A deadlock here hangs the test (caught by
+        // the ctest timeout), which is exactly the invariant.
+        for (size_t j = 0; j < specs.size(); ++j) {
+            if (!submitted[j])
+                continue;
+            std::string err;
+            if (manager.status(specs[j].id).state == JobState::Paused &&
+                !manager.resume(specs[j].id, &err))
+                manager.cancel(specs[j].id, &err);
+        }
+        manager.waitAll();
+
+        for (size_t j = 0; j < specs.size(); ++j) {
+            if (!submitted[j])
+                continue;
+            const JobStatus st = manager.status(specs[j].id);
+            if (st.state == JobState::Failed)
+                return "job '" + st.id +
+                       "' failed without fault injection: " + st.error;
+            if (st.state != JobState::Done &&
+                st.state != JobState::Cancelled)
+                return std::string("job '") + st.id +
+                       "' not terminal after drain: " +
+                       serve::jobStateName(st.state);
+            if (st.state == JobState::Done) {
+                const auto bytes =
+                    fuzz::readBytes(specs[j].checkpoint_path);
+                if (bytes != soloRefs()[j].ckpt_bytes)
+                    return "job '" + st.id +
+                           "' finished Done but its checkpoint bytes "
+                           "differ from the solo run";
+            }
+        }
+        if (manager.budgetUsedBytes() != 0)
+            return "terminal fleet still charges " +
+                   std::to_string(manager.budgetUsedBytes()) +
+                   " admission bytes";
+    } // manager destroyed: every runtime (and file tier) is gone
+
+    for (const JobSpec &spec : specs) {
+        if (spec.gist.tier_path.empty())
+            continue;
+        if (std::filesystem::exists(spec.gist.tier_path) &&
+            !std::filesystem::is_empty(spec.gist.tier_path))
+            return "tier spill dir " + spec.gist.tier_path +
+                   " not empty after teardown";
+    }
+    return "";
+}
+
+// ------------------------------------------------------- shrink, report
+
+using Property = std::function<std::string(const std::vector<Op> &)>;
+
+/**
+ * Greedy shrinker: repeatedly drop single ops, keeping every candidate
+ * that still fails. Lifecycle failures are timing-sensitive, so a
+ * candidate that happens to pass is simply not taken.
+ */
+std::vector<Op>
+shrinkFailure(std::vector<Op> ops, const Property &prop)
+{
+    bool improved = true;
+    while (improved && ops.size() > 1) {
+        improved = false;
+        for (size_t i = 0; i < ops.size(); ++i) {
+            std::vector<Op> cand = ops;
+            cand.erase(cand.begin() + static_cast<std::ptrdiff_t>(i));
+            if (!prop(cand).empty()) {
+                ops = std::move(cand);
+                improved = true;
+                break;
+            }
+        }
+    }
+    return ops;
+}
+
+/** Report a failing sequence: repro line, shrunk ops, CI artifact. */
+void
+reportFailure(std::uint64_t seed, const std::string &message,
+              const std::vector<Op> &ops, const Property &prop)
+{
+    const std::vector<Op> min_case = shrinkFailure(ops, prop);
+    const std::string min_message = prop(min_case);
+    std::ofstream out("fuzz_failure_serve.txt", std::ios::app);
+    out << "lifecycle seed=" << seed << "\n"
+        << (min_message.empty() ? message : min_message) << "\n"
+        << "shrunk to " << min_case.size()
+        << " ops: " << formatOps(min_case) << "\n\n";
+    ADD_FAILURE() << "lifecycle: " << message
+                  << "\n  ops: " << formatOps(ops)
+                  << "\n  repro: GIST_FUZZ_SEED=" << seed
+                  << " ./tests/test_serve_fuzz\n  shrunk sequence ("
+                  << min_case.size()
+                  << " ops) written to fuzz_failure_serve.txt";
+}
+
+// ----------------------------------------------------------------- test
+
+TEST(ServeFuzz, LifecycleSequencesKeepInvariants)
+{
+    int run = 0;
+    const Property prop = [&](const std::vector<Op> &ops) {
+        return runOps(ops, "_fz" + std::to_string(run++));
+    };
+    for (const std::uint64_t seed : fuzz::caseSeeds(0x5E54E11CE, 40)) {
+        Rng rng(seed);
+        const std::vector<Op> ops = generateOps(rng);
+        const std::string message = prop(ops);
+        if (!message.empty()) {
+            reportFailure(seed, message, ops, prop);
+            return;
+        }
+    }
+}
+
+} // namespace
+} // namespace gist
